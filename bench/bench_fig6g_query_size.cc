@@ -1,0 +1,29 @@
+// Figure 6g: execution time of unsatisfied path constraints qp2..qp5 as the
+// query grows. Expected shape: runtime rises only slightly with query size
+// — query evaluation is a small share of the total; graph construction and
+// world materialization dominate.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace bcdb;
+  using namespace bcdb::bench;
+  using namespace bcdb::workload;
+
+  auto data = Prepare(DefaultDataset());
+  DcSatEngine* engine = data->engine.get();
+  const bitcoin::WorkloadMetadata& meta = data->metadata;
+
+  for (std::size_t i : {2u, 3u, 4u, 5u}) {
+    const std::string suffix = "/size:" + std::to_string(i);
+    RegisterDcSat("Fig6g/qp/Naive" + suffix, engine, PathUnsat(meta, i),
+                  NaiveOptions());
+    RegisterDcSat("Fig6g/qp/Opt" + suffix, engine, PathUnsat(meta, i),
+                  OptOptions());
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

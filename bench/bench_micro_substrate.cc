@@ -1,0 +1,144 @@
+// Microbenchmarks of the substrate operations the DCSat runtimes decompose
+// into: steady-state graph construction, component grouping, maximal-world
+// materialization, query evaluation, possible-world recognition, and the
+// hashing primitive.
+
+#include <string>
+
+#include "bench_common.h"
+#include "bitcoin/serialize.h"
+#include "core/probability.h"
+#include "bitcoin/sha256.h"
+#include "core/fd_graph.h"
+#include "core/get_maximal.h"
+#include "core/ind_graph.h"
+#include "core/bron_kerbosch.h"
+#include "core/possible_worlds.h"
+#include "query/compiled_query.h"
+
+namespace {
+
+std::unique_ptr<bcdb::bench::PreparedDataset> g_data;
+
+void BM_FdGraphBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    bcdb::FdGraph graph(*g_data->db);
+    benchmark::DoNotOptimize(graph.num_conflict_pairs());
+  }
+}
+
+void BM_ThetaIComponents(benchmark::State& state) {
+  const bcdb::FdGraph graph(*g_data->db);
+  const auto equalities =
+      bcdb::EqualitiesFromConstraints(g_data->db->constraints());
+  for (auto _ : state) {
+    bcdb::UnionFind uf(g_data->db->num_pending());
+    bcdb::MergeEqualityComponents(*g_data->db, equalities,
+                                  graph.valid_nodes(), uf);
+    benchmark::DoNotOptimize(uf.num_elements());
+  }
+}
+
+void BM_GetMaximalAllPending(benchmark::State& state) {
+  const std::vector<bcdb::PendingId> pending = g_data->db->PendingIds();
+  for (auto _ : state) {
+    bcdb::WorldView world = bcdb::GetMaximal(*g_data->db, pending);
+    benchmark::DoNotOptimize(world.NumActive());
+  }
+}
+
+void BM_FirstMaximalClique(benchmark::State& state) {
+  const bcdb::FdGraph graph(*g_data->db);
+  for (auto _ : state) {
+    std::size_t size = 0;
+    bcdb::EnumerateMaximalCliques(graph.graph(), graph.valid_nodes(),
+                                  /*use_pivot=*/true,
+                                  [&](const std::vector<std::size_t>& clique) {
+                                    size = clique.size();
+                                    return false;  // First clique only.
+                                  });
+    benchmark::DoNotOptimize(size);
+  }
+}
+
+void BM_QueryEvalOverFullView(benchmark::State& state) {
+  const bcdb::DenialConstraint qp3 =
+      bcdb::workload::PathUnsat(g_data->metadata, 3);
+  auto compiled =
+      bcdb::CompiledQuery::Compile(qp3, &g_data->db->database());
+  const bcdb::WorldView view = g_data->db->PendingUnionView();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled->Evaluate(view));
+  }
+}
+
+void BM_IsPossibleWorldAllPending(benchmark::State& state) {
+  const std::vector<bcdb::PendingId> pending = g_data->db->PendingIds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bcdb::IsPossibleWorld(*g_data->db, pending));
+  }
+}
+
+void BM_SampleWorld(benchmark::State& state) {
+  bcdb::InclusionModel model;
+  model.default_probability = 0.5;
+  bcdb::Xoshiro256 rng(17);
+  for (auto _ : state) {
+    const bcdb::WorldView world = bcdb::SampleWorld(*g_data->db, model, rng);
+    benchmark::DoNotOptimize(world.NumActive());
+  }
+}
+
+void BM_SerializeNode(benchmark::State& state) {
+  // Serialize the default workload's node (chain + mempool snapshot).
+  auto workload =
+      bcdb::bitcoin::GenerateWorkload(bcdb::workload::S100().params);
+  if (!workload.ok()) state.SkipWithError("generation failed");
+  for (auto _ : state) {
+    auto data = bcdb::bitcoin::SerializeNode(workload->node);
+    benchmark::DoNotOptimize(data.ok());
+  }
+}
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  const std::string data(1024, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bcdb::Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_data = bcdb::bench::Prepare(bcdb::workload::DefaultDataset());
+
+  benchmark::RegisterBenchmark("Micro/FdGraphBuild", BM_FdGraphBuild)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Micro/ThetaIComponents", BM_ThetaIComponents)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Micro/GetMaximalAllPending",
+                               BM_GetMaximalAllPending)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Micro/FirstMaximalClique",
+                               BM_FirstMaximalClique)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Micro/QueryEvalOverFullView",
+                               BM_QueryEvalOverFullView)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Micro/IsPossibleWorldAllPending",
+                               BM_IsPossibleWorldAllPending)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Micro/SampleWorld", BM_SampleWorld)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Micro/SerializeNode", BM_SerializeNode)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Micro/Sha256_1KiB", BM_Sha256_1KiB);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_data.reset();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Gossip-layer microbenchmarks (beyond the paper's figures): cost of
+// flooding transactions through P2P topologies of increasing size, and of
+// the node-local DCSat view rebuild that a monitoring node performs after
+// convergence. Grounds the paper's footnote 6 (per-node pending sets) in
+// measured propagation costs.
+
+#include <benchmark/benchmark.h>
+
+#include "bitcoin/to_relational.h"
+#include "core/dcsat.h"
+#include "network/simulator.h"
+#include "query/parser.h"
+
+namespace {
+
+using namespace bcdb;
+using namespace bcdb::bitcoin;
+
+/// Builds a funded network and a batch of independent payments to flood.
+struct GossipFixture {
+  explicit GossipFixture(std::size_t nodes) {
+    net::NetworkParams params;
+    params.num_nodes = nodes;
+    params.extra_edges = nodes / 2;
+    params.seed = 17;
+    net = std::make_unique<net::NetworkSimulator>(params);
+    MinerPolicy policy;
+    policy.miner_pubkey = "FunderPk";
+    for (int i = 0; i < 8; ++i) {
+      if (!net->MineAt(0, policy).ok()) std::abort();
+      net->Run();
+    }
+    for (const auto& [point, utxo] : net->node(0).chain().utxos()) {
+      sources.emplace_back(point, utxo);
+    }
+  }
+
+  BitcoinTransaction PaymentFrom(std::size_t i) const {
+    const auto& [point, utxo] = sources[i % sources.size()];
+    return BitcoinTransaction(
+        {TxInput{point, utxo.pubkey, utxo.amount, SignatureFor(utxo.pubkey)}},
+        {TxOutput{"Rcpt" + std::to_string(i) + "Pk", utxo.amount - 1000}});
+  }
+
+  std::unique_ptr<net::NetworkSimulator> net;
+  std::vector<std::pair<OutPoint, Utxo>> sources;
+};
+
+void BM_FloodTransactions(benchmark::State& state) {
+  const std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    GossipFixture fixture(nodes);
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < fixture.sources.size(); ++i) {
+      (void)fixture.net->BroadcastTransaction(i % nodes,
+                                              fixture.PaymentFrom(i));
+    }
+    fixture.net->Run();
+    benchmark::DoNotOptimize(fixture.net->events_processed());
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
+void BM_NodeLocalDcSatAfterConvergence(benchmark::State& state) {
+  GossipFixture fixture(6);
+  for (std::size_t i = 0; i < fixture.sources.size(); ++i) {
+    (void)fixture.net->BroadcastTransaction(i % 6, fixture.PaymentFrom(i));
+  }
+  fixture.net->Run();
+  auto q = ParseDenialConstraint("q() :- TxOut(t, s, 'Rcpt0Pk', a)");
+  if (!q.ok()) std::abort();
+  for (auto _ : state) {
+    auto db = BuildBlockchainDatabase(fixture.net->node(3));
+    if (!db.ok()) std::abort();
+    DcSatEngine engine(&*db);
+    auto result = engine.Check(*q);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("Network/FloodTransactions",
+                               BM_FloodTransactions)
+      ->Arg(4)
+      ->Arg(8)
+      ->Arg(16)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Network/NodeLocalDcSatAfterConvergence",
+                               BM_NodeLocalDcSatAfterConvergence)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

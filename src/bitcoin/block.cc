@@ -1,0 +1,65 @@
+#include "bitcoin/block.h"
+
+#include "bitcoin/sha256.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+namespace {
+
+BlockHash HashPair(BlockHash a, BlockHash b) {
+  const std::string data =
+      "node:" + std::to_string(a) + "," + std::to_string(b);
+  return Sha256::ToId63(Sha256::Hash(data));
+}
+
+BlockHash ComputeMerkleRoot(const std::vector<BitcoinTransaction>& txs) {
+  if (txs.empty()) return 0;
+  std::vector<BlockHash> level;
+  level.reserve(txs.size());
+  for (const BitcoinTransaction& tx : txs) level.push_back(tx.txid());
+  while (level.size() > 1) {
+    std::vector<BlockHash> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      // Odd trailing node pairs with itself (Bitcoin convention).
+      const BlockHash right = i + 1 < level.size() ? level[i + 1] : level[i];
+      next.push_back(HashPair(level[i], right));
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+}  // namespace
+
+Block::Block(std::uint64_t height, BlockHash prev_hash,
+             std::vector<BitcoinTransaction> transactions)
+    : height_(height),
+      prev_hash_(prev_hash),
+      transactions_(std::move(transactions)) {
+  merkle_root_ = ComputeMerkleRoot(transactions_);
+  const std::string header = "block:h=" + std::to_string(height_) +
+                             ";prev=" + std::to_string(prev_hash_) +
+                             ";merkle=" + std::to_string(merkle_root_);
+  hash_ = Sha256::ToId63(Sha256::Hash(header));
+}
+
+std::size_t Block::CountInputs() const {
+  std::size_t count = 0;
+  for (const BitcoinTransaction& tx : transactions_) {
+    count += tx.inputs().size();
+  }
+  return count;
+}
+
+std::size_t Block::CountOutputs() const {
+  std::size_t count = 0;
+  for (const BitcoinTransaction& tx : transactions_) {
+    count += tx.outputs().size();
+  }
+  return count;
+}
+
+}  // namespace bitcoin
+}  // namespace bcdb

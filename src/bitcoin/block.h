@@ -1,0 +1,45 @@
+#ifndef BCDB_BITCOIN_BLOCK_H_
+#define BCDB_BITCOIN_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitcoin/transaction.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+/// Hash of a block (same 63-bit compact form as transaction ids).
+using BlockHash = std::int64_t;
+
+/// A block: an ordered batch of transactions committed together, chained to
+/// its predecessor by hash.
+class Block {
+ public:
+  Block(std::uint64_t height, BlockHash prev_hash,
+        std::vector<BitcoinTransaction> transactions);
+
+  std::uint64_t height() const { return height_; }
+  BlockHash prev_hash() const { return prev_hash_; }
+  BlockHash hash() const { return hash_; }
+  /// Pairwise SHA-256 Merkle tree over the transaction ids.
+  BlockHash merkle_root() const { return merkle_root_; }
+  const std::vector<BitcoinTransaction>& transactions() const {
+    return transactions_;
+  }
+
+  std::size_t CountInputs() const;
+  std::size_t CountOutputs() const;
+
+ private:
+  std::uint64_t height_;
+  BlockHash prev_hash_;
+  BlockHash merkle_root_;
+  BlockHash hash_;
+  std::vector<BitcoinTransaction> transactions_;
+};
+
+}  // namespace bitcoin
+}  // namespace bcdb
+
+#endif  // BCDB_BITCOIN_BLOCK_H_

@@ -1,0 +1,112 @@
+#include "bitcoin/chain.h"
+
+#include "bitcoin/script.h"
+
+#include <unordered_set>
+
+namespace bcdb {
+namespace bitcoin {
+
+Blockchain::Blockchain() {
+  blocks_.emplace_back(/*height=*/0, /*prev_hash=*/0,
+                       std::vector<BitcoinTransaction>{});
+  stats_.blocks = 1;
+}
+
+Status Blockchain::ValidateTransaction(
+    const BitcoinTransaction& tx,
+    const std::unordered_map<OutPoint, Utxo, OutPointHash>& available) {
+  std::unordered_set<OutPoint, OutPointHash> spent_here;
+  for (const TxInput& input : tx.inputs()) {
+    if (!spent_here.insert(input.prev).second) {
+      return Status::ConstraintViolation(
+          "transaction spends the same output twice");
+    }
+    auto it = available.find(input.prev);
+    if (it == available.end()) {
+      return Status::NotFound("input spends a missing or spent output (txid " +
+                              std::to_string(input.prev.txid) + ", ser " +
+                              std::to_string(input.prev.index) + ")");
+    }
+    if (it->second.pubkey != input.pubkey ||
+        it->second.amount != input.amount) {
+      return Status::ConstraintViolation(
+          "input pubkey/amount does not match the referenced output");
+    }
+    if (!Script::Parse(input.pubkey).SatisfiedBy(input.signature)) {
+      return Status::ConstraintViolation(
+          "witness does not satisfy the output script of " + input.pubkey);
+    }
+  }
+  for (const TxOutput& output : tx.outputs()) {
+    if (output.amount < 0) {
+      return Status::ConstraintViolation("negative output amount");
+    }
+  }
+  if (!tx.is_coinbase() && tx.Fee() < 0) {
+    return Status::ConstraintViolation("outputs exceed inputs");
+  }
+  return Status::OK();
+}
+
+Status Blockchain::AppendBlock(const Block& block) {
+  if (block.prev_hash() != tip().hash()) {
+    return Status::InvalidArgument("block does not extend the current tip");
+  }
+  if (block.height() != height() + 1) {
+    return Status::InvalidArgument("block height must be tip height + 1");
+  }
+
+  // Validate transactions against the UTXO set, letting later transactions
+  // spend outputs created earlier in the same block.
+  std::unordered_map<OutPoint, Utxo, OutPointHash> available = utxos_;
+  Satoshi fees = 0;
+  const BitcoinTransaction* coinbase = nullptr;
+  for (std::size_t i = 0; i < block.transactions().size(); ++i) {
+    const BitcoinTransaction& tx = block.transactions()[i];
+    if (tx.is_coinbase()) {
+      if (i != 0) {
+        return Status::ConstraintViolation(
+            "coinbase must be the first transaction of the block");
+      }
+      coinbase = &tx;
+    } else {
+      BCDB_RETURN_IF_ERROR(ValidateTransaction(tx, available));
+      fees += tx.Fee();
+    }
+    if (confirmed_txids_.count(tx.txid()) > 0) {
+      return Status::AlreadyExists("transaction " + std::to_string(tx.txid()) +
+                                   " already confirmed");
+    }
+    // Apply: consume inputs, create outputs.
+    for (const TxInput& input : tx.inputs()) available.erase(input.prev);
+    for (std::size_t o = 0; o < tx.outputs().size(); ++o) {
+      available[OutPoint{tx.txid(), static_cast<std::int32_t>(o + 1)}] =
+          Utxo{tx.outputs()[o].pubkey, tx.outputs()[o].amount};
+    }
+  }
+  if (coinbase != nullptr && coinbase->OutputTotal() > kBlockReward + fees) {
+    return Status::ConstraintViolation(
+        "coinbase claims more than subsidy plus fees");
+  }
+
+  // Commit.
+  utxos_ = std::move(available);
+  for (const BitcoinTransaction& tx : block.transactions()) {
+    confirmed_txids_.emplace(tx.txid(), block.height());
+    stats_.transactions += 1;
+    stats_.inputs += tx.inputs().size();
+    stats_.outputs += tx.outputs().size();
+  }
+  stats_.blocks += 1;
+  blocks_.push_back(block);
+  return Status::OK();
+}
+
+Status Blockchain::MineAndAppend(std::vector<BitcoinTransaction> transactions) {
+  Block block(height() + 1, tip().hash(), std::move(transactions));
+  return AppendBlock(block);
+}
+
+}  // namespace bitcoin
+}  // namespace bcdb

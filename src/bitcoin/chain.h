@@ -1,0 +1,84 @@
+#ifndef BCDB_BITCOIN_CHAIN_H_
+#define BCDB_BITCOIN_CHAIN_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "bitcoin/block.h"
+#include "bitcoin/transaction.h"
+#include "util/status.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+/// Default mining subsidy per block (before halvings, which the simulation
+/// ignores): 50 BTC.
+inline constexpr Satoshi kBlockReward = 50 * kCoin;
+
+/// An unspent output as tracked by the UTXO set.
+struct Utxo {
+  std::string pubkey;
+  Satoshi amount = 0;
+};
+
+/// Aggregate counters for Table 1.
+struct ChainStats {
+  std::size_t blocks = 0;
+  std::size_t transactions = 0;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+};
+
+/// The authoritative chain of one node: an append-only block sequence plus
+/// the UTXO set it induces. Forks are not modeled (see the paper's Remark 1:
+/// fork handling is protocol-specific and resolved data is what enters the
+/// database).
+class Blockchain {
+ public:
+  /// Starts from an empty genesis block.
+  Blockchain();
+
+  std::size_t height() const { return blocks_.size() - 1; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+  const Block& tip() const { return blocks_.back(); }
+
+  const std::unordered_map<OutPoint, Utxo, OutPointHash>& utxos() const {
+    return utxos_;
+  }
+
+  /// Validates `block` (chain linkage, at most one leading coinbase with
+  /// reward ≤ subsidy + fees, every input spends an existing unspent output
+  /// with matching pubkey/amount and a valid signature, no double spends)
+  /// and applies it to the UTXO set.
+  Status AppendBlock(const Block& block);
+
+  /// Convenience: builds a block at the current tip from `transactions`
+  /// (already including any coinbase) and appends it.
+  Status MineAndAppend(std::vector<BitcoinTransaction> transactions);
+
+  /// Validates one transaction against an arbitrary view of available
+  /// outputs (shared by block validation and the mempool): signatures,
+  /// matching pubkey/amount, non-negative fee, no within-tx double spends.
+  static Status ValidateTransaction(
+      const BitcoinTransaction& tx,
+      const std::unordered_map<OutPoint, Utxo, OutPointHash>& available);
+
+  /// True if the transaction was confirmed in some block.
+  bool ContainsTransaction(TxId txid) const {
+    return confirmed_txids_.count(txid) > 0;
+  }
+
+  ChainStats Stats() const { return stats_; }
+
+ private:
+  std::vector<Block> blocks_;
+  std::unordered_map<OutPoint, Utxo, OutPointHash> utxos_;
+  std::unordered_map<TxId, std::uint64_t> confirmed_txids_;  // txid -> height
+  ChainStats stats_;
+};
+
+}  // namespace bitcoin
+}  // namespace bcdb
+
+#endif  // BCDB_BITCOIN_CHAIN_H_

@@ -1,0 +1,334 @@
+#include "bitcoin/generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+namespace {
+
+/// Bookkeeping the generator keeps alongside the node: who owns which
+/// spendable confirmed output. Kept in sync incrementally from each mined
+/// block (the chain's UTXO set is authoritative; this adds the by-owner
+/// index and the "reserved by a pending transaction" marks).
+class WalletBook {
+ public:
+  void ApplyBlock(const Block& block) {
+    for (const BitcoinTransaction& tx : block.transactions()) {
+      for (const TxInput& input : tx.inputs()) {
+        spendable_.erase(input.prev);
+      }
+      for (std::size_t o = 0; o < tx.outputs().size(); ++o) {
+        const OutPoint point{tx.txid(), static_cast<std::int32_t>(o + 1)};
+        spendable_[point] = tx.outputs()[o];
+        by_owner_[tx.outputs()[o].pubkey].push_back(point);
+      }
+    }
+  }
+
+  /// A spendable, unreserved confirmed output of `owner` worth at least
+  /// `min_amount`; reserves it. Null on failure.
+  const TxOutput* TakeOutput(const std::string& owner, Satoshi min_amount,
+                             OutPoint* point) {
+    auto it = by_owner_.find(owner);
+    if (it == by_owner_.end()) return nullptr;
+    std::vector<OutPoint>& candidates = it->second;
+    for (std::size_t i = 0; i < candidates.size();) {
+      auto found = spendable_.find(candidates[i]);
+      if (found == spendable_.end() || reserved_.count(candidates[i]) > 0) {
+        candidates[i] = candidates.back();  // Stale or reserved: prune.
+        candidates.pop_back();
+        continue;
+      }
+      if (found->second.amount >= min_amount) {
+        *point = candidates[i];
+        reserved_.insert(candidates[i]);
+        last_taken_ = found->second;
+        return &last_taken_;
+      }
+      ++i;
+    }
+    return nullptr;
+  }
+
+  /// Releases a reservation (used when re-spending an output on purpose to
+  /// craft a contradiction).
+  void Unreserve(const OutPoint& point) { reserved_.erase(point); }
+
+  bool HasSpendable(const std::string& owner) {
+    OutPoint unused;
+    return PeekHasOutput(owner, &unused);
+  }
+
+ private:
+  bool PeekHasOutput(const std::string& owner, OutPoint* point) {
+    auto it = by_owner_.find(owner);
+    if (it == by_owner_.end()) return false;
+    for (const OutPoint& candidate : it->second) {
+      if (spendable_.count(candidate) > 0 && reserved_.count(candidate) == 0) {
+        *point = candidate;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::unordered_map<OutPoint, TxOutput, OutPointHash> spendable_;
+  std::unordered_map<std::string, std::vector<OutPoint>> by_owner_;
+  std::unordered_set<OutPoint, OutPointHash> reserved_;
+  TxOutput last_taken_;
+};
+
+/// One-input payment: `amount` to `to_pk`, change (if any) back to the
+/// sender, `fee` left for the miner.
+BitcoinTransaction MakePayment(const OutPoint& source, const TxOutput& utxo,
+                               const std::string& to_pk, Satoshi amount,
+                               Satoshi fee) {
+  std::vector<TxInput> inputs{TxInput{source, utxo.pubkey, utxo.amount,
+                                      SignatureFor(utxo.pubkey)}};
+  std::vector<TxOutput> outputs{TxOutput{to_pk, amount}};
+  const Satoshi change = utxo.amount - amount - fee;
+  if (change > 0) outputs.push_back(TxOutput{utxo.pubkey, change});
+  return BitcoinTransaction(std::move(inputs), std::move(outputs));
+}
+
+class Generator {
+ public:
+  explicit Generator(const GeneratorParams& params)
+      : params_(params), rng_(params.seed) {
+    users_.reserve(params.num_users);
+    for (std::size_t i = 0; i < params.num_users; ++i) {
+      users_.push_back("U" + std::to_string(i) + "Pk");
+    }
+  }
+
+  StatusOr<GeneratedWorkload> Run() {
+    BCDB_RETURN_IF_ERROR(BuildChain());
+    BCDB_RETURN_IF_ERROR(SetupLandmarks());
+    BCDB_RETURN_IF_ERROR(BroadcastDesignatedPending());
+    BCDB_RETURN_IF_ERROR(BroadcastBulkPending());
+    BCDB_RETURN_IF_ERROR(InjectContradictions());
+    return GeneratedWorkload{std::move(node_), std::move(metadata_)};
+  }
+
+ private:
+  MinerPolicy PolicyFor(std::size_t height) {
+    MinerPolicy policy;
+    policy.miner_pubkey = users_[height % users_.size()];
+    policy.max_transactions = 1u << 20;  // Mine everything submitted.
+    return policy;
+  }
+
+  Status MineOne() {
+    const std::size_t height = node_.chain().height() + 1;
+    StatusOr<std::size_t> mined = node_.MineBlock(PolicyFor(height));
+    if (!mined.ok()) return mined.status();
+    wallets_.ApplyBlock(node_.chain().tip());
+    return Status::OK();
+  }
+
+  /// Submits one random confirmed-funds payment; false if no sender with
+  /// sufficient funds was found.
+  StatusOr<bool> SubmitRandomPayment() {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const std::string& sender = users_[rng_.NextBelow(users_.size())];
+      OutPoint point;
+      const TxOutput* utxo =
+          wallets_.TakeOutput(sender, 3 * params_.fee, &point);
+      if (utxo == nullptr) continue;
+      const std::string& receiver = users_[rng_.NextBelow(users_.size())];
+      const Satoshi spendable = utxo->amount - params_.fee;
+      const Satoshi amount =
+          std::max<Satoshi>(1, (spendable * rng_.NextInRange(30, 70)) / 100);
+      BCDB_RETURN_IF_ERROR(node_.SubmitTransaction(
+          MakePayment(point, *utxo, receiver, amount, params_.fee)));
+      return true;
+    }
+    return false;
+  }
+
+  Status BuildChain() {
+    for (std::size_t h = 1; h <= params_.num_blocks; ++h) {
+      const std::size_t target = std::min<std::size_t>(
+          params_.txs_per_block_cap,
+          static_cast<std::size_t>(params_.txs_per_block_base +
+                                   params_.txs_per_block_slope *
+                                       static_cast<double>(h)));
+      for (std::size_t t = 0; t < target; ++t) {
+        StatusOr<bool> submitted = SubmitRandomPayment();
+        if (!submitted.ok()) return submitted.status();
+        if (!*submitted) break;  // Liquidity shortage; coinbases refill.
+      }
+      BCDB_RETURN_IF_ERROR(MineOne());
+    }
+    return Status::OK();
+  }
+
+  /// Pays `amount` from some funded user to `to_pk`; the payment is
+  /// submitted (not yet mined).
+  Status SubmitFundedPayment(const std::string& to_pk, Satoshi amount) {
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      const std::string& sender = users_[rng_.NextBelow(users_.size())];
+      OutPoint point;
+      const TxOutput* utxo =
+          wallets_.TakeOutput(sender, amount + params_.fee, &point);
+      if (utxo == nullptr) continue;
+      return node_.SubmitTransaction(
+          MakePayment(point, *utxo, to_pk, amount, params_.fee));
+    }
+    return Status::Internal("no user holds a UTXO worth " +
+                            std::to_string(amount) + " satoshi");
+  }
+
+  Status SetupLandmarks() {
+    // Fund the landmark addresses with confirmed outputs over two blocks.
+    metadata_.chain_pks.push_back("ChainA0Pk");
+    BCDB_RETURN_IF_ERROR(
+        SubmitFundedPayment(metadata_.chain_pks[0],
+                            (params_.pending_chain_depth + 2) *
+                                (kCoin / 10 + params_.fee)));
+    metadata_.star_pk = "StarPk";
+    for (std::size_t k = 0; k < params_.star_size; ++k) {
+      BCDB_RETURN_IF_ERROR(SubmitFundedPayment(metadata_.star_pk, kCoin / 10));
+    }
+    metadata_.rich_pk = "RichPk";
+    metadata_.rich_base_total = kCoin;
+    BCDB_RETURN_IF_ERROR(
+        SubmitFundedPayment(metadata_.rich_pk, metadata_.rich_base_total));
+    metadata_.quiet_pk = "QuietPk";
+    metadata_.quiet_pk2 = "Quiet2Pk";
+    BCDB_RETURN_IF_ERROR(SubmitFundedPayment(metadata_.quiet_pk, kCoin / 20));
+    BCDB_RETURN_IF_ERROR(SubmitFundedPayment(metadata_.quiet_pk2, kCoin / 20));
+    return MineOne();
+  }
+
+  Status BroadcastDesignatedPending() {
+    // --- The dependency chain C1..Cd: Cj spends Cj-1's output. ---
+    OutPoint point;
+    const TxOutput* head =
+        wallets_.TakeOutput(metadata_.chain_pks[0], 0, &point);
+    if (head == nullptr) {
+      return Status::Internal("chain head landmark lost its funding");
+    }
+    TxOutput current = *head;
+    OutPoint current_point = point;
+    for (std::size_t depth = 1; depth <= params_.pending_chain_depth;
+         ++depth) {
+      const std::string next_pk =
+          "ChainA" + std::to_string(depth) + "Pk";
+      metadata_.chain_pks.push_back(next_pk);
+      const Satoshi amount = current.amount - params_.fee;
+      if (amount <= 0) {
+        return Status::Internal("chain landmark ran out of satoshi");
+      }
+      BitcoinTransaction link = MakePayment(current_point, current, next_pk,
+                                            amount, params_.fee);
+      BCDB_RETURN_IF_ERROR(node_.SubmitTransaction(link));
+      current_point = OutPoint{link.txid(), 1};
+      current = TxOutput{next_pk, amount};
+    }
+
+    // --- The star: each of star_pk's UTXOs spent by its own pending tx. ---
+    for (std::size_t k = 0; k < params_.star_size; ++k) {
+      OutPoint star_point;
+      const TxOutput* utxo =
+          wallets_.TakeOutput(metadata_.star_pk, 0, &star_point);
+      if (utxo == nullptr) {
+        return Status::Internal("star landmark lost a funding output");
+      }
+      BCDB_RETURN_IF_ERROR(node_.SubmitTransaction(
+          MakePayment(star_point, *utxo, "StarRcpt" + std::to_string(k) + "Pk",
+                      utxo->amount - params_.fee, params_.fee)));
+    }
+
+    // --- Rich: independent pending payments into rich_pk. ---
+    for (std::size_t k = 0; k < params_.rich_payments; ++k) {
+      const Satoshi amount = kCoin / 4;
+      BCDB_RETURN_IF_ERROR(SubmitFundedPayment(metadata_.rich_pk, amount));
+      metadata_.rich_pending_total += amount;
+    }
+    return Status::OK();
+  }
+
+  Status BroadcastBulkPending() {
+    std::size_t submitted = 0;
+    std::size_t failures = 0;
+    while (submitted < params_.num_pending && failures < 64) {
+      StatusOr<bool> ok = SubmitRandomPayment();
+      if (!ok.ok()) return ok.status();
+      if (*ok) {
+        ++submitted;
+        failures = 0;
+      } else {
+        ++failures;
+      }
+    }
+    if (submitted < params_.num_pending) {
+      return Status::Internal(
+          "insufficient confirmed liquidity for the requested pending set (" +
+          std::to_string(submitted) + "/" +
+          std::to_string(params_.num_pending) + ")");
+    }
+    return Status::OK();
+  }
+
+  Status InjectContradictions() {
+    // Each contradiction re-spends the input of an existing bulk pending
+    // payment toward a different recipient — a signed double spend, exactly
+    // the key violation on TxIn(prevTxId, prevSer) the paper counts.
+    const std::vector<BitcoinTransaction>& pool =
+        node_.mempool().transactions();
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      // Only user-to-user bulk payments: the designated chain/star/rich
+      // transactions must stay conflict-free so the landmark constraints
+      // remain realizable.
+      if (pool[i].inputs().size() == 1 &&
+          pool[i].inputs()[0].pubkey.rfind("U", 0) == 0 &&
+          !pool[i].outputs().empty() &&
+          pool[i].outputs()[0].pubkey.rfind("U", 0) == 0) {
+        candidates.push_back(i);
+      }
+    }
+    if (candidates.size() < params_.num_contradictions) {
+      return Status::Internal("not enough bulk pending payments to inject " +
+                              std::to_string(params_.num_contradictions) +
+                              " contradictions");
+    }
+    // Deterministic choice of distinct victims.
+    for (std::size_t c = 0; c < params_.num_contradictions; ++c) {
+      const std::size_t pick = c * candidates.size() /
+                               std::max<std::size_t>(
+                                   params_.num_contradictions, 1);
+      const BitcoinTransaction& victim = pool[candidates[pick]];
+      const TxInput& input = victim.inputs()[0];
+      const std::string rival =
+          "DoubleSpendRcpt" + std::to_string(c) + "Pk";
+      const TxOutput utxo{input.pubkey, input.amount};
+      BCDB_RETURN_IF_ERROR(node_.SubmitTransaction(MakePayment(
+          input.prev, utxo, rival, input.amount - params_.fee, params_.fee)));
+    }
+    return Status::OK();
+  }
+
+  GeneratorParams params_;
+  Xoshiro256 rng_;
+  std::vector<std::string> users_;
+  SimulatedNode node_;
+  WalletBook wallets_;
+  WorkloadMetadata metadata_;
+};
+
+}  // namespace
+
+StatusOr<GeneratedWorkload> GenerateWorkload(const GeneratorParams& params) {
+  Generator generator(params);
+  return generator.Run();
+}
+
+}  // namespace bitcoin
+}  // namespace bcdb

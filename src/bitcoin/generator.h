@@ -1,0 +1,83 @@
+#ifndef BCDB_BITCOIN_GENERATOR_H_
+#define BCDB_BITCOIN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitcoin/node.h"
+#include "util/status.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+/// Parameters of the synthetic Bitcoin workload that replaces the paper's
+/// real-node data feed. All randomness is seeded; the same parameters always
+/// produce the same chain and mempool.
+struct GeneratorParams {
+  std::uint64_t seed = 1;
+
+  // --- Current state R (the chain). ---
+  std::size_t num_blocks = 200;
+  std::size_t num_users = 50;
+  /// Payments per block grow linearly with height (Bitcoin's early usage
+  /// growth, which makes the paper's D100/D200/D300 superlinear in
+  /// transactions): txs(h) = base + slope * h, capped.
+  double txs_per_block_base = 2.0;
+  double txs_per_block_slope = 0.02;
+  std::size_t txs_per_block_cap = 60;
+
+  // --- Pending transactions T (the mempool). ---
+  /// Bulk random pending payments.
+  std::size_t num_pending = 200;
+  /// Double-spend pairs injected among the bulk pending payments — the
+  /// paper's "contradictions" knob (each adds one conflicting transaction).
+  std::size_t num_contradictions = 10;
+  /// Length of the designated pending dependency chain (supports path
+  /// constraints qp_i up to i = depth + 1).
+  std::size_t pending_chain_depth = 6;
+  /// Fan-out of the designated pending star (supports qr_i up to i = size).
+  std::size_t star_size = 8;
+  /// Pending payments to the designated rich address (for qa_n).
+  std::size_t rich_payments = 10;
+
+  Satoshi fee = 10'000;
+};
+
+/// Landmarks in the generated data, used to pick constants that make the
+/// benchmark constraints satisfied or unsatisfied on demand.
+struct WorkloadMetadata {
+  /// chain_pks[0] holds a confirmed output spent by pending chain tx C1,
+  /// whose output goes to chain_pks[1], spent by C2, and so on.
+  std::vector<std::string> chain_pks;
+  /// Confirmed holder of `star_size` UTXOs, each spent by a distinct
+  /// pending transaction paying a distinct address.
+  std::string star_pk;
+  /// Address receiving rich_base_total confirmed plus rich_pending_total
+  /// across pending transactions.
+  std::string rich_pk;
+  Satoshi rich_base_total = 0;
+  Satoshi rich_pending_total = 0;
+  /// Addresses confirmed on-chain with no pending activity (for satisfied
+  /// constraints) and one that appears nowhere.
+  std::string quiet_pk;
+  std::string quiet_pk2;
+  std::string absent_pk = "NoSuchPk";
+};
+
+struct GeneratedWorkload {
+  SimulatedNode node;
+  WorkloadMetadata metadata;
+};
+
+/// Runs the simulated node through `params.num_blocks` blocks of organic
+/// payment activity (plus a few setup blocks funding the landmark
+/// addresses), then broadcasts the pending set: the designated chain, star
+/// and rich payments, the bulk payments, and the contradiction double
+/// spends. The mempool is left unmined — it is the paper's T.
+StatusOr<GeneratedWorkload> GenerateWorkload(const GeneratorParams& params);
+
+}  // namespace bitcoin
+}  // namespace bcdb
+
+#endif  // BCDB_BITCOIN_GENERATOR_H_

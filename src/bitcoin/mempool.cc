@@ -1,0 +1,154 @@
+#include "bitcoin/mempool.h"
+
+#include "bitcoin/script.h"
+
+#include <unordered_set>
+
+namespace bcdb {
+namespace bitcoin {
+
+Status Mempool::Add(const Blockchain& chain, BitcoinTransaction tx) {
+  if (by_txid_.count(tx.txid()) > 0) {
+    return Status::AlreadyExists("transaction already in mempool");
+  }
+  if (chain.ContainsTransaction(tx.txid())) {
+    return Status::AlreadyExists("transaction already confirmed");
+  }
+  if (tx.is_coinbase()) {
+    return Status::InvalidArgument("coinbases cannot be broadcast");
+  }
+  // Resolve each referenced output against the chain's UTXO set or the
+  // outputs of mempool transactions (dependency chains).
+  std::unordered_set<OutPoint, OutPointHash> spent_here;
+  for (const TxInput& input : tx.inputs()) {
+    if (!spent_here.insert(input.prev).second) {
+      return Status::ConstraintViolation(
+          "transaction spends the same output twice");
+    }
+    const Utxo* resolved = nullptr;
+    Utxo from_mempool;
+    auto it = chain.utxos().find(input.prev);
+    if (it != chain.utxos().end()) {
+      resolved = &it->second;
+    } else if (const BitcoinTransaction* parent = Find(input.prev.txid)) {
+      const std::size_t index = static_cast<std::size_t>(input.prev.index);
+      if (index < 1 || index > parent->outputs().size()) {
+        return Status::NotFound("referenced output serial out of range");
+      }
+      from_mempool = Utxo{parent->outputs()[index - 1].pubkey,
+                          parent->outputs()[index - 1].amount};
+      resolved = &from_mempool;
+    } else {
+      return Status::NotFound(
+          "input references an output that is neither unspent on the chain "
+          "nor created by a mempool transaction");
+    }
+    if (resolved->pubkey != input.pubkey || resolved->amount != input.amount) {
+      return Status::ConstraintViolation(
+          "input pubkey/amount does not match the referenced output");
+    }
+    if (!Script::Parse(input.pubkey).SatisfiedBy(input.signature)) {
+      return Status::ConstraintViolation(
+          "witness does not satisfy the output script of " + input.pubkey);
+    }
+  }
+  if (tx.Fee() < 0) {
+    return Status::ConstraintViolation("outputs exceed inputs");
+  }
+  by_txid_.emplace(tx.txid(), transactions_.size());
+  transactions_.push_back(std::move(tx));
+  return Status::OK();
+}
+
+const BitcoinTransaction* Mempool::Find(TxId txid) const {
+  auto it = by_txid_.find(txid);
+  return it == by_txid_.end() ? nullptr : &transactions_[it->second];
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Mempool::ConflictPairs()
+    const {
+  std::unordered_map<OutPoint, std::vector<std::size_t>, OutPointHash>
+      spenders;
+  for (std::size_t i = 0; i < transactions_.size(); ++i) {
+    for (const TxInput& input : transactions_[i].inputs()) {
+      spenders[input.prev].push_back(i);
+    }
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (const auto& [outpoint, txs] : spenders) {
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      for (std::size_t j = i + 1; j < txs.size(); ++j) {
+        pairs.emplace_back(txs[i], txs[j]);
+      }
+    }
+  }
+  return pairs;
+}
+
+std::size_t Mempool::RemoveConfirmedAndInvalid(const Blockchain& chain,
+                                               const Block& block) {
+  std::unordered_set<TxId> confirmed;
+  for (const BitcoinTransaction& tx : block.transactions()) {
+    confirmed.insert(tx.txid());
+  }
+
+  // Iteratively drop confirmed transactions and transactions whose inputs
+  // can no longer be satisfied by chain UTXOs or surviving mempool parents
+  // (a dropped parent invalidates its dependants transitively).
+  std::vector<BitcoinTransaction> survivors = std::move(transactions_);
+  transactions_.clear();
+  by_txid_.clear();
+  bool changed = true;
+  std::size_t evicted = 0;
+  while (changed) {
+    changed = false;
+    std::unordered_set<TxId> surviving_ids;
+    for (const BitcoinTransaction& tx : survivors) {
+      surviving_ids.insert(tx.txid());
+    }
+    std::vector<BitcoinTransaction> next;
+    next.reserve(survivors.size());
+    for (BitcoinTransaction& tx : survivors) {
+      if (confirmed.count(tx.txid()) > 0) {
+        ++evicted;
+        changed = true;
+        continue;
+      }
+      bool valid = true;
+      for (const TxInput& input : tx.inputs()) {
+        const bool on_chain = chain.utxos().count(input.prev) > 0;
+        const bool from_mempool = surviving_ids.count(input.prev.txid) > 0;
+        if (!on_chain && !from_mempool) {
+          valid = false;
+          break;
+        }
+      }
+      if (!valid) {
+        ++evicted;
+        changed = true;
+        continue;
+      }
+      next.push_back(std::move(tx));
+    }
+    survivors = std::move(next);
+  }
+
+  for (BitcoinTransaction& tx : survivors) {
+    by_txid_.emplace(tx.txid(), transactions_.size());
+    transactions_.push_back(std::move(tx));
+  }
+  return evicted;
+}
+
+ChainStats Mempool::Stats() const {
+  ChainStats stats;
+  for (const BitcoinTransaction& tx : transactions_) {
+    stats.transactions += 1;
+    stats.inputs += tx.inputs().size();
+    stats.outputs += tx.outputs().size();
+  }
+  return stats;
+}
+
+}  // namespace bitcoin
+}  // namespace bcdb

@@ -1,0 +1,60 @@
+#ifndef BCDB_BITCOIN_MEMPOOL_H_
+#define BCDB_BITCOIN_MEMPOOL_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "bitcoin/chain.h"
+#include "bitcoin/transaction.h"
+#include "util/status.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+/// The set of broadcast-but-unconfirmed transactions known to a node.
+///
+/// Unlike a production relay policy, the mempool deliberately *keeps*
+/// conflicting transactions (double spends of the same output): once signed,
+/// a transaction can be rebroadcast by anyone and may confirm at any time,
+/// and reasoning about exactly such conflicts is the point of the paper.
+/// Transactions may spend outputs of other mempool transactions (dependency
+/// chains).
+class Mempool {
+ public:
+  /// Validates `tx` shape against the chain + mempool outputs (signature,
+  /// pubkey/amount matching, non-negative fee, referenced output exists
+  /// somewhere) and admits it. Conflicts with existing mempool entries are
+  /// allowed; spending an output already spent *on the chain* is rejected
+  /// (such a transaction can never confirm).
+  Status Add(const Blockchain& chain, BitcoinTransaction tx);
+
+  const std::vector<BitcoinTransaction>& transactions() const {
+    return transactions_;
+  }
+  std::size_t size() const { return transactions_.size(); }
+  bool Contains(TxId txid) const { return by_txid_.count(txid) > 0; }
+  const BitcoinTransaction* Find(TxId txid) const;
+
+  /// Indices of mempool transaction pairs that spend a common output —
+  /// the paper's "contradictions".
+  std::vector<std::pair<std::size_t, std::size_t>> ConflictPairs() const;
+
+  /// Evicts transactions confirmed by `block` and every mempool transaction
+  /// that became permanently invalid (an input it references was spent by
+  /// the block, directly or transitively through an evicted parent).
+  /// Returns the number of evicted transactions.
+  std::size_t RemoveConfirmedAndInvalid(const Blockchain& chain,
+                                        const Block& block);
+
+  ChainStats Stats() const;
+
+ private:
+  std::vector<BitcoinTransaction> transactions_;
+  std::unordered_map<TxId, std::size_t> by_txid_;
+};
+
+}  // namespace bitcoin
+}  // namespace bcdb
+
+#endif  // BCDB_BITCOIN_MEMPOOL_H_

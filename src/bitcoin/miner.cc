@@ -1,0 +1,59 @@
+#include "bitcoin/miner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace bcdb {
+namespace bitcoin {
+
+Block Miner::BuildBlock(const Blockchain& chain, const Mempool& mempool,
+                        const MinerPolicy& policy) const {
+  // Candidate order: fee descending, txid as a deterministic tie-break.
+  std::vector<std::size_t> order(mempool.transactions().size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const BitcoinTransaction& ta = mempool.transactions()[a];
+    const BitcoinTransaction& tb = mempool.transactions()[b];
+    if (ta.Fee() != tb.Fee()) return ta.Fee() > tb.Fee();
+    return ta.txid() < tb.txid();
+  });
+
+  std::unordered_map<OutPoint, Utxo, OutPointHash> available = chain.utxos();
+  std::unordered_set<std::size_t> selected;
+  std::vector<const BitcoinTransaction*> included;
+  Satoshi fees = 0;
+
+  bool progressed = true;
+  while (progressed && included.size() < policy.max_transactions) {
+    progressed = false;
+    for (std::size_t idx : order) {
+      if (included.size() >= policy.max_transactions) break;
+      if (selected.count(idx) > 0) continue;
+      const BitcoinTransaction& tx = mempool.transactions()[idx];
+      if (tx.Fee() < policy.min_fee) continue;
+      if (!Blockchain::ValidateTransaction(tx, available).ok()) continue;
+      // Take it: consume inputs, expose outputs for dependants.
+      for (const TxInput& input : tx.inputs()) available.erase(input.prev);
+      for (std::size_t o = 0; o < tx.outputs().size(); ++o) {
+        available[OutPoint{tx.txid(), static_cast<std::int32_t>(o + 1)}] =
+            Utxo{tx.outputs()[o].pubkey, tx.outputs()[o].amount};
+      }
+      selected.insert(idx);
+      included.push_back(&tx);
+      fees += tx.Fee();
+      progressed = true;
+    }
+  }
+
+  std::vector<BitcoinTransaction> block_txs;
+  block_txs.reserve(included.size() + 1);
+  block_txs.push_back(BitcoinTransaction::Coinbase(
+      policy.miner_pubkey, policy.block_reward + fees, chain.height() + 1));
+  for (const BitcoinTransaction* tx : included) block_txs.push_back(*tx);
+  return Block(chain.height() + 1, chain.tip().hash(), std::move(block_txs));
+}
+
+}  // namespace bitcoin
+}  // namespace bcdb

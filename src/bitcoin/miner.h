@@ -1,0 +1,41 @@
+#ifndef BCDB_BITCOIN_MINER_H_
+#define BCDB_BITCOIN_MINER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bitcoin/chain.h"
+#include "bitcoin/mempool.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+/// Block-construction policy for the simulated miner.
+struct MinerPolicy {
+  std::string miner_pubkey = "MinerPk";
+  /// Upper bound on non-coinbase transactions per block (the paper's
+  /// "blocks have a maximum length" knapsack constraint).
+  std::size_t max_transactions = 4096;
+  Satoshi block_reward = kBlockReward;
+  /// Skip transactions paying less than this fee.
+  Satoshi min_fee = 0;
+};
+
+/// Fee-greedy transaction selection: the intractable fee-maximization
+/// problem (a dependency-and-conflict constrained knapsack, as the paper
+/// notes) approximated the way real miners do — highest fee first, taking a
+/// transaction only when its inputs are available (chain UTXO or an already
+/// selected transaction) and it conflicts with nothing selected. Repeated
+/// passes pick up dependants of transactions selected later.
+class Miner {
+ public:
+  /// Builds (but does not append) the next block on `chain` from `mempool`.
+  Block BuildBlock(const Blockchain& chain, const Mempool& mempool,
+                   const MinerPolicy& policy) const;
+};
+
+}  // namespace bitcoin
+}  // namespace bcdb
+
+#endif  // BCDB_BITCOIN_MINER_H_

@@ -1,0 +1,21 @@
+#include "bitcoin/node.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+StatusOr<std::size_t> SimulatedNode::MineBlock(const MinerPolicy& policy) {
+  Block block = miner_.BuildBlock(chain_, mempool_, policy);
+  const std::size_t confirmed = block.transactions().size() - 1;
+  BCDB_RETURN_IF_ERROR(chain_.AppendBlock(block));
+  mempool_.RemoveConfirmedAndInvalid(chain_, block);
+  return confirmed;
+}
+
+Status SimulatedNode::ReceiveBlock(const Block& block) {
+  BCDB_RETURN_IF_ERROR(chain_.AppendBlock(block));
+  mempool_.RemoveConfirmedAndInvalid(chain_, block);
+  return Status::OK();
+}
+
+}  // namespace bitcoin
+}  // namespace bcdb

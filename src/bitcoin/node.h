@@ -1,0 +1,54 @@
+#ifndef BCDB_BITCOIN_NODE_H_
+#define BCDB_BITCOIN_NODE_H_
+
+#include <cstddef>
+
+#include "bitcoin/chain.h"
+#include "bitcoin/mempool.h"
+#include "bitcoin/miner.h"
+#include "util/status.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+/// One simulated full node: the authoritative chain, a mempool of pending
+/// transactions, and a miner. This is the substrate that replaces the real
+/// Bitcoin node the paper ran — the DCSat implementation sits at a node and
+/// sees both the accepted transactions R and the pending transactions T.
+class SimulatedNode {
+ public:
+  SimulatedNode() = default;
+
+  /// Adopts an existing chain with an empty mempool (snapshot restore,
+  /// bootstrapping from a peer).
+  explicit SimulatedNode(Blockchain chain) : chain_(std::move(chain)) {}
+
+  const Blockchain& chain() const { return chain_; }
+  const Mempool& mempool() const { return mempool_; }
+  Mempool& mempool() { return mempool_; }
+
+  /// Accepts a broadcast transaction into the mempool (see Mempool::Add for
+  /// the validation performed; conflicting pending transactions are kept).
+  Status SubmitTransaction(BitcoinTransaction tx) {
+    return mempool_.Add(chain_, std::move(tx));
+  }
+
+  /// Mines one block under `policy`, appends it, and evicts confirmed /
+  /// invalidated mempool entries. Returns the number of non-coinbase
+  /// transactions confirmed.
+  StatusOr<std::size_t> MineBlock(const MinerPolicy& policy);
+
+  /// Accepts a block mined elsewhere (received via gossip): validates and
+  /// appends it, then evicts confirmed / invalidated mempool entries.
+  Status ReceiveBlock(const Block& block);
+
+ private:
+  Blockchain chain_;
+  Mempool mempool_;
+  Miner miner_;
+};
+
+}  // namespace bitcoin
+}  // namespace bcdb
+
+#endif  // BCDB_BITCOIN_NODE_H_

@@ -1,0 +1,128 @@
+#include "bitcoin/script.h"
+
+#include <algorithm>
+#include <set>
+
+#include "bitcoin/sha256.h"
+#include "bitcoin/transaction.h"
+#include "util/strings.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+namespace {
+constexpr const char* kHashPrefix = "hash:";
+constexpr const char* kMultiSigPrefix = "msig:";
+}  // namespace
+
+Script Script::Parse(const std::string& encoded) {
+  Script script;
+  if (StartsWith(encoded, kHashPrefix)) {
+    script.kind_ = Kind::kHashLock;
+    script.payload_ = encoded.substr(5);
+    return script;
+  }
+  if (StartsWith(encoded, kMultiSigPrefix)) {
+    // msig:<k>:<pk1>,<pk2>,...
+    const std::size_t second_colon = encoded.find(':', 5);
+    if (second_colon != std::string::npos) {
+      const std::string count = encoded.substr(5, second_colon - 5);
+      char* end = nullptr;
+      const long required = std::strtol(count.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0' && required > 0) {
+        script.kind_ = Kind::kMultiSig;
+        script.required_ = static_cast<std::size_t>(required);
+        script.keys_ = SplitAndTrim(encoded.substr(second_colon + 1), ',');
+        return script;
+      }
+    }
+    // Malformed multisig encodings fall through to pay-to-pubkey, which can
+    // never be satisfied by accident (no one signs for the raw string).
+  }
+  script.kind_ = Kind::kPayToPubkey;
+  script.payload_ = encoded;
+  return script;
+}
+
+std::string Script::HashLock(const std::string& secret) {
+  return std::string(kHashPrefix) + Sha256::ToHex(Sha256::Hash(secret));
+}
+
+StatusOr<std::string> Script::MultiSig(std::size_t required,
+                                       const std::vector<std::string>& keys) {
+  if (required == 0 || required > keys.size()) {
+    return Status::InvalidArgument("multisig requires 1 <= k <= #keys");
+  }
+  for (const std::string& key : keys) {
+    if (key.empty() || key.find(',') != std::string::npos ||
+        key.find(':') != std::string::npos) {
+      return Status::InvalidArgument("multisig keys must be plain tokens");
+    }
+  }
+  return std::string(kMultiSigPrefix) + std::to_string(required) + ":" +
+         Join(keys, ",");
+}
+
+std::string Script::WitnessFor(const std::string& encoded_script,
+                               const std::string& secret_or_unused) {
+  const Script script = Parse(encoded_script);
+  switch (script.kind()) {
+    case Kind::kPayToPubkey:
+      return SignatureFor(script.payload());
+    case Kind::kHashLock:
+      return secret_or_unused;
+    case Kind::kMultiSig: {
+      std::vector<std::string> signatures;
+      for (std::size_t i = 0;
+           i < script.required_signatures() && i < script.keys().size(); ++i) {
+        signatures.push_back(SignatureFor(script.keys()[i]));
+      }
+      return Join(signatures, ",");
+    }
+  }
+  return "";
+}
+
+StatusOr<std::string> Script::MultiSigWitness(
+    const std::string& encoded_script,
+    const std::vector<std::size_t>& signer_indexes) {
+  const Script script = Parse(encoded_script);
+  if (script.kind() != Kind::kMultiSig) {
+    return Status::InvalidArgument("not a multisig script");
+  }
+  std::vector<std::string> signatures;
+  for (std::size_t index : signer_indexes) {
+    if (index >= script.keys().size()) {
+      return Status::OutOfRange("signer index out of range");
+    }
+    signatures.push_back(SignatureFor(script.keys()[index]));
+  }
+  return Join(signatures, ",");
+}
+
+bool Script::SatisfiedBy(const std::string& witness) const {
+  switch (kind_) {
+    case Kind::kPayToPubkey:
+      return witness == SignatureFor(payload_);
+    case Kind::kHashLock:
+      return Sha256::ToHex(Sha256::Hash(witness)) == payload_;
+    case Kind::kMultiSig: {
+      // Distinct valid signatures of listed keys, at least `required_`.
+      const std::vector<std::string> provided = SplitAndTrim(witness, ',');
+      std::set<std::string> valid;
+      for (const std::string& signature : provided) {
+        for (const std::string& key : keys_) {
+          if (signature == SignatureFor(key)) {
+            valid.insert(signature);
+            break;
+          }
+        }
+      }
+      return valid.size() >= required_;
+    }
+  }
+  return false;
+}
+
+}  // namespace bitcoin
+}  // namespace bcdb

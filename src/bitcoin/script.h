@@ -1,0 +1,74 @@
+#ifndef BCDB_BITCOIN_SCRIPT_H_
+#define BCDB_BITCOIN_SCRIPT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+/// Output locking conditions — Section 2 of the paper: "The typical script
+/// in Bitcoin requires the spender to present a valid cryptographic
+/// signature ..., but other scripts are also possible, e.g., requiring a
+/// preimage to a cryptographic hash to free funds, or several signatures
+/// matching different public keys."
+///
+/// Scripts are encoded as the `pk` string of an output, so they flow
+/// through the relational schema unchanged:
+///   "U1Pk"                     pay-to-pubkey (the default; bare key)
+///   "hash:<hex-sha256>"        hash lock — witness is the preimage
+///   "msig:<k>:<pk1>,<pk2>,..." k-of-n multisig — witness is a comma-
+///                              joined list of k signatures
+/// The witness travels in the input's `sig` column (for pay-to-pubkey it
+/// is the classic "U1Sig" signature).
+class Script {
+ public:
+  enum class Kind { kPayToPubkey, kHashLock, kMultiSig };
+
+  /// Parses an output's `pk` string. Never fails: anything that is not a
+  /// recognized "hash:"/"msig:" form is a bare pay-to-pubkey key.
+  static Script Parse(const std::string& encoded);
+
+  /// Builders (return the encoded `pk` string for an output).
+  static std::string PayToPubkey(const std::string& pubkey) { return pubkey; }
+  static std::string HashLock(const std::string& secret);
+  static StatusOr<std::string> MultiSig(std::size_t required,
+                                        const std::vector<std::string>& keys);
+
+  /// The witness a rightful owner puts into the spending input's `sig`
+  /// column: the signature, the preimage, or `required` joined signatures
+  /// (for multisig, signers must hold the first `required` listed keys;
+  /// pass a different selection via MultiSigWitness).
+  static std::string WitnessFor(const std::string& encoded_script,
+                                const std::string& secret_or_unused = "");
+
+  /// Multisig witness by an explicit signer subset (indices into the key
+  /// list, ascending).
+  static StatusOr<std::string> MultiSigWitness(
+      const std::string& encoded_script,
+      const std::vector<std::size_t>& signer_indexes);
+
+  Kind kind() const { return kind_; }
+  /// kPayToPubkey: the key. kHashLock: the hex digest. kMultiSig: unused.
+  const std::string& payload() const { return payload_; }
+  std::size_t required_signatures() const { return required_; }
+  const std::vector<std::string>& keys() const { return keys_; }
+
+  /// Does `witness` unlock this script? (signature match / preimage hashes
+  /// to the digest / >= k distinct valid signatures of listed keys).
+  bool SatisfiedBy(const std::string& witness) const;
+
+ private:
+  Kind kind_ = Kind::kPayToPubkey;
+  std::string payload_;
+  std::size_t required_ = 0;
+  std::vector<std::string> keys_;
+};
+
+}  // namespace bitcoin
+}  // namespace bcdb
+
+#endif  // BCDB_BITCOIN_SCRIPT_H_

@@ -1,0 +1,195 @@
+#include "bitcoin/serialize.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace bcdb {
+namespace bitcoin {
+
+namespace {
+
+Status ValidateToken(const std::string& token) {
+  if (token.empty()) {
+    return Status::InvalidArgument("empty token cannot be serialized");
+  }
+  for (char c : token) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("token contains whitespace: '" + token +
+                                     "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteTransaction(const BitcoinTransaction& tx, std::ostringstream& out) {
+  out << "tx\n";
+  for (const TxInput& input : tx.inputs()) {
+    BCDB_RETURN_IF_ERROR(ValidateToken(input.pubkey));
+    BCDB_RETURN_IF_ERROR(ValidateToken(input.signature));
+    out << "in " << input.prev.txid << ' ' << input.prev.index << ' '
+        << input.pubkey << ' ' << input.amount << ' ' << input.signature
+        << '\n';
+  }
+  for (const TxOutput& output : tx.outputs()) {
+    BCDB_RETURN_IF_ERROR(ValidateToken(output.pubkey));
+    out << "out " << output.pubkey << ' ' << output.amount << '\n';
+  }
+  out << "endtx\n";
+  return Status::OK();
+}
+
+/// Streaming reader with one-line lookahead.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& data) : stream_(data) {}
+
+  /// Next non-empty line, or empty string at end.
+  std::string Next() {
+    std::string line;
+    while (std::getline(stream_, line)) {
+      if (!line.empty()) return line;
+    }
+    return "";
+  }
+
+ private:
+  std::istringstream stream_;
+};
+
+/// Parses the body lines of one transaction ("in ..."/"out ..." until
+/// "endtx"); `first` is the line after "tx".
+StatusOr<BitcoinTransaction> ReadTransaction(LineReader& reader) {
+  std::vector<TxInput> inputs;
+  std::vector<TxOutput> outputs;
+  for (;;) {
+    const std::string line = reader.Next();
+    if (line.empty()) {
+      return Status::InvalidArgument("unterminated transaction in snapshot");
+    }
+    if (line == "endtx") break;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "in") {
+      TxInput input;
+      fields >> input.prev.txid >> input.prev.index >> input.pubkey >>
+          input.amount >> input.signature;
+      if (fields.fail()) {
+        return Status::InvalidArgument("malformed input line: " + line);
+      }
+      inputs.push_back(std::move(input));
+    } else if (kind == "out") {
+      TxOutput output;
+      fields >> output.pubkey >> output.amount;
+      if (fields.fail()) {
+        return Status::InvalidArgument("malformed output line: " + line);
+      }
+      outputs.push_back(std::move(output));
+    } else {
+      return Status::InvalidArgument("unexpected line in transaction: " + line);
+    }
+  }
+  return BitcoinTransaction(std::move(inputs), std::move(outputs));
+}
+
+}  // namespace
+
+StatusOr<std::string> SerializeNode(const SimulatedNode& node) {
+  std::ostringstream out;
+  out << "bcdb-node v1\n";
+  // Skip the genesis block (height 0, empty): it is implicit.
+  const std::vector<Block>& blocks = node.chain().blocks();
+  for (std::size_t h = 1; h < blocks.size(); ++h) {
+    out << "block " << blocks[h].height() << '\n';
+    for (const BitcoinTransaction& tx : blocks[h].transactions()) {
+      if (tx.is_coinbase()) {
+        // Coinbases need their height salt to reproduce the txid.
+        BCDB_RETURN_IF_ERROR(ValidateToken(tx.outputs()[0].pubkey));
+        out << "coinbase " << tx.outputs()[0].pubkey << ' '
+            << tx.outputs()[0].amount << '\n';
+        continue;
+      }
+      BCDB_RETURN_IF_ERROR(WriteTransaction(tx, out));
+    }
+    out << "endblock\n";
+  }
+  out << "mempool\n";
+  for (const BitcoinTransaction& tx : node.mempool().transactions()) {
+    BCDB_RETURN_IF_ERROR(WriteTransaction(tx, out));
+  }
+  out << "end\n";
+  return out.str();
+}
+
+StatusOr<SimulatedNode> DeserializeNode(const std::string& data) {
+  LineReader reader(data);
+  if (reader.Next() != "bcdb-node v1") {
+    return Status::InvalidArgument("not a bcdb-node v1 snapshot");
+  }
+  Blockchain chain;
+  for (;;) {
+    const std::string line = reader.Next();
+    if (line == "mempool") break;
+    if (line.rfind("block ", 0) != 0) {
+      return Status::InvalidArgument("expected 'block', got: " + line);
+    }
+    std::vector<BitcoinTransaction> txs;
+    for (;;) {
+      const std::string inner = reader.Next();
+      if (inner == "endblock") break;
+      if (inner.rfind("coinbase ", 0) == 0) {
+        std::istringstream fields(inner.substr(9));
+        std::string pubkey;
+        Satoshi amount = 0;
+        fields >> pubkey >> amount;
+        if (fields.fail()) {
+          return Status::InvalidArgument("malformed coinbase: " + inner);
+        }
+        txs.push_back(BitcoinTransaction::Coinbase(pubkey, amount,
+                                                   chain.height() + 1));
+        continue;
+      }
+      if (inner != "tx") {
+        return Status::InvalidArgument("expected 'tx' in block, got: " + inner);
+      }
+      StatusOr<BitcoinTransaction> tx = ReadTransaction(reader);
+      if (!tx.ok()) return tx.status();
+      txs.push_back(std::move(*tx));
+    }
+    BCDB_RETURN_IF_ERROR(chain.MineAndAppend(std::move(txs)));
+  }
+  SimulatedNode node(std::move(chain));
+  for (;;) {
+    const std::string line = reader.Next();
+    if (line == "end") break;
+    if (line != "tx") {
+      return Status::InvalidArgument("expected 'tx' in mempool, got: " + line);
+    }
+    StatusOr<BitcoinTransaction> tx = ReadTransaction(reader);
+    if (!tx.ok()) return tx.status();
+    BCDB_RETURN_IF_ERROR(node.SubmitTransaction(std::move(*tx)));
+  }
+  return node;
+}
+
+Status SaveNodeToFile(const SimulatedNode& node, const std::string& path) {
+  StatusOr<std::string> data = SerializeNode(node);
+  if (!data.ok()) return data.status();
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::Internal("cannot open " + path + " for writing");
+  file << *data;
+  return file.good() ? Status::OK()
+                     : Status::Internal("short write to " + path);
+}
+
+StatusOr<SimulatedNode> LoadNodeFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path);
+  std::ostringstream data;
+  data << file.rdbuf();
+  return DeserializeNode(data.str());
+}
+
+}  // namespace bitcoin
+}  // namespace bcdb

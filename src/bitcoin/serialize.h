@@ -1,0 +1,40 @@
+#ifndef BCDB_BITCOIN_SERIALIZE_H_
+#define BCDB_BITCOIN_SERIALIZE_H_
+
+#include <string>
+
+#include "bitcoin/node.h"
+#include "util/status.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+/// Line-oriented text snapshot of a node (chain + mempool), format `bcdb/1`:
+///
+///   bcdb-node v1
+///   block <height>
+///   tx
+///   in <prevTxId> <prevSer> <pk> <amount> <sig>
+///   out <pk> <amount>
+///   endtx
+///   endblock
+///   mempool
+///   tx ... endtx
+///   end
+///
+/// Transaction and block ids are *recomputed* from content on load, and the
+/// whole snapshot is replayed through full chain/mempool validation — a
+/// snapshot that would not validate as a live history fails to load. Token
+/// fields (pk, sig) must be whitespace-free (ours are by construction).
+StatusOr<std::string> SerializeNode(const SimulatedNode& node);
+
+/// Rebuilds a node from SerializeNode output (validating replay).
+StatusOr<SimulatedNode> DeserializeNode(const std::string& data);
+
+Status SaveNodeToFile(const SimulatedNode& node, const std::string& path);
+StatusOr<SimulatedNode> LoadNodeFromFile(const std::string& path);
+
+}  // namespace bitcoin
+}  // namespace bcdb
+
+#endif  // BCDB_BITCOIN_SERIALIZE_H_

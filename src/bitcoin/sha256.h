@@ -1,0 +1,51 @@
+#ifndef BCDB_BITCOIN_SHA256_H_
+#define BCDB_BITCOIN_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bcdb {
+
+/// FIPS 180-4 SHA-256, implemented from scratch (the hashing substrate for
+/// transaction ids and block chaining; no external crypto dependency).
+class Sha256 {
+ public:
+  using Digest = std::array<std::uint8_t, 32>;
+
+  Sha256() { Reset(); }
+
+  void Reset();
+
+  /// Absorbs `size` bytes.
+  void Update(const void* data, std::size_t size);
+  void Update(std::string_view data) { Update(data.data(), data.size()); }
+
+  /// Finalizes and returns the digest. The object must be Reset() before
+  /// further use.
+  Digest Finish();
+
+  /// One-shot convenience.
+  static Digest Hash(std::string_view data);
+
+  /// Lowercase hex of a digest.
+  static std::string ToHex(const Digest& digest);
+
+  /// First 8 bytes of the digest as a non-negative 63-bit integer — the
+  /// compact transaction-id form stored in the relational schema.
+  static std::int64_t ToId63(const Digest& digest);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_bytes_;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_BITCOIN_SHA256_H_

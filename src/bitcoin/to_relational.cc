@@ -1,0 +1,97 @@
+#include "bitcoin/to_relational.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+Catalog MakeBitcoinCatalog() {
+  Catalog catalog;
+  Status status = catalog.AddRelation(RelationSchema(
+      kTxOut, {Attribute{"txId", ValueType::kInt, false},
+               Attribute{"ser", ValueType::kInt, false},
+               Attribute{"pk", ValueType::kString, false},
+               Attribute{"amount", ValueType::kInt, /*non_negative=*/true}}));
+  if (status.ok()) {
+    status = catalog.AddRelation(RelationSchema(
+        kTxIn, {Attribute{"prevTxId", ValueType::kInt, false},
+                Attribute{"prevSer", ValueType::kInt, false},
+                Attribute{"pk", ValueType::kString, false},
+                Attribute{"amount", ValueType::kInt, /*non_negative=*/true},
+                Attribute{"newTxId", ValueType::kInt, false},
+                Attribute{"sig", ValueType::kString, false}}));
+  }
+  // Both additions succeed by construction (fresh catalog, distinct names).
+  (void)status;
+  return catalog;
+}
+
+StatusOr<ConstraintSet> MakeBitcoinConstraints(const Catalog& catalog) {
+  ConstraintSet constraints;
+  StatusOr<FunctionalDependency> txout_key =
+      FunctionalDependency::Key(catalog, kTxOut, {"txId", "ser"});
+  if (!txout_key.ok()) return txout_key.status();
+  constraints.AddFd(std::move(*txout_key));
+
+  StatusOr<FunctionalDependency> txin_key =
+      FunctionalDependency::Key(catalog, kTxIn, {"prevTxId", "prevSer"});
+  if (!txin_key.ok()) return txin_key.status();
+  constraints.AddFd(std::move(*txin_key));
+
+  StatusOr<InclusionDependency> spend_ind = InclusionDependency::Create(
+      catalog, kTxIn, {"prevTxId", "prevSer", "pk", "amount"}, kTxOut,
+      {"txId", "ser", "pk", "amount"});
+  if (!spend_ind.ok()) return spend_ind.status();
+  constraints.AddInd(std::move(*spend_ind));
+
+  StatusOr<InclusionDependency> has_output_ind = InclusionDependency::Create(
+      catalog, kTxIn, {"newTxId"}, kTxOut, {"txId"});
+  if (!has_output_ind.ok()) return has_output_ind.status();
+  constraints.AddInd(std::move(*has_output_ind));
+
+  return constraints;
+}
+
+Transaction ToRelationalTransaction(const BitcoinTransaction& tx) {
+  Transaction result(std::to_string(tx.txid()));
+  for (const TxInput& input : tx.inputs()) {
+    result.Add(kTxIn, Tuple({Value::Int(input.prev.txid),
+                             Value::Int(input.prev.index),
+                             Value::Str(input.pubkey),
+                             Value::Int(input.amount), Value::Int(tx.txid()),
+                             Value::Str(input.signature)}));
+  }
+  for (std::size_t o = 0; o < tx.outputs().size(); ++o) {
+    result.Add(kTxOut,
+               Tuple({Value::Int(tx.txid()),
+                      Value::Int(static_cast<std::int64_t>(o + 1)),
+                      Value::Str(tx.outputs()[o].pubkey),
+                      Value::Int(tx.outputs()[o].amount)}));
+  }
+  return result;
+}
+
+StatusOr<BlockchainDatabase> BuildBlockchainDatabase(
+    const SimulatedNode& node) {
+  Catalog catalog = MakeBitcoinCatalog();
+  StatusOr<ConstraintSet> constraints = MakeBitcoinConstraints(catalog);
+  if (!constraints.ok()) return constraints.status();
+  StatusOr<BlockchainDatabase> db =
+      BlockchainDatabase::Create(std::move(catalog), std::move(*constraints));
+  if (!db.ok()) return db.status();
+
+  for (const Block& block : node.chain().blocks()) {
+    for (const BitcoinTransaction& tx : block.transactions()) {
+      const Transaction relational = ToRelationalTransaction(tx);
+      for (const Transaction::Item& item : relational.items()) {
+        BCDB_RETURN_IF_ERROR(db->InsertCurrent(item.relation, item.tuple));
+      }
+    }
+  }
+  for (const BitcoinTransaction& tx : node.mempool().transactions()) {
+    StatusOr<PendingId> id = db->AddPending(ToRelationalTransaction(tx));
+    if (!id.ok()) return id.status();
+  }
+  return db;
+}
+
+}  // namespace bitcoin
+}  // namespace bcdb

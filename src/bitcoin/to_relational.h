@@ -1,0 +1,41 @@
+#ifndef BCDB_BITCOIN_TO_RELATIONAL_H_
+#define BCDB_BITCOIN_TO_RELATIONAL_H_
+
+#include "bitcoin/node.h"
+#include "bitcoin/transaction.h"
+#include "core/blockchain_db.h"
+#include "core/transaction.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+/// Relation names of the paper's Example 1 schema.
+inline constexpr const char* kTxOut = "TxOut";
+inline constexpr const char* kTxIn = "TxIn";
+
+/// The Example-1 catalog:
+///   TxOut(txId, ser, pk, amount)                        key (txId, ser)
+///   TxIn(prevTxId, prevSer, pk, amount, newTxId, sig)   key (prevTxId, prevSer)
+/// txId / prevTxId / newTxId are 63-bit ints, ser 1-based, pk/sig strings,
+/// amount non-negative satoshis (the non_negative hint feeds the sum-
+/// aggregate monotonicity analysis).
+Catalog MakeBitcoinCatalog();
+
+/// The keys above plus the paper's two inclusion dependencies:
+///   TxIn[prevTxId, prevSer, pk, amount] ⊆ TxOut[txId, ser, pk, amount]
+///   TxIn[newTxId] ⊆ TxOut[txId]
+StatusOr<ConstraintSet> MakeBitcoinConstraints(const Catalog& catalog);
+
+/// The relational image of one Bitcoin transaction: one TxIn row per input
+/// and one TxOut row per output (labelled with the txid).
+Transaction ToRelationalTransaction(const BitcoinTransaction& tx);
+
+/// Builds the blockchain database D = (R, I, T) a DCSat-running node sees:
+/// R = the relational image of every confirmed transaction, I = the
+/// Example-1 constraints, T = one pending transaction per mempool entry.
+StatusOr<BlockchainDatabase> BuildBlockchainDatabase(const SimulatedNode& node);
+
+}  // namespace bitcoin
+}  // namespace bcdb
+
+#endif  // BCDB_BITCOIN_TO_RELATIONAL_H_

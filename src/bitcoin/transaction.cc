@@ -1,0 +1,61 @@
+#include "bitcoin/transaction.h"
+
+#include "bitcoin/sha256.h"
+
+namespace bcdb {
+namespace bitcoin {
+
+std::string SignatureFor(const std::string& pubkey) {
+  if (pubkey.size() >= 2 && pubkey.substr(pubkey.size() - 2) == "Pk") {
+    return pubkey.substr(0, pubkey.size() - 2) + "Sig";
+  }
+  return pubkey + "Sig";
+}
+
+BitcoinTransaction::BitcoinTransaction(std::vector<TxInput> inputs,
+                                       std::vector<TxOutput> outputs)
+    : inputs_(std::move(inputs)), outputs_(std::move(outputs)) {
+  txid_ = Sha256::ToId63(Sha256::Hash(Serialize()));
+}
+
+BitcoinTransaction BitcoinTransaction::Coinbase(const std::string& miner_pubkey,
+                                                Satoshi reward,
+                                                std::uint64_t height) {
+  BitcoinTransaction tx({}, {TxOutput{miner_pubkey, reward}});
+  tx.salt_ = height;
+  tx.txid_ = Sha256::ToId63(Sha256::Hash(tx.Serialize()));
+  return tx;
+}
+
+Satoshi BitcoinTransaction::InputTotal() const {
+  Satoshi total = 0;
+  for (const TxInput& input : inputs_) total += input.amount;
+  return total;
+}
+
+Satoshi BitcoinTransaction::OutputTotal() const {
+  Satoshi total = 0;
+  for (const TxOutput& output : outputs_) total += output.amount;
+  return total;
+}
+
+Satoshi BitcoinTransaction::Fee() const {
+  return is_coinbase() ? 0 : InputTotal() - OutputTotal();
+}
+
+std::string BitcoinTransaction::Serialize() const {
+  std::string data = "tx:v1;salt=" + std::to_string(salt_) + ";in=";
+  for (const TxInput& input : inputs_) {
+    data += std::to_string(input.prev.txid) + ":" +
+            std::to_string(input.prev.index) + ":" + input.pubkey + ":" +
+            std::to_string(input.amount) + ":" + input.signature + ",";
+  }
+  data += ";out=";
+  for (const TxOutput& output : outputs_) {
+    data += output.pubkey + ":" + std::to_string(output.amount) + ",";
+  }
+  return data;
+}
+
+}  // namespace bitcoin
+}  // namespace bcdb

@@ -1,0 +1,121 @@
+#include "constraints/constraint.h"
+
+#include <algorithm>
+
+namespace bcdb {
+
+namespace {
+
+std::string PositionsToString(const Catalog& catalog, std::size_t relation_id,
+                              const std::vector<std::size_t>& positions) {
+  const RelationSchema& schema = catalog.schema(relation_id);
+  std::string result = "[";
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += schema.attribute(positions[i]).name;
+  }
+  result += "]";
+  return result;
+}
+
+StatusOr<std::vector<std::size_t>> ResolveSorted(
+    const RelationSchema& schema, const std::vector<std::string>& names) {
+  StatusOr<std::vector<std::size_t>> positions = schema.AttributeIndexes(names);
+  if (!positions.ok()) return positions.status();
+  std::sort(positions->begin(), positions->end());
+  positions->erase(std::unique(positions->begin(), positions->end()),
+                   positions->end());
+  return positions;
+}
+
+}  // namespace
+
+StatusOr<FunctionalDependency> FunctionalDependency::Create(
+    const Catalog& catalog, const std::string& relation,
+    const std::vector<std::string>& lhs, const std::vector<std::string>& rhs) {
+  StatusOr<std::size_t> relation_id = catalog.RelationId(relation);
+  if (!relation_id.ok()) return relation_id.status();
+  const RelationSchema& schema = catalog.schema(*relation_id);
+  if (lhs.empty()) {
+    return Status::InvalidArgument("FD over " + relation +
+                                   " has an empty determinant");
+  }
+  StatusOr<std::vector<std::size_t>> lhs_pos = ResolveSorted(schema, lhs);
+  if (!lhs_pos.ok()) return lhs_pos.status();
+  StatusOr<std::vector<std::size_t>> rhs_pos = ResolveSorted(schema, rhs);
+  if (!rhs_pos.ok()) return rhs_pos.status();
+  const bool is_key = rhs_pos->size() == schema.arity();
+  return FunctionalDependency(*relation_id, std::move(*lhs_pos),
+                              std::move(*rhs_pos), is_key);
+}
+
+StatusOr<FunctionalDependency> FunctionalDependency::Key(
+    const Catalog& catalog, const std::string& relation,
+    const std::vector<std::string>& key_attrs) {
+  StatusOr<std::size_t> relation_id = catalog.RelationId(relation);
+  if (!relation_id.ok()) return relation_id.status();
+  const RelationSchema& schema = catalog.schema(*relation_id);
+  std::vector<std::string> all_attrs;
+  all_attrs.reserve(schema.arity());
+  for (const Attribute& attr : schema.attributes()) {
+    all_attrs.push_back(attr.name);
+  }
+  return Create(catalog, relation, key_attrs, all_attrs);
+}
+
+std::string FunctionalDependency::ToString(const Catalog& catalog) const {
+  return catalog.schema(relation_id_).name() + ": " +
+         PositionsToString(catalog, relation_id_, lhs_) + " -> " +
+         PositionsToString(catalog, relation_id_, rhs_) +
+         (is_key_ ? " (key)" : "");
+}
+
+StatusOr<InclusionDependency> InclusionDependency::Create(
+    const Catalog& catalog, const std::string& lhs_relation,
+    const std::vector<std::string>& lhs_attrs, const std::string& rhs_relation,
+    const std::vector<std::string>& rhs_attrs) {
+  StatusOr<std::size_t> lhs_id = catalog.RelationId(lhs_relation);
+  if (!lhs_id.ok()) return lhs_id.status();
+  StatusOr<std::size_t> rhs_id = catalog.RelationId(rhs_relation);
+  if (!rhs_id.ok()) return rhs_id.status();
+  if (lhs_attrs.empty() || lhs_attrs.size() != rhs_attrs.size()) {
+    return Status::InvalidArgument(
+        "inclusion dependency attribute lists must be non-empty and of equal "
+        "length");
+  }
+  StatusOr<std::vector<std::size_t>> lhs_pos =
+      catalog.schema(*lhs_id).AttributeIndexes(lhs_attrs);
+  if (!lhs_pos.ok()) return lhs_pos.status();
+  StatusOr<std::vector<std::size_t>> rhs_pos =
+      catalog.schema(*rhs_id).AttributeIndexes(rhs_attrs);
+  if (!rhs_pos.ok()) return rhs_pos.status();
+  return InclusionDependency(*lhs_id, std::move(*lhs_pos), *rhs_id,
+                             std::move(*rhs_pos));
+}
+
+std::string InclusionDependency::ToString(const Catalog& catalog) const {
+  return catalog.schema(lhs_relation_id_).name() +
+         PositionsToString(catalog, lhs_relation_id_, lhs_positions_) +
+         " ⊆ " + catalog.schema(rhs_relation_id_).name() +
+         PositionsToString(catalog, rhs_relation_id_, rhs_positions_);
+}
+
+std::vector<const FunctionalDependency*> ConstraintSet::FdsFor(
+    std::size_t relation_id) const {
+  std::vector<const FunctionalDependency*> result;
+  for (const FunctionalDependency& fd : fds_) {
+    if (fd.relation_id() == relation_id) result.push_back(&fd);
+  }
+  return result;
+}
+
+std::vector<const InclusionDependency*> ConstraintSet::IndsWithLhs(
+    std::size_t relation_id) const {
+  std::vector<const InclusionDependency*> result;
+  for (const InclusionDependency& ind : inds_) {
+    if (ind.lhs_relation_id() == relation_id) result.push_back(&ind);
+  }
+  return result;
+}
+
+}  // namespace bcdb

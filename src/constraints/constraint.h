@@ -1,0 +1,116 @@
+#ifndef BCDB_CONSTRAINTS_CONSTRAINT_H_
+#define BCDB_CONSTRAINTS_CONSTRAINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace bcdb {
+
+/// A functional dependency X -> Y over one relation. A *key constraint* is
+/// the special case Y = all attributes (with set semantics this makes X a
+/// unique key).
+class FunctionalDependency {
+ public:
+  /// Builds an FD `relation: lhs -> rhs` with attributes resolved against
+  /// `catalog`. Fails on unknown relation/attribute names or empty lhs.
+  static StatusOr<FunctionalDependency> Create(
+      const Catalog& catalog, const std::string& relation,
+      const std::vector<std::string>& lhs, const std::vector<std::string>& rhs);
+
+  /// Builds the key constraint `relation: key_attrs -> all attributes`.
+  static StatusOr<FunctionalDependency> Key(
+      const Catalog& catalog, const std::string& relation,
+      const std::vector<std::string>& key_attrs);
+
+  std::size_t relation_id() const { return relation_id_; }
+  /// Determinant positions, sorted ascending (index-friendly).
+  const std::vector<std::size_t>& lhs() const { return lhs_; }
+  /// Dependent positions, sorted ascending.
+  const std::vector<std::size_t>& rhs() const { return rhs_; }
+  bool is_key() const { return is_key_; }
+
+  /// "R: [a, b] -> [c]" (display only).
+  std::string ToString(const Catalog& catalog) const;
+
+ private:
+  FunctionalDependency(std::size_t relation_id, std::vector<std::size_t> lhs,
+                       std::vector<std::size_t> rhs, bool is_key)
+      : relation_id_(relation_id),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)),
+        is_key_(is_key) {}
+
+  std::size_t relation_id_;
+  std::vector<std::size_t> lhs_;
+  std::vector<std::size_t> rhs_;
+  bool is_key_;
+};
+
+/// An inclusion dependency R[X] ⊆ S[Y]: every visible R-tuple's X-projection
+/// must appear as the Y-projection of some visible S-tuple. X and Y are
+/// parallel position lists of equal length (order significant).
+class InclusionDependency {
+ public:
+  static StatusOr<InclusionDependency> Create(
+      const Catalog& catalog, const std::string& lhs_relation,
+      const std::vector<std::string>& lhs_attrs,
+      const std::string& rhs_relation,
+      const std::vector<std::string>& rhs_attrs);
+
+  std::size_t lhs_relation_id() const { return lhs_relation_id_; }
+  std::size_t rhs_relation_id() const { return rhs_relation_id_; }
+  const std::vector<std::size_t>& lhs_positions() const {
+    return lhs_positions_;
+  }
+  const std::vector<std::size_t>& rhs_positions() const {
+    return rhs_positions_;
+  }
+
+  std::string ToString(const Catalog& catalog) const;
+
+ private:
+  InclusionDependency(std::size_t lhs_relation_id,
+                      std::vector<std::size_t> lhs_positions,
+                      std::size_t rhs_relation_id,
+                      std::vector<std::size_t> rhs_positions)
+      : lhs_relation_id_(lhs_relation_id),
+        rhs_relation_id_(rhs_relation_id),
+        lhs_positions_(std::move(lhs_positions)),
+        rhs_positions_(std::move(rhs_positions)) {}
+
+  std::size_t lhs_relation_id_;
+  std::size_t rhs_relation_id_;
+  std::vector<std::size_t> lhs_positions_;
+  std::vector<std::size_t> rhs_positions_;
+};
+
+/// The integrity constraints `I` of a blockchain database.
+class ConstraintSet {
+ public:
+  void AddFd(FunctionalDependency fd) { fds_.push_back(std::move(fd)); }
+  void AddInd(InclusionDependency ind) { inds_.push_back(std::move(ind)); }
+
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+  const std::vector<InclusionDependency>& inds() const { return inds_; }
+
+  bool empty() const { return fds_.empty() && inds_.empty(); }
+
+  /// FDs whose relation is `relation_id`.
+  std::vector<const FunctionalDependency*> FdsFor(
+      std::size_t relation_id) const;
+  /// INDs whose left-hand (contained) relation is `relation_id`.
+  std::vector<const InclusionDependency*> IndsWithLhs(
+      std::size_t relation_id) const;
+
+ private:
+  std::vector<FunctionalDependency> fds_;
+  std::vector<InclusionDependency> inds_;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_CONSTRAINTS_CONSTRAINT_H_

@@ -1,0 +1,48 @@
+#ifndef BCDB_CORE_ANSWERS_H_
+#define BCDB_CORE_ANSWERS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dcsat.h"
+#include "query/ast.h"
+#include "relational/tuple.h"
+#include "util/status.h"
+
+namespace bcdb {
+
+/// Query answering over the possible worlds of a blockchain database
+/// (Section 5 of the paper frames both directions; this module implements
+/// them for answer-producing conjunctive queries, i.e. non-aggregate
+/// queries with head variables).
+///
+/// *Certain* answers appear in q(W) for **every** W ∈ Poss(D). For monotone
+/// queries they are exactly q(R) — the paper's observation that certain
+/// answers of conjunctive queries reduce to evaluation over the current
+/// state — because R is itself a possible world and R ⊆ W for all W.
+///
+/// *Possible* answers appear in q(W) for **some** W ∈ Poss(D). For monotone
+/// queries each candidate answer over R ∪ T is verified by binding the head
+/// to the candidate and asking DCSat whether the resulting Boolean query can
+/// become true — the two problems are dual. Non-monotone queries fall back
+/// to exhaustive world enumeration (bounded by `world_limit`).
+
+/// Copy of `q` with each head variable replaced, throughout the body, by
+/// the corresponding constant of `binding` (arity must match) and the head
+/// cleared — the Boolean "is this specific answer realizable?" query.
+StatusOr<DenialConstraint> BindHead(const DenialConstraint& q,
+                                    const Tuple& binding);
+
+/// Tuples answered by `q` in every possible world, sorted ascending.
+StatusOr<std::vector<Tuple>> CertainAnswers(DcSatEngine& engine,
+                                            const DenialConstraint& q,
+                                            std::size_t world_limit = 1u << 20);
+
+/// Tuples answered by `q` in at least one possible world, sorted ascending.
+StatusOr<std::vector<Tuple>> PossibleAnswers(
+    DcSatEngine& engine, const DenialConstraint& q,
+    std::size_t world_limit = 1u << 20);
+
+}  // namespace bcdb
+
+#endif  // BCDB_CORE_ANSWERS_H_

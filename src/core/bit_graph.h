@@ -1,0 +1,75 @@
+#ifndef BCDB_CORE_BIT_GRAPH_H_
+#define BCDB_CORE_BIT_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace bcdb {
+
+/// Undirected graph over [0, n) with bitset adjacency rows.
+///
+/// The fd-transaction graph G^fd_T is near-complete (conflicts are rare in
+/// practice, as the paper notes), so Bron–Kerbosch needs fast row
+/// intersections; a dense bitset representation gives them in n/64 words.
+class BitGraph {
+ public:
+  explicit BitGraph(std::size_t n) : n_(n), rows_(n, DynamicBitset(n)) {}
+
+  std::size_t num_vertices() const { return n_; }
+
+  void AddEdge(std::size_t u, std::size_t v) {
+    if (u == v) return;
+    rows_[u].Set(v);
+    rows_[v].Set(u);
+  }
+
+  void RemoveEdge(std::size_t u, std::size_t v) {
+    if (u == v) return;
+    rows_[u].Reset(v);
+    rows_[v].Reset(u);
+  }
+
+  bool HasEdge(std::size_t u, std::size_t v) const {
+    return u != v && rows_[u].Test(v);
+  }
+
+  const DynamicBitset& Neighbors(std::size_t v) const { return rows_[v]; }
+
+  /// Makes every distinct pair adjacent (starting point for conflict-based
+  /// construction: complete graph minus conflict pairs).
+  void MakeComplete() {
+    for (std::size_t v = 0; v < n_; ++v) {
+      rows_[v].SetAll();
+      rows_[v].Reset(v);
+    }
+  }
+
+  /// Complete graph over `subset`: vertices in the subset become pairwise
+  /// adjacent, all other vertices isolated.
+  void MakeCompleteOver(const DynamicBitset& subset) {
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (subset.Test(v)) {
+        rows_[v] = subset;
+        rows_[v].Reset(v);
+      } else {
+        rows_[v].Clear();
+      }
+    }
+  }
+
+  std::size_t CountEdges() const {
+    std::size_t twice = 0;
+    for (const DynamicBitset& row : rows_) twice += row.Count();
+    return twice / 2;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<DynamicBitset> rows_;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_CORE_BIT_GRAPH_H_

@@ -1,0 +1,114 @@
+#include "core/blockchain_db.h"
+
+namespace bcdb {
+
+BlockchainDatabase::BlockchainDatabase(Catalog catalog,
+                                       ConstraintSet constraints)
+    : db_(std::make_unique<Database>(std::move(catalog))),
+      constraints_(std::make_unique<ConstraintSet>(std::move(constraints))),
+      checker_(std::make_unique<ConstraintChecker>(db_.get(),
+                                                   constraints_.get())) {}
+
+StatusOr<BlockchainDatabase> BlockchainDatabase::Create(
+    Catalog catalog, ConstraintSet constraints) {
+  // Constraints carry resolved relation ids; verify they are in range for
+  // this catalog (defends against mixing catalogs).
+  for (const FunctionalDependency& fd : constraints.fds()) {
+    if (fd.relation_id() >= catalog.num_relations()) {
+      return Status::InvalidArgument("FD references unknown relation id");
+    }
+  }
+  for (const InclusionDependency& ind : constraints.inds()) {
+    if (ind.lhs_relation_id() >= catalog.num_relations() ||
+        ind.rhs_relation_id() >= catalog.num_relations()) {
+      return Status::InvalidArgument("IND references unknown relation id");
+    }
+  }
+  return BlockchainDatabase(std::move(catalog), std::move(constraints));
+}
+
+Status BlockchainDatabase::InsertCurrent(std::string_view relation,
+                                         Tuple tuple) {
+  ++version_;
+  return db_->Insert(relation, std::move(tuple), kBaseOwner);
+}
+
+Status BlockchainDatabase::ValidateCurrentState() const {
+  return checker_->CheckAll(db_->BaseView());
+}
+
+StatusOr<PendingId> BlockchainDatabase::AddPending(const Transaction& txn) {
+  if (txn.empty()) {
+    return Status::InvalidArgument("pending transaction has no tuples");
+  }
+  const TupleOwner owner = db_->RegisterOwner();
+  for (const Transaction::Item& item : txn.items()) {
+    Status status = db_->Insert(item.relation, item.tuple, owner);
+    if (!status.ok()) {
+      // Roll back the partial insert; the owner slot stays allocated but
+      // owns nothing, so it can never surface tuples in any world.
+      for (std::size_t r = 0; r < db_->num_relations(); ++r) {
+        db_->relation(r).DropOwner(owner);
+      }
+      return status;
+    }
+  }
+  pending_.push_back(txn);
+  pending_state_.push_back(PendingState::kPending);
+  ++version_;
+  const PendingId id = pending_.size() - 1;
+  // Owners are handed out only here, so owner tags == pending ids.
+  if (static_cast<std::size_t>(owner) != id) {
+    return Status::Internal("pending id / owner tag mismatch");
+  }
+  return id;
+}
+
+Status BlockchainDatabase::ApplyPending(PendingId id) {
+  if (!IsPending(id)) {
+    return Status::InvalidArgument("transaction is not pending");
+  }
+  // The append must preserve I over R.
+  if (!checker_->CanAppendOwner(db_->BaseView(),
+                                static_cast<TupleOwner>(id))) {
+    return Status::ConstraintViolation(
+        "appending pending transaction " + std::to_string(id) +
+        " would violate the integrity constraints");
+  }
+  for (std::size_t r = 0; r < db_->num_relations(); ++r) {
+    db_->relation(r).PromoteOwner(static_cast<TupleOwner>(id));
+  }
+  pending_state_[id] = PendingState::kApplied;
+  ++version_;
+  return Status::OK();
+}
+
+Status BlockchainDatabase::DiscardPending(PendingId id) {
+  if (!IsPending(id)) {
+    return Status::InvalidArgument("transaction is not pending");
+  }
+  for (std::size_t r = 0; r < db_->num_relations(); ++r) {
+    db_->relation(r).DropOwner(static_cast<TupleOwner>(id));
+  }
+  pending_state_[id] = PendingState::kDiscarded;
+  ++version_;
+  return Status::OK();
+}
+
+std::vector<PendingId> BlockchainDatabase::PendingIds() const {
+  std::vector<PendingId> ids;
+  for (PendingId id = 0; id < pending_.size(); ++id) {
+    if (pending_state_[id] == PendingState::kPending) ids.push_back(id);
+  }
+  return ids;
+}
+
+WorldView BlockchainDatabase::PendingUnionView() const {
+  WorldView view = db_->BaseView();
+  for (PendingId id : PendingIds()) {
+    view.Activate(static_cast<TupleOwner>(id));
+  }
+  return view;
+}
+
+}  // namespace bcdb

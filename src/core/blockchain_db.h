@@ -1,0 +1,110 @@
+#ifndef BCDB_CORE_BLOCKCHAIN_DB_H_
+#define BCDB_CORE_BLOCKCHAIN_DB_H_
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "constraints/checker.h"
+#include "constraints/constraint.h"
+#include "core/transaction.h"
+#include "relational/database.h"
+#include "relational/world_view.h"
+#include "util/status.h"
+
+namespace bcdb {
+
+/// Index of a pending transaction within a blockchain database. Equals the
+/// TupleOwner tag of its tuples.
+using PendingId = std::size_t;
+
+/// The paper's blockchain database D = (R, I, T): a current state R stored
+/// in the relational substrate, integrity constraints I with R |= I, and a
+/// set T of pending insert transactions that may or may not ever be
+/// appended.
+///
+/// Mutations bump a version counter so that derived steady-state structures
+/// (the fd-transaction graph, ind-graph components, per-transaction status)
+/// can cache against it.
+class BlockchainDatabase {
+ public:
+  /// Builds an empty database over `catalog` with constraints `I`.
+  /// Fails if a constraint references a relation missing from the catalog
+  /// (constraints are already resolved, so this only re-checks ids).
+  static StatusOr<BlockchainDatabase> Create(Catalog catalog,
+                                             ConstraintSet constraints);
+
+  BlockchainDatabase(BlockchainDatabase&&) = default;
+  BlockchainDatabase& operator=(BlockchainDatabase&&) = default;
+
+  Database& database() { return *db_; }
+  const Database& database() const { return *db_; }
+  const ConstraintSet& constraints() const { return *constraints_; }
+  const ConstraintChecker& checker() const { return *checker_; }
+  const Catalog& catalog() const { return db_->catalog(); }
+
+  /// Inserts a tuple directly into the current state R. The caller is
+  /// responsible for R |= I (verify with ValidateCurrentState); bulk loaders
+  /// use this to avoid per-tuple constraint checks.
+  Status InsertCurrent(std::string_view relation, Tuple tuple);
+
+  /// Full constraint check of the current state (R |= I must hold for the
+  /// possible-worlds semantics to be meaningful).
+  Status ValidateCurrentState() const;
+
+  /// Registers `txn` as pending. Tuples become visible only in worlds that
+  /// activate the returned id. Fails on schema violations; consistency with
+  /// I is *not* required — mutually contradictory pending transactions are
+  /// exactly what DCSat reasons about.
+  StatusOr<PendingId> AddPending(const Transaction& txn);
+
+  /// Total pending-id slots ever allocated (applied and discarded
+  /// transactions keep their slots; use PendingIds() for the live set).
+  /// This is the size of the id space every graph/bitset is indexed by.
+  std::size_t num_pending() const { return pending_.size(); }
+  const Transaction& pending(PendingId id) const { return pending_[id]; }
+
+  /// Appends pending transaction `id` permanently to R (it was accepted
+  /// into the blockchain). Fails with ConstraintViolation if R ∪ T ⊭ I.
+  /// Other pending transactions remain pending; derived caches invalidate.
+  Status ApplyPending(PendingId id);
+
+  /// Discards pending transaction `id` (e.g. it became permanently
+  /// unappendable and the node evicted it). Its tuples disappear from all
+  /// future worlds.
+  Status DiscardPending(PendingId id);
+
+  /// True if the transaction is still pending (not applied / discarded).
+  bool IsPending(PendingId id) const {
+    return id < pending_state_.size() &&
+           pending_state_[id] == PendingState::kPending;
+  }
+
+  /// All currently-pending ids (ascending).
+  std::vector<PendingId> PendingIds() const;
+
+  /// World view of the current state R only.
+  WorldView BaseView() const { return db_->BaseView(); }
+  /// World view of R plus all still-pending transactions (R ∪ T).
+  WorldView PendingUnionView() const;
+
+  /// Bumped by every mutation; derived structures cache against it.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  enum class PendingState { kPending, kApplied, kDiscarded };
+
+  BlockchainDatabase(Catalog catalog, ConstraintSet constraints);
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<ConstraintSet> constraints_;
+  std::unique_ptr<ConstraintChecker> checker_;
+  std::vector<Transaction> pending_;
+  std::vector<PendingState> pending_state_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_CORE_BLOCKCHAIN_DB_H_

@@ -1,0 +1,83 @@
+#include "core/bron_kerbosch.h"
+
+namespace bcdb {
+
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const BitGraph& graph, bool use_pivot,
+             const CliqueCallback& callback)
+      : graph_(graph), use_pivot_(use_pivot), callback_(callback) {}
+
+  CliqueEnumerationStats Run(const DynamicBitset& subset) {
+    DynamicBitset p = subset;
+    DynamicBitset x(subset.size());
+    Expand(p, x);
+    return stats_;
+  }
+
+ private:
+  /// Returns false if the callback requested an early stop.
+  bool Expand(DynamicBitset& p, DynamicBitset& x) {
+    ++stats_.recursive_calls;
+    if (p.None() && x.None()) {
+      ++stats_.cliques_reported;
+      if (!callback_(current_)) {
+        stats_.stopped_early = true;
+        return false;
+      }
+      return true;
+    }
+
+    // Candidates to branch on: P, or P \ N(pivot) with Tomita pivoting.
+    DynamicBitset candidates = p;
+    if (use_pivot_) {
+      // Pivot u ∈ P ∪ X maximizing |P ∩ N(u)| minimizes branching.
+      std::size_t best_u = p.size();
+      std::size_t best_score = 0;
+      auto consider = [&](std::size_t u) {
+        const std::size_t score = p.IntersectionCount(graph_.Neighbors(u));
+        if (best_u == p.size() || score > best_score) {
+          best_u = u;
+          best_score = score;
+        }
+      };
+      p.ForEach(consider);
+      x.ForEach(consider);
+      if (best_u != p.size()) candidates -= graph_.Neighbors(best_u);
+    }
+
+    bool keep_going = true;
+    candidates.ForEach([&](std::size_t v) {
+      if (!keep_going) return;
+      if (!p.Test(v)) return;  // Removed by an earlier iteration.
+      current_.push_back(v);
+      DynamicBitset next_p = p & graph_.Neighbors(v);
+      DynamicBitset next_x = x & graph_.Neighbors(v);
+      keep_going = Expand(next_p, next_x);
+      current_.pop_back();
+      p.Reset(v);
+      x.Set(v);
+    });
+    return keep_going;
+  }
+
+  const BitGraph& graph_;
+  const bool use_pivot_;
+  const CliqueCallback& callback_;
+  std::vector<std::size_t> current_;
+  CliqueEnumerationStats stats_;
+};
+
+}  // namespace
+
+CliqueEnumerationStats EnumerateMaximalCliques(const BitGraph& graph,
+                                               const DynamicBitset& subset,
+                                               bool use_pivot,
+                                               const CliqueCallback& callback) {
+  Enumerator enumerator(graph, use_pivot, callback);
+  return enumerator.Run(subset);
+}
+
+}  // namespace bcdb

@@ -1,0 +1,38 @@
+#ifndef BCDB_CORE_BRON_KERBOSCH_H_
+#define BCDB_CORE_BRON_KERBOSCH_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/bit_graph.h"
+#include "util/bitset.h"
+
+namespace bcdb {
+
+/// Receives one maximal clique (vertex ids, ascending). Return false to stop
+/// the enumeration early — DCSat stops at the first world that violates the
+/// denial constraint.
+using CliqueCallback = std::function<bool(const std::vector<std::size_t>&)>;
+
+struct CliqueEnumerationStats {
+  std::size_t cliques_reported = 0;
+  std::size_t recursive_calls = 0;
+  bool stopped_early = false;
+};
+
+/// Enumerates all maximal cliques of `graph` restricted to the vertices in
+/// `subset`, via Bron–Kerbosch (Algorithm 457) with the Tomita et al.
+/// pivoting rule (`use_pivot`; without it the plain variant runs, kept for
+/// the ablation benchmark).
+///
+/// If `subset` is empty the single (empty) maximal clique is reported — the
+/// current state with no pending transactions is itself a possible world.
+CliqueEnumerationStats EnumerateMaximalCliques(const BitGraph& graph,
+                                               const DynamicBitset& subset,
+                                               bool use_pivot,
+                                               const CliqueCallback& callback);
+
+}  // namespace bcdb
+
+#endif  // BCDB_CORE_BRON_KERBOSCH_H_

@@ -1,0 +1,174 @@
+#include "core/contradiction.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace bcdb {
+
+namespace {
+
+/// Fresh-value synthesis for a perturbed attribute: deterministic, unlikely
+/// to collide with live data; `attempt` varies the choice when verification
+/// rejects a candidate.
+Value Perturb(const Value& original, int attempt) {
+  switch (original.type()) {
+    case ValueType::kInt:
+      return Value::Int(original.AsInt() + 1000003 * (attempt + 1));
+    case ValueType::kReal:
+      return Value::Real(original.AsReal() + 1000003.0 * (attempt + 1));
+    case ValueType::kString:
+      return Value::Str(original.AsString() + "~rival" +
+                        std::to_string(attempt));
+    case ValueType::kNull:
+      break;
+  }
+  return original;
+}
+
+/// Applies `changes` (position -> value) to `tuple`.
+Tuple WithChanges(const Tuple& tuple,
+                  const std::vector<std::pair<std::size_t, Value>>& changes) {
+  std::vector<Value> values = tuple.values();
+  for (const auto& [position, value] : changes) values[position] = value;
+  return Tuple(std::move(values));
+}
+
+/// Repairs the inclusion dependencies broken by adding `tuple` to
+/// `relation_id`: for every IND whose left side is this relation, if no
+/// base-visible witness matches, clones a stored witness of the *original*
+/// projection with the new projection substituted, recursing for the
+/// clone's own INDs. Appends repair tuples to `txn`. Returns false if no
+/// witness can be constructed within `depth`.
+bool RepairInds(const BlockchainDatabase& db, std::size_t relation_id,
+                const Tuple& tuple, const Tuple& original, int depth,
+                Transaction& txn) {
+  if (depth < 0) return false;
+  const Database& database = db.database();
+  const WorldView base = database.BaseView();
+  for (const InclusionDependency* ind :
+       db.constraints().IndsWithLhs(relation_id)) {
+    const Relation& rhs_rel = database.relation(ind->rhs_relation_id());
+    const Tuple needed = tuple.Project(ind->lhs_positions());
+
+    // Witness lookup goes through a sorted-position index; align both the
+    // needed and original projections with the sorted order.
+    std::vector<std::size_t> perm(ind->rhs_positions().size());
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+      return ind->rhs_positions()[a] < ind->rhs_positions()[b];
+    });
+    std::vector<std::size_t> sorted_rhs;
+    std::vector<Value> needed_sorted, original_sorted;
+    for (std::size_t p : perm) {
+      sorted_rhs.push_back(ind->rhs_positions()[p]);
+      needed_sorted.push_back(needed[p]);
+      original_sorted.push_back(original.Project(ind->lhs_positions())[p]);
+    }
+    const std::size_t index_id = rhs_rel.GetOrBuildIndex(sorted_rhs);
+
+    // Already satisfied by the current state?
+    bool have_witness = false;
+    for (TupleId id : rhs_rel.IndexLookup(index_id, Tuple(needed_sorted))) {
+      if (rhs_rel.IsVisible(id, base)) {
+        have_witness = true;
+        break;
+      }
+    }
+    if (have_witness) continue;
+    // Also satisfied if the transaction itself already carries the witness.
+    const std::string& rhs_name = rhs_rel.schema().name();
+    for (const Transaction::Item& item : txn.items()) {
+      if (item.relation == rhs_name &&
+          item.tuple.Project(sorted_rhs) == Tuple(needed_sorted)) {
+        have_witness = true;
+        break;
+      }
+    }
+    if (have_witness) continue;
+
+    // Clone a stored witness of the original tuple's projection (wherever
+    // it lives — base, the target, any pending transaction), substituting
+    // the perturbed projection values.
+    const std::vector<TupleId>& donors =
+        rhs_rel.IndexLookup(index_id, Tuple(original_sorted));
+    if (donors.empty()) return false;
+    const Tuple& donor = rhs_rel.tuple(donors.front());
+    std::vector<std::pair<std::size_t, Value>> changes;
+    for (std::size_t i = 0; i < sorted_rhs.size(); ++i) {
+      changes.emplace_back(sorted_rhs[i], needed_sorted[i]);
+    }
+    Tuple clone = WithChanges(donor, changes);
+    if (!RepairInds(db, ind->rhs_relation_id(), clone, donor, depth - 1,
+                    txn)) {
+      return false;
+    }
+    txn.Add(rhs_name, std::move(clone));
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<ContradictionPlan> PlanContradiction(BlockchainDatabase& db,
+                                              PendingId target) {
+  if (!db.IsPending(target)) {
+    return Status::InvalidArgument("target transaction is not pending");
+  }
+  const Database& database = db.database();
+  // Copy, not reference: the verification step below adds (and discards)
+  // candidate pending transactions, which may reallocate the pending store
+  // and invalidate references into it.
+  const Transaction victim = db.pending(target);
+
+  for (const Transaction::Item& item : victim.items()) {
+    StatusOr<std::size_t> relation_id = database.RelationId(item.relation);
+    if (!relation_id.ok()) continue;
+    for (const FunctionalDependency* fd :
+         db.constraints().FdsFor(*relation_id)) {
+      // Perturb one dependent attribute that is not part of the determinant
+      // — the clone then agrees on the determinant but disagrees on the
+      // dependent, which is exactly an FD conflict.
+      for (std::size_t position : fd->rhs()) {
+        if (std::find(fd->lhs().begin(), fd->lhs().end(), position) !=
+            fd->lhs().end()) {
+          continue;
+        }
+        for (int attempt = 0; attempt < 3; ++attempt) {
+          Transaction candidate("rival-of-" + victim.label());
+          Tuple rival = WithChanges(
+              item.tuple,
+              {{position, Perturb(item.tuple[position], attempt)}});
+          if (!RepairInds(db, *relation_id, rival, item.tuple, /*depth=*/3,
+                          candidate)) {
+            continue;
+          }
+          candidate.Add(item.relation, rival);
+
+          // Verify against the live database, then roll back.
+          StatusOr<PendingId> planned = db.AddPending(candidate);
+          if (!planned.ok()) continue;
+          const bool conflicts = !db.checker().FdConsistentPair(
+              static_cast<TupleOwner>(target),
+              static_cast<TupleOwner>(*planned));
+          const bool viable = db.checker().CanAppendOwner(
+              db.BaseView(), static_cast<TupleOwner>(*planned));
+          (void)db.DiscardPending(*planned);
+          if (conflicts && viable) {
+            ContradictionPlan plan;
+            plan.transaction = std::move(candidate);
+            plan.reason = "clashes with tuple " + item.tuple.ToString() +
+                          " of " + item.relation + " on FD " +
+                          fd->ToString(db.catalog());
+            return plan;
+          }
+        }
+      }
+    }
+  }
+  return Status::NotFound(
+      "no verifiable contradicting transaction could be synthesized for the "
+      "target");
+}
+
+}  // namespace bcdb

@@ -1,0 +1,43 @@
+#ifndef BCDB_CORE_CONTRADICTION_H_
+#define BCDB_CORE_CONTRADICTION_H_
+
+#include <string>
+
+#include "core/blockchain_db.h"
+#include "core/transaction.h"
+#include "util/status.h"
+
+namespace bcdb {
+
+/// A synthesized transaction that can never coexist with its target — the
+/// paper's future-work problem of "automatically deriving a new transaction
+/// that contradicts previous transactions" (the generalized form of
+/// replacing a stuck Bitcoin payment by a double spend).
+struct ContradictionPlan {
+  Transaction transaction;
+  /// Human-readable description of the induced conflict (which tuple and
+  /// which functional dependency rule out coexistence).
+  std::string reason;
+};
+
+/// Synthesizes a transaction that (a) conflicts with pending transaction
+/// `target` on some functional dependency — so no possible world contains
+/// both — and (b) is itself appendable to the current state R, so it is a
+/// credible replacement.
+///
+/// Strategy: for each tuple of the target and each FD over its relation,
+/// clone the tuple, perturb a dependent (non-determinant) attribute to a
+/// fresh value, then repair the inclusion dependencies the perturbed tuple
+/// breaks by cloning witnesses (substituting the perturbed values),
+/// recursively up to a small depth. Every candidate is verified against the
+/// database — pairwise FD-inconsistent with the target, appendable to R —
+/// before being returned; the database is left unchanged.
+///
+/// Fails with NotFound if no verifiable contradiction exists (e.g. the
+/// target's relations carry no FDs).
+StatusOr<ContradictionPlan> PlanContradiction(BlockchainDatabase& db,
+                                              PendingId target);
+
+}  // namespace bcdb
+
+#endif  // BCDB_CORE_CONTRADICTION_H_

@@ -1,0 +1,203 @@
+#include "core/dcsat.h"
+
+#include <algorithm>
+
+#include "core/bron_kerbosch.h"
+#include "core/get_maximal.h"
+#include "core/ind_graph.h"
+#include "core/possible_worlds.h"
+#include "core/tractable.h"
+#include "query/analysis.h"
+#include "util/stopwatch.h"
+
+namespace bcdb {
+
+const char* DcSatAlgorithmToString(DcSatAlgorithm algorithm) {
+  switch (algorithm) {
+    case DcSatAlgorithm::kAuto:
+      return "Auto";
+    case DcSatAlgorithm::kNaive:
+      return "NaiveDCSat";
+    case DcSatAlgorithm::kOpt:
+      return "OptDCSat";
+    case DcSatAlgorithm::kExhaustive:
+      return "Exhaustive";
+    case DcSatAlgorithm::kTractable:
+      return "TractableFragment";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Active pending ids of a world view.
+std::vector<PendingId> WitnessOf(const WorldView& view) {
+  std::vector<PendingId> ids;
+  view.active_bits().ForEach([&](std::size_t id) { ids.push_back(id); });
+  return ids;
+}
+
+}  // namespace
+
+const FdGraph& DcSatEngine::PrepareSteadyState() {
+  RefreshCaches();
+  return *fd_graph_;
+}
+
+void DcSatEngine::RefreshCaches() {
+  if (cached_version_ == db_->version() && fd_graph_.has_value()) return;
+  fd_graph_.emplace(*db_);
+  theta_i_components_.emplace(db_->num_pending());
+  MergeEqualityComponents(*db_,
+                          EqualitiesFromConstraints(db_->constraints()),
+                          fd_graph_->valid_nodes(), *theta_i_components_);
+  cached_version_ = db_->version();
+}
+
+StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
+                                         const DcSatOptions& options) {
+  Stopwatch total_watch;
+  StatusOr<CompiledQuery> compiled =
+      CompiledQuery::Compile(q, &db_->database());
+  if (!compiled.ok()) return compiled.status();
+  const QueryAnalysis analysis = AnalyzeQuery(q, db_->catalog());
+
+  // Resolve kAuto and reject unsound explicit choices.
+  DcSatAlgorithm algorithm = options.algorithm;
+  if (algorithm == DcSatAlgorithm::kTractable) {
+    return Status::InvalidArgument(
+        "the tractable fragments are selected automatically; use kAuto");
+  }
+  if (algorithm == DcSatAlgorithm::kAuto && options.use_tractable_fragments) {
+    RefreshCaches();
+    std::optional<DcSatResult> tractable =
+        TryTractableDcSat(*db_, *fd_graph_, q);
+    if (tractable.has_value()) {
+      tractable->stats.total_seconds = total_watch.ElapsedSeconds();
+      return *tractable;
+    }
+  }
+  if (algorithm == DcSatAlgorithm::kAuto) {
+    if (!analysis.monotone) {
+      algorithm = DcSatAlgorithm::kExhaustive;
+    } else if (analysis.connected && !q.is_aggregate()) {
+      algorithm = DcSatAlgorithm::kOpt;
+    } else {
+      algorithm = DcSatAlgorithm::kNaive;
+    }
+  } else if (algorithm == DcSatAlgorithm::kNaive ||
+             algorithm == DcSatAlgorithm::kOpt) {
+    if (!analysis.monotone) {
+      return Status::InvalidArgument(
+          std::string(DcSatAlgorithmToString(algorithm)) +
+          " requires a monotone denial constraint (" +
+          analysis.monotone_reason + ")");
+    }
+    if (algorithm == DcSatAlgorithm::kOpt &&
+        (q.is_aggregate() || !analysis.connected)) {
+      return Status::InvalidArgument(
+          "OptDCSat requires a connected, non-aggregate denial constraint");
+    }
+  }
+
+  DcSatResult result;
+  result.stats.algorithm_used = algorithm;
+  result.stats.num_pending = db_->PendingIds().size();
+
+  if (algorithm == DcSatAlgorithm::kExhaustive) {
+    StatusOr<std::vector<WorldView>> worlds =
+        EnumeratePossibleWorlds(*db_, options.exhaustive_world_limit);
+    if (!worlds.ok()) return worlds.status();
+    result.satisfied = true;
+    for (const WorldView& world : *worlds) {
+      ++result.stats.num_worlds_evaluated;
+      if (compiled->Evaluate(world)) {
+        result.satisfied = false;
+        result.witness = WitnessOf(world);
+        break;
+      }
+    }
+    result.stats.total_seconds = total_watch.ElapsedSeconds();
+    return result;
+  }
+
+  // --- Monotone pre-check over R ∪ T (Section 6.3). ---
+  if (options.use_precheck) {
+    if (!compiled->Evaluate(db_->PendingUnionView())) {
+      result.satisfied = true;
+      result.stats.precheck_decided = true;
+      result.stats.total_seconds = total_watch.ElapsedSeconds();
+      return result;
+    }
+  }
+
+  // --- Steady-state structures. ---
+  Stopwatch graph_watch;
+  RefreshCaches();
+  const FdGraph& fd_graph = *fd_graph_;
+  result.stats.num_valid_nodes = fd_graph.valid_nodes().Count();
+  result.stats.fd_conflict_pairs = fd_graph.num_conflict_pairs();
+
+  // The base world R is itself a possible world; the clique search below
+  // reaches it only when a component is empty, so check it once up front.
+  if (compiled->Evaluate(db_->BaseView())) {
+    result.satisfied = false;
+    result.witness = std::vector<PendingId>{};
+    ++result.stats.num_worlds_evaluated;
+    result.stats.total_seconds = total_watch.ElapsedSeconds();
+    return result;
+  }
+  ++result.stats.num_worlds_evaluated;
+
+  // --- Component structure (OptDCSat) or one big component (Naive). ---
+  std::vector<std::vector<PendingId>> components;
+  if (algorithm == DcSatAlgorithm::kOpt) {
+    UnionFind uf = *theta_i_components_;  // Θ_I precomputed; add Θ_q.
+    StatusOr<std::vector<EqualityConstraint>> theta_q =
+        EqualitiesFromQuery(q, db_->catalog());
+    if (!theta_q.ok()) return theta_q.status();
+    MergeEqualityComponents(*db_, *theta_q, fd_graph.valid_nodes(), uf);
+    components = GroupComponents(fd_graph.valid_nodes(), uf);
+  } else {
+    components.push_back(fd_graph.valid_nodes().ToVector());
+    if (components.back().empty()) components.clear();
+  }
+  result.stats.num_components = components.size();
+  result.stats.graph_seconds = graph_watch.ElapsedSeconds();
+
+  // --- Clique search per component. ---
+  result.satisfied = true;
+  for (const std::vector<PendingId>& component : components) {
+    if (algorithm == DcSatAlgorithm::kOpt && options.use_covers) {
+      WorldView cover_view = db_->BaseView();
+      for (PendingId id : component) {
+        cover_view.Activate(static_cast<TupleOwner>(id));
+      }
+      if (!compiled->CoversConstants(cover_view)) continue;
+    }
+    ++result.stats.num_components_covered;
+
+    DynamicBitset subset(db_->num_pending());
+    for (PendingId id : component) subset.Set(id);
+
+    const CliqueEnumerationStats clique_stats = EnumerateMaximalCliques(
+        fd_graph.graph(), subset, options.use_pivot,
+        [&](const std::vector<std::size_t>& clique) {
+          const WorldView world = GetMaximal(*db_, clique);
+          ++result.stats.num_worlds_evaluated;
+          if (compiled->Evaluate(world)) {
+            result.satisfied = false;
+            result.witness = WitnessOf(world);
+            return false;  // Stop: one violating world suffices.
+          }
+          return true;
+        });
+    result.stats.num_cliques += clique_stats.cliques_reported;
+    if (!result.satisfied) break;
+  }
+
+  result.stats.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace bcdb

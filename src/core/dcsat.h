@@ -1,0 +1,114 @@
+#ifndef BCDB_CORE_DCSAT_H_
+#define BCDB_CORE_DCSAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/blockchain_db.h"
+#include "core/fd_graph.h"
+#include "query/ast.h"
+#include "query/compiled_query.h"
+#include "util/status.h"
+#include "util/union_find.h"
+
+namespace bcdb {
+
+/// Which search procedure decides D |= ¬q.
+enum class DcSatAlgorithm {
+  /// Pick automatically: OptDCSat for connected monotone conjunctive
+  /// constraints, NaiveDCSat for other monotone constraints (e.g.
+  /// aggregates), exhaustive possible-world search otherwise.
+  kAuto,
+  /// Paper Figure 4: maximal cliques of G^fd_T over all pending
+  /// transactions. Requires a monotone constraint.
+  kNaive,
+  /// Paper Figure 5: split pending transactions into the connected
+  /// components of G^{q,ind}_T, filter by constant coverage, then run the
+  /// clique search per component. Requires a monotone, connected,
+  /// non-aggregate constraint.
+  kOpt,
+  /// Exact enumeration of Poss(D) — exponential; correct for arbitrary
+  /// (including non-monotone) constraints.
+  kExhaustive,
+  /// One of the Theorem-1 polynomial fragments engaged (FD-only support
+  /// check or IND-only unique-maximal-world check); only ever *selected*
+  /// automatically, never requested. See core/tractable.h.
+  kTractable,
+};
+
+const char* DcSatAlgorithmToString(DcSatAlgorithm algorithm);
+
+struct DcSatOptions {
+  DcSatAlgorithm algorithm = DcSatAlgorithm::kAuto;
+  /// With kAuto: try the Theorem-1 polynomial fragments first (FD-only /
+  /// IND-only constraint sets) before the general clique search.
+  bool use_tractable_fragments = true;
+  /// Evaluate q over R ∪ T first; if false there, monotonicity makes the
+  /// whole search unnecessary (paper Section 6.3, final optimization).
+  bool use_precheck = true;
+  /// OptDCSat only: skip components that cannot cover q's constants.
+  bool use_covers = true;
+  /// Tomita pivoting inside Bron–Kerbosch.
+  bool use_pivot = true;
+  /// Exhaustive only: abort after this many worlds.
+  std::size_t exhaustive_world_limit = 1u << 20;
+};
+
+struct DcSatStats {
+  DcSatAlgorithm algorithm_used = DcSatAlgorithm::kAuto;
+  bool precheck_decided = false;  // The R ∪ T pre-check settled the answer.
+  std::size_t num_pending = 0;
+  std::size_t num_valid_nodes = 0;
+  std::size_t fd_conflict_pairs = 0;
+  std::size_t num_components = 0;          // Opt only.
+  std::size_t num_components_covered = 0;  // Opt only.
+  std::size_t num_cliques = 0;
+  std::size_t num_worlds_evaluated = 0;
+  double total_seconds = 0;
+  double graph_seconds = 0;  // fd-graph + component construction.
+};
+
+struct DcSatResult {
+  /// D |= ¬q: the denial constraint holds in every possible world.
+  bool satisfied = false;
+  /// When !satisfied: the pending transactions of one violating world.
+  std::optional<std::vector<PendingId>> witness;
+  DcSatStats stats;
+};
+
+/// Decides denial-constraint satisfaction over one blockchain database,
+/// owning the steady-state structures of paper Section 6.3: the
+/// fd-transaction graph, the Θ_I part of the ind-graph components, and the
+/// per-transaction validity bits. Caches are keyed on the database version
+/// and rebuilt lazily after mutations.
+class DcSatEngine {
+ public:
+  /// `db` must outlive the engine.
+  explicit DcSatEngine(const BlockchainDatabase* db) : db_(db) {}
+
+  const BlockchainDatabase& db() const { return *db_; }
+
+  /// Decides D |= ¬q. Fails if `q` does not compile against the database,
+  /// or if an explicitly requested algorithm is unsound for `q` (kNaive/
+  /// kOpt on a non-monotone constraint, kOpt on a disconnected or aggregate
+  /// constraint).
+  StatusOr<DcSatResult> Check(const DenialConstraint& q,
+                              const DcSatOptions& options = {});
+
+  /// Forces cache (re)construction; returns the fd graph for inspection.
+  const FdGraph& PrepareSteadyState();
+
+ private:
+  void RefreshCaches();
+
+  const BlockchainDatabase* db_;
+  std::uint64_t cached_version_ = ~std::uint64_t{0};
+  std::optional<FdGraph> fd_graph_;
+  std::optional<UnionFind> theta_i_components_;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_CORE_DCSAT_H_

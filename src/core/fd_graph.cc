@@ -1,0 +1,53 @@
+#include "core/fd_graph.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "relational/tuple.h"
+
+namespace bcdb {
+
+FdGraph::FdGraph(const BlockchainDatabase& db)
+    : graph_(db.num_pending()), valid_nodes_(db.num_pending()) {
+  const ConstraintChecker& checker = db.checker();
+
+  for (PendingId id : db.PendingIds()) {
+    if (checker.FdConsistentWithBase(static_cast<TupleOwner>(id))) {
+      valid_nodes_.Set(id);
+    }
+  }
+  graph_.MakeCompleteOver(valid_nodes_);
+
+  // For every FD, bucket the determinant projections of all valid pending
+  // tuples; transactions in one bucket with differing dependents conflict.
+  const std::vector<FunctionalDependency>& fds = db.constraints().fds();
+  for (const FunctionalDependency& fd : fds) {
+    const Relation& rel = db.database().relation(fd.relation_id());
+    struct Entry {
+      PendingId txn;
+      Tuple dependent;
+    };
+    std::unordered_map<Tuple, std::vector<Entry>, TupleHash> buckets;
+    valid_nodes_.ForEach([&](std::size_t id) {
+      for (TupleId tuple_id : rel.TuplesOwnedBy(static_cast<TupleOwner>(id))) {
+        const Tuple& t = rel.tuple(tuple_id);
+        buckets[t.Project(fd.lhs())].push_back(Entry{id, t.Project(fd.rhs())});
+      }
+    });
+    for (const auto& [key, entries] : buckets) {
+      if (entries.size() < 2) continue;
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        for (std::size_t j = i + 1; j < entries.size(); ++j) {
+          if (entries[i].txn == entries[j].txn) continue;
+          if (entries[i].dependent != entries[j].dependent &&
+              graph_.HasEdge(entries[i].txn, entries[j].txn)) {
+            graph_.RemoveEdge(entries[i].txn, entries[j].txn);
+            ++num_conflict_pairs_;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace bcdb

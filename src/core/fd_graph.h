@@ -1,0 +1,47 @@
+#ifndef BCDB_CORE_FD_GRAPH_H_
+#define BCDB_CORE_FD_GRAPH_H_
+
+#include <cstddef>
+
+#include "core/bit_graph.h"
+#include "core/blockchain_db.h"
+#include "util/bitset.h"
+
+namespace bcdb {
+
+/// The fd-transaction graph G^fd_T (paper Section 6.1): vertices are pending
+/// transactions, with an edge (T, T') iff T ∪ T' satisfies the functional
+/// dependencies. Every possible world is a clique of this graph.
+///
+/// Construction exploits that FD violations are *binary*: R ∪ T ∪ T' |= I_fd
+/// decomposes into (a) R ∪ T |= I_fd per transaction (the `valid_nodes`
+/// filter) and (b) T ∪ T' |= I_fd per pair. Pairs are found by hashing every
+/// FD's determinant projection across all pending tuples — conflicts are
+/// rare in practice, so the graph is "complete minus a few conflict pairs"
+/// rather than the result of O(k²) pairwise checks.
+class FdGraph {
+ public:
+  /// Builds the graph over all still-pending transactions of `db`.
+  explicit FdGraph(const BlockchainDatabase& db);
+
+  /// Adjacency over the full pending-id space; only valid nodes carry edges.
+  const BitGraph& graph() const { return graph_; }
+
+  /// valid_nodes[i] = transaction i is still pending, internally consistent
+  /// and FD-consistent with the current state (otherwise it can never be
+  /// part of any possible world).
+  const DynamicBitset& valid_nodes() const { return valid_nodes_; }
+
+  /// Number of conflicting (non-adjacent valid) pairs — the paper's
+  /// "contradictions" knob.
+  std::size_t num_conflict_pairs() const { return num_conflict_pairs_; }
+
+ private:
+  BitGraph graph_;
+  DynamicBitset valid_nodes_;
+  std::size_t num_conflict_pairs_ = 0;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_CORE_FD_GRAPH_H_

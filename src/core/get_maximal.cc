@@ -1,0 +1,30 @@
+#include "core/get_maximal.h"
+
+namespace bcdb {
+
+WorldView GetMaximal(const BlockchainDatabase& db,
+                     const std::vector<PendingId>& candidates,
+                     GetMaximalStats* stats) {
+  WorldView view = db.BaseView();
+  std::vector<PendingId> remaining = candidates;
+  bool progressed = true;
+  while (!remaining.empty() && progressed) {
+    progressed = false;
+    if (stats != nullptr) ++stats->iterations;
+    for (std::size_t i = 0; i < remaining.size();) {
+      const TupleOwner owner = static_cast<TupleOwner>(remaining[i]);
+      if (db.checker().CanAppendOwner(view, owner)) {
+        view.Activate(owner);
+        remaining[i] = remaining.back();
+        remaining.pop_back();
+        progressed = true;
+        if (stats != nullptr) ++stats->appended;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return view;
+}
+
+}  // namespace bcdb

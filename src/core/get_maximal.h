@@ -1,0 +1,31 @@
+#ifndef BCDB_CORE_GET_MAXIMAL_H_
+#define BCDB_CORE_GET_MAXIMAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/blockchain_db.h"
+#include "relational/world_view.h"
+
+namespace bcdb {
+
+struct GetMaximalStats {
+  std::size_t iterations = 0;
+  std::size_t appended = 0;
+};
+
+/// The paper's getMaximal(R, I, T'): the unique maximal possible world over
+/// the candidate transactions, built by a fixpoint that keeps appending any
+/// candidate consistent with the world so far.
+///
+/// When the candidates are a clique of G^fd_T (mutually FD-consistent and
+/// individually FD-consistent with R), the only reason a candidate stays out
+/// is a missing inclusion-dependency witness, and the result is the unique
+/// ⊆-maximal world over the candidate set.
+WorldView GetMaximal(const BlockchainDatabase& db,
+                     const std::vector<PendingId>& candidates,
+                     GetMaximalStats* stats = nullptr);
+
+}  // namespace bcdb
+
+#endif  // BCDB_CORE_GET_MAXIMAL_H_

@@ -1,0 +1,55 @@
+#include "core/ind_graph.h"
+
+#include <unordered_map>
+
+#include "relational/tuple.h"
+
+namespace bcdb {
+
+void MergeEqualityComponents(const BlockchainDatabase& db,
+                             const std::vector<EqualityConstraint>& equalities,
+                             const DynamicBitset& nodes, UnionFind& uf) {
+  for (const EqualityConstraint& eq : equalities) {
+    struct Bucket {
+      std::vector<PendingId> lhs_members;
+      std::vector<PendingId> rhs_members;
+    };
+    std::unordered_map<Tuple, Bucket, TupleHash> buckets;
+    const Relation& lhs_rel = db.database().relation(eq.lhs_relation_id);
+    const Relation& rhs_rel = db.database().relation(eq.rhs_relation_id);
+    nodes.ForEach([&](std::size_t id) {
+      const TupleOwner owner = static_cast<TupleOwner>(id);
+      for (TupleId t : lhs_rel.TuplesOwnedBy(owner)) {
+        buckets[lhs_rel.tuple(t).Project(eq.lhs_positions)]
+            .lhs_members.push_back(id);
+      }
+      for (TupleId t : rhs_rel.TuplesOwnedBy(owner)) {
+        buckets[rhs_rel.tuple(t).Project(eq.rhs_positions)]
+            .rhs_members.push_back(id);
+      }
+    });
+    for (const auto& [key, bucket] : buckets) {
+      if (bucket.lhs_members.empty() || bucket.rhs_members.empty()) continue;
+      // Constraint-satisfied pairs form a complete bipartite graph between
+      // the two sides, so the whole bucket is one component.
+      const PendingId anchor = bucket.lhs_members.front();
+      for (PendingId id : bucket.lhs_members) uf.Union(anchor, id);
+      for (PendingId id : bucket.rhs_members) uf.Union(anchor, id);
+    }
+  }
+}
+
+std::vector<std::vector<PendingId>> GroupComponents(const DynamicBitset& nodes,
+                                                    UnionFind& uf) {
+  std::unordered_map<std::size_t, std::vector<PendingId>> by_root;
+  nodes.ForEach(
+      [&](std::size_t id) { by_root[uf.Find(id)].push_back(id); });
+  std::vector<std::vector<PendingId>> components;
+  components.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    components.push_back(std::move(members));
+  }
+  return components;
+}
+
+}  // namespace bcdb

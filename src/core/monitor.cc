@@ -1,0 +1,59 @@
+#include "core/monitor.h"
+
+#include "query/compiled_query.h"
+
+namespace bcdb {
+
+const char* ConstraintMonitor::VerdictToString(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kUnknown:
+      return "unknown";
+    case Verdict::kHappened:
+      return "happened";
+    case Verdict::kPossible:
+      return "possible";
+    case Verdict::kImpossible:
+      return "impossible";
+  }
+  return "?";
+}
+
+StatusOr<std::size_t> ConstraintMonitor::Add(std::string label,
+                                             DenialConstraint q) {
+  // Validate now so Poll never trips over a malformed constraint.
+  StatusOr<CompiledQuery> compiled =
+      CompiledQuery::Compile(q, &db_->database());
+  if (!compiled.ok()) return compiled.status();
+  entries_.push_back(Entry{std::move(label), std::move(q)});
+  return entries_.size() - 1;
+}
+
+StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
+    const DcSatOptions& options) {
+  std::vector<Change> changes;
+  for (std::size_t handle = 0; handle < entries_.size(); ++handle) {
+    Entry& entry = entries_[handle];
+
+    // Happened? Evaluate over the current state only; compile per poll so
+    // schema-level index ids stay fresh after database mutations.
+    StatusOr<CompiledQuery> compiled =
+        CompiledQuery::Compile(entry.q, &db_->database());
+    if (!compiled.ok()) return compiled.status();
+    Verdict verdict;
+    if (compiled->Evaluate(db_->BaseView())) {
+      verdict = Verdict::kHappened;
+    } else {
+      StatusOr<DcSatResult> result = engine_.Check(entry.q, options);
+      if (!result.ok()) return result.status();
+      verdict =
+          result->satisfied ? Verdict::kImpossible : Verdict::kPossible;
+    }
+    if (verdict != entry.verdict) {
+      changes.push_back(Change{handle, entry.label, entry.verdict, verdict});
+      entry.verdict = verdict;
+    }
+  }
+  return changes;
+}
+
+}  // namespace bcdb

@@ -1,0 +1,73 @@
+#ifndef BCDB_CORE_MONITOR_H_
+#define BCDB_CORE_MONITOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/dcsat.h"
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace bcdb {
+
+/// Tracks standing denial constraints over one blockchain database and
+/// reports verdict *transitions* as the database evolves (new pending
+/// transactions, blocks applying, evictions) — the library form of a node
+/// operator's dashboard: every bad outcome is, at any moment, either
+/// already on the chain, still possible in some future, or impossible in
+/// every future.
+class ConstraintMonitor {
+ public:
+  enum class Verdict {
+    kUnknown,     // Not yet polled.
+    kHappened,    // q is true over the current state R itself.
+    kPossible,    // q holds in some possible world (DCSat: not satisfied).
+    kImpossible,  // q holds in no possible world (DCSat: satisfied).
+  };
+
+  static const char* VerdictToString(Verdict verdict);
+
+  struct Change {
+    std::size_t handle;
+    std::string label;
+    Verdict before;
+    Verdict after;
+  };
+
+  /// `db` must outlive the monitor.
+  explicit ConstraintMonitor(BlockchainDatabase* db)
+      : db_(db), engine_(db) {}
+
+  /// Registers a standing constraint; returns its handle. The constraint is
+  /// validated by compilation against the database schema.
+  StatusOr<std::size_t> Add(std::string label, DenialConstraint q);
+
+  std::size_t size() const { return entries_.size(); }
+  Verdict verdict(std::size_t handle) const {
+    return entries_[handle].verdict;
+  }
+  const std::string& label(std::size_t handle) const {
+    return entries_[handle].label;
+  }
+
+  /// Re-evaluates every standing constraint against the current database
+  /// state and returns the transitions since the previous poll (first poll
+  /// reports every constraint as a transition from kUnknown).
+  StatusOr<std::vector<Change>> Poll(const DcSatOptions& options = {});
+
+ private:
+  struct Entry {
+    std::string label;
+    DenialConstraint q;
+    Verdict verdict = Verdict::kUnknown;
+  };
+
+  BlockchainDatabase* db_;
+  DcSatEngine engine_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_CORE_MONITOR_H_

@@ -1,0 +1,72 @@
+#include "core/possible_worlds.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace bcdb {
+
+namespace {
+
+struct BitsetHash {
+  std::size_t operator()(const DynamicBitset& b) const { return b.Hash(); }
+};
+
+}  // namespace
+
+bool IsPossibleWorld(const BlockchainDatabase& db,
+                     const std::vector<PendingId>& subset) {
+  for (PendingId id : subset) {
+    if (!db.IsPending(id)) return false;
+  }
+  WorldView view = db.BaseView();
+  std::vector<PendingId> remaining = subset;
+  bool progressed = true;
+  while (!remaining.empty() && progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < remaining.size();) {
+      const TupleOwner owner = static_cast<TupleOwner>(remaining[i]);
+      if (db.checker().CanAppendOwner(view, owner)) {
+        view.Activate(owner);
+        remaining[i] = remaining.back();
+        remaining.pop_back();
+        progressed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return remaining.empty();
+}
+
+StatusOr<std::vector<WorldView>> EnumeratePossibleWorlds(
+    const BlockchainDatabase& db, std::size_t limit) {
+  const std::vector<PendingId> pending = db.PendingIds();
+  std::vector<WorldView> worlds;
+  std::unordered_set<DynamicBitset, BitsetHash> seen;
+
+  std::deque<WorldView> frontier;
+  frontier.push_back(db.BaseView());
+  seen.insert(frontier.back().active_bits());
+  while (!frontier.empty()) {
+    WorldView view = frontier.front();
+    frontier.pop_front();
+    worlds.push_back(view);
+    if (worlds.size() > limit) {
+      return Status::OutOfRange("possible-world enumeration exceeded limit " +
+                                std::to_string(limit));
+    }
+    for (PendingId id : pending) {
+      const TupleOwner owner = static_cast<TupleOwner>(id);
+      if (view.IsActive(owner)) continue;
+      if (!db.checker().CanAppendOwner(view, owner)) continue;
+      WorldView next = view;
+      next.Activate(owner);
+      if (seen.insert(next.active_bits()).second) {
+        frontier.push_back(next);
+      }
+    }
+  }
+  return worlds;
+}
+
+}  // namespace bcdb

@@ -1,0 +1,33 @@
+#ifndef BCDB_CORE_POSSIBLE_WORLDS_H_
+#define BCDB_CORE_POSSIBLE_WORLDS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/blockchain_db.h"
+#include "relational/world_view.h"
+#include "util/status.h"
+
+namespace bcdb {
+
+/// Decides R' ∈ Poss(D) for R' = R ∪ (the given pending transactions)
+/// — Proposition 1 of the paper, in PTIME.
+///
+/// Greedy: repeatedly append any transaction of `subset` that preserves I.
+/// Complete because FD satisfaction is anti-monotone (any subset of an
+/// FD-consistent set is FD-consistent) and IND witnesses persist under
+/// insertion, so an appendable transaction never becomes unappendable.
+bool IsPossibleWorld(const BlockchainDatabase& db,
+                     const std::vector<PendingId>& subset);
+
+/// Materializes Poss(D) exactly, as world views (the base world included),
+/// by breadth-first search over the can-append relation. Exponential in
+/// |T| in the worst case — this is the oracle for tests and for
+/// ExhaustiveDcSat, not a production path. Fails with OutOfRange once more
+/// than `limit` distinct worlds are found.
+StatusOr<std::vector<WorldView>> EnumeratePossibleWorlds(
+    const BlockchainDatabase& db, std::size_t limit);
+
+}  // namespace bcdb
+
+#endif  // BCDB_CORE_POSSIBLE_WORLDS_H_

@@ -1,0 +1,61 @@
+#ifndef BCDB_CORE_PROBABILITY_H_
+#define BCDB_CORE_PROBABILITY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/blockchain_db.h"
+#include "query/ast.h"
+#include "relational/world_view.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace bcdb {
+
+/// Per-transaction inclusion likelihoods — the paper's future-work idea of
+/// "weighting possible worlds by learning an estimation of their actual
+/// likelihood". The model is deliberately simple: each pending transaction
+/// carries an independent probability of being *offered* to the chain;
+/// consistency with the constraints (conflicts, dependencies) is enforced
+/// by the sampling process itself.
+struct InclusionModel {
+  /// probability[i] ∈ [0,1] for pending id i. Missing entries default to
+  /// `default_probability`.
+  std::vector<double> probability;
+  double default_probability = 0.5;
+
+  double ProbabilityOf(PendingId id) const {
+    return id < probability.size() ? probability[id] : default_probability;
+  }
+};
+
+/// Draws one possible world: pending transactions are visited in a uniformly
+/// random order; each is offered with its inclusion probability and accepted
+/// only if appending it preserves the constraints in the world built so far.
+/// Every draw is therefore a genuine element of Poss(D), and conflicting
+/// transactions race in arrival order — mirroring how miners resolve double
+/// spends.
+WorldView SampleWorld(const BlockchainDatabase& db, const InclusionModel& model,
+                      Xoshiro256& rng);
+
+struct ViolationEstimate {
+  /// Fraction of sampled worlds in which the denial constraint's underlying
+  /// query held (i.e. the bad outcome materialized).
+  double probability = 0;
+  /// Binomial standard error of `probability`.
+  double standard_error = 0;
+  std::size_t samples = 0;
+  std::size_t violations = 0;
+};
+
+/// Monte-Carlo estimate of the likelihood that `q` becomes true, under the
+/// inclusion model. Complements the Boolean DCSat verdict: DCSat says
+/// whether a bad outcome is possible at all; this says how worried to be.
+StatusOr<ViolationEstimate> EstimateViolationProbability(
+    const BlockchainDatabase& db, const DenialConstraint& q,
+    const InclusionModel& model, std::size_t samples, std::uint64_t seed);
+
+}  // namespace bcdb
+
+#endif  // BCDB_CORE_PROBABILITY_H_

@@ -1,0 +1,151 @@
+#include "core/tractable.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/dcsat.h"
+#include "core/get_maximal.h"
+#include "query/analysis.h"
+#include "query/compiled_query.h"
+#include "util/stopwatch.h"
+
+namespace bcdb {
+
+namespace {
+
+/// Can the supported tuples all come from one consistent world? Each tuple
+/// is contributed by the base state (free) or by pending transactions; we
+/// search over the (constantly many) owner choices for a set that is
+/// node-valid and pairwise adjacent in G^fd_T.
+bool SupportRealizable(const Database& database, const FdGraph& fd_graph,
+                       const std::vector<CompiledQuery::SupportEntry>& support,
+                       std::vector<PendingId>* witness) {
+  // Owner options per supported tuple; a base-owned tuple imposes nothing.
+  std::vector<std::vector<TupleOwner>> options;
+  for (const CompiledQuery::SupportEntry& entry : support) {
+    const std::vector<TupleOwner>& owners =
+        database.relation(entry.relation_id).owners(entry.tuple_id);
+    if (std::find(owners.begin(), owners.end(), kBaseOwner) != owners.end()) {
+      continue;  // Always present.
+    }
+    std::vector<TupleOwner> valid_owners;
+    for (TupleOwner owner : owners) {
+      if (fd_graph.valid_nodes().Test(static_cast<std::size_t>(owner))) {
+        valid_owners.push_back(owner);
+      }
+    }
+    if (valid_owners.empty()) return false;
+    options.push_back(std::move(valid_owners));
+  }
+
+  // Backtracking over owner choices (at most |q| tuples, few owners each).
+  std::vector<TupleOwner> chosen;
+  std::function<bool(std::size_t)> pick = [&](std::size_t i) -> bool {
+    if (i == options.size()) return true;
+    for (TupleOwner candidate : options[i]) {
+      bool compatible = true;
+      for (TupleOwner prior : chosen) {
+        if (prior != candidate &&
+            !fd_graph.graph().HasEdge(static_cast<std::size_t>(prior),
+                                      static_cast<std::size_t>(candidate))) {
+          compatible = false;
+          break;
+        }
+      }
+      if (!compatible) continue;
+      chosen.push_back(candidate);
+      if (pick(i + 1)) return true;
+      chosen.pop_back();
+    }
+    return false;
+  };
+  if (!pick(0)) return false;
+
+  if (witness != nullptr) {
+    witness->clear();
+    for (TupleOwner owner : chosen) {
+      witness->push_back(static_cast<PendingId>(owner));
+    }
+    std::sort(witness->begin(), witness->end());
+    witness->erase(std::unique(witness->begin(), witness->end()),
+                   witness->end());
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<DcSatResult> TryTractableDcSat(const BlockchainDatabase& db,
+                                             const FdGraph& fd_graph,
+                                             const DenialConstraint& q,
+                                             std::size_t support_limit) {
+  const bool has_fds = !db.constraints().fds().empty();
+  const bool has_inds = !db.constraints().inds().empty();
+  if (has_fds && has_inds) return std::nullopt;  // CoNP-complete territory.
+
+  Stopwatch watch;
+  const QueryAnalysis analysis = AnalyzeQuery(q, db.catalog());
+
+  // --- IND-only (or unconstrained): unique maximal world. ---
+  if (!has_fds) {
+    if (!analysis.monotone) return std::nullopt;
+    StatusOr<CompiledQuery> compiled =
+        CompiledQuery::Compile(q, &db.database());
+    if (!compiled.ok()) return std::nullopt;  // Caller reports the error.
+    DcSatResult result;
+    result.stats.algorithm_used = DcSatAlgorithm::kTractable;
+    result.stats.num_pending = db.PendingIds().size();
+    const WorldView maximal = GetMaximal(db, db.PendingIds());
+    result.stats.num_worlds_evaluated = 1;
+    if (compiled->Evaluate(maximal)) {
+      result.satisfied = false;
+      result.witness = maximal.active_bits().ToVector();
+    } else {
+      result.satisfied = true;
+    }
+    result.stats.total_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  // --- FD-only: assignment supports against G^fd_T. ---
+  if (q.is_aggregate() || !q.negated_atoms.empty()) return std::nullopt;
+  StatusOr<CompiledQuery> compiled = CompiledQuery::Compile(q, &db.database());
+  if (!compiled.ok()) return std::nullopt;
+
+  DcSatResult result;
+  result.stats.algorithm_used = DcSatAlgorithm::kTractable;
+  result.stats.num_pending = db.PendingIds().size();
+  result.stats.num_valid_nodes = fd_graph.valid_nodes().Count();
+  result.stats.fd_conflict_pairs = fd_graph.num_conflict_pairs();
+
+  bool realizable = false;
+  bool abstained = false;
+  std::size_t supports_seen = 0;
+  std::vector<PendingId> witness;
+  compiled->EnumerateSupports(
+      db.PendingUnionView(),
+      [&](const std::vector<CompiledQuery::SupportEntry>& support) {
+        if (++supports_seen > support_limit) {
+          abstained = true;
+          return false;
+        }
+        if (SupportRealizable(db.database(), fd_graph, support, &witness)) {
+          realizable = true;
+          return false;
+        }
+        return true;
+      });
+  if (abstained) return std::nullopt;
+
+  result.stats.num_worlds_evaluated = supports_seen;
+  if (realizable) {
+    result.satisfied = false;
+    result.witness = std::move(witness);
+  } else {
+    result.satisfied = true;
+  }
+  result.stats.total_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace bcdb

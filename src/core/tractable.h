@@ -1,0 +1,51 @@
+#ifndef BCDB_CORE_TRACTABLE_H_
+#define BCDB_CORE_TRACTABLE_H_
+
+#include <optional>
+
+#include "core/blockchain_db.h"
+#include "core/fd_graph.h"
+#include "query/ast.h"
+#include "util/status.h"
+
+// Forward declaration to avoid a core <-> core include cycle with dcsat.h.
+namespace bcdb {
+struct DcSatResult;
+}
+
+namespace bcdb {
+
+/// Polynomial-time decision procedures for the tractable fragments of
+/// Theorem 1 (and the monotone half of Theorem 2) — the cases where the
+/// general clique search is provably unnecessary:
+///
+/// * **FD-only** (`∆ ⊆ {key, fd}`), positive conjunctive `q`: a world is
+///   any FD-compatible transaction set (inclusion witnesses never gate
+///   appends), so `q` is realizable iff some satisfying assignment over
+///   R ∪ T is *supported* by transactions that are pairwise FD-consistent
+///   and individually consistent with R. We enumerate assignment supports
+///   and check their owner sets against G^fd_T — |q| is constant, so this
+///   is polynomial data complexity (Theorem 1, case DCSat(Qc,{key,fd})).
+///
+/// * **IND-only** (`∆ ⊆ {ind}`), monotone `q`: without FDs no two
+///   transactions conflict, so Poss(D) has a *unique maximal* world —
+///   getMaximal over all of T — and a monotone constraint is satisfied iff
+///   `q` is false there (Theorem 1 case DCSat(Qc,{ind}) restricted to
+///   positive queries, and Theorem 2 case DCSat(Q+_{α,>},{ind})).
+///
+/// `TryTractableDcSat` returns nullopt when (q, I) falls outside these
+/// fragments; the caller then runs the general algorithms. Results carry
+/// `DcSatAlgorithm::kTractable` and a witness world when unsatisfied.
+///
+/// `fd_graph` must be current for `db` (the engine's cached one).
+/// `support_limit` bounds the assignment-support enumeration of the FD-only
+/// path; if exceeded, the procedure abstains (nullopt) rather than risk a
+/// pathological query shape.
+std::optional<DcSatResult> TryTractableDcSat(const BlockchainDatabase& db,
+                                             const FdGraph& fd_graph,
+                                             const DenialConstraint& q,
+                                             std::size_t support_limit = 100000);
+
+}  // namespace bcdb
+
+#endif  // BCDB_CORE_TRACTABLE_H_

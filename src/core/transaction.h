@@ -1,0 +1,45 @@
+#ifndef BCDB_CORE_TRANSACTION_H_
+#define BCDB_CORE_TRANSACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/tuple.h"
+
+namespace bcdb {
+
+/// An insert transaction: a set of ground tuples destined for (some of) the
+/// relations of a blockchain database. Transactions are append-only — the
+/// only kind a blockchain database supports.
+class Transaction {
+ public:
+  struct Item {
+    std::string relation;
+    Tuple tuple;
+  };
+
+  Transaction() = default;
+  explicit Transaction(std::string label) : label_(std::move(label)) {}
+
+  /// Adds one tuple for `relation`. Duplicates are tolerated (set semantics
+  /// are enforced at insertion into the database).
+  void Add(std::string relation, Tuple tuple) {
+    items_.push_back(Item{std::move(relation), std::move(tuple)});
+  }
+
+  const std::vector<Item>& items() const { return items_; }
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  /// Optional display label ("T1", a Bitcoin txid, ...).
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+ private:
+  std::string label_;
+  std::vector<Item> items_;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_CORE_TRANSACTION_H_

@@ -1,0 +1,209 @@
+#include "network/simulator.h"
+
+#include <algorithm>
+
+namespace bcdb {
+namespace net {
+
+using bitcoin::BitcoinTransaction;
+using bitcoin::Block;
+using bitcoin::MinerPolicy;
+
+NetworkSimulator::NetworkSimulator(const NetworkParams& params)
+    : params_(params), rng_(params.seed) {
+  const std::size_t n = std::max<std::size_t>(params.num_nodes, 1);
+  nodes_.resize(n);
+  peers_.resize(n);
+  seen_txs_.resize(n);
+  seen_blocks_.resize(n);
+  orphan_txs_.resize(n);
+  orphan_blocks_.resize(n);
+
+  auto connect = [&](NodeId a, NodeId b) {
+    if (a == b) return;
+    if (std::find(peers_[a].begin(), peers_[a].end(), b) != peers_[a].end()) {
+      return;
+    }
+    peers_[a].push_back(b);
+    peers_[b].push_back(a);
+  };
+  // Ring for connectivity, plus random chords.
+  for (NodeId i = 0; i < n; ++i) connect(i, (i + 1) % n);
+  for (std::size_t e = 0; e < params.extra_edges && n > 2; ++e) {
+    connect(rng_.NextBelow(n), rng_.NextBelow(n));
+  }
+}
+
+Status NetworkSimulator::BroadcastTransaction(NodeId origin,
+                                              BitcoinTransaction tx) {
+  if (origin >= nodes_.size()) {
+    return Status::InvalidArgument("no such node");
+  }
+  const bitcoin::TxId txid = tx.txid();
+  BCDB_RETURN_IF_ERROR(nodes_[origin].SubmitTransaction(tx));
+  seen_txs_[origin].insert(txid);
+  DrainOrphans(origin);
+  GossipTransaction(origin, tx);
+  return Status::OK();
+}
+
+StatusOr<Block> NetworkSimulator::MineAt(NodeId origin,
+                                         const MinerPolicy& policy) {
+  if (origin >= nodes_.size()) {
+    return Status::InvalidArgument("no such node");
+  }
+  StatusOr<std::size_t> mined = nodes_[origin].MineBlock(policy);
+  if (!mined.ok()) return mined.status();
+  const Block block = nodes_[origin].chain().tip();
+  seen_blocks_[origin].insert(block.hash());
+  GossipBlock(origin, block);
+  return block;
+}
+
+void NetworkSimulator::GossipTransaction(NodeId from,
+                                         const BitcoinTransaction& tx) {
+  const std::size_t payload = tx_payloads_.size();
+  tx_payloads_.push_back(tx);
+  for (NodeId peer : peers_[from]) {
+    events_.push(Event{now_ + Latency(), next_sequence_++, peer,
+                       /*is_block=*/false, payload});
+  }
+}
+
+void NetworkSimulator::GossipBlock(NodeId from, const Block& block) {
+  const std::size_t payload = block_payloads_.size();
+  block_payloads_.push_back(block);
+  for (NodeId peer : peers_[from]) {
+    events_.push(Event{now_ + Latency(), next_sequence_++, peer,
+                       /*is_block=*/true, payload});
+  }
+}
+
+void NetworkSimulator::Run() {
+  while (!events_.empty()) {
+    const Event event = events_.top();
+    events_.pop();
+    now_ = std::max(now_, event.time);
+    Deliver(event);
+  }
+}
+
+void NetworkSimulator::RunUntil(double time) {
+  while (!events_.empty() && events_.top().time <= time) {
+    const Event event = events_.top();
+    events_.pop();
+    now_ = std::max(now_, event.time);
+    Deliver(event);
+  }
+  now_ = std::max(now_, time);
+}
+
+void NetworkSimulator::Deliver(const Event& event) {
+  ++events_processed_;
+  if (event.is_block) {
+    AcceptBlock(event.target, block_payloads_[event.payload]);
+  } else {
+    AcceptTransaction(event.target, tx_payloads_[event.payload]);
+  }
+}
+
+void NetworkSimulator::AcceptTransaction(NodeId target,
+                                         const BitcoinTransaction& tx) {
+  if (!seen_txs_[target].insert(tx.txid()).second) return;  // Duplicate.
+  const Status status = nodes_[target].SubmitTransaction(tx);
+  if (status.ok()) {
+    DrainOrphans(target);
+    GossipTransaction(target, tx);
+    return;
+  }
+  if (status.code() == StatusCode::kNotFound) {
+    // Parent unknown yet (gossip raced): hold and retry later. Keep it
+    // marked seen so repeated gossip doesn't duplicate the orphan.
+    tx_payloads_.push_back(tx);
+    orphan_txs_[target].push_back(tx_payloads_.size() - 1);
+  }
+  // Other rejections (confirmed spend, bad signature): drop silently, as a
+  // real node would.
+}
+
+void NetworkSimulator::AcceptBlock(NodeId target, const Block& block) {
+  if (!seen_blocks_[target].insert(block.hash()).second) return;
+  const bitcoin::Blockchain& chain = nodes_[target].chain();
+  if (block.prev_hash() == chain.tip().hash()) {
+    if (nodes_[target].ReceiveBlock(block).ok()) {
+      DrainOrphans(target);
+      GossipBlock(target, block);
+    }
+    return;
+  }
+  if (block.height() > chain.height() + 1) {
+    // Ahead of us: a predecessor is still in flight.
+    block_payloads_.push_back(block);
+    orphan_blocks_[target].push_back(block_payloads_.size() - 1);
+  }
+  // Old or already-known heights: ignore (single-chain model, no forks).
+}
+
+void NetworkSimulator::DrainOrphans(NodeId target) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Blocks first: they may unlock many orphaned transactions.
+    std::vector<std::size_t> blocks = std::move(orphan_blocks_[target]);
+    orphan_blocks_[target].clear();
+    for (std::size_t payload : blocks) {
+      const Block& block = block_payloads_[payload];
+      const bitcoin::Blockchain& chain = nodes_[target].chain();
+      if (block.prev_hash() == chain.tip().hash() &&
+          nodes_[target].ReceiveBlock(block).ok()) {
+        GossipBlock(target, block);
+        progressed = true;
+      } else if (block.height() > chain.height() + 1) {
+        orphan_blocks_[target].push_back(payload);  // Still waiting.
+      }
+    }
+    std::vector<std::size_t> txs = std::move(orphan_txs_[target]);
+    orphan_txs_[target].clear();
+    for (std::size_t payload : txs) {
+      const BitcoinTransaction& tx = tx_payloads_[payload];
+      const Status status = nodes_[target].SubmitTransaction(tx);
+      if (status.ok()) {
+        GossipTransaction(target, tx);
+        progressed = true;
+      } else if (status.code() == StatusCode::kNotFound) {
+        orphan_txs_[target].push_back(payload);  // Still waiting.
+      }
+      // Other rejections: drop.
+    }
+  }
+}
+
+double NetworkSimulator::MempoolJaccard(NodeId a, NodeId b) const {
+  std::unordered_set<bitcoin::TxId> in_a;
+  for (const BitcoinTransaction& tx : nodes_[a].mempool().transactions()) {
+    in_a.insert(tx.txid());
+  }
+  std::size_t intersection = 0;
+  std::size_t union_size = in_a.size();
+  for (const BitcoinTransaction& tx : nodes_[b].mempool().transactions()) {
+    if (in_a.count(tx.txid()) > 0) {
+      ++intersection;
+    } else {
+      ++union_size;
+    }
+  }
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+bool NetworkSimulator::ChainsConsistent() const {
+  for (const bitcoin::SimulatedNode& node : nodes_) {
+    if (node.chain().tip().hash() != nodes_[0].chain().tip().hash()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace bcdb

@@ -1,0 +1,130 @@
+#ifndef BCDB_NETWORK_SIMULATOR_H_
+#define BCDB_NETWORK_SIMULATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bitcoin/node.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace bcdb {
+namespace net {
+
+using NodeId = std::size_t;
+
+/// Topology and timing of the simulated P2P network.
+struct NetworkParams {
+  std::size_t num_nodes = 5;
+  /// Extra random edges on top of the ring that guarantees connectivity.
+  std::size_t extra_edges = 3;
+  /// Per-hop propagation delay is uniform in [min_latency, max_latency]
+  /// (seconds of simulated time).
+  double min_latency = 0.05;
+  double max_latency = 0.40;
+  std::uint64_t seed = 1;
+};
+
+/// Discrete-event gossip simulation of a small Bitcoin-style P2P network.
+///
+/// Each node is a full `SimulatedNode` (chain + mempool + miner).
+/// Transactions and blocks injected at one node flood-fill to peers with
+/// randomized per-hop latency; nodes deduplicate by id and hold
+/// out-of-order arrivals (a child transaction before its parent, a block
+/// before its predecessor) in orphan buffers that are retried as context
+/// arrives.
+///
+/// This models the paper's observation (footnote 6) that T is not
+/// necessarily identical across nodes at a given instant: two nodes may
+/// answer the same denial constraint differently until gossip converges.
+/// Mining is serialized by the caller (no forks — see the paper's Remark 1).
+class NetworkSimulator {
+ public:
+  explicit NetworkSimulator(const NetworkParams& params);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const bitcoin::SimulatedNode& node(NodeId id) const { return nodes_[id]; }
+  const std::vector<NodeId>& peers(NodeId id) const { return peers_[id]; }
+
+  /// Current simulated time (advances as events are processed).
+  double now() const { return now_; }
+  std::size_t events_processed() const { return events_processed_; }
+
+  /// Injects `tx` at `origin` (as if a wallet broadcast it there) and
+  /// schedules gossip. Fails only if the origin node itself rejects the
+  /// transaction outright.
+  Status BroadcastTransaction(NodeId origin, bitcoin::BitcoinTransaction tx);
+
+  /// `origin` mines a block from *its* view and announces it. The block
+  /// propagates to every node as events are processed.
+  StatusOr<bitcoin::Block> MineAt(NodeId origin,
+                                  const bitcoin::MinerPolicy& policy);
+
+  /// Processes events until the queue drains.
+  void Run();
+  /// Processes events with timestamp <= `time`, then sets now() = time.
+  void RunUntil(double time);
+
+  /// |mempool(a) ∩ mempool(b)| / |mempool(a) ∪ mempool(b)|; 1.0 when both
+  /// are empty. The convergence metric.
+  double MempoolJaccard(NodeId a, NodeId b) const;
+
+  /// True when every node's tip equals node 0's tip.
+  bool ChainsConsistent() const;
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t sequence;  // Deterministic FIFO tie-break.
+    NodeId target;
+    bool is_block;
+    std::size_t payload;  // Index into tx_payloads_ / block_payloads_.
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void GossipTransaction(NodeId from, const bitcoin::BitcoinTransaction& tx);
+  void GossipBlock(NodeId from, const bitcoin::Block& block);
+  void Deliver(const Event& event);
+  void AcceptTransaction(NodeId target, const bitcoin::BitcoinTransaction& tx);
+  void AcceptBlock(NodeId target, const bitcoin::Block& block);
+  /// Retries orphaned transactions/blocks of `target` after new context.
+  void DrainOrphans(NodeId target);
+
+  double Latency() { return params_.min_latency +
+                            rng_.NextDouble() *
+                                (params_.max_latency - params_.min_latency); }
+
+  NetworkParams params_;
+  Xoshiro256 rng_;
+  std::vector<bitcoin::SimulatedNode> nodes_;
+  std::vector<std::vector<NodeId>> peers_;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t next_sequence_ = 0;
+  double now_ = 0;
+  std::size_t events_processed_ = 0;
+
+  // Payload stores (events reference by index to keep Event POD-ish).
+  std::vector<bitcoin::BitcoinTransaction> tx_payloads_;
+  std::vector<bitcoin::Block> block_payloads_;
+
+  // Per-node gossip dedup and orphan buffers.
+  std::vector<std::unordered_set<bitcoin::TxId>> seen_txs_;
+  std::vector<std::unordered_set<bitcoin::BlockHash>> seen_blocks_;
+  std::vector<std::vector<std::size_t>> orphan_txs_;    // Payload indexes.
+  std::vector<std::vector<std::size_t>> orphan_blocks_;  // Payload indexes.
+};
+
+}  // namespace net
+}  // namespace bcdb
+
+#endif  // BCDB_NETWORK_SIMULATOR_H_

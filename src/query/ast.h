@@ -1,0 +1,136 @@
+#ifndef BCDB_QUERY_AST_H_
+#define BCDB_QUERY_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace bcdb {
+
+/// A term in a query body: a named variable or a constant value.
+class Term {
+ public:
+  static Term Var(std::string name) {
+    Term t;
+    t.is_var_ = true;
+    t.name_ = std::move(name);
+    return t;
+  }
+  static Term Const(Value value) {
+    Term t;
+    t.is_var_ = false;
+    t.value_ = std::move(value);
+    return t;
+  }
+  /// Shorthand constant constructors.
+  static Term Const(std::int64_t v) { return Const(Value::Int(v)); }
+  static Term Const(const char* v) { return Const(Value::Str(v)); }
+  static Term Const(std::string v) { return Const(Value::Str(std::move(v))); }
+
+  bool is_variable() const { return is_var_; }
+  /// Requires is_variable().
+  const std::string& name() const { return name_; }
+  /// Requires !is_variable().
+  const Value& value() const { return value_; }
+
+  bool operator==(const Term& other) const {
+    if (is_var_ != other.is_var_) return false;
+    return is_var_ ? name_ == other.name_ : value_ == other.value_;
+  }
+
+  std::string ToString() const {
+    return is_var_ ? name_ : value_.ToString();
+  }
+
+ private:
+  bool is_var_ = false;
+  std::string name_;
+  Value value_;
+};
+
+/// A relational atom `R(t1, ..., tn)`, possibly negated.
+struct Atom {
+  std::string relation;
+  std::vector<Term> args;
+  bool negated = false;
+
+  std::string ToString() const;
+};
+
+/// Comparison operators usable in query bodies and aggregate heads.
+enum class ComparisonOp {
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+};
+
+const char* ComparisonOpToString(ComparisonOp op);
+
+/// Returns whether `lhs op rhs` holds under Value ordering.
+bool EvaluateComparison(const Value& lhs, ComparisonOp op, const Value& rhs);
+
+/// A comparison `t1 op t2` between terms of the body.
+struct Comparison {
+  Term lhs;
+  ComparisonOp op;
+  Term rhs;
+
+  std::string ToString() const;
+};
+
+/// Aggregate functions of the paper: count, cntd (count distinct), sum, max
+/// (min is the symmetric case noted after Theorem 2).
+enum class AggregateFunction {
+  kCount,
+  kCountDistinct,
+  kSum,
+  kMax,
+  kMin,
+};
+
+const char* AggregateFunctionToString(AggregateFunction fn);
+
+/// The head `[q(α(x̄)) ← body] θ c` of an aggregate denial constraint.
+struct AggregateSpec {
+  AggregateFunction fn = AggregateFunction::kCount;
+  /// The tuple x̄ of variables aggregated over (may be empty for count).
+  std::vector<Term> args;
+  ComparisonOp op = ComparisonOp::kGt;
+  Value threshold;
+};
+
+/// A denial constraint: a Boolean (possibly aggregate) query `q` that the
+/// user wants to evaluate to false over *every* possible world.
+///
+/// A plain constraint `q() ← P, N, C` holds positive atoms `P`, negated
+/// atoms `N` and comparisons `C`; an aggregate constraint adds the
+/// `aggregate` head. Structural validation (safety, schema binding) happens
+/// in CompiledQuery::Compile.
+struct DenialConstraint {
+  std::string name = "q";
+  /// Head variables. Empty for Boolean queries (denial constraints proper);
+  /// non-empty heads turn the query into an answer-producing conjunctive
+  /// query, used by the certain/possible-answer machinery. Mutually
+  /// exclusive with `aggregate`.
+  std::vector<Term> head_vars;
+  std::vector<Atom> positive_atoms;
+  std::vector<Atom> negated_atoms;
+  std::vector<Comparison> comparisons;
+  std::optional<AggregateSpec> aggregate;
+
+  bool is_aggregate() const { return aggregate.has_value(); }
+  bool is_positive() const { return negated_atoms.empty(); }
+  bool is_boolean() const { return head_vars.empty(); }
+
+  /// Datalog-ish rendering, parseable by query::Parse.
+  std::string ToString() const;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_QUERY_AST_H_

@@ -1,0 +1,661 @@
+#include "query/compiled_query.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace bcdb {
+
+namespace {
+
+/// Maps variable names to dense ids, in order of first appearance.
+class VariableTable {
+ public:
+  std::size_t Intern(const std::string& name) {
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    const std::size_t id = names_.size();
+    ids_.emplace(name, id);
+    names_.push_back(name);
+    return id;
+  }
+
+  StatusOr<std::size_t> Lookup(const std::string& name) const {
+    auto it = ids_.find(name);
+    if (it == ids_.end()) {
+      return Status::InvalidArgument(
+          "unsafe query: variable '" + name +
+          "' does not occur in any positive atom");
+    }
+    return it->second;
+  }
+
+  std::vector<std::string> names() const { return names_; }
+
+ private:
+  std::map<std::string, std::size_t> ids_;
+  std::vector<std::string> names_;
+};
+
+Status ValidateAtomAgainstSchema(const Atom& atom, const RelationSchema& schema) {
+  if (atom.args.size() != schema.arity()) {
+    return Status::InvalidArgument(
+        "atom " + atom.ToString() + " has arity " +
+        std::to_string(atom.args.size()) + " but relation " + schema.name() +
+        " has arity " + std::to_string(schema.arity()));
+  }
+  for (std::size_t i = 0; i < atom.args.size(); ++i) {
+    if (atom.args[i].is_variable()) continue;
+    const Value& v = atom.args[i].value();
+    const ValueType expected = schema.attribute(i).type;
+    const bool numeric_ok = v.IsNumeric() && (expected == ValueType::kInt ||
+                                              expected == ValueType::kReal);
+    if (v.type() != expected && !numeric_ok) {
+      return Status::InvalidArgument(
+          "constant " + v.ToString() + " at position " + std::to_string(i) +
+          " of atom " + atom.ToString() + " has wrong type (expected " +
+          ValueTypeToString(expected) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<CompiledQuery> CompiledQuery::Compile(const DenialConstraint& q,
+                                               const Database* db) {
+  CompiledQuery result;
+  result.db_ = db;
+  result.source_ = q;
+  const Catalog& catalog = db->catalog();
+
+  if (q.positive_atoms.empty()) {
+    return Status::InvalidArgument("query '" + q.name +
+                                   "' has no positive atoms");
+  }
+
+  // --- Validate atoms and intern variables (positive atoms define them). ---
+  VariableTable vars;
+  std::vector<std::size_t> atom_relation_ids(q.positive_atoms.size());
+  for (std::size_t a = 0; a < q.positive_atoms.size(); ++a) {
+    const Atom& atom = q.positive_atoms[a];
+    StatusOr<std::size_t> rel_id = catalog.RelationId(atom.relation);
+    if (!rel_id.ok()) return rel_id.status();
+    BCDB_RETURN_IF_ERROR(
+        ValidateAtomAgainstSchema(atom, catalog.schema(*rel_id)));
+    atom_relation_ids[a] = *rel_id;
+    for (const Term& term : atom.args) {
+      if (term.is_variable()) vars.Intern(term.name());
+    }
+  }
+
+  auto resolve_term = [&](const Term& term) -> StatusOr<Arg> {
+    Arg arg;
+    if (term.is_variable()) {
+      StatusOr<std::size_t> id = vars.Lookup(term.name());
+      if (!id.ok()) return id.status();
+      arg.is_var = true;
+      arg.var = *id;
+    } else {
+      arg.constant = term.value();
+    }
+    return arg;
+  };
+
+  // --- Compile negated atoms and comparisons (safety-checked). ---
+  struct PendingNeg {
+    NegCheck check;
+    std::vector<std::size_t> vars;
+  };
+  std::vector<PendingNeg> pending_negs;
+  for (const Atom& atom : q.negated_atoms) {
+    StatusOr<std::size_t> rel_id = catalog.RelationId(atom.relation);
+    if (!rel_id.ok()) return rel_id.status();
+    BCDB_RETURN_IF_ERROR(
+        ValidateAtomAgainstSchema(atom, catalog.schema(*rel_id)));
+    PendingNeg pending;
+    pending.check.relation_id = *rel_id;
+    for (const Term& term : atom.args) {
+      StatusOr<Arg> arg = resolve_term(term);
+      if (!arg.ok()) return arg.status();
+      if (arg->is_var) pending.vars.push_back(arg->var);
+      pending.check.args.push_back(std::move(*arg));
+    }
+    pending_negs.push_back(std::move(pending));
+  }
+
+  struct PendingCmp {
+    CmpCheck check;
+    std::vector<std::size_t> vars;
+  };
+  std::vector<PendingCmp> pending_cmps;
+  for (const Comparison& cmp : q.comparisons) {
+    StatusOr<Arg> lhs = resolve_term(cmp.lhs);
+    if (!lhs.ok()) return lhs.status();
+    StatusOr<Arg> rhs = resolve_term(cmp.rhs);
+    if (!rhs.ok()) return rhs.status();
+    if (!lhs->is_var && !rhs->is_var) {
+      // Constant comparison: fold at compile time.
+      if (!EvaluateComparison(lhs->constant, cmp.op, rhs->constant)) {
+        result.always_false_ = true;
+      }
+      continue;
+    }
+    PendingCmp pending;
+    pending.check = CmpCheck{std::move(*lhs), cmp.op, std::move(*rhs)};
+    if (pending.check.lhs.is_var) pending.vars.push_back(pending.check.lhs.var);
+    if (pending.check.rhs.is_var) pending.vars.push_back(pending.check.rhs.var);
+    pending_cmps.push_back(std::move(pending));
+  }
+
+  // --- Compile the head (answer-producing queries). ---
+  if (!q.head_vars.empty() && q.aggregate.has_value()) {
+    return Status::InvalidArgument(
+        "a query cannot have both head variables and an aggregate");
+  }
+  for (const Term& term : q.head_vars) {
+    if (!term.is_variable()) {
+      return Status::InvalidArgument("head arguments must be variables");
+    }
+    StatusOr<std::size_t> id = vars.Lookup(term.name());
+    if (!id.ok()) return id.status();
+    result.head_var_ids_.push_back(*id);
+  }
+
+  // --- Compile the aggregate head. ---
+  if (q.aggregate.has_value()) {
+    const AggregateSpec& spec = *q.aggregate;
+    result.is_aggregate_ = true;
+    result.agg_fn_ = spec.fn;
+    result.agg_op_ = spec.op;
+    result.agg_threshold_ = spec.threshold;
+    for (const Term& term : spec.args) {
+      if (!term.is_variable()) {
+        return Status::InvalidArgument(
+            "aggregate arguments must be variables in query '" + q.name + "'");
+      }
+      StatusOr<std::size_t> id = vars.Lookup(term.name());
+      if (!id.ok()) return id.status();
+      result.agg_vars_.push_back(*id);
+    }
+    const bool value_agg = spec.fn == AggregateFunction::kSum ||
+                           spec.fn == AggregateFunction::kMax ||
+                           spec.fn == AggregateFunction::kMin;
+    if (value_agg && result.agg_vars_.size() != 1) {
+      return Status::InvalidArgument(
+          std::string(AggregateFunctionToString(spec.fn)) +
+          " aggregates take exactly one variable");
+    }
+    if (value_agg) {
+      // The aggregated variable is non-negative if any positive-atom
+      // occurrence is at a non-negative attribute (equal values, so one
+      // witness position suffices).
+      for (std::size_t a = 0; a < q.positive_atoms.size(); ++a) {
+        const RelationSchema& schema = catalog.schema(atom_relation_ids[a]);
+        const Atom& atom = q.positive_atoms[a];
+        for (std::size_t i = 0; i < atom.args.size(); ++i) {
+          if (atom.args[i].is_variable() &&
+              atom.args[i].name() == spec.args[0].name() &&
+              schema.attribute(i).non_negative) {
+            result.aggregate_arg_non_negative_ = true;
+          }
+        }
+      }
+    }
+    // Early exit is sound when the partial aggregate can only move toward
+    // the threshold: growing aggregates with >,>= and min with <,<=.
+    const bool grows =
+        spec.fn == AggregateFunction::kCount ||
+        spec.fn == AggregateFunction::kCountDistinct ||
+        spec.fn == AggregateFunction::kMax ||
+        (spec.fn == AggregateFunction::kSum &&
+         result.aggregate_arg_non_negative_);
+    const bool shrinks = spec.fn == AggregateFunction::kMin;
+    result.agg_early_exit_ =
+        (grows && (spec.op == ComparisonOp::kGt || spec.op == ComparisonOp::kGe)) ||
+        (shrinks && (spec.op == ComparisonOp::kLt || spec.op == ComparisonOp::kLe));
+  }
+
+  // --- Greedy bound-first join order over the positive atoms. ---
+  result.variable_names_ = vars.names();
+  std::vector<bool> var_bound(result.variable_names_.size(), false);
+  std::vector<bool> atom_planned(q.positive_atoms.size(), false);
+  std::vector<bool> cmp_attached(pending_cmps.size(), false);
+  std::vector<bool> neg_attached(pending_negs.size(), false);
+
+  for (std::size_t round = 0; round < q.positive_atoms.size(); ++round) {
+    // Pick the unplanned atom with the most bound positions.
+    std::size_t best = q.positive_atoms.size();
+    std::size_t best_score = 0;
+    for (std::size_t a = 0; a < q.positive_atoms.size(); ++a) {
+      if (atom_planned[a]) continue;
+      std::size_t score = 0;
+      for (const Term& term : q.positive_atoms[a].args) {
+        if (!term.is_variable()) {
+          ++score;
+        } else {
+          StatusOr<std::size_t> id = vars.Lookup(term.name());
+          if (var_bound[*id]) ++score;
+        }
+      }
+      if (best == q.positive_atoms.size() || score > best_score) {
+        best = a;
+        best_score = score;
+      }
+    }
+    atom_planned[best] = true;
+
+    const Atom& atom = q.positive_atoms[best];
+    Step step;
+    step.relation_id = atom_relation_ids[best];
+
+    std::vector<std::size_t> bound_positions;
+    for (std::size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& term = atom.args[i];
+      if (!term.is_variable()) {
+        bound_positions.push_back(i);
+      } else {
+        const std::size_t id = *vars.Lookup(term.name());
+        if (var_bound[id]) bound_positions.push_back(i);
+      }
+    }
+    // bound_positions is sorted by construction (ascending i).
+    step.use_index = !bound_positions.empty();
+    if (step.use_index) {
+      step.index_id =
+          db->relation(step.relation_id).GetOrBuildIndex(bound_positions);
+      for (std::size_t pos : bound_positions) {
+        const Term& term = atom.args[pos];
+        Arg arg;
+        if (term.is_variable()) {
+          arg.is_var = true;
+          arg.var = *vars.Lookup(term.name());
+        } else {
+          arg.constant = term.value();
+        }
+        step.key_args.push_back(std::move(arg));
+      }
+    }
+
+    // Actions for the positions not covered by the index key. A variable's
+    // first unbound occurrence binds it; later occurrences (still within
+    // this atom) compare against the fresh binding.
+    std::size_t next_bound = 0;
+    for (std::size_t i = 0; i < atom.args.size(); ++i) {
+      const bool in_key = step.use_index &&
+                          next_bound < bound_positions.size() &&
+                          bound_positions[next_bound] == i;
+      if (in_key) {
+        ++next_bound;
+        continue;
+      }
+      const Term& term = atom.args[i];
+      ArgAction action;
+      action.position = i;
+      if (!term.is_variable()) {
+        action.kind = ArgAction::kCheckConst;
+        action.constant = term.value();
+      } else {
+        const std::size_t id = *vars.Lookup(term.name());
+        if (var_bound[id]) {
+          action.kind = ArgAction::kCheckVar;
+          action.var = id;
+        } else {
+          action.kind = ArgAction::kBind;
+          action.var = id;
+          var_bound[id] = true;
+        }
+      }
+      step.actions.push_back(std::move(action));
+    }
+
+    // Attach comparisons and negations that just became fully bound.
+    for (std::size_t c = 0; c < pending_cmps.size(); ++c) {
+      if (cmp_attached[c]) continue;
+      const bool ready = std::all_of(
+          pending_cmps[c].vars.begin(), pending_cmps[c].vars.end(),
+          [&](std::size_t v) { return var_bound[v]; });
+      if (ready) {
+        step.comparisons.push_back(pending_cmps[c].check);
+        cmp_attached[c] = true;
+      }
+    }
+    for (std::size_t n = 0; n < pending_negs.size(); ++n) {
+      if (neg_attached[n]) continue;
+      const bool ready = std::all_of(
+          pending_negs[n].vars.begin(), pending_negs[n].vars.end(),
+          [&](std::size_t v) { return var_bound[v]; });
+      if (ready) {
+        step.negations.push_back(pending_negs[n].check);
+        neg_attached[n] = true;
+      }
+    }
+
+    result.steps_.push_back(std::move(step));
+  }
+
+  // --- Constant-coverage probes (for OptDCSat's Covers test). ---
+  for (std::size_t a = 0; a < q.positive_atoms.size(); ++a) {
+    const Atom& atom = q.positive_atoms[a];
+    std::vector<std::size_t> const_positions;
+    std::vector<Value> const_values;
+    for (std::size_t i = 0; i < atom.args.size(); ++i) {
+      if (!atom.args[i].is_variable()) {
+        const_positions.push_back(i);
+        const_values.push_back(atom.args[i].value());
+      }
+    }
+    if (const_positions.empty()) continue;
+    CoverProbe probe;
+    probe.relation_id = atom_relation_ids[a];
+    probe.index_id =
+        db->relation(probe.relation_id).GetOrBuildIndex(const_positions);
+    probe.key = Tuple(std::move(const_values));
+    result.cover_probes_.push_back(std::move(probe));
+  }
+
+  return result;
+}
+
+/// Streaming aggregate accumulator over the satisfying-assignment bag.
+struct CompiledQuery::AggState {
+  const CompiledQuery* query;
+  std::int64_t count = 0;
+  std::unordered_set<Tuple, TupleHash> distinct;
+  bool sum_is_int = true;
+  std::int64_t sum_int = 0;
+  double sum_real = 0;
+  std::optional<Value> best;  // max/min
+
+  /// Folds one assignment in; returns true if the early-exit condition
+  /// already guarantees the aggregate comparison holds.
+  bool Accumulate(const std::vector<Value>& assignment) {
+    switch (query->agg_fn_) {
+      case AggregateFunction::kCount:
+        ++count;
+        break;
+      case AggregateFunction::kCountDistinct: {
+        std::vector<Value> projected;
+        projected.reserve(query->agg_vars_.size());
+        for (std::size_t v : query->agg_vars_) projected.push_back(assignment[v]);
+        distinct.insert(Tuple(std::move(projected)));
+        break;
+      }
+      case AggregateFunction::kSum: {
+        const Value& v = assignment[query->agg_vars_[0]];
+        if (sum_is_int && v.type() == ValueType::kInt) {
+          sum_int += v.AsInt();
+        } else {
+          if (sum_is_int) {
+            sum_real = static_cast<double>(sum_int);
+            sum_is_int = false;
+          }
+          sum_real += v.AsNumeric();
+        }
+        ++count;
+        break;
+      }
+      case AggregateFunction::kMax: {
+        const Value& v = assignment[query->agg_vars_[0]];
+        if (!best.has_value() || v > *best) best = v;
+        ++count;
+        break;
+      }
+      case AggregateFunction::kMin: {
+        const Value& v = assignment[query->agg_vars_[0]];
+        if (!best.has_value() || v < *best) best = v;
+        ++count;
+        break;
+      }
+    }
+    return query->agg_early_exit_ && !Empty() &&
+           EvaluateComparison(Current(), query->agg_op_,
+                              query->agg_threshold_);
+  }
+
+  bool Empty() const {
+    switch (query->agg_fn_) {
+      case AggregateFunction::kCount:
+        return count == 0;
+      case AggregateFunction::kCountDistinct:
+        return distinct.empty();
+      default:
+        return count == 0;
+    }
+  }
+
+  Value Current() const {
+    switch (query->agg_fn_) {
+      case AggregateFunction::kCount:
+        return Value::Int(count);
+      case AggregateFunction::kCountDistinct:
+        return Value::Int(static_cast<std::int64_t>(distinct.size()));
+      case AggregateFunction::kSum:
+        return sum_is_int ? Value::Int(sum_int) : Value::Real(sum_real);
+      case AggregateFunction::kMax:
+      case AggregateFunction::kMin:
+        return *best;
+    }
+    return Value::Null();
+  }
+
+  /// Final truth value: the empty bag evaluates to false (paper Section 5).
+  bool Finalize() const {
+    if (Empty()) return false;
+    return EvaluateComparison(Current(), query->agg_op_,
+                              query->agg_threshold_);
+  }
+};
+
+bool CompiledQuery::MatchCandidate(const Step& step, TupleId id,
+                                   const WorldView& view,
+                                   std::vector<Value>& assignment,
+                                   SearchContext& context) const {
+  const Relation& rel = db_->relation(step.relation_id);
+  if (!rel.IsVisible(id, view)) return false;
+  const Tuple& t = rel.tuple(id);
+  for (const ArgAction& action : step.actions) {
+    const Value& v = t[action.position];
+    switch (action.kind) {
+      case ArgAction::kCheckConst:
+        if (v != action.constant) return false;
+        break;
+      case ArgAction::kCheckVar:
+        if (v != assignment[action.var]) return false;
+        break;
+      case ArgAction::kBind:
+        assignment[action.var] = v;
+        break;
+    }
+  }
+  for (const CmpCheck& cmp : step.comparisons) {
+    if (!EvaluateComparison(ResolveArg(cmp.lhs, assignment), cmp.op,
+                            ResolveArg(cmp.rhs, assignment))) {
+      return false;
+    }
+  }
+  for (const NegCheck& neg : step.negations) {
+    std::vector<Value> ground;
+    ground.reserve(neg.args.size());
+    for (const Arg& arg : neg.args) ground.push_back(ResolveArg(arg, assignment));
+    if (db_->relation(neg.relation_id)
+            .ContainsVisible(Tuple(std::move(ground)), view)) {
+      return false;
+    }
+  }
+  // Find the step index to continue from: steps are contiguous, so locate
+  // this step and recurse to the next.
+  const std::size_t step_idx = static_cast<std::size_t>(&step - steps_.data());
+  if (context.support != nullptr) {
+    context.support->push_back(SupportEntry{step.relation_id, id});
+    const bool stop = Search(step_idx + 1, view, assignment, context);
+    context.support->pop_back();
+    return stop;
+  }
+  return Search(step_idx + 1, view, assignment, context);
+}
+
+bool CompiledQuery::Search(std::size_t step_idx, const WorldView& view,
+                           std::vector<Value>& assignment,
+                           SearchContext& context) const {
+  if (step_idx == steps_.size()) {
+    if (context.support_sink != nullptr) {
+      return !(*context.support_sink)(*context.support);
+    }
+    if (context.sink != nullptr) return (*context.sink)(assignment);
+    if (context.agg == nullptr) {
+      return true;  // One satisfying assignment suffices.
+    }
+    return context.agg->Accumulate(assignment);
+  }
+  const Step& step = steps_[step_idx];
+  const Relation& rel = db_->relation(step.relation_id);
+  if (step.use_index) {
+    std::vector<Value> key_values;
+    key_values.reserve(step.key_args.size());
+    for (const Arg& arg : step.key_args) {
+      key_values.push_back(ResolveArg(arg, assignment));
+    }
+    const Tuple key(std::move(key_values));
+    for (TupleId id : rel.IndexLookup(step.index_id, key)) {
+      if (MatchCandidate(step, id, view, assignment, context)) return true;
+    }
+  } else {
+    const std::size_t n = rel.num_tuples();
+    for (TupleId id = 0; id < n; ++id) {
+      if (MatchCandidate(step, id, view, assignment, context)) return true;
+    }
+  }
+  return false;
+}
+
+bool CompiledQuery::Evaluate(const WorldView& view) const {
+  if (always_false_) return false;
+  std::vector<Value> assignment(num_variables());
+  SearchContext context;
+  if (!is_aggregate_) {
+    return Search(0, view, assignment, context);
+  }
+  AggState agg;
+  agg.query = this;
+  context.agg = &agg;
+  if (Search(0, view, assignment, context)) {
+    return true;  // Early exit fired.
+  }
+  return agg.Finalize();
+}
+
+void CompiledQuery::EnumerateSupports(
+    const WorldView& view,
+    const std::function<bool(const std::vector<SupportEntry>&)>& callback)
+    const {
+  if (always_false_ || is_aggregate_) return;
+  std::vector<Value> assignment(num_variables());
+  std::vector<SupportEntry> support;
+  support.reserve(steps_.size());
+  SearchContext context;
+  context.support = &support;
+  context.support_sink = &callback;
+  (void)Search(0, view, assignment, context);
+}
+
+void CompiledQuery::EnumerateAnswers(
+    const WorldView& view,
+    const std::function<bool(const Tuple&)>& callback) const {
+  if (always_false_ || is_aggregate_) return;
+  std::vector<Value> assignment(num_variables());
+  std::unordered_set<Tuple, TupleHash> seen;
+  SearchContext context;
+  const AssignmentSink sink = [&](const std::vector<Value>& full) -> bool {
+    std::vector<Value> head;
+    head.reserve(head_var_ids_.size());
+    for (std::size_t v : head_var_ids_) head.push_back(full[v]);
+    Tuple answer(std::move(head));
+    if (!seen.insert(answer).second) return false;  // Duplicate: keep going.
+    return !callback(answer);  // Stop the search if the callback says so.
+  };
+  context.sink = &sink;
+  (void)Search(0, view, assignment, context);
+}
+
+std::vector<Tuple> CompiledQuery::Answers(const WorldView& view) const {
+  std::vector<Tuple> answers;
+  EnumerateAnswers(view, [&](const Tuple& t) {
+    answers.push_back(t);
+    return true;
+  });
+  return answers;
+}
+
+std::string CompiledQuery::ExplainPlan() const {
+  std::string out = "plan for " + source_.name + " (" +
+                    std::to_string(steps_.size()) + " steps";
+  if (always_false_) out += ", constantly false";
+  out += ")\n";
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const Step& step = steps_[i];
+    const RelationSchema& schema = db_->catalog().schema(step.relation_id);
+    out += "  " + std::to_string(i + 1) + ". " + schema.name();
+    if (step.use_index) {
+      out += " via index(";
+      // Key args are parallel to the index's sorted positions; recover the
+      // attribute names through the schema for readability.
+      std::string keys;
+      std::size_t shown = 0;
+      for (std::size_t pos = 0; pos < schema.arity() && shown <
+           step.key_args.size(); ++pos) {
+        // Positions are implicit; reconstruct by counting non-action slots.
+        bool is_action = false;
+        for (const ArgAction& action : step.actions) {
+          if (action.position == pos) is_action = true;
+        }
+        if (is_action) continue;
+        if (!keys.empty()) keys += ", ";
+        keys += schema.attribute(pos).name;
+        const Arg& arg = step.key_args[shown++];
+        keys += arg.is_var ? std::string("=?") + variable_names_[arg.var]
+                           : "=" + arg.constant.ToString();
+      }
+      out += keys + ")";
+    } else {
+      out += " via full scan";
+    }
+    std::size_t binds = 0, checks = 0;
+    for (const ArgAction& action : step.actions) {
+      (action.kind == ArgAction::kBind ? binds : checks) += 1;
+    }
+    if (binds > 0) out += ", binds " + std::to_string(binds);
+    if (checks > 0) out += ", checks " + std::to_string(checks);
+    if (!step.comparisons.empty()) {
+      out += ", " + std::to_string(step.comparisons.size()) + " comparison(s)";
+    }
+    if (!step.negations.empty()) {
+      out += ", " + std::to_string(step.negations.size()) + " negation(s)";
+    }
+    out += "\n";
+  }
+  if (is_aggregate_) {
+    out += "  => " +
+           std::string(AggregateFunctionToString(agg_fn_)) + " " +
+           ComparisonOpToString(agg_op_) + " " + agg_threshold_.ToString() +
+           (agg_early_exit_ ? " (early exit)" : "") + "\n";
+  }
+  return out;
+}
+
+bool CompiledQuery::CoversConstants(const WorldView& view) const {
+  for (const CoverProbe& probe : cover_probes_) {
+    const Relation& rel = db_->relation(probe.relation_id);
+    bool covered = false;
+    for (TupleId id : rel.IndexLookup(probe.index_id, probe.key)) {
+      if (rel.IsVisible(id, view)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace bcdb

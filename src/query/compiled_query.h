@@ -1,0 +1,182 @@
+#ifndef BCDB_QUERY_COMPILED_QUERY_H_
+#define BCDB_QUERY_COMPILED_QUERY_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "relational/database.h"
+#include "relational/world_view.h"
+#include "util/status.h"
+
+namespace bcdb {
+
+/// A denial constraint compiled against one database: schema-validated,
+/// safety-checked, with a greedy bound-first join order and hash indexes
+/// pre-built for every lookup the plan performs.
+///
+/// Compile once, then call Evaluate with many different world views — this
+/// is exactly the access pattern of the DCSat algorithms, which probe the
+/// same constraint over every maximal possible world.
+class CompiledQuery {
+ public:
+  /// Validates `q` against `db`'s catalog (atom arities, constant types,
+  /// safety: every variable of a negated atom / comparison / aggregate head
+  /// occurs in a positive atom) and builds the evaluation plan. `db` must
+  /// outlive the compiled query.
+  static StatusOr<CompiledQuery> Compile(const DenialConstraint& q,
+                                         const Database* db);
+
+  /// True iff `q` has a satisfying assignment over the tuples visible in
+  /// `view` (for aggregate constraints: iff `α(B) θ c` holds, with the empty
+  /// bag evaluating to false, matching the paper's SQL-like semantics).
+  bool Evaluate(const WorldView& view) const;
+
+  /// True iff every positive atom's constants are covered by some tuple
+  /// visible in `view` (the Covers(R, T, q) test of OptDCSat).
+  bool CoversConstants(const WorldView& view) const;
+
+  /// For answer-producing queries (non-empty head): invokes `callback` once
+  /// per *distinct* head-projection of a satisfying assignment, in discovery
+  /// order. Return false from the callback to stop early. No-op for
+  /// aggregate queries (which have no head).
+  void EnumerateAnswers(const WorldView& view,
+                        const std::function<bool(const Tuple&)>& callback) const;
+
+  /// All distinct answers over `view` (set semantics).
+  std::vector<Tuple> Answers(const WorldView& view) const;
+
+  bool has_head() const { return !head_var_ids_.empty(); }
+
+  /// One matched positive-atom tuple of a satisfying assignment.
+  struct SupportEntry {
+    std::size_t relation_id;
+    TupleId tuple_id;
+  };
+
+  /// For non-aggregate queries: invokes `callback` once per satisfying
+  /// assignment with the tuples matched by the positive atoms (in plan
+  /// order). Return false to stop. Used by the tractable-fragment DCSat
+  /// fast paths, which must reason about *who contributed* each tuple.
+  void EnumerateSupports(
+      const WorldView& view,
+      const std::function<bool(const std::vector<SupportEntry>&)>& callback)
+      const;
+
+  /// Human-readable rendering of the chosen join order: one line per step
+  /// with the access path (index key positions or full scan) and the
+  /// residual checks attached to it. For diagnostics and the shell.
+  std::string ExplainPlan() const;
+
+  const DenialConstraint& source() const { return source_; }
+  std::size_t num_variables() const { return variable_names_.size(); }
+  const std::vector<std::string>& variable_names() const {
+    return variable_names_;
+  }
+  /// True if the aggregated variable is known non-negative (schema hint) —
+  /// makes sum-aggregates monotone under insertion.
+  bool aggregate_arg_non_negative() const {
+    return aggregate_arg_non_negative_;
+  }
+
+ private:
+  /// A term resolved to either a constant or a variable slot.
+  struct Arg {
+    bool is_var = false;
+    std::size_t var = 0;
+    Value constant;
+  };
+
+  /// What to do with one tuple position when matching a candidate.
+  struct ArgAction {
+    enum Kind { kCheckConst, kCheckVar, kBind };
+    Kind kind;
+    std::size_t position;
+    std::size_t var = 0;  // kCheckVar / kBind
+    Value constant;       // kCheckConst
+  };
+
+  struct CmpCheck {
+    Arg lhs;
+    ComparisonOp op;
+    Arg rhs;
+  };
+
+  struct NegCheck {
+    std::size_t relation_id;
+    std::vector<Arg> args;
+  };
+
+  /// One positive atom in plan order.
+  struct Step {
+    std::size_t relation_id = 0;
+    bool use_index = false;
+    std::size_t index_id = 0;
+    std::vector<Arg> key_args;  // Parallel to the index's sorted positions.
+    std::vector<ArgAction> actions;
+    std::vector<CmpCheck> comparisons;  // Fully bound after this step.
+    std::vector<NegCheck> negations;    // Fully bound after this step.
+  };
+
+  /// Constant-coverage probe for one positive atom (atoms without constants
+  /// are omitted).
+  struct CoverProbe {
+    std::size_t relation_id;
+    std::size_t index_id;
+    Tuple key;
+  };
+
+  struct AggState;
+
+  /// Called with each full satisfying assignment during enumeration; return
+  /// true to terminate the whole search.
+  using AssignmentSink = std::function<bool(const std::vector<Value>&)>;
+
+  /// Everything threaded through the backtracking search besides the
+  /// assignment itself. Exactly one of the terminal handlers is active:
+  /// none (Boolean existence), agg, sink (answer enumeration), or
+  /// support_sink (provenance enumeration).
+  struct SearchContext {
+    AggState* agg = nullptr;
+    const AssignmentSink* sink = nullptr;
+    std::vector<SupportEntry>* support = nullptr;
+    const std::function<bool(const std::vector<SupportEntry>&)>*
+        support_sink = nullptr;
+  };
+
+  CompiledQuery() = default;
+
+  const Value& ResolveArg(const Arg& arg,
+                          const std::vector<Value>& assignment) const {
+    return arg.is_var ? assignment[arg.var] : arg.constant;
+  }
+
+  bool MatchCandidate(const Step& step, TupleId id, const WorldView& view,
+                      std::vector<Value>& assignment,
+                      SearchContext& context) const;
+  bool Search(std::size_t step_idx, const WorldView& view,
+              std::vector<Value>& assignment, SearchContext& context) const;
+
+  const Database* db_ = nullptr;
+  DenialConstraint source_;
+  std::vector<std::string> variable_names_;
+  std::vector<std::size_t> head_var_ids_;
+  std::vector<Step> steps_;
+  std::vector<CoverProbe> cover_probes_;
+  bool always_false_ = false;  // A constant comparison failed at compile time.
+
+  // Aggregate plan.
+  bool is_aggregate_ = false;
+  AggregateFunction agg_fn_ = AggregateFunction::kCount;
+  std::vector<std::size_t> agg_vars_;
+  ComparisonOp agg_op_ = ComparisonOp::kGt;
+  Value agg_threshold_;
+  bool agg_early_exit_ = false;
+  bool aggregate_arg_non_negative_ = false;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_QUERY_COMPILED_QUERY_H_

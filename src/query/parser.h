@@ -1,0 +1,26 @@
+#ifndef BCDB_QUERY_PARSER_H_
+#define BCDB_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace bcdb {
+
+/// Parses the datalog-ish denial-constraint syntax used in the paper:
+///
+///   q() :- TxOut(ntx, s, 'U8Pk', a)
+///   q() :- TxIn(pt, ps, 'AlcPK', a, ntx, 'AlcSig'), not Trusted(pk), a > 0
+///   [q(sum(a)) :- TxOut(ntx, s, 'X', a)] > 5
+///
+/// Terms: bare identifiers are variables, single-quoted strings and numeric
+/// literals are constants. Atoms prefixed with `not` are negated.
+/// Comparisons use =, !=, <>, <, >, <=, >=. `<-` is accepted for `:-` and a
+/// trailing period is optional. Aggregate functions: count, cntd, sum, max,
+/// min.
+StatusOr<DenialConstraint> ParseDenialConstraint(std::string_view text);
+
+}  // namespace bcdb
+
+#endif  // BCDB_QUERY_PARSER_H_

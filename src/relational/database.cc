@@ -1,0 +1,34 @@
+#include "relational/database.h"
+
+namespace bcdb {
+
+Database::Database(Catalog catalog)
+    : catalog_(std::make_unique<Catalog>(std::move(catalog))) {
+  relations_.reserve(catalog_->num_relations());
+  for (std::size_t i = 0; i < catalog_->num_relations(); ++i) {
+    relations_.emplace_back(&catalog_->schema(i));
+  }
+}
+
+Status Database::Insert(std::string_view relation_name, Tuple tuple,
+                        TupleOwner owner) {
+  StatusOr<std::size_t> id = catalog_->RelationId(relation_name);
+  if (!id.ok()) return id.status();
+  return Insert(*id, std::move(tuple), owner);
+}
+
+Status Database::Insert(std::size_t relation_id, Tuple tuple,
+                        TupleOwner owner) {
+  const RelationSchema& schema = catalog_->schema(relation_id);
+  BCDB_RETURN_IF_ERROR(schema.ValidateTuple(tuple));
+  relations_[relation_id].Insert(std::move(tuple), owner);
+  return Status::OK();
+}
+
+std::size_t Database::TotalTuples() const {
+  std::size_t total = 0;
+  for (const Relation& r : relations_) total += r.num_tuples();
+  return total;
+}
+
+}  // namespace bcdb

@@ -1,0 +1,69 @@
+#ifndef BCDB_RELATIONAL_DATABASE_H_
+#define BCDB_RELATIONAL_DATABASE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/world_view.h"
+#include "util/status.h"
+
+namespace bcdb {
+
+/// An in-memory relational database instance: a catalog plus one `Relation`
+/// per schema, with owner-tagged tuples supporting possible-world views.
+///
+/// This is the storage substrate that replaces the paper's Postgres backend.
+class Database {
+ public:
+  explicit Database(Catalog catalog);
+
+  // Relations hold stable pointers into the catalog; moving would be safe but
+  // copying would alias, so the database is move-only.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  const Catalog& catalog() const { return *catalog_; }
+  std::size_t num_relations() const { return relations_.size(); }
+
+  Relation& relation(std::size_t id) { return relations_[id]; }
+  const Relation& relation(std::size_t id) const { return relations_[id]; }
+
+  StatusOr<std::size_t> RelationId(std::string_view name) const {
+    return catalog_->RelationId(name);
+  }
+
+  /// Validates `tuple` against the schema and inserts it for `owner`.
+  Status Insert(std::string_view relation_name, Tuple tuple,
+                TupleOwner owner = kBaseOwner);
+  Status Insert(std::size_t relation_id, Tuple tuple,
+                TupleOwner owner = kBaseOwner);
+
+  /// Registers a new pending owner (transaction slot) and returns its tag.
+  TupleOwner RegisterOwner() {
+    return static_cast<TupleOwner>(num_owners_++);
+  }
+  std::size_t num_owners() const { return num_owners_; }
+
+  /// View containing only the current state.
+  WorldView BaseView() const { return WorldView::BaseOnly(num_owners_); }
+  /// View containing the current state plus every pending owner.
+  WorldView FullView() const { return WorldView::AllPending(num_owners_); }
+
+  /// Total distinct tuples across all relations (any owner).
+  std::size_t TotalTuples() const;
+
+ private:
+  std::unique_ptr<Catalog> catalog_;  // Stable address for relations_.
+  std::vector<Relation> relations_;
+  std::size_t num_owners_ = 0;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_RELATIONAL_DATABASE_H_

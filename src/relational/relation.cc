@@ -1,0 +1,105 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bcdb {
+
+namespace {
+const std::vector<TupleId> kEmptyTupleIds;
+}  // namespace
+
+TupleId Relation::Insert(Tuple tuple, TupleOwner owner) {
+  auto it = ids_by_tuple_.find(tuple);
+  if (it != ids_by_tuple_.end()) {
+    const TupleId id = it->second;
+    std::vector<TupleOwner>& owner_list = owners_[id];
+    if (std::find(owner_list.begin(), owner_list.end(), owner) ==
+        owner_list.end()) {
+      owner_list.push_back(owner);
+      tuples_by_owner_[owner].push_back(id);
+    }
+    return id;
+  }
+  const TupleId id = static_cast<TupleId>(tuples_.size());
+  ids_by_tuple_.emplace(tuple, id);
+  tuples_.push_back(std::move(tuple));
+  owners_.push_back({owner});
+  tuples_by_owner_[owner].push_back(id);
+  for (HashIndex& index : indexes_) AddToIndex(index, id);
+  return id;
+}
+
+bool Relation::ContainsVisible(const Tuple& tuple,
+                               const WorldView& view) const {
+  auto it = ids_by_tuple_.find(tuple);
+  return it != ids_by_tuple_.end() && IsVisible(it->second, view);
+}
+
+std::size_t Relation::CountVisible(const WorldView& view) const {
+  std::size_t count = 0;
+  for (TupleId id = 0; id < tuples_.size(); ++id) {
+    if (IsVisible(id, view)) ++count;
+  }
+  return count;
+}
+
+const std::vector<TupleId>& Relation::TuplesOwnedBy(TupleOwner owner) const {
+  auto it = tuples_by_owner_.find(owner);
+  return it == tuples_by_owner_.end() ? kEmptyTupleIds : it->second;
+}
+
+void Relation::PromoteOwner(TupleOwner owner) {
+  assert(owner != kBaseOwner);
+  auto it = tuples_by_owner_.find(owner);
+  if (it == tuples_by_owner_.end()) return;
+  for (TupleId id : it->second) {
+    std::vector<TupleOwner>& owner_list = owners_[id];
+    owner_list.erase(std::remove(owner_list.begin(), owner_list.end(), owner),
+                     owner_list.end());
+    if (std::find(owner_list.begin(), owner_list.end(), kBaseOwner) ==
+        owner_list.end()) {
+      owner_list.push_back(kBaseOwner);
+      tuples_by_owner_[kBaseOwner].push_back(id);
+    }
+  }
+  tuples_by_owner_.erase(it);
+}
+
+void Relation::DropOwner(TupleOwner owner) {
+  assert(owner != kBaseOwner);
+  auto it = tuples_by_owner_.find(owner);
+  if (it == tuples_by_owner_.end()) return;
+  for (TupleId id : it->second) {
+    std::vector<TupleOwner>& owner_list = owners_[id];
+    owner_list.erase(std::remove(owner_list.begin(), owner_list.end(), owner),
+                     owner_list.end());
+  }
+  tuples_by_owner_.erase(it);
+}
+
+std::size_t Relation::GetOrBuildIndex(
+    const std::vector<std::size_t>& positions) const {
+  assert(std::is_sorted(positions.begin(), positions.end()));
+  for (std::size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i].positions == positions) return i;
+  }
+  indexes_.push_back(HashIndex{positions, {}});
+  HashIndex& index = indexes_.back();
+  for (TupleId id = 0; id < tuples_.size(); ++id) AddToIndex(index, id);
+  return indexes_.size() - 1;
+}
+
+const std::vector<TupleId>& Relation::IndexLookup(std::size_t index_id,
+                                                  const Tuple& key) const {
+  const HashIndex& index = indexes_[index_id];
+  assert(key.arity() == index.positions.size());
+  auto it = index.buckets.find(key);
+  return it == index.buckets.end() ? kEmptyTupleIds : it->second;
+}
+
+void Relation::AddToIndex(HashIndex& index, TupleId id) const {
+  index.buckets[tuples_[id].Project(index.positions)].push_back(id);
+}
+
+}  // namespace bcdb

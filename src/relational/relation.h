@@ -1,0 +1,108 @@
+#ifndef BCDB_RELATIONAL_RELATION_H_
+#define BCDB_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/world_view.h"
+#include "util/status.h"
+
+namespace bcdb {
+
+/// Index of a distinct tuple within a relation instance.
+using TupleId = std::uint32_t;
+
+/// One stored relation instance with set semantics and owner-tagged tuples.
+///
+/// The relation stores each distinct tuple once, together with the set of
+/// owners (the current state and/or pending transactions) that contribute it.
+/// A tuple is visible in a `WorldView` iff at least one of its owners is
+/// active. Secondary hash indexes over attribute subsets are built lazily and
+/// maintained on insert; index entries reference all distinct tuples, so
+/// readers must re-check visibility.
+///
+/// Not thread-safe: lazy index construction mutates shared state.
+class Relation {
+ public:
+  explicit Relation(const RelationSchema* schema) : schema_(schema) {}
+
+  const RelationSchema& schema() const { return *schema_; }
+
+  /// Inserts `tuple` on behalf of `owner`. Duplicate (tuple, owner) pairs are
+  /// ignored; a duplicate tuple from a new owner just extends the owner set.
+  /// The tuple must already be schema-valid (Database::Insert validates).
+  TupleId Insert(Tuple tuple, TupleOwner owner);
+
+  /// Number of distinct stored tuples (visible or not, over all owners).
+  std::size_t num_tuples() const { return tuples_.size(); }
+
+  const Tuple& tuple(TupleId id) const { return tuples_[id]; }
+  const std::vector<TupleOwner>& owners(TupleId id) const {
+    return owners_[id];
+  }
+
+  bool IsVisible(TupleId id, const WorldView& view) const {
+    for (TupleOwner owner : owners_[id]) {
+      if (view.IsActive(owner)) return true;
+    }
+    return false;
+  }
+
+  /// True if an equal tuple is stored and visible in `view`.
+  bool ContainsVisible(const Tuple& tuple, const WorldView& view) const;
+
+  /// Number of tuples visible in `view`.
+  std::size_t CountVisible(const WorldView& view) const;
+
+  /// Distinct tuples contributed by `owner` (empty for unknown owners).
+  const std::vector<TupleId>& TuplesOwnedBy(TupleOwner owner) const;
+
+  /// Transfers ownership of `owner`'s tuples to the base state (the pending
+  /// transaction was accepted into the blockchain).
+  void PromoteOwner(TupleOwner owner);
+
+  /// Removes `owner` from all its tuples (the pending transaction became
+  /// permanently unappendable and was discarded). Tuples left with no owner
+  /// become invisible in every view.
+  void DropOwner(TupleOwner owner);
+
+  /// Identifier of the lazily-built hash index over `positions`, which must
+  /// be sorted, unique and in range. The same positions always return the
+  /// same id.
+  std::size_t GetOrBuildIndex(const std::vector<std::size_t>& positions) const;
+
+  /// All tuples (visible or not) whose projection on the index's positions
+  /// equals `key`. `key` arity must match the index positions.
+  const std::vector<TupleId>& IndexLookup(std::size_t index_id,
+                                          const Tuple& key) const;
+
+  /// Invokes `fn(TupleId)` for every tuple visible in `view`.
+  template <typename Fn>
+  void ForEachVisible(const WorldView& view, Fn&& fn) const {
+    for (TupleId id = 0; id < tuples_.size(); ++id) {
+      if (IsVisible(id, view)) fn(id);
+    }
+  }
+
+ private:
+  struct HashIndex {
+    std::vector<std::size_t> positions;
+    std::unordered_map<Tuple, std::vector<TupleId>, TupleHash> buckets;
+  };
+
+  void AddToIndex(HashIndex& index, TupleId id) const;
+
+  const RelationSchema* schema_;
+  std::vector<Tuple> tuples_;
+  std::vector<std::vector<TupleOwner>> owners_;
+  std::unordered_map<Tuple, TupleId, TupleHash> ids_by_tuple_;
+  std::unordered_map<TupleOwner, std::vector<TupleId>> tuples_by_owner_;
+  mutable std::vector<HashIndex> indexes_;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_RELATIONAL_RELATION_H_

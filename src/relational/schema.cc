@@ -1,0 +1,84 @@
+#include "relational/schema.h"
+
+namespace bcdb {
+
+RelationSchema::RelationSchema(std::string name,
+                               std::vector<Attribute> attributes)
+    : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+StatusOr<std::size_t> RelationSchema::AttributeIndex(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("relation " + name_ + " has no attribute '" +
+                          std::string(name) + "'");
+}
+
+StatusOr<std::vector<std::size_t>> RelationSchema::AttributeIndexes(
+    const std::vector<std::string>& names) const {
+  std::vector<std::size_t> indexes;
+  indexes.reserve(names.size());
+  for (const std::string& name : names) {
+    StatusOr<std::size_t> index = AttributeIndex(name);
+    if (!index.ok()) return index.status();
+    indexes.push_back(*index);
+  }
+  return indexes;
+}
+
+Status RelationSchema::ValidateTuple(const Tuple& tuple) const {
+  if (tuple.arity() != arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.arity()) + " != arity " +
+        std::to_string(arity()) + " of relation " + name_);
+  }
+  for (std::size_t i = 0; i < arity(); ++i) {
+    const Value& v = tuple[i];
+    if (v.is_null()) {
+      return Status::InvalidArgument("NULL value for attribute " +
+                                     attributes_[i].name + " of relation " +
+                                     name_);
+    }
+    const bool numeric_ok =
+        v.IsNumeric() && (attributes_[i].type == ValueType::kInt ||
+                          attributes_[i].type == ValueType::kReal);
+    if (v.type() != attributes_[i].type && !numeric_ok) {
+      return Status::InvalidArgument(
+          "type mismatch for attribute " + attributes_[i].name +
+          " of relation " + name_ + ": expected " +
+          ValueTypeToString(attributes_[i].type) + ", got " +
+          ValueTypeToString(v.type()));
+    }
+    if (attributes_[i].non_negative && v.IsNumeric() && v.AsNumeric() < 0) {
+      return Status::InvalidArgument("negative value for non-negative attribute " +
+                                     attributes_[i].name + " of relation " +
+                                     name_);
+    }
+  }
+  return Status::OK();
+}
+
+Status Catalog::AddRelation(RelationSchema schema) {
+  if (HasRelation(schema.name())) {
+    return Status::AlreadyExists("relation " + schema.name() +
+                                 " already in catalog");
+  }
+  ids_by_name_.emplace(schema.name(), schemas_.size());
+  schemas_.push_back(std::move(schema));
+  return Status::OK();
+}
+
+bool Catalog::HasRelation(std::string_view name) const {
+  return ids_by_name_.find(name) != ids_by_name_.end();
+}
+
+StatusOr<std::size_t> Catalog::RelationId(std::string_view name) const {
+  auto it = ids_by_name_.find(name);
+  if (it == ids_by_name_.end()) {
+    return Status::NotFound("no relation named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+}  // namespace bcdb

@@ -1,0 +1,76 @@
+#ifndef BCDB_RELATIONAL_SCHEMA_H_
+#define BCDB_RELATIONAL_SCHEMA_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "relational/value.h"
+#include "util/status.h"
+
+namespace bcdb {
+
+/// A named, typed attribute of a relation schema.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt;
+  /// Hint used by the monotonicity analyzer: sum-aggregates over attributes
+  /// known to be non-negative are monotone under tuple insertion.
+  bool non_negative = false;
+};
+
+/// Schema of a single relation: a name and an ordered attribute list.
+///
+/// Key constraints and dependencies live in the constraints module; the
+/// schema only defines structure and types.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<Attribute> attributes);
+
+  const std::string& name() const { return name_; }
+  std::size_t arity() const { return attributes_.size(); }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const Attribute& attribute(std::size_t i) const { return attributes_[i]; }
+
+  /// Position of the attribute called `name`.
+  StatusOr<std::size_t> AttributeIndex(std::string_view name) const;
+
+  /// Positions of all attributes named in `names`, in the order given.
+  StatusOr<std::vector<std::size_t>> AttributeIndexes(
+      const std::vector<std::string>& names) const;
+
+  /// Checks arity and per-attribute types. NULLs are rejected: blockchain
+  /// databases store ground tuples only.
+  Status ValidateTuple(const Tuple& tuple) const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+};
+
+/// The set of relation schemas that make up a database schema.
+class Catalog {
+ public:
+  /// Registers a schema. Fails if a relation with that name already exists.
+  Status AddRelation(RelationSchema schema);
+
+  bool HasRelation(std::string_view name) const;
+  StatusOr<std::size_t> RelationId(std::string_view name) const;
+
+  const RelationSchema& schema(std::size_t relation_id) const {
+    return schemas_[relation_id];
+  }
+  std::size_t num_relations() const { return schemas_.size(); }
+
+ private:
+  std::vector<RelationSchema> schemas_;
+  std::map<std::string, std::size_t, std::less<>> ids_by_name_;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,27 @@
+#include "relational/tuple.h"
+
+#include "util/hash.h"
+
+namespace bcdb {
+
+std::size_t Tuple::Hash() const {
+  std::size_t seed = values_.size();
+  for (const Value& v : values_) HashCombine(seed, v.Hash());
+  return seed;
+}
+
+std::string Tuple::ToString() const {
+  std::string result = "(";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += values_[i].ToString();
+  }
+  result += ")";
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& tuple) {
+  return os << tuple.ToString();
+}
+
+}  // namespace bcdb

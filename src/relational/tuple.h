@@ -1,0 +1,71 @@
+#ifndef BCDB_RELATIONAL_TUPLE_H_
+#define BCDB_RELATIONAL_TUPLE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace bcdb {
+
+/// An immutable ground tuple: a fixed-arity sequence of values.
+///
+/// Tuples are regular values; projections of tuples serve as hash-index keys
+/// and as the equality-constraint signatures used by the ind-q-transaction
+/// graph.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  std::size_t arity() const { return values_.size(); }
+  const Value& at(std::size_t i) const { return values_[i]; }
+  const Value& operator[](std::size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Projection onto the given attribute positions, in the given order.
+  Tuple Project(const std::vector<std::size_t>& positions) const {
+    std::vector<Value> projected;
+    projected.reserve(positions.size());
+    for (std::size_t p : positions) projected.push_back(values_[p]);
+    return Tuple(std::move(projected));
+  }
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+
+  /// Lexicographic three-way comparison (shorter tuples first on ties).
+  int Compare(const Tuple& other) const {
+    const std::size_t n = std::min(values_.size(), other.values_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const int c = values_[i].Compare(other.values_[i]);
+      if (c != 0) return c;
+    }
+    if (values_.size() == other.values_.size()) return 0;
+    return values_.size() < other.values_.size() ? -1 : 1;
+  }
+  bool operator<(const Tuple& other) const { return Compare(other) < 0; }
+
+  std::size_t Hash() const;
+
+  /// Display form: (1, 'a', NULL).
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& tuple);
+
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_RELATIONAL_TUPLE_H_

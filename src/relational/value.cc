@@ -1,0 +1,100 @@
+#include "relational/value.h"
+
+#include <functional>
+#include <sstream>
+
+#include "util/hash.h"
+
+namespace bcdb {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kReal:
+      return "REAL";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int Value::Compare(const Value& other) const {
+  const ValueType a = type();
+  const ValueType b = other.type();
+  // Cross-type numeric comparison: 1 == 1.0.
+  if (IsNumeric() && other.IsNumeric()) {
+    if (a == ValueType::kInt && b == ValueType::kInt) {
+      const std::int64_t x = AsInt();
+      const std::int64_t y = other.AsInt();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const double x = AsNumeric();
+    const double y = other.AsNumeric();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a != b) return a < b ? -1 : 1;
+  switch (a) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kString: {
+      const int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;  // Unreachable: numeric handled above.
+  }
+}
+
+std::size_t Value::Hash() const {
+  std::size_t seed = static_cast<std::size_t>(type());
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      HashCombineValue(seed, AsInt());
+      break;
+    case ValueType::kReal: {
+      // Hash integral reals like the equal int so that 1 == 1.0 implies
+      // equal hashes (required because Compare treats them as equal).
+      const double d = AsReal();
+      const auto as_int = static_cast<std::int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        seed = static_cast<std::size_t>(ValueType::kInt);
+        HashCombineValue(seed, as_int);
+      } else {
+        HashCombineValue(seed, d);
+      }
+      break;
+    }
+    case ValueType::kString:
+      HashCombineValue(seed, AsString());
+      break;
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kReal: {
+      std::ostringstream os;
+      os << AsReal();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace bcdb

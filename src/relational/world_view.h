@@ -1,0 +1,81 @@
+#ifndef BCDB_RELATIONAL_WORLD_VIEW_H_
+#define BCDB_RELATIONAL_WORLD_VIEW_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bitset.h"
+
+namespace bcdb {
+
+/// Identifies who contributed a tuple: the accepted current state (`R`) or a
+/// pending transaction (its index in the blockchain database's pending set).
+using TupleOwner = std::int32_t;
+
+/// Owner tag for tuples of the accepted current state.
+inline constexpr TupleOwner kBaseOwner = -1;
+
+/// A possible world selector: base tuples are always visible, and a tuple
+/// owned by pending transaction `t` is visible iff `t` is activated.
+///
+/// This generalizes the paper's per-tuple Boolean `current` column — instead
+/// of mutating a flag on every tuple when moving between possible worlds, a
+/// world is an O(#pending / 64) bitset and visibility is a bit test.
+///
+/// A view is a snapshot over a fixed number of pending owners; registering
+/// new pending transactions requires creating fresh views.
+class WorldView {
+ public:
+  /// World containing only the current state R.
+  static WorldView BaseOnly(std::size_t num_owners) {
+    return WorldView(num_owners, /*all_active=*/false);
+  }
+
+  /// The (usually inconsistent) superset R ∪ T used by the monotone
+  /// pre-check of the DCSat algorithms.
+  static WorldView AllPending(std::size_t num_owners) {
+    return WorldView(num_owners, /*all_active=*/true);
+  }
+
+  std::size_t num_owners() const { return active_.size(); }
+
+  bool IsActive(TupleOwner owner) const {
+    if (owner == kBaseOwner || all_active_) return true;
+    return active_.Test(static_cast<std::size_t>(owner));
+  }
+
+  void Activate(TupleOwner owner) {
+    if (owner == kBaseOwner) return;
+    active_.Set(static_cast<std::size_t>(owner));
+  }
+
+  void Deactivate(TupleOwner owner) {
+    if (owner == kBaseOwner) return;
+    active_.Reset(static_cast<std::size_t>(owner));
+  }
+
+  void DeactivateAll() {
+    all_active_ = false;
+    active_.Clear();
+  }
+
+  /// Number of activated pending owners (meaningless for AllPending views).
+  std::size_t NumActive() const { return active_.Count(); }
+
+  const DynamicBitset& active_bits() const { return active_; }
+
+  bool operator==(const WorldView& other) const {
+    return all_active_ == other.all_active_ && active_ == other.active_;
+  }
+
+ private:
+  WorldView(std::size_t num_owners, bool all_active)
+      : active_(num_owners), all_active_(all_active) {}
+
+  DynamicBitset active_;
+  bool all_active_;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_RELATIONAL_WORLD_VIEW_H_

@@ -1,0 +1,166 @@
+#ifndef BCDB_UTIL_BITSET_H_
+#define BCDB_UTIL_BITSET_H_
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bcdb {
+
+/// Fixed-capacity dynamic bitset with the word-level operations needed by
+/// Bron–Kerbosch (intersection, count, iteration) and by world activation
+/// masks. std::vector<bool> lacks word access; std::bitset is compile-time
+/// sized; hence this small purpose-built type.
+class DynamicBitset {
+ public:
+  DynamicBitset() : num_bits_(0) {}
+  explicit DynamicBitset(std::size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return num_bits_; }
+
+  void Set(std::size_t i) {
+    assert(i < num_bits_);
+    words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+
+  void Reset(std::size_t i) {
+    assert(i < num_bits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  bool Test(std::size_t i) const {
+    assert(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Clear() { words_.assign(words_.size(), 0); }
+
+  void SetAll() {
+    words_.assign(words_.size(), ~std::uint64_t{0});
+    TrimTail();
+  }
+
+  bool Any() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  bool None() const { return !Any(); }
+
+  std::size_t Count() const {
+    std::size_t total = 0;
+    for (std::uint64_t w : words_) total += std::popcount(w);
+    return total;
+  }
+
+  /// In-place intersection. Requires equal sizes.
+  DynamicBitset& operator&=(const DynamicBitset& other) {
+    assert(num_bits_ == other.num_bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  /// In-place union. Requires equal sizes.
+  DynamicBitset& operator|=(const DynamicBitset& other) {
+    assert(num_bits_ == other.num_bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  /// In-place difference (this \ other). Requires equal sizes.
+  DynamicBitset& operator-=(const DynamicBitset& other) {
+    assert(num_bits_ == other.num_bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= ~other.words_[i];
+    }
+    return *this;
+  }
+
+  friend DynamicBitset operator&(DynamicBitset lhs, const DynamicBitset& rhs) {
+    lhs &= rhs;
+    return lhs;
+  }
+
+  bool operator==(const DynamicBitset& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+  /// Size of the intersection, without materializing it.
+  std::size_t IntersectionCount(const DynamicBitset& other) const {
+    assert(num_bits_ == other.num_bits_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      total += std::popcount(words_[i] & other.words_[i]);
+    }
+    return total;
+  }
+
+  /// Index of the lowest set bit, or size() if none.
+  std::size_t FindFirst() const { return FindNext(0); }
+
+  /// Index of the lowest set bit >= `from`, or size() if none.
+  std::size_t FindNext(std::size_t from) const {
+    if (from >= num_bits_) return num_bits_;
+    std::size_t word_idx = from >> 6;
+    std::uint64_t word = words_[word_idx] & (~std::uint64_t{0} << (from & 63));
+    for (;;) {
+      if (word != 0) {
+        const std::size_t bit =
+            (word_idx << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        return bit < num_bits_ ? bit : num_bits_;
+      }
+      if (++word_idx == words_.size()) return num_bits_;
+      word = words_[word_idx];
+    }
+  }
+
+  /// Hash over size and bit contents (for deduplicating world bitsets).
+  std::size_t Hash() const {
+    std::size_t seed = num_bits_;
+    for (std::uint64_t w : words_) {
+      seed ^= static_cast<std::size_t>(w) + 0x9e3779b97f4a7c15ULL +
+              (seed << 12) + (seed >> 4);
+    }
+    return seed;
+  }
+
+  /// Indices of all set bits, ascending.
+  std::vector<std::size_t> ToVector() const {
+    std::vector<std::size_t> result;
+    ForEach([&](std::size_t i) { result.push_back(i); });
+    return result;
+  }
+
+  /// Invokes `fn(i)` for every set bit i in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn((w << 6) + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  void TrimTail() {
+    const std::size_t tail = num_bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::size_t num_bits_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_UTIL_BITSET_H_

@@ -1,0 +1,23 @@
+#ifndef BCDB_UTIL_HASH_H_
+#define BCDB_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace bcdb {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline void HashCombine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+}
+
+/// Hashes `value` with std::hash and mixes it into `seed`.
+template <typename T>
+void HashCombineValue(std::size_t& seed, const T& value) {
+  HashCombine(seed, std::hash<T>{}(value));
+}
+
+}  // namespace bcdb
+
+#endif  // BCDB_UTIL_HASH_H_

@@ -1,0 +1,28 @@
+#ifndef BCDB_UTIL_STOPWATCH_H_
+#define BCDB_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace bcdb {
+
+/// Monotonic wall-clock stopwatch used by the DCSat statistics and benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_UTIL_STOPWATCH_H_

@@ -1,0 +1,25 @@
+#ifndef BCDB_UTIL_STRINGS_H_
+#define BCDB_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bcdb {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a, b" for sep = ", ").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `input` on `sep`, trimming ASCII whitespace from each piece.
+/// Empty pieces are kept (e.g. "a,,b" -> {"a", "", "b"}).
+std::vector<std::string> SplitAndTrim(std::string_view input, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace bcdb
+
+#endif  // BCDB_UTIL_STRINGS_H_

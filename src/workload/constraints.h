@@ -1,0 +1,60 @@
+#ifndef BCDB_WORKLOAD_CONSTRAINTS_H_
+#define BCDB_WORKLOAD_CONSTRAINTS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "bitcoin/generator.h"
+#include "bitcoin/transaction.h"
+#include "query/ast.h"
+
+namespace bcdb {
+namespace workload {
+
+/// The paper's four denial-constraint families (Section 7), over the
+/// Example-1 Bitcoin schema.
+
+/// qs() ← TxOut(ntx, s, X, a) — "address X never receives bitcoins".
+DenialConstraint MakeSimpleConstraint(const std::string& x);
+
+/// qp_i — no payment path of i transactions starting at an output owned by
+/// X and whose (i-1)-th hop spends an output owned by Y. i >= 2.
+DenialConstraint MakePathConstraint(std::size_t i, const std::string& x,
+                                    const std::string& y);
+
+/// qr_i — X never transfers bitcoins in i distinct transactions
+/// (star: i TxIn atoms with pk = X and pairwise-distinct new txids). i >= 1.
+DenialConstraint MakeStarConstraint(std::size_t i, const std::string& x);
+
+/// qa_n — [sum(a) over TxOut(ntx, s, X, a)] >= n: X never accumulates n or
+/// more satoshi.
+DenialConstraint MakeAggregateConstraint(const std::string& x,
+                                         bitcoin::Satoshi n);
+
+/// The paper's Example-5 q4 family: X never participates in n or more
+/// distinct transactions paying Y —
+///   [q4(cntd(ntx)) :- TxIn(pt, ps, X, a, ntx, sig),
+///                     TxOut(ntx, s, Y, b)] >= n.
+DenialConstraint MakeDistinctTransfersConstraint(const std::string& x,
+                                                 const std::string& y,
+                                                 std::int64_t n);
+
+/// Constant pickers: bind each family to the generated workload's landmarks
+/// so the denial constraint is *unsatisfied* (the underlying query is true
+/// in some possible world, forcing the full clique search) or *satisfied*
+/// (the query is false even over R ∪ T, so the monotone pre-check decides).
+DenialConstraint SimpleUnsat(const bitcoin::WorkloadMetadata& meta);
+DenialConstraint SimpleSat(const bitcoin::WorkloadMetadata& meta);
+DenialConstraint PathUnsat(const bitcoin::WorkloadMetadata& meta,
+                           std::size_t i);
+DenialConstraint PathSat(const bitcoin::WorkloadMetadata& meta, std::size_t i);
+DenialConstraint StarUnsat(const bitcoin::WorkloadMetadata& meta,
+                           std::size_t i);
+DenialConstraint StarSat(const bitcoin::WorkloadMetadata& meta, std::size_t i);
+DenialConstraint AggregateUnsat(const bitcoin::WorkloadMetadata& meta);
+DenialConstraint AggregateSat(const bitcoin::WorkloadMetadata& meta);
+
+}  // namespace workload
+}  // namespace bcdb
+
+#endif  // BCDB_WORKLOAD_CONSTRAINTS_H_

@@ -1,0 +1,84 @@
+#include "workload/datasets.h"
+
+namespace bcdb {
+namespace workload {
+
+namespace {
+
+/// Non-bulk pending transactions the generator always adds (designated
+/// chain + star + rich payments). The bulk size is chosen so the *total*
+/// pending count matches the paper's figures.
+std::size_t DesignatedCount(const bitcoin::GeneratorParams& p) {
+  return p.pending_chain_depth + p.star_size + p.rich_payments +
+         p.num_contradictions;
+}
+
+bitcoin::GeneratorParams ParamsWithPendingTotal(bitcoin::GeneratorParams p,
+                                                std::size_t total_pending) {
+  const std::size_t designated = DesignatedCount(p);
+  p.num_pending = total_pending > designated ? total_pending - designated : 0;
+  return p;
+}
+
+}  // namespace
+
+DatasetSpec S100() {
+  bitcoin::GeneratorParams p;
+  p.seed = 100;
+  p.num_blocks = 1000;
+  p.num_users = 80;
+  p.txs_per_block_base = 2.0;
+  p.txs_per_block_slope = 0.015;
+  p.txs_per_block_cap = 20;
+  p.num_contradictions = 20;
+  // Paper: 2741 pending transactions for D100.
+  return DatasetSpec{"S100", ParamsWithPendingTotal(p, 2741)};
+}
+
+DatasetSpec S200() {
+  bitcoin::GeneratorParams p;
+  p.seed = 200;
+  p.num_blocks = 2000;
+  p.num_users = 120;
+  p.txs_per_block_base = 2.0;
+  p.txs_per_block_slope = 0.02;
+  p.txs_per_block_cap = 42;
+  p.num_contradictions = 20;
+  // Paper: 3733 pending transactions for D200 (also the default).
+  return DatasetSpec{"S200", ParamsWithPendingTotal(p, 3733)};
+}
+
+DatasetSpec S300() {
+  bitcoin::GeneratorParams p;
+  p.seed = 300;
+  p.num_blocks = 3000;
+  p.num_users = 160;
+  p.txs_per_block_base = 2.0;
+  p.txs_per_block_slope = 0.03;
+  p.txs_per_block_cap = 92;
+  p.num_contradictions = 20;
+  // Paper: 2766 pending transactions for D300.
+  return DatasetSpec{"S300", ParamsWithPendingTotal(p, 2766)};
+}
+
+DatasetSpec DefaultDataset() { return S200(); }
+
+std::vector<DatasetSpec> AllDatasets() { return {S100(), S200(), S300()}; }
+
+DatasetSpec WithPendingTotal(DatasetSpec spec, std::size_t total_pending) {
+  spec.params = ParamsWithPendingTotal(spec.params, total_pending);
+  spec.name += "-p" + std::to_string(total_pending);
+  return spec;
+}
+
+DatasetSpec WithContradictions(DatasetSpec spec, std::size_t n) {
+  const std::size_t total = DesignatedCount(spec.params) +
+                            spec.params.num_pending;
+  spec.params.num_contradictions = n;
+  spec.params = ParamsWithPendingTotal(spec.params, total);
+  spec.name += "-c" + std::to_string(n);
+  return spec;
+}
+
+}  // namespace workload
+}  // namespace bcdb

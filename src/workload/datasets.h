@@ -1,0 +1,46 @@
+#ifndef BCDB_WORKLOAD_DATASETS_H_
+#define BCDB_WORKLOAD_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "bitcoin/generator.h"
+
+namespace bcdb {
+namespace workload {
+
+/// A named dataset configuration mirroring the paper's Table 1 datasets.
+struct DatasetSpec {
+  std::string name;
+  bitcoin::GeneratorParams params;
+};
+
+/// Scaled stand-ins for the paper's D100/D200/D300 (the first 100k/200k/300k
+/// real Bitcoin blocks). Block counts are divided by ~100 and the
+/// superlinear growth of per-block activity is kept, so transaction counts
+/// grow faster than block counts across S100 → S300 just as in Table 1.
+/// Pending-set sizes stay at the paper's scale (thousands), because they —
+/// not |R| — drive the DCSat algorithms.
+DatasetSpec S100();
+DatasetSpec S200();
+DatasetSpec S300();
+
+/// The paper's experimental defaults (Section 7): the S200 dataset, 3733
+/// pending transactions, 20 contradictions.
+DatasetSpec DefaultDataset();
+
+/// All three dataset specs, for Table 1 and the data-size sweep.
+std::vector<DatasetSpec> AllDatasets();
+
+/// Copy of `spec` whose *total* pending-transaction count (bulk + designated
+/// landmarks + contradictions) is `total_pending` — the Figure 6c/6d knob.
+DatasetSpec WithPendingTotal(DatasetSpec spec, std::size_t total_pending);
+
+/// Copy of `spec` with `n` injected contradictions, keeping the total
+/// pending count unchanged — the Figure 6e/6f knob.
+DatasetSpec WithContradictions(DatasetSpec spec, std::size_t n);
+
+}  // namespace workload
+}  // namespace bcdb
+
+#endif  // BCDB_WORKLOAD_DATASETS_H_

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "query/analysis.h"
+#include "query/parser.h"
+
+namespace bcdb {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  EXPECT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "R", {Attribute{"a", ValueType::kInt, false},
+                            Attribute{"b", ValueType::kInt, false},
+                            Attribute{"c", ValueType::kInt, true}}))
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "S", {Attribute{"x", ValueType::kInt, false},
+                            Attribute{"y", ValueType::kInt, false}}))
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "T", {Attribute{"u", ValueType::kInt, false},
+                            Attribute{"v", ValueType::kInt, false}}))
+                  .ok());
+  return catalog;
+}
+
+QueryAnalysis Analyze(const std::string& text, const Catalog& catalog) {
+  auto q = ParseDenialConstraint(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return AnalyzeQuery(*q, catalog);
+}
+
+TEST(AnalysisTest, PositiveConjunctiveIsMonotone) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_TRUE(Analyze("q() :- R(x, y, z), S(y, w)", catalog).monotone);
+}
+
+TEST(AnalysisTest, NegationBreaksMonotonicity) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_FALSE(Analyze("q() :- R(x, y, z), not S(x, y)", catalog).monotone);
+}
+
+TEST(AnalysisTest, AggregateMonotonicityByFunctionAndOp) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_TRUE(Analyze("[q(count()) :- R(x, y, z)] > 5", catalog).monotone);
+  EXPECT_TRUE(Analyze("[q(count()) :- R(x, y, z)] >= 5", catalog).monotone);
+  EXPECT_FALSE(Analyze("[q(count()) :- R(x, y, z)] < 5", catalog).monotone);
+  EXPECT_FALSE(Analyze("[q(count()) :- R(x, y, z)] = 5", catalog).monotone);
+  EXPECT_TRUE(Analyze("[q(cntd(x)) :- R(x, y, z)] > 5", catalog).monotone);
+  EXPECT_TRUE(Analyze("[q(max(x)) :- R(x, y, z)] > 5", catalog).monotone);
+  EXPECT_FALSE(Analyze("[q(max(x)) :- R(x, y, z)] < 5", catalog).monotone);
+  EXPECT_TRUE(Analyze("[q(min(x)) :- R(x, y, z)] < 5", catalog).monotone);
+  EXPECT_FALSE(Analyze("[q(min(x)) :- R(x, y, z)] > 5", catalog).monotone);
+}
+
+TEST(AnalysisTest, SumMonotonicityNeedsNonNegativeHint) {
+  Catalog catalog = MakeCatalog();
+  // c carries the non_negative hint, a does not.
+  EXPECT_TRUE(Analyze("[q(sum(z)) :- R(x, y, z)] > 5", catalog).monotone);
+  EXPECT_FALSE(Analyze("[q(sum(x)) :- R(x, y, z)] > 5", catalog).monotone);
+}
+
+TEST(AnalysisTest, ConnectivityBySharedVariables) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_TRUE(Analyze("q() :- S(x, y), T(y, z)", catalog).connected);
+  EXPECT_FALSE(Analyze("q() :- S(x, y), T(u, v)", catalog).connected);
+  // Paper's example: comparisons other than '=' do not connect.
+  EXPECT_FALSE(Analyze("q() :- S(x, y), T(w, v), y < v", catalog).connected);
+  // '=' merges terms.
+  EXPECT_TRUE(Analyze("q() :- S(x, y), T(w, v), y = v", catalog).connected);
+}
+
+TEST(AnalysisTest, ConnectivityThroughSharedConstant) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_TRUE(Analyze("q() :- S(x, 7), T(u, 7)", catalog).connected);
+  EXPECT_FALSE(Analyze("q() :- S(x, 7), T(u, 8)", catalog).connected);
+}
+
+TEST(AnalysisTest, SingleAtomConnected) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_TRUE(Analyze("q() :- R(x, y, z)", catalog).connected);
+}
+
+TEST(AnalysisTest, AggregatesAreNotConnected) {
+  Catalog catalog = MakeCatalog();
+  // The paper restricts the connected optimization to conjunctive queries.
+  EXPECT_FALSE(Analyze("[q(count()) :- S(x, y)] > 5", catalog).connected);
+}
+
+TEST(AnalysisTest, EqualitiesFromConstraints) {
+  Catalog catalog = MakeCatalog();
+  ConstraintSet constraints;
+  auto ind = InclusionDependency::Create(catalog, "S", {"x"}, "R", {"a"});
+  ASSERT_TRUE(ind.ok());
+  constraints.AddInd(std::move(*ind));
+  auto equalities = EqualitiesFromConstraints(constraints);
+  ASSERT_EQ(equalities.size(), 1u);
+  EXPECT_EQ(equalities[0].lhs_relation_id, 1u);  // S
+  EXPECT_EQ(equalities[0].rhs_relation_id, 0u);  // R
+  EXPECT_EQ(equalities[0].lhs_positions, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(equalities[0].rhs_positions, (std::vector<std::size_t>{0}));
+}
+
+TEST(AnalysisTest, EqualitiesFromQuerySharedVariables) {
+  Catalog catalog = MakeCatalog();
+  // Paper Example 7 shape: q() ← R(w, x, u), S(x, w), T(y, x) gives
+  // R[1,2]=S[2,1], R[2]=T[2], S[1]=T[2].
+  auto q = ParseDenialConstraint("q() :- R(w, x, u), S(x, w), T(y, x)");
+  ASSERT_TRUE(q.ok());
+  auto equalities = EqualitiesFromQuery(*q, catalog);
+  ASSERT_TRUE(equalities.ok());
+  ASSERT_EQ(equalities->size(), 3u);
+  // R vs S: positions (0,1) ↔ (1,0).
+  EXPECT_EQ((*equalities)[0].lhs_positions, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ((*equalities)[0].rhs_positions, (std::vector<std::size_t>{1, 0}));
+  // R vs T: x at R pos 1 ↔ T pos 1.
+  EXPECT_EQ((*equalities)[1].lhs_positions, (std::vector<std::size_t>{1}));
+  EXPECT_EQ((*equalities)[1].rhs_positions, (std::vector<std::size_t>{1}));
+  // S vs T: x at S pos 0 ↔ T pos 1.
+  EXPECT_EQ((*equalities)[2].lhs_positions, (std::vector<std::size_t>{0}));
+  EXPECT_EQ((*equalities)[2].rhs_positions, (std::vector<std::size_t>{1}));
+}
+
+TEST(AnalysisTest, EqualitiesFromQueryConstantsAndEqComparisons) {
+  Catalog catalog = MakeCatalog();
+  auto q = ParseDenialConstraint("q() :- S(x, 7), T(u, 7), x = u");
+  ASSERT_TRUE(q.ok());
+  auto equalities = EqualitiesFromQuery(*q, catalog);
+  ASSERT_TRUE(equalities.ok());
+  ASSERT_EQ(equalities->size(), 1u);
+  // Both positions pair up: x=u at position 0, constant 7 at position 1.
+  EXPECT_EQ((*equalities)[0].lhs_positions, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ((*equalities)[0].rhs_positions, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(AnalysisTest, NoEqualitiesBetweenUnrelatedAtoms) {
+  Catalog catalog = MakeCatalog();
+  auto q = ParseDenialConstraint("q() :- S(x, y), T(u, v)");
+  ASSERT_TRUE(q.ok());
+  auto equalities = EqualitiesFromQuery(*q, catalog);
+  ASSERT_TRUE(equalities.ok());
+  EXPECT_TRUE(equalities->empty());
+}
+
+}  // namespace
+}  // namespace bcdb

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/answers.h"
+#include "query/parser.h"
+#include "running_example.h"
+
+namespace bcdb {
+namespace {
+
+using testing_fixtures::MakeRunningExample;
+
+Tuple Row(std::initializer_list<Value> values) { return Tuple(values); }
+
+class AnswersTest : public ::testing::Test {
+ protected:
+  AnswersTest() : db_(MakeRunningExample()), engine_(&db_) {}
+
+  std::vector<Tuple> Certain(const std::string& text) {
+    auto q = ParseDenialConstraint(text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    auto result = CertainAnswers(engine_, *q);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return *result;
+  }
+
+  std::vector<Tuple> Possible(const std::string& text) {
+    auto q = ParseDenialConstraint(text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    auto result = PossibleAnswers(engine_, *q);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return *result;
+  }
+
+  BlockchainDatabase db_;
+  DcSatEngine engine_;
+};
+
+TEST_F(AnswersTest, BindHeadSubstitutesEverywhere) {
+  auto q = ParseDenialConstraint("q(pk, a) :- TxOut(t, s, pk, a), a > 0");
+  ASSERT_TRUE(q.ok());
+  auto bound = BindHead(*q, Row({Value::Str("U1Pk"), Value::Int(1)}));
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound->head_vars.empty());
+  // pk and a became constants in the atom and the comparison.
+  EXPECT_FALSE(bound->positive_atoms[0].args[2].is_variable());
+  EXPECT_EQ(bound->positive_atoms[0].args[2].value(), Value::Str("U1Pk"));
+  EXPECT_FALSE(bound->comparisons[0].lhs.is_variable());
+  EXPECT_EQ(bound->comparisons[0].lhs.value(), Value::Int(1));
+}
+
+TEST_F(AnswersTest, BindHeadRejectsArityMismatch) {
+  auto q = ParseDenialConstraint("q(pk) :- TxOut(t, s, pk, a)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(BindHead(*q, Row({Value::Int(1), Value::Int(2)})).ok());
+}
+
+TEST_F(AnswersTest, CertainAnswersOfMonotoneQueryAreBaseAnswers) {
+  // All (pk, amount) pairs receiving outputs: over R only.
+  const std::vector<Tuple> certain = Certain("q(pk, a) :- TxOut(t, s, pk, a)");
+  const std::vector<Tuple> expected = {
+      Row({Value::Str("U1Pk"), Value::Real(0.5)}),
+      Row({Value::Str("U1Pk"), Value::Real(1)}),
+      Row({Value::Str("U2Pk"), Value::Real(4)}),
+      Row({Value::Str("U3Pk"), Value::Real(1)}),
+      Row({Value::Str("U4Pk"), Value::Real(0.5)}),
+  };
+  EXPECT_EQ(certain, expected);
+}
+
+TEST_F(AnswersTest, PossibleAnswersIncludeRealizablePendingOutputs) {
+  const std::vector<Tuple> possible = Possible("q(pk) :- TxOut(t, s, pk, a)");
+  std::vector<std::string> pks;
+  for (const Tuple& t : possible) pks.push_back(t[0].AsString());
+  // Base recipients plus every pending recipient (all pending transactions
+  // appear in some world).
+  const std::vector<std::string> expected = {"U1Pk", "U2Pk", "U3Pk", "U4Pk",
+                                             "U5Pk", "U7Pk", "U8Pk"};
+  EXPECT_EQ(pks, expected);
+}
+
+TEST_F(AnswersTest, PossibleAnswersPruneUnrealizableCombinations) {
+  // Both T1 (tx 4) and T5 (tx 8) spend output (2,2) — over R ∪ T the pair
+  // (4, 8) matches, but no possible world contains both spends.
+  const std::vector<Tuple> possible = Possible(
+      "q(n1, n2) :- TxIn(2, 2, 'U2Pk', a1, n1, g1), "
+      "TxIn(2, 2, 'U2Pk', a2, n2, g2), n1 != n2");
+  EXPECT_TRUE(possible.empty());
+
+  // Each spend individually is realizable.
+  const std::vector<Tuple> singles =
+      Possible("q(n) :- TxIn(2, 2, 'U2Pk', a, n, g)");
+  const std::vector<Tuple> expected = {Row({Value::Int(4)}),
+                                       Row({Value::Int(8)})};
+  EXPECT_EQ(singles, expected);
+}
+
+TEST_F(AnswersTest, CertainOfPendingOnlyFactIsEmpty) {
+  EXPECT_TRUE(Certain("q(n) :- TxIn(2, 2, 'U2Pk', a, n, g)").empty());
+}
+
+TEST_F(AnswersTest, NonMonotoneCertainIntersectsWorlds) {
+  // "pk received an output, and tx 8 did not pay U7Pk 4": in the world
+  // R ∪ {T5} the negation fails for every tuple, so no answer is certain.
+  const std::vector<Tuple> certain = Certain(
+      "q(pk) :- TxOut(t, s, pk, a), not TxOut(8, 1, 'U7Pk', 4)");
+  EXPECT_TRUE(certain.empty());
+}
+
+TEST_F(AnswersTest, NonMonotonePossibleUnionsWorlds) {
+  const std::vector<Tuple> possible = Possible(
+      "q(pk) :- TxOut(t, s, pk, a), not TxOut(8, 1, 'U7Pk', 4)");
+  // Worlds without T5 expose everything except T5's own output pk... which
+  // is U7Pk, also payable by T4 — so all seven recipients are possible.
+  EXPECT_EQ(possible.size(), 7u);
+}
+
+TEST_F(AnswersTest, RejectsAggregateAndHeadlessQueries) {
+  auto aggregate =
+      ParseDenialConstraint("[q(sum(a)) :- TxOut(t, s, pk, a)] > 1");
+  ASSERT_TRUE(aggregate.ok());
+  EXPECT_FALSE(CertainAnswers(engine_, *aggregate).ok());
+  EXPECT_FALSE(PossibleAnswers(engine_, *aggregate).ok());
+
+  auto boolean = ParseDenialConstraint("q() :- TxOut(t, s, pk, a)");
+  ASSERT_TRUE(boolean.ok());
+  EXPECT_FALSE(CertainAnswers(engine_, *boolean).ok());
+}
+
+TEST_F(AnswersTest, CertainSubsetOfPossible) {
+  const char* queries[] = {
+      "q(pk) :- TxOut(t, s, pk, a)",
+      "q(t, s) :- TxOut(t, s, pk, a)",
+      "q(pk) :- TxIn(pt, ps, pk, a, n, g)",
+      "q(pk) :- TxOut(t, s, pk, a), not TxOut(8, 1, 'U7Pk', 4)",
+  };
+  for (const char* text : queries) {
+    const std::vector<Tuple> certain = Certain(text);
+    const std::vector<Tuple> possible = Possible(text);
+    EXPECT_TRUE(std::includes(possible.begin(), possible.end(),
+                              certain.begin(), certain.end()))
+        << text;
+  }
+}
+
+TEST_F(AnswersTest, AnswersEnumerationDeduplicates) {
+  auto q = ParseDenialConstraint("q(pk) :- TxOut(t, s, pk, a)");
+  ASSERT_TRUE(q.ok());
+  auto compiled = CompiledQuery::Compile(*q, &db_.database());
+  ASSERT_TRUE(compiled.ok());
+  // U1Pk receives three outputs in R; the answer appears once.
+  std::size_t u1_count = 0;
+  compiled->EnumerateAnswers(db_.BaseView(), [&](const Tuple& t) {
+    if (t[0] == Value::Str("U1Pk")) ++u1_count;
+    return true;
+  });
+  EXPECT_EQ(u1_count, 1u);
+}
+
+TEST_F(AnswersTest, EnumerationEarlyStop) {
+  auto q = ParseDenialConstraint("q(t, s) :- TxOut(t, s, pk, a)");
+  ASSERT_TRUE(q.ok());
+  auto compiled = CompiledQuery::Compile(*q, &db_.database());
+  ASSERT_TRUE(compiled.ok());
+  std::size_t seen = 0;
+  compiled->EnumerateAnswers(db_.PendingUnionView(), [&](const Tuple&) {
+    return ++seen < 3;
+  });
+  EXPECT_EQ(seen, 3u);
+}
+
+}  // namespace
+}  // namespace bcdb

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "bitcoin/block.h"
+#include "bitcoin/transaction.h"
+
+namespace bcdb {
+namespace bitcoin {
+namespace {
+
+BitcoinTransaction MakeTx() {
+  return BitcoinTransaction(
+      {TxInput{OutPoint{100, 1}, "U1Pk", 5 * kCoin, SignatureFor("U1Pk")}},
+      {TxOutput{"U2Pk", 3 * kCoin}, TxOutput{"U1Pk", 2 * kCoin - 1000}});
+}
+
+TEST(SignatureTest, PkSuffixRewritten) {
+  EXPECT_EQ(SignatureFor("U1Pk"), "U1Sig");
+  EXPECT_EQ(SignatureFor("Alice"), "AliceSig");
+}
+
+TEST(BitcoinTransactionTest, Totals) {
+  BitcoinTransaction tx = MakeTx();
+  EXPECT_EQ(tx.InputTotal(), 5 * kCoin);
+  EXPECT_EQ(tx.OutputTotal(), 5 * kCoin - 1000);
+  EXPECT_EQ(tx.Fee(), 1000);
+  EXPECT_FALSE(tx.is_coinbase());
+}
+
+TEST(BitcoinTransactionTest, TxIdDeterministicAndDistinct) {
+  EXPECT_EQ(MakeTx().txid(), MakeTx().txid());
+  BitcoinTransaction other(
+      {TxInput{OutPoint{100, 2}, "U1Pk", 5 * kCoin, SignatureFor("U1Pk")}},
+      {TxOutput{"U2Pk", 3 * kCoin}});
+  EXPECT_NE(MakeTx().txid(), other.txid());
+  EXPECT_GE(MakeTx().txid(), 0);
+}
+
+TEST(BitcoinTransactionTest, CoinbaseSaltedByHeight) {
+  BitcoinTransaction cb1 = BitcoinTransaction::Coinbase("MinerPk", kCoin, 1);
+  BitcoinTransaction cb2 = BitcoinTransaction::Coinbase("MinerPk", kCoin, 2);
+  EXPECT_TRUE(cb1.is_coinbase());
+  EXPECT_EQ(cb1.Fee(), 0);
+  EXPECT_NE(cb1.txid(), cb2.txid());
+}
+
+TEST(BlockTest, HashChainsAndMerkle) {
+  Block genesis(0, 0, {});
+  EXPECT_EQ(genesis.merkle_root(), 0);
+
+  std::vector<BitcoinTransaction> txs{
+      BitcoinTransaction::Coinbase("MinerPk", kCoin, 1), MakeTx()};
+  Block block(1, genesis.hash(), txs);
+  EXPECT_EQ(block.prev_hash(), genesis.hash());
+  EXPECT_NE(block.hash(), genesis.hash());
+  EXPECT_NE(block.merkle_root(), 0);
+  EXPECT_EQ(block.CountInputs(), 1u);
+  EXPECT_EQ(block.CountOutputs(), 3u);
+
+  // The merkle root (and hence block hash) commits to the transactions.
+  std::vector<BitcoinTransaction> reversed{txs[1], txs[0]};
+  Block tampered(1, genesis.hash(), reversed);
+  EXPECT_NE(block.merkle_root(), tampered.merkle_root());
+  EXPECT_NE(block.hash(), tampered.hash());
+}
+
+TEST(BlockTest, OddTransactionCountMerkle) {
+  std::vector<BitcoinTransaction> txs{
+      BitcoinTransaction::Coinbase("A", kCoin, 1),
+      BitcoinTransaction::Coinbase("B", kCoin, 2),
+      BitcoinTransaction::Coinbase("C", kCoin, 3)};
+  Block block(1, 0, txs);
+  EXPECT_NE(block.merkle_root(), 0);
+}
+
+}  // namespace
+}  // namespace bitcoin
+}  // namespace bcdb

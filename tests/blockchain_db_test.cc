@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/blockchain_db.h"
+#include "running_example.h"
+
+namespace bcdb {
+namespace {
+
+using testing_fixtures::MakeRunningExample;
+
+TEST(BlockchainDatabaseTest, CreateValidatesConstraintIds) {
+  Catalog catalog = bitcoin::MakeBitcoinCatalog();
+  Catalog other = bitcoin::MakeBitcoinCatalog();
+  ASSERT_TRUE(other
+                  .AddRelation(RelationSchema(
+                      "Extra", {Attribute{"x", ValueType::kInt, false}}))
+                  .ok());
+  // An FD resolved against the larger catalog references a relation id the
+  // smaller catalog does not have.
+  ConstraintSet constraints;
+  constraints.AddFd(*FunctionalDependency::Key(other, "Extra", {"x"}));
+  EXPECT_FALSE(
+      BlockchainDatabase::Create(std::move(catalog), std::move(constraints))
+          .ok());
+}
+
+TEST(BlockchainDatabaseTest, VersionBumpsOnEveryMutation) {
+  BlockchainDatabase db = MakeRunningExample();
+  const std::uint64_t v0 = db.version();
+
+  ASSERT_TRUE(db.InsertCurrent("TxOut", Tuple({Value::Int(99), Value::Int(1),
+                                               Value::Str("NewPk"),
+                                               Value::Int(1)}))
+                  .ok());
+  const std::uint64_t v1 = db.version();
+  EXPECT_GT(v1, v0);
+
+  Transaction txn("t");
+  txn.Add("TxOut",
+          Tuple({Value::Int(98), Value::Int(1), Value::Str("PendPk"),
+                 Value::Int(1)}));
+  auto id = db.AddPending(txn);
+  ASSERT_TRUE(id.ok());
+  const std::uint64_t v2 = db.version();
+  EXPECT_GT(v2, v1);
+
+  ASSERT_TRUE(db.ApplyPending(*id).ok());
+  EXPECT_GT(db.version(), v2);
+
+  const std::uint64_t v3 = db.version();
+  ASSERT_TRUE(db.DiscardPending(2).ok());
+  EXPECT_GT(db.version(), v3);
+}
+
+TEST(BlockchainDatabaseTest, AddPendingRejectsEmptyAndBadTuples) {
+  BlockchainDatabase db = MakeRunningExample();
+  EXPECT_EQ(db.AddPending(Transaction("empty")).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Schema violation rolls the whole transaction back.
+  Transaction bad("bad");
+  bad.Add("TxOut", Tuple({Value::Int(50), Value::Int(1), Value::Str("Pk"),
+                          Value::Int(1)}));
+  bad.Add("TxOut", Tuple({Value::Int(50)}));  // Wrong arity.
+  const std::size_t pending_before = db.PendingIds().size();
+  EXPECT_FALSE(db.AddPending(bad).ok());
+  EXPECT_EQ(db.PendingIds().size(), pending_before);
+  // The partially-inserted tuple must not be visible in any world.
+  const auto txout_id = db.catalog().RelationId("TxOut");
+  ASSERT_TRUE(txout_id.ok());
+  EXPECT_FALSE(db.database()
+                   .relation(*txout_id)
+                   .ContainsVisible(Tuple({Value::Int(50), Value::Int(1),
+                                           Value::Str("Pk"), Value::Int(1)}),
+                                    db.PendingUnionView()));
+}
+
+TEST(BlockchainDatabaseTest, ApplyAndDiscardStateMachine) {
+  BlockchainDatabase db = MakeRunningExample();
+  EXPECT_TRUE(db.IsPending(0));
+  ASSERT_TRUE(db.ApplyPending(0).ok());
+  EXPECT_FALSE(db.IsPending(0));
+  // No double apply / discard of a non-pending id.
+  EXPECT_FALSE(db.ApplyPending(0).ok());
+  EXPECT_FALSE(db.DiscardPending(0).ok());
+  EXPECT_FALSE(db.ApplyPending(12345).ok());
+
+  ASSERT_TRUE(db.DiscardPending(4).ok());
+  EXPECT_FALSE(db.ApplyPending(4).ok());
+
+  // PendingIds reflects the survivors.
+  EXPECT_EQ(db.PendingIds(), (std::vector<PendingId>{1, 2, 3}));
+}
+
+TEST(BlockchainDatabaseTest, PendingUnionViewTracksSurvivors) {
+  BlockchainDatabase db = MakeRunningExample();
+  ASSERT_TRUE(db.DiscardPending(3).ok());  // Drop T4 (pays U8Pk).
+  const auto txout_id = db.catalog().RelationId("TxOut");
+  ASSERT_TRUE(txout_id.ok());
+  const Relation& txout = db.database().relation(*txout_id);
+  EXPECT_FALSE(txout.ContainsVisible(
+      Tuple({Value::Int(7), Value::Int(2), Value::Str("U8Pk"),
+             Value::Real(1)}),
+      db.PendingUnionView()));
+}
+
+TEST(BlockchainDatabaseTest, LabelsAreAccessible) {
+  BlockchainDatabase db = MakeRunningExample();
+  EXPECT_EQ(db.pending(0).label(), "T1");
+  EXPECT_EQ(db.pending(4).label(), "T5");
+  EXPECT_EQ(db.pending(3).size(), 4u);  // T4: 2 inputs + 2 outputs.
+}
+
+}  // namespace
+}  // namespace bcdb

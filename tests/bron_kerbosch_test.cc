@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/bit_graph.h"
+#include "core/bron_kerbosch.h"
+#include "util/rng.h"
+
+namespace bcdb {
+namespace {
+
+using CliqueSet = std::set<std::vector<std::size_t>>;
+
+CliqueSet Enumerate(const BitGraph& g, const DynamicBitset& subset,
+                    bool use_pivot) {
+  CliqueSet cliques;
+  EnumerateMaximalCliques(g, subset, use_pivot,
+                          [&](const std::vector<std::size_t>& clique) {
+                            std::vector<std::size_t> sorted = clique;
+                            std::sort(sorted.begin(), sorted.end());
+                            cliques.insert(sorted);
+                            return true;
+                          });
+  return cliques;
+}
+
+DynamicBitset AllOf(std::size_t n) {
+  DynamicBitset b(n);
+  b.SetAll();
+  return b;
+}
+
+/// Reference: maximal cliques by brute force over all vertex subsets.
+CliqueSet BruteForce(const BitGraph& g, const DynamicBitset& subset) {
+  std::vector<std::size_t> vertices = subset.ToVector();
+  const std::size_t n = vertices.size();
+  std::vector<std::vector<std::size_t>> cliques;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) members.push_back(vertices[i]);
+    }
+    bool is_clique = true;
+    for (std::size_t i = 0; i < members.size() && is_clique; ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (!g.HasEdge(members[i], members[j])) {
+          is_clique = false;
+          break;
+        }
+      }
+    }
+    if (is_clique) cliques.push_back(members);
+  }
+  // Keep only maximal ones.
+  CliqueSet maximal;
+  for (const auto& c : cliques) {
+    bool contained = false;
+    for (const auto& d : cliques) {
+      if (d.size() > c.size() &&
+          std::includes(d.begin(), d.end(), c.begin(), c.end())) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) maximal.insert(c);
+  }
+  return maximal;
+}
+
+TEST(BitGraphTest, EdgesAndNeighbors) {
+  BitGraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(3, 3));
+  EXPECT_EQ(g.CountEdges(), 2u);
+  g.RemoveEdge(0, 1);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(BitGraphTest, MakeCompleteOver) {
+  BitGraph g(6);
+  DynamicBitset subset(6);
+  subset.Set(1);
+  subset.Set(3);
+  subset.Set(4);
+  g.MakeCompleteOver(subset);
+  EXPECT_TRUE(g.HasEdge(1, 3));
+  EXPECT_TRUE(g.HasEdge(3, 4));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 1));
+  EXPECT_EQ(g.CountEdges(), 3u);
+}
+
+TEST(BronKerboschTest, EmptyGraphSingleEmptyClique) {
+  BitGraph g(4);
+  DynamicBitset none(4);
+  CliqueSet cliques = Enumerate(g, none, true);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_TRUE(cliques.begin()->empty());
+}
+
+TEST(BronKerboschTest, IsolatedVertices) {
+  BitGraph g(3);
+  CliqueSet cliques = Enumerate(g, AllOf(3), true);
+  // Three singleton maximal cliques.
+  EXPECT_EQ(cliques.size(), 3u);
+}
+
+TEST(BronKerboschTest, Triangle) {
+  BitGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  CliqueSet cliques = Enumerate(g, AllOf(3), true);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(*cliques.begin(), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(BronKerboschTest, CompleteMinusOneEdge) {
+  // The running-example shape: K5 minus edge (0,4) has exactly the two
+  // maximal cliques {1,2,3,4} and {0,1,2,3}.
+  BitGraph g(5);
+  DynamicBitset all = AllOf(5);
+  g.MakeCompleteOver(all);
+  g.RemoveEdge(0, 4);
+  CliqueSet cliques = Enumerate(g, all, true);
+  ASSERT_EQ(cliques.size(), 2u);
+  EXPECT_TRUE(cliques.count({0, 1, 2, 3}));
+  EXPECT_TRUE(cliques.count({1, 2, 3, 4}));
+}
+
+TEST(BronKerboschTest, SubsetRestriction) {
+  BitGraph g(5);
+  g.MakeCompleteOver(AllOf(5));
+  DynamicBitset subset(5);
+  subset.Set(1);
+  subset.Set(2);
+  CliqueSet cliques = Enumerate(g, subset, true);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(*cliques.begin(), (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(BronKerboschTest, EarlyStop) {
+  BitGraph g(6);  // Six isolated vertices -> six cliques.
+  std::size_t seen = 0;
+  CliqueEnumerationStats stats = EnumerateMaximalCliques(
+      g, AllOf(6), true, [&](const std::vector<std::size_t>&) {
+        return ++seen < 2;  // Stop after the second clique.
+      });
+  EXPECT_EQ(seen, 2u);
+  EXPECT_TRUE(stats.stopped_early);
+  EXPECT_EQ(stats.cliques_reported, 2u);
+}
+
+TEST(BronKerboschTest, MatchesBruteForceOnRandomGraphs) {
+  Xoshiro256 rng(1234);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 2 + rng.NextBelow(9);  // 2..10 vertices.
+    const double p = rng.NextDouble();
+    BitGraph g(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (rng.NextBool(p)) g.AddEdge(i, j);
+      }
+    }
+    const CliqueSet expected = BruteForce(g, AllOf(n));
+    EXPECT_EQ(Enumerate(g, AllOf(n), true), expected) << "trial " << trial;
+    EXPECT_EQ(Enumerate(g, AllOf(n), false), expected)
+        << "no-pivot trial " << trial;
+  }
+}
+
+TEST(BronKerboschTest, PivotAndPlainAgreeOnDenseGraphs) {
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 12;
+    BitGraph g(n);
+    DynamicBitset all = AllOf(n);
+    g.MakeCompleteOver(all);
+    // Remove a few random edges (the fd-graph conflict pattern).
+    for (int k = 0; k < 4; ++k) {
+      const std::size_t a = rng.NextBelow(n);
+      const std::size_t b = rng.NextBelow(n);
+      g.RemoveEdge(a, b);
+    }
+    EXPECT_EQ(Enumerate(g, all, true), Enumerate(g, all, false));
+  }
+}
+
+}  // namespace
+}  // namespace bcdb

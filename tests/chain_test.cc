@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "bitcoin/chain.h"
+
+namespace bcdb {
+namespace bitcoin {
+namespace {
+
+BitcoinTransaction Payment(const OutPoint& src, const std::string& from,
+                           Satoshi in_amount, const std::string& to,
+                           Satoshi amount, Satoshi fee) {
+  std::vector<TxOutput> outputs{TxOutput{to, amount}};
+  const Satoshi change = in_amount - amount - fee;
+  if (change > 0) outputs.push_back(TxOutput{from, change});
+  return BitcoinTransaction(
+      {TxInput{src, from, in_amount, SignatureFor(from)}}, outputs);
+}
+
+class ChainTest : public ::testing::Test {
+ protected:
+  /// Mines a block paying the subsidy to `miner`.
+  BitcoinTransaction MineCoinbaseTo(const std::string& miner) {
+    BitcoinTransaction cb =
+        BitcoinTransaction::Coinbase(miner, kBlockReward, chain_.height() + 1);
+    EXPECT_TRUE(chain_.MineAndAppend({cb}).ok());
+    return cb;
+  }
+
+  Blockchain chain_;
+};
+
+TEST_F(ChainTest, GenesisOnly) {
+  EXPECT_EQ(chain_.height(), 0u);
+  EXPECT_TRUE(chain_.utxos().empty());
+  EXPECT_EQ(chain_.Stats().blocks, 1u);
+}
+
+TEST_F(ChainTest, CoinbaseCreatesUtxo) {
+  BitcoinTransaction cb = MineCoinbaseTo("AlicePk");
+  EXPECT_EQ(chain_.height(), 1u);
+  ASSERT_EQ(chain_.utxos().size(), 1u);
+  const auto it = chain_.utxos().find(OutPoint{cb.txid(), 1});
+  ASSERT_NE(it, chain_.utxos().end());
+  EXPECT_EQ(it->second.pubkey, "AlicePk");
+  EXPECT_EQ(it->second.amount, kBlockReward);
+  EXPECT_TRUE(chain_.ContainsTransaction(cb.txid()));
+}
+
+TEST_F(ChainTest, SpendMovesFunds) {
+  BitcoinTransaction cb = MineCoinbaseTo("AlicePk");
+  BitcoinTransaction pay = Payment(OutPoint{cb.txid(), 1}, "AlicePk",
+                                   kBlockReward, "BobPk", kCoin, 1000);
+  ASSERT_TRUE(chain_.MineAndAppend({pay}).ok());
+  // Alice's coinbase output is spent; Bob's and Alice's change exist.
+  EXPECT_EQ(chain_.utxos().count(OutPoint{cb.txid(), 1}), 0u);
+  EXPECT_EQ(chain_.utxos().count(OutPoint{pay.txid(), 1}), 1u);
+  EXPECT_EQ(chain_.utxos().count(OutPoint{pay.txid(), 2}), 1u);
+}
+
+TEST_F(ChainTest, RejectsDoubleSpendAcrossBlocks) {
+  BitcoinTransaction cb = MineCoinbaseTo("AlicePk");
+  BitcoinTransaction pay1 = Payment(OutPoint{cb.txid(), 1}, "AlicePk",
+                                    kBlockReward, "BobPk", kCoin, 1000);
+  ASSERT_TRUE(chain_.MineAndAppend({pay1}).ok());
+  BitcoinTransaction pay2 = Payment(OutPoint{cb.txid(), 1}, "AlicePk",
+                                    kBlockReward, "CarolPk", kCoin, 1000);
+  EXPECT_EQ(chain_.MineAndAppend({pay2}).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ChainTest, RejectsDoubleSpendWithinBlock) {
+  BitcoinTransaction cb = MineCoinbaseTo("AlicePk");
+  BitcoinTransaction pay1 = Payment(OutPoint{cb.txid(), 1}, "AlicePk",
+                                    kBlockReward, "BobPk", kCoin, 1000);
+  BitcoinTransaction pay2 = Payment(OutPoint{cb.txid(), 1}, "AlicePk",
+                                    kBlockReward, "CarolPk", kCoin, 1000);
+  EXPECT_FALSE(chain_.MineAndAppend({pay1, pay2}).ok());
+}
+
+TEST_F(ChainTest, AllowsSpendingWithinSameBlock) {
+  BitcoinTransaction cb = MineCoinbaseTo("AlicePk");
+  BitcoinTransaction pay1 = Payment(OutPoint{cb.txid(), 1}, "AlicePk",
+                                    kBlockReward, "BobPk", kCoin, 1000);
+  BitcoinTransaction pay2 = Payment(OutPoint{pay1.txid(), 1}, "BobPk", kCoin,
+                                    "CarolPk", kCoin / 2, 1000);
+  EXPECT_TRUE(chain_.MineAndAppend({pay1, pay2}).ok());
+}
+
+TEST_F(ChainTest, RejectsWrongOwnerOrAmount) {
+  BitcoinTransaction cb = MineCoinbaseTo("AlicePk");
+  // Wrong claimed amount.
+  BitcoinTransaction bad_amount = Payment(
+      OutPoint{cb.txid(), 1}, "AlicePk", kBlockReward - 5, "BobPk", kCoin, 0);
+  EXPECT_FALSE(chain_.MineAndAppend({bad_amount}).ok());
+  // Wrong claimed owner.
+  BitcoinTransaction bad_owner = Payment(OutPoint{cb.txid(), 1}, "EvePk",
+                                         kBlockReward, "BobPk", kCoin, 1000);
+  EXPECT_FALSE(chain_.MineAndAppend({bad_owner}).ok());
+}
+
+TEST_F(ChainTest, RejectsBadSignature) {
+  BitcoinTransaction cb = MineCoinbaseTo("AlicePk");
+  BitcoinTransaction forged(
+      {TxInput{OutPoint{cb.txid(), 1}, "AlicePk", kBlockReward, "EveSig"}},
+      {TxOutput{"EvePk", kBlockReward}});
+  EXPECT_FALSE(chain_.MineAndAppend({forged}).ok());
+}
+
+TEST_F(ChainTest, RejectsOverspend) {
+  BitcoinTransaction cb = MineCoinbaseTo("AlicePk");
+  BitcoinTransaction overspend(
+      {TxInput{OutPoint{cb.txid(), 1}, "AlicePk", kBlockReward,
+               SignatureFor("AlicePk")}},
+      {TxOutput{"BobPk", kBlockReward + 1}});
+  EXPECT_FALSE(chain_.MineAndAppend({overspend}).ok());
+}
+
+TEST_F(ChainTest, RejectsExcessiveCoinbase) {
+  BitcoinTransaction greedy = BitcoinTransaction::Coinbase(
+      "MinerPk", kBlockReward + 1, chain_.height() + 1);
+  EXPECT_EQ(chain_.MineAndAppend({greedy}).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST_F(ChainTest, CoinbaseMayCollectFees) {
+  BitcoinTransaction cb = MineCoinbaseTo("AlicePk");
+  BitcoinTransaction pay = Payment(OutPoint{cb.txid(), 1}, "AlicePk",
+                                   kBlockReward, "BobPk", kCoin, 5000);
+  BitcoinTransaction cb2 = BitcoinTransaction::Coinbase(
+      "MinerPk", kBlockReward + 5000, chain_.height() + 1);
+  EXPECT_TRUE(chain_.MineAndAppend({cb2, pay}).ok());
+}
+
+TEST_F(ChainTest, RejectsMisplacedCoinbase) {
+  BitcoinTransaction cb = MineCoinbaseTo("AlicePk");
+  BitcoinTransaction pay = Payment(OutPoint{cb.txid(), 1}, "AlicePk",
+                                   kBlockReward, "BobPk", kCoin, 1000);
+  BitcoinTransaction cb2 =
+      BitcoinTransaction::Coinbase("MinerPk", kBlockReward, 2);
+  EXPECT_FALSE(chain_.MineAndAppend({pay, cb2}).ok());
+}
+
+TEST_F(ChainTest, RejectsBadLinkage) {
+  Block detached(5, 12345, {});
+  EXPECT_FALSE(chain_.AppendBlock(detached).ok());
+  Block wrong_height(2, chain_.tip().hash(), {});
+  EXPECT_FALSE(chain_.AppendBlock(wrong_height).ok());
+}
+
+TEST_F(ChainTest, StatsAccumulate) {
+  MineCoinbaseTo("AlicePk");
+  MineCoinbaseTo("BobPk");
+  const ChainStats stats = chain_.Stats();
+  EXPECT_EQ(stats.blocks, 3u);  // Genesis + 2.
+  EXPECT_EQ(stats.transactions, 2u);
+  EXPECT_EQ(stats.inputs, 0u);
+  EXPECT_EQ(stats.outputs, 2u);
+}
+
+}  // namespace
+}  // namespace bitcoin
+}  // namespace bcdb

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "constraints/checker.h"
+#include "constraints/constraint.h"
+#include "relational/database.h"
+
+namespace bcdb {
+namespace {
+
+// Schema: Emp(id, dept, office), Dept(name, building)
+// FD: Emp dept -> office; Key: Emp id; IND: Emp[dept] ⊆ Dept[name].
+Catalog MakeCatalog() {
+  Catalog catalog;
+  EXPECT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "Emp", {Attribute{"id", ValueType::kInt, false},
+                              Attribute{"dept", ValueType::kString, false},
+                              Attribute{"office", ValueType::kInt, false}}))
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "Dept", {Attribute{"name", ValueType::kString, false},
+                               Attribute{"building", ValueType::kInt, false}}))
+                  .ok());
+  return catalog;
+}
+
+ConstraintSet MakeConstraints(const Catalog& catalog) {
+  ConstraintSet constraints;
+  auto key = FunctionalDependency::Key(catalog, "Emp", {"id"});
+  EXPECT_TRUE(key.ok());
+  constraints.AddFd(std::move(*key));
+  auto fd = FunctionalDependency::Create(catalog, "Emp", {"dept"}, {"office"});
+  EXPECT_TRUE(fd.ok());
+  constraints.AddFd(std::move(*fd));
+  auto ind =
+      InclusionDependency::Create(catalog, "Emp", {"dept"}, "Dept", {"name"});
+  EXPECT_TRUE(ind.ok());
+  constraints.AddInd(std::move(*ind));
+  return constraints;
+}
+
+Tuple Emp(std::int64_t id, const std::string& dept, std::int64_t office) {
+  return Tuple({Value::Int(id), Value::Str(dept), Value::Int(office)});
+}
+Tuple Dept(const std::string& name, std::int64_t building) {
+  return Tuple({Value::Str(name), Value::Int(building)});
+}
+
+TEST(ConstraintTest, FdCreationResolvesAttributes) {
+  Catalog catalog = MakeCatalog();
+  auto fd = FunctionalDependency::Create(catalog, "Emp", {"dept"}, {"office"});
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fd->lhs(), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(fd->rhs(), (std::vector<std::size_t>{2}));
+  EXPECT_FALSE(fd->is_key());
+}
+
+TEST(ConstraintTest, KeyIsFdOverAllAttributes) {
+  Catalog catalog = MakeCatalog();
+  auto key = FunctionalDependency::Key(catalog, "Emp", {"id"});
+  ASSERT_TRUE(key.ok());
+  EXPECT_TRUE(key->is_key());
+  EXPECT_EQ(key->rhs().size(), 3u);
+}
+
+TEST(ConstraintTest, FdRejectsUnknownAttribute) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_FALSE(
+      FunctionalDependency::Create(catalog, "Emp", {"nope"}, {"office"}).ok());
+  EXPECT_FALSE(
+      FunctionalDependency::Create(catalog, "Nope", {"id"}, {"id"}).ok());
+  EXPECT_FALSE(FunctionalDependency::Create(catalog, "Emp", {}, {"id"}).ok());
+}
+
+TEST(ConstraintTest, IndRejectsLengthMismatch) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_FALSE(InclusionDependency::Create(catalog, "Emp", {"dept", "id"},
+                                           "Dept", {"name"})
+                   .ok());
+}
+
+TEST(ConstraintTest, ConstraintSetGrouping) {
+  Catalog catalog = MakeCatalog();
+  ConstraintSet constraints = MakeConstraints(catalog);
+  EXPECT_EQ(constraints.FdsFor(0).size(), 2u);
+  EXPECT_TRUE(constraints.FdsFor(1).empty());
+  EXPECT_EQ(constraints.IndsWithLhs(0).size(), 1u);
+  EXPECT_FALSE(constraints.empty());
+}
+
+class CheckerTest : public ::testing::Test {
+ protected:
+  CheckerTest()
+      : catalog_(MakeCatalog()),
+        constraints_(MakeConstraints(catalog_)),
+        db_(std::move(catalog_)),
+        checker_(&db_, &constraints_) {}
+
+  Catalog catalog_;
+  ConstraintSet constraints_;
+  Database db_;
+  ConstraintChecker checker_;
+};
+
+TEST_F(CheckerTest, EmptyDatabaseSatisfies) {
+  EXPECT_TRUE(checker_.CheckAll(db_.BaseView()).ok());
+}
+
+TEST_F(CheckerTest, DetectsKeyViolation) {
+  ASSERT_TRUE(db_.Insert("Dept", Dept("eng", 1)).ok());
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "eng", 10)).ok());
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "eng", 11)).ok());  // Same id.
+  const Status status = checker_.CheckAll(db_.BaseView());
+  EXPECT_EQ(status.code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(CheckerTest, DetectsFdViolation) {
+  ASSERT_TRUE(db_.Insert("Dept", Dept("eng", 1)).ok());
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "eng", 10)).ok());
+  ASSERT_TRUE(db_.Insert("Emp", Emp(2, "eng", 11)).ok());  // dept -> office.
+  EXPECT_FALSE(checker_.Satisfies(db_.BaseView()));
+}
+
+TEST_F(CheckerTest, DetectsIndViolation) {
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "ghost", 10)).ok());
+  EXPECT_FALSE(checker_.Satisfies(db_.BaseView()));
+  ASSERT_TRUE(db_.Insert("Dept", Dept("ghost", 2)).ok());
+  EXPECT_TRUE(checker_.Satisfies(db_.BaseView()));
+}
+
+TEST_F(CheckerTest, ViolationOnlyInActivatedWorld) {
+  ASSERT_TRUE(db_.Insert("Dept", Dept("eng", 1)).ok());
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "eng", 10)).ok());
+  const TupleOwner t0 = db_.RegisterOwner();
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "eng", 99), t0).ok());  // Key clash.
+  EXPECT_TRUE(checker_.Satisfies(db_.BaseView()));
+  WorldView world = db_.BaseView();
+  world.Activate(t0);
+  EXPECT_FALSE(checker_.Satisfies(world));
+}
+
+TEST_F(CheckerTest, CanAppendOwnerChecksFds) {
+  ASSERT_TRUE(db_.Insert("Dept", Dept("eng", 1)).ok());
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "eng", 10)).ok());
+  const TupleOwner good = db_.RegisterOwner();
+  ASSERT_TRUE(db_.Insert("Emp", Emp(2, "eng", 10), good).ok());
+  const TupleOwner bad = db_.RegisterOwner();
+  ASSERT_TRUE(db_.Insert("Emp", Emp(3, "eng", 42), bad).ok());  // FD clash.
+  EXPECT_TRUE(checker_.CanAppendOwner(db_.BaseView(), good));
+  EXPECT_FALSE(checker_.CanAppendOwner(db_.BaseView(), bad));
+}
+
+TEST_F(CheckerTest, CanAppendOwnerChecksInds) {
+  const TupleOwner orphan = db_.RegisterOwner();
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "new", 10), orphan).ok());
+  EXPECT_FALSE(checker_.CanAppendOwner(db_.BaseView(), orphan));
+
+  // A transaction can bring its own IND witness.
+  const TupleOwner self_contained = db_.RegisterOwner();
+  ASSERT_TRUE(db_.Insert("Emp", Emp(2, "ops", 20), self_contained).ok());
+  ASSERT_TRUE(db_.Insert("Dept", Dept("ops", 3), self_contained).ok());
+  EXPECT_TRUE(checker_.CanAppendOwner(db_.BaseView(), self_contained));
+}
+
+TEST_F(CheckerTest, CanAppendDependsOnPriorActivation) {
+  const TupleOwner parent = db_.RegisterOwner();
+  ASSERT_TRUE(db_.Insert("Dept", Dept("lab", 5), parent).ok());
+  const TupleOwner child = db_.RegisterOwner();
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "lab", 50), child).ok());
+
+  EXPECT_FALSE(checker_.CanAppendOwner(db_.BaseView(), child));
+  WorldView with_parent = db_.BaseView();
+  with_parent.Activate(parent);
+  EXPECT_TRUE(checker_.CanAppendOwner(with_parent, child));
+}
+
+TEST_F(CheckerTest, FdConsistentPair) {
+  const TupleOwner a = db_.RegisterOwner();
+  const TupleOwner b = db_.RegisterOwner();
+  const TupleOwner c = db_.RegisterOwner();
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "eng", 10), a).ok());
+  ASSERT_TRUE(db_.Insert("Emp", Emp(2, "eng", 10), b).ok());
+  // Clashes with a on the key (id 1) but not with b (different dept).
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "ops", 99), c).ok());
+  // d clashes with a and b on the FD dept -> office.
+  const TupleOwner d = db_.RegisterOwner();
+  ASSERT_TRUE(db_.Insert("Emp", Emp(3, "eng", 42), d).ok());
+  EXPECT_TRUE(checker_.FdConsistentPair(a, b));
+  EXPECT_FALSE(checker_.FdConsistentPair(a, c));
+  EXPECT_TRUE(checker_.FdConsistentPair(b, c));
+  EXPECT_FALSE(checker_.FdConsistentPair(a, d));
+  EXPECT_FALSE(checker_.FdConsistentPair(b, d));
+  EXPECT_TRUE(checker_.FdConsistentPair(c, d));
+}
+
+TEST_F(CheckerTest, FdConsistentWithBase) {
+  ASSERT_TRUE(db_.Insert("Dept", Dept("eng", 1)).ok());
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "eng", 10)).ok());
+  const TupleOwner clash = db_.RegisterOwner();
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "eng", 11), clash).ok());
+  const TupleOwner fine = db_.RegisterOwner();
+  ASSERT_TRUE(db_.Insert("Emp", Emp(7, "eng", 10), fine).ok());
+  // Internally inconsistent transaction.
+  const TupleOwner internal = db_.RegisterOwner();
+  ASSERT_TRUE(db_.Insert("Emp", Emp(8, "eng", 10), internal).ok());
+  ASSERT_TRUE(db_.Insert("Emp", Emp(8, "eng", 12), internal).ok());
+
+  EXPECT_FALSE(checker_.FdConsistentWithBase(clash));
+  EXPECT_TRUE(checker_.FdConsistentWithBase(fine));
+  EXPECT_FALSE(checker_.FdConsistentWithBase(internal));
+}
+
+TEST(CheckerPermutationTest, IndWithUnsortedPositionLists) {
+  // IND whose attribute lists are not in schema order on either side:
+  // Emp[office, dept] ⊆ Loc[room, unit] where Loc stores (unit, room).
+  // The checker must permute the projections consistently.
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "Emp", {Attribute{"id", ValueType::kInt, false},
+                              Attribute{"dept", ValueType::kString, false},
+                              Attribute{"office", ValueType::kInt, false}}))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "Loc", {Attribute{"unit", ValueType::kString, false},
+                              Attribute{"room", ValueType::kInt, false}}))
+                  .ok());
+  ConstraintSet constraints;
+  auto ind = InclusionDependency::Create(catalog, "Emp", {"office", "dept"},
+                                         "Loc", {"room", "unit"});
+  ASSERT_TRUE(ind.ok());
+  constraints.AddInd(std::move(*ind));
+
+  Database db(std::move(catalog));
+  ConstraintChecker checker(&db, &constraints);
+
+  // Loc(unit='eng', room=10) witnesses Emp(office=10, dept='eng').
+  ASSERT_TRUE(db.Insert("Loc", Tuple({Value::Str("eng"), Value::Int(10)})).ok());
+  ASSERT_TRUE(db.Insert("Emp", Tuple({Value::Int(1), Value::Str("eng"),
+                                      Value::Int(10)}))
+                  .ok());
+  EXPECT_TRUE(checker.Satisfies(db.BaseView()));
+
+  // A swapped witness (room/unit transposed into the wrong columns) must
+  // NOT satisfy the dependency.
+  ASSERT_TRUE(db.Insert("Emp", Tuple({Value::Int(2), Value::Str("ops"),
+                                      Value::Int(20)}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("Loc", Tuple({Value::Str("20"), Value::Int(0)})).ok());
+  EXPECT_FALSE(checker.Satisfies(db.BaseView()));
+  ASSERT_TRUE(db.Insert("Loc", Tuple({Value::Str("ops"), Value::Int(20)})).ok());
+  EXPECT_TRUE(checker.Satisfies(db.BaseView()));
+
+  // Incremental path uses the same permuted plan.
+  const TupleOwner pending = db.RegisterOwner();
+  ASSERT_TRUE(db.Insert("Emp", Tuple({Value::Int(3), Value::Str("hr"),
+                                      Value::Int(30)}),
+                        pending)
+                  .ok());
+  EXPECT_FALSE(checker.CanAppendOwner(db.BaseView(), pending));
+  const TupleOwner with_witness = db.RegisterOwner();
+  ASSERT_TRUE(db.Insert("Emp", Tuple({Value::Int(4), Value::Str("qa"),
+                                      Value::Int(40)}),
+                        with_witness)
+                  .ok());
+  ASSERT_TRUE(db.Insert("Loc", Tuple({Value::Str("qa"), Value::Int(40)}),
+                        with_witness)
+                  .ok());
+  EXPECT_TRUE(checker.CanAppendOwner(db.BaseView(), with_witness));
+}
+
+TEST_F(CheckerTest, DuplicateTupleIsNotAViolation) {
+  ASSERT_TRUE(db_.Insert("Dept", Dept("eng", 1)).ok());
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "eng", 10)).ok());
+  const TupleOwner dup = db_.RegisterOwner();
+  // Identical tuple re-inserted by a pending transaction: set semantics.
+  ASSERT_TRUE(db_.Insert("Emp", Emp(1, "eng", 10), dup).ok());
+  EXPECT_TRUE(checker_.CanAppendOwner(db_.BaseView(), dup));
+  EXPECT_TRUE(checker_.FdConsistentWithBase(dup));
+}
+
+}  // namespace
+}  // namespace bcdb

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/contradiction.h"
+#include "core/possible_worlds.h"
+#include "running_example.h"
+
+namespace bcdb {
+namespace {
+
+using testing_fixtures::MakeRunningExample;
+
+/// Shared verification: the plan conflicts with its target in every world
+/// and is itself appendable to the current state.
+void VerifyPlan(BlockchainDatabase& db, PendingId target,
+                const ContradictionPlan& plan) {
+  auto planned = db.AddPending(plan.transaction);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  EXPECT_FALSE(db.checker().FdConsistentPair(
+      static_cast<TupleOwner>(target), static_cast<TupleOwner>(*planned)))
+      << plan.reason;
+  EXPECT_TRUE(IsPossibleWorld(db, {*planned}));
+  EXPECT_FALSE(IsPossibleWorld(db, {target, *planned}));
+  ASSERT_TRUE(db.DiscardPending(*planned).ok());
+}
+
+TEST(ContradictionTest, PlansExistForEveryRunningExampleTransaction) {
+  BlockchainDatabase db = MakeRunningExample();
+  // Snapshot: planning adds (and discards) scratch transactions, which
+  // occupy later pending-id slots.
+  const std::vector<PendingId> targets = db.PendingIds();
+  for (PendingId target : targets) {
+    auto plan = PlanContradiction(db, target);
+    ASSERT_TRUE(plan.ok()) << "target T" << (target + 1) << ": "
+                           << plan.status();
+    EXPECT_FALSE(plan->reason.empty());
+    VerifyPlan(db, target, *plan);
+  }
+}
+
+TEST(ContradictionTest, PlanLeavesDatabaseUnchanged) {
+  BlockchainDatabase db = MakeRunningExample();
+  const std::size_t pending_before = db.PendingIds().size();
+  auto plan = PlanContradiction(db, 0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(db.PendingIds().size(), pending_before);
+}
+
+TEST(ContradictionTest, PlanIsAFaithfulDoubleSpendForSimpleSpends) {
+  BlockchainDatabase db = MakeRunningExample();
+  // T1 spends output (2, 2); a contradiction must collide on the TxIn key
+  // (prevTxId, prevSer) or on one of T1's TxOut keys.
+  auto plan = PlanContradiction(db, 0);
+  ASSERT_TRUE(plan.ok());
+  bool collides = false;
+  for (const Transaction::Item& item : plan->transaction.items()) {
+    if (item.relation == "TxIn" && item.tuple[0] == Value::Int(2) &&
+        item.tuple[1] == Value::Int(2)) {
+      collides = true;  // Double spend of (2,2).
+    }
+    if (item.relation == "TxOut" && item.tuple[0] == Value::Int(4)) {
+      collides = true;  // Key collision with T1's outputs.
+    }
+  }
+  EXPECT_TRUE(collides);
+}
+
+TEST(ContradictionTest, RepairsInclusionDependencies) {
+  BlockchainDatabase db = MakeRunningExample();
+  // Whatever the plan for T1 perturbs, the result must be appendable on its
+  // own — i.e. all IND witnesses present (base or carried along).
+  auto plan = PlanContradiction(db, 0);
+  ASSERT_TRUE(plan.ok());
+  auto planned = db.AddPending(plan->transaction);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_TRUE(
+      db.checker().CanAppendOwner(db.BaseView(),
+                                  static_cast<TupleOwner>(*planned)));
+  ASSERT_TRUE(db.DiscardPending(*planned).ok());
+}
+
+TEST(ContradictionTest, RejectsNonPendingTarget) {
+  BlockchainDatabase db = MakeRunningExample();
+  EXPECT_EQ(PlanContradiction(db, 99).status().code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(db.DiscardPending(2).ok());
+  EXPECT_FALSE(PlanContradiction(db, 2).ok());
+}
+
+TEST(ContradictionTest, NoFdsMeansNoContradiction) {
+  // A schema with inclusion dependencies only: transactions can never
+  // mutually exclude, so no contradiction exists (Theorem 1's {ind}-only
+  // world: everything is compatible).
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "Node", {Attribute{"id", ValueType::kInt, false}}))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "Edge", {Attribute{"src", ValueType::kInt, false},
+                               Attribute{"dst", ValueType::kInt, false}}))
+                  .ok());
+  ConstraintSet constraints;
+  constraints.AddInd(
+      *InclusionDependency::Create(catalog, "Edge", {"src"}, "Node", {"id"}));
+  auto db =
+      BlockchainDatabase::Create(std::move(catalog), std::move(constraints));
+  ASSERT_TRUE(db.ok());
+  Transaction txn("t");
+  txn.Add("Node", Tuple({Value::Int(1)}));
+  txn.Add("Edge", Tuple({Value::Int(1), Value::Int(1)}));
+  ASSERT_TRUE(db->AddPending(txn).ok());
+  EXPECT_EQ(PlanContradiction(*db, 0).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ContradictionTest, SupplyChainHandoffContradicted) {
+  // The dealer analogue: contradict a pending custody hand-off so the stone
+  // cannot move to the rival recipient.
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "Diamond", {Attribute{"id", ValueType::kInt, false}}))
+                  .ok());
+  ASSERT_TRUE(
+      catalog
+          .AddRelation(RelationSchema(
+              "Transfer", {Attribute{"diamondId", ValueType::kInt, false},
+                           Attribute{"seq", ValueType::kInt, false},
+                           Attribute{"toOwner", ValueType::kString, false}}))
+          .ok());
+  ConstraintSet constraints;
+  constraints.AddFd(
+      *FunctionalDependency::Key(catalog, "Transfer", {"diamondId", "seq"}));
+  constraints.AddInd(*InclusionDependency::Create(
+      catalog, "Transfer", {"diamondId"}, "Diamond", {"id"}));
+  auto db =
+      BlockchainDatabase::Create(std::move(catalog), std::move(constraints));
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->InsertCurrent("Diamond", Tuple({Value::Int(7)})).ok());
+
+  Transaction handoff("sell");
+  handoff.Add("Transfer",
+              Tuple({Value::Int(7), Value::Int(1), Value::Str("ShadowCorp")}));
+  auto target = db->AddPending(handoff);
+  ASSERT_TRUE(target.ok());
+
+  auto plan = PlanContradiction(*db, *target);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  VerifyPlan(*db, *target, *plan);
+}
+
+}  // namespace
+}  // namespace bcdb

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/dcsat.h"
+#include "core/possible_worlds.h"
+#include "query/analysis.h"
+#include "query/compiled_query.h"
+#include "query/parser.h"
+#include "util/rng.h"
+
+namespace bcdb {
+namespace {
+
+/// Randomized equivalence testing: on small random blockchain databases,
+/// NaiveDCSat and OptDCSat (under every option combination) must agree with
+/// the exhaustive possible-world oracle for every monotone constraint, and
+/// the exhaustive algorithm must agree with a hand-rolled world scan for
+/// non-monotone ones.
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  EXPECT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "R", {Attribute{"a", ValueType::kInt, false},
+                            Attribute{"b", ValueType::kInt, false}}))
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "S", {Attribute{"x", ValueType::kInt, false},
+                            Attribute{"y", ValueType::kInt, true}}))
+                  .ok());
+  return catalog;
+}
+
+ConstraintSet MakeConstraints(const Catalog& catalog, bool with_ind) {
+  ConstraintSet constraints;
+  auto key = FunctionalDependency::Key(catalog, "R", {"a"});
+  EXPECT_TRUE(key.ok());
+  constraints.AddFd(std::move(*key));
+  if (with_ind) {
+    auto ind = InclusionDependency::Create(catalog, "S", {"x"}, "R", {"a"});
+    EXPECT_TRUE(ind.ok());
+    constraints.AddInd(std::move(*ind));
+  }
+  return constraints;
+}
+
+/// Builds a random instance: a consistent base plus 3..6 random pending
+/// transactions over a tiny value domain (collisions and dependencies are
+/// likely by construction).
+BlockchainDatabase MakeRandomInstance(std::uint64_t seed, bool with_ind) {
+  Xoshiro256 rng(seed);
+  Catalog catalog = MakeCatalog();
+  ConstraintSet constraints = MakeConstraints(catalog, with_ind);
+  auto db =
+      BlockchainDatabase::Create(std::move(catalog), std::move(constraints));
+  EXPECT_TRUE(db.ok());
+
+  // Base R tuples: distinct keys 0..k-1.
+  const std::size_t base_r = rng.NextBelow(3);
+  for (std::size_t a = 0; a < base_r; ++a) {
+    EXPECT_TRUE(db->InsertCurrent(
+                      "R", Tuple({Value::Int(static_cast<std::int64_t>(a)),
+                                  Value::Int(rng.NextInRange(0, 3))}))
+                    .ok());
+  }
+  // Base S tuples referencing existing R keys.
+  if (base_r > 0) {
+    const std::size_t base_s = rng.NextBelow(3);
+    for (std::size_t i = 0; i < base_s; ++i) {
+      EXPECT_TRUE(
+          db->InsertCurrent(
+                "S",
+                Tuple({Value::Int(static_cast<std::int64_t>(
+                           rng.NextBelow(base_r))),
+                       Value::Int(rng.NextInRange(0, 3))}))
+              .ok());
+    }
+  }
+  EXPECT_TRUE(db->ValidateCurrentState().ok());
+
+  const std::size_t num_pending = 3 + rng.NextBelow(4);
+  for (std::size_t t = 0; t < num_pending; ++t) {
+    Transaction txn("P" + std::to_string(t));
+    const std::size_t num_tuples = 1 + rng.NextBelow(3);
+    for (std::size_t i = 0; i < num_tuples; ++i) {
+      if (rng.NextBool(0.5)) {
+        txn.Add("R", Tuple({Value::Int(rng.NextInRange(0, 4)),
+                            Value::Int(rng.NextInRange(0, 3))}));
+      } else {
+        txn.Add("S", Tuple({Value::Int(rng.NextInRange(0, 4)),
+                            Value::Int(rng.NextInRange(0, 3))}));
+      }
+    }
+    EXPECT_TRUE(db->AddPending(txn).ok());
+  }
+  return std::move(*db);
+}
+
+/// Ground truth: scan every possible world with a freshly compiled query.
+bool OracleSatisfied(const BlockchainDatabase& db, const DenialConstraint& q) {
+  auto worlds = EnumeratePossibleWorlds(db, 1u << 16);
+  EXPECT_TRUE(worlds.ok());
+  auto compiled = CompiledQuery::Compile(q, &db.database());
+  EXPECT_TRUE(compiled.ok());
+  for (const WorldView& world : *worlds) {
+    if (compiled->Evaluate(world)) return false;
+  }
+  return true;
+}
+
+const char* kMonotoneQueries[] = {
+    "q() :- R(x, y)",
+    "q() :- R(0, y)",
+    "q() :- R(x, 2)",
+    "q() :- S(x, y)",
+    "q() :- R(x, y), S(x, z)",
+    "q() :- R(x, y), S(x, y)",
+    "q() :- R(x, 1), S(x, 2)",
+    "q() :- R(x, y), S(z, w)",            // Disconnected.
+    "q() :- R(x, y), S(z, w), y = w",     // Connected via '='.
+    "q() :- R(x, y), x != y",
+    "q() :- R(x, y), S(x, z), y < z",
+    "q() :- R(2, y), S(2, z)",
+    "[q(count()) :- S(x, y)] > 2",
+    "[q(count()) :- R(x, y)] >= 4",
+    "[q(cntd(x)) :- S(x, y)] > 1",
+    "[q(sum(y)) :- S(x, y)] >= 5",        // S.y is non-negative.
+    "[q(max(y)) :- S(x, y)] > 2",
+    "[q(min(y)) :- S(x, y)] < 1",
+};
+
+const char* kNonMonotoneQueries[] = {
+    "q() :- R(x, y), not S(x, y)",
+    "[q(count()) :- S(x, y)] = 2",
+    "[q(count()) :- R(x, y)] < 2",
+    "[q(max(y)) :- S(x, y)] = 3",
+};
+
+class DcSatOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DcSatOracleTest, MonotoneAlgorithmsMatchOracle) {
+  for (bool with_ind : {false, true}) {
+    BlockchainDatabase db = MakeRandomInstance(GetParam(), with_ind);
+    DcSatEngine engine(&db);
+    for (const char* text : kMonotoneQueries) {
+      auto q = ParseDenialConstraint(text);
+      ASSERT_TRUE(q.ok()) << text;
+      const QueryAnalysis analysis = AnalyzeQuery(*q, db.catalog());
+      ASSERT_TRUE(analysis.monotone) << text;
+      const bool expected = OracleSatisfied(db, *q);
+
+      for (bool precheck : {true, false}) {
+        DcSatOptions naive;
+        naive.algorithm = DcSatAlgorithm::kNaive;
+        naive.use_precheck = precheck;
+        auto result = engine.Check(*q, naive);
+        ASSERT_TRUE(result.ok()) << text;
+        EXPECT_EQ(result->satisfied, expected)
+            << "Naive disagrees on " << text << " seed " << GetParam()
+            << " ind=" << with_ind << " precheck=" << precheck;
+
+        if (analysis.connected && !q->is_aggregate()) {
+          for (bool covers : {true, false}) {
+            DcSatOptions opt;
+            opt.algorithm = DcSatAlgorithm::kOpt;
+            opt.use_precheck = precheck;
+            opt.use_covers = covers;
+            auto opt_result = engine.Check(*q, opt);
+            ASSERT_TRUE(opt_result.ok()) << text;
+            EXPECT_EQ(opt_result->satisfied, expected)
+                << "Opt disagrees on " << text << " seed " << GetParam()
+                << " ind=" << with_ind << " precheck=" << precheck
+                << " covers=" << covers;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(DcSatOracleTest, ExhaustiveMatchesOracleOnNonMonotone) {
+  for (bool with_ind : {false, true}) {
+    BlockchainDatabase db = MakeRandomInstance(GetParam() + 1000, with_ind);
+    DcSatEngine engine(&db);
+    for (const char* text : kNonMonotoneQueries) {
+      auto q = ParseDenialConstraint(text);
+      ASSERT_TRUE(q.ok()) << text;
+      const bool expected = OracleSatisfied(db, *q);
+      auto result = engine.Check(*q);
+      ASSERT_TRUE(result.ok()) << text;
+      EXPECT_EQ(result->stats.algorithm_used, DcSatAlgorithm::kExhaustive);
+      EXPECT_EQ(result->satisfied, expected)
+          << text << " seed " << GetParam() << " ind=" << with_ind;
+    }
+  }
+}
+
+TEST_P(DcSatOracleTest, WitnessesAreValid) {
+  BlockchainDatabase db = MakeRandomInstance(GetParam() + 2000, true);
+  DcSatEngine engine(&db);
+  for (const char* text : kMonotoneQueries) {
+    auto q = ParseDenialConstraint(text);
+    ASSERT_TRUE(q.ok());
+    auto result = engine.Check(*q);
+    ASSERT_TRUE(result.ok());
+    if (result->satisfied) continue;
+    ASSERT_TRUE(result->witness.has_value()) << text;
+    EXPECT_TRUE(IsPossibleWorld(db, *result->witness)) << text;
+    WorldView world = db.BaseView();
+    for (PendingId id : *result->witness) {
+      world.Activate(static_cast<TupleOwner>(id));
+    }
+    auto compiled = CompiledQuery::Compile(*q, &db.database());
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_TRUE(compiled->Evaluate(world)) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DcSatOracleTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace bcdb

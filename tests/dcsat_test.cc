@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "core/dcsat.h"
+#include "query/parser.h"
+#include "running_example.h"
+
+namespace bcdb {
+namespace {
+
+using testing_fixtures::MakeRunningExample;
+
+class DcSatTest : public ::testing::Test {
+ protected:
+  DcSatTest() : db_(MakeRunningExample()), engine_(&db_) {}
+
+  DcSatResult Check(const std::string& text, const DcSatOptions& options) {
+    auto q = ParseDenialConstraint(text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    auto result = engine_.Check(*q, options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return *result;
+  }
+
+  BlockchainDatabase db_;
+  DcSatEngine engine_;
+};
+
+TEST_F(DcSatTest, AutoSelectsOptForConnectedConjunctive) {
+  DcSatOptions options;
+  auto result = Check("q() :- TxOut(t, s, 'U8Pk', a)", options);
+  EXPECT_EQ(result.stats.algorithm_used, DcSatAlgorithm::kOpt);
+}
+
+TEST_F(DcSatTest, AutoSelectsNaiveForDisconnected) {
+  DcSatOptions options;
+  options.use_precheck = false;
+  auto result =
+      Check("q() :- TxOut(t1, s1, 'U8Pk', a1), TxOut(t2, s2, 'U5Pk', a2)",
+            options);
+  EXPECT_EQ(result.stats.algorithm_used, DcSatAlgorithm::kNaive);
+  EXPECT_FALSE(result.satisfied);  // T4 and T1 coexist in one world.
+}
+
+TEST_F(DcSatTest, AutoSelectsNaiveForAggregate) {
+  auto result =
+      Check("[q(sum(a)) :- TxOut(t, s, 'U4Pk', a)] >= 1", DcSatOptions{});
+  EXPECT_EQ(result.stats.algorithm_used, DcSatAlgorithm::kNaive);
+}
+
+TEST_F(DcSatTest, AutoSelectsExhaustiveForNegation) {
+  // "Some transaction pays U7Pk without also paying U8Pk 1 at serial 2":
+  // true in world R∪{T5} (tx 8 pays U7Pk, has no U8Pk output).
+  auto result = Check(
+      "q() :- TxOut(t, s, 'U7Pk', a), not TxOut(t, 2, 'U8Pk', 1)",
+      DcSatOptions{});
+  EXPECT_EQ(result.stats.algorithm_used, DcSatAlgorithm::kExhaustive);
+  EXPECT_FALSE(result.satisfied);
+}
+
+TEST_F(DcSatTest, NegationCanBlockEverywhere) {
+  // Transaction 7 (T4) always carries both the U7Pk and the U8Pk output,
+  // so no world has one without the other.
+  auto result = Check(
+      "q() :- TxOut(7, s, 'U7Pk', a), not TxOut(7, 2, 'U8Pk', 1)",
+      DcSatOptions{});
+  EXPECT_EQ(result.stats.algorithm_used, DcSatAlgorithm::kExhaustive);
+  EXPECT_TRUE(result.satisfied);
+}
+
+TEST_F(DcSatTest, OptionsAblationsAgree) {
+  const char* queries[] = {
+      "q() :- TxOut(t, s, 'U8Pk', a)",
+      "q() :- TxOut(t, s, 'U9Pk', a)",
+      "q() :- TxIn(2, 2, 'U2Pk', a1, n1, g1), TxIn(2, 2, 'U2Pk', a2, n2, g2), "
+      "n1 != n2",
+      "q() :- TxOut(t, s, 'U7Pk', a)",
+  };
+  for (const char* text : queries) {
+    DcSatOptions baseline;
+    baseline.algorithm = DcSatAlgorithm::kExhaustive;
+    const bool expected = Check(text, baseline).satisfied;
+    for (bool precheck : {true, false}) {
+      for (bool covers : {true, false}) {
+        for (bool pivot : {true, false}) {
+          for (DcSatAlgorithm algorithm :
+               {DcSatAlgorithm::kNaive, DcSatAlgorithm::kOpt}) {
+            DcSatOptions options;
+            options.algorithm = algorithm;
+            options.use_precheck = precheck;
+            options.use_covers = covers;
+            options.use_pivot = pivot;
+            EXPECT_EQ(Check(text, options).satisfied, expected)
+                << text << " precheck=" << precheck << " covers=" << covers
+                << " pivot=" << pivot << " algo=" << static_cast<int>(algorithm);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DcSatTest, WitnessIsAlwaysAPossibleWorldSatisfyingQ) {
+  auto q = ParseDenialConstraint("q() :- TxOut(t, s, 'U7Pk', a)");
+  ASSERT_TRUE(q.ok());
+  for (DcSatAlgorithm algorithm :
+       {DcSatAlgorithm::kNaive, DcSatAlgorithm::kOpt,
+        DcSatAlgorithm::kExhaustive}) {
+    DcSatOptions options;
+    options.algorithm = algorithm;
+    auto result = engine_.Check(*q, options);
+    ASSERT_TRUE(result.ok());
+    ASSERT_FALSE(result->satisfied);
+    ASSERT_TRUE(result->witness.has_value());
+    // Verify the witness world satisfies the constraints and the query.
+    WorldView world = db_.BaseView();
+    for (PendingId id : *result->witness) {
+      world.Activate(static_cast<TupleOwner>(id));
+    }
+    EXPECT_TRUE(db_.checker().CheckAll(world).ok());
+    auto compiled = CompiledQuery::Compile(*q, &db_.database());
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_TRUE(compiled->Evaluate(world));
+  }
+}
+
+TEST_F(DcSatTest, CachesRefreshAfterMutation) {
+  DcSatOptions options;
+  options.use_precheck = false;
+  auto before = Check("q() :- TxOut(t, s, 'U8Pk', a)", options);
+  EXPECT_FALSE(before.satisfied);
+
+  // Discard T4 (the only transaction paying U8Pk): now satisfied.
+  ASSERT_TRUE(db_.DiscardPending(3).ok());
+  auto after = Check("q() :- TxOut(t, s, 'U8Pk', a)", options);
+  EXPECT_TRUE(after.satisfied);
+  EXPECT_EQ(after.stats.num_valid_nodes, 4u);
+}
+
+TEST_F(DcSatTest, StatsArePopulated) {
+  DcSatOptions options;
+  options.algorithm = DcSatAlgorithm::kNaive;
+  options.use_precheck = false;
+  auto result = Check("q() :- TxOut(t, s, 'U9Pk', a)", options);
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_EQ(result.stats.num_pending, 5u);
+  EXPECT_EQ(result.stats.num_valid_nodes, 5u);
+  EXPECT_EQ(result.stats.fd_conflict_pairs, 1u);
+  EXPECT_EQ(result.stats.num_cliques, 2u);  // Example 6's two cliques.
+  // Base world + two clique worlds evaluated.
+  EXPECT_EQ(result.stats.num_worlds_evaluated, 3u);
+  EXPECT_GE(result.stats.total_seconds, 0.0);
+}
+
+TEST_F(DcSatTest, ExhaustiveWorldLimit) {
+  auto q = ParseDenialConstraint("q() :- TxOut(t, s, 'U9Pk', a)");
+  ASSERT_TRUE(q.ok());
+  DcSatOptions options;
+  options.algorithm = DcSatAlgorithm::kExhaustive;
+  options.exhaustive_world_limit = 2;
+  EXPECT_EQ(engine_.Check(*q, options).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(DcSatTest, CompileErrorsPropagate) {
+  auto q = ParseDenialConstraint("q() :- NoSuchRelation(x)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(engine_.Check(*q).ok());
+}
+
+}  // namespace
+}  // namespace bcdb

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "bitcoin/generator.h"
+
+namespace bcdb {
+namespace bitcoin {
+namespace {
+
+GeneratorParams SmallParams() {
+  GeneratorParams params;
+  params.seed = 7;
+  params.num_blocks = 40;
+  params.num_users = 12;
+  params.num_pending = 25;
+  params.num_contradictions = 4;
+  params.pending_chain_depth = 5;
+  params.star_size = 4;
+  params.rich_payments = 3;
+  return params;
+}
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  auto workload = GenerateWorkload(SmallParams());
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  const GeneratorParams params = SmallParams();
+
+  // Chain: num_blocks organic + 1 landmark-setup block + genesis.
+  EXPECT_EQ(workload->node.chain().height(), params.num_blocks + 1);
+
+  // Pending count: bulk + chain + star + rich + contradictions.
+  const std::size_t expected_pending =
+      params.num_pending + params.pending_chain_depth + params.star_size +
+      params.rich_payments + params.num_contradictions;
+  EXPECT_EQ(workload->node.mempool().size(), expected_pending);
+
+  // Exactly the injected double-spend pairs conflict.
+  EXPECT_EQ(workload->node.mempool().ConflictPairs().size(),
+            params.num_contradictions);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  auto w1 = GenerateWorkload(SmallParams());
+  auto w2 = GenerateWorkload(SmallParams());
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  EXPECT_EQ(w1->node.chain().tip().hash(), w2->node.chain().tip().hash());
+  ASSERT_EQ(w1->node.mempool().size(), w2->node.mempool().size());
+  for (std::size_t i = 0; i < w1->node.mempool().size(); ++i) {
+    EXPECT_EQ(w1->node.mempool().transactions()[i].txid(),
+              w2->node.mempool().transactions()[i].txid());
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorParams params = SmallParams();
+  auto w1 = GenerateWorkload(params);
+  params.seed = 8;
+  auto w2 = GenerateWorkload(params);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  EXPECT_NE(w1->node.chain().tip().hash(), w2->node.chain().tip().hash());
+}
+
+TEST(GeneratorTest, LandmarksAreWired) {
+  auto workload = GenerateWorkload(SmallParams());
+  ASSERT_TRUE(workload.ok());
+  const WorkloadMetadata& meta = workload->metadata;
+  const Mempool& mempool = workload->node.mempool();
+
+  // Chain pks: depth + 1 entries, head funded on-chain.
+  ASSERT_EQ(meta.chain_pks.size(), SmallParams().pending_chain_depth + 1);
+  bool head_confirmed = false;
+  for (const auto& [point, utxo] : workload->node.chain().utxos()) {
+    if (utxo.pubkey == meta.chain_pks[0]) head_confirmed = true;
+  }
+  EXPECT_TRUE(head_confirmed);
+
+  // Each chain hop exists as a pending tx paying the next chain pk.
+  for (std::size_t d = 1; d < meta.chain_pks.size(); ++d) {
+    bool found = false;
+    for (const BitcoinTransaction& tx : mempool.transactions()) {
+      if (!tx.outputs().empty() &&
+          tx.outputs()[0].pubkey == meta.chain_pks[d]) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "chain hop " << d;
+  }
+
+  // Star: star_size pending transactions signed by star_pk, distinct txids.
+  std::size_t star_spends = 0;
+  for (const BitcoinTransaction& tx : mempool.transactions()) {
+    for (const TxInput& input : tx.inputs()) {
+      if (input.pubkey == meta.star_pk) ++star_spends;
+    }
+  }
+  EXPECT_EQ(star_spends, SmallParams().star_size);
+
+  // Rich: pending inflow adds up.
+  Satoshi rich_inflow = 0;
+  for (const BitcoinTransaction& tx : mempool.transactions()) {
+    for (const TxOutput& output : tx.outputs()) {
+      if (output.pubkey == meta.rich_pk) rich_inflow += output.amount;
+    }
+  }
+  EXPECT_EQ(rich_inflow, meta.rich_pending_total);
+  EXPECT_GT(meta.rich_base_total, 0);
+
+  // Quiet pk holds a confirmed output and never appears in the mempool.
+  bool quiet_confirmed = false;
+  for (const auto& [point, utxo] : workload->node.chain().utxos()) {
+    if (utxo.pubkey == meta.quiet_pk) quiet_confirmed = true;
+  }
+  EXPECT_TRUE(quiet_confirmed);
+  for (const BitcoinTransaction& tx : mempool.transactions()) {
+    for (const TxInput& input : tx.inputs()) {
+      EXPECT_NE(input.pubkey, meta.quiet_pk);
+    }
+    for (const TxOutput& output : tx.outputs()) {
+      EXPECT_NE(output.pubkey, meta.quiet_pk);
+    }
+  }
+}
+
+TEST(GeneratorTest, ContradictionsAvoidLandmarks) {
+  auto workload = GenerateWorkload(SmallParams());
+  ASSERT_TRUE(workload.ok());
+  const Mempool& mempool = workload->node.mempool();
+  for (const auto& [i, j] : mempool.ConflictPairs()) {
+    for (std::size_t idx : {i, j}) {
+      const BitcoinTransaction& tx = mempool.transactions()[idx];
+      for (const TxInput& input : tx.inputs()) {
+        EXPECT_NE(input.pubkey, workload->metadata.star_pk);
+        EXPECT_NE(input.pubkey, workload->metadata.chain_pks[0]);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, ActivityGrowsWithHeight) {
+  GeneratorParams params = SmallParams();
+  params.num_blocks = 120;
+  params.txs_per_block_slope = 0.1;
+  params.txs_per_block_cap = 30;
+  params.num_pending = 10;
+  auto workload = GenerateWorkload(params);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  const auto& blocks = workload->node.chain().blocks();
+  // Later organic blocks carry more transactions than early ones.
+  std::size_t early = 0, late = 0;
+  for (std::size_t h = 1; h <= 20; ++h) {
+    early += blocks[h].transactions().size();
+  }
+  for (std::size_t h = 100; h < 120; ++h) {
+    late += blocks[h].transactions().size();
+  }
+  EXPECT_GT(late, early);
+}
+
+}  // namespace
+}  // namespace bitcoin
+}  // namespace bcdb

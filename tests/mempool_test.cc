@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "bitcoin/mempool.h"
+#include "bitcoin/node.h"
+
+namespace bcdb {
+namespace bitcoin {
+namespace {
+
+BitcoinTransaction Payment(const OutPoint& src, const std::string& from,
+                           Satoshi in_amount, const std::string& to,
+                           Satoshi amount, Satoshi fee = 1000) {
+  std::vector<TxOutput> outputs{TxOutput{to, amount}};
+  const Satoshi change = in_amount - amount - fee;
+  if (change > 0) outputs.push_back(TxOutput{from, change});
+  return BitcoinTransaction(
+      {TxInput{src, from, in_amount, SignatureFor(from)}}, outputs);
+}
+
+class MempoolTest : public ::testing::Test {
+ protected:
+  MempoolTest() {
+    coinbase_ = std::make_unique<BitcoinTransaction>(
+        BitcoinTransaction::Coinbase("AlicePk", kBlockReward, 1));
+    EXPECT_TRUE(chain_.MineAndAppend({*coinbase_}).ok());
+    alice_utxo_ = OutPoint{coinbase_->txid(), 1};
+  }
+
+  Blockchain chain_;
+  Mempool mempool_;
+  std::unique_ptr<BitcoinTransaction> coinbase_;
+  OutPoint alice_utxo_;
+};
+
+TEST_F(MempoolTest, AcceptsValidSpendOfChainUtxo) {
+  EXPECT_TRUE(mempool_
+                  .Add(chain_, Payment(alice_utxo_, "AlicePk", kBlockReward,
+                                       "BobPk", kCoin))
+                  .ok());
+  EXPECT_EQ(mempool_.size(), 1u);
+}
+
+TEST_F(MempoolTest, AcceptsDependencyChains) {
+  BitcoinTransaction parent =
+      Payment(alice_utxo_, "AlicePk", kBlockReward, "BobPk", kCoin);
+  BitcoinTransaction child =
+      Payment(OutPoint{parent.txid(), 1}, "BobPk", kCoin, "CarolPk", kCoin / 2);
+  ASSERT_TRUE(mempool_.Add(chain_, parent).ok());
+  EXPECT_TRUE(mempool_.Add(chain_, child).ok());
+}
+
+TEST_F(MempoolTest, RejectsChildBeforeParent) {
+  BitcoinTransaction parent =
+      Payment(alice_utxo_, "AlicePk", kBlockReward, "BobPk", kCoin);
+  BitcoinTransaction child =
+      Payment(OutPoint{parent.txid(), 1}, "BobPk", kCoin, "CarolPk", kCoin / 2);
+  EXPECT_EQ(mempool_.Add(chain_, child).code(), StatusCode::kNotFound);
+}
+
+TEST_F(MempoolTest, KeepsConflictingTransactions) {
+  // Unlike relay policy, the model keeps signed double spends: either may
+  // still confirm, which is exactly what DCSat must reason about.
+  BitcoinTransaction pay_bob =
+      Payment(alice_utxo_, "AlicePk", kBlockReward, "BobPk", kCoin);
+  BitcoinTransaction pay_carol =
+      Payment(alice_utxo_, "AlicePk", kBlockReward, "CarolPk", kCoin);
+  ASSERT_TRUE(mempool_.Add(chain_, pay_bob).ok());
+  ASSERT_TRUE(mempool_.Add(chain_, pay_carol).ok());
+  auto conflicts = mempool_.ConflictPairs();
+  ASSERT_EQ(conflicts.size(), 1u);
+}
+
+TEST_F(MempoolTest, RejectsDuplicatesAndCoinbases) {
+  BitcoinTransaction pay =
+      Payment(alice_utxo_, "AlicePk", kBlockReward, "BobPk", kCoin);
+  ASSERT_TRUE(mempool_.Add(chain_, pay).ok());
+  EXPECT_EQ(mempool_.Add(chain_, pay).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(
+      mempool_.Add(chain_, BitcoinTransaction::Coinbase("X", kCoin, 9)).ok());
+}
+
+TEST_F(MempoolTest, RejectsBadSignatureAndMismatch) {
+  BitcoinTransaction forged(
+      {TxInput{alice_utxo_, "AlicePk", kBlockReward, "EveSig"}},
+      {TxOutput{"EvePk", kCoin}});
+  EXPECT_FALSE(mempool_.Add(chain_, forged).ok());
+
+  BitcoinTransaction wrong_amount(
+      {TxInput{alice_utxo_, "AlicePk", kCoin, SignatureFor("AlicePk")}},
+      {TxOutput{"BobPk", kCoin / 2}});
+  EXPECT_FALSE(mempool_.Add(chain_, wrong_amount).ok());
+}
+
+TEST_F(MempoolTest, RejectsSpendOfChainSpentOutput) {
+  BitcoinTransaction pay =
+      Payment(alice_utxo_, "AlicePk", kBlockReward, "BobPk", kCoin);
+  ASSERT_TRUE(chain_.MineAndAppend({pay}).ok());
+  // alice_utxo_ is now spent on-chain: a rival can never confirm.
+  BitcoinTransaction rival =
+      Payment(alice_utxo_, "AlicePk", kBlockReward, "CarolPk", kCoin);
+  EXPECT_EQ(mempool_.Add(chain_, rival).code(), StatusCode::kNotFound);
+}
+
+TEST_F(MempoolTest, EvictionOnConfirmation) {
+  BitcoinTransaction pay_bob =
+      Payment(alice_utxo_, "AlicePk", kBlockReward, "BobPk", kCoin);
+  BitcoinTransaction pay_carol =
+      Payment(alice_utxo_, "AlicePk", kBlockReward, "CarolPk", kCoin);
+  BitcoinTransaction child =
+      Payment(OutPoint{pay_carol.txid(), 1}, "CarolPk", kCoin, "DanPk",
+              kCoin / 2);
+  ASSERT_TRUE(mempool_.Add(chain_, pay_bob).ok());
+  ASSERT_TRUE(mempool_.Add(chain_, pay_carol).ok());
+  ASSERT_TRUE(mempool_.Add(chain_, child).ok());
+
+  // Confirm pay_bob: pay_carol loses its input, child loses its parent.
+  ASSERT_TRUE(chain_.MineAndAppend({pay_bob}).ok());
+  const std::size_t evicted =
+      mempool_.RemoveConfirmedAndInvalid(chain_, chain_.tip());
+  EXPECT_EQ(evicted, 3u);
+  EXPECT_EQ(mempool_.size(), 0u);
+}
+
+TEST_F(MempoolTest, SurvivorsKeptAfterConfirmation) {
+  BitcoinTransaction pay_bob =
+      Payment(alice_utxo_, "AlicePk", kBlockReward, "BobPk", kCoin);
+  BitcoinTransaction child =
+      Payment(OutPoint{pay_bob.txid(), 1}, "BobPk", kCoin, "DanPk", kCoin / 2);
+  ASSERT_TRUE(mempool_.Add(chain_, pay_bob).ok());
+  ASSERT_TRUE(mempool_.Add(chain_, child).ok());
+
+  ASSERT_TRUE(chain_.MineAndAppend({pay_bob}).ok());
+  const std::size_t evicted =
+      mempool_.RemoveConfirmedAndInvalid(chain_, chain_.tip());
+  EXPECT_EQ(evicted, 1u);  // Only the confirmed parent.
+  EXPECT_EQ(mempool_.size(), 1u);
+  EXPECT_TRUE(mempool_.Contains(child.txid()));
+}
+
+TEST_F(MempoolTest, StatsCountRows) {
+  BitcoinTransaction pay =
+      Payment(alice_utxo_, "AlicePk", kBlockReward, "BobPk", kCoin);
+  ASSERT_TRUE(mempool_.Add(chain_, pay).ok());
+  const ChainStats stats = mempool_.Stats();
+  EXPECT_EQ(stats.transactions, 1u);
+  EXPECT_EQ(stats.inputs, 1u);
+  EXPECT_EQ(stats.outputs, 2u);
+}
+
+}  // namespace
+}  // namespace bitcoin
+}  // namespace bcdb

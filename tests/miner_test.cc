@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "bitcoin/miner.h"
+#include "bitcoin/node.h"
+
+namespace bcdb {
+namespace bitcoin {
+namespace {
+
+BitcoinTransaction Payment(const OutPoint& src, const std::string& from,
+                           Satoshi in_amount, const std::string& to,
+                           Satoshi amount, Satoshi fee) {
+  std::vector<TxOutput> outputs{TxOutput{to, amount}};
+  const Satoshi change = in_amount - amount - fee;
+  if (change > 0) outputs.push_back(TxOutput{from, change});
+  return BitcoinTransaction(
+      {TxInput{src, from, in_amount, SignatureFor(from)}}, outputs);
+}
+
+class MinerTest : public ::testing::Test {
+ protected:
+  MinerTest() {
+    // Two funded users.
+    cb1_ = std::make_unique<BitcoinTransaction>(
+        BitcoinTransaction::Coinbase("AlicePk", kBlockReward, 1));
+    EXPECT_TRUE(chain_.MineAndAppend({*cb1_}).ok());
+    cb2_ = std::make_unique<BitcoinTransaction>(
+        BitcoinTransaction::Coinbase("BobPk", kBlockReward, 2));
+    EXPECT_TRUE(chain_.MineAndAppend({*cb2_}).ok());
+  }
+
+  OutPoint AliceUtxo() const { return OutPoint{cb1_->txid(), 1}; }
+  OutPoint BobUtxo() const { return OutPoint{cb2_->txid(), 1}; }
+
+  Blockchain chain_;
+  Mempool mempool_;
+  Miner miner_;
+  std::unique_ptr<BitcoinTransaction> cb1_, cb2_;
+};
+
+TEST_F(MinerTest, IncludesValidTransactionsAndCoinbase) {
+  ASSERT_TRUE(mempool_
+                  .Add(chain_, Payment(AliceUtxo(), "AlicePk", kBlockReward,
+                                       "CarolPk", kCoin, 1000))
+                  .ok());
+  MinerPolicy policy;
+  Block block = miner_.BuildBlock(chain_, mempool_, policy);
+  ASSERT_EQ(block.transactions().size(), 2u);
+  EXPECT_TRUE(block.transactions()[0].is_coinbase());
+  // Coinbase claims subsidy + fees.
+  EXPECT_EQ(block.transactions()[0].OutputTotal(), policy.block_reward + 1000);
+  EXPECT_TRUE(chain_.AppendBlock(block).ok());
+}
+
+TEST_F(MinerTest, PicksHigherFeeConflict) {
+  BitcoinTransaction cheap = Payment(AliceUtxo(), "AlicePk", kBlockReward,
+                                     "CarolPk", kCoin, 1000);
+  BitcoinTransaction pricey = Payment(AliceUtxo(), "AlicePk", kBlockReward,
+                                      "DanPk", kCoin, 50'000);
+  ASSERT_TRUE(mempool_.Add(chain_, cheap).ok());
+  ASSERT_TRUE(mempool_.Add(chain_, pricey).ok());
+  Block block = miner_.BuildBlock(chain_, mempool_, MinerPolicy{});
+  ASSERT_EQ(block.transactions().size(), 2u);
+  EXPECT_EQ(block.transactions()[1].txid(), pricey.txid());
+}
+
+TEST_F(MinerTest, RespectsDependencies) {
+  BitcoinTransaction parent = Payment(AliceUtxo(), "AlicePk", kBlockReward,
+                                      "CarolPk", kCoin, 1000);
+  BitcoinTransaction child = Payment(OutPoint{parent.txid(), 1}, "CarolPk",
+                                     kCoin, "DanPk", kCoin / 2, 2000);
+  ASSERT_TRUE(mempool_.Add(chain_, parent).ok());
+  ASSERT_TRUE(mempool_.Add(chain_, child).ok());
+  Block block = miner_.BuildBlock(chain_, mempool_, MinerPolicy{});
+  // Both make it, parent before child (block validity), plus the coinbase.
+  ASSERT_EQ(block.transactions().size(), 3u);
+  EXPECT_TRUE(chain_.AppendBlock(block).ok());
+}
+
+TEST_F(MinerTest, MaxTransactionsHonored) {
+  ASSERT_TRUE(mempool_
+                  .Add(chain_, Payment(AliceUtxo(), "AlicePk", kBlockReward,
+                                       "CarolPk", kCoin, 1000))
+                  .ok());
+  ASSERT_TRUE(mempool_
+                  .Add(chain_, Payment(BobUtxo(), "BobPk", kBlockReward,
+                                       "DanPk", kCoin, 9000))
+                  .ok());
+  MinerPolicy policy;
+  policy.max_transactions = 1;
+  Block block = miner_.BuildBlock(chain_, mempool_, policy);
+  ASSERT_EQ(block.transactions().size(), 2u);  // Coinbase + best fee.
+  EXPECT_EQ(block.transactions()[1].Fee(), 9000);
+}
+
+TEST_F(MinerTest, MinFeeFilters) {
+  ASSERT_TRUE(mempool_
+                  .Add(chain_, Payment(AliceUtxo(), "AlicePk", kBlockReward,
+                                       "CarolPk", kCoin, 100))
+                  .ok());
+  MinerPolicy policy;
+  policy.min_fee = 1000;
+  Block block = miner_.BuildBlock(chain_, mempool_, policy);
+  EXPECT_EQ(block.transactions().size(), 1u);  // Coinbase only.
+}
+
+TEST_F(MinerTest, NodeMineBlockEvictsAndConfirms) {
+  SimulatedNode node;
+  MinerPolicy policy;
+  ASSERT_TRUE(node.MineBlock(policy).ok());  // Fund the miner.
+  const BitcoinTransaction& cb = node.chain().tip().transactions()[0];
+  ASSERT_TRUE(node.SubmitTransaction(Payment(OutPoint{cb.txid(), 1}, "MinerPk",
+                                             kBlockReward, "ZoePk", kCoin,
+                                             1000))
+                  .ok());
+  EXPECT_EQ(node.mempool().size(), 1u);
+  auto confirmed = node.MineBlock(policy);
+  ASSERT_TRUE(confirmed.ok());
+  EXPECT_EQ(*confirmed, 1u);
+  EXPECT_EQ(node.mempool().size(), 0u);
+  EXPECT_EQ(node.chain().height(), 2u);
+}
+
+}  // namespace
+}  // namespace bitcoin
+}  // namespace bcdb

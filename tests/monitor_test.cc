@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "query/parser.h"
+#include "running_example.h"
+
+namespace bcdb {
+namespace {
+
+using testing_fixtures::MakeRunningExample;
+using Verdict = ConstraintMonitor::Verdict;
+
+DenialConstraint Q(const std::string& text) {
+  auto q = ParseDenialConstraint(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return *q;
+}
+
+TEST(ConstraintMonitorTest, AddValidatesAgainstSchema) {
+  BlockchainDatabase db = MakeRunningExample();
+  ConstraintMonitor monitor(&db);
+  EXPECT_TRUE(monitor.Add("ok", Q("q() :- TxOut(t, s, 'U8Pk', a)")).ok());
+  EXPECT_FALSE(monitor.Add("bad", Q("q() :- Nope(x)")).ok());
+  EXPECT_EQ(monitor.size(), 1u);
+}
+
+TEST(ConstraintMonitorTest, FirstPollReportsAllVerdicts) {
+  BlockchainDatabase db = MakeRunningExample();
+  ConstraintMonitor monitor(&db);
+  auto pending_only = monitor.Add("u8", Q("q() :- TxOut(t, s, 'U8Pk', a)"));
+  auto on_chain = monitor.Add("u3", Q("q() :- TxOut(t, s, 'U3Pk', a)"));
+  auto never = monitor.Add("u9", Q("q() :- TxOut(t, s, 'U9Pk', a)"));
+  ASSERT_TRUE(pending_only.ok());
+  ASSERT_TRUE(on_chain.ok());
+  ASSERT_TRUE(never.ok());
+
+  auto changes = monitor.Poll();
+  ASSERT_TRUE(changes.ok());
+  ASSERT_EQ(changes->size(), 3u);
+  EXPECT_EQ(monitor.verdict(*pending_only), Verdict::kPossible);
+  EXPECT_EQ(monitor.verdict(*on_chain), Verdict::kHappened);
+  EXPECT_EQ(monitor.verdict(*never), Verdict::kImpossible);
+  for (const auto& change : *changes) {
+    EXPECT_EQ(change.before, Verdict::kUnknown);
+  }
+}
+
+TEST(ConstraintMonitorTest, QuiescentPollReportsNothing) {
+  BlockchainDatabase db = MakeRunningExample();
+  ConstraintMonitor monitor(&db);
+  ASSERT_TRUE(monitor.Add("u8", Q("q() :- TxOut(t, s, 'U8Pk', a)")).ok());
+  ASSERT_TRUE(monitor.Poll().ok());
+  auto changes = monitor.Poll();
+  ASSERT_TRUE(changes.ok());
+  EXPECT_TRUE(changes->empty());
+}
+
+TEST(ConstraintMonitorTest, TransitionsTrackDatabaseEvolution) {
+  BlockchainDatabase db = MakeRunningExample();
+  ConstraintMonitor monitor(&db);
+  // "U8Pk is paid" requires T4 (hence T1, T2, T3).
+  auto handle = monitor.Add("u8", Q("q() :- TxOut(t, s, 'U8Pk', a)"));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(monitor.Poll().ok());
+  EXPECT_EQ(monitor.verdict(*handle), Verdict::kPossible);
+
+  // T5 confirms: T1 becomes permanently conflicted, so T2/T4 can never
+  // append — the payout flips to impossible once T1 is evicted.
+  ASSERT_TRUE(db.ApplyPending(4).ok());     // T5 into R.
+  ASSERT_TRUE(db.DiscardPending(0).ok());   // Node evicts T1.
+  auto changes = monitor.Poll();
+  ASSERT_TRUE(changes.ok());
+  ASSERT_EQ(changes->size(), 1u);
+  EXPECT_EQ((*changes)[0].before, Verdict::kPossible);
+  EXPECT_EQ((*changes)[0].after, Verdict::kImpossible);
+}
+
+TEST(ConstraintMonitorTest, PossibleBecomesHappened) {
+  BlockchainDatabase db = MakeRunningExample();
+  ConstraintMonitor monitor(&db);
+  auto handle = monitor.Add("u5", Q("q() :- TxOut(t, s, 'U5Pk', a)"));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(monitor.Poll().ok());
+  EXPECT_EQ(monitor.verdict(*handle), Verdict::kPossible);
+
+  ASSERT_TRUE(db.ApplyPending(0).ok());  // T1 (pays U5Pk) confirms.
+  auto changes = monitor.Poll();
+  ASSERT_TRUE(changes.ok());
+  ASSERT_EQ(changes->size(), 1u);
+  EXPECT_EQ((*changes)[0].after, Verdict::kHappened);
+  EXPECT_EQ(monitor.label((*changes)[0].handle), "u5");
+}
+
+TEST(ConstraintMonitorTest, VerdictStrings) {
+  EXPECT_STREQ(ConstraintMonitor::VerdictToString(Verdict::kHappened),
+               "happened");
+  EXPECT_STREQ(ConstraintMonitor::VerdictToString(Verdict::kPossible),
+               "possible");
+  EXPECT_STREQ(ConstraintMonitor::VerdictToString(Verdict::kImpossible),
+               "impossible");
+  EXPECT_STREQ(ConstraintMonitor::VerdictToString(Verdict::kUnknown),
+               "unknown");
+}
+
+}  // namespace
+}  // namespace bcdb

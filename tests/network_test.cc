@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "bitcoin/to_relational.h"
+#include "core/dcsat.h"
+#include "network/simulator.h"
+#include "query/parser.h"
+
+namespace bcdb {
+namespace net {
+namespace {
+
+using bitcoin::BitcoinTransaction;
+using bitcoin::kBlockReward;
+using bitcoin::kCoin;
+using bitcoin::MinerPolicy;
+using bitcoin::OutPoint;
+using bitcoin::Satoshi;
+using bitcoin::SignatureFor;
+using bitcoin::TxInput;
+using bitcoin::TxOutput;
+
+NetworkParams SmallNet(std::size_t nodes = 4) {
+  NetworkParams params;
+  params.num_nodes = nodes;
+  params.extra_edges = 2;
+  params.seed = 5;
+  return params;
+}
+
+BitcoinTransaction Payment(const OutPoint& src, const std::string& from,
+                           Satoshi in_amount, const std::string& to,
+                           Satoshi amount, Satoshi fee = 1000) {
+  std::vector<TxOutput> outputs{TxOutput{to, amount}};
+  const Satoshi change = in_amount - amount - fee;
+  if (change > 0) outputs.push_back(TxOutput{from, change});
+  return BitcoinTransaction(
+      {TxInput{src, from, in_amount, SignatureFor(from)}}, outputs);
+}
+
+/// Funds node 0's miner and syncs everyone; returns the coinbase.
+BitcoinTransaction FundNetwork(NetworkSimulator& net) {
+  MinerPolicy policy;
+  policy.miner_pubkey = "FunderPk";
+  auto block = net.MineAt(0, policy);
+  EXPECT_TRUE(block.ok());
+  net.Run();
+  return block->transactions()[0];
+}
+
+TEST(NetworkTest, TopologyIsConnectedAndSymmetric) {
+  NetworkSimulator net(SmallNet(6));
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_FALSE(net.peers(v).empty());
+    for (NodeId peer : net.peers(v)) {
+      const auto& back = net.peers(peer);
+      EXPECT_NE(std::find(back.begin(), back.end(), v), back.end());
+    }
+  }
+}
+
+TEST(NetworkTest, BlockPropagatesToAllNodes) {
+  NetworkSimulator net(SmallNet());
+  MinerPolicy policy;
+  ASSERT_TRUE(net.MineAt(0, policy).ok());
+  EXPECT_FALSE(net.ChainsConsistent());  // Not yet delivered.
+  net.Run();
+  EXPECT_TRUE(net.ChainsConsistent());
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_EQ(net.node(v).chain().height(), 1u);
+  }
+}
+
+TEST(NetworkTest, TransactionGossipReachesEveryMempool) {
+  NetworkSimulator net(SmallNet());
+  const BitcoinTransaction coinbase = FundNetwork(net);
+  const BitcoinTransaction pay =
+      Payment(OutPoint{coinbase.txid(), 1}, "FunderPk", kBlockReward, "BobPk",
+              kCoin);
+  ASSERT_TRUE(net.BroadcastTransaction(1, pay).ok());
+  net.Run();
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_TRUE(net.node(v).mempool().Contains(pay.txid())) << "node " << v;
+  }
+  EXPECT_DOUBLE_EQ(net.MempoolJaccard(0, net.num_nodes() - 1), 1.0);
+}
+
+TEST(NetworkTest, MempoolsDivergeBeforeConvergence) {
+  NetworkSimulator net(SmallNet());
+  const BitcoinTransaction coinbase = FundNetwork(net);
+  const BitcoinTransaction pay =
+      Payment(OutPoint{coinbase.txid(), 1}, "FunderPk", kBlockReward, "BobPk",
+              kCoin);
+  ASSERT_TRUE(net.BroadcastTransaction(0, pay).ok());
+  // Before any gossip is delivered, only the origin holds the transaction.
+  bool diverged = false;
+  for (NodeId v = 1; v < net.num_nodes(); ++v) {
+    if (net.MempoolJaccard(0, v) < 1.0) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+  net.Run();
+  for (NodeId v = 1; v < net.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(net.MempoolJaccard(0, v), 1.0);
+  }
+}
+
+TEST(NetworkTest, DependentTransactionsSurviveGossipRaces) {
+  NetworkParams params = SmallNet(6);
+  params.extra_edges = 0;  // Plain ring: gossip takes several hops.
+  NetworkSimulator net(params);
+  const BitcoinTransaction coinbase = FundNetwork(net);
+  const BitcoinTransaction parent =
+      Payment(OutPoint{coinbase.txid(), 1}, "FunderPk", kBlockReward, "BobPk",
+              kCoin);
+  const BitcoinTransaction child =
+      Payment(OutPoint{parent.txid(), 1}, "BobPk", kCoin, "CarolPk",
+              kCoin / 2);
+  // Let the parent reach only part of the ring, then broadcast the child
+  // from a node that has it. The child's gossip races ahead of the
+  // parent's on the far side of the ring, so some nodes hear the child
+  // first and must orphan-buffer it until the parent arrives.
+  ASSERT_TRUE(net.BroadcastTransaction(0, parent).ok());
+  net.RunUntil(net.now() + params.max_latency);
+  NodeId relay = net.num_nodes();
+  for (NodeId v = 1; v < net.num_nodes(); ++v) {
+    if (net.node(v).mempool().Contains(parent.txid())) relay = v;
+  }
+  ASSERT_NE(relay, net.num_nodes()) << "parent reached no neighbour yet";
+  ASSERT_TRUE(net.BroadcastTransaction(relay, child).ok());
+  net.Run();
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_TRUE(net.node(v).mempool().Contains(parent.txid())) << v;
+    EXPECT_TRUE(net.node(v).mempool().Contains(child.txid())) << v;
+  }
+}
+
+TEST(NetworkTest, ChildBroadcastBeforeParentIsHeldAtOrigin) {
+  NetworkSimulator net(SmallNet());
+  const BitcoinTransaction coinbase = FundNetwork(net);
+  const BitcoinTransaction parent =
+      Payment(OutPoint{coinbase.txid(), 1}, "FunderPk", kBlockReward, "BobPk",
+              kCoin);
+  const BitcoinTransaction child =
+      Payment(OutPoint{parent.txid(), 1}, "BobPk", kCoin, "CarolPk",
+              kCoin / 2);
+  // The origin itself rejects a child whose parent it has never seen.
+  EXPECT_EQ(net.BroadcastTransaction(0, child).code(), StatusCode::kNotFound);
+}
+
+TEST(NetworkTest, ConflictingTransactionsCoexistAcrossNodes) {
+  NetworkSimulator net(SmallNet());
+  const BitcoinTransaction coinbase = FundNetwork(net);
+  const BitcoinTransaction pay_bob =
+      Payment(OutPoint{coinbase.txid(), 1}, "FunderPk", kBlockReward, "BobPk",
+              kCoin);
+  const BitcoinTransaction pay_carol =
+      Payment(OutPoint{coinbase.txid(), 1}, "FunderPk", kBlockReward,
+              "CarolPk", kCoin);
+  ASSERT_TRUE(net.BroadcastTransaction(0, pay_bob).ok());
+  ASSERT_TRUE(net.BroadcastTransaction(2, pay_carol).ok());
+  net.Run();
+  // Every node's mempool holds the signed double spend — the paper's
+  // reality: either transaction may still confirm.
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_EQ(net.node(v).mempool().ConflictPairs().size(), 1u) << v;
+  }
+}
+
+TEST(NetworkTest, MiningResolvesConflictsNetworkWide) {
+  NetworkSimulator net(SmallNet());
+  const BitcoinTransaction coinbase = FundNetwork(net);
+  const BitcoinTransaction pay_bob =
+      Payment(OutPoint{coinbase.txid(), 1}, "FunderPk", kBlockReward, "BobPk",
+              kCoin, 1000);
+  const BitcoinTransaction pay_carol =
+      Payment(OutPoint{coinbase.txid(), 1}, "FunderPk", kBlockReward,
+              "CarolPk", kCoin, 9000);
+  ASSERT_TRUE(net.BroadcastTransaction(0, pay_bob).ok());
+  ASSERT_TRUE(net.BroadcastTransaction(0, pay_carol).ok());
+  net.Run();
+  // Node 2 mines: the fee-greedy miner picks pay_carol; the block evicts
+  // both sides of the conflict from every mempool.
+  ASSERT_TRUE(net.MineAt(2, MinerPolicy{}).ok());
+  net.Run();
+  EXPECT_TRUE(net.ChainsConsistent());
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_EQ(net.node(v).mempool().size(), 0u) << v;
+    EXPECT_TRUE(net.node(v).chain().ContainsTransaction(pay_carol.txid()));
+    EXPECT_FALSE(net.node(v).chain().ContainsTransaction(pay_bob.txid()));
+  }
+}
+
+TEST(NetworkTest, RunUntilDeliversOnlyDueEvents) {
+  NetworkParams params = SmallNet();
+  params.min_latency = 1.0;
+  params.max_latency = 1.0;
+  NetworkSimulator net(params);
+  MinerPolicy policy;
+  ASSERT_TRUE(net.MineAt(0, policy).ok());
+  net.RunUntil(0.5);  // First hop needs 1.0s.
+  EXPECT_FALSE(net.ChainsConsistent());
+  EXPECT_DOUBLE_EQ(net.now(), 0.5);
+  net.Run();
+  EXPECT_TRUE(net.ChainsConsistent());
+}
+
+TEST(NetworkTest, DeterministicForSeed) {
+  auto run = [] {
+    NetworkSimulator net(SmallNet());
+    const BitcoinTransaction coinbase = FundNetwork(net);
+    (void)net.BroadcastTransaction(
+        1, Payment(OutPoint{coinbase.txid(), 1}, "FunderPk", kBlockReward,
+                   "BobPk", kCoin));
+    net.Run();
+    return net.events_processed();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(NetworkTest, NodesDisagreeOnDenialConstraintsMidGossip) {
+  // The paper's footnote 6 made concrete: the same denial constraint gives
+  // different verdicts at different nodes until T converges.
+  NetworkSimulator net(SmallNet());
+  const BitcoinTransaction coinbase = FundNetwork(net);
+  const BitcoinTransaction pay =
+      Payment(OutPoint{coinbase.txid(), 1}, "FunderPk", kBlockReward, "BobPk",
+              kCoin);
+  ASSERT_TRUE(net.BroadcastTransaction(0, pay).ok());
+
+  auto verdict_at = [&](NodeId v) {
+    auto db = bitcoin::BuildBlockchainDatabase(net.node(v));
+    EXPECT_TRUE(db.ok());
+    DcSatEngine engine(&*db);
+    auto q = ParseDenialConstraint("q() :- TxOut(t, s, 'BobPk', a)");
+    EXPECT_TRUE(q.ok());
+    auto result = engine.Check(*q);
+    EXPECT_TRUE(result.ok());
+    return result->satisfied;
+  };
+  // At the origin the payout is possible; a node that has not heard of the
+  // transaction still believes it impossible.
+  EXPECT_FALSE(verdict_at(0));
+  bool someone_disagrees = false;
+  for (NodeId v = 1; v < net.num_nodes(); ++v) {
+    if (verdict_at(v)) someone_disagrees = true;
+  }
+  EXPECT_TRUE(someone_disagrees);
+
+  net.Run();
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_FALSE(verdict_at(v)) << v;
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace bcdb

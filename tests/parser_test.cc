@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace bcdb {
+namespace {
+
+TEST(ParserTest, SimplePositiveQuery) {
+  auto q = ParseDenialConstraint("q() :- TxOut(ntx, s, 'U8Pk', a)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->name, "q");
+  ASSERT_EQ(q->positive_atoms.size(), 1u);
+  const Atom& atom = q->positive_atoms[0];
+  EXPECT_EQ(atom.relation, "TxOut");
+  ASSERT_EQ(atom.args.size(), 4u);
+  EXPECT_TRUE(atom.args[0].is_variable());
+  EXPECT_EQ(atom.args[0].name(), "ntx");
+  EXPECT_FALSE(atom.args[2].is_variable());
+  EXPECT_EQ(atom.args[2].value(), Value::Str("U8Pk"));
+}
+
+TEST(ParserTest, AcceptsArrowVariantAndPeriod) {
+  EXPECT_TRUE(ParseDenialConstraint("q() <- R(x).").ok());
+  EXPECT_TRUE(ParseDenialConstraint("q() :- R(x).").ok());
+}
+
+TEST(ParserTest, NumericConstants) {
+  auto q = ParseDenialConstraint("q() :- R(1, -2, 0.5, x)");
+  ASSERT_TRUE(q.ok());
+  const Atom& atom = q->positive_atoms[0];
+  EXPECT_EQ(atom.args[0].value(), Value::Int(1));
+  EXPECT_EQ(atom.args[1].value(), Value::Int(-2));
+  EXPECT_EQ(atom.args[2].value(), Value::Real(0.5));
+  EXPECT_TRUE(atom.args[3].is_variable());
+}
+
+TEST(ParserTest, MultipleAtomsAndComparisons) {
+  auto q = ParseDenialConstraint(
+      "q() :- R(x, y), S(y, z), x != z, y > 3, z <= 'abc'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->positive_atoms.size(), 2u);
+  ASSERT_EQ(q->comparisons.size(), 3u);
+  EXPECT_EQ(q->comparisons[0].op, ComparisonOp::kNe);
+  EXPECT_EQ(q->comparisons[1].op, ComparisonOp::kGt);
+  EXPECT_EQ(q->comparisons[2].op, ComparisonOp::kLe);
+}
+
+TEST(ParserTest, DiamondNeSyntax) {
+  auto q = ParseDenialConstraint("q() :- R(x, y), x <> y");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->comparisons.size(), 1u);
+  EXPECT_EQ(q->comparisons[0].op, ComparisonOp::kNe);
+}
+
+TEST(ParserTest, NegatedAtom) {
+  auto q = ParseDenialConstraint(
+      "q2() :- TxIn(pt, ps, 'AlcPK', a, ntx, 'AlcSig'), TxOut(ntx, s, pk, b), "
+      "not Trusted(pk)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->positive_atoms.size(), 2u);
+  ASSERT_EQ(q->negated_atoms.size(), 1u);
+  EXPECT_TRUE(q->negated_atoms[0].negated);
+  EXPECT_EQ(q->negated_atoms[0].relation, "Trusted");
+}
+
+TEST(ParserTest, AggregateQuery) {
+  auto q = ParseDenialConstraint(
+      "[q3(sum(a)) :- TxIn(t, s, 'AlcPK', a, nt, 'AlcSig')] > 5");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->aggregate.has_value());
+  EXPECT_EQ(q->aggregate->fn, AggregateFunction::kSum);
+  EXPECT_EQ(q->aggregate->op, ComparisonOp::kGt);
+  EXPECT_EQ(q->aggregate->threshold, Value::Int(5));
+  ASSERT_EQ(q->aggregate->args.size(), 1u);
+  EXPECT_EQ(q->aggregate->args[0].name(), "a");
+}
+
+TEST(ParserTest, CountDistinctAggregate) {
+  auto q = ParseDenialConstraint("[q4(cntd(ntx)) :- R(ntx, x)] >= 10");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->aggregate->fn, AggregateFunction::kCountDistinct);
+  EXPECT_EQ(q->aggregate->op, ComparisonOp::kGe);
+}
+
+TEST(ParserTest, CountWithNoArgs) {
+  auto q = ParseDenialConstraint("[q(count()) :- R(x)] > 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->aggregate->args.empty());
+}
+
+TEST(ParserTest, RoundTripsThroughToString) {
+  const char* queries[] = {
+      "q() :- TxOut(ntx, s, 'U8Pk', a)",
+      "q() :- R(x, y), S(y, z), x != z",
+      "[qa(sum(a)) :- TxOut(n, s, 'X', a)] >= 100",
+  };
+  for (const char* text : queries) {
+    auto q1 = ParseDenialConstraint(text);
+    ASSERT_TRUE(q1.ok()) << text;
+    auto q2 = ParseDenialConstraint(q1->ToString());
+    ASSERT_TRUE(q2.ok()) << q1->ToString();
+    EXPECT_EQ(q1->ToString(), q2->ToString());
+  }
+}
+
+TEST(ParserTest, HeadVariables) {
+  auto q = ParseDenialConstraint("q(pk, a) :- TxOut(t, s, pk, a)");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->head_vars.size(), 2u);
+  EXPECT_EQ(q->head_vars[0].name(), "pk");
+  EXPECT_EQ(q->head_vars[1].name(), "a");
+  EXPECT_FALSE(q->is_boolean());
+
+  auto boolean = ParseDenialConstraint("q() :- R(x)");
+  ASSERT_TRUE(boolean.ok());
+  EXPECT_TRUE(boolean->is_boolean());
+}
+
+TEST(ParserTest, HeadConstantsRejected) {
+  EXPECT_FALSE(ParseDenialConstraint("q(1) :- R(x)").ok());
+  EXPECT_FALSE(ParseDenialConstraint("q('c') :- R(x)").ok());
+}
+
+TEST(ParserTest, HeadRoundTrips) {
+  auto q1 = ParseDenialConstraint("q(x, y) :- R(x, y), x < y");
+  ASSERT_TRUE(q1.ok());
+  auto q2 = ParseDenialConstraint(q1->ToString());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q1->ToString(), q2->ToString());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseDenialConstraint("").ok());
+  EXPECT_FALSE(ParseDenialConstraint("q( :- R(x)").ok());
+  EXPECT_FALSE(ParseDenialConstraint("q() :- R(x").ok());
+  EXPECT_FALSE(ParseDenialConstraint("q() :- R('unterminated)").ok());
+  EXPECT_FALSE(ParseDenialConstraint("q() :- not x > 3").ok());
+  EXPECT_FALSE(ParseDenialConstraint("[q(frobnicate(a)) :- R(a)] > 1").ok());
+  EXPECT_FALSE(ParseDenialConstraint("[q(sum(a)) :- R(a)] > x").ok());
+  EXPECT_FALSE(ParseDenialConstraint("q() :- R(x) trailing").ok());
+}
+
+}  // namespace
+}  // namespace bcdb

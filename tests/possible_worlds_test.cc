@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/possible_worlds.h"
+#include "running_example.h"
+
+namespace bcdb {
+namespace {
+
+using testing_fixtures::MakeRunningExample;
+
+std::set<std::vector<std::size_t>> WorldSets(
+    const std::vector<WorldView>& worlds) {
+  std::set<std::vector<std::size_t>> sets;
+  for (const WorldView& world : worlds) {
+    sets.insert(world.active_bits().ToVector());
+  }
+  return sets;
+}
+
+TEST(PossibleWorldsTest, RunningExampleMatchesExample3) {
+  BlockchainDatabase db = MakeRunningExample();
+  ASSERT_TRUE(db.ValidateCurrentState().ok());
+
+  auto worlds = EnumeratePossibleWorlds(db, 1000);
+  ASSERT_TRUE(worlds.ok());
+
+  // Example 3: Poss(D) = {R, R∪T1, R∪T3, R∪T1∪T3, R∪T1∪T2, R∪T1∪T2∪T3,
+  // R∪T1∪T2∪T3∪T4, R∪T5, R∪T3∪T5} — pending ids are T1..T5 = 0..4.
+  const std::set<std::vector<std::size_t>> expected = {
+      {},        {0},       {2},          {0, 2}, {0, 1},
+      {0, 1, 2}, {0, 1, 2, 3}, {4},       {2, 4},
+  };
+  EXPECT_EQ(WorldSets(*worlds), expected);
+}
+
+TEST(PossibleWorldsTest, IsPossibleWorldAgreesWithEnumeration) {
+  BlockchainDatabase db = MakeRunningExample();
+  auto worlds = EnumeratePossibleWorlds(db, 1000);
+  ASSERT_TRUE(worlds.ok());
+  const auto possible = WorldSets(*worlds);
+
+  // Check every subset of {T1..T5}.
+  for (std::size_t mask = 0; mask < 32; ++mask) {
+    std::vector<PendingId> subset;
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (mask & (std::size_t{1} << i)) subset.push_back(i);
+    }
+    const bool expected = possible.count(subset) > 0;
+    EXPECT_EQ(IsPossibleWorld(db, subset), expected)
+        << "subset mask " << mask;
+  }
+}
+
+TEST(PossibleWorldsTest, OrderInsensitive) {
+  BlockchainDatabase db = MakeRunningExample();
+  // {T1, T2} is reachable only by appending T1 before T2; the greedy check
+  // must find that ordering regardless of input order.
+  EXPECT_TRUE(IsPossibleWorld(db, {1, 0}));
+  EXPECT_TRUE(IsPossibleWorld(db, {3, 2, 1, 0}));
+}
+
+TEST(PossibleWorldsTest, RejectsConflictsAndMissingParents) {
+  BlockchainDatabase db = MakeRunningExample();
+  EXPECT_FALSE(IsPossibleWorld(db, {0, 4}));     // T1 + T5 double spend.
+  EXPECT_FALSE(IsPossibleWorld(db, {1}));        // T2 without T1.
+  EXPECT_FALSE(IsPossibleWorld(db, {0, 1, 3}));  // T4 without T3.
+  EXPECT_FALSE(IsPossibleWorld(db, {0, 1, 2, 3, 4}));
+}
+
+TEST(PossibleWorldsTest, UnknownPendingIdRejected) {
+  BlockchainDatabase db = MakeRunningExample();
+  EXPECT_FALSE(IsPossibleWorld(db, {42}));
+}
+
+TEST(PossibleWorldsTest, EnumerationLimitEnforced) {
+  BlockchainDatabase db = MakeRunningExample();
+  auto worlds = EnumeratePossibleWorlds(db, 3);
+  EXPECT_EQ(worlds.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(PossibleWorldsTest, EmptyPendingHasOneWorld) {
+  Catalog catalog = bitcoin::MakeBitcoinCatalog();
+  auto constraints = bitcoin::MakeBitcoinConstraints(catalog);
+  ASSERT_TRUE(constraints.ok());
+  auto db = BlockchainDatabase::Create(std::move(catalog),
+                                       std::move(*constraints));
+  ASSERT_TRUE(db.ok());
+  auto worlds = EnumeratePossibleWorlds(*db, 10);
+  ASSERT_TRUE(worlds.ok());
+  EXPECT_EQ(worlds->size(), 1u);
+  EXPECT_TRUE(IsPossibleWorld(*db, {}));
+}
+
+TEST(PossibleWorldsTest, ApplyPendingPromotesToCurrentState) {
+  BlockchainDatabase db = MakeRunningExample();
+  ASSERT_TRUE(db.ApplyPending(0).ok());  // T1 accepted into the chain.
+  EXPECT_FALSE(db.IsPending(0));
+  EXPECT_TRUE(db.ValidateCurrentState().ok());
+  // T2 now appendable directly; T5 permanently conflicted.
+  EXPECT_TRUE(IsPossibleWorld(db, {1}));
+  EXPECT_FALSE(IsPossibleWorld(db, {4}));
+  EXPECT_EQ(db.ApplyPending(4).code(), StatusCode::kConstraintViolation);
+}
+
+TEST(PossibleWorldsTest, ApplyPendingRejectsDependant) {
+  BlockchainDatabase db = MakeRunningExample();
+  // T2 depends on T1, which is not yet in R.
+  EXPECT_EQ(db.ApplyPending(1).code(), StatusCode::kConstraintViolation);
+}
+
+TEST(PossibleWorldsTest, DiscardPendingRemovesFromWorlds) {
+  BlockchainDatabase db = MakeRunningExample();
+  ASSERT_TRUE(db.DiscardPending(0).ok());  // Drop T1.
+  EXPECT_FALSE(db.IsPending(0));
+  auto worlds = EnumeratePossibleWorlds(db, 1000);
+  ASSERT_TRUE(worlds.ok());
+  // Without T1: {}, {T3}, {T5}, {T3,T5} remain.
+  EXPECT_EQ(worlds->size(), 4u);
+}
+
+}  // namespace
+}  // namespace bcdb

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/possible_worlds.h"
+#include "core/probability.h"
+#include "query/parser.h"
+#include "running_example.h"
+
+namespace bcdb {
+namespace {
+
+using testing_fixtures::MakeRunningExample;
+
+DenialConstraint Parse(const std::string& text) {
+  auto q = ParseDenialConstraint(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return *q;
+}
+
+double Estimate(const BlockchainDatabase& db, const std::string& text,
+                const InclusionModel& model, std::size_t samples = 2000,
+                std::uint64_t seed = 42) {
+  auto estimate =
+      EstimateViolationProbability(db, Parse(text), model, samples, seed);
+  EXPECT_TRUE(estimate.ok()) << estimate.status();
+  return estimate->probability;
+}
+
+TEST(ProbabilityTest, SampledWorldsAreAlwaysPossible) {
+  BlockchainDatabase db = MakeRunningExample();
+  InclusionModel model;
+  model.default_probability = 0.7;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const WorldView world = SampleWorld(db, model, rng);
+    std::vector<PendingId> active;
+    world.active_bits().ForEach([&](std::size_t id) { active.push_back(id); });
+    ASSERT_TRUE(IsPossibleWorld(db, active)) << "sample " << i;
+  }
+}
+
+TEST(ProbabilityTest, ZeroProbabilityFreezesTheBase) {
+  BlockchainDatabase db = MakeRunningExample();
+  InclusionModel model;
+  model.default_probability = 0.0;
+  // Pending-only outcome: never sampled.
+  EXPECT_EQ(Estimate(db, "q() :- TxOut(t, s, 'U8Pk', a)", model), 0.0);
+  // Base fact: always true.
+  EXPECT_EQ(Estimate(db, "q() :- TxOut(t, s, 'U3Pk', a)", model), 1.0);
+}
+
+TEST(ProbabilityTest, ConflictRaceIsAFairCoin) {
+  BlockchainDatabase db = MakeRunningExample();
+  InclusionModel model;
+  model.default_probability = 1.0;
+  // With every transaction offered, T1 and T5 race for output (2,2) and the
+  // shuffle decides: U5Pk (paid only by T1) is received iff T1 arrives
+  // first — probability 1/2.
+  const double p = Estimate(db, "q() :- TxOut(t, s, 'U5Pk', a)", model, 4000);
+  EXPECT_NEAR(p, 0.5, 0.05);
+  // U8Pk needs T4, which needs T2 (which needs T1's race win) and T3 — all
+  // offered, so again exactly the race: 1/2.
+  const double p8 = Estimate(db, "q() :- TxOut(t, s, 'U8Pk', a)", model, 4000);
+  EXPECT_NEAR(p8, 0.5, 0.05);
+  // U7Pk is paid by T4 (race won by T1) or T5 (race won by T5): certainty.
+  EXPECT_EQ(Estimate(db, "q() :- TxOut(t, s, 'U7Pk', a)", model), 1.0);
+}
+
+TEST(ProbabilityTest, PerTransactionOverrides) {
+  BlockchainDatabase db = MakeRunningExample();
+  InclusionModel model;
+  model.default_probability = 1.0;
+  model.probability = {1.0, 1.0, 1.0, 1.0, 0.0};  // T5 never offered.
+  EXPECT_EQ(Estimate(db, "q() :- TxOut(8, 1, 'U7Pk', a)", model), 0.0);
+  EXPECT_EQ(Estimate(db, "q() :- TxOut(t, s, 'U8Pk', a)", model), 1.0);
+
+  model.probability = {0.0, 1.0, 1.0, 1.0, 1.0};  // T1 never offered.
+  // Without T1 there is no T2, hence no T4, hence no U8Pk.
+  EXPECT_EQ(Estimate(db, "q() :- TxOut(t, s, 'U8Pk', a)", model), 0.0);
+}
+
+TEST(ProbabilityTest, IndependentInclusionScales) {
+  BlockchainDatabase db = MakeRunningExample();
+  InclusionModel model;
+  model.default_probability = 1.0;
+  model.probability = {1.0, 1.0, 0.25, 1.0, 0.0};  // T3 at 1/4, no T5.
+  // U8Pk needs T4 which needs T2 (sure, T5 absent) and T3 (1/4).
+  const double p = Estimate(db, "q() :- TxOut(t, s, 'U8Pk', a)", model, 4000);
+  EXPECT_NEAR(p, 0.25, 0.05);
+}
+
+TEST(ProbabilityTest, DeterministicForSeed) {
+  BlockchainDatabase db = MakeRunningExample();
+  InclusionModel model;
+  model.default_probability = 0.6;
+  const DenialConstraint q = Parse("q() :- TxOut(t, s, 'U8Pk', a)");
+  auto a = EstimateViolationProbability(db, q, model, 500, 99);
+  auto b = EstimateViolationProbability(db, q, model, 500, 99);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->violations, b->violations);
+
+  auto c = EstimateViolationProbability(db, q, model, 500, 100);
+  ASSERT_TRUE(c.ok());
+  // Different seed: almost surely a different count (not guaranteed, but
+  // with 500 samples the probability of equality is negligible for p≈0.1).
+  EXPECT_TRUE(a->violations != c->violations || a->violations == 0);
+}
+
+TEST(ProbabilityTest, EstimateFieldsConsistent) {
+  BlockchainDatabase db = MakeRunningExample();
+  InclusionModel model;
+  auto estimate = EstimateViolationProbability(
+      db, Parse("q() :- TxOut(t, s, 'U8Pk', a)"), model, 1000, 1);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate->samples, 1000u);
+  EXPECT_DOUBLE_EQ(
+      estimate->probability,
+      static_cast<double>(estimate->violations) / 1000.0);
+  EXPECT_GE(estimate->standard_error, 0.0);
+  EXPECT_LE(estimate->standard_error, 0.5 / std::sqrt(1000.0) + 1e-12);
+}
+
+TEST(ProbabilityTest, RejectsZeroSamples) {
+  BlockchainDatabase db = MakeRunningExample();
+  EXPECT_FALSE(EstimateViolationProbability(
+                   db, Parse("q() :- TxOut(t, s, 'U8Pk', a)"),
+                   InclusionModel{}, 0, 1)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace bcdb

@@ -1,0 +1,147 @@
+// Model-based fuzzing of the Relation storage layer: a naive reference
+// model (plain vectors of (tuple, owner-set)) runs the same random
+// operation sequence — inserts with random owners, promotions, drops — and
+// every few steps the visible-tuple sets and index lookups must agree.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "relational/database.h"
+#include "util/rng.h"
+
+namespace bcdb {
+namespace {
+
+class ReferenceModel {
+ public:
+  void Insert(const Tuple& tuple, TupleOwner owner) {
+    owners_[Key(tuple)].insert(owner);
+  }
+
+  void PromoteOwner(TupleOwner owner) {
+    for (auto& [key, owners] : owners_) {
+      if (owners.erase(owner) > 0) owners.insert(kBaseOwner);
+    }
+  }
+
+  void DropOwner(TupleOwner owner) {
+    for (auto& [key, owners] : owners_) owners.erase(owner);
+  }
+
+  std::set<std::string> Visible(const WorldView& view) const {
+    std::set<std::string> result;
+    for (const auto& [key, owners] : owners_) {
+      for (TupleOwner owner : owners) {
+        if (view.IsActive(owner)) {
+          result.insert(key);
+          break;
+        }
+      }
+    }
+    return result;
+  }
+
+ private:
+  static std::string Key(const Tuple& tuple) { return tuple.ToString(); }
+  std::map<std::string, std::set<TupleOwner>> owners_;
+};
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  EXPECT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "R", {Attribute{"a", ValueType::kInt, false},
+                            Attribute{"b", ValueType::kInt, false}}))
+                  .ok());
+  return catalog;
+}
+
+std::set<std::string> VisibleInRelation(const Relation& rel,
+                                        const WorldView& view) {
+  std::set<std::string> result;
+  rel.ForEachVisible(view, [&](TupleId id) {
+    result.insert(rel.tuple(id).ToString());
+  });
+  return result;
+}
+
+class RelationModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RelationModelTest, AgreesWithReferenceModel) {
+  Xoshiro256 rng(GetParam());
+  Database db(MakeCatalog());
+  Relation& rel = db.relation(0);
+  ReferenceModel model;
+
+  const std::size_t num_owners = 4;
+  for (std::size_t i = 0; i < num_owners; ++i) db.RegisterOwner();
+  // A fixed index, created up front so inserts must maintain it.
+  const std::size_t index = rel.GetOrBuildIndex({0});
+
+  auto random_view = [&](Xoshiro256& r) {
+    WorldView view = db.BaseView();
+    for (std::size_t o = 0; o < num_owners; ++o) {
+      if (r.NextBool(0.5)) view.Activate(static_cast<TupleOwner>(o));
+    }
+    return view;
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.75) {
+      const Tuple tuple({Value::Int(rng.NextInRange(0, 5)),
+                         Value::Int(rng.NextInRange(0, 3))});
+      const TupleOwner owner =
+          rng.NextBool(0.3)
+              ? kBaseOwner
+              : static_cast<TupleOwner>(rng.NextBelow(num_owners));
+      rel.Insert(tuple, owner);
+      model.Insert(tuple, owner);
+    } else if (dice < 0.85) {
+      const TupleOwner owner =
+          static_cast<TupleOwner>(rng.NextBelow(num_owners));
+      rel.PromoteOwner(owner);
+      model.PromoteOwner(owner);
+    } else if (dice < 0.95) {
+      const TupleOwner owner =
+          static_cast<TupleOwner>(rng.NextBelow(num_owners));
+      rel.DropOwner(owner);
+      model.DropOwner(owner);
+    } else {
+      // Checkpoint: compare several random views plus base and full.
+      std::vector<WorldView> views = {db.BaseView(), db.FullView()};
+      for (int i = 0; i < 3; ++i) views.push_back(random_view(rng));
+      for (const WorldView& view : views) {
+        EXPECT_EQ(VisibleInRelation(rel, view), model.Visible(view))
+            << "step " << step;
+        EXPECT_EQ(rel.CountVisible(view), model.Visible(view).size());
+      }
+      // Index lookups cover every stored tuple with a matching key.
+      for (std::int64_t a = 0; a <= 5; ++a) {
+        std::set<std::string> via_index;
+        for (TupleId id : rel.IndexLookup(index, Tuple({Value::Int(a)}))) {
+          if (rel.IsVisible(id, views[1])) {
+            via_index.insert(rel.tuple(id).ToString());
+          }
+        }
+        std::set<std::string> via_scan;
+        rel.ForEachVisible(views[1], [&](TupleId id) {
+          if (rel.tuple(id)[0] == Value::Int(a)) {
+            via_scan.insert(rel.tuple(id).ToString());
+          }
+        });
+        EXPECT_EQ(via_index, via_scan) << "a=" << a << " step " << step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationModelTest,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace bcdb

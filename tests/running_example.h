@@ -1,0 +1,87 @@
+#ifndef BCDB_TESTS_RUNNING_EXAMPLE_H_
+#define BCDB_TESTS_RUNNING_EXAMPLE_H_
+
+#include <string>
+
+#include "bitcoin/to_relational.h"
+#include "core/blockchain_db.h"
+
+namespace bcdb {
+namespace testing_fixtures {
+
+/// Builds the paper's running example (Figure 2): the simplified Bitcoin
+/// schema of Example 1, the current state R, and the five pending
+/// transactions T1..T5. Pending ids are 0..4 for T1..T5.
+///
+/// Structure (amounts in bitcoins; stored as reals):
+///   R:  TxOut (1,1,U1Pk,1) (2,1,U1Pk,1) (2,2,U2Pk,4)
+///             (3,1,U3Pk,1) (3,2,U4Pk,0.5) (3,3,U1Pk,0.5)
+///       TxIn  (1,1,U1Pk,1,3,U1Sig) (2,1,U1Pk,1,3,U1Sig)
+///   T1: spends (2,2) -> U5Pk 1, U2Pk 3 (tx 4)
+///   T2: spends (4,2) -> U4Pk 3          (tx 5; depends on T1)
+///   T3: spends (3,3) -> U4Pk 0.5        (tx 6)
+///   T4: spends (6,1) and (5,1) -> U7Pk 2.5, U8Pk 1 (tx 7; depends on T2,T3)
+///   T5: spends (2,2) -> U7Pk 4          (tx 8; conflicts with T1)
+inline BlockchainDatabase MakeRunningExample() {
+  Catalog catalog = bitcoin::MakeBitcoinCatalog();
+  auto constraints = bitcoin::MakeBitcoinConstraints(catalog);
+  auto db = BlockchainDatabase::Create(std::move(catalog),
+                                       std::move(*constraints));
+
+  auto out = [](std::int64_t tx, std::int64_t ser, const std::string& pk,
+                double amount) {
+    return Tuple({Value::Int(tx), Value::Int(ser), Value::Str(pk),
+                  Value::Real(amount)});
+  };
+  auto in = [](std::int64_t prev_tx, std::int64_t prev_ser,
+               const std::string& pk, double amount, std::int64_t new_tx,
+               const std::string& sig) {
+    return Tuple({Value::Int(prev_tx), Value::Int(prev_ser), Value::Str(pk),
+                  Value::Real(amount), Value::Int(new_tx), Value::Str(sig)});
+  };
+
+  // Current state R.
+  (void)db->InsertCurrent("TxOut", out(1, 1, "U1Pk", 1));
+  (void)db->InsertCurrent("TxOut", out(2, 1, "U1Pk", 1));
+  (void)db->InsertCurrent("TxOut", out(2, 2, "U2Pk", 4));
+  (void)db->InsertCurrent("TxOut", out(3, 1, "U3Pk", 1));
+  (void)db->InsertCurrent("TxOut", out(3, 2, "U4Pk", 0.5));
+  (void)db->InsertCurrent("TxOut", out(3, 3, "U1Pk", 0.5));
+  (void)db->InsertCurrent("TxIn", in(1, 1, "U1Pk", 1, 3, "U1Sig"));
+  (void)db->InsertCurrent("TxIn", in(2, 1, "U1Pk", 1, 3, "U1Sig"));
+
+  Transaction t1("T1");
+  t1.Add("TxIn", in(2, 2, "U2Pk", 4, 4, "U2Sig"));
+  t1.Add("TxOut", out(4, 1, "U5Pk", 1));
+  t1.Add("TxOut", out(4, 2, "U2Pk", 3));
+
+  Transaction t2("T2");
+  t2.Add("TxIn", in(4, 2, "U2Pk", 3, 5, "U2Sig"));
+  t2.Add("TxOut", out(5, 1, "U4Pk", 3));
+
+  Transaction t3("T3");
+  t3.Add("TxIn", in(3, 3, "U1Pk", 0.5, 6, "U1Sig"));
+  t3.Add("TxOut", out(6, 1, "U4Pk", 0.5));
+
+  Transaction t4("T4");
+  t4.Add("TxIn", in(6, 1, "U4Pk", 0.5, 7, "U4Sig"));
+  t4.Add("TxIn", in(5, 1, "U4Pk", 3, 7, "U4Sig"));
+  t4.Add("TxOut", out(7, 1, "U7Pk", 2.5));
+  t4.Add("TxOut", out(7, 2, "U8Pk", 1));
+
+  Transaction t5("T5");
+  t5.Add("TxIn", in(2, 2, "U2Pk", 4, 8, "U2Sig"));
+  t5.Add("TxOut", out(8, 1, "U7Pk", 4));
+
+  (void)db->AddPending(t1);
+  (void)db->AddPending(t2);
+  (void)db->AddPending(t3);
+  (void)db->AddPending(t4);
+  (void)db->AddPending(t5);
+  return std::move(*db);
+}
+
+}  // namespace testing_fixtures
+}  // namespace bcdb
+
+#endif  // BCDB_TESTS_RUNNING_EXAMPLE_H_

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "relational/schema.h"
+
+namespace bcdb {
+namespace {
+
+RelationSchema MakeSchema() {
+  return RelationSchema("R", {Attribute{"id", ValueType::kInt, false},
+                              Attribute{"name", ValueType::kString, false},
+                              Attribute{"amount", ValueType::kInt, true}});
+}
+
+TEST(RelationSchemaTest, Basics) {
+  RelationSchema schema = MakeSchema();
+  EXPECT_EQ(schema.name(), "R");
+  EXPECT_EQ(schema.arity(), 3u);
+  EXPECT_EQ(schema.attribute(1).name, "name");
+}
+
+TEST(RelationSchemaTest, AttributeIndex) {
+  RelationSchema schema = MakeSchema();
+  ASSERT_TRUE(schema.AttributeIndex("amount").ok());
+  EXPECT_EQ(*schema.AttributeIndex("amount"), 2u);
+  EXPECT_FALSE(schema.AttributeIndex("missing").ok());
+}
+
+TEST(RelationSchemaTest, AttributeIndexesPreservesOrder) {
+  RelationSchema schema = MakeSchema();
+  auto result = schema.AttributeIndexes({"name", "id"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(RelationSchemaTest, ValidateTupleAcceptsGood) {
+  RelationSchema schema = MakeSchema();
+  EXPECT_TRUE(schema
+                  .ValidateTuple(Tuple({Value::Int(1), Value::Str("a"),
+                                        Value::Int(5)}))
+                  .ok());
+}
+
+TEST(RelationSchemaTest, ValidateTupleRejectsArity) {
+  RelationSchema schema = MakeSchema();
+  EXPECT_EQ(schema.ValidateTuple(Tuple({Value::Int(1)})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RelationSchemaTest, ValidateTupleRejectsNull) {
+  RelationSchema schema = MakeSchema();
+  EXPECT_FALSE(schema
+                   .ValidateTuple(Tuple({Value::Int(1), Value::Null(),
+                                         Value::Int(5)}))
+                   .ok());
+}
+
+TEST(RelationSchemaTest, ValidateTupleRejectsWrongType) {
+  RelationSchema schema = MakeSchema();
+  EXPECT_FALSE(schema
+                   .ValidateTuple(Tuple({Value::Str("not int"),
+                                         Value::Str("a"), Value::Int(5)}))
+                   .ok());
+}
+
+TEST(RelationSchemaTest, NumericTypesInterchangeable) {
+  RelationSchema schema = MakeSchema();
+  // A real value in an int column is accepted (numeric family).
+  EXPECT_TRUE(schema
+                  .ValidateTuple(Tuple({Value::Real(1.5), Value::Str("a"),
+                                        Value::Int(5)}))
+                  .ok());
+}
+
+TEST(RelationSchemaTest, NonNegativeEnforced) {
+  RelationSchema schema = MakeSchema();
+  EXPECT_FALSE(schema
+                   .ValidateTuple(Tuple({Value::Int(1), Value::Str("a"),
+                                         Value::Int(-5)}))
+                   .ok());
+}
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation(MakeSchema()).ok());
+  ASSERT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "S", {Attribute{"x", ValueType::kInt, false}}))
+                  .ok());
+  EXPECT_EQ(catalog.num_relations(), 2u);
+  EXPECT_TRUE(catalog.HasRelation("R"));
+  EXPECT_FALSE(catalog.HasRelation("T"));
+  ASSERT_TRUE(catalog.RelationId("S").ok());
+  EXPECT_EQ(*catalog.RelationId("S"), 1u);
+  EXPECT_EQ(catalog.schema(0).name(), "R");
+}
+
+TEST(CatalogTest, RejectsDuplicates) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation(MakeSchema()).ok());
+  EXPECT_EQ(catalog.AddRelation(MakeSchema()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, UnknownRelationIsNotFound) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.RelationId("nope").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace bcdb

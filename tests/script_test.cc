@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "bitcoin/chain.h"
+#include "bitcoin/mempool.h"
+#include "bitcoin/script.h"
+#include "bitcoin/to_relational.h"
+#include "core/dcsat.h"
+#include "query/parser.h"
+
+namespace bcdb {
+namespace bitcoin {
+namespace {
+
+TEST(ScriptTest, BareKeyIsPayToPubkey) {
+  const Script script = Script::Parse("U1Pk");
+  EXPECT_EQ(script.kind(), Script::Kind::kPayToPubkey);
+  EXPECT_TRUE(script.SatisfiedBy("U1Sig"));
+  EXPECT_FALSE(script.SatisfiedBy("U2Sig"));
+  EXPECT_FALSE(script.SatisfiedBy(""));
+  EXPECT_EQ(Script::WitnessFor("U1Pk"), "U1Sig");
+}
+
+TEST(ScriptTest, HashLockRequiresPreimage) {
+  const std::string encoded = Script::HashLock("open sesame");
+  const Script script = Script::Parse(encoded);
+  EXPECT_EQ(script.kind(), Script::Kind::kHashLock);
+  EXPECT_TRUE(script.SatisfiedBy("open sesame"));
+  EXPECT_FALSE(script.SatisfiedBy("open barley"));
+  EXPECT_FALSE(script.SatisfiedBy(encoded));  // The digest is not a preimage.
+  EXPECT_EQ(Script::WitnessFor(encoded, "open sesame"), "open sesame");
+}
+
+TEST(ScriptTest, MultiSigKofN) {
+  auto encoded = Script::MultiSig(2, {"APk", "BPk", "CPk"});
+  ASSERT_TRUE(encoded.ok());
+  const Script script = Script::Parse(*encoded);
+  EXPECT_EQ(script.kind(), Script::Kind::kMultiSig);
+  EXPECT_EQ(script.required_signatures(), 2u);
+  ASSERT_EQ(script.keys().size(), 3u);
+
+  EXPECT_TRUE(script.SatisfiedBy("ASig,BSig"));
+  EXPECT_TRUE(script.SatisfiedBy("CSig,ASig"));       // Order irrelevant.
+  EXPECT_TRUE(script.SatisfiedBy("ASig,BSig,CSig"));  // Extra sigs fine.
+  EXPECT_FALSE(script.SatisfiedBy("ASig"));           // Too few.
+  EXPECT_FALSE(script.SatisfiedBy("ASig,ASig"));      // Duplicates count once.
+  EXPECT_FALSE(script.SatisfiedBy("ASig,XSig"));      // Unknown signer.
+
+  // Default witness signs with the first k keys.
+  EXPECT_TRUE(script.SatisfiedBy(Script::WitnessFor(*encoded)));
+  auto witness = Script::MultiSigWitness(*encoded, {0, 2});
+  ASSERT_TRUE(witness.ok());
+  EXPECT_TRUE(script.SatisfiedBy(*witness));
+  EXPECT_FALSE(Script::MultiSigWitness(*encoded, {5}).ok());
+}
+
+TEST(ScriptTest, MultiSigBuilderValidates) {
+  EXPECT_FALSE(Script::MultiSig(0, {"APk"}).ok());
+  EXPECT_FALSE(Script::MultiSig(3, {"APk", "BPk"}).ok());
+  EXPECT_FALSE(Script::MultiSig(1, {"A,Pk"}).ok());
+  EXPECT_FALSE(Script::MultiSig(1, {"A:Pk"}).ok());
+}
+
+TEST(ScriptTest, MalformedMultiSigNeverSatisfiable) {
+  const Script script = Script::Parse("msig:zero:APk");
+  EXPECT_EQ(script.kind(), Script::Kind::kPayToPubkey);
+  // No one can sign for the raw string (SignatureFor("msig:zero:APk")
+  // would be required, and honest signers never produce it for spending).
+  EXPECT_FALSE(script.SatisfiedBy("ASig"));
+}
+
+class ScriptChainTest : public ::testing::Test {
+ protected:
+  /// Mines `encoded_script` a kBlockReward output and returns its outpoint.
+  OutPoint Fund(const std::string& encoded_script) {
+    BitcoinTransaction coinbase = BitcoinTransaction::Coinbase(
+        encoded_script, kBlockReward, chain_.height() + 1);
+    EXPECT_TRUE(chain_.MineAndAppend({coinbase}).ok());
+    return OutPoint{coinbase.txid(), 1};
+  }
+
+  BitcoinTransaction Spend(const OutPoint& source,
+                           const std::string& encoded_script,
+                           const std::string& witness,
+                           const std::string& to) {
+    return BitcoinTransaction(
+        {TxInput{source, encoded_script, kBlockReward, witness}},
+        {TxOutput{to, kBlockReward - 1000}});
+  }
+
+  Blockchain chain_;
+};
+
+TEST_F(ScriptChainTest, HashLockSpendOnChain) {
+  const std::string lock = Script::HashLock("secret42");
+  const OutPoint source = Fund(lock);
+  // Wrong preimage rejected, right preimage accepted.
+  EXPECT_FALSE(
+      chain_.MineAndAppend({Spend(source, lock, "wrong", "WinnerPk")}).ok());
+  EXPECT_TRUE(
+      chain_.MineAndAppend({Spend(source, lock, "secret42", "WinnerPk")})
+          .ok());
+}
+
+TEST_F(ScriptChainTest, MultiSigSpendOnChain) {
+  auto lock = Script::MultiSig(2, {"EscrowAPk", "EscrowBPk", "EscrowCPk"});
+  ASSERT_TRUE(lock.ok());
+  const OutPoint source = Fund(*lock);
+  EXPECT_FALSE(
+      chain_.MineAndAppend({Spend(source, *lock, "EscrowASig", "OutPk")})
+          .ok());
+  auto witness = Script::MultiSigWitness(*lock, {1, 2});
+  ASSERT_TRUE(witness.ok());
+  EXPECT_TRUE(
+      chain_.MineAndAppend({Spend(source, *lock, *witness, "OutPk")}).ok());
+}
+
+TEST_F(ScriptChainTest, MempoolEnforcesScripts) {
+  const std::string lock = Script::HashLock("hunter2");
+  const OutPoint source = Fund(lock);
+  Mempool mempool;
+  EXPECT_FALSE(mempool.Add(chain_, Spend(source, lock, "guess", "XPk")).ok());
+  EXPECT_TRUE(
+      mempool.Add(chain_, Spend(source, lock, "hunter2", "XPk")).ok());
+}
+
+TEST_F(ScriptChainTest, ScriptOutputsFlowThroughDcSat) {
+  // A hash-locked output spent by a pending transaction: the relational
+  // image stores the script in the pk column and the preimage in sig, and
+  // DCSat reasons about the spend like any other.
+  const std::string lock = Script::HashLock("preimage!");
+  const OutPoint source = Fund(lock);
+  SimulatedNode node(chain_);
+  ASSERT_TRUE(node.SubmitTransaction(
+                      Spend(source, lock, "preimage!", "ClaimerPk"))
+                  .ok());
+
+  auto db = BuildBlockchainDatabase(node);
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_TRUE(db->ValidateCurrentState().ok());
+  DcSatEngine engine(&*db);
+  auto q = ParseDenialConstraint("q() :- TxOut(t, s, 'ClaimerPk', a)");
+  ASSERT_TRUE(q.ok());
+  auto result = engine.Check(*q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->satisfied);  // The claim can happen.
+
+  // Two competing preimage claims conflict exactly like double spends.
+  ASSERT_TRUE(node.SubmitTransaction(
+                      Spend(source, lock, "preimage!", "RivalPk"))
+                  .ok());
+  auto db2 = BuildBlockchainDatabase(node);
+  ASSERT_TRUE(db2.ok());
+  DcSatEngine engine2(&*db2);
+  auto both = ParseDenialConstraint(
+      "q() :- TxOut(t1, s1, 'ClaimerPk', a1), TxOut(t2, s2, 'RivalPk', a2)");
+  ASSERT_TRUE(both.ok());
+  auto verdict = engine2.Check(*both);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->satisfied);  // Never both.
+}
+
+}  // namespace
+}  // namespace bitcoin
+}  // namespace bcdb

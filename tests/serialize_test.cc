@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "bitcoin/generator.h"
+#include "bitcoin/serialize.h"
+
+namespace bcdb {
+namespace bitcoin {
+namespace {
+
+GeneratedWorkload MakeWorkload() {
+  GeneratorParams params;
+  params.seed = 21;
+  params.num_blocks = 30;
+  params.num_users = 10;
+  params.num_pending = 18;
+  params.num_contradictions = 3;
+  params.pending_chain_depth = 4;
+  params.star_size = 3;
+  params.rich_payments = 2;
+  auto workload = GenerateWorkload(params);
+  EXPECT_TRUE(workload.ok()) << workload.status();
+  return std::move(*workload);
+}
+
+TEST(SerializeTest, RoundTripPreservesChainAndMempool) {
+  GeneratedWorkload workload = MakeWorkload();
+  auto data = SerializeNode(workload.node);
+  ASSERT_TRUE(data.ok()) << data.status();
+  auto restored = DeserializeNode(*data);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  // Same chain tip (block hashes cover all content transitively) and the
+  // same mempool transaction ids in order.
+  EXPECT_EQ(restored->chain().height(), workload.node.chain().height());
+  EXPECT_EQ(restored->chain().tip().hash(),
+            workload.node.chain().tip().hash());
+  ASSERT_EQ(restored->mempool().size(), workload.node.mempool().size());
+  for (std::size_t i = 0; i < restored->mempool().size(); ++i) {
+    EXPECT_EQ(restored->mempool().transactions()[i].txid(),
+              workload.node.mempool().transactions()[i].txid());
+  }
+  EXPECT_EQ(restored->chain().utxos().size(),
+            workload.node.chain().utxos().size());
+}
+
+TEST(SerializeTest, SerializationIsDeterministic) {
+  GeneratedWorkload workload = MakeWorkload();
+  auto a = SerializeNode(workload.node);
+  auto b = SerializeNode(workload.node);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SerializeTest, DoubleRoundTripIsStable) {
+  GeneratedWorkload workload = MakeWorkload();
+  auto once = SerializeNode(workload.node);
+  ASSERT_TRUE(once.ok());
+  auto restored = DeserializeNode(*once);
+  ASSERT_TRUE(restored.ok());
+  auto twice = SerializeNode(*restored);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(*once, *twice);
+}
+
+TEST(SerializeTest, LoadValidatesHistory) {
+  GeneratedWorkload workload = MakeWorkload();
+  auto data = SerializeNode(workload.node);
+  ASSERT_TRUE(data.ok());
+  // Corrupt an amount: the replay validation must reject the snapshot.
+  std::string corrupted = *data;
+  const std::size_t position = corrupted.find("\nout ");
+  ASSERT_NE(position, std::string::npos);
+  const std::size_t amount_start =
+      corrupted.find_last_of(' ', corrupted.find('\n', position + 1));
+  corrupted.replace(amount_start + 1,
+                    corrupted.find('\n', amount_start) - amount_start - 1,
+                    "999999999999");
+  EXPECT_FALSE(DeserializeNode(corrupted).ok());
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeNode("").ok());
+  EXPECT_FALSE(DeserializeNode("not a snapshot").ok());
+  EXPECT_FALSE(DeserializeNode("bcdb-node v1\nblock 1\ntx\nbogus\n").ok());
+  EXPECT_FALSE(
+      DeserializeNode("bcdb-node v1\nblock 1\ntx\nin 1 1 A 5\nendtx\n").ok());
+}
+
+TEST(SerializeTest, EmptyNodeRoundTrips) {
+  SimulatedNode node;
+  auto data = SerializeNode(node);
+  ASSERT_TRUE(data.ok());
+  auto restored = DeserializeNode(*data);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->chain().height(), 0u);
+  EXPECT_EQ(restored->mempool().size(), 0u);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  GeneratedWorkload workload = MakeWorkload();
+  const std::string path = ::testing::TempDir() + "/bcdb_snapshot.txt";
+  ASSERT_TRUE(SaveNodeToFile(workload.node, path).ok());
+  auto restored = LoadNodeFromFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->chain().tip().hash(),
+            workload.node.chain().tip().hash());
+  std::remove(path.c_str());
+  EXPECT_EQ(LoadNodeFromFile(path).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace bitcoin
+}  // namespace bcdb

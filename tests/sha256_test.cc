@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bitcoin/sha256.h"
+
+namespace bcdb {
+namespace {
+
+std::string HexOf(std::string_view data) {
+  return Sha256::ToHex(Sha256::Hash(data));
+}
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HexOf(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexOf("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HexOf("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk);
+  EXPECT_EQ(Sha256::ToHex(hasher.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64 bytes: padding spills into a second block.
+  EXPECT_EQ(HexOf(std::string(64, 'x')),
+            Sha256::ToHex(Sha256::Hash(std::string(64, 'x'))));
+  // 55 and 56 bytes straddle the length-field boundary.
+  EXPECT_NE(HexOf(std::string(55, 'y')), HexOf(std::string(56, 'y')));
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  Sha256 hasher;
+  for (char c : data) hasher.Update(&c, 1);
+  EXPECT_EQ(Sha256::ToHex(hasher.Finish()), HexOf(data));
+}
+
+TEST(Sha256Test, ResetReuses) {
+  Sha256 hasher;
+  hasher.Update("junk");
+  (void)hasher.Finish();
+  hasher.Reset();
+  hasher.Update("abc");
+  EXPECT_EQ(Sha256::ToHex(hasher.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, ToId63NonNegativeAndStable) {
+  const auto digest = Sha256::Hash("abc");
+  const std::int64_t id = Sha256::ToId63(digest);
+  EXPECT_GE(id, 0);
+  EXPECT_EQ(id, Sha256::ToId63(Sha256::Hash("abc")));
+  EXPECT_NE(id, Sha256::ToId63(Sha256::Hash("abd")));
+}
+
+}  // namespace
+}  // namespace bcdb

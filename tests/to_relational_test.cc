@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "bitcoin/generator.h"
+#include "bitcoin/to_relational.h"
+#include "core/possible_worlds.h"
+
+namespace bcdb {
+namespace bitcoin {
+namespace {
+
+TEST(ToRelationalTest, CatalogMatchesExample1) {
+  Catalog catalog = MakeBitcoinCatalog();
+  ASSERT_TRUE(catalog.HasRelation("TxOut"));
+  ASSERT_TRUE(catalog.HasRelation("TxIn"));
+  const RelationSchema& txout = catalog.schema(*catalog.RelationId("TxOut"));
+  EXPECT_EQ(txout.arity(), 4u);
+  EXPECT_TRUE(txout.attribute(3).non_negative);  // amount
+  const RelationSchema& txin = catalog.schema(*catalog.RelationId("TxIn"));
+  EXPECT_EQ(txin.arity(), 6u);
+}
+
+TEST(ToRelationalTest, ConstraintsMatchExample1) {
+  Catalog catalog = MakeBitcoinCatalog();
+  auto constraints = MakeBitcoinConstraints(catalog);
+  ASSERT_TRUE(constraints.ok());
+  EXPECT_EQ(constraints->fds().size(), 2u);
+  EXPECT_TRUE(constraints->fds()[0].is_key());
+  EXPECT_TRUE(constraints->fds()[1].is_key());
+  EXPECT_EQ(constraints->inds().size(), 2u);
+}
+
+TEST(ToRelationalTest, TransactionRows) {
+  BitcoinTransaction tx(
+      {TxInput{OutPoint{10, 1}, "U1Pk", 5, SignatureFor("U1Pk")}},
+      {TxOutput{"U2Pk", 3}, TxOutput{"U1Pk", 2}});
+  Transaction relational = ToRelationalTransaction(tx);
+  ASSERT_EQ(relational.size(), 3u);  // 1 input + 2 outputs.
+  EXPECT_EQ(relational.items()[0].relation, "TxIn");
+  // TxIn(prevTxId, prevSer, pk, amount, newTxId, sig).
+  const Tuple& in_row = relational.items()[0].tuple;
+  EXPECT_EQ(in_row[0], Value::Int(10));
+  EXPECT_EQ(in_row[1], Value::Int(1));
+  EXPECT_EQ(in_row[2], Value::Str("U1Pk"));
+  EXPECT_EQ(in_row[4], Value::Int(tx.txid()));
+  EXPECT_EQ(in_row[5], Value::Str("U1Sig"));
+  // TxOut serials are 1-based.
+  EXPECT_EQ(relational.items()[1].tuple[1], Value::Int(1));
+  EXPECT_EQ(relational.items()[2].tuple[1], Value::Int(2));
+}
+
+TEST(ToRelationalTest, GeneratedWorkloadImageIsConsistent) {
+  GeneratorParams params;
+  params.seed = 3;
+  params.num_blocks = 30;
+  params.num_users = 10;
+  params.num_pending = 15;
+  params.num_contradictions = 3;
+  params.pending_chain_depth = 4;
+  params.star_size = 3;
+  params.rich_payments = 2;
+  auto workload = GenerateWorkload(params);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  auto db = BuildBlockchainDatabase(workload->node);
+  ASSERT_TRUE(db.ok()) << db.status();
+
+  // The confirmed chain satisfies the Example-1 constraints.
+  EXPECT_TRUE(db->ValidateCurrentState().ok());
+
+  // One pending relational transaction per mempool entry.
+  EXPECT_EQ(db->num_pending(), workload->node.mempool().size());
+
+  // Row counts line up with the node's stats.
+  const ChainStats chain_stats = workload->node.chain().Stats();
+  const auto txout_id = db->catalog().RelationId("TxOut");
+  const auto txin_id = db->catalog().RelationId("TxIn");
+  ASSERT_TRUE(txout_id.ok());
+  ASSERT_TRUE(txin_id.ok());
+  WorldView base = db->BaseView();
+  EXPECT_EQ(db->database().relation(*txout_id).CountVisible(base),
+            chain_stats.outputs);
+  EXPECT_EQ(db->database().relation(*txin_id).CountVisible(base),
+            chain_stats.inputs);
+
+  // Every individual mempool transaction whose parents are confirmed can be
+  // appended; the designated chain is appendable as a whole.
+  std::vector<PendingId> chain_ids;
+  for (PendingId id = 0; id < db->num_pending(); ++id) {
+    const BitcoinTransaction& tx =
+        workload->node.mempool().transactions()[id];
+    if (!tx.outputs().empty() &&
+        tx.outputs()[0].pubkey.rfind("ChainA", 0) == 0) {
+      chain_ids.push_back(id);
+    }
+  }
+  ASSERT_EQ(chain_ids.size(), params.pending_chain_depth);
+  EXPECT_TRUE(IsPossibleWorld(*db, chain_ids));
+}
+
+TEST(ToRelationalTest, ConflictingPendingPairIsNotAWorld) {
+  GeneratorParams params;
+  params.seed = 5;
+  params.num_blocks = 25;
+  params.num_users = 10;
+  params.num_pending = 12;
+  params.num_contradictions = 2;
+  params.pending_chain_depth = 3;
+  params.star_size = 2;
+  params.rich_payments = 2;
+  auto workload = GenerateWorkload(params);
+  ASSERT_TRUE(workload.ok());
+  auto db = BuildBlockchainDatabase(workload->node);
+  ASSERT_TRUE(db.ok());
+
+  const auto conflicts = workload->node.mempool().ConflictPairs();
+  ASSERT_FALSE(conflicts.empty());
+  for (const auto& [i, j] : conflicts) {
+    EXPECT_FALSE(IsPossibleWorld(*db, {i, j}));
+    EXPECT_TRUE(IsPossibleWorld(*db, {i}));
+    EXPECT_TRUE(IsPossibleWorld(*db, {j}));
+  }
+}
+
+}  // namespace
+}  // namespace bitcoin
+}  // namespace bcdb

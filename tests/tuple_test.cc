@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "relational/tuple.h"
+
+namespace bcdb {
+namespace {
+
+TEST(TupleTest, ArityAndAccess) {
+  Tuple t({Value::Int(1), Value::Str("x"), Value::Real(0.5)});
+  EXPECT_EQ(t.arity(), 3u);
+  EXPECT_EQ(t[0], Value::Int(1));
+  EXPECT_EQ(t.at(1), Value::Str("x"));
+}
+
+TEST(TupleTest, Equality) {
+  Tuple a({Value::Int(1), Value::Str("x")});
+  Tuple b({Value::Int(1), Value::Str("x")});
+  Tuple c({Value::Int(2), Value::Str("x")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(TupleTest, CrossTypeNumericTupleEquality) {
+  Tuple a({Value::Int(1)});
+  Tuple b({Value::Real(1.0)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(TupleTest, ProjectPreservesOrder) {
+  Tuple t({Value::Int(10), Value::Int(20), Value::Int(30)});
+  Tuple p = t.Project({2, 0});
+  ASSERT_EQ(p.arity(), 2u);
+  EXPECT_EQ(p[0], Value::Int(30));
+  EXPECT_EQ(p[1], Value::Int(10));
+}
+
+TEST(TupleTest, ProjectEmpty) {
+  Tuple t({Value::Int(1)});
+  EXPECT_EQ(t.Project({}).arity(), 0u);
+}
+
+TEST(TupleTest, EmptyTuplesEqual) {
+  EXPECT_EQ(Tuple(), Tuple({}));
+}
+
+TEST(TupleTest, ToString) {
+  Tuple t({Value::Int(1), Value::Str("a")});
+  EXPECT_EQ(t.ToString(), "(1, 'a')");
+  EXPECT_EQ(Tuple().ToString(), "()");
+}
+
+TEST(TupleTest, ArityChangesHash) {
+  Tuple a({Value::Int(1)});
+  Tuple b({Value::Int(1), Value::Int(1)});
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace bcdb

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "relational/value.h"
+
+namespace bcdb {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, FactoriesAndAccessors) {
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::Str("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, EqualitySameType) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+  EXPECT_NE(Value::Str("a"), Value::Str("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value::Int(1), Value::Real(1.0));
+  EXPECT_NE(Value::Int(1), Value::Real(1.5));
+  // Equal values must hash equally (hash-index invariant).
+  EXPECT_EQ(Value::Int(1).Hash(), Value::Real(1.0).Hash());
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_GT(Value::Real(2.5), Value::Int(2));
+  EXPECT_LT(Value::Str("abc"), Value::Str("abd"));
+  // NULL sorts before everything.
+  EXPECT_LT(Value::Null(), Value::Int(-100));
+}
+
+TEST(ValueTest, NumericVsStringOrdersByTypeTag) {
+  EXPECT_LT(Value::Int(999), Value::Str("a"));
+  EXPECT_NE(Value::Int(0), Value::Str("0"));
+}
+
+TEST(ValueTest, AsNumeric) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Real(0.5).AsNumeric(), 0.5);
+  EXPECT_TRUE(Value::Int(1).IsNumeric());
+  EXPECT_FALSE(Value::Str("1").IsNumeric());
+  EXPECT_FALSE(Value::Null().IsNumeric());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Str("x").ToString(), "'x'");
+  EXPECT_EQ(Value::Real(0.5).ToString(), "0.5");
+}
+
+TEST(ValueTest, CompareIsAntisymmetric) {
+  const Value values[] = {Value::Null(), Value::Int(1), Value::Real(1.5),
+                          Value::Str("a")};
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      EXPECT_EQ(a.Compare(b), -b.Compare(a))
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcdb

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "bitcoin/to_relational.h"
+#include "core/dcsat.h"
+#include "query/analysis.h"
+#include "workload/constraints.h"
+#include "workload/datasets.h"
+
+namespace bcdb {
+namespace workload {
+namespace {
+
+bitcoin::GeneratorParams TinyParams() {
+  bitcoin::GeneratorParams params;
+  params.seed = 11;
+  params.num_blocks = 40;
+  params.num_users = 12;
+  params.num_pending = 30;
+  params.num_contradictions = 4;
+  params.pending_chain_depth = 6;
+  params.star_size = 5;
+  params.rich_payments = 4;
+  return params;
+}
+
+TEST(WorkloadConstraintsTest, ShapesMatchThePaper) {
+  DenialConstraint qs = MakeSimpleConstraint("X");
+  EXPECT_EQ(qs.positive_atoms.size(), 1u);
+
+  DenialConstraint qp3 = MakePathConstraint(3, "X", "Y");
+  EXPECT_EQ(qp3.positive_atoms.size(), 4u);  // 2 hops × (TxOut + TxIn).
+  EXPECT_TRUE(qp3.comparisons.empty());
+
+  DenialConstraint qr3 = MakeStarConstraint(3, "X");
+  EXPECT_EQ(qr3.positive_atoms.size(), 6u);
+  EXPECT_EQ(qr3.comparisons.size(), 3u);  // Pairwise !=.
+
+  DenialConstraint qa = MakeAggregateConstraint("X", 100);
+  ASSERT_TRUE(qa.aggregate.has_value());
+  EXPECT_EQ(qa.aggregate->fn, AggregateFunction::kSum);
+  EXPECT_EQ(qa.aggregate->op, ComparisonOp::kGe);
+}
+
+TEST(WorkloadConstraintsTest, AnalysisClassesMatchThePaper) {
+  Catalog catalog = bitcoin::MakeBitcoinCatalog();
+  // qs, qp, qr: monotone and connected -> OptDCSat applies.
+  for (const DenialConstraint& q :
+       {MakeSimpleConstraint("X"), MakePathConstraint(3, "X", "Y"),
+        MakePathConstraint(5, "X", "Y"), MakeStarConstraint(3, "X")}) {
+    const QueryAnalysis analysis = AnalyzeQuery(q, catalog);
+    EXPECT_TRUE(analysis.monotone) << q.name;
+    EXPECT_TRUE(analysis.connected) << q.name;
+  }
+  // qa: monotone (sum >= over non-negative amounts) but not connected.
+  const QueryAnalysis agg = AnalyzeQuery(MakeAggregateConstraint("X", 5),
+                                         catalog);
+  EXPECT_TRUE(agg.monotone);
+  EXPECT_FALSE(agg.connected);
+}
+
+class WorkloadEndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto workload = bitcoin::GenerateWorkload(TinyParams());
+    ASSERT_TRUE(workload.ok()) << workload.status();
+    auto db = bitcoin::BuildBlockchainDatabase(workload->node);
+    ASSERT_TRUE(db.ok()) << db.status();
+    meta_ = new bitcoin::WorkloadMetadata(workload->metadata);
+    db_ = new BlockchainDatabase(std::move(*db));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete meta_;
+    db_ = nullptr;
+    meta_ = nullptr;
+  }
+
+  bool Satisfied(const DenialConstraint& q, DcSatAlgorithm algorithm) {
+    DcSatEngine engine(db_);
+    DcSatOptions options;
+    options.algorithm = algorithm;
+    auto result = engine.Check(q, options);
+    EXPECT_TRUE(result.ok()) << result.status() << " for " << q.ToString();
+    return result->satisfied;
+  }
+
+  static BlockchainDatabase* db_;
+  static bitcoin::WorkloadMetadata* meta_;
+};
+
+BlockchainDatabase* WorkloadEndToEndTest::db_ = nullptr;
+bitcoin::WorkloadMetadata* WorkloadEndToEndTest::meta_ = nullptr;
+
+TEST_F(WorkloadEndToEndTest, SimpleConstraint) {
+  EXPECT_FALSE(Satisfied(SimpleUnsat(*meta_), DcSatAlgorithm::kNaive));
+  EXPECT_FALSE(Satisfied(SimpleUnsat(*meta_), DcSatAlgorithm::kOpt));
+  EXPECT_TRUE(Satisfied(SimpleSat(*meta_), DcSatAlgorithm::kNaive));
+  EXPECT_TRUE(Satisfied(SimpleSat(*meta_), DcSatAlgorithm::kOpt));
+}
+
+TEST_F(WorkloadEndToEndTest, PathConstraints) {
+  for (std::size_t i : {2u, 3u, 4u, 5u}) {
+    EXPECT_FALSE(Satisfied(PathUnsat(*meta_, i), DcSatAlgorithm::kOpt))
+        << "qp" << i;
+    EXPECT_TRUE(Satisfied(PathSat(*meta_, i), DcSatAlgorithm::kOpt))
+        << "qp" << i;
+  }
+  EXPECT_FALSE(Satisfied(PathUnsat(*meta_, 3), DcSatAlgorithm::kNaive));
+  EXPECT_TRUE(Satisfied(PathSat(*meta_, 3), DcSatAlgorithm::kNaive));
+}
+
+TEST_F(WorkloadEndToEndTest, StarConstraints) {
+  for (std::size_t i : {2u, 3u, 5u}) {
+    EXPECT_FALSE(Satisfied(StarUnsat(*meta_, i), DcSatAlgorithm::kOpt))
+        << "qr" << i;
+    EXPECT_TRUE(Satisfied(StarSat(*meta_, i), DcSatAlgorithm::kOpt))
+        << "qr" << i;
+  }
+  // Asking for more transfers than the star has cannot be realized.
+  EXPECT_TRUE(Satisfied(StarUnsat(*meta_, TinyParams().star_size + 1),
+                        DcSatAlgorithm::kOpt));
+}
+
+TEST_F(WorkloadEndToEndTest, AggregateConstraints) {
+  EXPECT_FALSE(Satisfied(AggregateUnsat(*meta_), DcSatAlgorithm::kNaive));
+  EXPECT_TRUE(Satisfied(AggregateSat(*meta_), DcSatAlgorithm::kNaive));
+}
+
+TEST_F(WorkloadEndToEndTest, DistinctTransfersConstraint) {
+  // Paper q4 (Example 5): "X participated in at most n-1 transactions in
+  // which bitcoins were given to Y". The star user pays StarRcpt0Pk in
+  // exactly one pending transaction, so >= 1 is reachable and >= 2 is not.
+  DcSatEngine engine(db_);
+  auto reachable = engine.Check(MakeDistinctTransfersConstraint(
+      meta_->star_pk, "StarRcpt0Pk", 1));
+  ASSERT_TRUE(reachable.ok()) << reachable.status();
+  EXPECT_FALSE(reachable->satisfied);
+  EXPECT_EQ(reachable->stats.algorithm_used, DcSatAlgorithm::kNaive);
+
+  auto unreachable = engine.Check(MakeDistinctTransfersConstraint(
+      meta_->star_pk, "StarRcpt0Pk", 2));
+  ASSERT_TRUE(unreachable.ok());
+  EXPECT_TRUE(unreachable->satisfied);
+
+  // cntd with >= is monotone; the aggregate form is not connected.
+  const QueryAnalysis analysis = AnalyzeQuery(
+      MakeDistinctTransfersConstraint("X", "Y", 3), db_->catalog());
+  EXPECT_TRUE(analysis.monotone);
+  EXPECT_FALSE(analysis.connected);
+}
+
+TEST_F(WorkloadEndToEndTest, AutoDispatchMatchesThePaper) {
+  // Over the Bitcoin schema (keys + INDs: outside the tractable fragments),
+  // kAuto must route connected conjunctive families to OptDCSat and the
+  // disconnected aggregate family to NaiveDCSat — the paper's Section 7
+  // setup ("only NaiveDCSat for qa, as this query is not connected").
+  DcSatEngine engine(db_);
+  struct Case {
+    DenialConstraint q;
+    DcSatAlgorithm expected;
+  };
+  const Case cases[] = {
+      {SimpleUnsat(*meta_), DcSatAlgorithm::kOpt},
+      {PathUnsat(*meta_, 3), DcSatAlgorithm::kOpt},
+      {StarUnsat(*meta_, 3), DcSatAlgorithm::kOpt},
+      {AggregateUnsat(*meta_), DcSatAlgorithm::kNaive},
+  };
+  for (const Case& c : cases) {
+    auto result = engine.Check(c.q);
+    ASSERT_TRUE(result.ok()) << c.q.ToString();
+    EXPECT_EQ(result->stats.algorithm_used, c.expected) << c.q.ToString();
+    EXPECT_FALSE(result->satisfied) << c.q.ToString();
+  }
+}
+
+TEST(DatasetsTest, SpecsAreOrdered) {
+  const DatasetSpec s100 = S100();
+  const DatasetSpec s200 = S200();
+  const DatasetSpec s300 = S300();
+  EXPECT_LT(s100.params.num_blocks, s200.params.num_blocks);
+  EXPECT_LT(s200.params.num_blocks, s300.params.num_blocks);
+  // Pending totals mirror the paper's Table 1.
+  auto total = [](const bitcoin::GeneratorParams& p) {
+    return p.num_pending + p.pending_chain_depth + p.star_size +
+           p.rich_payments + p.num_contradictions;
+  };
+  EXPECT_EQ(total(s100.params), 2741u);
+  EXPECT_EQ(total(s200.params), 3733u);
+  EXPECT_EQ(total(s300.params), 2766u);
+  EXPECT_EQ(AllDatasets().size(), 3u);
+  EXPECT_EQ(DefaultDataset().name, "S200");
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace bcdb
