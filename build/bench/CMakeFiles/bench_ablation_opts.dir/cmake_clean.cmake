@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_opts.dir/bench_ablation_opts.cc.o"
+  "CMakeFiles/bench_ablation_opts.dir/bench_ablation_opts.cc.o.d"
+  "bench_ablation_opts"
+  "bench_ablation_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exhaustive_blowup.dir/bench_exhaustive_blowup.cc.o"
+  "CMakeFiles/bench_exhaustive_blowup.dir/bench_exhaustive_blowup.cc.o.d"
+  "bench_exhaustive_blowup"
+  "bench_exhaustive_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exhaustive_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

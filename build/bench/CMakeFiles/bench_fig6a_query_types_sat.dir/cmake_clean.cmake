@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_query_types_sat.dir/bench_fig6a_query_types_sat.cc.o"
+  "CMakeFiles/bench_fig6a_query_types_sat.dir/bench_fig6a_query_types_sat.cc.o.d"
+  "bench_fig6a_query_types_sat"
+  "bench_fig6a_query_types_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_query_types_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_query_types_unsat.dir/bench_fig6b_query_types_unsat.cc.o"
+  "CMakeFiles/bench_fig6b_query_types_unsat.dir/bench_fig6b_query_types_unsat.cc.o.d"
+  "bench_fig6b_query_types_unsat"
+  "bench_fig6b_query_types_unsat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_query_types_unsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

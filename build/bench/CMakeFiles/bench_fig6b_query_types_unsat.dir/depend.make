@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6b_query_types_unsat.
+# This may be replaced when dependencies are built.

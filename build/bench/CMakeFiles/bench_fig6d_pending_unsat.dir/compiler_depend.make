@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6d_pending_unsat.
+# This may be replaced when dependencies are built.

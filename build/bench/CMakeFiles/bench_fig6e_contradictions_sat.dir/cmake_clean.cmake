@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6e_contradictions_sat.dir/bench_fig6e_contradictions_sat.cc.o"
+  "CMakeFiles/bench_fig6e_contradictions_sat.dir/bench_fig6e_contradictions_sat.cc.o.d"
+  "bench_fig6e_contradictions_sat"
+  "bench_fig6e_contradictions_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6e_contradictions_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

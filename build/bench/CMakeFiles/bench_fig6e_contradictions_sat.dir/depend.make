@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6e_contradictions_sat.
+# This may be replaced when dependencies are built.

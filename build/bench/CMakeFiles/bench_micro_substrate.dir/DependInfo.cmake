@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_substrate.cc" "bench/CMakeFiles/bench_micro_substrate.dir/bench_micro_substrate.cc.o" "gcc" "bench/CMakeFiles/bench_micro_substrate.dir/bench_micro_substrate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/network/CMakeFiles/bcdb_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bcdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bcdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/bcdb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/bcdb_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/bcdb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bcdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_gossip.dir/bench_network_gossip.cc.o"
+  "CMakeFiles/bench_network_gossip.dir/bench_network_gossip.cc.o.d"
+  "bench_network_gossip"
+  "bench_network_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

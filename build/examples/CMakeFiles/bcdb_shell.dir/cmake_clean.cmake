@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcdb_shell.dir/bcdb_shell.cpp.o"
+  "CMakeFiles/bcdb_shell.dir/bcdb_shell.cpp.o.d"
+  "bcdb_shell"
+  "bcdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escrow_settlement.dir/escrow_settlement.cpp.o"
+  "CMakeFiles/escrow_settlement.dir/escrow_settlement.cpp.o.d"
+  "escrow_settlement"
+  "escrow_settlement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escrow_settlement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

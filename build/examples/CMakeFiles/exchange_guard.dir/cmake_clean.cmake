@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exchange_guard.dir/exchange_guard.cpp.o"
+  "CMakeFiles/exchange_guard.dir/exchange_guard.cpp.o.d"
+  "exchange_guard"
+  "exchange_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exchange_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempool_monitor.dir/mempool_monitor.cpp.o"
+  "CMakeFiles/mempool_monitor.dir/mempool_monitor.cpp.o.d"
+  "mempool_monitor"
+  "mempool_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempool_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

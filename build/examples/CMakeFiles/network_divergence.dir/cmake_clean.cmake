@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_divergence.dir/network_divergence.cpp.o"
+  "CMakeFiles/network_divergence.dir/network_divergence.cpp.o.d"
+  "network_divergence"
+  "network_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

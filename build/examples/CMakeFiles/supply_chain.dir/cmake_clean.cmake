@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supply_chain.dir/supply_chain.cpp.o"
+  "CMakeFiles/supply_chain.dir/supply_chain.cpp.o.d"
+  "supply_chain"
+  "supply_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supply_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for supply_chain.
+# This may be replaced when dependencies are built.

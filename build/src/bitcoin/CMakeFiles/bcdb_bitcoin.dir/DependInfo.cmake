@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitcoin/block.cc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/block.cc.o" "gcc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/block.cc.o.d"
+  "/root/repo/src/bitcoin/chain.cc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/chain.cc.o" "gcc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/chain.cc.o.d"
+  "/root/repo/src/bitcoin/generator.cc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/generator.cc.o" "gcc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/generator.cc.o.d"
+  "/root/repo/src/bitcoin/mempool.cc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/mempool.cc.o" "gcc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/mempool.cc.o.d"
+  "/root/repo/src/bitcoin/miner.cc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/miner.cc.o" "gcc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/miner.cc.o.d"
+  "/root/repo/src/bitcoin/node.cc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/node.cc.o" "gcc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/node.cc.o.d"
+  "/root/repo/src/bitcoin/script.cc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/script.cc.o" "gcc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/script.cc.o.d"
+  "/root/repo/src/bitcoin/serialize.cc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/serialize.cc.o" "gcc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/serialize.cc.o.d"
+  "/root/repo/src/bitcoin/sha256.cc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/sha256.cc.o" "gcc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/sha256.cc.o.d"
+  "/root/repo/src/bitcoin/to_relational.cc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/to_relational.cc.o" "gcc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/to_relational.cc.o.d"
+  "/root/repo/src/bitcoin/transaction.cc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/transaction.cc.o" "gcc" "src/bitcoin/CMakeFiles/bcdb_bitcoin.dir/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bcdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bcdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/bcdb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/bcdb_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/bcdb_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcdb_bitcoin.dir/block.cc.o"
+  "CMakeFiles/bcdb_bitcoin.dir/block.cc.o.d"
+  "CMakeFiles/bcdb_bitcoin.dir/chain.cc.o"
+  "CMakeFiles/bcdb_bitcoin.dir/chain.cc.o.d"
+  "CMakeFiles/bcdb_bitcoin.dir/generator.cc.o"
+  "CMakeFiles/bcdb_bitcoin.dir/generator.cc.o.d"
+  "CMakeFiles/bcdb_bitcoin.dir/mempool.cc.o"
+  "CMakeFiles/bcdb_bitcoin.dir/mempool.cc.o.d"
+  "CMakeFiles/bcdb_bitcoin.dir/miner.cc.o"
+  "CMakeFiles/bcdb_bitcoin.dir/miner.cc.o.d"
+  "CMakeFiles/bcdb_bitcoin.dir/node.cc.o"
+  "CMakeFiles/bcdb_bitcoin.dir/node.cc.o.d"
+  "CMakeFiles/bcdb_bitcoin.dir/script.cc.o"
+  "CMakeFiles/bcdb_bitcoin.dir/script.cc.o.d"
+  "CMakeFiles/bcdb_bitcoin.dir/serialize.cc.o"
+  "CMakeFiles/bcdb_bitcoin.dir/serialize.cc.o.d"
+  "CMakeFiles/bcdb_bitcoin.dir/sha256.cc.o"
+  "CMakeFiles/bcdb_bitcoin.dir/sha256.cc.o.d"
+  "CMakeFiles/bcdb_bitcoin.dir/to_relational.cc.o"
+  "CMakeFiles/bcdb_bitcoin.dir/to_relational.cc.o.d"
+  "CMakeFiles/bcdb_bitcoin.dir/transaction.cc.o"
+  "CMakeFiles/bcdb_bitcoin.dir/transaction.cc.o.d"
+  "libbcdb_bitcoin.a"
+  "libbcdb_bitcoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcdb_bitcoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/checker.cc" "src/constraints/CMakeFiles/bcdb_constraints.dir/checker.cc.o" "gcc" "src/constraints/CMakeFiles/bcdb_constraints.dir/checker.cc.o.d"
+  "/root/repo/src/constraints/constraint.cc" "src/constraints/CMakeFiles/bcdb_constraints.dir/constraint.cc.o" "gcc" "src/constraints/CMakeFiles/bcdb_constraints.dir/constraint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/bcdb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bcdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

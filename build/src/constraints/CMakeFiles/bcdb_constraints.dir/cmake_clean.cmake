@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcdb_constraints.dir/checker.cc.o"
+  "CMakeFiles/bcdb_constraints.dir/checker.cc.o.d"
+  "CMakeFiles/bcdb_constraints.dir/constraint.cc.o"
+  "CMakeFiles/bcdb_constraints.dir/constraint.cc.o.d"
+  "libbcdb_constraints.a"
+  "libbcdb_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcdb_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

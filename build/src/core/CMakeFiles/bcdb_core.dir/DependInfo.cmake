@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/answers.cc" "src/core/CMakeFiles/bcdb_core.dir/answers.cc.o" "gcc" "src/core/CMakeFiles/bcdb_core.dir/answers.cc.o.d"
+  "/root/repo/src/core/blockchain_db.cc" "src/core/CMakeFiles/bcdb_core.dir/blockchain_db.cc.o" "gcc" "src/core/CMakeFiles/bcdb_core.dir/blockchain_db.cc.o.d"
+  "/root/repo/src/core/bron_kerbosch.cc" "src/core/CMakeFiles/bcdb_core.dir/bron_kerbosch.cc.o" "gcc" "src/core/CMakeFiles/bcdb_core.dir/bron_kerbosch.cc.o.d"
+  "/root/repo/src/core/contradiction.cc" "src/core/CMakeFiles/bcdb_core.dir/contradiction.cc.o" "gcc" "src/core/CMakeFiles/bcdb_core.dir/contradiction.cc.o.d"
+  "/root/repo/src/core/dcsat.cc" "src/core/CMakeFiles/bcdb_core.dir/dcsat.cc.o" "gcc" "src/core/CMakeFiles/bcdb_core.dir/dcsat.cc.o.d"
+  "/root/repo/src/core/fd_graph.cc" "src/core/CMakeFiles/bcdb_core.dir/fd_graph.cc.o" "gcc" "src/core/CMakeFiles/bcdb_core.dir/fd_graph.cc.o.d"
+  "/root/repo/src/core/get_maximal.cc" "src/core/CMakeFiles/bcdb_core.dir/get_maximal.cc.o" "gcc" "src/core/CMakeFiles/bcdb_core.dir/get_maximal.cc.o.d"
+  "/root/repo/src/core/ind_graph.cc" "src/core/CMakeFiles/bcdb_core.dir/ind_graph.cc.o" "gcc" "src/core/CMakeFiles/bcdb_core.dir/ind_graph.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/bcdb_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/bcdb_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/possible_worlds.cc" "src/core/CMakeFiles/bcdb_core.dir/possible_worlds.cc.o" "gcc" "src/core/CMakeFiles/bcdb_core.dir/possible_worlds.cc.o.d"
+  "/root/repo/src/core/probability.cc" "src/core/CMakeFiles/bcdb_core.dir/probability.cc.o" "gcc" "src/core/CMakeFiles/bcdb_core.dir/probability.cc.o.d"
+  "/root/repo/src/core/tractable.cc" "src/core/CMakeFiles/bcdb_core.dir/tractable.cc.o" "gcc" "src/core/CMakeFiles/bcdb_core.dir/tractable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/bcdb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/bcdb_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/bcdb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bcdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcdb_core.dir/answers.cc.o"
+  "CMakeFiles/bcdb_core.dir/answers.cc.o.d"
+  "CMakeFiles/bcdb_core.dir/blockchain_db.cc.o"
+  "CMakeFiles/bcdb_core.dir/blockchain_db.cc.o.d"
+  "CMakeFiles/bcdb_core.dir/bron_kerbosch.cc.o"
+  "CMakeFiles/bcdb_core.dir/bron_kerbosch.cc.o.d"
+  "CMakeFiles/bcdb_core.dir/contradiction.cc.o"
+  "CMakeFiles/bcdb_core.dir/contradiction.cc.o.d"
+  "CMakeFiles/bcdb_core.dir/dcsat.cc.o"
+  "CMakeFiles/bcdb_core.dir/dcsat.cc.o.d"
+  "CMakeFiles/bcdb_core.dir/fd_graph.cc.o"
+  "CMakeFiles/bcdb_core.dir/fd_graph.cc.o.d"
+  "CMakeFiles/bcdb_core.dir/get_maximal.cc.o"
+  "CMakeFiles/bcdb_core.dir/get_maximal.cc.o.d"
+  "CMakeFiles/bcdb_core.dir/ind_graph.cc.o"
+  "CMakeFiles/bcdb_core.dir/ind_graph.cc.o.d"
+  "CMakeFiles/bcdb_core.dir/monitor.cc.o"
+  "CMakeFiles/bcdb_core.dir/monitor.cc.o.d"
+  "CMakeFiles/bcdb_core.dir/possible_worlds.cc.o"
+  "CMakeFiles/bcdb_core.dir/possible_worlds.cc.o.d"
+  "CMakeFiles/bcdb_core.dir/probability.cc.o"
+  "CMakeFiles/bcdb_core.dir/probability.cc.o.d"
+  "CMakeFiles/bcdb_core.dir/tractable.cc.o"
+  "CMakeFiles/bcdb_core.dir/tractable.cc.o.d"
+  "libbcdb_core.a"
+  "libbcdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

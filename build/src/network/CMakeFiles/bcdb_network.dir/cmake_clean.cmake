@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcdb_network.dir/simulator.cc.o"
+  "CMakeFiles/bcdb_network.dir/simulator.cc.o.d"
+  "libbcdb_network.a"
+  "libbcdb_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcdb_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/analysis.cc" "src/query/CMakeFiles/bcdb_query.dir/analysis.cc.o" "gcc" "src/query/CMakeFiles/bcdb_query.dir/analysis.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/query/CMakeFiles/bcdb_query.dir/ast.cc.o" "gcc" "src/query/CMakeFiles/bcdb_query.dir/ast.cc.o.d"
+  "/root/repo/src/query/compiled_query.cc" "src/query/CMakeFiles/bcdb_query.dir/compiled_query.cc.o" "gcc" "src/query/CMakeFiles/bcdb_query.dir/compiled_query.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/bcdb_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/bcdb_query.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraints/CMakeFiles/bcdb_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/bcdb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bcdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

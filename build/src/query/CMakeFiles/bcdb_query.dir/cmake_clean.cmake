@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcdb_query.dir/analysis.cc.o"
+  "CMakeFiles/bcdb_query.dir/analysis.cc.o.d"
+  "CMakeFiles/bcdb_query.dir/ast.cc.o"
+  "CMakeFiles/bcdb_query.dir/ast.cc.o.d"
+  "CMakeFiles/bcdb_query.dir/compiled_query.cc.o"
+  "CMakeFiles/bcdb_query.dir/compiled_query.cc.o.d"
+  "CMakeFiles/bcdb_query.dir/parser.cc.o"
+  "CMakeFiles/bcdb_query.dir/parser.cc.o.d"
+  "libbcdb_query.a"
+  "libbcdb_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcdb_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

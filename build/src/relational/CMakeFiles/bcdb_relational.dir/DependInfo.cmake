@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/database.cc" "src/relational/CMakeFiles/bcdb_relational.dir/database.cc.o" "gcc" "src/relational/CMakeFiles/bcdb_relational.dir/database.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/relational/CMakeFiles/bcdb_relational.dir/relation.cc.o" "gcc" "src/relational/CMakeFiles/bcdb_relational.dir/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/bcdb_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/bcdb_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/relational/CMakeFiles/bcdb_relational.dir/tuple.cc.o" "gcc" "src/relational/CMakeFiles/bcdb_relational.dir/tuple.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/relational/CMakeFiles/bcdb_relational.dir/value.cc.o" "gcc" "src/relational/CMakeFiles/bcdb_relational.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bcdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

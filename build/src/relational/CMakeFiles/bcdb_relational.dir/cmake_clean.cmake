@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcdb_relational.dir/database.cc.o"
+  "CMakeFiles/bcdb_relational.dir/database.cc.o.d"
+  "CMakeFiles/bcdb_relational.dir/relation.cc.o"
+  "CMakeFiles/bcdb_relational.dir/relation.cc.o.d"
+  "CMakeFiles/bcdb_relational.dir/schema.cc.o"
+  "CMakeFiles/bcdb_relational.dir/schema.cc.o.d"
+  "CMakeFiles/bcdb_relational.dir/tuple.cc.o"
+  "CMakeFiles/bcdb_relational.dir/tuple.cc.o.d"
+  "CMakeFiles/bcdb_relational.dir/value.cc.o"
+  "CMakeFiles/bcdb_relational.dir/value.cc.o.d"
+  "libbcdb_relational.a"
+  "libbcdb_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcdb_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

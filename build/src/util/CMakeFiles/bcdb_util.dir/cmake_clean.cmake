@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcdb_util.dir/status.cc.o"
+  "CMakeFiles/bcdb_util.dir/status.cc.o.d"
+  "CMakeFiles/bcdb_util.dir/strings.cc.o"
+  "CMakeFiles/bcdb_util.dir/strings.cc.o.d"
+  "libbcdb_util.a"
+  "libbcdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

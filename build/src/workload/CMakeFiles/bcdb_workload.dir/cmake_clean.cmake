@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcdb_workload.dir/constraints.cc.o"
+  "CMakeFiles/bcdb_workload.dir/constraints.cc.o.d"
+  "CMakeFiles/bcdb_workload.dir/datasets.cc.o"
+  "CMakeFiles/bcdb_workload.dir/datasets.cc.o.d"
+  "libbcdb_workload.a"
+  "libbcdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

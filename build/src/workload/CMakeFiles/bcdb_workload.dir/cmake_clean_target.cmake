@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbcdb_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answers_test.dir/answers_test.cc.o"
+  "CMakeFiles/answers_test.dir/answers_test.cc.o.d"
+  "answers_test"
+  "answers_test.pdb"
+  "answers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

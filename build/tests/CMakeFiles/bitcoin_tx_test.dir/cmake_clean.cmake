@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitcoin_tx_test.dir/bitcoin_tx_test.cc.o"
+  "CMakeFiles/bitcoin_tx_test.dir/bitcoin_tx_test.cc.o.d"
+  "bitcoin_tx_test"
+  "bitcoin_tx_test.pdb"
+  "bitcoin_tx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitcoin_tx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

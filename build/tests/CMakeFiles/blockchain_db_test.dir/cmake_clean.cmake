@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockchain_db_test.dir/blockchain_db_test.cc.o"
+  "CMakeFiles/blockchain_db_test.dir/blockchain_db_test.cc.o.d"
+  "blockchain_db_test"
+  "blockchain_db_test.pdb"
+  "blockchain_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockchain_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_test.dir/chain_test.cc.o"
+  "CMakeFiles/chain_test.dir/chain_test.cc.o.d"
+  "chain_test"
+  "chain_test.pdb"
+  "chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

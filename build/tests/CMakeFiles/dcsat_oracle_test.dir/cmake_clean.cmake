@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsat_oracle_test.dir/dcsat_oracle_test.cc.o"
+  "CMakeFiles/dcsat_oracle_test.dir/dcsat_oracle_test.cc.o.d"
+  "dcsat_oracle_test"
+  "dcsat_oracle_test.pdb"
+  "dcsat_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsat_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsat_test.dir/dcsat_test.cc.o"
+  "CMakeFiles/dcsat_test.dir/dcsat_test.cc.o.d"
+  "dcsat_test"
+  "dcsat_test.pdb"
+  "dcsat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_units_test.dir/graph_units_test.cc.o"
+  "CMakeFiles/graph_units_test.dir/graph_units_test.cc.o.d"
+  "graph_units_test"
+  "graph_units_test.pdb"
+  "graph_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

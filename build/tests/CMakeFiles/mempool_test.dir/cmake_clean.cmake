@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempool_test.dir/mempool_test.cc.o"
+  "CMakeFiles/mempool_test.dir/mempool_test.cc.o.d"
+  "mempool_test"
+  "mempool_test.pdb"
+  "mempool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_test.dir/miner_test.cc.o"
+  "CMakeFiles/miner_test.dir/miner_test.cc.o.d"
+  "miner_test"
+  "miner_test.pdb"
+  "miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

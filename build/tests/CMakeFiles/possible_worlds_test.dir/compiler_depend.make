@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for possible_worlds_test.
+# This may be replaced when dependencies are built.

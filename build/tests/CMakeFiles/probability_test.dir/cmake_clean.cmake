@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probability_test.dir/probability_test.cc.o"
+  "CMakeFiles/probability_test.dir/probability_test.cc.o.d"
+  "probability_test"
+  "probability_test.pdb"
+  "probability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_model_test.dir/relation_model_test.cc.o"
+  "CMakeFiles/relation_model_test.dir/relation_model_test.cc.o.d"
+  "relation_model_test"
+  "relation_model_test.pdb"
+  "relation_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

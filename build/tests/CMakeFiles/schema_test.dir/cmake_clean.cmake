@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_test.dir/schema_test.cc.o"
+  "CMakeFiles/schema_test.dir/schema_test.cc.o.d"
+  "schema_test"
+  "schema_test.pdb"
+  "schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_relational_test.dir/to_relational_test.cc.o"
+  "CMakeFiles/to_relational_test.dir/to_relational_test.cc.o.d"
+  "to_relational_test"
+  "to_relational_test.pdb"
+  "to_relational_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_relational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tractable_test.dir/tractable_test.cc.o"
+  "CMakeFiles/tractable_test.dir/tractable_test.cc.o.d"
+  "tractable_test"
+  "tractable_test.pdb"
+  "tractable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tractable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
