@@ -2,9 +2,12 @@
 #define BCDB_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 #include <benchmark/benchmark.h>
 
 #include "bitcoin/generator.h"
@@ -16,6 +19,71 @@
 
 namespace bcdb {
 namespace bench {
+
+/// The DcSatOptions::num_threads value every registered benchmark runs with.
+/// Defaults to 1 (the serial reference path); set by --bcdb_threads=N on the
+/// command line or the BCDB_NUM_THREADS environment variable (0 = hardware
+/// concurrency).
+inline std::size_t& BenchNumThreads() {
+  static std::size_t num_threads = 1;
+  return num_threads;
+}
+
+/// Parses and strips the --bcdb_threads=N flag (google-benchmark rejects
+/// flags it doesn't know) and reads BCDB_NUM_THREADS. Call before
+/// benchmark::Initialize.
+inline void ApplyThreadFlag(int* argc, char** argv) {
+  if (const char* env = std::getenv("BCDB_NUM_THREADS")) {
+    BenchNumThreads() = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  }
+  constexpr const char kFlag[] = "--bcdb_threads=";
+  int out = 0;
+  for (int i = 0; i < *argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      BenchNumThreads() = static_cast<std::size_t>(
+          std::strtoul(argv[i] + sizeof(kFlag) - 1, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// One row of the machine-readable perf trajectory emitted next to a bench.
+struct BenchJsonRow {
+  std::string dataset;
+  std::string workload;
+  std::size_t threads = 1;
+  double seconds = 0;
+  double speedup = 1;
+  bool satisfied = false;
+};
+
+/// Writes rows as a JSON array to `path` (e.g. BENCH_parallel_scaling.json)
+/// so future sessions can track perf regressions without re-parsing logs.
+inline void WriteBenchJson(const std::string& path,
+                           const std::vector<BenchJsonRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchJsonRow& r = rows[i];
+    std::fprintf(f,
+                 "  {\"dataset\": \"%s\", \"workload\": \"%s\", "
+                 "\"threads\": %zu, \"seconds\": %.6f, \"speedup\": %.3f, "
+                 "\"satisfied\": %s}%s\n",
+                 r.dataset.c_str(), r.workload.c_str(), r.threads, r.seconds,
+                 r.speedup, r.satisfied ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[json] wrote %zu rows to %s\n", rows.size(),
+               path.c_str());
+}
 
 /// A generated dataset ready for DCSat runs: the simulated node, its
 /// relational image, and the landmark metadata for constraint construction.
@@ -101,6 +169,8 @@ inline void RegisterDcSat(const std::string& name, DcSatEngine* engine,
             static_cast<double>(last.stats.num_cliques);
         state.counters["components"] =
             static_cast<double>(last.stats.num_components);
+        state.counters["threads"] =
+            static_cast<double>(last.stats.threads_used);
       })
       ->Unit(benchmark::kMillisecond);
 }
@@ -108,12 +178,14 @@ inline void RegisterDcSat(const std::string& name, DcSatEngine* engine,
 inline DcSatOptions NaiveOptions() {
   DcSatOptions options;
   options.algorithm = DcSatAlgorithm::kNaive;
+  options.num_threads = BenchNumThreads();
   return options;
 }
 
 inline DcSatOptions OptOptions() {
   DcSatOptions options;
   options.algorithm = DcSatAlgorithm::kOpt;
+  options.num_threads = BenchNumThreads();
   return options;
 }
 

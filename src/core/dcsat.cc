@@ -1,6 +1,7 @@
 #include "core/dcsat.h"
 
 #include <algorithm>
+#include <future>
 
 #include "core/bron_kerbosch.h"
 #include "core/get_maximal.h"
@@ -37,6 +38,17 @@ std::vector<PendingId> WitnessOf(const WorldView& view) {
   return ids;
 }
 
+/// Everything one parallel component task produces; merged by index order
+/// after all futures join, so the aggregate result is deterministic.
+struct ComponentOutcome {
+  bool covered = false;
+  bool violated = false;
+  bool cancelled = false;
+  std::optional<std::vector<PendingId>> witness;
+  std::size_t cliques = 0;
+  std::size_t worlds = 0;
+};
+
 }  // namespace
 
 const FdGraph& DcSatEngine::PrepareSteadyState() {
@@ -45,7 +57,11 @@ const FdGraph& DcSatEngine::PrepareSteadyState() {
 }
 
 void DcSatEngine::RefreshCaches() {
-  if (cached_version_ == db_->version() && fd_graph_.has_value()) return;
+  if (cached_version_ == db_->version() && fd_graph_.has_value()) {
+    ++cache_hits_;
+    return;
+  }
+  ++cache_misses_;
   fd_graph_.emplace(*db_);
   theta_i_components_.emplace(db_->num_pending());
   MergeEqualityComponents(*db_,
@@ -54,12 +70,45 @@ void DcSatEngine::RefreshCaches() {
   cached_version_ = db_->version();
 }
 
+std::shared_ptr<ThreadPool> DcSatEngine::PoolFor(
+    std::size_t num_workers) const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_ == nullptr || pool_->num_threads() != num_workers) {
+    pool_ = std::make_shared<ThreadPool>(num_workers);
+  }
+  return pool_;
+}
+
 StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
                                          const DcSatOptions& options) {
   Stopwatch total_watch;
   StatusOr<CompiledQuery> compiled =
       CompiledQuery::Compile(q, &db_->database());
   if (!compiled.ok()) return compiled.status();
+  const bool cache_hit =
+      cached_version_ == db_->version() && fd_graph_.has_value();
+  RefreshCaches();
+  return CheckImpl(q, *compiled, options, &uf_scratch_, cache_hit,
+                   total_watch);
+}
+
+StatusOr<DcSatResult> DcSatEngine::CheckPrepared(
+    const DenialConstraint& q, const CompiledQuery& compiled,
+    const DcSatOptions& options) const {
+  Stopwatch total_watch;
+  if (cached_version_ != db_->version() || !fd_graph_.has_value()) {
+    return Status::Internal(
+        "CheckPrepared requires fresh steady-state caches; call "
+        "PrepareSteadyState after the last database mutation");
+  }
+  return CheckImpl(q, compiled, options, /*scratch=*/nullptr,
+                   /*cache_hit=*/true, total_watch);
+}
+
+StatusOr<DcSatResult> DcSatEngine::CheckImpl(
+    const DenialConstraint& q, const CompiledQuery& compiled,
+    const DcSatOptions& options, UnionFind* scratch, bool cache_hit,
+    const Stopwatch& total_watch) const {
   const QueryAnalysis analysis = AnalyzeQuery(q, db_->catalog());
 
   // Resolve kAuto and reject unsound explicit choices.
@@ -69,10 +118,10 @@ StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
         "the tractable fragments are selected automatically; use kAuto");
   }
   if (algorithm == DcSatAlgorithm::kAuto && options.use_tractable_fragments) {
-    RefreshCaches();
     std::optional<DcSatResult> tractable =
-        TryTractableDcSat(*db_, *fd_graph_, q);
+        TryTractableDcSat(*db_, *fd_graph_, q, &compiled);
     if (tractable.has_value()) {
+      tractable->stats.steady_cache_hit = cache_hit;
       tractable->stats.total_seconds = total_watch.ElapsedSeconds();
       return *tractable;
     }
@@ -103,6 +152,7 @@ StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
   DcSatResult result;
   result.stats.algorithm_used = algorithm;
   result.stats.num_pending = db_->PendingIds().size();
+  result.stats.steady_cache_hit = cache_hit;
 
   if (algorithm == DcSatAlgorithm::kExhaustive) {
     StatusOr<std::vector<WorldView>> worlds =
@@ -111,7 +161,7 @@ StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
     result.satisfied = true;
     for (const WorldView& world : *worlds) {
       ++result.stats.num_worlds_evaluated;
-      if (compiled->Evaluate(world)) {
+      if (compiled.Evaluate(world)) {
         result.satisfied = false;
         result.witness = WitnessOf(world);
         break;
@@ -123,7 +173,7 @@ StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
 
   // --- Monotone pre-check over R ∪ T (Section 6.3). ---
   if (options.use_precheck) {
-    if (!compiled->Evaluate(db_->PendingUnionView())) {
+    if (!compiled.Evaluate(db_->PendingUnionView())) {
       result.satisfied = true;
       result.stats.precheck_decided = true;
       result.stats.total_seconds = total_watch.ElapsedSeconds();
@@ -131,16 +181,15 @@ StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
     }
   }
 
-  // --- Steady-state structures. ---
+  // --- Steady-state structures (kept fresh by the caller). ---
   Stopwatch graph_watch;
-  RefreshCaches();
   const FdGraph& fd_graph = *fd_graph_;
   result.stats.num_valid_nodes = fd_graph.valid_nodes().Count();
   result.stats.fd_conflict_pairs = fd_graph.num_conflict_pairs();
 
   // The base world R is itself a possible world; the clique search below
   // reaches it only when a component is empty, so check it once up front.
-  if (compiled->Evaluate(db_->BaseView())) {
+  if (compiled.Evaluate(db_->BaseView())) {
     result.satisfied = false;
     result.witness = std::vector<PendingId>{};
     ++result.stats.num_worlds_evaluated;
@@ -152,7 +201,9 @@ StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
   // --- Component structure (OptDCSat) or one big component (Naive). ---
   std::vector<std::vector<PendingId>> components;
   if (algorithm == DcSatAlgorithm::kOpt) {
-    UnionFind uf = *theta_i_components_;  // Θ_I precomputed; add Θ_q.
+    UnionFind local{0};
+    UnionFind& uf = scratch != nullptr ? *scratch : local;
+    uf.CopyFrom(*theta_i_components_);  // Θ_I precomputed; add Θ_q.
     StatusOr<std::vector<EqualityConstraint>> theta_q =
         EqualitiesFromQuery(q, db_->catalog());
     if (!theta_q.ok()) return theta_q.status();
@@ -165,7 +216,16 @@ StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
   result.stats.num_components = components.size();
   result.stats.graph_seconds = graph_watch.ElapsedSeconds();
 
-  // --- Clique search per component. ---
+  const std::size_t num_workers = std::min(
+      ThreadPool::EffectiveThreads(options.num_threads), components.size());
+  if (num_workers > 1) {
+    ParallelComponentSearch(compiled, options, components, num_workers,
+                            result);
+    result.stats.total_seconds = total_watch.ElapsedSeconds();
+    return result;
+  }
+
+  // --- Serial clique search per component (the reference path). ---
   result.satisfied = true;
   for (const std::vector<PendingId>& component : components) {
     if (algorithm == DcSatAlgorithm::kOpt && options.use_covers) {
@@ -173,7 +233,7 @@ StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
       for (PendingId id : component) {
         cover_view.Activate(static_cast<TupleOwner>(id));
       }
-      if (!compiled->CoversConstants(cover_view)) continue;
+      if (!compiled.CoversConstants(cover_view)) continue;
     }
     ++result.stats.num_components_covered;
 
@@ -185,7 +245,7 @@ StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
         [&](const std::vector<std::size_t>& clique) {
           const WorldView world = GetMaximal(*db_, clique);
           ++result.stats.num_worlds_evaluated;
-          if (compiled->Evaluate(world)) {
+          if (compiled.Evaluate(world)) {
             result.satisfied = false;
             result.witness = WitnessOf(world);
             return false;  // Stop: one violating world suffices.
@@ -198,6 +258,97 @@ StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
 
   result.stats.total_seconds = total_watch.ElapsedSeconds();
   return result;
+}
+
+void DcSatEngine::ParallelComponentSearch(
+    const CompiledQuery& compiled, const DcSatOptions& options,
+    const std::vector<std::vector<PendingId>>& components,
+    std::size_t num_workers, DcSatResult& result) const {
+  const FdGraph& fd_graph = *fd_graph_;
+  const bool check_covers =
+      result.stats.algorithm_used == DcSatAlgorithm::kOpt &&
+      options.use_covers;
+
+  // Deterministic-result rule: the serial algorithm reports the violating
+  // world of the first violating component in scan order. A task may
+  // therefore abandon its search only once a *lower-index* component has
+  // violated; the token's rank limit carries exactly that information.
+  CancellationToken cancel;
+  std::vector<ComponentOutcome> outcomes(components.size());
+
+  // One task per contiguous chunk of components rather than per component:
+  // typical components are a handful of transactions, far below the pool's
+  // task overhead. A few chunks per worker keeps the stealing deques busy
+  // for load balancing without drowning in bookkeeping. Cancellation ranks
+  // stay per-*component*, so chunking cannot change the decided result.
+  const std::size_t num_chunks = std::min(components.size(), num_workers * 8);
+  const std::size_t chunk_size =
+      (components.size() + num_chunks - 1) / num_chunks;
+
+  std::shared_ptr<ThreadPool> pool = PoolFor(num_workers);
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_chunks);
+  for (std::size_t begin = 0; begin < components.size(); begin += chunk_size) {
+    const std::size_t end = std::min(begin + chunk_size, components.size());
+    futures.push_back(pool->Submit([&, begin, end] {
+      for (std::size_t index = begin; index < end; ++index) {
+        ComponentOutcome& out = outcomes[index];
+        if (cancel.ShouldStop(index)) {
+          out.cancelled = true;
+          continue;
+        }
+        const std::vector<PendingId>& component = components[index];
+        if (check_covers) {
+          WorldView cover_view = db_->BaseView();
+          for (PendingId id : component) {
+            cover_view.Activate(static_cast<TupleOwner>(id));
+          }
+          if (!compiled.CoversConstants(cover_view)) continue;
+        }
+        out.covered = true;
+
+        DynamicBitset subset(db_->num_pending());
+        for (PendingId id : component) subset.Set(id);
+
+        const CliqueEnumerationStats clique_stats = EnumerateMaximalCliques(
+            fd_graph.graph(), subset, options.use_pivot,
+            [&](const std::vector<std::size_t>& clique) {
+              if (cancel.ShouldStop(index)) {
+                out.cancelled = true;
+                return false;
+              }
+              const WorldView world = GetMaximal(*db_, clique);
+              ++out.worlds;
+              if (compiled.Evaluate(world)) {
+                out.violated = true;
+                out.witness = WitnessOf(world);
+                cancel.CancelRanksAbove(index);
+                return false;
+              }
+              return true;
+            });
+        out.cliques = clique_stats.cliques_reported;
+      }
+    }));
+  }
+  for (std::future<void>& future : futures) future.get();
+
+  // Merge in component order: the lowest violating index supplies the
+  // witness, matching what the serial scan would have returned.
+  result.satisfied = true;
+  for (std::size_t index = 0; index < outcomes.size(); ++index) {
+    ComponentOutcome& out = outcomes[index];
+    if (out.covered) ++result.stats.num_components_covered;
+    result.stats.num_cliques += out.cliques;
+    result.stats.num_worlds_evaluated += out.worlds;
+    if (out.cancelled) ++result.stats.cancelled_tasks;
+    if (out.violated && result.satisfied) {
+      result.satisfied = false;
+      result.witness = std::move(out.witness);
+    }
+  }
+  result.stats.threads_used = pool->num_threads();
+  result.stats.components_parallel = components.size();
 }
 
 }  // namespace bcdb

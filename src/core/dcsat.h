@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -11,6 +13,8 @@
 #include "query/ast.h"
 #include "query/compiled_query.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 #include "util/union_find.h"
 
 namespace bcdb {
@@ -54,6 +58,13 @@ struct DcSatOptions {
   bool use_pivot = true;
   /// Exhaustive only: abort after this many worlds.
   std::size_t exhaustive_world_limit = 1u << 20;
+  /// Worker threads for the OptDCSat component-level clique search (and, via
+  /// ConstraintMonitor::Poll, for cross-constraint evaluation). 0 = hardware
+  /// concurrency; 1 = the exact serial reference path. Results (satisfied,
+  /// witness, clique counts) are identical at every thread count: components
+  /// are decided independently (Proposition 2) and the lowest violating
+  /// component index wins, matching the serial scan order.
+  std::size_t num_threads = 1;
 };
 
 struct DcSatStats {
@@ -66,6 +77,10 @@ struct DcSatStats {
   std::size_t num_components_covered = 0;  // Opt only.
   std::size_t num_cliques = 0;
   std::size_t num_worlds_evaluated = 0;
+  std::size_t threads_used = 1;          // Pool workers engaged (1 = serial).
+  std::size_t components_parallel = 0;   // Components dispatched as pool tasks.
+  std::size_t cancelled_tasks = 0;       // Tasks aborted by cooperative cancellation.
+  bool steady_cache_hit = false;  // fd-graph/Θ_I caches were already fresh.
   double total_seconds = 0;
   double graph_seconds = 0;  // fd-graph + component construction.
 };
@@ -93,20 +108,60 @@ class DcSatEngine {
   /// Decides D |= ¬q. Fails if `q` does not compile against the database,
   /// or if an explicitly requested algorithm is unsound for `q` (kNaive/
   /// kOpt on a non-monotone constraint, kOpt on a disconnected or aggregate
-  /// constraint).
+  /// constraint). Keeps the steady-state caches fresh as a side effect.
   StatusOr<DcSatResult> Check(const DenialConstraint& q,
                               const DcSatOptions& options = {});
+
+  /// Const query path for concurrent callers (ConstraintMonitor::Poll):
+  /// decides D |= ¬q with a query already compiled against the current
+  /// database, without touching the engine's caches. Requires
+  /// PrepareSteadyState (or any Check) to have run since the last database
+  /// mutation; fails with Internal otherwise. Many threads may call this
+  /// simultaneously as long as each call uses `num_threads` == 1 (the
+  /// engine-owned pool is not re-entrant) and the database is not mutated
+  /// concurrently.
+  StatusOr<DcSatResult> CheckPrepared(const DenialConstraint& q,
+                                      const CompiledQuery& compiled,
+                                      const DcSatOptions& options = {}) const;
 
   /// Forces cache (re)construction; returns the fd graph for inspection.
   const FdGraph& PrepareSteadyState();
 
+  /// Cumulative steady-state cache behaviour across Check /
+  /// PrepareSteadyState calls (a hit = the database version was unchanged).
+  std::size_t steady_cache_hits() const { return cache_hits_; }
+  std::size_t steady_cache_misses() const { return cache_misses_; }
+
  private:
+  /// The whole decision procedure after compilation, against fresh caches.
+  /// `scratch` (optional) is reused for the Θ_I ∪ Θ_q union-find instead of
+  /// allocating per call; concurrent callers pass nullptr.
+  StatusOr<DcSatResult> CheckImpl(const DenialConstraint& q,
+                                  const CompiledQuery& compiled,
+                                  const DcSatOptions& options,
+                                  UnionFind* scratch, bool cache_hit,
+                                  const Stopwatch& total_watch) const;
+
+  /// Runs the per-component clique searches on the worker pool. Returns the
+  /// merged satisfied/witness/stats contribution into `result`.
+  void ParallelComponentSearch(
+      const CompiledQuery& compiled, const DcSatOptions& options,
+      const std::vector<std::vector<PendingId>>& components,
+      std::size_t num_workers, DcSatResult& result) const;
+
   void RefreshCaches();
+  std::shared_ptr<ThreadPool> PoolFor(std::size_t num_workers) const;
 
   const BlockchainDatabase* db_;
   std::uint64_t cached_version_ = ~std::uint64_t{0};
   std::optional<FdGraph> fd_graph_;
   std::optional<UnionFind> theta_i_components_;
+  // Scratch for the serial Check path only (never shared across threads).
+  UnionFind uf_scratch_{0};
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_misses_ = 0;
+  mutable std::mutex pool_mutex_;
+  mutable std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace bcdb

@@ -1,5 +1,8 @@
 #include "core/monitor.h"
 
+#include <algorithm>
+#include <future>
+
 #include "query/compiled_query.h"
 
 namespace bcdb {
@@ -24,33 +27,105 @@ StatusOr<std::size_t> ConstraintMonitor::Add(std::string label,
   StatusOr<CompiledQuery> compiled =
       CompiledQuery::Compile(q, &db_->database());
   if (!compiled.ok()) return compiled.status();
-  entries_.push_back(Entry{std::move(label), std::move(q)});
+  Entry entry;
+  entry.label = std::move(label);
+  entry.q = std::move(q);
+  entries_.push_back(std::move(entry));
   return entries_.size() - 1;
+}
+
+StatusOr<ConstraintMonitor::Verdict> ConstraintMonitor::EvaluateEntry(
+    const Entry& entry, const DcSatOptions& options) const {
+  // Happened? Evaluate over the current state only.
+  if (entry.compiled->Evaluate(db_->BaseView())) return Verdict::kHappened;
+  StatusOr<DcSatResult> result =
+      engine_.CheckPrepared(entry.q, *entry.compiled, options);
+  if (!result.ok()) return result.status();
+  return result->satisfied ? Verdict::kImpossible : Verdict::kPossible;
 }
 
 StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
     const DcSatOptions& options) {
-  std::vector<Change> changes;
-  for (std::size_t handle = 0; handle < entries_.size(); ++handle) {
-    Entry& entry = entries_[handle];
+  std::lock_guard<std::mutex> lock(poll_mutex_);
+  ++poll_stats_.polls;
 
-    // Happened? Evaluate over the current state only; compile per poll so
-    // schema-level index ids stay fresh after database mutations.
+  // Phase 1 (single-threaded): refresh the engine's steady-state caches and
+  // the per-constraint compiled queries. Compilation is what lazily builds
+  // hash indexes in the storage layer, so doing it all here leaves the
+  // parallel phase below strictly read-only.
+  engine_.PrepareSteadyState();
+  const std::uint64_t version = db_->version();
+  for (Entry& entry : entries_) {
+    if (entry.compiled.has_value() && entry.compiled_version == version) {
+      ++poll_stats_.compile_cache_hits;
+      continue;
+    }
     StatusOr<CompiledQuery> compiled =
         CompiledQuery::Compile(entry.q, &db_->database());
     if (!compiled.ok()) return compiled.status();
-    Verdict verdict;
-    if (compiled->Evaluate(db_->BaseView())) {
-      verdict = Verdict::kHappened;
-    } else {
-      StatusOr<DcSatResult> result = engine_.Check(entry.q, options);
-      if (!result.ok()) return result.status();
-      verdict =
-          result->satisfied ? Verdict::kImpossible : Verdict::kPossible;
+    entry.compiled = std::move(*compiled);
+    entry.compiled_version = version;
+    ++poll_stats_.compile_cache_misses;
+  }
+
+  // Phase 2: evaluate every constraint over the shared read-only snapshot.
+  // Each task runs its check serially (num_threads = 1): with several
+  // standing constraints, the constraint-level fan-out already saturates
+  // the workers, and the engine's component pool is not re-entrant.
+  const std::size_t num_workers =
+      entries_.empty()
+          ? 1
+          : std::min(ThreadPool::EffectiveThreads(options.num_threads),
+                     entries_.size());
+  std::vector<Verdict> verdicts(entries_.size(), Verdict::kUnknown);
+  std::vector<Status> statuses(entries_.size());
+  DcSatOptions task_options = options;
+  task_options.num_threads = 1;
+  if (num_workers > 1) {
+    if (pool_ == nullptr || pool_->num_threads() != num_workers) {
+      pool_ = std::make_shared<ThreadPool>(num_workers);
     }
-    if (verdict != entry.verdict) {
-      changes.push_back(Change{handle, entry.label, entry.verdict, verdict});
-      entry.verdict = verdict;
+    std::vector<std::future<void>> futures;
+    futures.reserve(entries_.size());
+    for (std::size_t handle = 0; handle < entries_.size(); ++handle) {
+      futures.push_back(pool_->Submit([this, handle, &task_options,
+                                       &verdicts, &statuses] {
+        StatusOr<Verdict> verdict =
+            EvaluateEntry(entries_[handle], task_options);
+        if (verdict.ok()) {
+          verdicts[handle] = *verdict;
+        } else {
+          statuses[handle] = verdict.status();
+        }
+      }));
+    }
+    for (std::future<void>& future : futures) future.get();
+    poll_stats_.threads_used = num_workers;
+    poll_stats_.constraints_parallel = entries_.size();
+  } else {
+    for (std::size_t handle = 0; handle < entries_.size(); ++handle) {
+      StatusOr<Verdict> verdict =
+          EvaluateEntry(entries_[handle], task_options);
+      if (verdict.ok()) {
+        verdicts[handle] = *verdict;
+      } else {
+        statuses[handle] = verdict.status();
+      }
+    }
+    poll_stats_.threads_used = 1;
+  }
+
+  // Phase 3 (single-threaded): apply transitions in handle order. On error,
+  // entries before the failing handle keep their new verdicts — exactly the
+  // observable state a serial scan would have left behind.
+  std::vector<Change> changes;
+  for (std::size_t handle = 0; handle < entries_.size(); ++handle) {
+    if (!statuses[handle].ok()) return statuses[handle];
+    Entry& entry = entries_[handle];
+    if (verdicts[handle] != entry.verdict) {
+      changes.push_back(
+          Change{handle, entry.label, entry.verdict, verdicts[handle]});
+      entry.verdict = verdicts[handle];
     }
   }
   return changes;

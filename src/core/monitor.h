@@ -2,12 +2,17 @@
 #define BCDB_CORE_MONITOR_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/dcsat.h"
 #include "query/ast.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace bcdb {
 
@@ -17,6 +22,14 @@ namespace bcdb {
 /// operator's dashboard: every bad outcome is, at any moment, either
 /// already on the chain, still possible in some future, or impossible in
 /// every future.
+///
+/// Poll evaluates independent constraints concurrently over a read-only
+/// snapshot: the engine's steady-state caches are refreshed once
+/// (single-threaded), every standing query is compiled once per database
+/// version (the compiled-query cache — steady-state polling stops paying
+/// compilation), and only then is the per-constraint work fanned out.
+/// Concurrent Poll calls serialize on an internal mutex; mutating the
+/// database concurrently with Poll is not supported.
 class ConstraintMonitor {
  public:
   enum class Verdict {
@@ -33,6 +46,15 @@ class ConstraintMonitor {
     std::string label;
     Verdict before;
     Verdict after;
+  };
+
+  /// Cumulative counters for the steady-state behaviour of Poll.
+  struct PollStats {
+    std::size_t polls = 0;
+    std::size_t compile_cache_hits = 0;    // Query reused across polls.
+    std::size_t compile_cache_misses = 0;  // Compiled (version changed).
+    std::size_t threads_used = 1;          // Last poll's fan-out width.
+    std::size_t constraints_parallel = 0;  // Entries evaluated on the pool.
   };
 
   /// `db` must outlive the monitor.
@@ -54,18 +76,35 @@ class ConstraintMonitor {
   /// Re-evaluates every standing constraint against the current database
   /// state and returns the transitions since the previous poll (first poll
   /// reports every constraint as a transition from kUnknown).
+  /// `options.num_threads` picks the cross-constraint fan-out width
+  /// (0 = hardware concurrency, 1 = serial); each constraint's own check
+  /// runs serially — with many standing constraints, constraint-level
+  /// parallelism subsumes component-level parallelism.
   StatusOr<std::vector<Change>> Poll(const DcSatOptions& options = {});
+
+  const PollStats& poll_stats() const { return poll_stats_; }
 
  private:
   struct Entry {
     std::string label;
     DenialConstraint q;
     Verdict verdict = Verdict::kUnknown;
+    // Compiled-query cache, keyed on the database version at compile time.
+    std::optional<CompiledQuery> compiled;
+    std::uint64_t compiled_version = ~std::uint64_t{0};
   };
+
+  /// Verdict of one entry over the current (cache-fresh) database state.
+  /// Thread-safe: touches only const state and the entry's compiled query.
+  StatusOr<Verdict> EvaluateEntry(const Entry& entry,
+                                  const DcSatOptions& options) const;
 
   BlockchainDatabase* db_;
   DcSatEngine engine_;
   std::vector<Entry> entries_;
+  std::mutex poll_mutex_;  // Serializes concurrent Poll calls.
+  std::shared_ptr<ThreadPool> pool_;
+  PollStats poll_stats_;
 };
 
 }  // namespace bcdb

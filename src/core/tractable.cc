@@ -78,6 +78,7 @@ bool SupportRealizable(const Database& database, const FdGraph& fd_graph,
 std::optional<DcSatResult> TryTractableDcSat(const BlockchainDatabase& db,
                                              const FdGraph& fd_graph,
                                              const DenialConstraint& q,
+                                             const CompiledQuery* precompiled,
                                              std::size_t support_limit) {
   const bool has_fds = !db.constraints().fds().empty();
   const bool has_inds = !db.constraints().inds().empty();
@@ -86,18 +87,24 @@ std::optional<DcSatResult> TryTractableDcSat(const BlockchainDatabase& db,
   Stopwatch watch;
   const QueryAnalysis analysis = AnalyzeQuery(q, db.catalog());
 
+  std::optional<CompiledQuery> owned;
+  if (precompiled == nullptr) {
+    StatusOr<CompiledQuery> fresh = CompiledQuery::Compile(q, &db.database());
+    if (!fresh.ok()) return std::nullopt;  // Caller reports the error.
+    owned = std::move(*fresh);
+    precompiled = &*owned;
+  }
+  const CompiledQuery& compiled = *precompiled;
+
   // --- IND-only (or unconstrained): unique maximal world. ---
   if (!has_fds) {
     if (!analysis.monotone) return std::nullopt;
-    StatusOr<CompiledQuery> compiled =
-        CompiledQuery::Compile(q, &db.database());
-    if (!compiled.ok()) return std::nullopt;  // Caller reports the error.
     DcSatResult result;
     result.stats.algorithm_used = DcSatAlgorithm::kTractable;
     result.stats.num_pending = db.PendingIds().size();
     const WorldView maximal = GetMaximal(db, db.PendingIds());
     result.stats.num_worlds_evaluated = 1;
-    if (compiled->Evaluate(maximal)) {
+    if (compiled.Evaluate(maximal)) {
       result.satisfied = false;
       result.witness = maximal.active_bits().ToVector();
     } else {
@@ -109,8 +116,6 @@ std::optional<DcSatResult> TryTractableDcSat(const BlockchainDatabase& db,
 
   // --- FD-only: assignment supports against G^fd_T. ---
   if (q.is_aggregate() || !q.negated_atoms.empty()) return std::nullopt;
-  StatusOr<CompiledQuery> compiled = CompiledQuery::Compile(q, &db.database());
-  if (!compiled.ok()) return std::nullopt;
 
   DcSatResult result;
   result.stats.algorithm_used = DcSatAlgorithm::kTractable;
@@ -122,7 +127,7 @@ std::optional<DcSatResult> TryTractableDcSat(const BlockchainDatabase& db,
   bool abstained = false;
   std::size_t supports_seen = 0;
   std::vector<PendingId> witness;
-  compiled->EnumerateSupports(
+  compiled.EnumerateSupports(
       db.PendingUnionView(),
       [&](const std::vector<CompiledQuery::SupportEntry>& support) {
         if (++supports_seen > support_limit) {

@@ -8,9 +8,11 @@
 #include "query/ast.h"
 #include "util/status.h"
 
-// Forward declaration to avoid a core <-> core include cycle with dcsat.h.
+// Forward declarations to avoid a core <-> core include cycle with dcsat.h
+// and a heavyweight include of the query compiler.
 namespace bcdb {
 struct DcSatResult;
+class CompiledQuery;
 }
 
 namespace bcdb {
@@ -38,12 +40,18 @@ namespace bcdb {
 /// `DcSatAlgorithm::kTractable` and a witness world when unsatisfied.
 ///
 /// `fd_graph` must be current for `db` (the engine's cached one).
+/// `precompiled`, when given, must be `q` compiled against `db`'s database;
+/// it skips the internal recompilation, which also keeps the procedure free
+/// of lazy index construction — a requirement for concurrent callers
+/// (ConstraintMonitor::Poll runs one TryTractableDcSat per constraint in
+/// parallel over a read-only snapshot).
 /// `support_limit` bounds the assignment-support enumeration of the FD-only
 /// path; if exceeded, the procedure abstains (nullopt) rather than risk a
 /// pathological query shape.
 std::optional<DcSatResult> TryTractableDcSat(const BlockchainDatabase& db,
                                              const FdGraph& fd_graph,
                                              const DenialConstraint& q,
+                                             const CompiledQuery* precompiled = nullptr,
                                              std::size_t support_limit = 100000);
 
 }  // namespace bcdb

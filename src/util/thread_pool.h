@@ -1,0 +1,117 @@
+#ifndef BCDB_UTIL_THREAD_POOL_H_
+#define BCDB_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bcdb {
+
+/// Cooperative cancellation shared between the submitter and in-flight pool
+/// tasks. Two modes compose:
+///
+/// * `RequestStop()` — cancel every observer.
+/// * `CancelRanksAbove(r)` — cancel observers whose rank is *greater* than
+///   `r`, leaving lower ranks running. This is the determinism rule of the
+///   parallel DCSat component search: when component `r` finds a violating
+///   world, components with larger indices become irrelevant (the lowest
+///   violating index wins), but smaller indices must run to completion
+///   because the serial algorithm would have reported one of *them* first.
+///
+/// Tasks poll `ShouldStop(rank)` at convenient preemption points; the token
+/// never interrupts anything by force.
+class CancellationToken {
+ public:
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Lowers the rank limit to `rank` (monotone: limits only ever decrease).
+  void CancelRanksAbove(std::size_t rank) {
+    std::size_t current = rank_limit_.load(std::memory_order_relaxed);
+    while (rank < current && !rank_limit_.compare_exchange_weak(
+                                 current, rank, std::memory_order_relaxed)) {
+    }
+  }
+
+  bool ShouldStop(std::size_t rank = 0) const {
+    return stop_.load(std::memory_order_relaxed) ||
+           rank > rank_limit_.load(std::memory_order_relaxed);
+  }
+
+  /// Lowest rank passed to CancelRanksAbove so far (SIZE_MAX if none).
+  std::size_t rank_limit() const {
+    return rank_limit_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> rank_limit_{SIZE_MAX};
+};
+
+/// Fixed-size worker pool with per-worker task deques and work stealing.
+///
+/// Submitted tasks are distributed round-robin across the worker deques; an
+/// idle worker first drains its own deque front-to-back, then steals from
+/// the *back* of a sibling's deque, so large task batches balance across
+/// workers even when component sizes are skewed (the DCSat case: one giant
+/// connected component next to hundreds of singletons).
+///
+/// Tasks must not block on other tasks of the same pool (no nested Submit +
+/// wait), which the DCSat/monitor callers respect by running nested checks
+/// serially. Destruction drains every queued task, then joins the workers.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 is treated as 1.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues `task`; the future resolves when it finishes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t HardwareConcurrency();
+
+  /// Resolves the DcSatOptions::num_threads convention: 0 → hardware
+  /// concurrency, anything else → itself.
+  static std::size_t EffectiveThreads(std::size_t requested);
+
+  /// Process-wide pool sized to the hardware, for callers without their own.
+  static ThreadPool& Shared();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::packaged_task<void()>> tasks;
+  };
+
+  void WorkerLoop(std::size_t worker_index);
+  bool TryPop(std::size_t worker_index, std::packaged_task<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  // Guarded by wake_mutex_ on increment so sleeping workers never miss a
+  // submission; decremented lock-free after a successful pop (a transiently
+  // negative value only causes a spurious wake).
+  std::atomic<std::ptrdiff_t> queued_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> next_queue_{0};
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_UTIL_THREAD_POOL_H_

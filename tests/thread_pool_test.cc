@@ -1,0 +1,165 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bcdb {
+namespace {
+
+TEST(ThreadPoolTest, ZeroThreadsBecomesOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTaskAndFutureResolves) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  std::future<void> done = pool.Submit([&] { value.store(42); });
+  done.get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllRunExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 2000;
+  std::vector<std::atomic<int>> counts(kTasks);
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&counts, i] { counts[i].fetch_add(1); }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, StealingBalancesSkewedBatches) {
+  // One long task pins a worker; the flood of short tasks round-robined onto
+  // its deque must still complete because siblings steal them.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<std::size_t> short_done{0};
+  std::future<void> long_task = pool.Submit([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  constexpr std::size_t kShort = 200;
+  std::vector<std::future<void>> futures;
+  futures.reserve(kShort);
+  for (std::size_t i = 0; i < kShort; ++i) {
+    futures.push_back(pool.Submit([&] { short_done.fetch_add(1); }));
+  }
+  // On a single-core host the pinned worker still shares the CPU, but the
+  // short tasks must not *deadlock* behind the long one.
+  for (std::future<void>& f : futures) f.get();
+  EXPECT_EQ(short_done.load(), kShort);
+  release.store(true);
+  long_task.get();
+}
+
+TEST(ThreadPoolTest, TaskExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  std::future<void> f = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives the throwing task.
+  std::atomic<bool> ran{false};
+  pool.Submit([&] { ran.store(true); }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<std::size_t> done{0};
+  constexpr std::size_t kTasks = 100;
+  {
+    ThreadPool pool(2);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      pool.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1);
+      });
+    }
+  }  // Destructor joins after draining.
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, EffectiveThreadsConvention) {
+  EXPECT_EQ(ThreadPool::EffectiveThreads(0),
+            ThreadPool::HardwareConcurrency());
+  EXPECT_EQ(ThreadPool::EffectiveThreads(1), 1u);
+  EXPECT_EQ(ThreadPool::EffectiveThreads(7), 7u);
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsUsableSingleton) {
+  ThreadPool& shared = ThreadPool::Shared();
+  EXPECT_EQ(&shared, &ThreadPool::Shared());
+  EXPECT_EQ(shared.num_threads(), ThreadPool::HardwareConcurrency());
+  std::atomic<bool> ran{false};
+  shared.Submit([&] { ran.store(true); }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(CancellationTokenTest, FreshTokenStopsNothing) {
+  CancellationToken token;
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_FALSE(token.ShouldStop(0));
+  EXPECT_FALSE(token.ShouldStop(SIZE_MAX - 1));
+  EXPECT_EQ(token.rank_limit(), SIZE_MAX);
+}
+
+TEST(CancellationTokenTest, RequestStopCancelsEveryRank) {
+  CancellationToken token;
+  token.RequestStop();
+  EXPECT_TRUE(token.ShouldStop(0));
+  EXPECT_TRUE(token.ShouldStop(123));
+}
+
+TEST(CancellationTokenTest, CancelRanksAboveLeavesLowerRanksRunning) {
+  CancellationToken token;
+  token.CancelRanksAbove(5);
+  EXPECT_FALSE(token.ShouldStop(0));
+  EXPECT_FALSE(token.ShouldStop(5));  // Rank 5 itself keeps running.
+  EXPECT_TRUE(token.ShouldStop(6));
+  EXPECT_TRUE(token.ShouldStop(100));
+}
+
+TEST(CancellationTokenTest, RankLimitIsMonotone) {
+  CancellationToken token;
+  token.CancelRanksAbove(10);
+  token.CancelRanksAbove(30);  // Higher rank must not raise the limit back.
+  EXPECT_EQ(token.rank_limit(), 10u);
+  EXPECT_TRUE(token.ShouldStop(11));
+  token.CancelRanksAbove(3);
+  EXPECT_EQ(token.rank_limit(), 3u);
+  EXPECT_FALSE(token.ShouldStop(3));
+  EXPECT_TRUE(token.ShouldStop(4));
+}
+
+TEST(CancellationTokenTest, ConcurrentCancelKeepsMinimum) {
+  // Many threads racing CancelRanksAbove must settle on the global minimum —
+  // the CAS loop in the token is exactly what makes the parallel DCSat
+  // witness deterministic.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 50;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    CancellationToken token;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back(
+          [&token, t] { token.CancelRanksAbove(t + 1); });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(token.rank_limit(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace bcdb
