@@ -49,6 +49,23 @@ inline void ApplyThreadFlag(int* argc, char** argv) {
   *argc = out;
 }
 
+/// Parses and strips the --smoke flag (also honours BCDB_BENCH_SMOKE=1):
+/// CI smoke runs shrink datasets/iterations to finish in seconds while
+/// still walking every code path the bench exercises.
+inline bool ApplySmokeFlag(int* argc, char** argv) {
+  bool smoke = std::getenv("BCDB_BENCH_SMOKE") != nullptr;
+  int out = 0;
+  for (int i = 0; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return smoke;
+}
+
 /// One row of the machine-readable perf trajectory emitted next to a bench.
 struct BenchJsonRow {
   std::string dataset;

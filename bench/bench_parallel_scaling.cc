@@ -24,14 +24,15 @@ using namespace bcdb;
 using namespace bcdb::bench;
 using namespace bcdb::workload;
 
-constexpr std::size_t kThreadSweep[] = {1, 2, 4, 8};
-constexpr int kRepetitions = 3;
+// Shrunk by --smoke (CI runs every bench path in seconds).
+std::vector<std::size_t> g_thread_sweep = {1, 2, 4, 8};
+int g_repetitions = 3;
 
 double MedianSeconds(DcSatEngine& engine, const DenialConstraint& q,
                      const DcSatOptions& options, DcSatResult* last) {
   std::vector<double> times;
-  times.reserve(kRepetitions);
-  for (int rep = 0; rep < kRepetitions; ++rep) {
+  times.reserve(g_repetitions);
+  for (int rep = 0; rep < g_repetitions; ++rep) {
     Stopwatch watch;
     *last = CheckOrDie(engine, q, options);
     times.push_back(watch.ElapsedSeconds());
@@ -45,7 +46,7 @@ void SweepThreads(PreparedDataset& data, const std::string& workload,
                   std::vector<BenchJsonRow>& rows) {
   (void)CheckOrDie(*data.engine, q, options);  // Warm indexes and caches.
   double serial_seconds = 0;
-  for (std::size_t threads : kThreadSweep) {
+  for (std::size_t threads : g_thread_sweep) {
     options.num_threads = threads;
     DcSatResult last;
     const double seconds = MedianSeconds(*data.engine, q, options, &last);
@@ -72,6 +73,11 @@ void SweepThreads(PreparedDataset& data, const std::string& workload,
 
 int main(int argc, char** argv) {
   ApplyThreadFlag(&argc, argv);  // Accepted for uniformity; sweep overrides.
+  const bool smoke = ApplySmokeFlag(&argc, argv);
+  if (smoke) {
+    g_thread_sweep = {1, 2};
+    g_repetitions = 1;
+  }
 
   // With the constant-coverage filter on, the Figure-6 path constraints
   // leave a single covered component and there is nothing to fan out. The
@@ -88,8 +94,10 @@ int main(int argc, char** argv) {
   // component contributes. Unsat ⇒ one component violates, so this row
   // exercises the cancellation path (siblings abort once a lower-index
   // violation is found).
-  auto contra = Prepare(WithContradictions(DefaultDataset(), 50));
-  contra->name = "contradictions50";
+  auto contra = Prepare(WithContradictions(
+      smoke ? WithPendingTotal(DefaultDataset(), 1200) : DefaultDataset(),
+      smoke ? 16 : 50));
+  contra->name = smoke ? "contradictions16_smoke" : "contradictions50";
   SweepThreads(*contra, "qp3_unsat_full", PathUnsat(contra->metadata, 3),
                full_search, rows);
 
@@ -98,11 +106,14 @@ int main(int argc, char** argv) {
   SweepThreads(*contra, "qp2_sat_full", PathSat(contra->metadata, 2),
                full_search_sat, rows);
 
-  // Many-pending: the component count grows with |T|.
-  auto pending = Prepare(WithPendingTotal(DefaultDataset(), 7382));
-  pending->name = "pending7382";
-  SweepThreads(*pending, "qp2_sat_full", PathSat(pending->metadata, 2),
-               full_search_sat, rows);
+  // Many-pending: the component count grows with |T|. (Skipped in smoke
+  // mode: the contradiction dataset already covers the sat sweep.)
+  if (!smoke) {
+    auto pending = Prepare(WithPendingTotal(DefaultDataset(), 7382));
+    pending->name = "pending7382";
+    SweepThreads(*pending, "qp2_sat_full", PathSat(pending->metadata, 2),
+                 full_search_sat, rows);
+  }
 
   // Single-component regression guard: NaiveDCSat folds all pending
   // transactions into one component, so the parallel path must stay

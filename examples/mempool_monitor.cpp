@@ -3,10 +3,11 @@
 // A node runs the synthetic workload generator, which plants conflicting
 // double-spend pairs in the mempool, then keeps mining blocks. After every
 // block the monitor rebuilds the blockchain database (current chain +
-// surviving mempool) and re-evaluates, for each double-spend rival payout,
-// whether it (a) already happened on the chain, (b) can still happen in
-// some possible world, or (c) has become impossible in every possible
-// world — the uncertainty collapsing as consensus picks winners.
+// surviving mempool) and a ConstraintMonitor re-evaluates, for each
+// double-spend rival payout, whether it (a) already happened on the chain,
+// (b) can still happen in some possible world, or (c) has become
+// impossible in every possible world — the uncertainty collapsing as
+// consensus picks winners.
 //
 // Run: ./build/examples/mempool_monitor
 
@@ -16,27 +17,11 @@
 
 #include "bitcoin/generator.h"
 #include "bitcoin/to_relational.h"
-#include "core/dcsat.h"
-#include "query/compiled_query.h"
+#include "core/monitor.h"
 #include "workload/constraints.h"
 
 using namespace bcdb;
 using namespace bcdb::bitcoin;
-
-namespace {
-
-/// happened on chain / still possible / impossible.
-std::string Verdict(BlockchainDatabase& db, DcSatEngine& engine,
-                    const DenialConstraint& q) {
-  auto compiled = CompiledQuery::Compile(q, &db.database());
-  if (!compiled.ok()) return "compile error";
-  if (compiled->Evaluate(db.BaseView())) return "HAPPENED";
-  auto result = engine.Check(q);
-  if (!result.ok()) return "check error";
-  return result->satisfied ? "impossible" : "possible";
-}
-
-}  // namespace
 
 int main() {
   GeneratorParams params;
@@ -88,11 +73,27 @@ int main() {
       std::printf("load failed: %s\n", db.status().ToString().c_str());
       return 1;
     }
-    DcSatEngine engine(&*db);
+    // The database is rebuilt per block, so the monitor is too; within a
+    // block interval its Poll would track mempool churn incrementally.
+    ConstraintMonitor monitor(&*db);
+    std::vector<MonitorHandle> handles;
+    for (std::size_t c = 0; c < standing.size(); ++c) {
+      auto handle = monitor.Add("rival " + std::to_string(c), standing[c]);
+      if (!handle.ok()) {
+        std::printf("add failed: %s\n", handle.status().ToString().c_str());
+        return 1;
+      }
+      handles.push_back(*handle);
+    }
+    if (auto polled = monitor.Poll(); !polled.ok()) {
+      std::printf("poll failed: %s\n", polled.status().ToString().c_str());
+      return 1;
+    }
     std::printf("%6zu | %7zu |", node.chain().height(),
                 node.mempool().size());
-    for (const DenialConstraint& q : standing) {
-      std::printf(" %-10s |", Verdict(*db, engine, q).c_str());
+    for (MonitorHandle handle : handles) {
+      std::printf(" %-10s |",
+                  ConstraintMonitor::VerdictToString(monitor.verdict(handle)));
     }
     std::printf("\n");
     if (round < 5) {
@@ -102,7 +103,7 @@ int main() {
 
   std::printf(
       "\nEach conflicting pair resolves once a block confirms one side: the "
-      "rival payout\neither lands on the chain (HAPPENED) or its transaction "
+      "rival payout\neither lands on the chain (happened) or its transaction "
       "is evicted as permanently\nconflicted (impossible). Until then DCSat "
       "reports it as a genuine possible future.\n");
   return 0;

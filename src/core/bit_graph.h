@@ -19,6 +19,15 @@ class BitGraph {
 
   std::size_t num_vertices() const { return n_; }
 
+  /// Extends the vertex space to `n`; new vertices start isolated, existing
+  /// adjacency is preserved. No-op when already at least that large.
+  void Resize(std::size_t n) {
+    if (n <= n_) return;
+    n_ = n;
+    for (DynamicBitset& row : rows_) row.Resize(n);
+    rows_.resize(n, DynamicBitset(n));
+  }
+
   void AddEdge(std::size_t u, std::size_t v) {
     if (u == v) return;
     rows_[u].Set(v);
@@ -57,6 +66,13 @@ class BitGraph {
         rows_[v].Clear();
       }
     }
+  }
+
+  /// Removes every edge incident to `v` (the incremental fd-graph's node
+  /// removal).
+  void IsolateVertex(std::size_t v) {
+    rows_[v].ForEach([&](std::size_t u) { rows_[u].Reset(v); });
+    rows_[v].Clear();
   }
 
   std::size_t CountEdges() const {

@@ -1,5 +1,7 @@
 #include "core/blockchain_db.h"
 
+#include <algorithm>
+
 namespace bcdb {
 
 BlockchainDatabase::BlockchainDatabase(Catalog catalog,
@@ -7,7 +9,33 @@ BlockchainDatabase::BlockchainDatabase(Catalog catalog,
     : db_(std::make_unique<Database>(std::move(catalog))),
       constraints_(std::make_unique<ConstraintSet>(std::move(constraints))),
       checker_(std::make_unique<ConstraintChecker>(db_.get(),
-                                                   constraints_.get())) {}
+                                                   constraints_.get())),
+      mutation_log_(std::make_unique<MutationLog>()),
+      listeners_(std::make_unique<std::vector<MutationListener>>()) {}
+
+MutationListenerId BlockchainDatabase::AddMutationListener(
+    MutationListener listener) {
+  listeners_->push_back(std::move(listener));
+  return listeners_->size() - 1;
+}
+
+void BlockchainDatabase::RemoveMutationListener(MutationListenerId id) {
+  if (id < listeners_->size()) (*listeners_)[id] = nullptr;
+}
+
+void BlockchainDatabase::Publish(MutationKind kind, PendingId id,
+                                 std::vector<std::size_t> relation_ids) {
+  MutationEvent event;
+  event.kind = kind;
+  event.seq = mutation_log_->end_seq();  // Append re-stamps identically.
+  event.version = version_;
+  event.pending_id = id;
+  event.relation_ids = std::move(relation_ids);
+  mutation_log_->Append(event);
+  for (const MutationListener& listener : *listeners_) {
+    if (listener) listener(event);
+  }
+}
 
 StatusOr<BlockchainDatabase> BlockchainDatabase::Create(
     Catalog catalog, ConstraintSet constraints) {
@@ -29,8 +57,14 @@ StatusOr<BlockchainDatabase> BlockchainDatabase::Create(
 
 Status BlockchainDatabase::InsertCurrent(std::string_view relation,
                                          Tuple tuple) {
+  StatusOr<std::size_t> relation_id = db_->RelationId(relation);
+  Status status = db_->Insert(relation, std::move(tuple), kBaseOwner);
+  if (!status.ok()) return status;
   ++version_;
-  return db_->Insert(relation, std::move(tuple), kBaseOwner);
+  Publish(MutationKind::kCurrentInserted, ~std::size_t{0},
+          relation_id.ok() ? std::vector<std::size_t>{*relation_id}
+                           : std::vector<std::size_t>{});
+  return status;
 }
 
 Status BlockchainDatabase::ValidateCurrentState() const {
@@ -55,12 +89,24 @@ StatusOr<PendingId> BlockchainDatabase::AddPending(const Transaction& txn) {
   }
   pending_.push_back(txn);
   pending_state_.push_back(PendingState::kPending);
+  // Distinct relation ids of the transaction, recorded while the tuples are
+  // still resolvable (DiscardPending drops them from the store).
+  std::vector<std::size_t> relation_ids;
+  for (const Transaction::Item& item : txn.items()) {
+    StatusOr<std::size_t> rid = db_->RelationId(item.relation);
+    if (rid.ok() && std::find(relation_ids.begin(), relation_ids.end(),
+                              *rid) == relation_ids.end()) {
+      relation_ids.push_back(*rid);
+    }
+  }
+  pending_relations_.push_back(relation_ids);
   ++version_;
   const PendingId id = pending_.size() - 1;
   // Owners are handed out only here, so owner tags == pending ids.
   if (static_cast<std::size_t>(owner) != id) {
     return Status::Internal("pending id / owner tag mismatch");
   }
+  Publish(MutationKind::kPendingAdded, id, std::move(relation_ids));
   return id;
 }
 
@@ -80,6 +126,7 @@ Status BlockchainDatabase::ApplyPending(PendingId id) {
   }
   pending_state_[id] = PendingState::kApplied;
   ++version_;
+  Publish(MutationKind::kPendingApplied, id, pending_relations_[id]);
   return Status::OK();
 }
 
@@ -92,6 +139,7 @@ Status BlockchainDatabase::DiscardPending(PendingId id) {
   }
   pending_state_[id] = PendingState::kDiscarded;
   ++version_;
+  Publish(MutationKind::kPendingDiscarded, id, pending_relations_[id]);
   return Status::OK();
 }
 

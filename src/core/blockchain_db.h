@@ -2,12 +2,14 @@
 #define BCDB_CORE_BLOCKCHAIN_DB_H_
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
 
 #include "constraints/checker.h"
 #include "constraints/constraint.h"
+#include "core/mutation_log.h"
 #include "core/transaction.h"
 #include "relational/database.h"
 #include "relational/world_view.h"
@@ -15,18 +17,23 @@
 
 namespace bcdb {
 
-/// Index of a pending transaction within a blockchain database. Equals the
-/// TupleOwner tag of its tuples.
-using PendingId = std::size_t;
+/// Callback invoked synchronously after every database mutation, with the
+/// event just appended to the mutation log. Listeners must not mutate the
+/// database from inside the callback.
+using MutationListener = std::function<void(const MutationEvent&)>;
+using MutationListenerId = std::size_t;
 
 /// The paper's blockchain database D = (R, I, T): a current state R stored
 /// in the relational substrate, integrity constraints I with R |= I, and a
 /// set T of pending insert transactions that may or may not ever be
 /// appended.
 ///
-/// Mutations bump a version counter so that derived steady-state structures
-/// (the fd-transaction graph, ind-graph components, per-transaction status)
-/// can cache against it.
+/// Mutations bump a version counter and append a typed MutationEvent to the
+/// mutation log, so that derived steady-state structures (the
+/// fd-transaction graph, Θ_I components, per-constraint verdicts) can be
+/// maintained incrementally instead of rebuilt from scratch. Consumers
+/// either pull deltas from `mutations()` with a seq cursor, or register a
+/// push listener with AddMutationListener.
 class BlockchainDatabase {
  public:
   /// Builds an empty database over `catalog` with constraints `I`.
@@ -65,6 +72,12 @@ class BlockchainDatabase {
   std::size_t num_pending() const { return pending_.size(); }
   const Transaction& pending(PendingId id) const { return pending_[id]; }
 
+  /// Distinct relation ids touched by pending transaction `id` (recorded at
+  /// AddPending time, so it stays available after apply/discard).
+  const std::vector<std::size_t>& PendingRelations(PendingId id) const {
+    return pending_relations_[id];
+  }
+
   /// Appends pending transaction `id` permanently to R (it was accepted
   /// into the blockchain). Fails with ConstraintViolation if R ∪ T ⊭ I.
   /// Other pending transactions remain pending; derived caches invalidate.
@@ -92,17 +105,39 @@ class BlockchainDatabase {
   /// Bumped by every mutation; derived structures cache against it.
   std::uint64_t version() const { return version_; }
 
+  /// The mutation-delta log: one typed event per successful mutation, in
+  /// order. Pull-style consumers keep a seq cursor and call
+  /// mutations().ReadSince(cursor); a false return means the cursor fell out
+  /// of the retention window and the consumer must rebuild from scratch.
+  const MutationLog& mutations() const { return *mutation_log_; }
+
+  /// Registers a push listener notified synchronously after every mutation.
+  /// Returns an id for RemoveMutationListener. Listener slots are never
+  /// reused.
+  MutationListenerId AddMutationListener(MutationListener listener);
+  void RemoveMutationListener(MutationListenerId id);
+
  private:
   enum class PendingState { kPending, kApplied, kDiscarded };
 
   BlockchainDatabase(Catalog catalog, ConstraintSet constraints);
+
+  /// Appends the event (stamping the post-mutation version) and notifies
+  /// listeners.
+  void Publish(MutationKind kind, PendingId id,
+               std::vector<std::size_t> relation_ids);
 
   std::unique_ptr<Database> db_;
   std::unique_ptr<ConstraintSet> constraints_;
   std::unique_ptr<ConstraintChecker> checker_;
   std::vector<Transaction> pending_;
   std::vector<PendingState> pending_state_;
+  /// Parallel to pending_: distinct relation ids of each transaction.
+  std::vector<std::vector<std::size_t>> pending_relations_;
   std::uint64_t version_ = 0;
+  std::unique_ptr<MutationLog> mutation_log_;
+  /// Slot per listener id; removed listeners leave an empty function.
+  std::unique_ptr<std::vector<MutationListener>> listeners_;
 };
 
 }  // namespace bcdb

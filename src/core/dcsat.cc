@@ -9,6 +9,7 @@
 #include "core/possible_worlds.h"
 #include "core/tractable.h"
 #include "query/analysis.h"
+#include "query/parser.h"
 #include "util/stopwatch.h"
 
 namespace bcdb {
@@ -57,17 +58,103 @@ const FdGraph& DcSatEngine::PrepareSteadyState() {
 }
 
 void DcSatEngine::RefreshCaches() {
+  last_refresh_ = SteadyStateRefresh{};
   if (cached_version_ == db_->version() && fd_graph_.has_value()) {
     ++cache_hits_;
     return;
   }
   ++cache_misses_;
-  fd_graph_.emplace(*db_);
-  theta_i_components_.emplace(db_->num_pending());
-  MergeEqualityComponents(*db_,
-                          EqualitiesFromConstraints(db_->constraints()),
-                          fd_graph_->valid_nodes(), *theta_i_components_);
+  last_refresh_.refreshed = true;
+  if (!TryIncrementalRefresh()) {
+    fd_graph_.emplace(*db_, /*track_mutations=*/steady_options_.incremental);
+    theta_i_.Rebuild(*db_, EqualitiesFromConstraints(db_->constraints()),
+                     fd_graph_->valid_nodes());
+    last_refresh_.full_rebuild = true;
+    ++steady_stats_.full_rebuilds;
+  }
   cached_version_ = db_->version();
+  consumed_seq_ = db_->mutations().end_seq();
+}
+
+bool DcSatEngine::TryIncrementalRefresh() {
+  if (!steady_options_.incremental || !fd_graph_.has_value() ||
+      !fd_graph_->tracking_mutations()) {
+    return false;
+  }
+  std::vector<MutationEvent> events;
+  if (!db_->mutations().ReadSince(consumed_seq_, &events)) {
+    // The bounded log was trimmed past our cursor: deltas were missed, the
+    // maintained state can no longer be patched soundly.
+    ++steady_stats_.fallbacks_missed_events;
+    return false;
+  }
+  if (events.size() > steady_options_.max_delta_events) {
+    ++steady_stats_.fallbacks_batch_too_large;
+    return false;
+  }
+  for (const MutationEvent& event : events) {
+    if (event.kind == MutationKind::kCurrentInserted) {
+      // Direct base-state inserts are bulk loads, not steady-state churn;
+      // they can invalidate arbitrary pending transactions, so rebuild.
+      ++steady_stats_.fallbacks_base_insert;
+      return false;
+    }
+  }
+
+  // Replay the batch in event order. The database has already reached its
+  // final state, so validity probes (AddPendingNode) see the final base —
+  // exactly what a from-scratch build over the final state would see —
+  // while removals work off recorded footprints and never re-read tuples.
+  bool removed_nodes = false;
+  for (const MutationEvent& event : events) {
+    switch (event.kind) {
+      case MutationKind::kPendingAdded:
+        theta_i_.GrowTo(db_->num_pending());
+        if (fd_graph_->AddPendingNode(event.pending_id)) {
+          theta_i_.AddNode(event.pending_id);
+        }
+        break;
+      case MutationKind::kPendingDiscarded: {
+        const DynamicBitset& valid = fd_graph_->valid_nodes();
+        const bool was_valid =
+            event.pending_id < valid.size() && valid.Test(event.pending_id);
+        fd_graph_->RemovePendingNode(event.pending_id);
+        if (was_valid) {
+          theta_i_.RemoveNode(event.pending_id);
+          removed_nodes = true;
+        }
+        break;
+      }
+      case MutationKind::kPendingApplied: {
+        const DynamicBitset& valid = fd_graph_->valid_nodes();
+        const bool was_valid =
+            event.pending_id < valid.size() && valid.Test(event.pending_id);
+        const std::vector<PendingId> cascade =
+            fd_graph_->ApplyPendingNode(event.pending_id);
+        if (was_valid) {
+          theta_i_.RemoveNode(event.pending_id);
+          removed_nodes = true;
+        }
+        for (PendingId node : cascade) {
+          theta_i_.RemoveNode(node);
+          removed_nodes = true;
+        }
+        last_refresh_.cascade_invalidated.insert(
+            last_refresh_.cascade_invalidated.end(), cascade.begin(),
+            cascade.end());
+        break;
+      }
+      case MutationKind::kCurrentInserted:
+        break;  // Rejected above.
+    }
+  }
+  // A union-find cannot split, so removals leave it too coarse; one replay
+  // of the retained buckets per batch restores exactness.
+  if (removed_nodes) theta_i_.RecomputeUnions();
+  last_refresh_.events_applied = events.size();
+  ++steady_stats_.incremental_batches;
+  steady_stats_.incremental_events += events.size();
+  return true;
 }
 
 std::shared_ptr<ThreadPool> DcSatEngine::PoolFor(
@@ -90,6 +177,13 @@ StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
   RefreshCaches();
   return CheckImpl(q, *compiled, options, &uf_scratch_, cache_hit,
                    total_watch);
+}
+
+StatusOr<DcSatResult> DcSatEngine::Check(std::string_view query_text,
+                                         const DcSatOptions& options) {
+  StatusOr<DenialConstraint> q = ParseDenialConstraint(query_text);
+  if (!q.ok()) return q.status();
+  return Check(*q, options);
 }
 
 StatusOr<DcSatResult> DcSatEngine::CheckPrepared(
@@ -203,7 +297,7 @@ StatusOr<DcSatResult> DcSatEngine::CheckImpl(
   if (algorithm == DcSatAlgorithm::kOpt) {
     UnionFind local{0};
     UnionFind& uf = scratch != nullptr ? *scratch : local;
-    uf.CopyFrom(*theta_i_components_);  // Θ_I precomputed; add Θ_q.
+    uf.CopyFrom(theta_i_.components());  // Θ_I precomputed; add Θ_q.
     StatusOr<std::vector<EqualityConstraint>> theta_q =
         EqualitiesFromQuery(q, db_->catalog());
     if (!theta_q.ok()) return theta_q.status();

@@ -6,10 +6,12 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/blockchain_db.h"
 #include "core/fd_graph.h"
+#include "core/ind_graph.h"
 #include "query/ast.h"
 #include "query/compiled_query.h"
 #include "util/status.h"
@@ -67,6 +69,42 @@ struct DcSatOptions {
   std::size_t num_threads = 1;
 };
 
+/// How the engine keeps its steady-state structures (paper Section 6.3)
+/// fresh across mempool mutations.
+struct SteadyStateOptions {
+  /// Consume the database's mutation-delta log and patch the fd graph and
+  /// Θ_I components in place, instead of rebuilding them on every version
+  /// change. The maintained structures are bit-identical to a from-scratch
+  /// build (differential-tested), so this is purely a performance knob.
+  bool incremental = true;
+  /// Fall back to a full rebuild when more than this many mutation events
+  /// accumulated since the last refresh — beyond some churn volume, replay
+  /// costs more than reconstruction.
+  std::size_t max_delta_events = 256;
+};
+
+/// Cumulative refresh behaviour; how often the delta path engaged and why
+/// it ever fell back to full rebuilds.
+struct SteadyStateStats {
+  std::size_t full_rebuilds = 0;
+  std::size_t incremental_batches = 0;
+  std::size_t incremental_events = 0;  // Mutation events applied as deltas.
+  std::size_t fallbacks_batch_too_large = 0;  // > max_delta_events pending.
+  std::size_t fallbacks_missed_events = 0;    // Mutation log trimmed past us.
+  std::size_t fallbacks_base_insert = 0;      // kCurrentInserted (bulk load).
+};
+
+/// What the most recent RefreshCaches (triggered by Check /
+/// PrepareSteadyState) actually did.
+struct SteadyStateRefresh {
+  bool refreshed = false;     // false: caches were already fresh.
+  bool full_rebuild = false;  // Meaningful only when refreshed.
+  std::size_t events_applied = 0;
+  /// Still-pending transactions invalidated because they FD-conflicted with
+  /// a transaction that a delta batch applied to the current state.
+  std::vector<PendingId> cascade_invalidated;
+};
+
 struct DcSatStats {
   DcSatAlgorithm algorithm_used = DcSatAlgorithm::kAuto;
   bool precheck_decided = false;  // The R ∪ T pre-check settled the answer.
@@ -96,12 +134,17 @@ struct DcSatResult {
 /// Decides denial-constraint satisfaction over one blockchain database,
 /// owning the steady-state structures of paper Section 6.3: the
 /// fd-transaction graph, the Θ_I part of the ind-graph components, and the
-/// per-transaction validity bits. Caches are keyed on the database version
-/// and rebuilt lazily after mutations.
+/// per-transaction validity bits. Caches are keyed on the database version;
+/// after mutations they are patched from the database's mutation-delta log
+/// (see SteadyStateOptions) or, when a delta batch is too large, the log
+/// was trimmed past the engine's cursor, or the base state was bulk-loaded,
+/// rebuilt from scratch.
 class DcSatEngine {
  public:
   /// `db` must outlive the engine.
-  explicit DcSatEngine(const BlockchainDatabase* db) : db_(db) {}
+  explicit DcSatEngine(const BlockchainDatabase* db,
+                       SteadyStateOptions steady_options = {})
+      : db_(db), steady_options_(steady_options) {}
 
   const BlockchainDatabase& db() const { return *db_; }
 
@@ -110,6 +153,12 @@ class DcSatEngine {
   /// kOpt on a non-monotone constraint, kOpt on a disconnected or aggregate
   /// constraint). Keeps the steady-state caches fresh as a side effect.
   StatusOr<DcSatResult> Check(const DenialConstraint& q,
+                              const DcSatOptions& options = {});
+
+  /// Convenience overload: parses and compiles `query_text` internally, so
+  /// callers with textual constraints skip the parse/compile boilerplate.
+  /// Fails on syntax errors exactly like ParseDenialConstraint.
+  StatusOr<DcSatResult> Check(std::string_view query_text,
                               const DcSatOptions& options = {});
 
   /// Const query path for concurrent callers (ConstraintMonitor::Poll):
@@ -132,6 +181,14 @@ class DcSatEngine {
   std::size_t steady_cache_hits() const { return cache_hits_; }
   std::size_t steady_cache_misses() const { return cache_misses_; }
 
+  const SteadyStateOptions& steady_state_options() const {
+    return steady_options_;
+  }
+  const SteadyStateStats& steady_state_stats() const { return steady_stats_; }
+  /// Describes the most recent cache refresh attempt (reset by every Check /
+  /// PrepareSteadyState; `refreshed` is false after a version cache hit).
+  const SteadyStateRefresh& last_refresh() const { return last_refresh_; }
+
  private:
   /// The whole decision procedure after compilation, against fresh caches.
   /// `scratch` (optional) is reused for the Θ_I ∪ Θ_q union-find instead of
@@ -150,12 +207,23 @@ class DcSatEngine {
       std::size_t num_workers, DcSatResult& result) const;
 
   void RefreshCaches();
+  /// Patches fd_graph_/theta_i_ from the mutation events since
+  /// consumed_seq_. Returns false — leaving the caches untouched, all
+  /// eligibility checks run before the first mutation — when the delta path
+  /// is ineligible (disabled, untracked graph, trimmed log, oversized
+  /// batch, or a base-state insert).
+  bool TryIncrementalRefresh();
   std::shared_ptr<ThreadPool> PoolFor(std::size_t num_workers) const;
 
   const BlockchainDatabase* db_;
+  SteadyStateOptions steady_options_;
   std::uint64_t cached_version_ = ~std::uint64_t{0};
+  /// Mutation-log position up to which the caches have been maintained.
+  std::uint64_t consumed_seq_ = 0;
   std::optional<FdGraph> fd_graph_;
-  std::optional<UnionFind> theta_i_components_;
+  EqualityComponents theta_i_;
+  SteadyStateStats steady_stats_;
+  SteadyStateRefresh last_refresh_;
   // Scratch for the serial Check path only (never shared across threads).
   UnionFind uf_scratch_{0};
   std::size_t cache_hits_ = 0;

@@ -1,14 +1,14 @@
 #include "core/fd_graph.h"
 
-#include <unordered_map>
-#include <vector>
-
-#include "relational/tuple.h"
+#include <algorithm>
 
 namespace bcdb {
 
-FdGraph::FdGraph(const BlockchainDatabase& db)
-    : graph_(db.num_pending()), valid_nodes_(db.num_pending()) {
+FdGraph::FdGraph(const BlockchainDatabase& db, bool track_mutations)
+    : db_(&db),
+      graph_(db.num_pending()),
+      valid_nodes_(db.num_pending()),
+      tracked_(track_mutations) {
   const ConstraintChecker& checker = db.checker();
 
   for (PendingId id : db.PendingIds()) {
@@ -21,17 +21,18 @@ FdGraph::FdGraph(const BlockchainDatabase& db)
   // For every FD, bucket the determinant projections of all valid pending
   // tuples; transactions in one bucket with differing dependents conflict.
   const std::vector<FunctionalDependency>& fds = db.constraints().fds();
-  for (const FunctionalDependency& fd : fds) {
+  fd_buckets_.resize(fds.size());
+  if (tracked_) footprints_.resize(db.num_pending());
+  for (std::size_t ord = 0; ord < fds.size(); ++ord) {
+    const FunctionalDependency& fd = fds[ord];
     const Relation& rel = db.database().relation(fd.relation_id());
-    struct Entry {
-      PendingId txn;
-      Tuple dependent;
-    };
-    std::unordered_map<Tuple, std::vector<Entry>, TupleHash> buckets;
+    FdBuckets& buckets = fd_buckets_[ord];
     valid_nodes_.ForEach([&](std::size_t id) {
       for (TupleId tuple_id : rel.TuplesOwnedBy(static_cast<TupleOwner>(id))) {
         const Tuple& t = rel.tuple(tuple_id);
-        buckets[t.Project(fd.lhs())].push_back(Entry{id, t.Project(fd.rhs())});
+        Tuple key = t.Project(fd.lhs());
+        if (tracked_) footprints_[id].emplace_back(ord, key);
+        buckets[std::move(key)].push_back(BucketEntry{id, t.Project(fd.rhs())});
       }
     });
     for (const auto& [key, entries] : buckets) {
@@ -48,6 +49,91 @@ FdGraph::FdGraph(const BlockchainDatabase& db)
       }
     }
   }
+  // The buckets exist only to serve the incremental mutators; an untracked
+  // graph frees them.
+  if (!tracked_) fd_buckets_.clear();
+}
+
+bool FdGraph::AddPendingNode(PendingId id) {
+  const std::size_t n = db_->num_pending();
+  graph_.Resize(n);
+  valid_nodes_.Resize(n);
+  footprints_.resize(n);
+  if (!db_->IsPending(id) ||
+      !db_->checker().FdConsistentWithBase(static_cast<TupleOwner>(id))) {
+    // Invalid nodes carry no edges and no bucket entries — exactly how a
+    // from-scratch build treats them.
+    return false;
+  }
+  valid_nodes_.ForEach([&](std::size_t v) {
+    if (v != id) graph_.AddEdge(id, v);
+  });
+  valid_nodes_.Set(id);
+  ProbeAndBucket(id);
+  return true;
+}
+
+void FdGraph::ProbeAndBucket(PendingId id) {
+  const std::vector<FunctionalDependency>& fds = db_->constraints().fds();
+  for (std::size_t ord = 0; ord < fds.size(); ++ord) {
+    const FunctionalDependency& fd = fds[ord];
+    const Relation& rel = db_->database().relation(fd.relation_id());
+    FdBuckets& buckets = fd_buckets_[ord];
+    for (TupleId tuple_id : rel.TuplesOwnedBy(static_cast<TupleOwner>(id))) {
+      const Tuple& t = rel.tuple(tuple_id);
+      Tuple key = t.Project(fd.lhs());
+      Tuple dependent = t.Project(fd.rhs());
+      std::vector<BucketEntry>& bucket = buckets[key];
+      for (const BucketEntry& entry : bucket) {
+        if (entry.txn != id && entry.dependent != dependent &&
+            graph_.HasEdge(entry.txn, id)) {
+          graph_.RemoveEdge(entry.txn, id);
+          ++num_conflict_pairs_;
+        }
+      }
+      footprints_[id].emplace_back(ord, key);
+      bucket.push_back(BucketEntry{id, std::move(dependent)});
+    }
+  }
+}
+
+void FdGraph::DetachNode(PendingId id) {
+  if (id >= valid_nodes_.size() || !valid_nodes_.Test(id)) return;
+  // Conflicts involving a valid node are exactly its valid non-neighbours:
+  // the graph is complete over valid nodes minus the conflict pairs.
+  const std::size_t degree = graph_.Neighbors(id).Count();
+  num_conflict_pairs_ -= (valid_nodes_.Count() - 1) - degree;
+  graph_.IsolateVertex(id);
+  valid_nodes_.Reset(id);
+  for (const auto& [ord, key] : footprints_[id]) {
+    auto it = fd_buckets_[ord].find(key);
+    if (it == fd_buckets_[ord].end()) continue;  // Earlier duplicate entry.
+    std::vector<BucketEntry>& bucket = it->second;
+    bucket.erase(std::remove_if(
+                     bucket.begin(), bucket.end(),
+                     [id](const BucketEntry& e) { return e.txn == id; }),
+                 bucket.end());
+    if (bucket.empty()) fd_buckets_[ord].erase(it);
+  }
+  footprints_[id].clear();
+}
+
+void FdGraph::RemovePendingNode(PendingId id) { DetachNode(id); }
+
+std::vector<PendingId> FdGraph::ApplyPendingNode(PendingId id) {
+  std::vector<PendingId> cascade;
+  if (id < valid_nodes_.size() && valid_nodes_.Test(id)) {
+    // The applied transaction's tuples joined R, so a still-pending node is
+    // base-consistent iff it was and did not conflict with `id` — conflicts
+    // are exactly the valid non-neighbours.
+    DynamicBitset conflicted = valid_nodes_;
+    conflicted -= graph_.Neighbors(id);
+    conflicted.Reset(id);
+    cascade = conflicted.ToVector();
+  }
+  DetachNode(id);
+  for (PendingId j : cascade) DetachNode(j);
+  return cascade;
 }
 
 }  // namespace bcdb

@@ -2,9 +2,13 @@
 #define BCDB_CORE_FD_GRAPH_H_
 
 #include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/bit_graph.h"
 #include "core/blockchain_db.h"
+#include "relational/tuple.h"
 #include "util/bitset.h"
 
 namespace bcdb {
@@ -19,10 +23,19 @@ namespace bcdb {
 /// FD's determinant projection across all pending tuples — conflicts are
 /// rare in practice, so the graph is "complete minus a few conflict pairs"
 /// rather than the result of O(k²) pairwise checks.
+///
+/// In *tracked* mode the graph keeps those determinant buckets alive and can
+/// be maintained incrementally under mempool churn (paper Section 6.3): one
+/// AddPending / ApplyPending / DiscardPending mutates only the affected
+/// node's edges and bucket entries, instead of rebuilding everything. The
+/// maintained state is always bit-identical to a from-scratch build over the
+/// same database (the differential tests assert exactly this).
 class FdGraph {
  public:
-  /// Builds the graph over all still-pending transactions of `db`.
-  explicit FdGraph(const BlockchainDatabase& db);
+  /// Builds the graph over all still-pending transactions of `db`. With
+  /// `track_mutations`, retains the per-FD determinant buckets required by
+  /// the incremental mutators below (~one map entry per pending tuple).
+  explicit FdGraph(const BlockchainDatabase& db, bool track_mutations = false);
 
   /// Adjacency over the full pending-id space; only valid nodes carry edges.
   const BitGraph& graph() const { return graph_; }
@@ -36,10 +49,58 @@ class FdGraph {
   /// "contradictions" knob.
   std::size_t num_conflict_pairs() const { return num_conflict_pairs_; }
 
+  // --- Incremental maintenance (requires track_mutations). -----------------
+
+  /// Integrates the freshly registered pending transaction `id`
+  /// (kPendingAdded): validity check against the base state, edges to every
+  /// other valid node, conflict edges removed via determinant-bucket probes.
+  /// Cost: O(pending + own tuples), vs O(pending² / 64 + all tuples) for a
+  /// rebuild. Returns true when the node came out valid.
+  bool AddPendingNode(PendingId id);
+
+  /// Removes `id` from the graph (kPendingDiscarded): clears its validity,
+  /// edges and bucket entries. Remaining pairwise conflicts are untouched.
+  void RemovePendingNode(PendingId id);
+
+  /// Applies `id` to the current state (kPendingApplied): removes the node
+  /// like RemovePendingNode, and — because its tuples joined R — every
+  /// still-valid node that FD-conflicted with it becomes inconsistent with
+  /// the base state and is invalidated too. Returns those cascade-
+  /// invalidated nodes (ascending); the caller must drop them from any
+  /// structure keyed on valid nodes (Θ_I buckets).
+  std::vector<PendingId> ApplyPendingNode(PendingId id);
+
+  bool tracking_mutations() const { return tracked_; }
+
  private:
+  /// One valid pending tuple in an FD's determinant bucket.
+  struct BucketEntry {
+    PendingId txn;
+    Tuple dependent;
+  };
+  using FdBuckets = std::unordered_map<Tuple, std::vector<BucketEntry>,
+                                       TupleHash>;
+
+  /// Clears `id`'s validity bit, edges, and (tracked) bucket entries,
+  /// keeping num_conflict_pairs_ consistent with the remaining valid set.
+  void DetachNode(PendingId id);
+
+  /// Inserts `id`'s determinant projections into the FD buckets, removing a
+  /// conflict edge for every bucket neighbour with a differing dependent.
+  void ProbeAndBucket(PendingId id);
+
+  const BlockchainDatabase* db_ = nullptr;
   BitGraph graph_;
   DynamicBitset valid_nodes_;
   std::size_t num_conflict_pairs_ = 0;
+
+  // Tracked mode only.
+  bool tracked_ = false;
+  /// Parallel to db constraints' fds(): determinant projection -> entries.
+  std::vector<FdBuckets> fd_buckets_;
+  /// Per pending id: the (fd ordinal, determinant key) pairs it bucketed
+  /// under, so removal never needs the (possibly dropped) tuples.
+  std::vector<std::vector<std::pair<std::size_t, Tuple>>> footprints_;
 };
 
 }  // namespace bcdb

@@ -1,8 +1,6 @@
 #include "core/ind_graph.h"
 
-#include <unordered_map>
-
-#include "relational/tuple.h"
+#include <algorithm>
 
 namespace bcdb {
 
@@ -49,7 +47,104 @@ std::vector<std::vector<PendingId>> GroupComponents(const DynamicBitset& nodes,
   for (auto& [root, members] : by_root) {
     components.push_back(std::move(members));
   }
+  // Canonical scan order: members are already ascending (ForEach order), so
+  // sorting by the smallest member makes the result independent of
+  // union-find root choice and hash-map iteration order.
+  std::sort(components.begin(), components.end(),
+            [](const std::vector<PendingId>& a,
+               const std::vector<PendingId>& b) {
+              return a.front() < b.front();
+            });
   return components;
+}
+
+void EqualityComponents::Rebuild(const BlockchainDatabase& db,
+                                 std::vector<EqualityConstraint> equalities,
+                                 const DynamicBitset& nodes) {
+  db_ = &db;
+  equalities_ = std::move(equalities);
+  buckets_.assign(equalities_.size(), Buckets{});
+  footprints_.assign(db.num_pending(), {});
+  uf_.Reset(db.num_pending());
+  for (std::size_t ord = 0; ord < equalities_.size(); ++ord) {
+    const EqualityConstraint& eq = equalities_[ord];
+    const Relation& lhs_rel = db.database().relation(eq.lhs_relation_id);
+    const Relation& rhs_rel = db.database().relation(eq.rhs_relation_id);
+    Buckets& buckets = buckets_[ord];
+    nodes.ForEach([&](std::size_t id) {
+      const TupleOwner owner = static_cast<TupleOwner>(id);
+      for (TupleId t : lhs_rel.TuplesOwnedBy(owner)) {
+        Tuple key = lhs_rel.tuple(t).Project(eq.lhs_positions);
+        footprints_[id].push_back(FootprintEntry{ord, false, key});
+        buckets[std::move(key)].lhs_members.push_back(id);
+      }
+      for (TupleId t : rhs_rel.TuplesOwnedBy(owner)) {
+        Tuple key = rhs_rel.tuple(t).Project(eq.rhs_positions);
+        footprints_[id].push_back(FootprintEntry{ord, true, key});
+        buckets[std::move(key)].rhs_members.push_back(id);
+      }
+    });
+    for (const auto& [key, bucket] : buckets) CollapseBucket(bucket);
+  }
+}
+
+void EqualityComponents::CollapseBucket(const Bucket& bucket) {
+  if (bucket.lhs_members.empty() || bucket.rhs_members.empty()) return;
+  const PendingId anchor = bucket.lhs_members.front();
+  for (PendingId id : bucket.lhs_members) uf_.Union(anchor, id);
+  for (PendingId id : bucket.rhs_members) uf_.Union(anchor, id);
+}
+
+void EqualityComponents::GrowTo(std::size_t num_pending) {
+  uf_.Grow(num_pending);
+  if (footprints_.size() < num_pending) footprints_.resize(num_pending);
+}
+
+void EqualityComponents::AddNode(PendingId id) {
+  GrowTo(id + 1);
+  for (std::size_t ord = 0; ord < equalities_.size(); ++ord) {
+    const EqualityConstraint& eq = equalities_[ord];
+    const Relation& lhs_rel = db_->database().relation(eq.lhs_relation_id);
+    const Relation& rhs_rel = db_->database().relation(eq.rhs_relation_id);
+    const TupleOwner owner = static_cast<TupleOwner>(id);
+    for (TupleId t : lhs_rel.TuplesOwnedBy(owner)) {
+      Tuple key = lhs_rel.tuple(t).Project(eq.lhs_positions);
+      footprints_[id].push_back(FootprintEntry{ord, false, key});
+      Bucket& bucket = buckets_[ord][std::move(key)];
+      bucket.lhs_members.push_back(id);
+      CollapseBucket(bucket);
+    }
+    for (TupleId t : rhs_rel.TuplesOwnedBy(owner)) {
+      Tuple key = rhs_rel.tuple(t).Project(eq.rhs_positions);
+      footprints_[id].push_back(FootprintEntry{ord, true, key});
+      Bucket& bucket = buckets_[ord][std::move(key)];
+      bucket.rhs_members.push_back(id);
+      CollapseBucket(bucket);
+    }
+  }
+}
+
+void EqualityComponents::RemoveNode(PendingId id) {
+  if (id >= footprints_.size()) return;
+  for (const FootprintEntry& entry : footprints_[id]) {
+    auto it = buckets_[entry.ordinal].find(entry.key);
+    if (it == buckets_[entry.ordinal].end()) continue;
+    std::vector<PendingId>& members =
+        entry.rhs_side ? it->second.rhs_members : it->second.lhs_members;
+    members.erase(std::remove(members.begin(), members.end(), id),
+                  members.end());
+    if (it->second.lhs_members.empty() && it->second.rhs_members.empty()) {
+      buckets_[entry.ordinal].erase(it);
+    }
+  }
+  footprints_[id].clear();
+}
+
+void EqualityComponents::RecomputeUnions() {
+  uf_.Reset(footprints_.size());
+  for (const Buckets& buckets : buckets_) {
+    for (const auto& [key, bucket] : buckets) CollapseBucket(bucket);
+  }
 }
 
 }  // namespace bcdb

@@ -1,10 +1,13 @@
 #ifndef BCDB_CORE_IND_GRAPH_H_
 #define BCDB_CORE_IND_GRAPH_H_
 
+#include <cstddef>
+#include <unordered_map>
 #include <vector>
 
 #include "core/blockchain_db.h"
 #include "query/analysis.h"
+#include "relational/tuple.h"
 #include "util/bitset.h"
 #include "util/union_find.h"
 
@@ -27,9 +30,78 @@ void MergeEqualityComponents(const BlockchainDatabase& db,
 
 /// Groups the transactions of `nodes` into connected components of the
 /// ind-q-transaction graph G^{q,ind}_T, given a union-find prepared by
-/// MergeEqualityComponents calls for Θ_I and Θ_q.
+/// MergeEqualityComponents calls for Θ_I and Θ_q. Components are returned in
+/// a canonical order (ascending smallest member, members ascending), so the
+/// scan order — and with it the deterministic lowest-violating-component
+/// witness — does not depend on union-find history. An incrementally
+/// maintained Θ_I therefore yields bit-identical results to a from-scratch
+/// one.
 std::vector<std::vector<PendingId>> GroupComponents(const DynamicBitset& nodes,
                                                     UnionFind& uf);
+
+/// The Θ_I half of the ind-graph components, maintained incrementally
+/// (paper Section 6.3). Holds the per-constraint projection buckets of
+/// MergeEqualityComponents as live state, so one mempool mutation touches
+/// only the affected transaction's entries:
+///
+/// * AddNode inserts the new transaction's projections and unions its
+///   bucket-mates eagerly (unions only — cheap).
+/// * RemoveNode deletes its entries; since a union-find cannot split, the
+///   caller runs RecomputeUnions once per mutation batch that removed
+///   anything — a replay of the retained buckets, skipping the expensive
+///   re-projection and re-hashing of every pending tuple.
+///
+/// The resulting component *partition* is always identical to a fresh
+/// MergeEqualityComponents over the same valid set (union order may differ,
+/// which GroupComponents' canonical ordering hides).
+class EqualityComponents {
+ public:
+  EqualityComponents() = default;
+
+  /// Full (re)build over the valid `nodes` of `db` with Θ_I `equalities`.
+  void Rebuild(const BlockchainDatabase& db,
+               std::vector<EqualityConstraint> equalities,
+               const DynamicBitset& nodes);
+
+  /// Extends the element space to `db.num_pending()` (new ids start as
+  /// singletons). Call for every added pending id, valid or not.
+  void GrowTo(std::size_t num_pending);
+
+  /// Inserts valid node `id`'s projections; unions it with bucket-mates.
+  void AddNode(PendingId id);
+
+  /// Removes `id`'s projections. The union-find is stale (possibly too
+  /// coarse) until RecomputeUnions runs.
+  void RemoveNode(PendingId id);
+
+  /// Rebuilds the union-find from the retained buckets.
+  void RecomputeUnions();
+
+  /// The Θ_I components; one element per pending-id slot.
+  const UnionFind& components() const { return uf_; }
+
+ private:
+  struct Bucket {
+    std::vector<PendingId> lhs_members;
+    std::vector<PendingId> rhs_members;
+  };
+  using Buckets = std::unordered_map<Tuple, Bucket, TupleHash>;
+  struct FootprintEntry {
+    std::size_t ordinal;  // Index into equalities_.
+    bool rhs_side;
+    Tuple key;
+  };
+
+  /// Unions every member of `bucket` into one set (both sides non-empty).
+  void CollapseBucket(const Bucket& bucket);
+
+  const BlockchainDatabase* db_ = nullptr;
+  std::vector<EqualityConstraint> equalities_;
+  std::vector<Buckets> buckets_;  // Parallel to equalities_.
+  /// Per pending id: where its tuples bucketed, for tuple-free removal.
+  std::vector<std::vector<FootprintEntry>> footprints_;
+  UnionFind uf_{0};
+};
 
 }  // namespace bcdb
 

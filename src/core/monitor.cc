@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <future>
 
+#include "query/analysis.h"
 #include "query/compiled_query.h"
+#include "query/parser.h"
+#include "util/union_find.h"
 
 namespace bcdb {
 
@@ -21,17 +24,122 @@ const char* ConstraintMonitor::VerdictToString(Verdict verdict) {
   return "?";
 }
 
-StatusOr<std::size_t> ConstraintMonitor::Add(std::string label,
-                                             DenialConstraint q) {
+ConstraintMonitor::ConstraintMonitor(BlockchainDatabase* db,
+                                     MonitorOptions options)
+    : db_(db), options_(options), engine_(db, options.steady) {
+  listener_id_ = db_->AddMutationListener([this](const MutationEvent& event) {
+    for (std::size_t relation_id : event.relation_ids) {
+      MarkRelationDirty(relation_id);
+    }
+  });
+  // The constraint set is fixed at database creation, so the IND coupling
+  // between relations is too: compute the classes once.
+  const std::size_t num_relations = db_->database().num_relations();
+  UnionFind coupling(num_relations);
+  for (const EqualityConstraint& equality :
+       EqualitiesFromConstraints(db_->constraints())) {
+    coupling.Union(equality.lhs_relation_id, equality.rhs_relation_id);
+  }
+  relation_class_.resize(num_relations);
+  for (std::size_t r = 0; r < num_relations; ++r) {
+    relation_class_[r] = coupling.Find(r);
+  }
+}
+
+ConstraintMonitor::~ConstraintMonitor() {
+  db_->RemoveMutationListener(listener_id_);
+}
+
+void ConstraintMonitor::MarkRelationDirty(std::size_t relation_id) {
+  if (relation_id >= dirty_relations_.size()) {
+    dirty_relations_.Resize(relation_id + 1);
+  }
+  dirty_relations_.Set(relation_id);
+}
+
+StatusOr<MonitorHandle> ConstraintMonitor::Add(std::string label,
+                                               DenialConstraint q) {
   // Validate now so Poll never trips over a malformed constraint.
   StatusOr<CompiledQuery> compiled =
       CompiledQuery::Compile(q, &db_->database());
   if (!compiled.ok()) return compiled.status();
   Entry entry;
   entry.label = std::move(label);
+  // The dirty filter keys on the relations q references — positive and
+  // negated atoms alike, both shape the verdict.
+  std::vector<std::size_t> direct;
+  for (const std::vector<Atom>* atoms : {&q.positive_atoms, &q.negated_atoms}) {
+    for (const Atom& atom : *atoms) {
+      StatusOr<std::size_t> relation_id =
+          db_->database().RelationId(atom.relation);
+      if (!relation_id.ok()) return relation_id.status();
+      if (std::find(direct.begin(), direct.end(), *relation_id) ==
+          direct.end()) {
+        direct.push_back(*relation_id);
+      }
+    }
+  }
+  // Close the watch set under IND coupling: a mutation in R can change the
+  // possible worlds of an S-tuple when S[x] ⊆ R[a] ties them together, so
+  // q-over-S must re-evaluate on R churn even though q never mentions R.
+  for (std::size_t r = 0; r < relation_class_.size(); ++r) {
+    for (std::size_t d : direct) {
+      if (relation_class_[r] == relation_class_[d]) {
+        entry.relation_ids.push_back(r);
+        break;
+      }
+    }
+  }
+  entry.always_dirty = !AnalyzeQuery(q, db_->catalog()).monotone;
   entry.q = std::move(q);
   entries_.push_back(std::move(entry));
-  return entries_.size() - 1;
+  ++live_count_;
+  return MonitorHandle(entries_.size() - 1);
+}
+
+StatusOr<MonitorHandle> ConstraintMonitor::Add(std::string label,
+                                               std::string_view query_text) {
+  StatusOr<DenialConstraint> q = ParseDenialConstraint(query_text);
+  if (!q.ok()) return q.status();
+  return Add(std::move(label), *std::move(q));
+}
+
+bool ConstraintMonitor::Remove(MonitorHandle handle) {
+  if (Find(handle) == nullptr) return false;
+  Entry& entry = entries_[handle.value()];
+  entry.removed = true;
+  entry.verdict = Verdict::kUnknown;
+  entry.compiled.reset();
+  --live_count_;
+  return true;
+}
+
+bool ConstraintMonitor::IsDirty(const Entry& entry) const {
+  if (!options_.dirty_tracking) return true;
+  if (entry.verdict == Verdict::kUnknown) return true;  // Never decided.
+  if (entry.always_dirty) return true;
+  for (std::size_t relation_id : entry.relation_ids) {
+    if (relation_id < dirty_relations_.size() &&
+        dirty_relations_.Test(relation_id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ConstraintMonitor::AbsorbValidityDiff(const DynamicBitset& valid) {
+  // A transaction whose possible-world membership flipped dirties its
+  // relations even when no mutation event names it — the cascade case:
+  // applying T invalidates every still-pending FD-conflictor of T, whose
+  // tuples may live in relations the apply event never touched.
+  for (std::size_t id = 0; id < valid.size(); ++id) {
+    const bool before = id < prev_valid_.size() && prev_valid_.Test(id);
+    if (before == valid.Test(id)) continue;
+    for (std::size_t relation_id : db_->PendingRelations(id)) {
+      MarkRelationDirty(relation_id);
+    }
+  }
+  prev_valid_ = valid;
 }
 
 StatusOr<ConstraintMonitor::Verdict> ConstraintMonitor::EvaluateEntry(
@@ -49,13 +157,28 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
   std::lock_guard<std::mutex> lock(poll_mutex_);
   ++poll_stats_.polls;
 
-  // Phase 1 (single-threaded): refresh the engine's steady-state caches and
-  // the per-constraint compiled queries. Compilation is what lazily builds
-  // hash indexes in the storage layer, so doing it all here leaves the
-  // parallel phase below strictly read-only.
-  engine_.PrepareSteadyState();
+  // Phase 1 (single-threaded): refresh the engine's steady-state caches
+  // (incrementally when the mutation-delta path is eligible), settle the
+  // dirty-relation set, and compile the standing queries that will run.
+  // Compilation is what lazily builds hash indexes in the storage layer, so
+  // doing it all here leaves the parallel phase below strictly read-only.
+  const FdGraph& fd_graph = engine_.PrepareSteadyState();
+  if (options_.dirty_tracking) AbsorbValidityDiff(fd_graph.valid_nodes());
+
+  std::vector<std::size_t> to_evaluate;
+  for (std::size_t handle = 0; handle < entries_.size(); ++handle) {
+    if (entries_[handle].removed) continue;
+    if (IsDirty(entries_[handle])) {
+      to_evaluate.push_back(handle);
+    } else {
+      ++poll_stats_.constraints_skipped;
+    }
+  }
+  poll_stats_.constraints_evaluated += to_evaluate.size();
+
   const std::uint64_t version = db_->version();
-  for (Entry& entry : entries_) {
+  for (std::size_t handle : to_evaluate) {
+    Entry& entry = entries_[handle];
     if (entry.compiled.has_value() && entry.compiled_version == version) {
       ++poll_stats_.compile_cache_hits;
       continue;
@@ -68,17 +191,18 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
     ++poll_stats_.compile_cache_misses;
   }
 
-  // Phase 2: evaluate every constraint over the shared read-only snapshot.
-  // Each task runs its check serially (num_threads = 1): with several
-  // standing constraints, the constraint-level fan-out already saturates
-  // the workers, and the engine's component pool is not re-entrant.
+  // Phase 2: evaluate every dirty constraint over the shared read-only
+  // snapshot. Each task runs its check serially (num_threads = 1): with
+  // several standing constraints, the constraint-level fan-out already
+  // saturates the workers, and the engine's component pool is not
+  // re-entrant.
   const std::size_t num_workers =
-      entries_.empty()
+      to_evaluate.empty()
           ? 1
           : std::min(ThreadPool::EffectiveThreads(options.num_threads),
-                     entries_.size());
-  std::vector<Verdict> verdicts(entries_.size(), Verdict::kUnknown);
-  std::vector<Status> statuses(entries_.size());
+                     to_evaluate.size());
+  std::vector<Verdict> verdicts(to_evaluate.size(), Verdict::kUnknown);
+  std::vector<Status> statuses(to_evaluate.size());
   DcSatOptions task_options = options;
   task_options.num_threads = 1;
   if (num_workers > 1) {
@@ -86,30 +210,30 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
       pool_ = std::make_shared<ThreadPool>(num_workers);
     }
     std::vector<std::future<void>> futures;
-    futures.reserve(entries_.size());
-    for (std::size_t handle = 0; handle < entries_.size(); ++handle) {
-      futures.push_back(pool_->Submit([this, handle, &task_options,
+    futures.reserve(to_evaluate.size());
+    for (std::size_t i = 0; i < to_evaluate.size(); ++i) {
+      futures.push_back(pool_->Submit([this, i, &to_evaluate, &task_options,
                                        &verdicts, &statuses] {
         StatusOr<Verdict> verdict =
-            EvaluateEntry(entries_[handle], task_options);
+            EvaluateEntry(entries_[to_evaluate[i]], task_options);
         if (verdict.ok()) {
-          verdicts[handle] = *verdict;
+          verdicts[i] = *verdict;
         } else {
-          statuses[handle] = verdict.status();
+          statuses[i] = verdict.status();
         }
       }));
     }
     for (std::future<void>& future : futures) future.get();
     poll_stats_.threads_used = num_workers;
-    poll_stats_.constraints_parallel = entries_.size();
+    poll_stats_.constraints_parallel += to_evaluate.size();
   } else {
-    for (std::size_t handle = 0; handle < entries_.size(); ++handle) {
+    for (std::size_t i = 0; i < to_evaluate.size(); ++i) {
       StatusOr<Verdict> verdict =
-          EvaluateEntry(entries_[handle], task_options);
+          EvaluateEntry(entries_[to_evaluate[i]], task_options);
       if (verdict.ok()) {
-        verdicts[handle] = *verdict;
+        verdicts[i] = *verdict;
       } else {
-        statuses[handle] = verdict.status();
+        statuses[i] = verdict.status();
       }
     }
     poll_stats_.threads_used = 1;
@@ -117,17 +241,19 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
 
   // Phase 3 (single-threaded): apply transitions in handle order. On error,
   // entries before the failing handle keep their new verdicts — exactly the
-  // observable state a serial scan would have left behind.
+  // observable state a serial scan would have left behind — and the dirty
+  // set is retained, so the next poll re-evaluates everything this one did.
   std::vector<Change> changes;
-  for (std::size_t handle = 0; handle < entries_.size(); ++handle) {
-    if (!statuses[handle].ok()) return statuses[handle];
-    Entry& entry = entries_[handle];
-    if (verdicts[handle] != entry.verdict) {
-      changes.push_back(
-          Change{handle, entry.label, entry.verdict, verdicts[handle]});
-      entry.verdict = verdicts[handle];
+  for (std::size_t i = 0; i < to_evaluate.size(); ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+    Entry& entry = entries_[to_evaluate[i]];
+    if (verdicts[i] != entry.verdict) {
+      changes.push_back(Change{MonitorHandle(to_evaluate[i]), entry.label,
+                               entry.verdict, verdicts[i]});
+      entry.verdict = verdicts[i];
     }
   }
+  if (options_.dirty_tracking) dirty_relations_.Clear();
   return changes;
 }
 

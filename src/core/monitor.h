@@ -7,14 +7,57 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/dcsat.h"
 #include "query/ast.h"
+#include "util/bitset.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace bcdb {
+
+/// Opaque typed handle to a standing constraint of a ConstraintMonitor.
+/// Default-constructed handles are invalid; valid handles come only from
+/// ConstraintMonitor::Add and stay stable for the monitor's lifetime —
+/// Remove tombstones the slot, it is never reused for a later Add.
+class MonitorHandle {
+ public:
+  /// An invalid handle (valid() == false).
+  MonitorHandle() = default;
+
+  bool valid() const { return index_ != kInvalid; }
+  /// The underlying slot index; meaningful only when valid().
+  std::size_t value() const { return index_; }
+
+  friend bool operator==(MonitorHandle a, MonitorHandle b) {
+    return a.index_ == b.index_;
+  }
+  friend bool operator!=(MonitorHandle a, MonitorHandle b) {
+    return a.index_ != b.index_;
+  }
+
+ private:
+  friend class ConstraintMonitor;
+  explicit MonitorHandle(std::size_t index) : index_(index) {}
+
+  static constexpr std::size_t kInvalid = ~std::size_t{0};
+  std::size_t index_ = kInvalid;
+};
+
+struct MonitorOptions {
+  /// Steady-state maintenance policy for the embedded DcSatEngine.
+  SteadyStateOptions steady;
+  /// Track which relations the database mutations touched (via the
+  /// mutation-delta subscription) and have Poll skip constraints whose
+  /// referenced relations are untouched — their verdicts cannot have
+  /// changed. Constraints not proved monotone are exempt from skipping:
+  /// their verdict may shift even when no referenced relation changes
+  /// directly (a conflict in an unrelated relation can alter which tuple
+  /// combinations are jointly possible).
+  bool dirty_tracking = true;
+};
 
 /// Tracks standing denial constraints over one blockchain database and
 /// reports verdict *transitions* as the database evolves (new pending
@@ -25,15 +68,18 @@ namespace bcdb {
 ///
 /// Poll evaluates independent constraints concurrently over a read-only
 /// snapshot: the engine's steady-state caches are refreshed once
-/// (single-threaded), every standing query is compiled once per database
-/// version (the compiled-query cache — steady-state polling stops paying
-/// compilation), and only then is the per-constraint work fanned out.
+/// (single-threaded, incrementally from the mutation-delta log when
+/// possible), every standing query is compiled once per database version
+/// (the compiled-query cache — steady-state polling stops paying
+/// compilation), only *dirty* constraints — those whose referenced
+/// relations intersect the transactions changed since the previous poll —
+/// are re-evaluated, and only then is the per-constraint work fanned out.
 /// Concurrent Poll calls serialize on an internal mutex; mutating the
 /// database concurrently with Poll is not supported.
 class ConstraintMonitor {
  public:
   enum class Verdict {
-    kUnknown,     // Not yet polled.
+    kUnknown,     // Not yet polled (or the handle is invalid/removed).
     kHappened,    // q is true over the current state R itself.
     kPossible,    // q holds in some possible world (DCSat: not satisfied).
     kImpossible,  // q holds in no possible world (DCSat: satisfied).
@@ -42,7 +88,7 @@ class ConstraintMonitor {
   static const char* VerdictToString(Verdict verdict);
 
   struct Change {
-    std::size_t handle;
+    MonitorHandle handle;
     std::string label;
     Verdict before;
     Verdict after;
@@ -53,29 +99,57 @@ class ConstraintMonitor {
     std::size_t polls = 0;
     std::size_t compile_cache_hits = 0;    // Query reused across polls.
     std::size_t compile_cache_misses = 0;  // Compiled (version changed).
+    std::size_t constraints_evaluated = 0;  // Entries actually re-checked.
+    std::size_t constraints_skipped = 0;    // Entries clean — verdict kept.
     std::size_t threads_used = 1;          // Last poll's fan-out width.
     std::size_t constraints_parallel = 0;  // Entries evaluated on the pool.
   };
 
-  /// `db` must outlive the monitor.
-  explicit ConstraintMonitor(BlockchainDatabase* db)
-      : db_(db), engine_(db) {}
+  /// `db` must outlive the monitor. The monitor subscribes to the
+  /// database's mutation events for the dirty-constraint bookkeeping and
+  /// unsubscribes on destruction.
+  explicit ConstraintMonitor(BlockchainDatabase* db,
+                             MonitorOptions options = {});
+  ~ConstraintMonitor();
+
+  ConstraintMonitor(const ConstraintMonitor&) = delete;
+  ConstraintMonitor& operator=(const ConstraintMonitor&) = delete;
 
   /// Registers a standing constraint; returns its handle. The constraint is
   /// validated by compilation against the database schema.
-  StatusOr<std::size_t> Add(std::string label, DenialConstraint q);
+  StatusOr<MonitorHandle> Add(std::string label, DenialConstraint q);
 
-  std::size_t size() const { return entries_.size(); }
-  Verdict verdict(std::size_t handle) const {
-    return entries_[handle].verdict;
-  }
-  const std::string& label(std::size_t handle) const {
-    return entries_[handle].label;
+  /// Convenience overload: parses `query_text` first, so callers with
+  /// textual constraints skip the parse boilerplate.
+  StatusOr<MonitorHandle> Add(std::string label, std::string_view query_text);
+
+  /// Unregisters a standing constraint. The slot is tombstoned, never
+  /// reused: other handles stay valid, size() drops by one, and the removed
+  /// handle reports kUnknown / an empty label from now on. Returns false
+  /// when the handle is invalid, out of range, or already removed.
+  bool Remove(MonitorHandle handle);
+
+  /// Number of live (added and not removed) constraints.
+  std::size_t size() const { return live_count_; }
+
+  /// Verdict of `handle` as of the last Poll; kUnknown for invalid,
+  /// out-of-range, removed, or never-polled handles.
+  Verdict verdict(MonitorHandle handle) const {
+    const Entry* entry = Find(handle);
+    return entry != nullptr ? entry->verdict : Verdict::kUnknown;
   }
 
-  /// Re-evaluates every standing constraint against the current database
-  /// state and returns the transitions since the previous poll (first poll
-  /// reports every constraint as a transition from kUnknown).
+  /// Label of `handle`; the empty string for invalid, out-of-range, or
+  /// removed handles.
+  const std::string& label(MonitorHandle handle) const {
+    static const std::string kNoLabel;
+    const Entry* entry = Find(handle);
+    return entry != nullptr ? entry->label : kNoLabel;
+  }
+
+  /// Re-evaluates the dirty standing constraints against the current
+  /// database state and returns the transitions since the previous poll
+  /// (first poll reports every constraint as a transition from kUnknown).
   /// `options.num_threads` picks the cross-constraint fan-out width
   /// (0 = hardware concurrency, 1 = serial); each constraint's own check
   /// runs serially — with many standing constraints, constraint-level
@@ -83,16 +157,46 @@ class ConstraintMonitor {
   StatusOr<std::vector<Change>> Poll(const DcSatOptions& options = {});
 
   const PollStats& poll_stats() const { return poll_stats_; }
+  /// The embedded engine, for steady-state cache introspection.
+  const DcSatEngine& engine() const { return engine_; }
 
  private:
   struct Entry {
     std::string label;
     DenialConstraint q;
     Verdict verdict = Verdict::kUnknown;
+    bool removed = false;
+    /// Relations whose mutations can change q's verdict: the relations q
+    /// references (positive and negated atoms), closed under the coupling
+    /// induced by the database's inclusion dependencies — an IND
+    /// S[x] ⊆ R[a] lets a mutation in R change which worlds an S-tuple can
+    /// inhabit, so an entry over S must also watch R.
+    std::vector<std::size_t> relation_ids;
+    /// Not proved monotone: never skipped by the dirty filter (see
+    /// MonitorOptions::dirty_tracking).
+    bool always_dirty = false;
     // Compiled-query cache, keyed on the database version at compile time.
     std::optional<CompiledQuery> compiled;
     std::uint64_t compiled_version = ~std::uint64_t{0};
   };
+
+  /// The live entry behind `handle`, or nullptr.
+  const Entry* Find(MonitorHandle handle) const {
+    if (!handle.valid() || handle.value() >= entries_.size()) return nullptr;
+    const Entry& entry = entries_[handle.value()];
+    return entry.removed ? nullptr : &entry;
+  }
+
+  /// Whether `entry` must be re-evaluated this poll.
+  bool IsDirty(const Entry& entry) const;
+
+  /// Folds the relations of transactions whose validity changed since the
+  /// previous poll into dirty_relations_ (covers cascade invalidations the
+  /// mutation events alone cannot attribute), then snapshots the bits.
+  void AbsorbValidityDiff(const DynamicBitset& valid);
+
+  /// Marks `relation_id` dirty, growing the bitset on demand.
+  void MarkRelationDirty(std::size_t relation_id);
 
   /// Verdict of one entry over the current (cache-fresh) database state.
   /// Thread-safe: touches only const state and the entry's compiled query.
@@ -100,8 +204,18 @@ class ConstraintMonitor {
                                   const DcSatOptions& options) const;
 
   BlockchainDatabase* db_;
+  MonitorOptions options_;
   DcSatEngine engine_;
   std::vector<Entry> entries_;
+  std::size_t live_count_ = 0;
+  MutationListenerId listener_id_ = 0;
+  /// relation id -> representative of its IND-coupling class (relations
+  /// linked by an inclusion dependency share a representative).
+  std::vector<std::size_t> relation_class_;
+  /// Relations touched by mutations since the last completed poll.
+  DynamicBitset dirty_relations_;
+  /// Engine validity bits as of the last poll, for cascade attribution.
+  DynamicBitset prev_valid_;
   std::mutex poll_mutex_;  // Serializes concurrent Poll calls.
   std::shared_ptr<ThreadPool> pool_;
   PollStats poll_stats_;

@@ -1,0 +1,107 @@
+#ifndef BCDB_CORE_MUTATION_LOG_H_
+#define BCDB_CORE_MUTATION_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace bcdb {
+
+/// Index of a pending transaction within a blockchain database. Equals the
+/// TupleOwner tag of its tuples.
+using PendingId = std::size_t;
+
+/// What a BlockchainDatabase mutation did. The four kinds are exactly the
+/// steady-state churn of a node: the mempool absorbing a transaction, a
+/// block confirming one, the node evicting one, and a direct insert into
+/// the current state (bulk loading).
+enum class MutationKind : std::uint8_t {
+  kPendingAdded,
+  kPendingApplied,
+  kPendingDiscarded,
+  kCurrentInserted,
+};
+
+const char* MutationKindToString(MutationKind kind);
+
+/// One entry of the database's mutation log. Consumers use the payload to
+/// update derived structures (fd-transaction graph, Θ_I components,
+/// constraint dirtiness) without rescanning the database.
+struct MutationEvent {
+  MutationKind kind = MutationKind::kPendingAdded;
+  /// Position in the log (monotone, starts at 0).
+  std::uint64_t seq = 0;
+  /// Database version after the mutation.
+  std::uint64_t version = 0;
+  /// The affected pending transaction; unused for kCurrentInserted.
+  PendingId pending_id = ~std::size_t{0};
+  /// Relation ids touched by the mutation (the pending transaction's tuple
+  /// relations, or the inserted tuple's relation). Recorded at event time so
+  /// consumers can reason about a transaction even after DiscardPending has
+  /// dropped its tuples from the store.
+  std::vector<std::size_t> relation_ids;
+};
+
+/// Bounded, append-only log of mutation events with sequence-number
+/// addressing. Readers keep a cursor (the next seq they have not consumed)
+/// and pull batches with ReadSince; a reader that lags behind the retention
+/// window learns it missed events and must fall back to a full rebuild of
+/// whatever it derives from the log.
+class MutationLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit MutationLog(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Appends one event, stamping its seq; trims the oldest entry when the
+  /// retention window is full.
+  void Append(MutationEvent event) {
+    event.seq = end_seq_;
+    events_.push_back(std::move(event));
+    ++end_seq_;
+    if (events_.size() > capacity_) events_.pop_front();
+  }
+
+  /// Seq of the oldest retained event (== end_seq() when empty).
+  std::uint64_t begin_seq() const { return end_seq_ - events_.size(); }
+  /// Seq the next appended event will get; a fully-caught-up reader's cursor.
+  std::uint64_t end_seq() const { return end_seq_; }
+
+  /// Copies all events with seq >= `from` into `out` (appending, ascending
+  /// seq). Returns false — with `out` untouched — when events in
+  /// [from, end) have already been trimmed, i.e. the reader missed some.
+  bool ReadSince(std::uint64_t from, std::vector<MutationEvent>* out) const {
+    if (from > end_seq_) return false;  // Cursor from another log.
+    if (from < begin_seq()) return false;
+    for (std::size_t i = from - begin_seq(); i < events_.size(); ++i) {
+      out->push_back(events_[i]);
+    }
+    return true;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<MutationEvent> events_;
+  std::uint64_t end_seq_ = 0;
+};
+
+inline const char* MutationKindToString(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kPendingAdded:
+      return "pending-added";
+    case MutationKind::kPendingApplied:
+      return "pending-applied";
+    case MutationKind::kPendingDiscarded:
+      return "pending-discarded";
+    case MutationKind::kCurrentInserted:
+      return "current-inserted";
+  }
+  return "?";
+}
+
+}  // namespace bcdb
+
+#endif  // BCDB_CORE_MUTATION_LOG_H_

@@ -38,6 +38,15 @@ class DynamicBitset {
 
   void Clear() { words_.assign(words_.size(), 0); }
 
+  /// Grows or shrinks to `num_bits`, preserving the bits below the new size
+  /// (new bits start cleared). The incremental fd-graph uses this to extend
+  /// its node space as pending ids are allocated.
+  void Resize(std::size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.resize((num_bits + 63) / 64, 0);
+    TrimTail();
+  }
+
   void SetAll() {
     words_.assign(words_.size(), ~std::uint64_t{0});
     TrimTail();

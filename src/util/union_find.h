@@ -24,6 +24,16 @@ class UnionFind {
     size_.assign(n, 1);
   }
 
+  /// Extends the element space to `n`, keeping existing sets and adding the
+  /// new elements as singletons. No-op when already at least that large.
+  void Grow(std::size_t n) {
+    const std::size_t old = parent_.size();
+    if (n <= old) return;
+    parent_.resize(n);
+    std::iota(parent_.begin() + old, parent_.end(), old);
+    size_.resize(n, 1);
+  }
+
   /// Becomes a copy of `other`, reusing existing capacity. The OptDCSat hot
   /// path re-seeds one scratch instance from the cached Θ_I components on
   /// every check instead of allocating a fresh deep copy per query.

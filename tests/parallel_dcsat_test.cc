@@ -191,9 +191,15 @@ TEST(ParallelMonitorTest, ParallelPollMatchesSerialVerdicts) {
       "q() :- TxOut(t, s, 'U8Pk', a)", "q() :- TxOut(t, s, 'U3Pk', a)",
       "q() :- TxOut(t, s, 'U9Pk', a)", "q() :- TxOut(t, s, 'U5Pk', a)",
       "q() :- TxOut(t, s, 'U1Pk', a)", "q() :- TxOut(t, s, 'U6Pk', a)"};
+  std::vector<MonitorHandle> serial_handles;
+  std::vector<MonitorHandle> parallel_handles;
   for (const char* text : queries) {
-    ASSERT_TRUE(serial_monitor.Add(text, Q(text)).ok());
-    ASSERT_TRUE(parallel_monitor.Add(text, Q(text)).ok());
+    auto serial_handle = serial_monitor.Add(text, Q(text));
+    auto parallel_handle = parallel_monitor.Add(text, Q(text));
+    ASSERT_TRUE(serial_handle.ok());
+    ASSERT_TRUE(parallel_handle.ok());
+    serial_handles.push_back(*serial_handle);
+    parallel_handles.push_back(*parallel_handle);
   }
 
   DcSatOptions serial_options;
@@ -203,19 +209,22 @@ TEST(ParallelMonitorTest, ParallelPollMatchesSerialVerdicts) {
   ASSERT_TRUE(serial_monitor.Poll(serial_options).ok());
   auto parallel_changes = parallel_monitor.Poll(parallel_options);
   ASSERT_TRUE(parallel_changes.ok());
-  for (std::size_t handle = 0; handle < serial_monitor.size(); ++handle) {
-    EXPECT_EQ(parallel_monitor.verdict(handle), serial_monitor.verdict(handle))
-        << serial_monitor.label(handle);
+  for (std::size_t i = 0; i < serial_handles.size(); ++i) {
+    EXPECT_EQ(parallel_monitor.verdict(parallel_handles[i]),
+              serial_monitor.verdict(serial_handles[i]))
+        << serial_monitor.label(serial_handles[i]);
   }
   EXPECT_EQ(parallel_monitor.poll_stats().threads_used, 4u);
   EXPECT_EQ(parallel_monitor.poll_stats().constraints_parallel, 6u);
   EXPECT_EQ(parallel_monitor.poll_stats().compile_cache_misses, 6u);
 
-  // A quiescent re-poll hits the compiled-query cache and reports nothing.
+  // A quiescent re-poll reports nothing; with nothing mutated, the dirty
+  // filter skips every constraint outright.
   auto again = parallel_monitor.Poll(parallel_options);
   ASSERT_TRUE(again.ok());
   EXPECT_TRUE(again->empty());
-  EXPECT_EQ(parallel_monitor.poll_stats().compile_cache_hits, 6u);
+  EXPECT_EQ(parallel_monitor.poll_stats().constraints_skipped, 6u);
+  EXPECT_EQ(parallel_monitor.poll_stats().constraints_evaluated, 6u);
 }
 
 TEST(ParallelMonitorTest, ConcurrentPollsFromManyThreadsAreSafe) {
@@ -223,8 +232,10 @@ TEST(ParallelMonitorTest, ConcurrentPollsFromManyThreadsAreSafe) {
   // under tsan with genuinely concurrent callers.
   BlockchainDatabase db = MakeRunningExample();
   ConstraintMonitor monitor(&db);
-  ASSERT_TRUE(monitor.Add("u8", Q("q() :- TxOut(t, s, 'U8Pk', a)")).ok());
-  ASSERT_TRUE(monitor.Add("u9", Q("q() :- TxOut(t, s, 'U9Pk', a)")).ok());
+  auto u8 = monitor.Add("u8", Q("q() :- TxOut(t, s, 'U8Pk', a)"));
+  auto u9 = monitor.Add("u9", Q("q() :- TxOut(t, s, 'U9Pk', a)"));
+  ASSERT_TRUE(u8.ok());
+  ASSERT_TRUE(u9.ok());
   ASSERT_TRUE(monitor.Poll().ok());
 
   std::atomic<bool> failed{false};
@@ -241,8 +252,8 @@ TEST(ParallelMonitorTest, ConcurrentPollsFromManyThreadsAreSafe) {
   }
   for (std::thread& thread : threads) thread.join();
   EXPECT_FALSE(failed.load());
-  EXPECT_EQ(monitor.verdict(0), Verdict::kPossible);
-  EXPECT_EQ(monitor.verdict(1), Verdict::kImpossible);
+  EXPECT_EQ(monitor.verdict(*u8), Verdict::kPossible);
+  EXPECT_EQ(monitor.verdict(*u9), Verdict::kImpossible);
 }
 
 TEST(ParallelMonitorTest, ConcurrentCheckPreparedCallersAgree) {
