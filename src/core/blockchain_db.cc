@@ -32,7 +32,14 @@ void BlockchainDatabase::Publish(MutationKind kind, PendingId id,
   event.pending_id = id;
   event.relation_ids = std::move(relation_ids);
   mutation_log_->Append(event);
-  for (const MutationListener& listener : *listeners_) {
+  // By index with the size snapshotted up front, invoking a copy: a
+  // callback may register or remove listeners, which reallocates or
+  // overwrites the vector (references into it would dangle, even under the
+  // running callback itself). A listener registered mid-publish starts with
+  // the next event; one removed mid-publish may still receive this one.
+  const std::size_t num_listeners = listeners_->size();
+  for (std::size_t i = 0; i < num_listeners; ++i) {
+    MutationListener listener = (*listeners_)[i];
     if (listener) listener(event);
   }
 }

@@ -19,7 +19,9 @@ namespace bcdb {
 
 /// Callback invoked synchronously after every database mutation, with the
 /// event just appended to the mutation log. Listeners must not mutate the
-/// database from inside the callback.
+/// database from inside the callback. Registering or removing listeners
+/// from inside the callback is safe: a listener added mid-publish first
+/// sees the *next* event, one removed mid-publish may still see this one.
 using MutationListener = std::function<void(const MutationEvent&)>;
 using MutationListenerId = std::size_t;
 

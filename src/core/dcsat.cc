@@ -92,11 +92,27 @@ bool DcSatEngine::TryIncrementalRefresh() {
     ++steady_stats_.fallbacks_batch_too_large;
     return false;
   }
+  std::vector<PendingId> added_in_batch;
   for (const MutationEvent& event : events) {
     if (event.kind == MutationKind::kCurrentInserted) {
       // Direct base-state inserts are bulk loads, not steady-state churn;
       // they can invalidate arbitrary pending transactions, so rebuild.
       ++steady_stats_.fallbacks_base_insert;
+      return false;
+    }
+    if (event.kind == MutationKind::kPendingAdded) {
+      added_in_batch.push_back(event.pending_id);
+    } else if (event.kind == MutationKind::kPendingApplied &&
+               std::find(added_in_batch.begin(), added_in_batch.end(),
+                         event.pending_id) != added_in_batch.end()) {
+      // An AddPending and ApplyPending of one transaction inside a single
+      // batch cannot be replayed: the add replays against the post-apply
+      // database (IsPending is already false), so the node is never
+      // integrated, and the apply's cascade — the still-pending
+      // FD-conflictors it invalidates — would be computed from the absent
+      // node's edges and come up empty, leaving those conflictors marked
+      // valid where a from-scratch build invalidates them. Rebuild.
+      ++steady_stats_.fallbacks_applied_in_batch;
       return false;
     }
   }

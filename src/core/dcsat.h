@@ -92,6 +92,9 @@ struct SteadyStateStats {
   std::size_t fallbacks_batch_too_large = 0;  // > max_delta_events pending.
   std::size_t fallbacks_missed_events = 0;    // Mutation log trimmed past us.
   std::size_t fallbacks_base_insert = 0;      // kCurrentInserted (bulk load).
+  /// One batch both added and applied a transaction; replay cannot
+  /// reconstruct its cascade (see TryIncrementalRefresh).
+  std::size_t fallbacks_applied_in_batch = 0;
 };
 
 /// What the most recent RefreshCaches (triggered by Check /
@@ -137,8 +140,8 @@ struct DcSatResult {
 /// per-transaction validity bits. Caches are keyed on the database version;
 /// after mutations they are patched from the database's mutation-delta log
 /// (see SteadyStateOptions) or, when a delta batch is too large, the log
-/// was trimmed past the engine's cursor, or the base state was bulk-loaded,
-/// rebuilt from scratch.
+/// was trimmed past the engine's cursor, the base state was bulk-loaded, or
+/// one batch both added and applied a transaction, rebuilt from scratch.
 class DcSatEngine {
  public:
   /// `db` must outlive the engine.
@@ -211,7 +214,8 @@ class DcSatEngine {
   /// consumed_seq_. Returns false — leaving the caches untouched, all
   /// eligibility checks run before the first mutation — when the delta path
   /// is ineligible (disabled, untracked graph, trimmed log, oversized
-  /// batch, or a base-state insert).
+  /// batch, a base-state insert, or an add+apply of one transaction within
+  /// the batch, whose cascade replay would be unsound).
   bool TryIncrementalRefresh();
   std::shared_ptr<ThreadPool> PoolFor(std::size_t num_workers) const;
 

@@ -242,6 +242,84 @@ TEST_P(IncrementalDcSatTest, RandomMutationSequenceMatchesScratch) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalDcSatTest,
                          ::testing::Range<std::uint64_t>(0, 60));
 
+class IncrementalBatchedDcSatTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalBatchedDcSatTest, BatchedMutationSequenceMatchesScratch) {
+  // The same differential as above, but the consumers refresh only every K
+  // mutations, so every delta batch carries multiple events — the
+  // production shape (max_delta_events = 256), including an AddPending and
+  // ApplyPending of one transaction inside a single batch, which must take
+  // the applied-in-batch fallback rather than an unsound patch.
+  for (bool with_ind : {false, true}) {
+    Xoshiro256 rng(GetParam() * 2 + (with_ind ? 1 : 0));
+    const std::size_t refresh_every = 2 + GetParam() % 4;  // K in [2, 5].
+    BlockchainDatabase db = MakeInstance(rng, with_ind);
+    DcSatEngine engine(&db);
+    ConstraintMonitor monitor(&db);
+    std::vector<MonitorHandle> handles;
+    for (const char* text : kMonitorQueries) {
+      auto handle = monitor.Add(text, text);
+      ASSERT_TRUE(handle.ok()) << text;
+      handles.push_back(*handle);
+    }
+
+    std::size_t next_ordinal = 0;
+    std::vector<PendingId> live;
+    const std::size_t initial = 2 + rng.NextBelow(3);
+    for (std::size_t i = 0; i < initial; ++i) {
+      auto id = db.AddPending(RandomTxn(rng, next_ordinal++));
+      ASSERT_TRUE(id.ok());
+      live.push_back(*id);
+    }
+    ExpectEngineEquivalence(engine, db, "initial");
+    ExpectMonitorEquivalence(monitor, handles, db, "initial");
+
+    for (std::size_t step = 0; step < 20; ++step) {
+      const std::string context = "seed " + std::to_string(GetParam()) +
+                                  " ind " + std::to_string(with_ind) +
+                                  " K " + std::to_string(refresh_every) +
+                                  " step " + std::to_string(step);
+      const std::size_t op = rng.NextBelow(3);
+      if (op == 0 || live.empty()) {
+        auto id = db.AddPending(RandomTxn(rng, next_ordinal++));
+        ASSERT_TRUE(id.ok()) << context;
+        live.push_back(*id);
+      } else {
+        const std::size_t pick = rng.NextBelow(live.size());
+        const PendingId id = live[pick];
+        if (op == 1 && db.ApplyPending(id).ok()) {
+          // Applied; when `id` entered in this same unchecked window, the
+          // next refresh sees add+apply in one batch.
+        } else {
+          ASSERT_TRUE(db.DiscardPending(id).ok()) << context;
+        }
+        live.erase(live.begin() + pick);
+      }
+      if ((step + 1) % refresh_every == 0) {
+        ExpectEngineEquivalence(engine, db, context);
+        ExpectMonitorEquivalence(monitor, handles, db, context);
+      }
+    }
+    ExpectEngineEquivalence(engine, db, "final");
+    ExpectMonitorEquivalence(monitor, handles, db, "final");
+
+    // Every refresh after the first build consumed a multi-event batch:
+    // either patched incrementally or rejected by the applied-in-batch
+    // guard — never by size or a trimmed log.
+    const SteadyStateStats& stats = engine.steady_state_stats();
+    EXPECT_GE(stats.incremental_batches + stats.fallbacks_applied_in_batch,
+              20 / refresh_every)
+        << "ind " << with_ind;
+    EXPECT_EQ(stats.fallbacks_batch_too_large, 0u);
+    EXPECT_EQ(stats.fallbacks_missed_events, 0u);
+    EXPECT_EQ(stats.fallbacks_base_insert, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalBatchedDcSatTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
 TEST(IncrementalFallbackTest, OversizedBatchFallsBackToFullRebuild) {
   Xoshiro256 rng(7);
   BlockchainDatabase db = MakeInstance(rng, true);
@@ -302,6 +380,37 @@ TEST(IncrementalFallbackTest, TrimmedLogFallsBackToFullRebuild) {
   greedy_engine.PrepareSteadyState();
   EXPECT_EQ(greedy_engine.steady_state_stats().fallbacks_missed_events, 1u);
   EXPECT_TRUE(greedy_engine.last_refresh().full_rebuild);
+}
+
+TEST(IncrementalFallbackTest, SameBatchAddApplyFallsBackToFullRebuild) {
+  // Regression: AddPending(j) and ApplyPending(j) inside one delta batch.
+  // The replayed AddPendingNode(j) sees IsPending(j) == false and never
+  // integrates j, so the kPendingApplied replay would compute an empty
+  // cascade and leave j's still-pending FD-conflictors marked valid —
+  // where a from-scratch build invalidates them. The engine must detect
+  // the add+apply pair and rebuild.
+  Xoshiro256 rng(13);
+  BlockchainDatabase db = MakeInstance(rng, true);
+  DcSatEngine engine(&db);
+
+  Transaction bystander("bystander");
+  bystander.Add("R", Tuple({Value::Int(40), Value::Int(2)}));
+  auto bystander_id = db.AddPending(bystander);
+  ASSERT_TRUE(bystander_id.ok());
+  engine.PrepareSteadyState();  // Build once; the next batch is add+apply.
+
+  Transaction winner("winner");
+  winner.Add("R", Tuple({Value::Int(40), Value::Int(1)}));
+  auto winner_id = db.AddPending(winner);
+  ASSERT_TRUE(winner_id.ok());
+  ASSERT_TRUE(db.ApplyPending(*winner_id).ok());
+
+  const FdGraph& graph = engine.PrepareSteadyState();
+  EXPECT_EQ(engine.steady_state_stats().fallbacks_applied_in_batch, 1u);
+  EXPECT_TRUE(engine.last_refresh().full_rebuild);
+  // The bystander now FD-conflicts with the applied tuple in the base.
+  EXPECT_FALSE(graph.valid_nodes().Test(*bystander_id));
+  ExpectEngineEquivalence(engine, db, "same-batch add+apply");
 }
 
 TEST(IncrementalCascadeTest, ApplyInvalidatesConflictorsAndTheirComponents) {

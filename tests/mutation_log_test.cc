@@ -183,5 +183,39 @@ TEST_F(DatabaseMutationsTest, ListenersObserveAndUnsubscribe) {
                                                MutationKind::kPendingDiscarded}));
 }
 
+TEST_F(DatabaseMutationsTest, ListenerMayRegisterAndRemoveFromCallback) {
+  // Registering or removing listeners from inside a callback reallocates or
+  // overwrites the listener vector while Publish is iterating it; the loop
+  // must survive that, a listener registered mid-publish first sees the
+  // *next* event, and a self-removing listener finishes its current call.
+  BlockchainDatabase db = MakeDb();
+  std::vector<MutationKind> outer_seen;
+  std::vector<MutationKind> inner_seen;
+  MutationListenerId outer = 0;
+  bool registered = false;
+  outer = db.AddMutationListener([&](const MutationEvent& event) {
+    outer_seen.push_back(event.kind);
+    if (!registered) {
+      registered = true;
+      // Enough registrations to force a reallocation under the loop.
+      for (int i = 0; i < 64; ++i) db.AddMutationListener(nullptr);
+      db.AddMutationListener([&](const MutationEvent& inner_event) {
+        inner_seen.push_back(inner_event.kind);
+      });
+      db.RemoveMutationListener(outer);
+    }
+  });
+
+  Transaction txn("t");
+  txn.Add("R", Tuple({Value::Int(1)}));
+  auto id = db.AddPending(txn);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db.DiscardPending(*id).ok());
+
+  EXPECT_EQ(outer_seen, std::vector<MutationKind>{MutationKind::kPendingAdded});
+  EXPECT_EQ(inner_seen,
+            std::vector<MutationKind>{MutationKind::kPendingDiscarded});
+}
+
 }  // namespace
 }  // namespace bcdb
