@@ -9,9 +9,17 @@
 // impossible in every possible world — the uncertainty collapsing as
 // consensus picks winners.
 //
-// Run: ./build/examples/mempool_monitor
+// Run: ./build/examples/mempool_monitor [--budget-ms N]
+//
+// --budget-ms N caps every constraint check at N milliseconds of wall
+// clock. A check that cannot finish in time reports "undecided" instead of
+// stalling the poll; the monitor retries it on later polls with an
+// escalating budget until the verdict settles. 0 (the default) disables
+// the budget entirely.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -23,7 +31,16 @@
 using namespace bcdb;
 using namespace bcdb::bitcoin;
 
-int main() {
+int main(int argc, char** argv) {
+  double budget_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--budget-ms") == 0 && i + 1 < argc) {
+      budget_ms = std::atof(argv[++i]);
+    } else {
+      std::printf("usage: %s [--budget-ms N]\n", argv[0]);
+      return 1;
+    }
+  }
   GeneratorParams params;
   params.seed = 2026;
   params.num_blocks = 60;
@@ -56,7 +73,13 @@ int main() {
   policy.miner_pubkey = "MonitorMinerPk";
   policy.max_transactions = 14;  // Small blocks: resolution takes rounds.
 
-  std::printf("Standing constraints: rival double-spend payout #c received\n\n");
+  std::printf("Standing constraints: rival double-spend payout #c received\n");
+  if (budget_ms > 0) {
+    std::printf("Per-check budget: %.3f ms (timed-out checks report "
+                "\"undecided\")\n",
+                budget_ms);
+  }
+  std::printf("\n");
   std::printf("height | mempool |");
   for (std::size_t c = 0; c < standing.size(); ++c) {
     std::printf(" rival %zu    |", c);
@@ -75,7 +98,9 @@ int main() {
     }
     // The database is rebuilt per block, so the monitor is too; within a
     // block interval its Poll would track mempool churn incrementally.
-    ConstraintMonitor monitor(&*db);
+    MonitorOptions monitor_options;
+    monitor_options.budget.deadline_ms = budget_ms;
+    ConstraintMonitor monitor(&*db, monitor_options);
     std::vector<MonitorHandle> handles;
     for (std::size_t c = 0; c < standing.size(); ++c) {
       auto handle = monitor.Add("rival " + std::to_string(c), standing[c]);

@@ -82,15 +82,26 @@ StatusOr<PendingId> BlockchainDatabase::AddPending(const Transaction& txn) {
   if (txn.empty()) {
     return Status::InvalidArgument("pending transaction has no tuples");
   }
+  // Owners are handed out only here, so owner tags == pending ids; verify
+  // the invariant before touching any state, so a failed add leaves the
+  // database exactly as it was (a leaked slot would poison every later add:
+  // its owner tag would run one ahead of its pending id forever).
+  const PendingId id = pending_.size();
   const TupleOwner owner = db_->RegisterOwner();
+  if (static_cast<std::size_t>(owner) != id) {
+    db_->ReleaseOwner(owner);
+    return Status::Internal("pending id / owner tag mismatch");
+  }
   for (const Transaction::Item& item : txn.items()) {
     Status status = db_->Insert(item.relation, item.tuple, owner);
     if (!status.ok()) {
-      // Roll back the partial insert; the owner slot stays allocated but
-      // owns nothing, so it can never surface tuples in any world.
+      // Roll back the partial insert and reclaim the owner slot (it is the
+      // top one — nothing else registers owners). Nothing was published and
+      // the version is unchanged: the failed add never happened.
       for (std::size_t r = 0; r < db_->num_relations(); ++r) {
         db_->relation(r).DropOwner(owner);
       }
+      db_->ReleaseOwner(owner);
       return status;
     }
   }
@@ -108,11 +119,6 @@ StatusOr<PendingId> BlockchainDatabase::AddPending(const Transaction& txn) {
   }
   pending_relations_.push_back(relation_ids);
   ++version_;
-  const PendingId id = pending_.size() - 1;
-  // Owners are handed out only here, so owner tags == pending ids.
-  if (static_cast<std::size_t>(owner) != id) {
-    return Status::Internal("pending id / owner tag mismatch");
-  }
   Publish(MutationKind::kPendingAdded, id, std::move(relation_ids));
   return id;
 }

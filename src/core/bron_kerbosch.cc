@@ -7,8 +7,11 @@ namespace {
 class Enumerator {
  public:
   Enumerator(const BitGraph& graph, bool use_pivot,
-             const CliqueCallback& callback)
-      : graph_(graph), use_pivot_(use_pivot), callback_(callback) {}
+             const CliqueCallback& callback, const Budget* budget)
+      : graph_(graph),
+        use_pivot_(use_pivot),
+        callback_(callback),
+        budget_(budget) {}
 
   CliqueEnumerationStats Run(const DynamicBitset& subset) {
     DynamicBitset p = subset;
@@ -20,6 +23,13 @@ class Enumerator {
  private:
   /// Returns false if the callback requested an early stop.
   bool Expand(DynamicBitset& p, DynamicBitset& x) {
+    // Cooperative preemption point: one probe per expansion keeps the
+    // worst-case overshoot after expiry to a single recursion step.
+    if (budget_ != nullptr && budget_->Expired()) {
+      stats_.stopped_early = true;
+      stats_.budget_expired = true;
+      return false;
+    }
     ++stats_.recursive_calls;
     if (p.None() && x.None()) {
       ++stats_.cliques_reported;
@@ -66,6 +76,7 @@ class Enumerator {
   const BitGraph& graph_;
   const bool use_pivot_;
   const CliqueCallback& callback_;
+  const Budget* budget_;
   std::vector<std::size_t> current_;
   CliqueEnumerationStats stats_;
 };
@@ -75,8 +86,9 @@ class Enumerator {
 CliqueEnumerationStats EnumerateMaximalCliques(const BitGraph& graph,
                                                const DynamicBitset& subset,
                                                bool use_pivot,
-                                               const CliqueCallback& callback) {
-  Enumerator enumerator(graph, use_pivot, callback);
+                                               const CliqueCallback& callback,
+                                               const Budget* budget) {
+  Enumerator enumerator(graph, use_pivot, callback, budget);
   return enumerator.Run(subset);
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/bit_graph.h"
 #include "util/bitset.h"
+#include "util/deadline.h"
 
 namespace bcdb {
 
@@ -19,6 +20,9 @@ struct CliqueEnumerationStats {
   std::size_t cliques_reported = 0;
   std::size_t recursive_calls = 0;
   bool stopped_early = false;
+  /// The enumeration was abandoned because `budget` expired (a strict
+  /// subset of stopped_early).
+  bool budget_expired = false;
 };
 
 /// Enumerates all maximal cliques of `graph` restricted to the vertices in
@@ -28,10 +32,17 @@ struct CliqueEnumerationStats {
 ///
 /// If `subset` is empty the single (empty) maximal clique is reported — the
 /// current state with no pending transactions is itself a possible world.
+///
+/// `budget` (optional) is probed at every recursive expansion — the
+/// enumeration's cooperative preemption point — and the search unwinds as
+/// soon as it reports expiry, leaving `budget_expired` set. With a null or
+/// never-expiring budget the enumeration order, the reported cliques, and
+/// the stats are bit-identical to a run without budget probes.
 CliqueEnumerationStats EnumerateMaximalCliques(const BitGraph& graph,
                                                const DynamicBitset& subset,
                                                bool use_pivot,
-                                               const CliqueCallback& callback);
+                                               const CliqueCallback& callback,
+                                               const Budget* budget = nullptr);
 
 }  // namespace bcdb
 

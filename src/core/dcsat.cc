@@ -1,6 +1,7 @@
 #include "core/dcsat.h"
 
 #include <algorithm>
+#include <exception>
 #include <future>
 
 #include "core/bron_kerbosch.h"
@@ -45,6 +46,11 @@ struct ComponentOutcome {
   bool covered = false;
   bool violated = false;
   bool cancelled = false;
+  /// The shared budget expired before (or while) this component ran.
+  bool expired = false;
+  /// The component's search finished normally (filtered by covers, fully
+  /// enumerated, or stopped by its own violation).
+  bool completed = false;
   std::optional<std::vector<PendingId>> witness;
   std::size_t cliques = 0;
   std::size_t worlds = 0;
@@ -175,6 +181,10 @@ bool DcSatEngine::TryIncrementalRefresh() {
 
 std::shared_ptr<ThreadPool> DcSatEngine::PoolFor(
     std::size_t num_workers) const {
+  // Callers pass the *requested* effective width (never the per-check
+  // min(threads, work items)), so in steady state the pool is created once
+  // and reused: recreating it per Check as the component count fluctuates
+  // is a thread create/join storm.
   std::lock_guard<std::mutex> lock(pool_mutex_);
   if (pool_ == nullptr || pool_->num_threads() != num_workers) {
     pool_ = std::make_shared<ThreadPool>(num_workers);
@@ -221,6 +231,18 @@ StatusOr<DcSatResult> DcSatEngine::CheckImpl(
     const Stopwatch& total_watch) const {
   const QueryAnalysis analysis = AnalyzeQuery(q, db_->catalog());
 
+  // With limits set, one shared tracker is probed at every cooperative
+  // preemption point below; with the default (unlimited) limits the pointer
+  // stays null and every search path is bit-identical to the unbudgeted
+  // reference. The deadline clock starts here, so it covers the whole
+  // decision procedure.
+  std::optional<Budget> budget_storage;
+  const Budget* budget = nullptr;
+  if (!options.budget.unlimited()) {
+    budget_storage.emplace(options.budget);
+    budget = &*budget_storage;
+  }
+
   // Resolve kAuto and reject unsound explicit choices.
   DcSatAlgorithm algorithm = options.algorithm;
   if (algorithm == DcSatAlgorithm::kTractable) {
@@ -265,11 +287,15 @@ StatusOr<DcSatResult> DcSatEngine::CheckImpl(
   result.stats.steady_cache_hit = cache_hit;
 
   if (algorithm == DcSatAlgorithm::kExhaustive) {
-    StatusOr<std::vector<WorldView>> worlds =
-        EnumeratePossibleWorlds(*db_, options.exhaustive_world_limit);
-    if (!worlds.ok()) return worlds.status();
+    StatusOr<PossibleWorldsEnumeration> enumeration =
+        EnumeratePossibleWorldsWithin(*db_, options.exhaustive_world_limit,
+                                      budget);
+    if (!enumeration.ok()) return enumeration.status();
     result.satisfied = true;
-    for (const WorldView& world : *worlds) {
+    // The enumerated worlds are evaluated even after expiry (bounded work:
+    // the budget already capped how many exist): a violating world among
+    // them decides unsat conclusively, budget or not.
+    for (const WorldView& world : enumeration->worlds) {
       ++result.stats.num_worlds_evaluated;
       if (compiled.Evaluate(world)) {
         result.satisfied = false;
@@ -277,6 +303,12 @@ StatusOr<DcSatResult> DcSatEngine::CheckImpl(
         break;
       }
     }
+    if (result.satisfied && !enumeration->complete) {
+      // Certifying satisfaction needs all of Poss(D); we ran out mid-way.
+      result.decided = false;
+      result.satisfied = false;
+    }
+    result.stats.budget_expired = budget != nullptr && budget->Expired();
     result.stats.total_seconds = total_watch.ElapsedSeconds();
     return result;
   }
@@ -330,22 +362,34 @@ StatusOr<DcSatResult> DcSatEngine::CheckImpl(
       ThreadPool::EffectiveThreads(options.num_threads), components.size());
   if (num_workers > 1) {
     ParallelComponentSearch(compiled, options, components, num_workers,
-                            result);
+                            budget, result);
     result.stats.total_seconds = total_watch.ElapsedSeconds();
     return result;
   }
 
   // --- Serial clique search per component (the reference path). ---
   result.satisfied = true;
+  bool expired = false;
   for (const std::vector<PendingId>& component : components) {
+    if (budget != nullptr && budget->Expired()) {
+      expired = true;
+      break;
+    }
     if (algorithm == DcSatAlgorithm::kOpt && options.use_covers) {
       WorldView cover_view = db_->BaseView();
       for (PendingId id : component) {
         cover_view.Activate(static_cast<TupleOwner>(id));
       }
-      if (!compiled.CoversConstants(cover_view)) continue;
+      if (!compiled.CoversConstants(cover_view)) {
+        ++result.stats.components_completed;
+        continue;
+      }
     }
     ++result.stats.num_components_covered;
+    if (budget != nullptr && !budget->ChargeComponent()) {
+      expired = true;
+      break;
+    }
 
     DynamicBitset subset(db_->num_pending());
     for (PendingId id : component) subset.Set(id);
@@ -353,6 +397,10 @@ StatusOr<DcSatResult> DcSatEngine::CheckImpl(
     const CliqueEnumerationStats clique_stats = EnumerateMaximalCliques(
         fd_graph.graph(), subset, options.use_pivot,
         [&](const std::vector<std::size_t>& clique) {
+          if (budget != nullptr &&
+              (!budget->ChargeClique() || !budget->ChargeWorld())) {
+            return false;  // Budget expired; unwind without evaluating.
+          }
           const WorldView world = GetMaximal(*db_, clique);
           ++result.stats.num_worlds_evaluated;
           if (compiled.Evaluate(world)) {
@@ -361,10 +409,27 @@ StatusOr<DcSatResult> DcSatEngine::CheckImpl(
             return false;  // Stop: one violating world suffices.
           }
           return true;
-        });
+        },
+        budget);
     result.stats.num_cliques += clique_stats.cliques_reported;
+    // stopped_early with `satisfied` still true means the stop came from a
+    // budget charge, not a violation (the expiry-probe stop is flagged
+    // directly); either way the component did not finish.
+    if (clique_stats.budget_expired ||
+        (clique_stats.stopped_early && result.satisfied)) {
+      expired = true;
+      break;
+    }
+    ++result.stats.components_completed;
     if (!result.satisfied) break;
   }
+  if (result.satisfied && expired) {
+    // No counterexample found and parts of the search were skipped: the
+    // answer is genuinely unknown within this budget.
+    result.decided = false;
+    result.satisfied = false;
+  }
+  result.stats.budget_expired = expired;
 
   result.stats.total_seconds = total_watch.ElapsedSeconds();
   return result;
@@ -373,7 +438,8 @@ StatusOr<DcSatResult> DcSatEngine::CheckImpl(
 void DcSatEngine::ParallelComponentSearch(
     const CompiledQuery& compiled, const DcSatOptions& options,
     const std::vector<std::vector<PendingId>>& components,
-    std::size_t num_workers, DcSatResult& result) const {
+    std::size_t num_workers, const Budget* budget,
+    DcSatResult& result) const {
   const FdGraph& fd_graph = *fd_graph_;
   const bool check_covers =
       result.stats.algorithm_used == DcSatAlgorithm::kOpt &&
@@ -395,7 +461,11 @@ void DcSatEngine::ParallelComponentSearch(
   const std::size_t chunk_size =
       (components.size() + num_chunks - 1) / num_chunks;
 
-  std::shared_ptr<ThreadPool> pool = PoolFor(num_workers);
+  // The pool is sized to the *requested* width, not min(width, work): the
+  // per-check fan-out only decides how many chunks are submitted, so the
+  // pool survives fluctuating component counts unchanged.
+  std::shared_ptr<ThreadPool> pool =
+      PoolFor(ThreadPool::EffectiveThreads(options.num_threads));
   std::vector<std::future<void>> futures;
   futures.reserve(num_chunks);
   for (std::size_t begin = 0; begin < components.size(); begin += chunk_size) {
@@ -403,6 +473,10 @@ void DcSatEngine::ParallelComponentSearch(
     futures.push_back(pool->Submit([&, begin, end] {
       for (std::size_t index = begin; index < end; ++index) {
         ComponentOutcome& out = outcomes[index];
+        if (budget != nullptr && budget->Expired()) {
+          out.expired = true;
+          continue;
+        }
         if (cancel.ShouldStop(index)) {
           out.cancelled = true;
           continue;
@@ -413,9 +487,16 @@ void DcSatEngine::ParallelComponentSearch(
           for (PendingId id : component) {
             cover_view.Activate(static_cast<TupleOwner>(id));
           }
-          if (!compiled.CoversConstants(cover_view)) continue;
+          if (!compiled.CoversConstants(cover_view)) {
+            out.completed = true;
+            continue;
+          }
         }
         out.covered = true;
+        if (budget != nullptr && !budget->ChargeComponent()) {
+          out.expired = true;
+          continue;
+        }
 
         DynamicBitset subset(db_->num_pending());
         for (PendingId id : component) subset.Set(id);
@@ -427,6 +508,11 @@ void DcSatEngine::ParallelComponentSearch(
                 out.cancelled = true;
                 return false;
               }
+              if (budget != nullptr &&
+                  (!budget->ChargeClique() || !budget->ChargeWorld())) {
+                out.expired = true;
+                return false;
+              }
               const WorldView world = GetMaximal(*db_, clique);
               ++out.worlds;
               if (compiled.Evaluate(world)) {
@@ -436,27 +522,50 @@ void DcSatEngine::ParallelComponentSearch(
                 return false;
               }
               return true;
-            });
+            },
+            budget);
         out.cliques = clique_stats.cliques_reported;
+        if (clique_stats.budget_expired) out.expired = true;
+        if (!out.expired && !out.cancelled) out.completed = true;
       }
     }));
   }
-  for (std::future<void>& future : futures) future.get();
+  // Join every future before any error can propagate: a task that threw
+  // (e.g. bad_alloc) surfaces via future.get(), and rethrowing while
+  // sibling tasks still reference the stack-local outcomes/cancel state
+  // would be use-after-scope UB.
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 
   // Merge in component order: the lowest violating index supplies the
   // witness, matching what the serial scan would have returned.
   result.satisfied = true;
+  bool any_expired = false;
   for (std::size_t index = 0; index < outcomes.size(); ++index) {
     ComponentOutcome& out = outcomes[index];
     if (out.covered) ++result.stats.num_components_covered;
+    if (out.completed) ++result.stats.components_completed;
     result.stats.num_cliques += out.cliques;
     result.stats.num_worlds_evaluated += out.worlds;
     if (out.cancelled) ++result.stats.cancelled_tasks;
+    if (out.expired) any_expired = true;
     if (out.violated && result.satisfied) {
       result.satisfied = false;
       result.witness = std::move(out.witness);
     }
   }
+  if (result.satisfied && any_expired) {
+    result.decided = false;
+    result.satisfied = false;
+  }
+  result.stats.budget_expired = any_expired;
   result.stats.threads_used = pool->num_threads();
   result.stats.components_parallel = components.size();
 }

@@ -14,6 +14,7 @@
 #include "core/ind_graph.h"
 #include "query/ast.h"
 #include "query/compiled_query.h"
+#include "util/deadline.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -67,6 +68,16 @@ struct DcSatOptions {
   /// are decided independently (Proposition 2) and the lowest violating
   /// component index wins, matching the serial scan order.
   std::size_t num_threads = 1;
+  /// Time/work ceiling for this check (DCSat is CoNP-complete for
+  /// {key, ind} constraint sets — paper Theorem 1 — so adversarial mempool
+  /// shapes can make any exact check blow up). Default-constructed limits
+  /// impose nothing and the check is bit-identical to an unbudgeted one;
+  /// with limits set, an expiring check returns `DcSatResult::decided ==
+  /// false` (with partial stats) instead of stalling or erroring. A
+  /// violating world found before expiry still yields a decided unsat
+  /// result — one counterexample is conclusive regardless of budget — but
+  /// its witness need not be the canonical lowest-component one.
+  BudgetLimits budget;
 };
 
 /// How the engine keeps its steady-state structures (paper Section 6.3)
@@ -116,9 +127,16 @@ struct DcSatStats {
   std::size_t fd_conflict_pairs = 0;
   std::size_t num_components = 0;          // Opt only.
   std::size_t num_components_covered = 0;  // Opt only.
+  /// Components whose search ran to completion (covered-and-searched or
+  /// filtered by covers). With an expired budget this is how far the scan
+  /// got; without one it equals num_components.
+  std::size_t components_completed = 0;
   std::size_t num_cliques = 0;
   std::size_t num_worlds_evaluated = 0;
-  std::size_t threads_used = 1;          // Pool workers engaged (1 = serial).
+  /// The check's BudgetLimits tripped (deadline or a work ceiling). The
+  /// result is still decided if a violating world was found first.
+  bool budget_expired = false;
+  std::size_t threads_used = 1;          // Worker-pool width (1 = serial).
   std::size_t components_parallel = 0;   // Components dispatched as pool tasks.
   std::size_t cancelled_tasks = 0;       // Tasks aborted by cooperative cancellation.
   bool steady_cache_hit = false;  // fd-graph/Θ_I caches were already fresh.
@@ -127,6 +145,10 @@ struct DcSatStats {
 };
 
 struct DcSatResult {
+  /// False: the check's budget (DcSatOptions::budget) expired before the
+  /// answer settled — `satisfied`/`witness` are meaningless and the stats
+  /// describe the partial search. Always true with unlimited budgets.
+  bool decided = true;
   /// D |= ¬q: the denial constraint holds in every possible world.
   bool satisfied = false;
   /// When !satisfied: the pending transactions of one violating world.
@@ -203,11 +225,13 @@ class DcSatEngine {
                                   const Stopwatch& total_watch) const;
 
   /// Runs the per-component clique searches on the worker pool. Returns the
-  /// merged satisfied/witness/stats contribution into `result`.
+  /// merged satisfied/witness/stats contribution into `result`. `budget`
+  /// (may be null) is shared across every task.
   void ParallelComponentSearch(
       const CompiledQuery& compiled, const DcSatOptions& options,
       const std::vector<std::vector<PendingId>>& components,
-      std::size_t num_workers, DcSatResult& result) const;
+      std::size_t num_workers, const Budget* budget,
+      DcSatResult& result) const;
 
   void RefreshCaches();
   /// Patches fd_graph_/theta_i_ from the mutation events since

@@ -20,6 +20,8 @@ const char* ConstraintMonitor::VerdictToString(Verdict verdict) {
       return "possible";
     case Verdict::kImpossible:
       return "impossible";
+    case Verdict::kUndecided:
+      return "undecided";
   }
   return "?";
 }
@@ -28,6 +30,9 @@ ConstraintMonitor::ConstraintMonitor(BlockchainDatabase* db,
                                      MonitorOptions options)
     : db_(db), options_(options), engine_(db, options.steady) {
   listener_id_ = db_->AddMutationListener([this](const MutationEvent& event) {
+    // Any event at all (even one with no attributable relations) wakes the
+    // always-dirty entries; per-relation bits drive the precise filter.
+    mutated_since_poll_ = true;
     for (std::size_t relation_id : event.relation_ids) {
       MarkRelationDirty(relation_id);
     }
@@ -117,7 +122,10 @@ bool ConstraintMonitor::Remove(MonitorHandle handle) {
 bool ConstraintMonitor::IsDirty(const Entry& entry) const {
   if (!options_.dirty_tracking) return true;
   if (entry.verdict == Verdict::kUnknown) return true;  // Never decided.
-  if (entry.always_dirty) return true;
+  // Not proved monotone: any mutation anywhere may flip the verdict, but a
+  // fully quiescent database (no events since the last completed poll)
+  // cannot change any verdict — not even a non-monotone one.
+  if (entry.always_dirty) return mutated_since_poll_;
   for (std::size_t relation_id : entry.relation_ids) {
     if (relation_id < dirty_relations_.size() &&
         dirty_relations_.Test(relation_id)) {
@@ -149,6 +157,7 @@ StatusOr<ConstraintMonitor::Verdict> ConstraintMonitor::EvaluateEntry(
   StatusOr<DcSatResult> result =
       engine_.CheckPrepared(entry.q, *entry.compiled, options);
   if (!result.ok()) return result.status();
+  if (!result->decided) return Verdict::kUndecided;
   return result->satisfied ? Verdict::kImpossible : Verdict::kPossible;
 }
 
@@ -165,16 +174,32 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
   const FdGraph& fd_graph = engine_.PrepareSteadyState();
   if (options_.dirty_tracking) AbsorbValidityDiff(fd_graph.valid_nodes());
 
+  // The caller's explicit budget wins over the monitor's default; each
+  // entry's check then runs under that budget scaled by its escalation
+  // factor (undecided verdicts earn a larger retry budget).
+  const BudgetLimits& base_budget =
+      options.budget.unlimited() ? options_.budget : options.budget;
+
   std::vector<std::size_t> to_evaluate;
   for (std::size_t handle = 0; handle < entries_.size(); ++handle) {
-    if (entries_[handle].removed) continue;
-    if (IsDirty(entries_[handle])) {
+    Entry& entry = entries_[handle];
+    if (entry.removed) continue;
+    if (entry.verdict == Verdict::kUndecided) {
+      // Unfinished business: retried even with no mutations — unless it is
+      // backing off, and then only while the instance has not changed under
+      // it (a genuinely dirty entry re-checks immediately).
+      if (entry.backoff_remaining > 0 && !IsDirty(entry)) {
+        --entry.backoff_remaining;
+        ++poll_stats_.backoff_skips;
+        continue;
+      }
+      to_evaluate.push_back(handle);
+    } else if (IsDirty(entry)) {
       to_evaluate.push_back(handle);
     } else {
       ++poll_stats_.constraints_skipped;
     }
   }
-  poll_stats_.constraints_evaluated += to_evaluate.size();
 
   const std::uint64_t version = db_->version();
   for (std::size_t handle : to_evaluate) {
@@ -191,31 +216,40 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
     ++poll_stats_.compile_cache_misses;
   }
 
+  // Per-entry check options: serial (num_threads = 1 — with several
+  // standing constraints the constraint-level fan-out already saturates
+  // the workers, and the engine's component pool is not re-entrant), with
+  // the entry's escalated budget.
+  std::vector<DcSatOptions> entry_options(to_evaluate.size(), options);
+  for (std::size_t i = 0; i < to_evaluate.size(); ++i) {
+    entry_options[i].num_threads = 1;
+    const Entry& entry = entries_[to_evaluate[i]];
+    entry_options[i].budget = entry.budget_scale > 1.0
+                                  ? base_budget.Scaled(entry.budget_scale)
+                                  : base_budget;
+  }
+
   // Phase 2: evaluate every dirty constraint over the shared read-only
-  // snapshot. Each task runs its check serially (num_threads = 1): with
-  // several standing constraints, the constraint-level fan-out already
-  // saturates the workers, and the engine's component pool is not
-  // re-entrant.
+  // snapshot. The pool is sized once to the requested width and reused
+  // across polls — only the number of submitted tasks tracks the dirty
+  // count, which fluctuates every poll in steady state.
+  const std::size_t pool_width =
+      ThreadPool::EffectiveThreads(options.num_threads);
   const std::size_t num_workers =
-      to_evaluate.empty()
-          ? 1
-          : std::min(ThreadPool::EffectiveThreads(options.num_threads),
-                     to_evaluate.size());
+      to_evaluate.empty() ? 1 : std::min(pool_width, to_evaluate.size());
   std::vector<Verdict> verdicts(to_evaluate.size(), Verdict::kUnknown);
   std::vector<Status> statuses(to_evaluate.size());
-  DcSatOptions task_options = options;
-  task_options.num_threads = 1;
   if (num_workers > 1) {
-    if (pool_ == nullptr || pool_->num_threads() != num_workers) {
-      pool_ = std::make_shared<ThreadPool>(num_workers);
+    if (pool_ == nullptr || pool_->num_threads() != pool_width) {
+      pool_ = std::make_shared<ThreadPool>(pool_width);
     }
     std::vector<std::future<void>> futures;
     futures.reserve(to_evaluate.size());
     for (std::size_t i = 0; i < to_evaluate.size(); ++i) {
-      futures.push_back(pool_->Submit([this, i, &to_evaluate, &task_options,
+      futures.push_back(pool_->Submit([this, i, &to_evaluate, &entry_options,
                                        &verdicts, &statuses] {
         StatusOr<Verdict> verdict =
-            EvaluateEntry(entries_[to_evaluate[i]], task_options);
+            EvaluateEntry(entries_[to_evaluate[i]], entry_options[i]);
         if (verdict.ok()) {
           verdicts[i] = *verdict;
         } else {
@@ -223,13 +257,24 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
         }
       }));
     }
-    for (std::future<void>& future : futures) future.get();
-    poll_stats_.threads_used = num_workers;
+    // Join every future before an exception can propagate: rethrowing from
+    // the first get() while sibling tasks still reference the stack-local
+    // verdicts/statuses vectors would be use-after-scope UB.
+    std::exception_ptr first_error;
+    for (std::future<void>& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    }
+    if (first_error != nullptr) std::rethrow_exception(first_error);
+    poll_stats_.threads_used = pool_->num_threads();
     poll_stats_.constraints_parallel += to_evaluate.size();
   } else {
     for (std::size_t i = 0; i < to_evaluate.size(); ++i) {
       StatusOr<Verdict> verdict =
-          EvaluateEntry(entries_[to_evaluate[i]], task_options);
+          EvaluateEntry(entries_[to_evaluate[i]], entry_options[i]);
       if (verdict.ok()) {
         verdicts[i] = *verdict;
       } else {
@@ -239,21 +284,54 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
     poll_stats_.threads_used = 1;
   }
 
-  // Phase 3 (single-threaded): apply transitions in handle order. On error,
-  // entries before the failing handle keep their new verdicts — exactly the
-  // observable state a serial scan would have left behind — and the dirty
-  // set is retained, so the next poll re-evaluates everything this one did.
+  // Phase 3 (single-threaded): every status is checked before any verdict
+  // commits. Committing the leading entries and then erroring out would
+  // swallow their transitions forever — the next poll sees the verdict
+  // already updated and reports no Change. On error nothing commits and
+  // the dirty set is retained, so the next poll re-runs everything.
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
   std::vector<Change> changes;
   for (std::size_t i = 0; i < to_evaluate.size(); ++i) {
-    if (!statuses[i].ok()) return statuses[i];
     Entry& entry = entries_[to_evaluate[i]];
-    if (verdicts[i] != entry.verdict) {
+    ++poll_stats_.constraints_evaluated;
+    const Verdict verdict = verdicts[i];
+    if (verdict == Verdict::kUndecided) {
+      ++poll_stats_.undecided_verdicts;
+      ++entry.undecided_streak;
+      if (options_.budget_growth > 1.0 &&
+          entry.budget_scale < options_.max_budget_scale) {
+        entry.budget_scale = std::min(
+            entry.budget_scale * options_.budget_growth,
+            options_.max_budget_scale);
+        ++poll_stats_.budget_escalations;
+      }
+      // First retry is immediate (with the larger budget); repeat
+      // offenders back off exponentially, capped.
+      entry.backoff_remaining =
+          entry.undecided_streak >= 2
+              ? std::min<std::size_t>(
+                    std::size_t{1}
+                        << std::min<std::size_t>(entry.undecided_streak - 2,
+                                                 20),
+                    options_.max_backoff_polls)
+              : 0;
+    } else {
+      entry.undecided_streak = 0;
+      entry.budget_scale = 1.0;
+      entry.backoff_remaining = 0;
+    }
+    if (verdict != entry.verdict) {
       changes.push_back(Change{MonitorHandle(to_evaluate[i]), entry.label,
-                               entry.verdict, verdicts[i]});
-      entry.verdict = verdicts[i];
+                               entry.verdict, verdict});
+      entry.verdict = verdict;
     }
   }
-  if (options_.dirty_tracking) dirty_relations_.Clear();
+  if (options_.dirty_tracking) {
+    dirty_relations_.Clear();
+    mutated_since_poll_ = false;
+  }
   return changes;
 }
 

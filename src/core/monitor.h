@@ -52,11 +52,30 @@ struct MonitorOptions {
   /// Track which relations the database mutations touched (via the
   /// mutation-delta subscription) and have Poll skip constraints whose
   /// referenced relations are untouched — their verdicts cannot have
-  /// changed. Constraints not proved monotone are exempt from skipping:
-  /// their verdict may shift even when no referenced relation changes
-  /// directly (a conflict in an unrelated relation can alter which tuple
-  /// combinations are jointly possible).
+  /// changed. Constraints not proved monotone are exempt from the
+  /// per-relation filter — their verdict may shift even when no referenced
+  /// relation changes directly (a conflict in an unrelated relation can
+  /// alter which tuple combinations are jointly possible) — and re-check
+  /// on *any* mutation, skipping only fully quiescent polls.
   bool dirty_tracking = true;
+  /// Default per-constraint check budget applied by Poll whenever the
+  /// caller's DcSatOptions leaves its own budget unlimited. With both
+  /// unlimited (the default), checks run to completion exactly as before;
+  /// with limits set, a check that cannot finish yields Verdict::kUndecided
+  /// instead of stalling the poll (DCSat is CoNP-complete, so adversarial
+  /// mempool shapes otherwise make one constraint blow up every Poll).
+  BudgetLimits budget;
+  /// Escalation: each consecutive undecided verdict multiplies the entry's
+  /// next budget by this factor (a later poll retries with more room), up
+  /// to max_budget_scale. 1 disables growth.
+  double budget_growth = 2.0;
+  /// Ceiling on the cumulative escalation factor.
+  double max_budget_scale = 64.0;
+  /// Exponential backoff for repeat offenders: after the k-th consecutive
+  /// undecided verdict the entry sits out min(2^(k-2), max_backoff_polls)
+  /// polls (none after the first — the first retry is immediate, with a
+  /// bigger budget) unless a mutation dirties it, which re-checks at once.
+  std::size_t max_backoff_polls = 8;
 };
 
 /// Tracks standing denial constraints over one blockchain database and
@@ -83,6 +102,8 @@ class ConstraintMonitor {
     kHappened,    // q is true over the current state R itself.
     kPossible,    // q holds in some possible world (DCSat: not satisfied).
     kImpossible,  // q holds in no possible world (DCSat: satisfied).
+    kUndecided,   // The check's budget expired before the answer settled;
+                  // later polls retry with an escalating budget.
   };
 
   static const char* VerdictToString(Verdict verdict);
@@ -99,10 +120,13 @@ class ConstraintMonitor {
     std::size_t polls = 0;
     std::size_t compile_cache_hits = 0;    // Query reused across polls.
     std::size_t compile_cache_misses = 0;  // Compiled (version changed).
-    std::size_t constraints_evaluated = 0;  // Entries actually re-checked.
+    std::size_t constraints_evaluated = 0;  // Entries re-checked successfully.
     std::size_t constraints_skipped = 0;    // Entries clean — verdict kept.
-    std::size_t threads_used = 1;          // Last poll's fan-out width.
+    std::size_t threads_used = 1;     // Last poll's worker-pool width.
     std::size_t constraints_parallel = 0;  // Entries evaluated on the pool.
+    std::size_t undecided_verdicts = 0;  // Checks whose budget expired.
+    std::size_t budget_escalations = 0;  // Retries granted a larger budget.
+    std::size_t backoff_skips = 0;  // Undecided entries sat out (backoff).
   };
 
   /// `db` must outlive the monitor. The monitor subscribes to the
@@ -175,6 +199,12 @@ class ConstraintMonitor {
     /// Not proved monotone: never skipped by the dirty filter (see
     /// MonitorOptions::dirty_tracking).
     bool always_dirty = false;
+    /// Budget escalation state (see MonitorOptions): consecutive undecided
+    /// verdicts, the cumulative budget multiplier the next check gets, and
+    /// how many polls the entry still sits out before being retried.
+    std::size_t undecided_streak = 0;
+    double budget_scale = 1.0;
+    std::size_t backoff_remaining = 0;
     // Compiled-query cache, keyed on the database version at compile time.
     std::optional<CompiledQuery> compiled;
     std::uint64_t compiled_version = ~std::uint64_t{0};
@@ -214,6 +244,10 @@ class ConstraintMonitor {
   std::vector<std::size_t> relation_class_;
   /// Relations touched by mutations since the last completed poll.
   DynamicBitset dirty_relations_;
+  /// Any mutation event at all since the last completed poll — the dirty
+  /// signal for entries whose verdict can shift on unattributable churn
+  /// (not proved monotone).
+  bool mutated_since_poll_ = false;
   /// Engine validity bits as of the last poll, for cascade attribution.
   DynamicBitset prev_valid_;
   std::mutex poll_mutex_;  // Serializes concurrent Poll calls.

@@ -40,18 +40,30 @@ bool IsPossibleWorld(const BlockchainDatabase& db,
 
 StatusOr<std::vector<WorldView>> EnumeratePossibleWorlds(
     const BlockchainDatabase& db, std::size_t limit) {
+  StatusOr<PossibleWorldsEnumeration> enumeration =
+      EnumeratePossibleWorldsWithin(db, limit, /*budget=*/nullptr);
+  if (!enumeration.ok()) return enumeration.status();
+  return std::move(enumeration->worlds);
+}
+
+StatusOr<PossibleWorldsEnumeration> EnumeratePossibleWorldsWithin(
+    const BlockchainDatabase& db, std::size_t limit, const Budget* budget) {
   const std::vector<PendingId> pending = db.PendingIds();
-  std::vector<WorldView> worlds;
+  PossibleWorldsEnumeration result;
   std::unordered_set<DynamicBitset, BitsetHash> seen;
 
   std::deque<WorldView> frontier;
   frontier.push_back(db.BaseView());
   seen.insert(frontier.back().active_bits());
   while (!frontier.empty()) {
+    if (budget != nullptr && !budget->ChargeWorld()) {
+      result.complete = false;
+      return result;
+    }
     WorldView view = frontier.front();
     frontier.pop_front();
-    worlds.push_back(view);
-    if (worlds.size() > limit) {
+    result.worlds.push_back(view);
+    if (result.worlds.size() > limit) {
       return Status::OutOfRange("possible-world enumeration exceeded limit " +
                                 std::to_string(limit));
     }
@@ -66,7 +78,7 @@ StatusOr<std::vector<WorldView>> EnumeratePossibleWorlds(
       }
     }
   }
-  return worlds;
+  return result;
 }
 
 }  // namespace bcdb

@@ -6,6 +6,7 @@
 
 #include "core/blockchain_db.h"
 #include "relational/world_view.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace bcdb {
@@ -27,6 +28,20 @@ bool IsPossibleWorld(const BlockchainDatabase& db,
 /// than `limit` distinct worlds are found.
 StatusOr<std::vector<WorldView>> EnumeratePossibleWorlds(
     const BlockchainDatabase& db, std::size_t limit);
+
+/// EnumeratePossibleWorlds with graceful degradation: `budget` (may be
+/// null = unlimited) is charged one world per BFS pop — the enumeration's
+/// cooperative preemption point — and on expiry the search stops where it
+/// is instead of erroring, returning the worlds found so far with
+/// `complete == false`. A truncated enumeration is still a genuine subset
+/// of Poss(D); it just cannot certify absence.
+struct PossibleWorldsEnumeration {
+  std::vector<WorldView> worlds;
+  /// False: the budget expired before Poss(D) was exhausted.
+  bool complete = true;
+};
+StatusOr<PossibleWorldsEnumeration> EnumeratePossibleWorldsWithin(
+    const BlockchainDatabase& db, std::size_t limit, const Budget* budget);
 
 }  // namespace bcdb
 

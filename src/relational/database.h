@@ -48,6 +48,15 @@ class Database {
   TupleOwner RegisterOwner() {
     return static_cast<TupleOwner>(num_owners_++);
   }
+  /// Releases `owner` if (and only if) it is the most recently registered
+  /// slot and owns no tuples — the rollback path of a failed transaction
+  /// add. Interior slots are never reclaimed (owner tags are stable ids).
+  /// Returns false when the slot was not the top one.
+  bool ReleaseOwner(TupleOwner owner) {
+    if (static_cast<std::size_t>(owner) + 1 != num_owners_) return false;
+    --num_owners_;
+    return true;
+  }
   std::size_t num_owners() const { return num_owners_; }
 
   /// View containing only the current state.

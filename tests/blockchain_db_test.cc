@@ -75,6 +75,36 @@ TEST(BlockchainDatabaseTest, AddPendingRejectsEmptyAndBadTuples) {
                                     db.PendingUnionView()));
 }
 
+TEST(BlockchainDatabaseTest, FailedAddPendingDoesNotPoisonLaterAdds) {
+  BlockchainDatabase db = MakeRunningExample();
+  const std::uint64_t version_before = db.version();
+  const std::uint64_t log_end_before = db.mutations().end_seq();
+  const std::size_t owners_before = db.database().num_owners();
+  const std::size_t pending_before = db.num_pending();
+
+  // A rejected add must leave NO trace: a leaked owner slot would make
+  // every later transaction's owner tag run one ahead of its pending id,
+  // tripping the id/owner invariant (and mutating state before erroring).
+  Transaction bad("bad");
+  bad.Add("TxOut", Tuple({Value::Int(60)}));  // Wrong arity.
+  EXPECT_FALSE(db.AddPending(bad).ok());
+  EXPECT_EQ(db.version(), version_before);
+  EXPECT_EQ(db.mutations().end_seq(), log_end_before);
+  EXPECT_EQ(db.database().num_owners(), owners_before);
+  EXPECT_EQ(db.num_pending(), pending_before);
+
+  // The database keeps accepting (and correctly publishing) transactions.
+  Transaction good("good");
+  good.Add("TxOut", Tuple({Value::Int(61), Value::Int(1), Value::Str("GPk"),
+                           Value::Int(1)}));
+  auto id = db.AddPending(good);
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_EQ(*id, pending_before);
+  EXPECT_TRUE(db.IsPending(*id));
+  EXPECT_GT(db.version(), version_before);
+  EXPECT_EQ(db.mutations().end_seq(), log_end_before + 1);
+}
+
 TEST(BlockchainDatabaseTest, ApplyAndDiscardStateMachine) {
   BlockchainDatabase db = MakeRunningExample();
   EXPECT_TRUE(db.IsPending(0));

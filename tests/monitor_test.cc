@@ -100,6 +100,119 @@ TEST(ConstraintMonitorTest, VerdictStrings) {
                "impossible");
   EXPECT_STREQ(ConstraintMonitor::VerdictToString(Verdict::kUnknown),
                "unknown");
+  EXPECT_STREQ(ConstraintMonitor::VerdictToString(Verdict::kUndecided),
+               "undecided");
+}
+
+// A failing poll must not silently commit the verdicts it computed before
+// the failure: a transition committed-but-not-returned is lost forever (the
+// next poll sees the verdict already updated and reports no Change).
+TEST(ConstraintMonitorTest, FailedPollDoesNotSwallowTransitions) {
+  BlockchainDatabase db = MakeRunningExample();
+  ConstraintMonitor monitor(&db);
+  // Handle order matters: the transitioning entry must precede the failing
+  // one so its verdict is computed first.
+  auto moving = monitor.Add("u5", Q("q() :- TxOut(t, s, 'U5Pk', a)"));
+  auto aggregate =
+      monitor.Add("count", Q("[q(count()) :- TxOut(t, s, p, a)] = 99"));
+  ASSERT_TRUE(moving.ok());
+  ASSERT_TRUE(aggregate.ok());
+  ASSERT_TRUE(monitor.Poll().ok());
+  ASSERT_EQ(monitor.verdict(*moving), Verdict::kPossible);
+
+  ASSERT_TRUE(db.ApplyPending(0).ok());  // T1 (pays U5Pk) confirms.
+  // kOpt is unsound for the aggregate entry, so its evaluation errors —
+  // after the u5 entry's new verdict was already computed.
+  DcSatOptions opt_only;
+  opt_only.algorithm = DcSatAlgorithm::kOpt;
+  EXPECT_FALSE(monitor.Poll(opt_only).ok());
+  // Nothing committed: u5 still reports the old verdict...
+  EXPECT_EQ(monitor.verdict(*moving), Verdict::kPossible);
+
+  // ...and the next successful poll reports its transition.
+  auto changes = monitor.Poll();
+  ASSERT_TRUE(changes.ok());
+  bool reported = false;
+  for (const auto& change : *changes) {
+    if (change.handle == *moving) {
+      EXPECT_EQ(change.before, Verdict::kPossible);
+      EXPECT_EQ(change.after, Verdict::kHappened);
+      reported = true;
+    }
+  }
+  EXPECT_TRUE(reported);
+  EXPECT_EQ(monitor.verdict(*moving), Verdict::kHappened);
+}
+
+// A failed poll also must not count its entries as evaluated — the stats
+// would otherwise claim work that never committed.
+TEST(ConstraintMonitorTest, FailedPollDoesNotCountEvaluations) {
+  BlockchainDatabase db = MakeRunningExample();
+  ConstraintMonitor monitor(&db);
+  ASSERT_TRUE(
+      monitor.Add("count", Q("[q(count()) :- TxOut(t, s, p, a)] = 99")).ok());
+  DcSatOptions opt_only;
+  opt_only.algorithm = DcSatAlgorithm::kOpt;
+  EXPECT_FALSE(monitor.Poll(opt_only).ok());
+  EXPECT_EQ(monitor.poll_stats().constraints_evaluated, 0u);
+  ASSERT_TRUE(monitor.Poll().ok());
+  EXPECT_EQ(monitor.poll_stats().constraints_evaluated, 1u);
+}
+
+// The worker pool is sized once to the requested width and reused: the
+// number of *dirty* constraints fluctuates every poll in steady state, and
+// resizing the pool to min(width, dirty) would tear down and respawn
+// threads on every fluctuation.
+TEST(ConstraintMonitorTest, PoolWidthStableAcrossDirtyCounts) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "R", {Attribute{"a", ValueType::kInt, false},
+                            Attribute{"b", ValueType::kInt, false}}))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "S", {Attribute{"x", ValueType::kInt, false},
+                            Attribute{"y", ValueType::kInt, false}}))
+                  .ok());
+  ConstraintSet constraints;
+  constraints.AddFd(*FunctionalDependency::Key(catalog, "R", {"a"}));
+  auto db =
+      BlockchainDatabase::Create(std::move(catalog), std::move(constraints));
+  ASSERT_TRUE(db.ok());
+  for (std::int64_t i = 0; i < 3; ++i) {
+    Transaction r_txn;
+    r_txn.Add("R", Tuple({Value::Int(i), Value::Int(0)}));
+    ASSERT_TRUE(db->AddPending(r_txn).ok());
+  }
+
+  ConstraintMonitor monitor(&*db);
+  for (int c = 0; c < 4; ++c) {
+    ASSERT_TRUE(monitor
+                    .Add("r" + std::to_string(c),
+                         Q("q() :- R(x, " + std::to_string(c) + ")"))
+                    .ok());
+  }
+  for (int c = 0; c < 2; ++c) {
+    ASSERT_TRUE(monitor
+                    .Add("s" + std::to_string(c),
+                         Q("q() :- S(" + std::to_string(c) + ", y)"))
+                    .ok());
+  }
+
+  DcSatOptions four_threads;
+  four_threads.num_threads = 4;
+  ASSERT_TRUE(monitor.Poll(four_threads).ok());  // 6 dirty entries.
+  EXPECT_EQ(monitor.poll_stats().threads_used, 4u);
+
+  // Mutate S only: just the two S entries go dirty (no IND couples S to
+  // R), yet the pool keeps its requested width.
+  Transaction s_txn;
+  s_txn.Add("S", Tuple({Value::Int(0), Value::Int(7)}));
+  ASSERT_TRUE(db->AddPending(s_txn).ok());
+  ASSERT_TRUE(monitor.Poll(four_threads).ok());
+  EXPECT_EQ(monitor.poll_stats().threads_used, 4u);
+  EXPECT_EQ(monitor.poll_stats().constraints_skipped, 4u);
 }
 
 }  // namespace
