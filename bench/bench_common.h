@@ -66,6 +66,24 @@ inline bool ApplySmokeFlag(int* argc, char** argv) {
   return smoke;
 }
 
+/// Builds an argv that defaults google-benchmark's JSON file output to
+/// `json_path` (e.g. BENCH_micro_substrate.json). The defaults are inserted
+/// *before* the caller's flags, so an explicit --benchmark_out still wins.
+/// The returned vector borrows argv's pointers plus two static flag strings;
+/// it stays valid for main's lifetime.
+inline std::vector<char*> WithDefaultJsonOut(int* argc, char** argv,
+                                             const std::string& json_path) {
+  static std::string out_flag;
+  static std::string format_flag = "--benchmark_out_format=json";
+  out_flag = "--benchmark_out=" + json_path;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  args.push_back(out_flag.data());
+  args.push_back(format_flag.data());
+  for (int i = 1; i < *argc; ++i) args.push_back(argv[i]);
+  return args;
+}
+
 /// One row of the machine-readable perf trajectory emitted next to a bench.
 struct BenchJsonRow {
   std::string dataset;

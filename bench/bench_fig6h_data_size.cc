@@ -4,6 +4,9 @@
 // grows only moderately with |R| — the current state is index-probed, not
 // scanned — and OptDCSat stays well below NaiveDCSat.
 
+// Results are also written as google-benchmark JSON to
+// BENCH_fig6h_data_size.json for machine-readable perf tracking.
+
 #include <vector>
 
 #include "bench_common.h"
@@ -27,7 +30,10 @@ int main(int argc, char** argv) {
                   PathUnsat(data->metadata, 3), OptOptions());
   }
 
-  benchmark::Initialize(&argc, argv);
+  std::vector<char*> args =
+      WithDefaultJsonOut(&argc, argv, "BENCH_fig6h_data_size.json");
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -1,9 +1,15 @@
 // Microbenchmarks of the substrate operations the DCSat runtimes decompose
 // into: steady-state graph construction, component grouping, maximal-world
-// materialization, query evaluation, possible-world recognition, and the
-// hashing primitive.
+// materialization, query evaluation, possible-world recognition, the storage
+// substrate (value interning, id hashing, projection-key index probes), and
+// the hashing primitive.
+//
+// Pass --smoke (or BCDB_BENCH_SMOKE=1) for a seconds-scale CI run. Results
+// are also written as google-benchmark JSON to BENCH_micro_substrate.json.
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "bitcoin/serialize.h"
@@ -15,10 +21,22 @@
 #include "core/bron_kerbosch.h"
 #include "core/possible_worlds.h"
 #include "query/compiled_query.h"
+#include "relational/tuple.h"
+#include "relational/value_pool.h"
 
 namespace {
 
 std::unique_ptr<bcdb::bench::PreparedDataset> g_data;
+
+/// The relation the storage microbenches walk (txIn of the bitcoin image)
+/// and how many of its tuples they touch per iteration.
+const bcdb::Relation& SubstrateRelation() {
+  return g_data->db->database().relation(0);
+}
+
+std::size_t SubstrateTupleCount() {
+  return std::min<std::size_t>(SubstrateRelation().num_tuples(), 4096);
+}
 
 void BM_FdGraphBuild(benchmark::State& state) {
   for (auto _ : state) {
@@ -100,6 +118,91 @@ void BM_SerializeNode(benchmark::State& state) {
   }
 }
 
+void BM_ValueInternHit(benchmark::State& state) {
+  // Re-interning values that are already pooled: the steady-state ingest
+  // cost per value (hash + one probe of the intern table).
+  std::vector<bcdb::Value> values;
+  const bcdb::Relation& rel = SubstrateRelation();
+  const std::size_t n = std::min<std::size_t>(rel.num_tuples(), 512);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (bcdb::Value& v : rel.tuple(i).values()) values.push_back(std::move(v));
+  }
+  bcdb::ValuePool& pool = bcdb::ValuePool::Global();
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (const bcdb::Value& v : values) acc += pool.Intern(v);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+
+void BM_TupleInternConstruct(benchmark::State& state) {
+  // Full ingest path: materialize values, then build (re-intern) a tuple.
+  const bcdb::Relation& rel = SubstrateRelation();
+  std::vector<std::vector<bcdb::Value>> rows;
+  const std::size_t n = std::min<std::size_t>(rel.num_tuples(), 512);
+  for (std::size_t i = 0; i < n; ++i) rows.push_back(rel.tuple(i).values());
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (const std::vector<bcdb::Value>& row : rows) {
+      acc ^= bcdb::Tuple(row).Hash();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows.size()));
+}
+
+void BM_TupleHashIds(benchmark::State& state) {
+  // Hashing a stored tuple: a length-seeded mix over raw 32-bit ids — no
+  // variant dispatch, no string walks.
+  const bcdb::Relation& rel = SubstrateRelation();
+  const std::size_t n = SubstrateTupleCount();
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) acc ^= rel.tuple(i).Hash();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_ProjectionKeyGather(benchmark::State& state) {
+  // Building an index lookup key from a stored tuple: an id gather into an
+  // inline buffer, no heap traffic.
+  const bcdb::Relation& rel = SubstrateRelation();
+  const std::vector<std::size_t> positions{0, 1};
+  const std::size_t n = SubstrateTupleCount();
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc ^= rel.tuple(i).ProjectKey(positions).Hash();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_IndexProbeProjectionKey(benchmark::State& state) {
+  // End-to-end index probe: gather key, heterogeneous bucket lookup.
+  const bcdb::Relation& rel = SubstrateRelation();
+  const std::vector<std::size_t> positions{0, 1};
+  const std::size_t index_id = rel.GetOrBuildIndex(positions);
+  const std::size_t n = SubstrateTupleCount();
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += rel.IndexLookup(index_id, rel.tuple(i).ProjectKey(positions))
+                 .size();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
 void BM_Sha256_1KiB(benchmark::State& state) {
   const std::string data(1024, 'x');
   for (auto _ : state) {
@@ -112,7 +215,12 @@ void BM_Sha256_1KiB(benchmark::State& state) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_data = bcdb::bench::Prepare(bcdb::workload::DefaultDataset());
+  const bool smoke = bcdb::bench::ApplySmokeFlag(&argc, argv);
+  g_data = bcdb::bench::Prepare(
+      smoke
+          ? bcdb::workload::WithPendingTotal(bcdb::workload::DefaultDataset(),
+                                             600)
+          : bcdb::workload::DefaultDataset());
 
   benchmark::RegisterBenchmark("Micro/FdGraphBuild", BM_FdGraphBuild)
       ->Unit(benchmark::kMillisecond);
@@ -134,9 +242,27 @@ int main(int argc, char** argv) {
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("Micro/SerializeNode", BM_SerializeNode)
       ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Micro/ValueInternHit", BM_ValueInternHit)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Micro/TupleInternConstruct",
+                               BM_TupleInternConstruct)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Micro/TupleHashIds", BM_TupleHashIds)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Micro/ProjectionKeyGather",
+                               BM_ProjectionKeyGather)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Micro/IndexProbeProjectionKey",
+                               BM_IndexProbeProjectionKey)
+      ->Unit(benchmark::kMicrosecond);
   benchmark::RegisterBenchmark("Micro/Sha256_1KiB", BM_Sha256_1KiB);
 
-  benchmark::Initialize(&argc, argv);
+  // Default the machine-readable output next to the binary; explicit
+  // --benchmark_out flags on the command line still win (parsed later).
+  std::vector<char*> args = bcdb::bench::WithDefaultJsonOut(
+      &argc, argv, "BENCH_micro_substrate.json");
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   g_data.reset();

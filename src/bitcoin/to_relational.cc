@@ -51,6 +51,8 @@ StatusOr<ConstraintSet> MakeBitcoinConstraints(const Catalog& catalog) {
 }
 
 Transaction ToRelationalTransaction(const BitcoinTransaction& tx) {
+  // The Tuple constructors intern every value into the process-wide
+  // ValuePool here, at ingest — evaluation paths only ever resolve ids.
   Transaction result(std::to_string(tx.txid()));
   for (const TxInput& input : tx.inputs()) {
     result.Add(kTxIn, Tuple({Value::Int(input.prev.txid),

@@ -66,7 +66,8 @@ Status ConstraintChecker::CheckAll(const WorldView& view) const {
     Status violation = Status::OK();
     lhs_rel.ForEachVisible(view, [&](TupleId id) {
       if (!violation.ok()) return;
-      const Tuple key = lhs_rel.tuple(id).Project(plan.permuted_lhs_positions);
+      const ProjectionKey key =
+          lhs_rel.tuple(id).ProjectKey(plan.permuted_lhs_positions);
       bool found = false;
       for (TupleId rhs_id : rhs_rel.IndexLookup(plan.rhs_index_id, key)) {
         if (rhs_rel.IsVisible(rhs_id, view)) {
@@ -96,7 +97,7 @@ bool ConstraintChecker::CanAppendOwner(const WorldView& view,
     const FunctionalDependency& fd = constraints_->fds()[i];
     const Relation& rel = db_->relation(fd.relation_id());
     for (TupleId id : rel.TuplesOwnedBy(owner)) {
-      const Tuple key = rel.tuple(id).Project(fd.lhs());
+      const ProjectionKey key = rel.tuple(id).ProjectKey(fd.lhs());
       const Tuple dependent = rel.tuple(id).Project(fd.rhs());
       for (TupleId other : rel.IndexLookup(fd_index_ids_[i], key)) {
         if (other == id || !rel.IsVisible(other, extended)) continue;
@@ -113,7 +114,8 @@ bool ConstraintChecker::CanAppendOwner(const WorldView& view,
     const Relation& rhs_rel = db_->relation(ind.rhs_relation_id());
     for (TupleId id : lhs_rel.TuplesOwnedBy(owner)) {
       if (lhs_rel.IsVisible(id, view)) continue;  // Already present before.
-      const Tuple key = lhs_rel.tuple(id).Project(plan.permuted_lhs_positions);
+      const ProjectionKey key =
+          lhs_rel.tuple(id).ProjectKey(plan.permuted_lhs_positions);
       bool found = false;
       for (TupleId rhs_id : rhs_rel.IndexLookup(plan.rhs_index_id, key)) {
         if (rhs_rel.IsVisible(rhs_id, extended)) {

@@ -50,26 +50,32 @@ bool RepairInds(const BlockchainDatabase& db, std::size_t relation_id,
        db.constraints().IndsWithLhs(relation_id)) {
     const Relation& rhs_rel = database.relation(ind->rhs_relation_id());
     const Tuple needed = tuple.Project(ind->lhs_positions());
+    const Tuple original_proj = original.Project(ind->lhs_positions());
 
     // Witness lookup goes through a sorted-position index; align both the
-    // needed and original projections with the sorted order.
+    // needed and original projections with the sorted order. Both keys are
+    // id gathers over already-interned tuples — no value copies.
     std::vector<std::size_t> perm(ind->rhs_positions().size());
     for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
     std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
       return ind->rhs_positions()[a] < ind->rhs_positions()[b];
     });
     std::vector<std::size_t> sorted_rhs;
-    std::vector<Value> needed_sorted, original_sorted;
-    for (std::size_t p : perm) {
+    std::vector<Value> needed_sorted;
+    ProjectionKey needed_key(perm.size());
+    ProjectionKey original_key(perm.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      const std::size_t p = perm[i];
       sorted_rhs.push_back(ind->rhs_positions()[p]);
       needed_sorted.push_back(needed[p]);
-      original_sorted.push_back(original.Project(ind->lhs_positions())[p]);
+      needed_key.set(i, needed.id_at(p));
+      original_key.set(i, original_proj.id_at(p));
     }
     const std::size_t index_id = rhs_rel.GetOrBuildIndex(sorted_rhs);
 
     // Already satisfied by the current state?
     bool have_witness = false;
-    for (TupleId id : rhs_rel.IndexLookup(index_id, Tuple(needed_sorted))) {
+    for (TupleId id : rhs_rel.IndexLookup(index_id, needed_key)) {
       if (rhs_rel.IsVisible(id, base)) {
         have_witness = true;
         break;
@@ -80,7 +86,7 @@ bool RepairInds(const BlockchainDatabase& db, std::size_t relation_id,
     const std::string& rhs_name = rhs_rel.schema().name();
     for (const Transaction::Item& item : txn.items()) {
       if (item.relation == rhs_name &&
-          item.tuple.Project(sorted_rhs) == Tuple(needed_sorted)) {
+          item.tuple.ProjectKey(sorted_rhs) == needed_key) {
         have_witness = true;
         break;
       }
@@ -91,7 +97,7 @@ bool RepairInds(const BlockchainDatabase& db, std::size_t relation_id,
     // it lives — base, the target, any pending transaction), substituting
     // the perturbed projection values.
     const std::vector<TupleId>& donors =
-        rhs_rel.IndexLookup(index_id, Tuple(original_sorted));
+        rhs_rel.IndexLookup(index_id, original_key);
     if (donors.empty()) return false;
     const Tuple& donor = rhs_rel.tuple(donors.front());
     std::vector<std::pair<std::size_t, Value>> changes;

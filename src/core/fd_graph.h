@@ -79,7 +79,7 @@ class FdGraph {
     Tuple dependent;
   };
   using FdBuckets = std::unordered_map<Tuple, std::vector<BucketEntry>,
-                                       TupleHash>;
+                                       TupleHash, TupleEq>;
 
   /// Clears `id`'s validity bit, edges, and (tracked) bucket entries,
   /// keeping num_conflict_pairs_ consistent with the remaining valid set.

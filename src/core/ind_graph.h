@@ -85,7 +85,7 @@ class EqualityComponents {
     std::vector<PendingId> lhs_members;
     std::vector<PendingId> rhs_members;
   };
-  using Buckets = std::unordered_map<Tuple, Bucket, TupleHash>;
+  using Buckets = std::unordered_map<Tuple, Bucket, TupleHash, TupleEq>;
   struct FootprintEntry {
     std::size_t ordinal;  // Index into equalities_.
     bool rhs_side;

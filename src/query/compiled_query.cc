@@ -98,6 +98,7 @@ StatusOr<CompiledQuery> CompiledQuery::Compile(const DenialConstraint& q,
       arg.var = *id;
     } else {
       arg.constant = term.value();
+      arg.constant_id = ValuePool::Global().Intern(term.value());
     }
     return arg;
   };
@@ -272,6 +273,7 @@ StatusOr<CompiledQuery> CompiledQuery::Compile(const DenialConstraint& q,
           arg.var = *vars.Lookup(term.name());
         } else {
           arg.constant = term.value();
+          arg.constant_id = ValuePool::Global().Intern(term.value());
         }
         step.key_args.push_back(std::move(arg));
       }
@@ -294,7 +296,7 @@ StatusOr<CompiledQuery> CompiledQuery::Compile(const DenialConstraint& q,
       action.position = i;
       if (!term.is_variable()) {
         action.kind = ArgAction::kCheckConst;
-        action.constant = term.value();
+        action.constant_id = ValuePool::Global().Intern(term.value());
       } else {
         const std::size_t id = *vars.Lookup(term.name());
         if (var_bound[id]) {
@@ -367,22 +369,26 @@ struct CompiledQuery::AggState {
   double sum_real = 0;
   std::optional<Value> best;  // max/min
 
-  /// Folds one assignment in; returns true if the early-exit condition
-  /// already guarantees the aggregate comparison holds.
-  bool Accumulate(const std::vector<Value>& assignment) {
+  /// Folds one assignment (of interned ids) in; returns true if the
+  /// early-exit condition already guarantees the aggregate comparison holds.
+  bool Accumulate(const std::vector<ValueId>& assignment) {
     switch (query->agg_fn_) {
       case AggregateFunction::kCount:
         ++count;
         break;
       case AggregateFunction::kCountDistinct: {
-        std::vector<Value> projected;
-        projected.reserve(query->agg_vars_.size());
-        for (std::size_t v : query->agg_vars_) projected.push_back(assignment[v]);
-        distinct.insert(Tuple(std::move(projected)));
+        // Distinctness over ids is exact: interning canonicalizes, so two
+        // projections are Compare-equal iff their id sequences match.
+        ProjectionKey projected(query->agg_vars_.size());
+        for (std::size_t i = 0; i < query->agg_vars_.size(); ++i) {
+          projected.set(i, assignment[query->agg_vars_[i]]);
+        }
+        distinct.insert(Tuple::FromIds(projected));
         break;
       }
       case AggregateFunction::kSum: {
-        const Value& v = assignment[query->agg_vars_[0]];
+        const Value& v =
+            ValuePool::Global().value(assignment[query->agg_vars_[0]]);
         if (sum_is_int && v.type() == ValueType::kInt) {
           sum_int += v.AsInt();
         } else {
@@ -396,13 +402,15 @@ struct CompiledQuery::AggState {
         break;
       }
       case AggregateFunction::kMax: {
-        const Value& v = assignment[query->agg_vars_[0]];
+        const Value& v =
+            ValuePool::Global().value(assignment[query->agg_vars_[0]]);
         if (!best.has_value() || v > *best) best = v;
         ++count;
         break;
       }
       case AggregateFunction::kMin: {
-        const Value& v = assignment[query->agg_vars_[0]];
+        const Value& v =
+            ValuePool::Global().value(assignment[query->agg_vars_[0]]);
         if (!best.has_value() || v < *best) best = v;
         ++count;
         break;
@@ -449,16 +457,17 @@ struct CompiledQuery::AggState {
 
 bool CompiledQuery::MatchCandidate(const Step& step, TupleId id,
                                    const WorldView& view,
-                                   std::vector<Value>& assignment,
+                                   std::vector<ValueId>& assignment,
                                    SearchContext& context) const {
   const Relation& rel = db_->relation(step.relation_id);
   if (!rel.IsVisible(id, view)) return false;
   const Tuple& t = rel.tuple(id);
+  const ValueId* ids = t.ids();
   for (const ArgAction& action : step.actions) {
-    const Value& v = t[action.position];
+    const ValueId v = ids[action.position];
     switch (action.kind) {
       case ArgAction::kCheckConst:
-        if (v != action.constant) return false;
+        if (v != action.constant_id) return false;
         break;
       case ArgAction::kCheckVar:
         if (v != assignment[action.var]) return false;
@@ -469,17 +478,24 @@ bool CompiledQuery::MatchCandidate(const Step& step, TupleId id,
     }
   }
   for (const CmpCheck& cmp : step.comparisons) {
-    if (!EvaluateComparison(ResolveArg(cmp.lhs, assignment), cmp.op,
-                            ResolveArg(cmp.rhs, assignment))) {
+    // Equality/inequality is decided on ids; ordered operators resolve
+    // through the pool (they need Value::Compare's numeric semantics).
+    if (cmp.op == ComparisonOp::kEq || cmp.op == ComparisonOp::kNe) {
+      const bool equal = ResolveArg(cmp.lhs, assignment) ==
+                         ResolveArg(cmp.rhs, assignment);
+      if (equal != (cmp.op == ComparisonOp::kEq)) return false;
+    } else if (!EvaluateComparison(ResolveArgValue(cmp.lhs, assignment),
+                                   cmp.op,
+                                   ResolveArgValue(cmp.rhs, assignment))) {
       return false;
     }
   }
   for (const NegCheck& neg : step.negations) {
-    std::vector<Value> ground;
-    ground.reserve(neg.args.size());
-    for (const Arg& arg : neg.args) ground.push_back(ResolveArg(arg, assignment));
-    if (db_->relation(neg.relation_id)
-            .ContainsVisible(Tuple(std::move(ground)), view)) {
+    ProjectionKey ground(neg.args.size());
+    for (std::size_t i = 0; i < neg.args.size(); ++i) {
+      ground.set(i, ResolveArg(neg.args[i], assignment));
+    }
+    if (db_->relation(neg.relation_id).ContainsVisible(ground, view)) {
       return false;
     }
   }
@@ -496,7 +512,7 @@ bool CompiledQuery::MatchCandidate(const Step& step, TupleId id,
 }
 
 bool CompiledQuery::Search(std::size_t step_idx, const WorldView& view,
-                           std::vector<Value>& assignment,
+                           std::vector<ValueId>& assignment,
                            SearchContext& context) const {
   if (step_idx == steps_.size()) {
     if (context.support_sink != nullptr) {
@@ -511,12 +527,10 @@ bool CompiledQuery::Search(std::size_t step_idx, const WorldView& view,
   const Step& step = steps_[step_idx];
   const Relation& rel = db_->relation(step.relation_id);
   if (step.use_index) {
-    std::vector<Value> key_values;
-    key_values.reserve(step.key_args.size());
-    for (const Arg& arg : step.key_args) {
-      key_values.push_back(ResolveArg(arg, assignment));
+    ProjectionKey key(step.key_args.size());
+    for (std::size_t i = 0; i < step.key_args.size(); ++i) {
+      key.set(i, ResolveArg(step.key_args[i], assignment));
     }
-    const Tuple key(std::move(key_values));
     for (TupleId id : rel.IndexLookup(step.index_id, key)) {
       if (MatchCandidate(step, id, view, assignment, context)) return true;
     }
@@ -531,7 +545,7 @@ bool CompiledQuery::Search(std::size_t step_idx, const WorldView& view,
 
 bool CompiledQuery::Evaluate(const WorldView& view) const {
   if (always_false_) return false;
-  std::vector<Value> assignment(num_variables());
+  std::vector<ValueId> assignment(num_variables(), kNullValueId);
   SearchContext context;
   if (!is_aggregate_) {
     return Search(0, view, assignment, context);
@@ -550,7 +564,7 @@ void CompiledQuery::EnumerateSupports(
     const std::function<bool(const std::vector<SupportEntry>&)>& callback)
     const {
   if (always_false_ || is_aggregate_) return;
-  std::vector<Value> assignment(num_variables());
+  std::vector<ValueId> assignment(num_variables(), kNullValueId);
   std::vector<SupportEntry> support;
   support.reserve(steps_.size());
   SearchContext context;
@@ -563,14 +577,15 @@ void CompiledQuery::EnumerateAnswers(
     const WorldView& view,
     const std::function<bool(const Tuple&)>& callback) const {
   if (always_false_ || is_aggregate_) return;
-  std::vector<Value> assignment(num_variables());
+  std::vector<ValueId> assignment(num_variables(), kNullValueId);
   std::unordered_set<Tuple, TupleHash> seen;
   SearchContext context;
-  const AssignmentSink sink = [&](const std::vector<Value>& full) -> bool {
-    std::vector<Value> head;
-    head.reserve(head_var_ids_.size());
-    for (std::size_t v : head_var_ids_) head.push_back(full[v]);
-    Tuple answer(std::move(head));
+  const AssignmentSink sink = [&](const std::vector<ValueId>& full) -> bool {
+    ProjectionKey head(head_var_ids_.size());
+    for (std::size_t i = 0; i < head_var_ids_.size(); ++i) {
+      head.set(i, full[head_var_ids_[i]]);
+    }
+    Tuple answer = Tuple::FromIds(head);
     if (!seen.insert(answer).second) return false;  // Duplicate: keep going.
     return !callback(answer);  // Stop the search if the callback says so.
   };

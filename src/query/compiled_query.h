@@ -82,11 +82,13 @@ class CompiledQuery {
   }
 
  private:
-  /// A term resolved to either a constant or a variable slot.
+  /// A term resolved to either a constant or a variable slot. Constants are
+  /// interned at compile time so evaluation compares ids, never values.
   struct Arg {
     bool is_var = false;
     std::size_t var = 0;
     Value constant;
+    ValueId constant_id = kNullValueId;
   };
 
   /// What to do with one tuple position when matching a candidate.
@@ -94,8 +96,8 @@ class CompiledQuery {
     enum Kind { kCheckConst, kCheckVar, kBind };
     Kind kind;
     std::size_t position;
-    std::size_t var = 0;  // kCheckVar / kBind
-    Value constant;       // kCheckConst
+    std::size_t var = 0;                  // kCheckVar / kBind
+    ValueId constant_id = kNullValueId;   // kCheckConst
   };
 
   struct CmpCheck {
@@ -130,9 +132,9 @@ class CompiledQuery {
 
   struct AggState;
 
-  /// Called with each full satisfying assignment during enumeration; return
-  /// true to terminate the whole search.
-  using AssignmentSink = std::function<bool(const std::vector<Value>&)>;
+  /// Called with each full satisfying assignment (as interned ids) during
+  /// enumeration; return true to terminate the whole search.
+  using AssignmentSink = std::function<bool(const std::vector<ValueId>&)>;
 
   /// Everything threaded through the backtracking search besides the
   /// assignment itself. Exactly one of the terminal handlers is active:
@@ -148,16 +150,23 @@ class CompiledQuery {
 
   CompiledQuery() = default;
 
-  const Value& ResolveArg(const Arg& arg,
-                          const std::vector<Value>& assignment) const {
-    return arg.is_var ? assignment[arg.var] : arg.constant;
+  /// Assignments bind interned ids; equality checks compare ids directly,
+  /// and only ordered comparisons / aggregates resolve through the pool.
+  static ValueId ResolveArg(const Arg& arg,
+                            const std::vector<ValueId>& assignment) {
+    return arg.is_var ? assignment[arg.var] : arg.constant_id;
+  }
+  static const Value& ResolveArgValue(const Arg& arg,
+                                      const std::vector<ValueId>& assignment) {
+    return arg.is_var ? ValuePool::Global().value(assignment[arg.var])
+                      : arg.constant;
   }
 
   bool MatchCandidate(const Step& step, TupleId id, const WorldView& view,
-                      std::vector<Value>& assignment,
+                      std::vector<ValueId>& assignment,
                       SearchContext& context) const;
   bool Search(std::size_t step_idx, const WorldView& view,
-              std::vector<Value>& assignment, SearchContext& context) const;
+              std::vector<ValueId>& assignment, SearchContext& context) const;
 
   const Database* db_ = nullptr;
   DenialConstraint source_;

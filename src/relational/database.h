@@ -8,6 +8,7 @@
 
 #include "relational/relation.h"
 #include "relational/schema.h"
+#include "relational/value_pool.h"
 #include "relational/world_view.h"
 #include "util/status.h"
 
@@ -30,6 +31,13 @@ class Database {
 
   const Catalog& catalog() const { return *catalog_; }
   std::size_t num_relations() const { return relations_.size(); }
+
+  /// The value interner backing every tuple this database stores. All
+  /// databases share the process-wide pool (tuples are interned before they
+  /// reach a database — transaction items, query constants — and must keep
+  /// their ids when replayed into differential replicas); the pool is never
+  /// destroyed, so ids stay stable for the database's entire lifetime.
+  ValuePool& pool() const { return ValuePool::Global(); }
 
   Relation& relation(std::size_t id) { return relations_[id]; }
   const Relation& relation(std::size_t id) const { return relations_[id]; }

@@ -36,6 +36,12 @@ bool Relation::ContainsVisible(const Tuple& tuple,
   return it != ids_by_tuple_.end() && IsVisible(it->second, view);
 }
 
+bool Relation::ContainsVisible(const ProjectionKey& key,
+                               const WorldView& view) const {
+  auto it = ids_by_tuple_.find(key);
+  return it != ids_by_tuple_.end() && IsVisible(it->second, view);
+}
+
 std::size_t Relation::CountVisible(const WorldView& view) const {
   std::size_t count = 0;
   for (TupleId id = 0; id < tuples_.size(); ++id) {
@@ -98,8 +104,24 @@ const std::vector<TupleId>& Relation::IndexLookup(std::size_t index_id,
   return it == index.buckets.end() ? kEmptyTupleIds : it->second;
 }
 
+const std::vector<TupleId>& Relation::IndexLookup(
+    std::size_t index_id, const ProjectionKey& key) const {
+  const HashIndex& index = indexes_[index_id];
+  assert(key.size() == index.positions.size());
+  auto it = index.buckets.find(key);
+  return it == index.buckets.end() ? kEmptyTupleIds : it->second;
+}
+
 void Relation::AddToIndex(HashIndex& index, TupleId id) const {
-  index.buckets[tuples_[id].Project(index.positions)].push_back(id);
+  // Probe with the non-allocating view; materialize the owned key only for
+  // a bucket's first entry.
+  const ProjectionKey key = tuples_[id].ProjectKey(index.positions);
+  auto it = index.buckets.find(key);
+  if (it == index.buckets.end()) {
+    it = index.buckets.emplace(Tuple::FromIds(key), std::vector<TupleId>{})
+             .first;
+  }
+  it->second.push_back(id);
 }
 
 }  // namespace bcdb

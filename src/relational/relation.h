@@ -53,6 +53,8 @@ class Relation {
 
   /// True if an equal tuple is stored and visible in `view`.
   bool ContainsVisible(const Tuple& tuple, const WorldView& view) const;
+  /// Same, keyed by an id sequence (full arity) — allocation-free.
+  bool ContainsVisible(const ProjectionKey& key, const WorldView& view) const;
 
   /// Number of tuples visible in `view`.
   std::size_t CountVisible(const WorldView& view) const;
@@ -78,6 +80,9 @@ class Relation {
   /// equals `key`. `key` arity must match the index positions.
   const std::vector<TupleId>& IndexLookup(std::size_t index_id,
                                           const Tuple& key) const;
+  /// Same, keyed by a ProjectionKey — the allocation-free lookup path.
+  const std::vector<TupleId>& IndexLookup(std::size_t index_id,
+                                          const ProjectionKey& key) const;
 
   /// Invokes `fn(TupleId)` for every tuple visible in `view`.
   template <typename Fn>
@@ -88,9 +93,12 @@ class Relation {
   }
 
  private:
+  /// Buckets are id-keyed: the Tuple key is a flat ValueId sequence, and the
+  /// transparent TupleHash/TupleEq pair lets lookups probe with a
+  /// ProjectionKey instead of materializing a projection.
   struct HashIndex {
     std::vector<std::size_t> positions;
-    std::unordered_map<Tuple, std::vector<TupleId>, TupleHash> buckets;
+    std::unordered_map<Tuple, std::vector<TupleId>, TupleHash, TupleEq> buckets;
   };
 
   void AddToIndex(HashIndex& index, TupleId id) const;
@@ -98,7 +106,7 @@ class Relation {
   const RelationSchema* schema_;
   std::vector<Tuple> tuples_;
   std::vector<std::vector<TupleOwner>> owners_;
-  std::unordered_map<Tuple, TupleId, TupleHash> ids_by_tuple_;
+  std::unordered_map<Tuple, TupleId, TupleHash, TupleEq> ids_by_tuple_;
   std::unordered_map<TupleOwner, std::vector<TupleId>> tuples_by_owner_;
   mutable std::vector<HashIndex> indexes_;
 };

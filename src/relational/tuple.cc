@@ -1,20 +1,44 @@
 #include "relational/tuple.h"
 
-#include "util/hash.h"
-
 namespace bcdb {
 
-std::size_t Tuple::Hash() const {
-  std::size_t seed = values_.size();
-  for (const Value& v : values_) HashCombine(seed, v.Hash());
-  return seed;
+void Tuple::InternFrom(const Value* values, std::size_t n) {
+  EnsureCapacity(n);
+  ValuePool& pool = ValuePool::Global();
+  ValueId* out = const_cast<ValueId*>(ids());
+  for (std::size_t i = 0; i < n; ++i) out[i] = pool.Intern(values[i]);
 }
+
+std::vector<Value> Tuple::values() const {
+  std::vector<Value> result;
+  result.reserve(arity_);
+  const ValuePool& pool = ValuePool::Global();
+  const ValueId* id = ids();
+  for (std::size_t i = 0; i < arity_; ++i) result.push_back(pool.value(id[i]));
+  return result;
+}
+
+int Tuple::Compare(const Tuple& other) const {
+  const ValuePool& pool = ValuePool::Global();
+  const ValueId* a = ids();
+  const ValueId* b = other.ids();
+  const std::size_t n = std::min<std::size_t>(arity_, other.arity_);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) continue;  // Interned: equal ids <=> equal values.
+    const int c = pool.value(a[i]).Compare(pool.value(b[i]));
+    if (c != 0) return c;
+  }
+  if (arity_ == other.arity_) return 0;
+  return arity_ < other.arity_ ? -1 : 1;
+}
+
+std::size_t Tuple::Hash() const { return HashValueIds(ids(), arity_); }
 
 std::string Tuple::ToString() const {
   std::string result = "(";
-  for (std::size_t i = 0; i < values_.size(); ++i) {
+  for (std::size_t i = 0; i < arity_; ++i) {
     if (i > 0) result += ", ";
-    result += values_[i].ToString();
+    result += at(i).ToString();
   }
   result += ")";
   return result;

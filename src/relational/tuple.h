@@ -3,52 +3,118 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "relational/value.h"
+#include "relational/value_pool.h"
+#include "util/hash.h"
 
 namespace bcdb {
 
-/// An immutable ground tuple: a fixed-arity sequence of values.
+class ProjectionKey;
+
+/// An immutable ground tuple: a fixed-arity sequence of interned values.
 ///
 /// Tuples are regular values; projections of tuples serve as hash-index keys
 /// and as the equality-constraint signatures used by the ind-q-transaction
 /// graph.
+///
+/// Representation: a flat array of `ValueId`s into the process-wide
+/// `ValuePool` — values are interned at construction, after which equality
+/// is an id-sequence compare and hashing mixes raw ids (no variant walks,
+/// no string re-hashing). Arities up to `kInlineArity` live inline in the
+/// tuple object itself; larger tuples use one heap array of 4-byte ids.
+/// Value accessors (`at`, `operator[]`) resolve through the pool and return
+/// references to the *canonical* representative (e.g. `Real(1.0)` resolves
+/// as the Compare-equal `Int(1)`), stable for the process lifetime.
 class Tuple {
  public:
-  Tuple() = default;
-  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
-  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  /// Largest arity stored inline without a heap allocation.
+  static constexpr std::size_t kInlineArity = 4;
 
-  std::size_t arity() const { return values_.size(); }
-  const Value& at(std::size_t i) const { return values_[i]; }
-  const Value& operator[](std::size_t i) const { return values_[i]; }
-  const std::vector<Value>& values() const { return values_; }
+  Tuple() : arity_(0) {}
+  explicit Tuple(const std::vector<Value>& values) {
+    InternFrom(values.data(), values.size());
+  }
+  Tuple(std::initializer_list<Value> values) {
+    InternFrom(values.begin(), values.size());
+  }
+
+  Tuple(const Tuple& other) { CopyFrom(other); }
+  Tuple(Tuple&& other) noexcept { StealFrom(other); }
+  Tuple& operator=(const Tuple& other) {
+    if (this != &other) {
+      Release();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  Tuple& operator=(Tuple&& other) noexcept {
+    if (this != &other) {
+      Release();
+      StealFrom(other);
+    }
+    return *this;
+  }
+  ~Tuple() { Release(); }
+
+  /// Builds a tuple directly from already-interned ids (no pool access).
+  static Tuple FromIds(const ValueId* ids, std::size_t n) {
+    Tuple t;
+    t.AssignIds(ids, n);
+    return t;
+  }
+  static Tuple FromIds(const ProjectionKey& key);
+
+  std::size_t arity() const { return arity_; }
+
+  /// The interned-id sequence (length `arity()`).
+  const ValueId* ids() const {
+    return arity_ <= kInlineArity ? inline_ : heap_;
+  }
+  ValueId id_at(std::size_t i) const { return ids()[i]; }
+
+  /// Canonical value at position `i`; the reference is stable forever.
+  const Value& at(std::size_t i) const {
+    return ValuePool::Global().value(ids()[i]);
+  }
+  const Value& operator[](std::size_t i) const { return at(i); }
+
+  /// Materializes the (canonical) values. O(arity) pool resolutions.
+  std::vector<Value> values() const;
 
   /// Projection onto the given attribute positions, in the given order.
+  /// An id gather — no interning, no heap allocation for results of arity
+  /// <= kInlineArity. Callers that only need a lookup key should prefer
+  /// `ProjectKey`, which never allocates for keys up to
+  /// ProjectionKey::kInlineCapacity ids.
   Tuple Project(const std::vector<std::size_t>& positions) const {
-    std::vector<Value> projected;
-    projected.reserve(positions.size());
-    for (std::size_t p : positions) projected.push_back(values_[p]);
-    return Tuple(std::move(projected));
+    Tuple t;
+    t.EnsureCapacity(positions.size());
+    ValueId* out = const_cast<ValueId*>(t.ids());
+    const ValueId* src = ids();
+    for (std::size_t i = 0; i < positions.size(); ++i) out[i] = src[positions[i]];
+    return t;
   }
 
-  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  /// Non-owning-style projection for key lookups (see ProjectionKey).
+  ProjectionKey ProjectKey(const std::vector<std::size_t>& positions) const;
+
+  bool operator==(const Tuple& other) const {
+    return arity_ == other.arity_ &&
+           std::equal(ids(), ids() + arity_, other.ids());
+  }
   bool operator!=(const Tuple& other) const { return !(*this == other); }
 
-  /// Lexicographic three-way comparison (shorter tuples first on ties).
-  int Compare(const Tuple& other) const {
-    const std::size_t n = std::min(values_.size(), other.values_.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      const int c = values_[i].Compare(other.values_[i]);
-      if (c != 0) return c;
-    }
-    if (values_.size() == other.values_.size()) return 0;
-    return values_.size() < other.values_.size() ? -1 : 1;
-  }
+  /// Lexicographic three-way comparison (shorter tuples first on ties),
+  /// ordering by `Value::Compare` semantics — equal ids short-circuit,
+  /// differing ids resolve through the pool.
+  int Compare(const Tuple& other) const;
   bool operator<(const Tuple& other) const { return Compare(other) < 0; }
 
   std::size_t Hash() const;
@@ -57,13 +123,130 @@ class Tuple {
   std::string ToString() const;
 
  private:
-  std::vector<Value> values_;
+  void InternFrom(const Value* values, std::size_t n);
+  void EnsureCapacity(std::size_t n) {
+    arity_ = static_cast<std::uint32_t>(n);
+    if (n > kInlineArity) heap_ = new ValueId[n];
+  }
+  void AssignIds(const ValueId* ids_in, std::size_t n) {
+    EnsureCapacity(n);
+    std::copy(ids_in, ids_in + n, const_cast<ValueId*>(ids()));
+  }
+  void CopyFrom(const Tuple& other) { AssignIds(other.ids(), other.arity_); }
+  void StealFrom(Tuple& other) noexcept {
+    arity_ = other.arity_;
+    if (arity_ <= kInlineArity) {
+      std::copy(other.inline_, other.inline_ + arity_, inline_);
+    } else {
+      heap_ = other.heap_;
+      other.arity_ = 0;
+    }
+  }
+  void Release() {
+    if (arity_ > kInlineArity) delete[] heap_;
+  }
+
+  std::uint32_t arity_;
+  union {
+    ValueId inline_[kInlineArity];
+    ValueId* heap_;
+  };
 };
+
+/// A small gather buffer of interned ids used as a hash-map lookup key —
+/// the "projection view" of the hot paths. Building one from a tuple and a
+/// position list copies only 4-byte ids and never touches the heap for keys
+/// of up to `kInlineCapacity` positions (every FD determinant, IND side and
+/// index key in the shipped workloads fits). Id-keyed containers declared
+/// with `TupleHash`/`TupleEq` accept it directly via heterogeneous lookup,
+/// so probing an index allocates nothing.
+class ProjectionKey {
+ public:
+  static constexpr std::size_t kInlineCapacity = 8;
+
+  ProjectionKey() = default;
+
+  /// Gathers `tuple`'s ids at `positions` (in that order).
+  ProjectionKey(const Tuple& tuple, const std::vector<std::size_t>& positions)
+      : ProjectionKey(positions.size()) {
+    const ValueId* src = tuple.ids();
+    ValueId* out = data_mutable();
+    for (std::size_t i = 0; i < positions.size(); ++i) out[i] = src[positions[i]];
+  }
+
+  /// An uninitialized key of `n` slots, to be filled with `set`.
+  explicit ProjectionKey(std::size_t n) : size_(static_cast<std::uint32_t>(n)) {
+    if (n > kInlineCapacity) heap_ = std::make_unique<ValueId[]>(n);
+  }
+
+  void set(std::size_t i, ValueId id) { data_mutable()[i] = id; }
+
+  const ValueId* data() const { return size_ <= kInlineCapacity ? inline_ : heap_.get(); }
+  std::size_t size() const { return size_; }
+  ValueId operator[](std::size_t i) const { return data()[i]; }
+
+  std::size_t Hash() const;
+
+  bool operator==(const ProjectionKey& other) const {
+    return size_ == other.size_ &&
+           std::equal(data(), data() + size_, other.data());
+  }
+
+ private:
+  ValueId* data_mutable() {
+    return size_ <= kInlineCapacity ? inline_ : heap_.get();
+  }
+
+  std::uint32_t size_ = 0;
+  ValueId inline_[kInlineCapacity] = {};
+  std::unique_ptr<ValueId[]> heap_;
+};
+
+inline Tuple Tuple::FromIds(const ProjectionKey& key) {
+  return FromIds(key.data(), key.size());
+}
+
+inline ProjectionKey Tuple::ProjectKey(
+    const std::vector<std::size_t>& positions) const {
+  return ProjectionKey(*this, positions);
+}
+
+/// Shared id-sequence hash: seeded by length, mixing raw ids. Sound as a
+/// value hash because interning maps Compare-equal values to one id.
+inline std::size_t HashValueIds(const ValueId* ids, std::size_t n) {
+  std::size_t seed = n;
+  for (std::size_t i = 0; i < n; ++i) HashCombine(seed, ids[i]);
+  return seed;
+}
+
+inline std::size_t ProjectionKey::Hash() const {
+  return HashValueIds(data(), size_);
+}
 
 std::ostream& operator<<(std::ostream& os, const Tuple& tuple);
 
+/// Transparent hash/equality over id sequences: containers keyed by `Tuple`
+/// and declared with both functors can be probed with a `ProjectionKey`
+/// without materializing a tuple.
 struct TupleHash {
+  using is_transparent = void;
   std::size_t operator()(const Tuple& t) const { return t.Hash(); }
+  std::size_t operator()(const ProjectionKey& k) const { return k.Hash(); }
+};
+
+struct TupleEq {
+  using is_transparent = void;
+  bool operator()(const Tuple& a, const Tuple& b) const { return a == b; }
+  bool operator()(const ProjectionKey& a, const ProjectionKey& b) const {
+    return a == b;
+  }
+  bool operator()(const Tuple& a, const ProjectionKey& b) const {
+    return a.arity() == b.size() &&
+           std::equal(a.ids(), a.ids() + a.arity(), b.data());
+  }
+  bool operator()(const ProjectionKey& a, const Tuple& b) const {
+    return (*this)(b, a);
+  }
 };
 
 }  // namespace bcdb

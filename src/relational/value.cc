@@ -1,6 +1,8 @@
 #include "relational/value.h"
 
+#include <cmath>
 #include <functional>
+#include <limits>
 #include <sstream>
 
 #include "util/hash.h"
@@ -33,6 +35,14 @@ int Value::Compare(const Value& other) const {
     }
     const double x = AsNumeric();
     const double y = other.AsNumeric();
+    // Totality for NaN: all NaNs are equal, and greater than every other
+    // numeric (ints can never be NaN).
+    const bool x_nan = std::isnan(x);
+    const bool y_nan = std::isnan(y);
+    if (x_nan || y_nan) {
+      if (x_nan && y_nan) return 0;
+      return x_nan ? 1 : -1;
+    }
     return x < y ? -1 : (x > y ? 1 : 0);
   }
   if (a != b) return a < b ? -1 : 1;
@@ -58,15 +68,24 @@ std::size_t Value::Hash() const {
       break;
     case ValueType::kReal: {
       // Hash integral reals like the equal int so that 1 == 1.0 implies
-      // equal hashes (required because Compare treats them as equal).
+      // equal hashes (required because Compare treats them as equal). The
+      // range guard keeps the double->int64 cast defined; out-of-range
+      // reals can never equal an int anyway. All NaNs are Compare-equal,
+      // so they share one fixed hash.
       const double d = AsReal();
-      const auto as_int = static_cast<std::int64_t>(d);
-      if (static_cast<double>(as_int) == d) {
-        seed = static_cast<std::size_t>(ValueType::kInt);
-        HashCombineValue(seed, as_int);
-      } else {
-        HashCombineValue(seed, d);
+      if (std::isnan(d)) {
+        HashCombineValue(seed, std::numeric_limits<double>::quiet_NaN());
+        break;
       }
+      if (d >= -9223372036854775808.0 && d < 9223372036854775808.0) {
+        const auto as_int = static_cast<std::int64_t>(d);
+        if (static_cast<double>(as_int) == d) {
+          seed = static_cast<std::size_t>(ValueType::kInt);
+          HashCombineValue(seed, as_int);
+          break;
+        }
+      }
+      HashCombineValue(seed, d);
       break;
     }
     case ValueType::kString:

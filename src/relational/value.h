@@ -26,6 +26,13 @@ const char* ValueTypeToString(ValueType type);
 /// values of different types (`kInt` vs `kReal`) compare numerically, which
 /// matches SQL comparison semantics; values of incomparable types order by
 /// type tag so sorting is always well-defined.
+///
+/// To keep the order total for every representable double, `Real(NaN)` is
+/// pinned to a defined position: all NaNs are equal to each other and sort
+/// *after* every other numeric value (but still by numeric type tag against
+/// non-numeric types). IEEE "NaN compares false with everything" semantics
+/// would otherwise break the antisymmetry that hash-index buckets and
+/// sorted outputs rely on.
 class Value {
  public:
   /// Defaults to NULL.

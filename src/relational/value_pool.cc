@@ -1,0 +1,45 @@
+#include "relational/value_pool.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace bcdb {
+
+Value ValuePool::Canonical(const Value& v) {
+  if (v.type() != ValueType::kReal) return v;
+  const double d = v.AsReal();
+  if (std::isnan(d)) return Value::Real(std::numeric_limits<double>::quiet_NaN());
+  // Integral reals are Compare-equal to the int (1 == 1.0); the range guard
+  // keeps the cast defined. -0.0 is integral and canonicalizes to Int(0).
+  if (d >= -9223372036854775808.0 && d < 9223372036854775808.0) {
+    const auto as_int = static_cast<std::int64_t>(d);
+    if (static_cast<double>(as_int) == d) return Value::Int(as_int);
+  }
+  return v;
+}
+
+ValueId ValuePool::Intern(const Value& v) {
+  Value canonical = Canonical(v);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ids_.find(canonical);
+  if (it != ids_.end()) return *it;
+
+  const std::size_t next = size_.load(std::memory_order_relaxed);
+  assert(next <= 0xffffffffu && "value pool exhausted the 32-bit id space");
+  const ValueId id = static_cast<ValueId>(next);
+  const std::size_t c = ChunkIndex(id);
+  Entry* chunk = chunks_[c].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Entry[std::size_t{1} << (c + kBaseLog - 1)];
+    chunks_[c].store(chunk, std::memory_order_release);
+  }
+  Entry& entry = chunk[ChunkOffset(id, c)];
+  entry.hash = canonical.Hash();
+  entry.value = std::move(canonical);
+  size_.store(next + 1, std::memory_order_release);
+  ids_.insert(id);
+  return id;
+}
+
+}  // namespace bcdb

@@ -1,0 +1,141 @@
+#ifndef BCDB_RELATIONAL_VALUE_POOL_H_
+#define BCDB_RELATIONAL_VALUE_POOL_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+#include "relational/value.h"
+
+namespace bcdb {
+
+/// Dense identifier of an interned Value. Two ids are equal iff the values
+/// they name are `Value::Compare`-equal, so id comparison is a full
+/// substitute for deep value equality.
+using ValueId = std::uint32_t;
+
+/// The id NULL interns to (the pool pre-interns NULL at construction).
+inline constexpr ValueId kNullValueId = 0;
+
+/// An append-only interner mapping each distinct `Value` to a dense 32-bit
+/// `ValueId` with a precomputed hash.
+///
+/// Interning canonicalizes values so that id equality matches
+/// `Value::Compare` equality exactly:
+///   * an integral `Real` (1.0, -0.0, 3e4) maps to the equal `Int`;
+///   * every NaN maps to one canonical NaN (NaNs are Compare-equal);
+///   * everything else interns as-is.
+/// Resolving an id back therefore returns the *canonical* representative of
+/// its equivalence class, which is Compare-equal (and prints identically)
+/// to whatever was interned.
+///
+/// Storage is chunked with power-of-two chunk growth, so resolved
+/// `const Value&` references stay valid forever — interning never moves an
+/// entry. `Intern` is serialized by a mutex; `value`/`hash` are lock-free
+/// array reads and may run concurrently with interning, provided the reader
+/// obtained the id through some synchronizing handoff (a task queue, a
+/// mutex) — the same discipline the rest of the engine already follows for
+/// tuples themselves.
+///
+/// The pool is process-wide (`Global()`): tuples are built before they
+/// reach any particular database (transaction items, query constants) and
+/// the differential test harnesses insert identical tuples into several
+/// databases, so all databases must agree on ids. `Database` re-exports it
+/// as `pool()`; ids are stable for the lifetime of the process and hence of
+/// every database.
+class ValuePool {
+ public:
+  ValuePool() {
+    chunks_[0].store(new Entry[kBaseChunkSize], std::memory_order_relaxed);
+    (void)Intern(Value::Null());  // kNullValueId
+  }
+
+  ~ValuePool() {
+    for (auto& chunk : chunks_) delete[] chunk.load(std::memory_order_relaxed);
+  }
+
+  ValuePool(const ValuePool&) = delete;
+  ValuePool& operator=(const ValuePool&) = delete;
+
+  /// Returns the id of `v`'s equivalence class, interning the canonical
+  /// representative on first sight. Thread-safe.
+  ValueId Intern(const Value& v);
+
+  /// The canonical value an id resolves to. The reference is stable for the
+  /// pool's lifetime.
+  const Value& value(ValueId id) const { return entry(id).value; }
+
+  /// Precomputed `Value::Hash()` of the canonical value.
+  std::size_t hash(ValueId id) const { return entry(id).hash; }
+
+  /// Number of distinct values interned so far.
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// The canonical representative of `v`'s Compare-equivalence class.
+  static Value Canonical(const Value& v);
+
+  /// The process-wide pool every `Tuple` interns into. Never destroyed, so
+  /// ids (and resolved references) outlive all static-destruction order
+  /// concerns.
+  static ValuePool& Global() {
+    static ValuePool* pool = new ValuePool();
+    return *pool;
+  }
+
+ private:
+  struct Entry {
+    Value value;
+    std::size_t hash = 0;
+  };
+
+  // Chunk 0 holds ids [0, 1024); chunk c >= 1 holds [2^(c+9), 2^(c+10)).
+  static constexpr std::size_t kBaseLog = 10;
+  static constexpr std::size_t kBaseChunkSize = std::size_t{1} << kBaseLog;
+  static constexpr std::size_t kNumChunks = 32 - kBaseLog + 1;
+
+  static std::size_t ChunkIndex(ValueId id) {
+    return id < kBaseChunkSize
+               ? 0
+               : static_cast<std::size_t>(std::bit_width(
+                     static_cast<std::uint32_t>(id))) - kBaseLog;
+  }
+  static std::size_t ChunkOffset(ValueId id, std::size_t chunk) {
+    return chunk == 0 ? id : id - (std::size_t{1} << (chunk + kBaseLog - 1));
+  }
+
+  const Entry& entry(ValueId id) const {
+    const std::size_t c = ChunkIndex(id);
+    return chunks_[c].load(std::memory_order_acquire)[ChunkOffset(id, c)];
+  }
+
+  struct IdHash {
+    using is_transparent = void;
+    const ValuePool* pool;
+    std::size_t operator()(ValueId id) const { return pool->hash(id); }
+    std::size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  struct IdEq {
+    using is_transparent = void;
+    const ValuePool* pool;
+    bool operator()(ValueId a, ValueId b) const { return a == b; }
+    bool operator()(ValueId a, const Value& b) const {
+      return pool->value(a) == b;
+    }
+    bool operator()(const Value& a, ValueId b) const {
+      return a == pool->value(b);
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_set<ValueId, IdHash, IdEq> ids_{16, IdHash{this}, IdEq{this}};
+  std::atomic<Entry*> chunks_[kNumChunks] = {};
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_RELATIONAL_VALUE_POOL_H_

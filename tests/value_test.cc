@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "relational/value.h"
 
 namespace bcdb {
@@ -69,6 +72,64 @@ TEST(ValueTest, CompareIsAntisymmetric) {
           << a.ToString() << " vs " << b.ToString();
     }
   }
+}
+
+TEST(ValueTest, NanComparesEqualToItself) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(Value::Real(nan).Compare(Value::Real(nan)), 0);
+  EXPECT_EQ(Value::Real(nan).Compare(Value::Real(-nan)), 0);
+  EXPECT_EQ(Value::Real(nan), Value::Real(nan));
+  EXPECT_EQ(Value::Real(nan).Hash(), Value::Real(-nan).Hash());
+}
+
+TEST(ValueTest, NanSortsAfterAllOtherNumerics) {
+  const Value nan = Value::Real(std::numeric_limits<double>::quiet_NaN());
+  const Value inf = Value::Real(std::numeric_limits<double>::infinity());
+  EXPECT_GT(nan, inf);
+  EXPECT_GT(nan, Value::Int(std::numeric_limits<std::int64_t>::max()));
+  EXPECT_GT(nan, Value::Real(1e308));
+  EXPECT_GT(nan, Value::Null());
+  // Type-tag ordering is unaffected: every numeric, NaN included, sorts
+  // before every string.
+  EXPECT_LT(nan, Value::Str(""));
+}
+
+TEST(ValueTest, CompareIsTotalWithNan) {
+  // The pre-fix behaviour violated totality: NaN < x and x < NaN were both
+  // false while NaN != x, so NaN-keyed containers misbehaved. Antisymmetry
+  // over a set containing NaN pins the fix.
+  const Value values[] = {
+      Value::Null(),
+      Value::Int(0),
+      Value::Real(std::numeric_limits<double>::quiet_NaN()),
+      Value::Real(-std::numeric_limits<double>::infinity()),
+      Value::Real(std::numeric_limits<double>::infinity()),
+      Value::Str("nan")};
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      EXPECT_EQ(a.Compare(b), -b.Compare(a))
+          << a.ToString() << " vs " << b.ToString();
+      for (const Value& c : values) {
+        // Transitivity of <=.
+        if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+          EXPECT_LE(a.Compare(c), 0)
+              << a.ToString() << " <= " << b.ToString() << " <= "
+              << c.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(ValueTest, HugeRealHashDoesNotOverflowCast) {
+  // Regression: hashing a real outside int64 range used to cast it to
+  // int64 unguarded (UB). These only need to not trap under ubsan.
+  (void)Value::Real(1e300).Hash();
+  (void)Value::Real(-1e300).Hash();
+  (void)Value::Real(std::numeric_limits<double>::infinity()).Hash();
+  (void)Value::Real(9.3e18).Hash();
+  // Integral reals inside int64 range still hash like their int twins.
+  EXPECT_EQ(Value::Real(42.0).Hash(), Value::Int(42).Hash());
 }
 
 }  // namespace
