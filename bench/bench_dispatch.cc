@@ -1,0 +1,189 @@
+// Per-class check latency under classified dispatch.
+//
+// The static analyzer (src/analysis) places every denial constraint in a
+// tractability class once, at registration time; DcSatEngine::Check(q,
+// report) then routes on the cached class instead of re-probing the
+// constraint set and query shape on every call. This bench measures what
+// that buys per class: for each tractability class and pending-set size it
+// times the classified check against the legacy runtime-gated check (and
+// records the one-off Analyze cost the classification paid up front).
+//
+// Writes BENCH_dispatch.json. --smoke shrinks the sweep for CI.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "bench_common.h"
+#include "core/dcsat.h"
+#include "query/parser.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace bcdb;
+
+/// R(a, b) / S(x, y nonneg) with the requested constraint classes and
+/// `pending` single-tuple transactions over a domain wide enough to keep
+/// key conflicts sparse (the bench measures dispatch, not search blowup).
+BlockchainDatabase MakeDb(std::uint64_t seed, bool keys, bool inds,
+                          std::size_t pending) {
+  Xoshiro256 rng(seed);
+  Catalog catalog;
+  if (!catalog
+           .AddRelation(RelationSchema(
+               "R", {Attribute{"a", ValueType::kInt, false},
+                     Attribute{"b", ValueType::kInt, false}}))
+           .ok()) {
+    std::abort();
+  }
+  if (!catalog
+           .AddRelation(RelationSchema(
+               "S", {Attribute{"x", ValueType::kInt, false},
+                     Attribute{"y", ValueType::kInt, true}}))
+           .ok()) {
+    std::abort();
+  }
+  ConstraintSet constraints;
+  if (keys) {
+    constraints.AddFd(*FunctionalDependency::Key(catalog, "R", {"a"}));
+    constraints.AddFd(
+        *FunctionalDependency::Create(catalog, "S", {"x"}, {"y"}));
+  }
+  if (inds) {
+    constraints.AddInd(
+        *InclusionDependency::Create(catalog, "S", {"x"}, "R", {"a"}));
+  }
+  auto db =
+      BlockchainDatabase::Create(std::move(catalog), std::move(constraints));
+  if (!db.ok()) std::abort();
+  const std::int64_t domain = static_cast<std::int64_t>(pending) * 4;
+  for (std::size_t t = 0; t < pending; ++t) {
+    Transaction txn("P" + std::to_string(t));
+    if (rng.NextBool(0.5)) {
+      txn.Add("R", Tuple({Value::Int(rng.NextInRange(0, domain)),
+                          Value::Int(rng.NextInRange(0, 3))}));
+    } else {
+      txn.Add("S", Tuple({Value::Int(rng.NextInRange(0, domain)),
+                          Value::Int(rng.NextInRange(0, 3))}));
+    }
+    if (!db->AddPending(txn).ok()) std::abort();
+  }
+  return std::move(*db);
+}
+
+struct Scenario {
+  const char* label;  // Expected class, for the report.
+  const char* query;
+  bool keys;
+  bool inds;
+};
+
+// One scenario per tractability class (kTriviallyViolated is data-dependent
+// and never produced by Analyze, which probes classes data-independently).
+constexpr Scenario kScenarios[] = {
+    {"ptime-fd-only", "q() :- R(x, y), S(x, y)", true, false},
+    {"ptime-ind-only", "q() :- S(x, y), R(x, z)", false, true},
+    {"conp-mixed", "q() :- R(x, 0), R(x, 1)", true, true},
+    {"trivially-unsat", "q() :- R(x, y), x > x", true, true},
+};
+
+struct Row {
+  std::string cls;
+  std::size_t pending = 0;
+  std::string algorithm;
+  double analyze_us = 0;     // One-off classification cost.
+  double classified_us = 0;  // Per classified Check(q, report).
+  double legacy_us = 0;      // Per legacy runtime-gated Check(q).
+};
+
+void WriteJson(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "  {\"class\": \"%s\", \"pending\": %zu, "
+                 "\"algorithm\": \"%s\", \"analyze_us\": %.3f, "
+                 "\"classified_us\": %.3f, \"legacy_us\": %.3f}%s\n",
+                 r.cls.c_str(), r.pending, r.algorithm.c_str(), r.analyze_us,
+                 r.classified_us, r.legacy_us,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[json] wrote %zu rows to %s\n", rows.size(),
+               path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::ApplySmokeFlag(&argc, argv);
+  const std::vector<std::size_t> pending_sizes =
+      smoke ? std::vector<std::size_t>{16, 64}
+            : std::vector<std::size_t>{64, 256, 1024};
+  const std::size_t iters = smoke ? 5 : 50;
+
+  std::vector<Row> rows;
+  std::printf("%-16s %8s %-14s %12s %14s %12s\n", "class", "pending",
+              "algorithm", "analyze_us", "classified_us", "legacy_us");
+  for (const Scenario& scenario : kScenarios) {
+    for (std::size_t pending : pending_sizes) {
+      BlockchainDatabase db =
+          MakeDb(/*seed=*/42 + pending, scenario.keys, scenario.inds, pending);
+      DcSatEngine engine(&db);
+      engine.PrepareSteadyState();
+      auto q = ParseDenialConstraint(scenario.query);
+      if (!q.ok()) std::abort();
+
+      Stopwatch analyze_watch;
+      AnalysisReport report = engine.Analyze(*q);
+      const double analyze_us = analyze_watch.ElapsedSeconds() * 1e6;
+      if (!report.ok()) std::abort();
+      if (std::string(TractabilityClassToString(report.tractability)) !=
+          scenario.label) {
+        std::fprintf(stderr, "scenario %s classified as %s\n", scenario.label,
+                     TractabilityClassToString(report.tractability));
+        std::abort();
+      }
+
+      Row row;
+      row.cls = scenario.label;
+      row.pending = pending;
+      row.analyze_us = analyze_us;
+
+      Stopwatch classified_watch;
+      for (std::size_t i = 0; i < iters; ++i) {
+        auto result = engine.Check(*q, report);
+        if (!result.ok()) std::abort();
+        if (i == 0) {
+          row.algorithm =
+              DcSatAlgorithmToString(result->stats.algorithm_used);
+        }
+      }
+      row.classified_us = classified_watch.ElapsedSeconds() * 1e6 / iters;
+
+      Stopwatch legacy_watch;
+      for (std::size_t i = 0; i < iters; ++i) {
+        auto result = engine.Check(*q);
+        if (!result.ok()) std::abort();
+      }
+      row.legacy_us = legacy_watch.ElapsedSeconds() * 1e6 / iters;
+
+      std::printf("%-16s %8zu %-14s %12.3f %14.3f %12.3f\n", row.cls.c_str(),
+                  pending, row.algorithm.c_str(), row.analyze_us,
+                  row.classified_us, row.legacy_us);
+      rows.push_back(row);
+    }
+  }
+
+  WriteJson("BENCH_dispatch.json", rows);
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "analysis/schema_text.h"
+
+#include <cctype>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bcdb {
+namespace {
+
+/// Cursor over one schema line with the usual recursive-descent helpers.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : line_(line) {}
+
+  void SkipSpace() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= line_.size();
+  }
+
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (line_.compare(pos_, token.size(), token) != 0) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  /// [A-Za-z_][A-Za-z0-9_]*; empty when the next char is not a word start.
+  std::string Word() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < line_.size()) {
+      const char c = line_[pos_];
+      const bool word_char = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                             c == '_';
+      if (!word_char) break;
+      ++pos_;
+    }
+    return std::string(line_.substr(start, pos_ - start));
+  }
+
+  /// `(w1, w2, ...)`; empty vector + false on malformed input.
+  bool WordList(std::vector<std::string>& out) {
+    if (!Consume("(")) return false;
+    while (true) {
+      std::string word = Word();
+      if (word.empty()) return false;
+      out.push_back(std::move(word));
+      if (Consume(")")) return true;
+      if (!Consume(",")) return false;
+    }
+  }
+
+ private:
+  std::string_view line_;
+  std::size_t pos_ = 0;
+};
+
+Status LineError(std::size_t line_number, const std::string& what) {
+  return Status::InvalidArgument("schema line " + std::to_string(line_number) +
+                                 ": " + what);
+}
+
+Status ParseRelation(LineParser& p, std::size_t line_number,
+                     Catalog& catalog) {
+  const std::string name = p.Word();
+  if (name.empty()) return LineError(line_number, "expected relation name");
+  if (!p.Consume("(")) return LineError(line_number, "expected '('");
+  std::vector<Attribute> attributes;
+  while (true) {
+    Attribute attr;
+    attr.name = p.Word();
+    if (attr.name.empty()) {
+      return LineError(line_number, "expected attribute name");
+    }
+    const std::string type = p.Word();
+    if (type == "int") {
+      attr.type = ValueType::kInt;
+    } else if (type == "real") {
+      attr.type = ValueType::kReal;
+    } else if (type == "string") {
+      attr.type = ValueType::kString;
+    } else {
+      return LineError(line_number, "unknown attribute type '" + type +
+                                        "' (want int, real or string)");
+    }
+    // Optional flags after the type.
+    while (true) {
+      if (p.Consume("nonneg")) {
+        attr.non_negative = true;
+        continue;
+      }
+      break;
+    }
+    attributes.push_back(std::move(attr));
+    if (p.Consume(")")) break;
+    if (!p.Consume(",")) return LineError(line_number, "expected ',' or ')'");
+  }
+  Status added = catalog.AddRelation(RelationSchema(name, attributes));
+  if (!added.ok()) return LineError(line_number, added.message());
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<ParsedSchema> ParseSchemaText(std::string_view text) {
+  ParsedSchema schema;
+  std::size_t line_number = 0;
+  while (!text.empty()) {
+    ++line_number;
+    const std::size_t newline = text.find('\n');
+    std::string_view line = text.substr(0, newline);
+    text = newline == std::string_view::npos ? std::string_view()
+                                             : text.substr(newline + 1);
+    const std::size_t comment = line.find('#');
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+
+    LineParser p(line);
+    if (p.AtEnd()) continue;
+    if (p.Consume("relation")) {
+      Status s = ParseRelation(p, line_number, schema.catalog);
+      if (!s.ok()) return s;
+    } else if (p.Consume("key")) {
+      const std::string relation = p.Word();
+      std::vector<std::string> attrs;
+      if (relation.empty() || !p.WordList(attrs)) {
+        return LineError(line_number, "want: key Rel(attr, ...)");
+      }
+      auto key = FunctionalDependency::Key(schema.catalog, relation, attrs);
+      if (!key.ok()) return LineError(line_number, key.status().message());
+      schema.constraints.AddFd(*std::move(key));
+    } else if (p.Consume("fd")) {
+      const std::string relation = p.Word();
+      std::vector<std::string> lhs;
+      std::vector<std::string> rhs;
+      if (relation.empty() || !p.WordList(lhs) || !p.Consume("->") ||
+          !p.WordList(rhs)) {
+        return LineError(line_number, "want: fd Rel(lhs, ...) -> (rhs, ...)");
+      }
+      auto fd = FunctionalDependency::Create(schema.catalog, relation, lhs,
+                                             rhs);
+      if (!fd.ok()) return LineError(line_number, fd.status().message());
+      schema.constraints.AddFd(*std::move(fd));
+    } else if (p.Consume("ind")) {
+      const std::string lhs_relation = p.Word();
+      std::vector<std::string> lhs_attrs;
+      if (lhs_relation.empty() || !p.WordList(lhs_attrs) || !p.Consume("<=")) {
+        return LineError(line_number,
+                         "want: ind Lhs(a, ...) <= Rhs(b, ...)");
+      }
+      const std::string rhs_relation = p.Word();
+      std::vector<std::string> rhs_attrs;
+      if (rhs_relation.empty() || !p.WordList(rhs_attrs)) {
+        return LineError(line_number,
+                         "want: ind Lhs(a, ...) <= Rhs(b, ...)");
+      }
+      auto ind = InclusionDependency::Create(schema.catalog, lhs_relation,
+                                             lhs_attrs, rhs_relation,
+                                             rhs_attrs);
+      if (!ind.ok()) return LineError(line_number, ind.status().message());
+      schema.constraints.AddInd(*std::move(ind));
+    } else {
+      return LineError(line_number,
+                       "unknown declaration (want relation/key/fd/ind)");
+    }
+    if (!p.AtEnd()) {
+      return LineError(line_number, "trailing junk after declaration");
+    }
+  }
+  return schema;
+}
+
+}  // namespace bcdb

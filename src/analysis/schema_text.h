@@ -1,0 +1,35 @@
+#ifndef BCDB_ANALYSIS_SCHEMA_TEXT_H_
+#define BCDB_ANALYSIS_SCHEMA_TEXT_H_
+
+#include <string_view>
+
+#include "constraints/constraint.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace bcdb {
+
+/// A catalog plus integrity-constraint set parsed from a schema description
+/// file — the lint context `bcdb_lint` checks constraint files against.
+struct ParsedSchema {
+  Catalog catalog;
+  ConstraintSet constraints;
+};
+
+/// Parses the line-oriented schema description language of bcdb_lint:
+///
+///   # comment
+///   relation TxOut(txId int, ser int, pk string, amount real nonneg)
+///   key TxOut(txId, ser)
+///   fd Account(owner) -> (region)
+///   ind TxIn(prevTxId, prevSer) <= TxOut(txId, ser)
+///
+/// Attribute types: int, real, string; `nonneg` marks the schema hint that
+/// makes sum-aggregates monotone. Declarations may come in any order except
+/// that key/fd/ind lines must follow the relations they reference. Errors
+/// carry the 1-based line number.
+StatusOr<ParsedSchema> ParseSchemaText(std::string_view text);
+
+}  // namespace bcdb
+
+#endif  // BCDB_ANALYSIS_SCHEMA_TEXT_H_

@@ -27,6 +27,8 @@ const char* DcSatAlgorithmToString(DcSatAlgorithm algorithm) {
       return "Exhaustive";
     case DcSatAlgorithm::kTractable:
       return "TractableFragment";
+    case DcSatAlgorithm::kStatic:
+      return "StaticAnalysis";
   }
   return "?";
 }
@@ -201,8 +203,8 @@ StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
   const bool cache_hit =
       cached_version_ == db_->version() && fd_graph_.has_value();
   RefreshCaches();
-  return CheckImpl(q, *compiled, options, &uf_scratch_, cache_hit,
-                   total_watch);
+  return CheckImpl(q, *compiled, options, /*report=*/nullptr, &uf_scratch_,
+                   cache_hit, total_watch);
 }
 
 StatusOr<DcSatResult> DcSatEngine::Check(std::string_view query_text,
@@ -210,6 +212,50 @@ StatusOr<DcSatResult> DcSatEngine::Check(std::string_view query_text,
   StatusOr<DenialConstraint> q = ParseDenialConstraint(query_text);
   if (!q.ok()) return q.status();
   return Check(*q, options);
+}
+
+StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
+                                         const AnalysisReport& report,
+                                         const DcSatOptions& options) {
+  Stopwatch total_watch;
+  if (!report.ok()) {
+    return Status::InvalidArgument(
+        "constraint rejected by static analysis: " + report.ErrorSummary());
+  }
+  StatusOr<CompiledQuery> compiled =
+      CompiledQuery::Compile(q, &db_->database());
+  if (!compiled.ok()) return compiled.status();
+  const bool cache_hit =
+      cached_version_ == db_->version() && fd_graph_.has_value();
+  RefreshCaches();
+  return CheckImpl(q, *compiled, options, &report, &uf_scratch_, cache_hit,
+                   total_watch);
+}
+
+StatusOr<DcSatResult> DcSatEngine::CheckPrepared(
+    const DenialConstraint& q, const CompiledQuery& compiled,
+    const AnalysisReport& report, const DcSatOptions& options) const {
+  Stopwatch total_watch;
+  if (!report.ok()) {
+    return Status::InvalidArgument(
+        "constraint rejected by static analysis: " + report.ErrorSummary());
+  }
+  if (cached_version_ != db_->version() || !fd_graph_.has_value()) {
+    return Status::Internal(
+        "CheckPrepared requires fresh steady-state caches; call "
+        "PrepareSteadyState after the last database mutation");
+  }
+  return CheckImpl(q, compiled, options, &report, /*scratch=*/nullptr,
+                   /*cache_hit=*/true, total_watch);
+}
+
+AnalysisReport DcSatEngine::Analyze(const DenialConstraint& q) const {
+  AnalyzerOptions analyzer_options;
+  // The classified Check paths evaluate R themselves (pre-check and the
+  // base-view probe), so the cached class must not depend on the data.
+  analyzer_options.check_base_state = false;
+  return AnalyzeConstraint(q, db_->database(), db_->constraints(),
+                           analyzer_options);
 }
 
 StatusOr<DcSatResult> DcSatEngine::CheckPrepared(
@@ -221,15 +267,32 @@ StatusOr<DcSatResult> DcSatEngine::CheckPrepared(
         "CheckPrepared requires fresh steady-state caches; call "
         "PrepareSteadyState after the last database mutation");
   }
-  return CheckImpl(q, compiled, options, /*scratch=*/nullptr,
-                   /*cache_hit=*/true, total_watch);
+  return CheckImpl(q, compiled, options, /*report=*/nullptr,
+                   /*scratch=*/nullptr, /*cache_hit=*/true, total_watch);
 }
 
 StatusOr<DcSatResult> DcSatEngine::CheckImpl(
     const DenialConstraint& q, const CompiledQuery& compiled,
-    const DcSatOptions& options, UnionFind* scratch, bool cache_hit,
+    const DcSatOptions& options, const AnalysisReport* report,
+    UnionFind* scratch, bool cache_hit,
     const Stopwatch& total_watch) const {
   const QueryAnalysis analysis = AnalyzeQuery(q, db_->catalog());
+
+  // --- Static dispatch (classified overloads only). ---
+  // kTriviallyUnsat: q has no satisfying assignment in any world over this
+  // catalog, so D |= ¬q vacuously — no data access at all. The general path
+  // agrees: its R ∪ T pre-check evaluates q to false and returns satisfied.
+  if (report != nullptr &&
+      report->tractability == TractabilityClass::kTriviallyUnsat &&
+      options.algorithm == DcSatAlgorithm::kAuto) {
+    DcSatResult result;
+    result.stats.algorithm_used = DcSatAlgorithm::kStatic;
+    result.stats.num_pending = db_->PendingIds().size();
+    result.stats.steady_cache_hit = cache_hit;
+    result.satisfied = true;
+    result.stats.total_seconds = total_watch.ElapsedSeconds();
+    return result;
+  }
 
   // With limits set, one shared tracker is probed at every cooperative
   // preemption point below; with the default (unlimited) limits the pointer
@@ -249,9 +312,21 @@ StatusOr<DcSatResult> DcSatEngine::CheckImpl(
     return Status::InvalidArgument(
         "the tractable fragments are selected automatically; use kAuto");
   }
-  if (algorithm == DcSatAlgorithm::kAuto && options.use_tractable_fragments) {
-    std::optional<DcSatResult> tractable =
-        TryTractableDcSat(*db_, *fd_graph_, q, &compiled);
+  if (algorithm == DcSatAlgorithm::kStatic) {
+    return Status::InvalidArgument(
+        "the static-analysis decision is selected automatically; use kAuto");
+  }
+  // A classified kCoNpMixed constraint skips the fragment probe it could
+  // never pass (TryTractableDcSat's gates are exactly what the classifier
+  // mirrors); every other class attempts the fragment as before, falling
+  // back to the general search when the fragment abstains.
+  const bool attempt_tractable =
+      algorithm == DcSatAlgorithm::kAuto && options.use_tractable_fragments &&
+      (report == nullptr ||
+       report->tractability != TractabilityClass::kCoNpMixed);
+  if (attempt_tractable) {
+    std::optional<DcSatResult> tractable = TryTractableDcSat(
+        *db_, *fd_graph_, q, &compiled, /*support_limit=*/100000, &analysis);
     if (tractable.has_value()) {
       tractable->stats.steady_cache_hit = cache_hit;
       tractable->stats.total_seconds = total_watch.ElapsedSeconds();

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "core/blockchain_db.h"
 #include "core/fd_graph.h"
 #include "core/ind_graph.h"
@@ -43,6 +44,11 @@ enum class DcSatAlgorithm {
   /// check or IND-only unique-maximal-world check); only ever *selected*
   /// automatically, never requested. See core/tractable.h.
   kTractable,
+  /// The static analyzer decided the check without touching any data: the
+  /// constraint is provably unsatisfiable in every world (kTriviallyUnsat),
+  /// so D |= ¬q holds vacuously. Only ever selected automatically, and only
+  /// on the report-carrying Check/CheckPrepared overloads.
+  kStatic,
 };
 
 const char* DcSatAlgorithmToString(DcSatAlgorithm algorithm);
@@ -186,6 +192,31 @@ class DcSatEngine {
   StatusOr<DcSatResult> Check(std::string_view query_text,
                               const DcSatOptions& options = {});
 
+  /// Classified check: dispatches on `report`'s tractability class instead
+  /// of probing at runtime. `report` must be this database's analysis of
+  /// `q` (see Analyze); the verdict and witness are bit-identical to the
+  /// unclassified Check — classification only routes, never re-decides:
+  /// kTriviallyUnsat short-circuits to a vacuous satisfied (the general
+  /// path's pre-check would conclude the same), the PTIME classes run the
+  /// Theorem-1 fragment they were proved to inhabit, and kCoNpMixed skips
+  /// the fragment probe it could never pass. Fails with InvalidArgument on
+  /// a report carrying errors.
+  StatusOr<DcSatResult> Check(const DenialConstraint& q,
+                              const AnalysisReport& report,
+                              const DcSatOptions& options = {});
+
+  /// Classified const-path check (see CheckPrepared below for the cache
+  /// freshness contract and concurrency rules).
+  StatusOr<DcSatResult> CheckPrepared(const DenialConstraint& q,
+                                      const CompiledQuery& compiled,
+                                      const AnalysisReport& report,
+                                      const DcSatOptions& options = {}) const;
+
+  /// Statically analyzes `q` against this database and its integrity
+  /// constraints (no base-state probe: the engine re-checks R itself on
+  /// every classified Check, so the cached class stays data-independent).
+  AnalysisReport Analyze(const DenialConstraint& q) const;
+
   /// Const query path for concurrent callers (ConstraintMonitor::Poll):
   /// decides D |= ¬q with a query already compiled against the current
   /// database, without touching the engine's caches. Requires
@@ -218,9 +249,13 @@ class DcSatEngine {
   /// The whole decision procedure after compilation, against fresh caches.
   /// `scratch` (optional) is reused for the Θ_I ∪ Θ_q union-find instead of
   /// allocating per call; concurrent callers pass nullptr.
+  /// `report` is the optional static classification: kTriviallyUnsat short-
+  /// circuits, PTIME classes go straight to their fragment, kCoNpMixed
+  /// skips the fragment probe. nullptr = the unclassified legacy path.
   StatusOr<DcSatResult> CheckImpl(const DenialConstraint& q,
                                   const CompiledQuery& compiled,
                                   const DcSatOptions& options,
+                                  const AnalysisReport* report,
                                   UnionFind* scratch, bool cache_hit,
                                   const Stopwatch& total_watch) const;
 

@@ -37,18 +37,6 @@ ConstraintMonitor::ConstraintMonitor(BlockchainDatabase* db,
       MarkRelationDirty(relation_id);
     }
   });
-  // The constraint set is fixed at database creation, so the IND coupling
-  // between relations is too: compute the classes once.
-  const std::size_t num_relations = db_->database().num_relations();
-  UnionFind coupling(num_relations);
-  for (const EqualityConstraint& equality :
-       EqualitiesFromConstraints(db_->constraints())) {
-    coupling.Union(equality.lhs_relation_id, equality.rhs_relation_id);
-  }
-  relation_class_.resize(num_relations);
-  for (std::size_t r = 0; r < num_relations; ++r) {
-    relation_class_[r] = coupling.Find(r);
-  }
 }
 
 ConstraintMonitor::~ConstraintMonitor() {
@@ -64,38 +52,26 @@ void ConstraintMonitor::MarkRelationDirty(std::size_t relation_id) {
 
 StatusOr<MonitorHandle> ConstraintMonitor::Add(std::string label,
                                                DenialConstraint q) {
-  // Validate now so Poll never trips over a malformed constraint.
-  StatusOr<CompiledQuery> compiled =
-      CompiledQuery::Compile(q, &db_->database());
-  if (!compiled.ok()) return compiled.status();
+  // Registration-time rejection is the contract: the static analyzer runs
+  // here, so a constraint Poll could never evaluate (unknown relation,
+  // arity mismatch, unsafe variable, ...) fails the Add with every
+  // diagnostic attached instead of surfacing at first poll.
+  AnalysisReport report = engine_.Analyze(q);
+  if (!report.ok()) {
+    return Status::InvalidArgument("constraint '" + label +
+                                   "' rejected by static analysis: " +
+                                   report.ErrorSummary());
+  }
   Entry entry;
   entry.label = std::move(label);
-  // The dirty filter keys on the relations q references — positive and
-  // negated atoms alike, both shape the verdict.
-  std::vector<std::size_t> direct;
-  for (const std::vector<Atom>* atoms : {&q.positive_atoms, &q.negated_atoms}) {
-    for (const Atom& atom : *atoms) {
-      StatusOr<std::size_t> relation_id =
-          db_->database().RelationId(atom.relation);
-      if (!relation_id.ok()) return relation_id.status();
-      if (std::find(direct.begin(), direct.end(), *relation_id) ==
-          direct.end()) {
-        direct.push_back(*relation_id);
-      }
-    }
-  }
-  // Close the watch set under IND coupling: a mutation in R can change the
-  // possible worlds of an S-tuple when S[x] ⊆ R[a] ties them together, so
-  // q-over-S must re-evaluate on R churn even though q never mentions R.
-  for (std::size_t r = 0; r < relation_class_.size(); ++r) {
-    for (std::size_t d : direct) {
-      if (relation_class_[r] == relation_class_[d]) {
-        entry.relation_ids.push_back(r);
-        break;
-      }
-    }
-  }
-  entry.always_dirty = !AnalyzeQuery(q, db_->catalog()).monotone;
+  // The dirty filter keys on the analyzer's IND-closed footprint: the
+  // relations q references, closed under IND coupling — a mutation in R can
+  // change the possible worlds of an S-tuple when S[x] ⊆ R[a] ties them
+  // together, so q-over-S must re-evaluate on R churn even though q never
+  // mentions R.
+  entry.relation_ids = report.footprint;
+  entry.always_dirty = !report.monotone;
+  entry.report = std::move(report);
   entry.q = std::move(q);
   entries_.push_back(std::move(entry));
   ++live_count_;
@@ -155,7 +131,7 @@ StatusOr<ConstraintMonitor::Verdict> ConstraintMonitor::EvaluateEntry(
   // Happened? Evaluate over the current state only.
   if (entry.compiled->Evaluate(db_->BaseView())) return Verdict::kHappened;
   StatusOr<DcSatResult> result =
-      engine_.CheckPrepared(entry.q, *entry.compiled, options);
+      engine_.CheckPrepared(entry.q, *entry.compiled, entry.report, options);
   if (!result.ok()) return result.status();
   if (!result->decided) return Verdict::kUndecided;
   return result->satisfied ? Verdict::kImpossible : Verdict::kPossible;
@@ -174,11 +150,25 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
   const FdGraph& fd_graph = engine_.PrepareSteadyState();
   if (options_.dirty_tracking) AbsorbValidityDiff(fd_graph.valid_nodes());
 
-  // The caller's explicit budget wins over the monitor's default; each
-  // entry's check then runs under that budget scaled by its escalation
+  // The caller's explicit budget wins over the monitor's default and
+  // applies to every entry; the monitor *default* only covers entries the
+  // analyzer could not place in a proven-PTIME class — budgeting a
+  // polynomial check risks nothing but spurious kUndecided verdicts. Each
+  // entry's check then runs under its budget scaled by the escalation
   // factor (undecided verdicts earn a larger retry budget).
-  const BudgetLimits& base_budget =
-      options.budget.unlimited() ? options_.budget : options.budget;
+  auto base_budget_for = [&](const Entry& entry) -> BudgetLimits {
+    if (!options.budget.unlimited()) return options.budget;
+    switch (entry.report.tractability) {
+      case TractabilityClass::kTriviallyUnsat:
+      case TractabilityClass::kPtimeFdOnly:
+      case TractabilityClass::kPtimeIndOnly:
+        return BudgetLimits{};
+      case TractabilityClass::kTriviallyViolated:
+      case TractabilityClass::kCoNpMixed:
+        break;
+    }
+    return options_.budget;
+  };
 
   std::vector<std::size_t> to_evaluate;
   for (std::size_t handle = 0; handle < entries_.size(); ++handle) {
@@ -224,6 +214,7 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
   for (std::size_t i = 0; i < to_evaluate.size(); ++i) {
     entry_options[i].num_threads = 1;
     const Entry& entry = entries_[to_evaluate[i]];
+    const BudgetLimits base_budget = base_budget_for(entry);
     entry_options[i].budget = entry.budget_scale > 1.0
                                   ? base_budget.Scaled(entry.budget_scale)
                                   : base_budget;

@@ -64,6 +64,11 @@ struct MonitorOptions {
   /// with limits set, a check that cannot finish yields Verdict::kUndecided
   /// instead of stalling the poll (DCSat is CoNP-complete, so adversarial
   /// mempool shapes otherwise make one constraint blow up every Poll).
+  /// Entries the static analyzer places in a proven-PTIME class
+  /// (kPtimeFdOnly / kPtimeIndOnly / kTriviallyUnsat) are exempt from this
+  /// *default* — their checks are polynomial, budgeting them only risks
+  /// spurious kUndecided verdicts — while a budget set explicitly on the
+  /// Poll call still applies to every entry.
   BudgetLimits budget;
   /// Escalation: each consecutive undecided verdict multiplies the entry's
   /// next budget by this factor (a later poll retries with more room), up
@@ -139,8 +144,13 @@ class ConstraintMonitor {
   ConstraintMonitor(const ConstraintMonitor&) = delete;
   ConstraintMonitor& operator=(const ConstraintMonitor&) = delete;
 
-  /// Registers a standing constraint; returns its handle. The constraint is
-  /// validated by compilation against the database schema.
+  /// Registers a standing constraint; returns its handle. Registration-time
+  /// rejection is the contract: the static analyzer runs here, and any
+  /// error-severity diagnostic (unknown relation, arity mismatch, unsafe
+  /// variable, ...) fails the Add with the full diagnostic summary — a
+  /// malformed constraint never reaches Poll. The accepted entry keeps its
+  /// AnalysisReport (see analysis()) and uses the inferred footprint,
+  /// monotonicity, and tractability class for dirty tracking and dispatch.
   StatusOr<MonitorHandle> Add(std::string label, DenialConstraint q);
 
   /// Convenience overload: parses `query_text` first, so callers with
@@ -171,6 +181,13 @@ class ConstraintMonitor {
     return entry != nullptr ? entry->label : kNoLabel;
   }
 
+  /// The static analysis the entry was admitted under (classification,
+  /// footprint, diagnostics); nullptr for invalid or removed handles.
+  const AnalysisReport* analysis(MonitorHandle handle) const {
+    const Entry* entry = Find(handle);
+    return entry != nullptr ? &entry->report : nullptr;
+  }
+
   /// Re-evaluates the dirty standing constraints against the current
   /// database state and returns the transitions since the previous poll
   /// (first poll reports every constraint as a transition from kUnknown).
@@ -188,16 +205,20 @@ class ConstraintMonitor {
   struct Entry {
     std::string label;
     DenialConstraint q;
+    /// The admission-time static analysis: classification (drives the
+    /// engine dispatch and the budget exemption), footprint, monotonicity.
+    AnalysisReport report;
     Verdict verdict = Verdict::kUnknown;
     bool removed = false;
-    /// Relations whose mutations can change q's verdict: the relations q
-    /// references (positive and negated atoms), closed under the coupling
-    /// induced by the database's inclusion dependencies — an IND
-    /// S[x] ⊆ R[a] lets a mutation in R change which worlds an S-tuple can
-    /// inhabit, so an entry over S must also watch R.
+    /// Relations whose mutations can change q's verdict — the analyzer's
+    /// IND-closed footprint: the relations q references (positive and
+    /// negated atoms), closed under the coupling induced by the database's
+    /// inclusion dependencies. An IND S[x] ⊆ R[a] lets a mutation in R
+    /// change which worlds an S-tuple can inhabit, so an entry over S must
+    /// also watch R.
     std::vector<std::size_t> relation_ids;
-    /// Not proved monotone: never skipped by the dirty filter (see
-    /// MonitorOptions::dirty_tracking).
+    /// Not proved monotone (from the report): never skipped by the dirty
+    /// filter (see MonitorOptions::dirty_tracking).
     bool always_dirty = false;
     /// Budget escalation state (see MonitorOptions): consecutive undecided
     /// verdicts, the cumulative budget multiplier the next check gets, and
@@ -239,9 +260,6 @@ class ConstraintMonitor {
   std::vector<Entry> entries_;
   std::size_t live_count_ = 0;
   MutationListenerId listener_id_ = 0;
-  /// relation id -> representative of its IND-coupling class (relations
-  /// linked by an inclusion dependency share a representative).
-  std::vector<std::size_t> relation_class_;
   /// Relations touched by mutations since the last completed poll.
   DynamicBitset dirty_relations_;
   /// Any mutation event at all since the last completed poll — the dirty

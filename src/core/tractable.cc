@@ -79,13 +79,15 @@ std::optional<DcSatResult> TryTractableDcSat(const BlockchainDatabase& db,
                                              const FdGraph& fd_graph,
                                              const DenialConstraint& q,
                                              const CompiledQuery* precompiled,
-                                             std::size_t support_limit) {
+                                             std::size_t support_limit,
+                                             const QueryAnalysis* preanalyzed) {
   const bool has_fds = !db.constraints().fds().empty();
   const bool has_inds = !db.constraints().inds().empty();
   if (has_fds && has_inds) return std::nullopt;  // CoNP-complete territory.
 
   Stopwatch watch;
-  const QueryAnalysis analysis = AnalyzeQuery(q, db.catalog());
+  const QueryAnalysis analysis =
+      preanalyzed != nullptr ? *preanalyzed : AnalyzeQuery(q, db.catalog());
 
   std::optional<CompiledQuery> owned;
   if (precompiled == nullptr) {

@@ -13,6 +13,7 @@
 namespace bcdb {
 struct DcSatResult;
 class CompiledQuery;
+struct QueryAnalysis;
 }
 
 namespace bcdb {
@@ -48,11 +49,14 @@ namespace bcdb {
 /// `support_limit` bounds the assignment-support enumeration of the FD-only
 /// path; if exceeded, the procedure abstains (nullopt) rather than risk a
 /// pathological query shape.
+/// `preanalyzed`, when given, must be AnalyzeQuery(q, db.catalog()) — the
+/// engine's dispatch already has it in hand and skips the recomputation.
 std::optional<DcSatResult> TryTractableDcSat(const BlockchainDatabase& db,
                                              const FdGraph& fd_graph,
                                              const DenialConstraint& q,
                                              const CompiledQuery* precompiled = nullptr,
-                                             std::size_t support_limit = 100000);
+                                             std::size_t support_limit = 100000,
+                                             const QueryAnalysis* preanalyzed = nullptr);
 
 }  // namespace bcdb
 
