@@ -8,7 +8,10 @@
 // are also written as google-benchmark JSON to BENCH_micro_substrate.json.
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -203,6 +206,275 @@ void BM_IndexProbeProjectionKey(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 
+// ---------------------------------------------------------------------------
+// Hash-map shootout: std::unordered_map vs the engine's flat open-addressing
+// table vs a minimal robin-hood reference, over key distributions lifted from
+// the workload itself (dense tuple ids, projection keys of the txIn relation
+// with their real fan-in/skew). All backends share the engine's hash/equality
+// functors so only table mechanics differ. FlatHashMap is named directly —
+// not through the FlatIdMap alias — so the matrix stays meaningful even in a
+// BCDB_USE_STD_HASH build.
+
+/// Reference robin-hood map: linear probing, power-of-two capacity, probe
+/// distances stored per slot, displacement on insert ("steal from the
+/// rich"), 7/8 max load. Deliberately minimal — just enough surface for the
+/// shootout (reserve / operator[] / count / clear / size) with heterogeneous
+/// probes through transparent functors.
+template <typename Key, typename Value, typename HashFn = std::hash<Key>,
+          typename EqFn = std::equal_to<Key>>
+class RobinHoodRef {
+ public:
+  RobinHoodRef() = default;
+
+  std::size_t size() const { return size_; }
+
+  void reserve(std::size_t n) {
+    std::size_t cap = 16;
+    while (cap * 7 < n * 8) cap *= 2;
+    if (cap > capacity_) Rehash(cap);
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      if (dist_[i] != 0) slots_[i] = {};
+    }
+    std::fill(dist_.begin(), dist_.end(), std::uint8_t{0});
+    size_ = 0;
+  }
+
+  Value& operator[](const Key& key) {
+    if (capacity_ == 0 || (size_ + 1) * 8 > capacity_ * 7) {
+      Rehash(capacity_ == 0 ? 16 : capacity_ * 2);
+    }
+    return Insert(Key(key));
+  }
+
+  template <typename K2>
+  std::size_t count(const K2& key) const {
+    if (capacity_ == 0) return 0;
+    std::size_t i = HashFn{}(key) & mask_;
+    std::uint8_t d = 1;
+    while (true) {
+      const std::uint8_t sd = dist_[i];
+      if (sd < d) return 0;  // Robin-hood invariant: key would sit here.
+      if (sd == d && EqFn{}(slots_[i].first, key)) return 1;
+      i = (i + 1) & mask_;
+      ++d;
+    }
+  }
+
+ private:
+  Value& Insert(Key key) {
+    std::size_t i = HashFn{}(key) & mask_;
+    std::uint8_t d = 1;
+    while (true) {
+      std::uint8_t& sd = dist_[i];
+      if (sd == 0) {
+        slots_[i] = {std::move(key), Value{}};
+        sd = d;
+        ++size_;
+        return slots_[i].second;
+      }
+      if (sd == d && EqFn{}(slots_[i].first, key)) return slots_[i].second;
+      if (sd < d) {
+        // Displace the richer resident and keep walking with its entry;
+        // our key stays put at slot i.
+        std::pair<Key, Value> displaced = std::move(slots_[i]);
+        const std::uint8_t displaced_d = sd;
+        slots_[i] = {std::move(key), Value{}};
+        sd = d;
+        ++size_;
+        CascadeDisplaced(std::move(displaced), displaced_d, i);
+        return slots_[i].second;
+      }
+      i = (i + 1) & mask_;
+      ++d;
+    }
+  }
+
+  void CascadeDisplaced(std::pair<Key, Value> entry, std::uint8_t d,
+                        std::size_t i) {
+    while (true) {
+      i = (i + 1) & mask_;
+      ++d;
+      std::uint8_t& sd = dist_[i];
+      if (sd == 0) {
+        slots_[i] = std::move(entry);
+        sd = d;
+        return;
+      }
+      if (sd < d) {
+        std::swap(entry, slots_[i]);
+        std::swap(d, sd);
+      }
+    }
+  }
+
+  void Rehash(std::size_t new_capacity) {
+    std::vector<std::pair<Key, Value>> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_dist = std::move(dist_);
+    slots_.assign(new_capacity, {});
+    dist_.assign(new_capacity, 0);
+    capacity_ = new_capacity;
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (std::size_t i = 0; i < old_dist.size(); ++i) {
+      if (old_dist[i] != 0) {
+        Insert(std::move(old_slots[i].first)) =
+            std::move(old_slots[i].second);
+      }
+    }
+  }
+
+  std::vector<std::pair<Key, Value>> slots_;
+  std::vector<std::uint8_t> dist_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Dense tuple-id key stream — the distribution behind owner tables,
+/// footprints, and every id-keyed side structure.
+std::size_t ShootoutIdCount() {
+  return std::min<std::size_t>(SubstrateRelation().num_tuples(), 65536);
+}
+
+/// Projection keys of the txIn relation with their natural duplicate fan-in —
+/// the distribution behind index buckets, FD buckets, and Θ buckets.
+const std::vector<bcdb::Tuple>& ShootoutProjKeys() {
+  static const std::vector<bcdb::Tuple>* keys = [] {
+    auto* out = new std::vector<bcdb::Tuple>;
+    const bcdb::Relation& rel = SubstrateRelation();
+    const std::vector<std::size_t> positions{0, 1};
+    const std::size_t n = ShootoutIdCount();
+    out->reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out->push_back(rel.tuple(i).Project(positions));
+    }
+    return out;
+  }();
+  return *keys;
+}
+
+/// Insert dense sequential ids with no pre-sizing: growth path included, the
+/// worst case for an unmixed power-of-two table.
+template <typename MapT>
+void ShootoutDenseIdInsert(benchmark::State& state) {
+  const std::size_t n = ShootoutIdCount();
+  for (auto _ : state) {
+    MapT map;
+    for (std::size_t i = 0; i < n; ++i) ++map[i];
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+/// Group-by over real projection keys (reserve known): the FD/Θ bucket
+/// build.
+template <typename MapT>
+void ShootoutProjKeyFanIn(benchmark::State& state) {
+  const std::vector<bcdb::Tuple>& keys = ShootoutProjKeys();
+  for (auto _ : state) {
+    MapT map;
+    map.reserve(keys.size());
+    for (const bcdb::Tuple& key : keys) ++map[key];
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()));
+}
+
+/// Read-only probes of a built table via heterogeneous ProjectionKey views —
+/// the per-candidate index probe of query evaluation.
+template <typename MapT>
+void ShootoutProjKeyProbeHit(benchmark::State& state) {
+  const bcdb::Relation& rel = SubstrateRelation();
+  const std::vector<std::size_t> positions{0, 1};
+  const std::vector<bcdb::Tuple>& keys = ShootoutProjKeys();
+  MapT map;
+  map.reserve(keys.size());
+  for (const bcdb::Tuple& key : keys) ++map[key];
+  const std::size_t n = ShootoutIdCount();
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += map.count(rel.tuple(i).ProjectKey(positions));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+/// Fill-then-clear cycles over one arena — the distinct/seen-set churn of
+/// answer enumeration.
+template <typename MapT>
+void ShootoutDistinctChurn(benchmark::State& state) {
+  const std::vector<bcdb::Tuple>& keys = ShootoutProjKeys();
+  MapT map;
+  map.reserve(keys.size());
+  for (auto _ : state) {
+    map.clear();
+    for (const bcdb::Tuple& key : keys) ++map[key];
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()));
+}
+
+using StdIdMap =
+    std::unordered_map<std::size_t, std::uint32_t, bcdb::IdHash>;
+using FlatIdShootoutMap =
+    bcdb::FlatHashMap<std::size_t, std::uint32_t, bcdb::IdHash>;
+using RobinIdMap =
+    RobinHoodRef<std::size_t, std::uint32_t, bcdb::IdHash>;
+using StdTupleMap = std::unordered_map<bcdb::Tuple, std::uint32_t,
+                                       bcdb::TupleHash, bcdb::TupleEq>;
+using FlatTupleMap = bcdb::FlatHashMap<bcdb::Tuple, std::uint32_t,
+                                       bcdb::TupleHash, bcdb::TupleEq>;
+using RobinTupleMap = RobinHoodRef<bcdb::Tuple, std::uint32_t,
+                                   bcdb::TupleHash, bcdb::TupleEq>;
+
+void RegisterShootout() {
+  benchmark::RegisterBenchmark("Shootout/DenseIdInsert/std",
+                               ShootoutDenseIdInsert<StdIdMap>)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Shootout/DenseIdInsert/flat",
+                               ShootoutDenseIdInsert<FlatIdShootoutMap>)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Shootout/DenseIdInsert/robinhood",
+                               ShootoutDenseIdInsert<RobinIdMap>)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Shootout/ProjKeyFanIn/std",
+                               ShootoutProjKeyFanIn<StdTupleMap>)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Shootout/ProjKeyFanIn/flat",
+                               ShootoutProjKeyFanIn<FlatTupleMap>)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Shootout/ProjKeyFanIn/robinhood",
+                               ShootoutProjKeyFanIn<RobinTupleMap>)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Shootout/ProjKeyProbeHit/std",
+                               ShootoutProjKeyProbeHit<StdTupleMap>)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Shootout/ProjKeyProbeHit/flat",
+                               ShootoutProjKeyProbeHit<FlatTupleMap>)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Shootout/ProjKeyProbeHit/robinhood",
+                               ShootoutProjKeyProbeHit<RobinTupleMap>)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Shootout/DistinctChurn/std",
+                               ShootoutDistinctChurn<StdTupleMap>)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Shootout/DistinctChurn/flat",
+                               ShootoutDistinctChurn<FlatTupleMap>)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("Shootout/DistinctChurn/robinhood",
+                               ShootoutDistinctChurn<RobinTupleMap>)
+      ->Unit(benchmark::kMicrosecond);
+}
+
 void BM_Sha256_1KiB(benchmark::State& state) {
   const std::string data(1024, 'x');
   for (auto _ : state) {
@@ -256,6 +528,7 @@ int main(int argc, char** argv) {
                                BM_IndexProbeProjectionKey)
       ->Unit(benchmark::kMicrosecond);
   benchmark::RegisterBenchmark("Micro/Sha256_1KiB", BM_Sha256_1KiB);
+  RegisterShootout();
 
   // Default the machine-readable output next to the binary; explicit
   // --benchmark_out flags on the command line still win (parsed later).

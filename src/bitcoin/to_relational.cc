@@ -80,6 +80,24 @@ StatusOr<BlockchainDatabase> BuildBlockchainDatabase(
       BlockchainDatabase::Create(std::move(catalog), std::move(*constraints));
   if (!db.ok()) return db.status();
 
+  // The chain is fully materialized here, so both relation cardinalities are
+  // known exactly before the first insert — pre-size the tuple arrays and
+  // owner tables once instead of growing them through ~20 doublings.
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  for (const Block& block : node.chain().blocks()) {
+    for (const BitcoinTransaction& tx : block.transactions()) {
+      num_inputs += tx.inputs().size();
+      num_outputs += tx.outputs().size();
+    }
+  }
+  StatusOr<std::size_t> txin_id = db->database().RelationId(kTxIn);
+  StatusOr<std::size_t> txout_id = db->database().RelationId(kTxOut);
+  if (!txin_id.ok()) return txin_id.status();
+  if (!txout_id.ok()) return txout_id.status();
+  db->database().relation(*txin_id).Reserve(num_inputs);
+  db->database().relation(*txout_id).Reserve(num_outputs);
+
   for (const Block& block : node.chain().blocks()) {
     for (const BitcoinTransaction& tx : block.transactions()) {
       const Transaction relational = ToRelationalTransaction(tx);

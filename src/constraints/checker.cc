@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "util/flat_table.h"
 
 namespace bcdb {
 
@@ -41,7 +41,8 @@ Status ConstraintChecker::CheckAll(const WorldView& view) const {
   const Catalog& catalog = db_->catalog();
   for (const FunctionalDependency& fd : constraints_->fds()) {
     const Relation& rel = db_->relation(fd.relation_id());
-    std::unordered_map<Tuple, TupleId, TupleHash> seen;
+    FlatIdMap<Tuple, TupleId, TupleHash, TupleEq> seen;
+    seen.reserve(rel.num_tuples());
     Status violation = Status::OK();
     rel.ForEachVisible(view, [&](TupleId id) {
       if (!violation.ok()) return;
@@ -155,7 +156,10 @@ bool ConstraintChecker::FdHoldsOverOwners(const FunctionalDependency& fd,
                                           bool against_base) const {
   const Relation& rel = db_->relation(fd.relation_id());
   const WorldView base = db_->BaseView();
-  std::unordered_map<Tuple, Tuple, TupleHash> determinant_to_dependent;
+  FlatIdMap<Tuple, Tuple, TupleHash, TupleEq> determinant_to_dependent;
+  std::size_t expected = 0;
+  for (TupleOwner owner : owners) expected += rel.TuplesOwnedBy(owner).size();
+  determinant_to_dependent.reserve(expected);
   for (TupleOwner owner : owners) {
     for (TupleId id : rel.TuplesOwnedBy(owner)) {
       Tuple key = rel.tuple(id).Project(fd.lhs());

@@ -194,16 +194,35 @@ std::shared_ptr<ThreadPool> DcSatEngine::PoolFor(
   return pool_;
 }
 
+StatusOr<const CompiledQuery*> DcSatEngine::GetOrCompile(
+    const DenialConstraint& q) {
+  const std::uint64_t version = db_->version();
+  std::string text = q.ToString();
+  for (const CompiledCacheEntry& entry : compiled_cache_) {
+    if (entry.version == version && entry.text == text) {
+      return &entry.compiled;
+    }
+  }
+  StatusOr<CompiledQuery> compiled =
+      CompiledQuery::Compile(q, &db_->database());
+  if (!compiled.ok()) return compiled.status();
+  if (compiled_cache_.size() >= kCompiledCacheCapacity) {
+    compiled_cache_.erase(compiled_cache_.begin());  // FIFO eviction.
+  }
+  compiled_cache_.push_back(
+      CompiledCacheEntry{std::move(text), version, std::move(*compiled)});
+  return &compiled_cache_.back().compiled;
+}
+
 StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
                                          const DcSatOptions& options) {
   Stopwatch total_watch;
-  StatusOr<CompiledQuery> compiled =
-      CompiledQuery::Compile(q, &db_->database());
+  StatusOr<const CompiledQuery*> compiled = GetOrCompile(q);
   if (!compiled.ok()) return compiled.status();
   const bool cache_hit =
       cached_version_ == db_->version() && fd_graph_.has_value();
   RefreshCaches();
-  return CheckImpl(q, *compiled, options, /*report=*/nullptr, &uf_scratch_,
+  return CheckImpl(q, **compiled, options, /*report=*/nullptr, &uf_scratch_,
                    cache_hit, total_watch);
 }
 
@@ -222,13 +241,12 @@ StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
     return Status::InvalidArgument(
         "constraint rejected by static analysis: " + report.ErrorSummary());
   }
-  StatusOr<CompiledQuery> compiled =
-      CompiledQuery::Compile(q, &db_->database());
+  StatusOr<const CompiledQuery*> compiled = GetOrCompile(q);
   if (!compiled.ok()) return compiled.status();
   const bool cache_hit =
       cached_version_ == db_->version() && fd_graph_.has_value();
   RefreshCaches();
-  return CheckImpl(q, *compiled, options, &report, &uf_scratch_, cache_hit,
+  return CheckImpl(q, **compiled, options, &report, &uf_scratch_, cache_hit,
                    total_watch);
 }
 
@@ -276,7 +294,7 @@ StatusOr<DcSatResult> DcSatEngine::CheckImpl(
     const DcSatOptions& options, const AnalysisReport* report,
     UnionFind* scratch, bool cache_hit,
     const Stopwatch& total_watch) const {
-  const QueryAnalysis analysis = AnalyzeQuery(q, db_->catalog());
+  const QueryAnalysis& analysis = compiled.analysis();
 
   // --- Static dispatch (classified overloads only). ---
   // kTriviallyUnsat: q has no satisfying assignment in any world over this
@@ -421,10 +439,11 @@ StatusOr<DcSatResult> DcSatEngine::CheckImpl(
     UnionFind local{0};
     UnionFind& uf = scratch != nullptr ? *scratch : local;
     uf.CopyFrom(theta_i_.components());  // Θ_I precomputed; add Θ_q.
-    StatusOr<std::vector<EqualityConstraint>> theta_q =
-        EqualitiesFromQuery(q, db_->catalog());
-    if (!theta_q.ok()) return theta_q.status();
-    MergeEqualityComponents(*db_, *theta_q, fd_graph.valid_nodes(), uf);
+    if (!compiled.equalities_status().ok()) {
+      return compiled.equalities_status();
+    }
+    MergeEqualityComponents(*db_, compiled.equalities(), fd_graph.valid_nodes(),
+                            uf);
     components = GroupComponents(fd_graph.valid_nodes(), uf);
   } else {
     components.push_back(fd_graph.valid_nodes().ToVector());

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -278,6 +279,16 @@ class DcSatEngine {
   bool TryIncrementalRefresh();
   std::shared_ptr<ThreadPool> PoolFor(std::size_t num_workers) const;
 
+  /// Compiled-query cache for the serial Check paths. Monitors, pollers and
+  /// benchmark harnesses re-check the same constraints over an unchanged
+  /// database; recompiling per check (plan construction, structural
+  /// analysis, Θ_q derivation) is pure overhead there. Keyed by query text
+  /// and database version — conservative, since plans are structural, but
+  /// cover probes and size hints are only validated against the version
+  /// they compiled at. The returned pointer is valid until the next
+  /// GetOrCompile call.
+  StatusOr<const CompiledQuery*> GetOrCompile(const DenialConstraint& q);
+
   const BlockchainDatabase* db_;
   SteadyStateOptions steady_options_;
   std::uint64_t cached_version_ = ~std::uint64_t{0};
@@ -289,6 +300,13 @@ class DcSatEngine {
   SteadyStateRefresh last_refresh_;
   // Scratch for the serial Check path only (never shared across threads).
   UnionFind uf_scratch_{0};
+  struct CompiledCacheEntry {
+    std::string text;
+    std::uint64_t version;
+    CompiledQuery compiled;
+  };
+  static constexpr std::size_t kCompiledCacheCapacity = 32;
+  std::vector<CompiledCacheEntry> compiled_cache_;
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;
   mutable std::mutex pool_mutex_;

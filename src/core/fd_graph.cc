@@ -27,6 +27,13 @@ FdGraph::FdGraph(const BlockchainDatabase& db, bool track_mutations)
     const FunctionalDependency& fd = fds[ord];
     const Relation& rel = db.database().relation(fd.relation_id());
     FdBuckets& buckets = fd_buckets_[ord];
+    // Cardinality is known up front — one entry per valid pending tuple of
+    // this relation; pre-sizing avoids every rehash of the build loop.
+    std::size_t expected = 0;
+    valid_nodes_.ForEach([&](std::size_t id) {
+      expected += rel.TuplesOwnedBy(static_cast<TupleOwner>(id)).size();
+    });
+    buckets.reserve(expected);
     valid_nodes_.ForEach([&](std::size_t id) {
       for (TupleId tuple_id : rel.TuplesOwnedBy(static_cast<TupleOwner>(id))) {
         const Tuple& t = rel.tuple(tuple_id);

@@ -2,7 +2,6 @@
 #define BCDB_CORE_FD_GRAPH_H_
 
 #include <cstddef>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -10,6 +9,7 @@
 #include "core/blockchain_db.h"
 #include "relational/tuple.h"
 #include "util/bitset.h"
+#include "util/flat_table.h"
 
 namespace bcdb {
 
@@ -78,8 +78,11 @@ class FdGraph {
     PendingId txn;
     Tuple dependent;
   };
-  using FdBuckets = std::unordered_map<Tuple, std::vector<BucketEntry>,
-                                       TupleHash, TupleEq>;
+  /// Flat open-addressing determinant table: probed once per pending tuple
+  /// on every build and on every incremental add — the hottest map in the
+  /// steady-state path.
+  using FdBuckets =
+      FlatIdMap<Tuple, std::vector<BucketEntry>, TupleHash, TupleEq>;
 
   /// Clears `id`'s validity bit, edges, and (tracked) bucket entries,
   /// keeping num_conflict_pairs_ consistent with the remaining valid set.

@@ -1,60 +1,109 @@
 #include "core/ind_graph.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 
 namespace bcdb {
 
 void MergeEqualityComponents(const BlockchainDatabase& db,
                              const std::vector<EqualityConstraint>& equalities,
                              const DynamicBitset& nodes, UnionFind& uf) {
+  // A bucket collapses into one component iff both sides are non-empty —
+  // constraint-satisfied pairs form a complete bipartite graph between the
+  // two sides. Rather than materializing member vectors per bucket (a heap
+  // allocation each, all torn down again at the end — this runs per check
+  // on the OptDCSat hot path for Θ_q), keep only an activation anchor per
+  // bucket: once both sides have appeared, every member unions with the
+  // anchor on sight. Members that arrive while their bucket is still
+  // one-sided are parked in one shared deferred list and folded in at the
+  // end if their bucket activated. Union order differs from the vector
+  // formulation but the resulting partition is identical.
+  constexpr PendingId kInactive = static_cast<PendingId>(-1);
+  struct BucketState {
+    std::uint32_t ordinal;
+    bool has_lhs = false;
+    bool has_rhs = false;
+  };
+  struct NodeSpans {
+    PendingId id;
+    const std::vector<TupleId>* lhs;
+    const std::vector<TupleId>* rhs;
+  };
+  FlatIdMap<Tuple, BucketState, TupleHash, TupleEq> buckets;
+  std::vector<PendingId> anchors;  // ordinal → anchor, kInactive until both sides seen.
+  std::vector<std::pair<std::uint32_t, PendingId>> deferred;
+  std::vector<NodeSpans> spans;
   for (const EqualityConstraint& eq : equalities) {
-    struct Bucket {
-      std::vector<PendingId> lhs_members;
-      std::vector<PendingId> rhs_members;
-    };
-    std::unordered_map<Tuple, Bucket, TupleHash> buckets;
+    buckets.clear();
+    anchors.clear();
+    deferred.clear();
+    spans.clear();
     const Relation& lhs_rel = db.database().relation(eq.lhs_relation_id);
     const Relation& rhs_rel = db.database().relation(eq.rhs_relation_id);
+    // One owner-table probe per (node, side): the spans stay valid while the
+    // relations are untouched, so the sizing pass and the fill pass share
+    // them, and tuple-less nodes drop out before the fill.
+    std::size_t expected = 0;
     nodes.ForEach([&](std::size_t id) {
       const TupleOwner owner = static_cast<TupleOwner>(id);
-      for (TupleId t : lhs_rel.TuplesOwnedBy(owner)) {
-        buckets[lhs_rel.tuple(t).Project(eq.lhs_positions)]
-            .lhs_members.push_back(id);
-      }
-      for (TupleId t : rhs_rel.TuplesOwnedBy(owner)) {
-        buckets[rhs_rel.tuple(t).Project(eq.rhs_positions)]
-            .rhs_members.push_back(id);
-      }
+      const std::vector<TupleId>& lhs = lhs_rel.TuplesOwnedBy(owner);
+      const std::vector<TupleId>& rhs = rhs_rel.TuplesOwnedBy(owner);
+      if (lhs.empty() && rhs.empty()) return;
+      expected += lhs.size() + rhs.size();
+      spans.push_back(NodeSpans{id, &lhs, &rhs});
     });
-    for (const auto& [key, bucket] : buckets) {
-      if (bucket.lhs_members.empty() || bucket.rhs_members.empty()) continue;
-      // Constraint-satisfied pairs form a complete bipartite graph between
-      // the two sides, so the whole bucket is one component.
-      const PendingId anchor = bucket.lhs_members.front();
-      for (PendingId id : bucket.lhs_members) uf.Union(anchor, id);
-      for (PendingId id : bucket.rhs_members) uf.Union(anchor, id);
+    buckets.reserve(expected);
+    const auto visit = [&](Tuple key, bool rhs_side, PendingId id) {
+      auto [it, inserted] = buckets.try_emplace(std::move(key));
+      BucketState& state = it->second;
+      if (inserted) {
+        state.ordinal = static_cast<std::uint32_t>(anchors.size());
+        anchors.push_back(kInactive);
+      }
+      (rhs_side ? state.has_rhs : state.has_lhs) = true;
+      PendingId& anchor = anchors[state.ordinal];
+      if (anchor != kInactive) {
+        uf.Union(anchor, id);
+      } else if (state.has_lhs && state.has_rhs) {
+        anchor = id;  // Activation; parked members union in the final pass.
+      } else {
+        deferred.emplace_back(state.ordinal, id);
+      }
+    };
+    for (const NodeSpans& node : spans) {
+      for (TupleId t : *node.lhs) {
+        visit(lhs_rel.tuple(t).Project(eq.lhs_positions), false, node.id);
+      }
+      for (TupleId t : *node.rhs) {
+        visit(rhs_rel.tuple(t).Project(eq.rhs_positions), true, node.id);
+      }
+    }
+    for (const auto& [ordinal, id] : deferred) {
+      if (anchors[ordinal] != kInactive) uf.Union(anchors[ordinal], id);
     }
   }
 }
 
 std::vector<std::vector<PendingId>> GroupComponents(const DynamicBitset& nodes,
                                                     UnionFind& uf) {
-  std::unordered_map<std::size_t, std::vector<PendingId>> by_root;
-  nodes.ForEach(
-      [&](std::size_t id) { by_root[uf.Find(id)].push_back(id); });
+  // Union-find roots are dense pending ids, so group by direct array
+  // indexing — no hashing. ForEach visits ids ascending, which makes each
+  // component's first-encountered member its smallest; appending components
+  // in first-encounter order therefore *is* the canonical order (ascending
+  // smallest member, members ascending) that keeps the scan — and the
+  // deterministic lowest-violating-component witness — independent of
+  // union-find history and of the table backend. No sort needed.
+  std::vector<std::uint32_t> slot_of_root(uf.num_elements(), 0);  // idx + 1.
   std::vector<std::vector<PendingId>> components;
-  components.reserve(by_root.size());
-  for (auto& [root, members] : by_root) {
-    components.push_back(std::move(members));
-  }
-  // Canonical scan order: members are already ascending (ForEach order), so
-  // sorting by the smallest member makes the result independent of
-  // union-find root choice and hash-map iteration order.
-  std::sort(components.begin(), components.end(),
-            [](const std::vector<PendingId>& a,
-               const std::vector<PendingId>& b) {
-              return a.front() < b.front();
-            });
+  nodes.ForEach([&](std::size_t id) {
+    std::uint32_t& slot = slot_of_root[uf.Find(id)];
+    if (slot == 0) {
+      components.emplace_back();
+      slot = static_cast<std::uint32_t>(components.size());
+    }
+    components[slot - 1].push_back(id);
+  });
   return components;
 }
 
@@ -71,6 +120,13 @@ void EqualityComponents::Rebuild(const BlockchainDatabase& db,
     const Relation& lhs_rel = db.database().relation(eq.lhs_relation_id);
     const Relation& rhs_rel = db.database().relation(eq.rhs_relation_id);
     Buckets& buckets = buckets_[ord];
+    std::size_t expected = 0;
+    nodes.ForEach([&](std::size_t id) {
+      const TupleOwner owner = static_cast<TupleOwner>(id);
+      expected += lhs_rel.TuplesOwnedBy(owner).size() +
+                  rhs_rel.TuplesOwnedBy(owner).size();
+    });
+    buckets.reserve(expected);
     nodes.ForEach([&](std::size_t id) {
       const TupleOwner owner = static_cast<TupleOwner>(id);
       for (TupleId t : lhs_rel.TuplesOwnedBy(owner)) {

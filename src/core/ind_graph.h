@@ -2,13 +2,13 @@
 #define BCDB_CORE_IND_GRAPH_H_
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 #include "core/blockchain_db.h"
 #include "query/analysis.h"
 #include "relational/tuple.h"
 #include "util/bitset.h"
+#include "util/flat_table.h"
 #include "util/union_find.h"
 
 namespace bcdb {
@@ -85,7 +85,7 @@ class EqualityComponents {
     std::vector<PendingId> lhs_members;
     std::vector<PendingId> rhs_members;
   };
-  using Buckets = std::unordered_map<Tuple, Bucket, TupleHash, TupleEq>;
+  using Buckets = FlatIdMap<Tuple, Bucket, TupleHash, TupleEq>;
   struct FootprintEntry {
     std::size_t ordinal;  // Index into equalities_.
     bool rhs_side;

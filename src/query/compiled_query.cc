@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_set>
+
+#include "util/flat_table.h"
 
 namespace bcdb {
 
@@ -356,6 +357,17 @@ StatusOr<CompiledQuery> CompiledQuery::Compile(const DenialConstraint& q,
     result.cover_probes_.push_back(std::move(probe));
   }
 
+  // Structural derivations the DCSat engine needs on every check, hoisted
+  // to compile time (both depend only on the query and the catalog).
+  result.analysis_ = AnalyzeQuery(q, db->catalog());
+  StatusOr<std::vector<EqualityConstraint>> equalities =
+      EqualitiesFromQuery(q, db->catalog());
+  if (equalities.ok()) {
+    result.equalities_ = std::move(*equalities);
+  } else {
+    result.equalities_status_ = equalities.status();
+  }
+
   return result;
 }
 
@@ -363,7 +375,7 @@ StatusOr<CompiledQuery> CompiledQuery::Compile(const DenialConstraint& q,
 struct CompiledQuery::AggState {
   const CompiledQuery* query;
   std::int64_t count = 0;
-  std::unordered_set<Tuple, TupleHash> distinct;
+  FlatIdSet<Tuple, TupleHash, TupleEq> distinct;
   bool sum_is_int = true;
   std::int64_t sum_int = 0;
   double sum_real = 0;
@@ -543,6 +555,12 @@ bool CompiledQuery::Search(std::size_t step_idx, const WorldView& view,
   return false;
 }
 
+std::size_t CompiledQuery::DistinctSetSizeHint() const {
+  if (steps_.empty()) return 0;
+  const std::size_t driving = db_->relation(steps_[0].relation_id).num_tuples();
+  return std::min<std::size_t>(driving, 4096);
+}
+
 bool CompiledQuery::Evaluate(const WorldView& view) const {
   if (always_false_) return false;
   std::vector<ValueId> assignment(num_variables(), kNullValueId);
@@ -552,6 +570,9 @@ bool CompiledQuery::Evaluate(const WorldView& view) const {
   }
   AggState agg;
   agg.query = this;
+  if (agg_fn_ == AggregateFunction::kCountDistinct) {
+    agg.distinct.reserve(DistinctSetSizeHint());
+  }
   context.agg = &agg;
   if (Search(0, view, assignment, context)) {
     return true;  // Early exit fired.
@@ -578,7 +599,8 @@ void CompiledQuery::EnumerateAnswers(
     const std::function<bool(const Tuple&)>& callback) const {
   if (always_false_ || is_aggregate_) return;
   std::vector<ValueId> assignment(num_variables(), kNullValueId);
-  std::unordered_set<Tuple, TupleHash> seen;
+  FlatIdSet<Tuple, TupleHash, TupleEq> seen;
+  seen.reserve(DistinctSetSizeHint());
   SearchContext context;
   const AssignmentSink sink = [&](const std::vector<ValueId>& full) -> bool {
     ProjectionKey head(head_var_ids_.size());

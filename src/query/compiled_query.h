@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "query/analysis.h"
 #include "query/ast.h"
 #include "relational/database.h"
 #include "relational/world_view.h"
@@ -69,6 +70,21 @@ class CompiledQuery {
   /// with the access path (index key positions or full scan) and the
   /// residual checks attached to it. For diagnostics and the shell.
   std::string ExplainPlan() const;
+
+  /// Structural analysis of the source constraint (monotonicity,
+  /// connectedness), computed once at compile time — both are functions of
+  /// (query, catalog) alone, so re-deriving them per check is pure waste on
+  /// the DCSat hot path.
+  const QueryAnalysis& analysis() const { return analysis_; }
+
+  /// Θ_q: the equality constraints implied by the query's join structure
+  /// (shared variables / constants across positive atoms), precomputed at
+  /// compile time for the same reason. Empty when `equalities_status()` is
+  /// not OK (atoms that do not bind to the catalog).
+  const Status& equalities_status() const { return equalities_status_; }
+  const std::vector<EqualityConstraint>& equalities() const {
+    return equalities_;
+  }
 
   const DenialConstraint& source() const { return source_; }
   std::size_t num_variables() const { return variable_names_.size(); }
@@ -165,11 +181,19 @@ class CompiledQuery {
   bool MatchCandidate(const Step& step, TupleId id, const WorldView& view,
                       std::vector<ValueId>& assignment,
                       SearchContext& context) const;
+
+  /// Pre-size hint for distinct/seen sets: the driving step's stored-tuple
+  /// count bounds the answer multiplicity in practice (capped so pathological
+  /// relations don't over-allocate).
+  std::size_t DistinctSetSizeHint() const;
   bool Search(std::size_t step_idx, const WorldView& view,
               std::vector<ValueId>& assignment, SearchContext& context) const;
 
   const Database* db_ = nullptr;
   DenialConstraint source_;
+  QueryAnalysis analysis_;
+  std::vector<EqualityConstraint> equalities_;
+  Status equalities_status_ = Status::OK();
   std::vector<std::string> variable_names_;
   std::vector<std::size_t> head_var_ids_;
   std::vector<Step> steps_;

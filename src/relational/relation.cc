@@ -9,6 +9,12 @@ namespace {
 const std::vector<TupleId> kEmptyTupleIds;
 }  // namespace
 
+void Relation::Reserve(std::size_t expected_tuples) {
+  tuples_.reserve(expected_tuples);
+  owners_.reserve(expected_tuples);
+  ids_by_tuple_.reserve(expected_tuples);
+}
+
 TupleId Relation::Insert(Tuple tuple, TupleOwner owner) {
   auto it = ids_by_tuple_.find(tuple);
   if (it != ids_by_tuple_.end()) {
@@ -59,7 +65,11 @@ void Relation::PromoteOwner(TupleOwner owner) {
   assert(owner != kBaseOwner);
   auto it = tuples_by_owner_.find(owner);
   if (it == tuples_by_owner_.end()) return;
-  for (TupleId id : it->second) {
+  // Detach the id list before inserting under kBaseOwner: that insert may
+  // rehash and would invalidate both `it` and the list being walked.
+  const std::vector<TupleId> ids = std::move(it->second);
+  tuples_by_owner_.erase(it);
+  for (TupleId id : ids) {
     std::vector<TupleOwner>& owner_list = owners_[id];
     owner_list.erase(std::remove(owner_list.begin(), owner_list.end(), owner),
                      owner_list.end());
@@ -69,19 +79,19 @@ void Relation::PromoteOwner(TupleOwner owner) {
       tuples_by_owner_[kBaseOwner].push_back(id);
     }
   }
-  tuples_by_owner_.erase(it);
 }
 
 void Relation::DropOwner(TupleOwner owner) {
   assert(owner != kBaseOwner);
   auto it = tuples_by_owner_.find(owner);
   if (it == tuples_by_owner_.end()) return;
-  for (TupleId id : it->second) {
+  const std::vector<TupleId> ids = std::move(it->second);
+  tuples_by_owner_.erase(it);
+  for (TupleId id : ids) {
     std::vector<TupleOwner>& owner_list = owners_[id];
     owner_list.erase(std::remove(owner_list.begin(), owner_list.end(), owner),
                      owner_list.end());
   }
-  tuples_by_owner_.erase(it);
 }
 
 std::size_t Relation::GetOrBuildIndex(
@@ -92,6 +102,8 @@ std::size_t Relation::GetOrBuildIndex(
   }
   indexes_.push_back(HashIndex{positions, {}});
   HashIndex& index = indexes_.back();
+  // Cardinality is known up front: at most one bucket per stored tuple.
+  index.buckets.reserve(tuples_.size());
   for (TupleId id = 0; id < tuples_.size(); ++id) AddToIndex(index, id);
   return indexes_.size() - 1;
 }

@@ -2,12 +2,12 @@
 #define BCDB_RELATIONAL_RELATION_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "relational/schema.h"
 #include "relational/tuple.h"
 #include "relational/world_view.h"
+#include "util/flat_table.h"
 #include "util/status.h"
 
 namespace bcdb {
@@ -35,6 +35,11 @@ class Relation {
   /// ignored; a duplicate tuple from a new owner just extends the owner set.
   /// The tuple must already be schema-valid (Database::Insert validates).
   TupleId Insert(Tuple tuple, TupleOwner owner);
+
+  /// Pre-sizes the tuple store and primary hash table for a bulk load of
+  /// `expected_tuples` distinct tuples (rehash churn otherwise dominates
+  /// large ingests).
+  void Reserve(std::size_t expected_tuples);
 
   /// Number of distinct stored tuples (visible or not, over all owners).
   std::size_t num_tuples() const { return tuples_.size(); }
@@ -95,10 +100,12 @@ class Relation {
  private:
   /// Buckets are id-keyed: the Tuple key is a flat ValueId sequence, and the
   /// transparent TupleHash/TupleEq pair lets lookups probe with a
-  /// ProjectionKey instead of materializing a projection.
+  /// ProjectionKey instead of materializing a projection. The table itself
+  /// is a flat open-addressing FlatIdMap — an index probe is a tag scan over
+  /// contiguous control bytes, not a bucket-node pointer chase.
   struct HashIndex {
     std::vector<std::size_t> positions;
-    std::unordered_map<Tuple, std::vector<TupleId>, TupleHash, TupleEq> buckets;
+    FlatIdMap<Tuple, std::vector<TupleId>, TupleHash, TupleEq> buckets;
   };
 
   void AddToIndex(HashIndex& index, TupleId id) const;
@@ -106,8 +113,8 @@ class Relation {
   const RelationSchema* schema_;
   std::vector<Tuple> tuples_;
   std::vector<std::vector<TupleOwner>> owners_;
-  std::unordered_map<Tuple, TupleId, TupleHash, TupleEq> ids_by_tuple_;
-  std::unordered_map<TupleOwner, std::vector<TupleId>> tuples_by_owner_;
+  FlatIdMap<Tuple, TupleId, TupleHash, TupleEq> ids_by_tuple_;
+  FlatIdMap<TupleOwner, std::vector<TupleId>> tuples_by_owner_;
   mutable std::vector<HashIndex> indexes_;
 };
 

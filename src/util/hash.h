@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 
 namespace bcdb {
 
@@ -17,6 +18,35 @@ template <typename T>
 void HashCombineValue(std::size_t& seed, const T& value) {
   HashCombine(seed, std::hash<T>{}(value));
 }
+
+/// Full-avalanche 64-bit finalizer (splitmix64): every output bit depends on
+/// every input bit. Dense sequential ids — ValueId, TupleId, PendingId,
+/// union-find roots — hash to themselves under std::hash and therefore
+/// cluster catastrophically in power-of-two open addressing (and degrade
+/// `std::unordered_map` bucket spread the same way); running raw ids through
+/// this mixer fixes the distribution for both table backends.
+inline std::uint64_t HashMix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Hasher for raw integral id keys (ValueId, TupleId, TupleOwner, roots):
+/// applies the mixing finalizer so bucket/slot distribution is uniform even
+/// for the dense sequential ids these types actually hold. Shared by the
+/// flat open-addressing tables and the `std::unordered_map` escape hatch.
+struct IdHash {
+  using is_transparent = void;
+  template <typename T>
+  std::size_t operator()(T id) const {
+    static_assert(std::is_integral_v<T>);
+    return static_cast<std::size_t>(
+        HashMix64(static_cast<std::uint64_t>(id)));
+  }
+};
 
 }  // namespace bcdb
 
