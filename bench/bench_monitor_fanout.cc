@@ -1,0 +1,243 @@
+// Monitor fan-out: per-poll cost of N near-identical standing constraints
+// under template batching versus the per-constraint baseline.
+//
+// The registration shapes stress the class structure the redesigned API is
+// built around:
+//   one_class    — one RegisterTemplate, N bindings: the advertised case.
+//                  Per-poll work is one shared batch check whatever N is.
+//   k_classes    — the same template registered 16 times (RegisterTemplate
+//                  never merges), bindings striped round-robin: per-poll
+//                  cost tracks the number of classes, not members.
+//   all_distinct — one class per member: the degenerate grouping where
+//                  batching cannot help and must not hurt.
+// The baseline monitor runs the identical registrations with
+// enable_template_batching = false, i.e. one grounded check per member.
+//
+// Standalone timer (no google-benchmark): emits a human table on stderr and
+// the machine-readable BENCH_monitor_fanout.json. Pass --smoke (or
+// BCDB_BENCH_SMOKE=1) for a seconds-scale CI run; the full run sweeps
+// 10^2..10^5 in both modes plus a batched-only 10^6 point and enforces the
+// >= 20x acceptance bound at 10^5 / one_class.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/monitor.h"
+
+namespace {
+
+using namespace bcdb;
+using namespace bcdb::bench;
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs.empty() ? 0.0 : xs[xs.size() / 2];
+}
+
+/// R(a, b) with key a: a few conflicting pending pairs (so polls do real
+/// possible-worlds work) plus singleton transactions the fleet bindings can
+/// hit. Small on purpose — the sweep varies the *fleet*, not the data.
+BlockchainDatabase MakeDatabase() {
+  Catalog catalog;
+  if (!catalog
+           .AddRelation(RelationSchema(
+               "R", {Attribute{"a", ValueType::kInt, false},
+                     Attribute{"b", ValueType::kInt, false}}))
+           .ok()) {
+    std::abort();
+  }
+  ConstraintSet constraints;
+  auto key = FunctionalDependency::Key(catalog, "R", {"a"});
+  if (!key.ok()) std::abort();
+  constraints.AddFd(std::move(*key));
+  auto db =
+      BlockchainDatabase::Create(std::move(catalog), std::move(constraints));
+  if (!db.ok()) std::abort();
+  for (std::int64_t i = 0; i < 8; ++i) {
+    if (!db->InsertCurrent("R", Tuple({Value::Int(-1 - i), Value::Int(i % 3)}))
+             .ok()) {
+      std::abort();
+    }
+  }
+  // Double-spend pairs (i,0) vs (i,1) for i < 4, then singletons.
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t b : {0, 1}) {
+      Transaction txn;
+      txn.Add("R", Tuple({Value::Int(i), Value::Int(b)}));
+      if (!db->AddPending(txn).ok()) std::abort();
+    }
+  }
+  for (std::int64_t i = 4; i < 16; ++i) {
+    Transaction txn;
+    txn.Add("R", Tuple({Value::Int(i), Value::Int(i % 3)}));
+    if (!db->AddPending(txn).ok()) std::abort();
+  }
+  return std::move(*db);
+}
+
+constexpr const char* kTemplateText = "q() :- R($a, $b)";
+
+/// Registers the fleet into `monitor` under `shape` and returns false on any
+/// registration error.
+bool RegisterFleet(ConstraintMonitor& monitor, const std::string& shape,
+                   std::size_t n) {
+  std::size_t num_classes = 1;
+  if (shape == "k_classes") num_classes = 16;
+  if (shape == "all_distinct") num_classes = n;
+  std::vector<TemplateHandle> classes;
+  classes.reserve(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    std::string label = "c";
+    label += std::to_string(c);
+    auto handle = monitor.RegisterTemplate(std::move(label), kTemplateText);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "RegisterTemplate failed: %s\n",
+                   handle.status().ToString().c_str());
+      return false;
+    }
+    classes.push_back(*handle);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    auto handle = monitor.Bind(
+        classes[i % num_classes],
+        {Value::Int(static_cast<std::int64_t>(i)),
+         Value::Int(static_cast<std::int64_t>(i % 3))});
+    if (!handle.ok()) {
+      std::fprintf(stderr, "Bind failed: %s\n",
+                   handle.status().ToString().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Median per-poll seconds over `polls` churn steps (one fresh pending
+/// transaction per step keeps every member dirty, as in steady state).
+double TimedPolls(ConstraintMonitor& monitor, BlockchainDatabase& db,
+                  std::size_t polls, std::int64_t* next_key) {
+  DcSatOptions options;
+  options.num_threads = BenchNumThreads();
+  if (!monitor.Poll(options).ok()) std::abort();  // Warm-up: first full poll.
+  std::vector<double> seconds;
+  for (std::size_t p = 0; p < polls; ++p) {
+    Transaction churn;
+    churn.Add("R", Tuple({Value::Int((*next_key)++), Value::Int(0)}));
+    if (!db.AddPending(churn).ok()) std::abort();
+    Stopwatch watch;
+    if (!monitor.Poll(options).ok()) std::abort();
+    seconds.push_back(watch.ElapsedSeconds());
+  }
+  return Median(seconds);
+}
+
+struct Run {
+  std::string shape;
+  std::size_t n = 0;
+  bool batched = false;
+  double seconds = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ApplyThreadFlag(&argc, argv);
+  const bool smoke = ApplySmokeFlag(&argc, argv);
+  const std::size_t polls = smoke ? 3 : 5;
+
+  struct Point {
+    const char* shape;
+    std::size_t n;
+    bool run_baseline;
+  };
+  std::vector<Point> points;
+  if (smoke) {
+    points = {{"one_class", 100, true},
+              {"one_class", 1000, true},
+              {"k_classes", 1000, true},
+              {"all_distinct", 200, true}};
+  } else {
+    points = {{"one_class", 100, true},      {"one_class", 1000, true},
+              {"one_class", 10000, true},    {"one_class", 100000, true},
+              {"one_class", 1000000, false},  // Baseline gated: ~minutes.
+              {"k_classes", 1000, true},     {"k_classes", 10000, true},
+              {"k_classes", 100000, true},   {"all_distinct", 1000, true},
+              {"all_distinct", 10000, true}};
+    std::fprintf(stderr,
+                 "[cap] per-constraint baseline skipped at n=10^6 and "
+                 "all_distinct capped at 10^4 (per-class compile cost "
+                 "dominates both modes equally there)\n");
+  }
+
+  std::vector<Run> runs;
+  std::int64_t next_key = 5'000'000;
+  for (const Point& point : points) {
+    for (bool batched : {true, false}) {
+      if (!batched && !point.run_baseline) continue;
+      BlockchainDatabase db = MakeDatabase();
+      MonitorOptions options;
+      options.enable_template_batching = batched;
+      ConstraintMonitor monitor(&db, options);
+      Stopwatch reg_watch;
+      if (!RegisterFleet(monitor, point.shape, point.n)) return 1;
+      const double reg_seconds = reg_watch.ElapsedSeconds();
+      const double median = TimedPolls(monitor, db, polls, &next_key);
+      runs.push_back({point.shape, point.n, batched, median});
+      std::fprintf(stderr,
+                   "%-13s n=%-8zu %-15s register %7.2fs  poll median "
+                   "%10.3f ms  (classes=%zu, batched=%zu, evaluated=%zu)\n",
+                   point.shape, point.n,
+                   batched ? "batched" : "per_constraint", reg_seconds,
+                   median * 1e3, monitor.num_classes(),
+                   monitor.poll_stats().constraints_batched,
+                   monitor.poll_stats().constraints_evaluated);
+    }
+  }
+
+  auto find_run = [&](const std::string& shape, std::size_t n,
+                      bool batched) -> const Run* {
+    for (const Run& run : runs) {
+      if (run.shape == shape && run.n == n && run.batched == batched) {
+        return &run;
+      }
+    }
+    return nullptr;
+  };
+
+  std::vector<BenchJsonRow> rows;
+  for (const Run& run : runs) {
+    const Run* baseline = find_run(run.shape, run.n, false);
+    BenchJsonRow row;
+    row.dataset = run.shape + "_n" + std::to_string(run.n) +
+                  (smoke ? "_smoke" : "");
+    row.workload = run.batched ? "batched" : "per_constraint";
+    row.threads = BenchNumThreads() == 0 ? 0 : BenchNumThreads();
+    row.seconds = run.seconds;
+    row.speedup = (baseline != nullptr && run.seconds > 0)
+                      ? baseline->seconds / run.seconds
+                      : 1.0;
+    row.satisfied = false;
+    rows.push_back(row);
+  }
+  WriteBenchJson("BENCH_monitor_fanout.json", rows);
+
+  // The acceptance bound: at 10^5 members in one class the shared batch
+  // check must be at least 20x cheaper per poll than per-member grounding.
+  if (!smoke) {
+    const Run* batched = find_run("one_class", 100000, true);
+    const Run* baseline = find_run("one_class", 100000, false);
+    if (batched == nullptr || baseline == nullptr || batched->seconds <= 0) {
+      std::fprintf(stderr, "FAIL: missing 10^5 one_class measurements\n");
+      return 1;
+    }
+    const double speedup = baseline->seconds / batched->seconds;
+    std::fprintf(stderr, "[acceptance] one_class n=100000: %.1fx\n", speedup);
+    if (speedup < 20.0) {
+      std::fprintf(stderr, "FAIL: batch speedup %.1fx < 20x\n", speedup);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -58,6 +58,8 @@ const char* AnalysisCodeToString(AnalysisCode code) {
       return "mixed-constraint-class";
     case AnalysisCode::kGeneralQueryShape:
       return "general-query-shape";
+    case AnalysisCode::kUnboundParameter:
+      return "unbound-parameter";
   }
   return "?";
 }
@@ -519,6 +521,35 @@ void CheckAggregate(const DenialConstraint& q, DiagnosticSink& sink) {
   }
 }
 
+/// Names of every template parameter occurring in `q`, first occurrence
+/// first. Ground constraints return an empty list.
+std::vector<std::string> CollectParams(const DenialConstraint& q) {
+  std::vector<std::string> params;
+  auto visit = [&](const Term& term) {
+    if (!term.is_param()) return;
+    if (std::find(params.begin(), params.end(), term.name()) == params.end()) {
+      params.push_back(term.name());
+    }
+  };
+  for (const std::vector<Atom>* atoms :
+       {&q.positive_atoms, &q.negated_atoms}) {
+    for (const Atom& atom : *atoms) {
+      for (const Term& term : atom.args) visit(term);
+    }
+  }
+  for (const Comparison& cmp : q.comparisons) {
+    visit(cmp.lhs);
+    visit(cmp.rhs);
+  }
+  if (q.aggregate.has_value()) {
+    for (const Term& term : q.aggregate->args) visit(term);
+    if (q.aggregate->threshold_param.has_value()) {
+      visit(Term::Param(*q.aggregate->threshold_param));
+    }
+  }
+  return params;
+}
+
 }  // namespace
 
 bool ProvedUnsatisfiable(const DenialConstraint& q, const Catalog& catalog) {
@@ -581,6 +612,21 @@ AnalysisReport AnalyzeConstraint(const DenialConstraint& q, const Database& db,
   const Catalog& catalog = db.catalog();
   DiagnosticSink sink(options.source_text);
   AnalysisReport report;
+
+  // --- Unbound template parameters. ---
+  // Every later pass treats terms as variable-or-constant, so parameters
+  // must be rejected up front (the rest of the analysis would misread them).
+  const std::vector<std::string> params = CollectParams(q);
+  if (!params.empty()) {
+    for (const std::string& name : params) {
+      sink.Add(Severity::kError, AnalysisCode::kUnboundParameter,
+               "unbound parameter '$" + name +
+                   "'; register the constraint as a template and bind it",
+               sink.SpanOf(name));
+    }
+    report.diagnostics = sink.Take();
+    return report;
+  }
 
   // --- Schema / arity / type conformance. ---
   if (q.positive_atoms.empty()) {
@@ -681,6 +727,84 @@ AnalysisReport AnalyzeConstraint(const DenialConstraint& q, const Database& db,
     }
   }
   return report;
+}
+
+TemplateAnalysis AnalyzeTemplate(const ConstraintTemplate& tmpl,
+                                 const Database& db,
+                                 const ConstraintSet& constraints,
+                                 const AnalyzerOptions& options) {
+  const Catalog& catalog = db.catalog();
+  TemplateAnalysis result;
+
+  // Admission runs on a dummy-typed instance: each parameter takes a value
+  // of its first positive-atom attribute's type (Int(0) when the parameter
+  // has no positive site or the site does not bind). Every admission error
+  // (schema, arity, safety, aggregate shape, cross-type parameters) is
+  // binding-independent, so rejecting the dummy rejects every binding.
+  std::vector<Value> dummies;
+  dummies.reserve(tmpl.num_params());
+  for (std::size_t p = 0; p < tmpl.num_params(); ++p) {
+    ValueType type = ValueType::kInt;
+    for (const ParamSite& site : tmpl.param_sites()[p]) {
+      if (site.kind != ParamSite::Kind::kPositiveAtom) continue;
+      const Atom& atom = tmpl.constraint().positive_atoms[site.element_index];
+      StatusOr<std::size_t> rel_id = catalog.RelationId(atom.relation);
+      if (rel_id.ok() && atom.args.size() == catalog.schema(*rel_id).arity()) {
+        type = catalog.schema(*rel_id).attribute(site.arg_index).type;
+      }
+      break;
+    }
+    switch (type) {
+      case ValueType::kReal:
+        dummies.push_back(Value::Real(0));
+        break;
+      case ValueType::kString:
+        dummies.push_back(Value::Str(""));
+        break;
+      default:
+        dummies.push_back(Value::Int(0));
+        break;
+    }
+  }
+
+  AnalyzerOptions admission = options;
+  // Base-state and unsat classifications of the dummy instance would be
+  // binding-dependent facts, not class facts.
+  admission.check_base_state = false;
+  AnalysisReport dummy_report;
+  StatusOr<DenialConstraint> dummy = tmpl.Instantiate(dummies);
+  if (dummy.ok()) {
+    dummy_report = AnalyzeConstraint(*dummy, db, constraints, admission);
+  } else {
+    dummy_report.diagnostics.push_back(
+        Diagnostic{Severity::kError, AnalysisCode::kCompileRejected,
+                   dummy.status().message(), SourceSpan{}});
+  }
+
+  result.batchable = tmpl.projectable() && dummy_report.ok();
+  if (result.batchable) {
+    // The class-level report comes from the generalized query: with
+    // parameters as variables, monotonicity / connectivity / tractability /
+    // footprint are exactly the facts shared by every member.
+    AnalysisReport general =
+        AnalyzeConstraint(tmpl.Generalized(), db, constraints, admission);
+    if (general.ok()) {
+      result.report = std::move(general);
+    } else {
+      result.batchable = false;
+      result.report = std::move(dummy_report);
+    }
+  } else {
+    result.report = std::move(dummy_report);
+  }
+
+  std::string key = tmpl.CanonicalSkeleton() + "#fp:";
+  for (std::size_t i = 0; i < result.report.footprint.size(); ++i) {
+    if (i > 0) key += ",";
+    key += std::to_string(result.report.footprint[i]);
+  }
+  result.class_key = std::move(key);
+  return result;
 }
 
 AnalysisReport AnalyzeConstraintText(std::string_view text, const Database& db,

@@ -9,6 +9,7 @@
 #include "constraints/constraint.h"
 #include "query/analysis.h"
 #include "query/ast.h"
+#include "query/template.h"
 #include "relational/database.h"
 #include "relational/schema.h"
 #include "util/status.h"
@@ -58,6 +59,8 @@ enum class AnalysisCode {
                             //       CoNP-complete (Theorem 1); budgets advised.
   kGeneralQueryShape,       // note: one-sided constraint set, but the query
                             //       falls outside the proven-PTIME fragment.
+  kUnboundParameter,        // error: a template parameter ($name) reached the
+                            //        analyzer without a binding.
 };
 
 const char* AnalysisCodeToString(AnalysisCode code);
@@ -151,6 +154,32 @@ AnalysisReport AnalyzeConstraint(const DenialConstraint& q, const Database& db,
 AnalysisReport AnalyzeConstraintText(std::string_view text, const Database& db,
                                      const ConstraintSet& constraints,
                                      AnalyzerOptions options = {});
+
+/// Everything the analyzer derives about a whole template class.
+struct TemplateAnalysis {
+  /// The class-level report. For batchable templates this analyzes the
+  /// *generalized* query (parameters as head variables), so monotonicity,
+  /// connectivity, tractability, and footprint are binding-independent
+  /// class facts; otherwise it analyzes a dummy-typed instance, which is
+  /// only good for admission (its errors are binding-independent).
+  AnalysisReport report;
+  /// Admitted for the shared batch evaluator (projectable and error-free).
+  bool batchable = false;
+  /// The isomorphism-class key: canonical α-renamed skeleton plus the
+  /// IND-closed footprint. Two registrations with equal keys share all
+  /// class-level evaluation work.
+  std::string class_key;
+};
+
+/// Statically analyzes a constraint template: admission (schema, arity,
+/// safety, cross-type parameters — checked on a dummy-typed instance so the
+/// errors are binding-independent), batchability, the class-level report,
+/// and the canonicalization key. Never fails; defects come back as kError
+/// diagnostics inside the report.
+TemplateAnalysis AnalyzeTemplate(const ConstraintTemplate& tmpl,
+                                 const Database& db,
+                                 const ConstraintSet& constraints,
+                                 const AnalyzerOptions& options = {});
 
 /// The cheap classification core, shared with the engine's per-check
 /// dispatch: no diagnostics, no base-state probe. `proved_unsat` comes from

@@ -63,9 +63,18 @@ std::string FormatConstraintText(std::string_view file,
   // The class/monotonicity summary is meaningless for a constraint that
   // failed analysis — only print it for admissible constraints.
   if (c.report.ok()) {
-    out += location + "class " +
-           TractabilityClassToString(c.report.tractability) +
-           (c.report.monotone ? ", monotone" : ", non-monotone") + "\n";
+    if (c.is_template) {
+      out += location + "template (" + std::to_string(c.num_params) +
+             (c.num_params == 1 ? " param" : " params") + "), class " +
+             TractabilityClassToString(c.report.tractability) +
+             (c.report.monotone ? ", monotone" : ", non-monotone") +
+             (c.batchable ? ", batch-admitted" : ", per-member") + "\n";
+      out += location + "class key: " + c.class_key + "\n";
+    } else {
+      out += location + "class " +
+             TractabilityClassToString(c.report.tractability) +
+             (c.report.monotone ? ", monotone" : ", non-monotone") + "\n";
+    }
   }
   return out;
 }
@@ -95,6 +104,12 @@ void AppendConstraintJson(const LintedConstraint& c, std::string& out) {
   out += c.report.monotone ? "true" : "false";
   out += ", \"connected\": ";
   out += c.report.connected ? "true" : "false";
+  if (c.is_template) {
+    out += ", \"template\": true, \"params\": " + std::to_string(c.num_params) +
+           ", \"batchable\": ";
+    out += c.batchable ? "true" : "false";
+    out += ", \"class_key\": \"" + JsonEscape(c.class_key) + "\"";
+  }
   out += ", \"footprint\": [";
   for (std::size_t i = 0; i < c.report.footprint.size(); ++i) {
     if (i > 0) out += ", ";

@@ -18,6 +18,15 @@ struct LintedConstraint {
   /// 1-based line number in the linted file.
   std::size_t line = 0;
   AnalysisReport report;
+  /// Template lines ($name placeholders) are analyzed class-level
+  /// (AnalyzeTemplate): the report describes the whole template class, and
+  /// the fields below carry its batch admission and canonicalization key.
+  bool is_template = false;
+  bool batchable = false;
+  std::size_t num_params = 0;
+  /// The isomorphism-class key: α-renamed skeleton + IND-closed footprint.
+  /// Registrations with equal keys share all class-level evaluation work.
+  std::string class_key;
 };
 
 /// Escapes `s` for embedding inside a JSON string literal (quotes,

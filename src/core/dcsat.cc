@@ -11,6 +11,7 @@
 #include "core/tractable.h"
 #include "query/analysis.h"
 #include "query/parser.h"
+#include "util/flat_table.h"
 #include "util/stopwatch.h"
 
 namespace bcdb {
@@ -662,6 +663,221 @@ void DcSatEngine::ParallelComponentSearch(
   result.stats.budget_expired = any_expired;
   result.stats.threads_used = pool->num_threads();
   result.stats.components_parallel = components.size();
+}
+
+TemplateBindingIndex TemplateBindingIndex::Build(
+    const std::vector<Tuple>& bindings) {
+  TemplateBindingIndex index;
+  index.slot_of.reserve(bindings.size());
+  index.slots.reserve(bindings.size());
+  for (const Tuple& binding : bindings) {
+    auto [it, inserted] = index.slot_of.try_emplace(binding, index.num_unique);
+    if (inserted) ++index.num_unique;
+    index.slots.push_back(it->second);
+  }
+  return index;
+}
+
+StatusOr<TemplateBatchResult> DcSatEngine::CheckTemplateBatch(
+    const CompiledQuery& generalized,
+    const std::vector<EqualityConstraint>& template_equalities,
+    const std::vector<Tuple>& bindings, const DcSatOptions& options) const {
+  return CheckTemplateBatch(generalized, template_equalities, bindings,
+                            TemplateBindingIndex::Build(bindings), options);
+}
+
+StatusOr<TemplateBatchResult> DcSatEngine::CheckTemplateBatch(
+    const CompiledQuery& generalized,
+    const std::vector<EqualityConstraint>& template_equalities,
+    const std::vector<Tuple>& bindings, const TemplateBindingIndex& index,
+    const DcSatOptions& options) const {
+  Stopwatch total_watch;
+  if (cached_version_ != db_->version() || !fd_graph_.has_value()) {
+    return Status::Internal(
+        "CheckTemplateBatch requires fresh steady-state caches; call "
+        "PrepareSteadyState after the last database mutation");
+  }
+  if (!generalized.has_head()) {
+    return Status::InvalidArgument(
+        "CheckTemplateBatch needs an answer-producing generalized query "
+        "(template parameters projected into the head)");
+  }
+  const QueryAnalysis& analysis = generalized.analysis();
+  if (!analysis.monotone) {
+    return Status::InvalidArgument(
+        "CheckTemplateBatch requires a monotone template class (" +
+        analysis.monotone_reason + ")");
+  }
+
+  TemplateBatchResult result;
+  result.outcomes.assign(bindings.size(), TemplateBatchOutcome::kUndecided);
+  result.stats.steady_cache_hit = true;
+  result.stats.num_pending = db_->PendingIds().size();
+  result.stats.threads_used = 1;
+
+  // Duplicate bindings share one slot (and hence one evaluation).
+  const auto& slot_of = index.slot_of;
+  const std::size_t num_unique = index.num_unique;
+  std::vector<TemplateBatchOutcome> outcome(num_unique,
+                                            TemplateBatchOutcome::kUndecided);
+  std::vector<bool> settled(num_unique, false);
+  std::size_t unsettled = num_unique;
+  auto settle = [&](std::size_t slot, TemplateBatchOutcome verdict) {
+    if (settled[slot]) return;
+    settled[slot] = true;
+    outcome[slot] = verdict;
+    --unsettled;
+  };
+
+  std::optional<Budget> budget_storage;
+  const Budget* budget = nullptr;
+  if (!options.budget.unlimited()) {
+    budget_storage.emplace(options.budget);
+    budget = &*budget_storage;
+  }
+
+  // --- Phase H: answers over R alone. A binding answered by the current
+  // state has already happened — the per-member equivalent of the base-world
+  // probe, shared across the whole class.
+  if (unsettled > 0) {
+    ++result.stats.num_worlds_evaluated;
+    generalized.EnumerateAnswers(db_->BaseView(), [&](const Tuple& answer) {
+      auto it = slot_of.find(answer);
+      if (it != slot_of.end()) settle(it->second, TemplateBatchOutcome::kHappened);
+      return unsettled > 0;
+    });
+  }
+
+  // --- Phase P: answers over R ∪ T. Monotonicity makes this elimination
+  // exact: a binding with no satisfying assignment even when every pending
+  // transaction is active has none in any possible world (the shared
+  // equivalent of the per-member pre-check).
+  std::vector<bool> alive(num_unique, false);
+  if (unsettled > 0) {
+    std::size_t alive_unsettled = 0;
+    ++result.stats.num_worlds_evaluated;
+    generalized.EnumerateAnswers(
+        db_->PendingUnionView(), [&](const Tuple& answer) {
+          auto it = slot_of.find(answer);
+          if (it != slot_of.end() && !settled[it->second] &&
+              !alive[it->second]) {
+            alive[it->second] = true;
+            ++alive_unsettled;
+          }
+          return alive_unsettled < unsettled;
+        });
+    for (std::size_t slot = 0; slot < num_unique; ++slot) {
+      if (!settled[slot] && !alive[slot]) {
+        settle(slot, TemplateBatchOutcome::kImpossible);
+      }
+    }
+  }
+
+  // --- Survivors: one shared component decomposition and clique
+  // enumeration. Every maximal world evaluated marks all the bindings it
+  // answers, so each additional member costs one hash lookup per answer.
+  bool expired = false;
+  if (unsettled > 0) {
+    Stopwatch graph_watch;
+    const FdGraph& fd_graph = *fd_graph_;
+    result.stats.num_valid_nodes = fd_graph.valid_nodes().Count();
+    result.stats.fd_conflict_pairs = fd_graph.num_conflict_pairs();
+
+    // Θ_I ∪ Θ_template components when the generalized query is connected
+    // (the class analogue of OptDCSat); otherwise one all-valid-nodes
+    // component (NaiveDCSat). `template_equalities` is coarser than every
+    // member's Θ_q, so any member's support stays within one component.
+    std::vector<std::vector<PendingId>> components;
+    if (analysis.connected) {
+      UnionFind uf{0};
+      uf.CopyFrom(theta_i_.components());
+      MergeEqualityComponents(*db_, template_equalities,
+                              fd_graph.valid_nodes(), uf);
+      components = GroupComponents(fd_graph.valid_nodes(), uf);
+      result.stats.algorithm_used = DcSatAlgorithm::kOpt;
+    } else {
+      components.push_back(fd_graph.valid_nodes().ToVector());
+      if (components.back().empty()) components.clear();
+      result.stats.algorithm_used = DcSatAlgorithm::kNaive;
+    }
+    result.stats.num_components = components.size();
+    result.stats.graph_seconds = graph_watch.ElapsedSeconds();
+
+    for (const std::vector<PendingId>& component : components) {
+      if (budget != nullptr && budget->Expired()) {
+        expired = true;
+        break;
+      }
+      if (result.stats.algorithm_used == DcSatAlgorithm::kOpt &&
+          options.use_covers) {
+        // The generalized query carries only the class's literal constants
+        // (parameters are variables), so this filters a subset of what any
+        // member's own probe would filter — sound for every binding.
+        WorldView cover_view = db_->BaseView();
+        for (PendingId id : component) {
+          cover_view.Activate(static_cast<TupleOwner>(id));
+        }
+        if (!generalized.CoversConstants(cover_view)) {
+          ++result.stats.components_completed;
+          continue;
+        }
+      }
+      ++result.stats.num_components_covered;
+      if (budget != nullptr && !budget->ChargeComponent()) {
+        expired = true;
+        break;
+      }
+
+      DynamicBitset subset(db_->num_pending());
+      for (PendingId id : component) subset.Set(id);
+
+      const CliqueEnumerationStats clique_stats = EnumerateMaximalCliques(
+          fd_graph.graph(), subset, options.use_pivot,
+          [&](const std::vector<std::size_t>& clique) {
+            if (budget != nullptr &&
+                (!budget->ChargeClique() || !budget->ChargeWorld())) {
+              return false;  // Budget expired; unwind without evaluating.
+            }
+            const WorldView world = GetMaximal(*db_, clique);
+            ++result.stats.num_worlds_evaluated;
+            generalized.EnumerateAnswers(world, [&](const Tuple& answer) {
+              auto it = slot_of.find(answer);
+              if (it != slot_of.end()) {
+                settle(it->second, TemplateBatchOutcome::kPossible);
+              }
+              return unsettled > 0;
+            });
+            return unsettled > 0;  // Stop once every binding is settled.
+          },
+          budget);
+      result.stats.num_cliques += clique_stats.cliques_reported;
+      // stopped_early with survivors left means a budget charge stopped the
+      // enumeration (the all-settled stop leaves unsettled == 0).
+      if (clique_stats.budget_expired ||
+          (clique_stats.stopped_early && unsettled > 0)) {
+        expired = true;
+        break;
+      }
+      ++result.stats.components_completed;
+      if (unsettled == 0) break;
+    }
+
+    if (!expired) {
+      // The enumeration ran to completion (or every binding settled): any
+      // remaining survivor was answered by no maximal world, so no possible
+      // world satisfies it.
+      for (std::size_t slot = 0; slot < num_unique; ++slot) {
+        if (!settled[slot]) settle(slot, TemplateBatchOutcome::kImpossible);
+      }
+    }
+  }
+  result.stats.budget_expired = expired;
+
+  for (std::size_t i = 0; i < bindings.size(); ++i) {
+    result.outcomes[i] = outcome[index.slots[i]];
+  }
+  result.stats.total_seconds = total_watch.ElapsedSeconds();
+  return result;
 }
 
 }  // namespace bcdb

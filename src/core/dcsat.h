@@ -12,6 +12,7 @@
 
 #include "analysis/analyzer.h"
 #include "core/blockchain_db.h"
+#include "util/flat_table.h"
 #include "core/fd_graph.h"
 #include "core/ind_graph.h"
 #include "query/ast.h"
@@ -163,6 +164,41 @@ struct DcSatResult {
   DcSatStats stats;
 };
 
+/// Per-binding verdict of one CheckTemplateBatch call.
+enum class TemplateBatchOutcome {
+  /// The grounded constraint already holds over the current state R alone.
+  kHappened,
+  /// Some possible world satisfies the grounded constraint (but not R).
+  kPossible,
+  /// No possible world satisfies the grounded constraint: D |= ¬q_b.
+  kImpossible,
+  /// The shared budget expired before this binding settled.
+  kUndecided,
+};
+
+struct TemplateBatchResult {
+  /// One outcome per input binding, in input order (duplicates allowed;
+  /// they share one evaluation and receive identical outcomes).
+  std::vector<TemplateBatchOutcome> outcomes;
+  DcSatStats stats;
+};
+
+/// Reusable dedup index over one class's binding list. At 10^5+ members the
+/// dominant batch cost is re-hashing every binding tuple per call; a caller
+/// holding a stable member list builds this once and passes it to
+/// CheckTemplateBatch on every poll, reducing per-member setup to an array
+/// read. Only valid for the exact binding vector it was built from —
+/// rebuild whenever that list changes.
+struct TemplateBindingIndex {
+  /// Unique binding -> evaluation slot in [0, num_unique).
+  FlatIdMap<Tuple, std::size_t, TupleHash, TupleEq> slot_of;
+  /// Input position -> evaluation slot (duplicates share a slot).
+  std::vector<std::size_t> slots;
+  std::size_t num_unique = 0;
+
+  static TemplateBindingIndex Build(const std::vector<Tuple>& bindings);
+};
+
 /// Decides denial-constraint satisfaction over one blockchain database,
 /// owning the steady-state structures of paper Section 6.3: the
 /// fd-transaction graph, the Θ_I part of the ind-graph components, and the
@@ -229,6 +265,43 @@ class DcSatEngine {
   StatusOr<DcSatResult> CheckPrepared(const DenialConstraint& q,
                                       const CompiledQuery& compiled,
                                       const DcSatOptions& options = {}) const;
+
+  /// Batch evaluation of one template class (paper Section 6 machinery run
+  /// once per class instead of once per constraint): `generalized` is the
+  /// class's generalized query — template parameters projected into head
+  /// variables, compiled against the current database — and each `bindings`
+  /// entry is one member's parameter tuple (interned ValueIds, in the
+  /// template's parameter order). One answer enumeration over R classifies
+  /// kHappened, one over R ∪ T eliminates the impossible (the query is
+  /// monotone by admission), and one shared Θ_I ∪ Θ_template component
+  /// decomposition plus clique enumeration decides the survivors — each
+  /// evaluated world marks every binding it answers, so per-binding work is
+  /// one hash lookup at the leaves. `template_equalities` must come from
+  /// TemplateEqualitiesFromQuery on the generalized query (coarser than any
+  /// member's Θ_q, which keeps the shared decomposition sound for every
+  /// binding). Outcomes are bit-identical to running the serial grounded
+  /// check per member under unlimited budgets.
+  ///
+  /// Same contract as CheckPrepared: requires fresh steady-state caches
+  /// (Internal otherwise), const, callable concurrently for different
+  /// classes as long as `options.num_threads` == 1 and the database is not
+  /// mutated. The budget is shared across the whole class; bindings still
+  /// unsettled at expiry come back kUndecided.
+  StatusOr<TemplateBatchResult> CheckTemplateBatch(
+      const CompiledQuery& generalized,
+      const std::vector<EqualityConstraint>& template_equalities,
+      const std::vector<Tuple>& bindings, const DcSatOptions& options) const;
+
+  /// As above, with the binding dedup index prebuilt by the caller
+  /// (TemplateBindingIndex::Build over the same `bindings` vector). This is
+  /// the steady-state polling entry point: the index survives across polls
+  /// while the member list is unchanged, so the batch pays no per-member
+  /// hashing on the way in or out.
+  StatusOr<TemplateBatchResult> CheckTemplateBatch(
+      const CompiledQuery& generalized,
+      const std::vector<EqualityConstraint>& template_equalities,
+      const std::vector<Tuple>& bindings, const TemplateBindingIndex& index,
+      const DcSatOptions& options) const;
 
   /// Forces cache (re)construction; returns the fd graph for inspection.
   const FdGraph& PrepareSteadyState();

@@ -1,7 +1,9 @@
 #include "core/monitor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <future>
+#include <utility>
 
 #include "query/analysis.h"
 #include "query/compiled_query.h"
@@ -9,6 +11,29 @@
 #include "util/union_find.h"
 
 namespace bcdb {
+
+namespace {
+
+/// Process-wide monitor identity source. Handles are stamped with their
+/// minting monitor's uid so a handle index colliding across monitors can
+/// never resolve against the wrong one.
+std::atomic<std::uint64_t> g_monitor_uid{1};
+
+ConstraintMonitor::Verdict FromOutcome(TemplateBatchOutcome outcome) {
+  switch (outcome) {
+    case TemplateBatchOutcome::kHappened:
+      return ConstraintMonitor::Verdict::kHappened;
+    case TemplateBatchOutcome::kPossible:
+      return ConstraintMonitor::Verdict::kPossible;
+    case TemplateBatchOutcome::kImpossible:
+      return ConstraintMonitor::Verdict::kImpossible;
+    case TemplateBatchOutcome::kUndecided:
+      return ConstraintMonitor::Verdict::kUndecided;
+  }
+  return ConstraintMonitor::Verdict::kUndecided;
+}
+
+}  // namespace
 
 const char* ConstraintMonitor::VerdictToString(Verdict verdict) {
   switch (verdict) {
@@ -28,7 +53,10 @@ const char* ConstraintMonitor::VerdictToString(Verdict verdict) {
 
 ConstraintMonitor::ConstraintMonitor(BlockchainDatabase* db,
                                      MonitorOptions options)
-    : db_(db), options_(options), engine_(db, options.steady) {
+    : db_(db),
+      options_(options),
+      engine_(db, options.steady),
+      uid_(g_monitor_uid.fetch_add(1, std::memory_order_relaxed)) {
   listener_id_ = db_->AddMutationListener([this](const MutationEvent& event) {
     // Any event at all (even one with no attributable relations) wakes the
     // always-dirty entries; per-relation bits drive the precise filter.
@@ -50,6 +78,53 @@ void ConstraintMonitor::MarkRelationDirty(std::size_t relation_id) {
   dirty_relations_.Set(relation_id);
 }
 
+std::string ConstraintMonitor::BindingSummary(const Tuple& binding) {
+  return binding.ToString();
+}
+
+std::size_t ConstraintMonitor::CreateClass(std::string label,
+                                           ConstraintTemplate tmpl,
+                                           TemplateAnalysis analysis) {
+  TemplateClass cls;
+  cls.label = std::move(label);
+  cls.key = std::move(analysis.class_key);
+  // The dirty filter keys on the analyzer's IND-closed footprint: the
+  // relations the constraint references, closed under IND coupling — a
+  // mutation in R can change the possible worlds of an S-tuple when
+  // S[x] ⊆ R[a] ties them together, so members over S must re-evaluate on
+  // R churn even though the constraint never mentions R.
+  cls.relation_ids = analysis.report.footprint;
+  cls.always_dirty = !analysis.report.monotone;
+  cls.batchable = analysis.batchable;
+  cls.report = std::move(analysis.report);
+  if (cls.batchable) {
+    cls.generalized = tmpl.Generalized();
+    StatusOr<std::vector<EqualityConstraint>> equalities =
+        TemplateEqualitiesFromQuery(cls.generalized, db_->database().catalog());
+    if (equalities.ok()) {
+      cls.template_equalities = std::move(*equalities);
+    } else {
+      // Admission should have caught anything that trips equality
+      // derivation; fall back to per-member evaluation rather than fail.
+      cls.batchable = false;
+    }
+  }
+  cls.tmpl = std::move(tmpl);
+  classes_.push_back(std::move(cls));
+  return classes_.size() - 1;
+}
+
+MonitorHandle ConstraintMonitor::AppendEntry(Entry entry) {
+  const std::size_t slot = entries_.size();
+  TemplateClass& cls = classes_[entry.class_id];
+  cls.members.push_back(slot);
+  ++cls.live_members;
+  ++cls.members_version;
+  entries_.push_back(std::move(entry));
+  ++live_count_;
+  return MonitorHandle(slot, uid_);
+}
+
 StatusOr<MonitorHandle> ConstraintMonitor::Add(std::string label,
                                                DenialConstraint q) {
   // Registration-time rejection is the contract: the static analyzer runs
@@ -62,20 +137,41 @@ StatusOr<MonitorHandle> ConstraintMonitor::Add(std::string label,
                                    "' rejected by static analysis: " +
                                    report.ErrorSummary());
   }
+
+  // Canonicalize into (template, binding): constants become parameters, and
+  // the α-renamed skeleton plus IND-closed footprint keys the class — a
+  // million structurally identical Adds land in one class and, when batch
+  // admitted, cost one shared check per poll. The grounded footprint equals
+  // the class footprint (relations are binding-independent), so the key can
+  // be built without re-running the template analyzer on every Add.
+  StatusOr<CanonicalizedConstraint> canon = ConstraintTemplate::Canonicalize(q);
+  if (!canon.ok()) return canon.status();
+  std::string key = canon->tmpl.CanonicalSkeleton() + "#fp:";
+  for (std::size_t i = 0; i < report.footprint.size(); ++i) {
+    if (i > 0) key += ",";
+    key += std::to_string(report.footprint[i]);
+  }
+
+  std::size_t class_id;
+  auto it = class_by_key_.find(key);
+  if (it != class_by_key_.end()) {
+    class_id = it->second;
+  } else {
+    TemplateAnalysis analysis =
+        AnalyzeTemplate(canon->tmpl, db_->database(), db_->constraints());
+    std::string class_label = canon->tmpl.CanonicalSkeleton();
+    class_id = CreateClass(std::move(class_label), std::move(canon->tmpl),
+                           std::move(analysis));
+    class_by_key_.emplace(std::move(key), class_id);
+  }
+
   Entry entry;
+  entry.class_id = class_id;
   entry.label = std::move(label);
-  // The dirty filter keys on the analyzer's IND-closed footprint: the
-  // relations q references, closed under IND coupling — a mutation in R can
-  // change the possible worlds of an S-tuple when S[x] ⊆ R[a] ties them
-  // together, so q-over-S must re-evaluate on R churn even though q never
-  // mentions R.
-  entry.relation_ids = report.footprint;
-  entry.always_dirty = !report.monotone;
-  entry.report = std::move(report);
+  entry.binding = Tuple(canon->binding);
   entry.q = std::move(q);
-  entries_.push_back(std::move(entry));
-  ++live_count_;
-  return MonitorHandle(entries_.size() - 1);
+  entry.report = std::move(report);
+  return AppendEntry(std::move(entry));
 }
 
 StatusOr<MonitorHandle> ConstraintMonitor::Add(std::string label,
@@ -85,24 +181,133 @@ StatusOr<MonitorHandle> ConstraintMonitor::Add(std::string label,
   return Add(std::move(label), *std::move(q));
 }
 
-bool ConstraintMonitor::Remove(MonitorHandle handle) {
-  if (Find(handle) == nullptr) return false;
-  Entry& entry = entries_[handle.value()];
-  entry.removed = true;
-  entry.verdict = Verdict::kUnknown;
-  entry.compiled.reset();
-  --live_count_;
-  return true;
+StatusOr<TemplateHandle> ConstraintMonitor::RegisterTemplate(
+    std::string label, ConstraintTemplate tmpl) {
+  TemplateAnalysis analysis =
+      AnalyzeTemplate(tmpl, db_->database(), db_->constraints());
+  if (!analysis.report.ok()) {
+    return Status::InvalidArgument("template '" + label +
+                                   "' rejected by static analysis: " +
+                                   analysis.report.ErrorSummary());
+  }
+  const std::size_t class_id =
+      CreateClass(std::move(label), std::move(tmpl), std::move(analysis));
+  return TemplateHandle(class_id, uid_);
 }
 
-bool ConstraintMonitor::IsDirty(const Entry& entry) const {
+StatusOr<TemplateHandle> ConstraintMonitor::RegisterTemplate(
+    std::string label, std::string_view template_text) {
+  StatusOr<ConstraintTemplate> tmpl = ConstraintTemplate::Parse(template_text);
+  if (!tmpl.ok()) return tmpl.status();
+  return RegisterTemplate(std::move(label), *std::move(tmpl));
+}
+
+StatusOr<MonitorHandle> ConstraintMonitor::Bind(
+    TemplateHandle tmpl, const std::vector<Value>& binding) {
+  if (FindClass(tmpl) == nullptr) {
+    return Status::InvalidArgument(
+        tmpl.valid() && tmpl.owner_ != uid_
+            ? "template handle belongs to a different monitor"
+            : "invalid template handle");
+  }
+  const TemplateClass& cls = classes_[tmpl.value()];
+  if (binding.size() != cls.tmpl.num_params()) {
+    return Status::InvalidArgument(
+        "binding has " + std::to_string(binding.size()) +
+        " values but template '" + cls.label + "' has " +
+        std::to_string(cls.tmpl.num_params()) + " parameters");
+  }
+
+  Entry entry;
+  entry.class_id = tmpl.value();
+  entry.binding = Tuple(binding);
+  entry.label = cls.label + BindingSummary(entry.binding);
+  if (cls.batchable && options_.enable_template_batching) {
+    // Batch members skip per-member grounding; mirror the grounded
+    // compiler's constant type check so a bad binding is rejected here,
+    // not silently never matched at the leaves.
+    const Catalog& catalog = db_->database().catalog();
+    const DenialConstraint& q = cls.tmpl.constraint();
+    for (std::size_t p = 0; p < cls.tmpl.param_sites().size(); ++p) {
+      for (const ParamSite& site : cls.tmpl.param_sites()[p]) {
+        if (site.kind != ParamSite::Kind::kPositiveAtom) continue;
+        const Atom& atom = q.positive_atoms[site.element_index];
+        StatusOr<std::size_t> rel_id = catalog.RelationId(atom.relation);
+        if (!rel_id.ok()) continue;  // Admission already vetted the schema.
+        const RelationSchema& schema = catalog.schema(*rel_id);
+        if (site.arg_index >= schema.arity()) continue;
+        const Value& v = binding[p];
+        const ValueType expected = schema.attribute(site.arg_index).type;
+        const bool numeric_ok =
+            v.IsNumeric() && (expected == ValueType::kInt ||
+                              expected == ValueType::kReal);
+        if (v.type() != expected && !numeric_ok) {
+          return Status::InvalidArgument(
+              "binding value " + v.ToString() + " for parameter '$" +
+              cls.tmpl.param_names()[p] + "' has wrong type (expected " +
+              ValueTypeToString(expected) + " at position " +
+              std::to_string(site.arg_index) + " of atom " + atom.ToString() +
+              ")");
+        }
+      }
+    }
+  } else {
+    // Per-member evaluation needs the grounded machinery up front; this
+    // also gives Bind the same full-analysis rejection surface as Add.
+    BCDB_RETURN_IF_ERROR(GroundEntry(entry));
+  }
+  return AppendEntry(std::move(entry));
+}
+
+Status ConstraintMonitor::GroundEntry(Entry& entry) {
+  const TemplateClass& cls = classes_[entry.class_id];
+  StatusOr<DenialConstraint> grounded =
+      cls.tmpl.Instantiate(entry.binding.values());
+  if (!grounded.ok()) return grounded.status();
+  AnalysisReport report = engine_.Analyze(*grounded);
+  if (!report.ok()) {
+    return Status::InvalidArgument(
+        "binding " + BindingSummary(entry.binding) + " for template '" +
+        cls.label + "' rejected by static analysis: " + report.ErrorSummary());
+  }
+  entry.q = *std::move(grounded);
+  entry.report = std::move(report);
+  return Status::OK();
+}
+
+Status ConstraintMonitor::Remove(MonitorHandle handle) {
+  if (!handle.valid()) {
+    return Status::InvalidArgument("invalid monitor handle");
+  }
+  if (handle.owner_ != uid_) {
+    return Status::InvalidArgument(
+        "monitor handle belongs to a different monitor");
+  }
+  if (handle.value() >= entries_.size()) {
+    return Status::InvalidArgument("monitor handle out of range");
+  }
+  Entry& entry = entries_[handle.value()];
+  if (entry.removed) {
+    return Status::NotFound("constraint already removed");
+  }
+  entry.removed = true;
+  entry.verdict = Verdict::kUnknown;
+  entry.q.reset();
+  entry.report.reset();
+  entry.compiled.reset();
+  --classes_[entry.class_id].live_members;
+  ++classes_[entry.class_id].members_version;
+  --live_count_;
+  return Status::OK();
+}
+
+bool ConstraintMonitor::ClassIsDirty(const TemplateClass& cls) const {
   if (!options_.dirty_tracking) return true;
-  if (entry.verdict == Verdict::kUnknown) return true;  // Never decided.
   // Not proved monotone: any mutation anywhere may flip the verdict, but a
   // fully quiescent database (no events since the last completed poll)
   // cannot change any verdict — not even a non-monotone one.
-  if (entry.always_dirty) return mutated_since_poll_;
-  for (std::size_t relation_id : entry.relation_ids) {
+  if (cls.always_dirty) return mutated_since_poll_;
+  for (std::size_t relation_id : cls.relation_ids) {
     if (relation_id < dirty_relations_.size() &&
         dirty_relations_.Test(relation_id)) {
       return true;
@@ -131,7 +336,7 @@ StatusOr<ConstraintMonitor::Verdict> ConstraintMonitor::EvaluateEntry(
   // Happened? Evaluate over the current state only.
   if (entry.compiled->Evaluate(db_->BaseView())) return Verdict::kHappened;
   StatusOr<DcSatResult> result =
-      engine_.CheckPrepared(entry.q, *entry.compiled, entry.report, options);
+      engine_.CheckPrepared(*entry.q, *entry.compiled, *entry.report, options);
   if (!result.ok()) return result.status();
   if (!result->decided) return Verdict::kUndecided;
   return result->satisfied ? Verdict::kImpossible : Verdict::kPossible;
@@ -150,15 +355,21 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
   const FdGraph& fd_graph = engine_.PrepareSteadyState();
   if (options_.dirty_tracking) AbsorbValidityDiff(fd_graph.valid_nodes());
 
+  // Batching only serves kAuto polls: an explicitly requested algorithm is
+  // honored exactly by grounding each member and running the per-member
+  // path (which validates the request against each instance).
+  const bool batching = options_.enable_template_batching &&
+                        options.algorithm == DcSatAlgorithm::kAuto;
+
   // The caller's explicit budget wins over the monitor's default and
   // applies to every entry; the monitor *default* only covers entries the
   // analyzer could not place in a proven-PTIME class — budgeting a
   // polynomial check risks nothing but spurious kUndecided verdicts. Each
-  // entry's check then runs under its budget scaled by the escalation
-  // factor (undecided verdicts earn a larger retry budget).
-  auto base_budget_for = [&](const Entry& entry) -> BudgetLimits {
+  // check then runs under its budget scaled by the escalation factor
+  // (undecided verdicts earn a larger retry budget).
+  auto base_budget_for = [&](const AnalysisReport& report) -> BudgetLimits {
     if (!options.budget.unlimited()) return options.budget;
-    switch (entry.report.tractability) {
+    switch (report.tractability) {
       case TractabilityClass::kTriviallyUnsat:
       case TractabilityClass::kPtimeFdOnly:
       case TractabilityClass::kPtimeIndOnly:
@@ -170,83 +381,214 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
     return options_.budget;
   };
 
+  // Dirtiness is a class-level fact (the footprint is binding-independent),
+  // so it is decided once per class, not once per member.
+  std::vector<char> class_dirty(classes_.size(), 0);
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    class_dirty[c] = ClassIsDirty(classes_[c]) ? 1 : 0;
+  }
+
   std::vector<std::size_t> to_evaluate;
-  for (std::size_t handle = 0; handle < entries_.size(); ++handle) {
-    Entry& entry = entries_[handle];
+  for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
+    Entry& entry = entries_[slot];
     if (entry.removed) continue;
+    const bool dirty = entry.verdict == Verdict::kUnknown ||
+                       class_dirty[entry.class_id] != 0;
     if (entry.verdict == Verdict::kUndecided) {
       // Unfinished business: retried even with no mutations — unless it is
       // backing off, and then only while the instance has not changed under
       // it (a genuinely dirty entry re-checks immediately).
-      if (entry.backoff_remaining > 0 && !IsDirty(entry)) {
+      if (entry.backoff_remaining > 0 && !dirty) {
         --entry.backoff_remaining;
         ++poll_stats_.backoff_skips;
         continue;
       }
-      to_evaluate.push_back(handle);
-    } else if (IsDirty(entry)) {
-      to_evaluate.push_back(handle);
+      to_evaluate.push_back(slot);
+    } else if (dirty) {
+      to_evaluate.push_back(slot);
     } else {
       ++poll_stats_.constraints_skipped;
     }
   }
 
-  const std::uint64_t version = db_->version();
-  for (std::size_t handle : to_evaluate) {
-    Entry& entry = entries_[handle];
-    if (entry.compiled.has_value() && entry.compiled_version == version) {
-      ++poll_stats_.compile_cache_hits;
-      continue;
-    }
-    StatusOr<CompiledQuery> compiled =
-        CompiledQuery::Compile(entry.q, &db_->database());
-    if (!compiled.ok()) return compiled.status();
-    entry.compiled = std::move(*compiled);
-    entry.compiled_version = version;
-    ++poll_stats_.compile_cache_misses;
-  }
-
-  // Per-entry check options: serial (num_threads = 1 — with several
-  // standing constraints the constraint-level fan-out already saturates
-  // the workers, and the engine's component pool is not re-entrant), with
-  // the entry's escalated budget.
-  std::vector<DcSatOptions> entry_options(to_evaluate.size(), options);
+  // Group the selected members into evaluation tasks: one shared task per
+  // batch-admitted class (however many members), one task per remaining
+  // member. `items` are indices into to_evaluate.
+  struct PollTask {
+    bool batch = false;
+    // Batch task covering the full live membership: evaluate through the
+    // class's cached binding list + dedup index instead of gathering a
+    // fresh copy (see TemplateClass::cached_bindings).
+    bool use_cache = false;
+    std::size_t class_id = 0;
+    std::vector<std::size_t> items;
+  };
+  std::vector<PollTask> tasks;
+  std::map<std::size_t, std::size_t> batch_task_of;
   for (std::size_t i = 0; i < to_evaluate.size(); ++i) {
-    entry_options[i].num_threads = 1;
     const Entry& entry = entries_[to_evaluate[i]];
-    const BudgetLimits base_budget = base_budget_for(entry);
-    entry_options[i].budget = entry.budget_scale > 1.0
-                                  ? base_budget.Scaled(entry.budget_scale)
-                                  : base_budget;
+    const TemplateClass& cls = classes_[entry.class_id];
+    if (batching && cls.batchable) {
+      auto [it, inserted] = batch_task_of.emplace(entry.class_id, tasks.size());
+      if (inserted) {
+        tasks.push_back(
+            PollTask{.batch = true, .class_id = entry.class_id, .items = {}});
+      }
+      tasks[it->second].items.push_back(i);
+    } else {
+      tasks.push_back(
+          PollTask{.batch = false, .class_id = entry.class_id, .items = {i}});
+    }
   }
 
-  // Phase 2: evaluate every dirty constraint over the shared read-only
-  // snapshot. The pool is sized once to the requested width and reused
-  // across polls — only the number of submitted tasks tracks the dirty
-  // count, which fluctuates every poll in steady state.
+  // Compile (and, for members falling back to per-member evaluation,
+  // ground) everything that will run. Batch classes compile the
+  // generalized query once per database version; singles keep their own
+  // per-version compiled form.
+  const std::uint64_t version = db_->version();
+  for (PollTask& task : tasks) {
+    if (task.batch) {
+      TemplateClass& cls = classes_[task.class_id];
+      // The binding cache serves full-membership selections only — the
+      // steady state. A strict subset (some members backing off) keeps the
+      // cache intact for later polls but evaluates off a fresh gather.
+      if (task.items.size() == cls.live_members) {
+        if (cls.cached_members_version != cls.members_version) {
+          cls.cached_bindings.clear();
+          cls.cached_slots.clear();
+          cls.cached_bindings.reserve(cls.live_members);
+          cls.cached_slots.reserve(cls.live_members);
+          for (std::size_t slot : cls.members) {
+            const Entry& member = entries_[slot];
+            if (member.removed) continue;
+            cls.cached_bindings.push_back(member.binding);
+            cls.cached_slots.push_back(slot);
+          }
+          cls.cached_index = TemplateBindingIndex::Build(cls.cached_bindings);
+          cls.cached_members_version = cls.members_version;
+        }
+        task.use_cache = true;
+      }
+      if (cls.compiled.has_value() && cls.compiled_version == version) {
+        ++poll_stats_.compile_cache_hits;
+        continue;
+      }
+      StatusOr<CompiledQuery> compiled =
+          CompiledQuery::Compile(cls.generalized, &db_->database());
+      if (!compiled.ok()) return compiled.status();
+      cls.compiled = std::move(*compiled);
+      cls.compiled_version = version;
+      ++poll_stats_.compile_cache_misses;
+    } else {
+      Entry& entry = entries_[to_evaluate[task.items[0]]];
+      if (!entry.q.has_value()) {
+        // A batch member of a batchable class, selected while an explicit
+        // algorithm is in force: materialize its grounded form now.
+        BCDB_RETURN_IF_ERROR(GroundEntry(entry));
+      }
+      if (entry.compiled.has_value() && entry.compiled_version == version) {
+        ++poll_stats_.compile_cache_hits;
+        continue;
+      }
+      StatusOr<CompiledQuery> compiled =
+          CompiledQuery::Compile(*entry.q, &db_->database());
+      if (!compiled.ok()) return compiled.status();
+      entry.compiled = std::move(*compiled);
+      entry.compiled_version = version;
+      ++poll_stats_.compile_cache_misses;
+    }
+  }
+
+  // Per-task check options: serial (num_threads = 1 — with several standing
+  // classes the class-level fan-out already saturates the workers, and the
+  // engine's component pool is not re-entrant), with the escalated budget.
+  // A batch task shares one budget across the class, scaled by the largest
+  // participating member's escalation factor.
+  std::vector<DcSatOptions> task_options(tasks.size(), options);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    task_options[t].num_threads = 1;
+    double scale = 1.0;
+    const AnalysisReport* report;
+    if (tasks[t].batch) {
+      report = &classes_[tasks[t].class_id].report;
+      for (std::size_t i : tasks[t].items) {
+        scale = std::max(scale, entries_[to_evaluate[i]].budget_scale);
+      }
+    } else {
+      const Entry& entry = entries_[to_evaluate[tasks[t].items[0]]];
+      report = &*entry.report;
+      scale = entry.budget_scale;
+    }
+    const BudgetLimits base_budget = base_budget_for(*report);
+    task_options[t].budget =
+        scale > 1.0 ? base_budget.Scaled(scale) : base_budget;
+  }
+
+  // Phase 2: evaluate every task over the shared read-only snapshot. The
+  // pool is sized once to the requested width and reused across polls —
+  // only the number of submitted tasks tracks the dirty count, which
+  // fluctuates every poll in steady state.
+  // Verdicts are keyed by entry slot: a cached batch task reports outcomes
+  // in its cached member order, which is a permutation of its selected
+  // items — slot indexing makes the two meet without a per-poll remap.
+  std::vector<Verdict> verdicts(entries_.size(), Verdict::kUnknown);
+  std::vector<Status> statuses(tasks.size());
+  auto run_task = [&](std::size_t t) {
+    const PollTask& task = tasks[t];
+    if (task.batch) {
+      const TemplateClass& cls = classes_[task.class_id];
+      StatusOr<TemplateBatchResult> result =
+          task.use_cache
+              ? engine_.CheckTemplateBatch(*cls.compiled,
+                                           cls.template_equalities,
+                                           cls.cached_bindings,
+                                           cls.cached_index, task_options[t])
+              : [&] {
+                  std::vector<Tuple> bindings;
+                  bindings.reserve(task.items.size());
+                  for (std::size_t i : task.items) {
+                    bindings.push_back(entries_[to_evaluate[i]].binding);
+                  }
+                  return engine_.CheckTemplateBatch(*cls.compiled,
+                                                    cls.template_equalities,
+                                                    bindings, task_options[t]);
+                }();
+      if (!result.ok()) {
+        statuses[t] = result.status();
+        return;
+      }
+      if (task.use_cache) {
+        for (std::size_t j = 0; j < cls.cached_slots.size(); ++j) {
+          verdicts[cls.cached_slots[j]] = FromOutcome(result->outcomes[j]);
+        }
+      } else {
+        for (std::size_t j = 0; j < task.items.size(); ++j) {
+          verdicts[to_evaluate[task.items[j]]] =
+              FromOutcome(result->outcomes[j]);
+        }
+      }
+    } else {
+      StatusOr<Verdict> verdict =
+          EvaluateEntry(entries_[to_evaluate[task.items[0]]], task_options[t]);
+      if (verdict.ok()) {
+        verdicts[to_evaluate[task.items[0]]] = *verdict;
+      } else {
+        statuses[t] = verdict.status();
+      }
+    }
+  };
   const std::size_t pool_width =
       ThreadPool::EffectiveThreads(options.num_threads);
   const std::size_t num_workers =
-      to_evaluate.empty() ? 1 : std::min(pool_width, to_evaluate.size());
-  std::vector<Verdict> verdicts(to_evaluate.size(), Verdict::kUnknown);
-  std::vector<Status> statuses(to_evaluate.size());
+      tasks.empty() ? 1 : std::min(pool_width, tasks.size());
   if (num_workers > 1) {
     if (pool_ == nullptr || pool_->num_threads() != pool_width) {
       pool_ = std::make_shared<ThreadPool>(pool_width);
     }
     std::vector<std::future<void>> futures;
-    futures.reserve(to_evaluate.size());
-    for (std::size_t i = 0; i < to_evaluate.size(); ++i) {
-      futures.push_back(pool_->Submit([this, i, &to_evaluate, &entry_options,
-                                       &verdicts, &statuses] {
-        StatusOr<Verdict> verdict =
-            EvaluateEntry(entries_[to_evaluate[i]], entry_options[i]);
-        if (verdict.ok()) {
-          verdicts[i] = *verdict;
-        } else {
-          statuses[i] = verdict.status();
-        }
-      }));
+    futures.reserve(tasks.size());
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      futures.push_back(pool_->Submit([&run_task, t] { run_task(t); }));
     }
     // Join every future before an exception can propagate: rethrowing from
     // the first get() while sibling tasks still reference the stack-local
@@ -263,15 +605,7 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
     poll_stats_.threads_used = pool_->num_threads();
     poll_stats_.constraints_parallel += to_evaluate.size();
   } else {
-    for (std::size_t i = 0; i < to_evaluate.size(); ++i) {
-      StatusOr<Verdict> verdict =
-          EvaluateEntry(entries_[to_evaluate[i]], entry_options[i]);
-      if (verdict.ok()) {
-        verdicts[i] = *verdict;
-      } else {
-        statuses[i] = verdict.status();
-      }
-    }
+    for (std::size_t t = 0; t < tasks.size(); ++t) run_task(t);
     poll_stats_.threads_used = 1;
   }
 
@@ -283,11 +617,16 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
   for (const Status& status : statuses) {
     if (!status.ok()) return status;
   }
+  for (const PollTask& task : tasks) {
+    if (!task.batch) continue;
+    ++poll_stats_.classes_evaluated;
+    poll_stats_.constraints_batched += task.items.size();
+  }
   std::vector<Change> changes;
   for (std::size_t i = 0; i < to_evaluate.size(); ++i) {
     Entry& entry = entries_[to_evaluate[i]];
     ++poll_stats_.constraints_evaluated;
-    const Verdict verdict = verdicts[i];
+    const Verdict verdict = verdicts[to_evaluate[i]];
     if (verdict == Verdict::kUndecided) {
       ++poll_stats_.undecided_verdicts;
       ++entry.undecided_streak;
@@ -314,8 +653,10 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
       entry.backoff_remaining = 0;
     }
     if (verdict != entry.verdict) {
-      changes.push_back(Change{MonitorHandle(to_evaluate[i]), entry.label,
-                               entry.verdict, verdict});
+      changes.push_back(Change{MonitorHandle(to_evaluate[i], uid_),
+                               entry.label, entry.verdict, verdict,
+                               classes_[entry.class_id].label,
+                               BindingSummary(entry.binding)});
       entry.verdict = verdict;
     }
   }

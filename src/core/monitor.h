@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -12,6 +13,8 @@
 
 #include "core/dcsat.h"
 #include "query/ast.h"
+#include "query/template.h"
+#include "relational/tuple.h"
 #include "util/bitset.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -20,8 +23,14 @@ namespace bcdb {
 
 /// Opaque typed handle to a standing constraint of a ConstraintMonitor.
 /// Default-constructed handles are invalid; valid handles come only from
-/// ConstraintMonitor::Add and stay stable for the monitor's lifetime —
-/// Remove tombstones the slot, it is never reused for a later Add.
+/// ConstraintMonitor::Add / Bind and stay stable for the monitor's lifetime —
+/// Remove tombstones the slot, it is never reused for a later registration.
+///
+/// Handles carry the identity of the monitor that minted them: a handle
+/// presented to a *different* monitor is rejected (and compares unequal to
+/// that monitor's own handles) even when the slot indices collide, so the
+/// classic mix-up — two monitors, both with an entry #3 — is caught instead
+/// of silently reading the wrong constraint.
 class MonitorHandle {
  public:
   /// An invalid handle (valid() == false).
@@ -32,18 +41,46 @@ class MonitorHandle {
   std::size_t value() const { return index_; }
 
   friend bool operator==(MonitorHandle a, MonitorHandle b) {
-    return a.index_ == b.index_;
+    return a.index_ == b.index_ && a.owner_ == b.owner_;
   }
-  friend bool operator!=(MonitorHandle a, MonitorHandle b) {
-    return a.index_ != b.index_;
+  friend bool operator!=(MonitorHandle a, MonitorHandle b) { return !(a == b); }
+
+ private:
+  friend class ConstraintMonitor;
+  MonitorHandle(std::size_t index, std::uint64_t owner)
+      : index_(index), owner_(owner) {}
+
+  static constexpr std::size_t kInvalid = ~std::size_t{0};
+  std::size_t index_ = kInvalid;
+  std::uint64_t owner_ = 0;  // Minting monitor's uid; 0 = none.
+};
+
+/// Opaque typed handle to a registered constraint template (a *class* of
+/// standing constraints). Same identity rules as MonitorHandle: owned by the
+/// monitor that minted it, rejected elsewhere. Template classes are never
+/// removed; the handle stays valid for the monitor's lifetime.
+class TemplateHandle {
+ public:
+  TemplateHandle() = default;
+
+  bool valid() const { return index_ != kInvalid; }
+  std::size_t value() const { return index_; }
+
+  friend bool operator==(TemplateHandle a, TemplateHandle b) {
+    return a.index_ == b.index_ && a.owner_ == b.owner_;
+  }
+  friend bool operator!=(TemplateHandle a, TemplateHandle b) {
+    return !(a == b);
   }
 
  private:
   friend class ConstraintMonitor;
-  explicit MonitorHandle(std::size_t index) : index_(index) {}
+  TemplateHandle(std::size_t index, std::uint64_t owner)
+      : index_(index), owner_(owner) {}
 
   static constexpr std::size_t kInvalid = ~std::size_t{0};
   std::size_t index_ = kInvalid;
+  std::uint64_t owner_ = 0;
 };
 
 struct MonitorOptions {
@@ -58,6 +95,17 @@ struct MonitorOptions {
   /// alter which tuple combinations are jointly possible) — and re-check
   /// on *any* mutation, skipping only fully quiescent polls.
   bool dirty_tracking = true;
+  /// Evaluate every batch-admitted template class with one shared check per
+  /// poll (DcSatEngine::CheckTemplateBatch) instead of one check per bound
+  /// member: one compiled query, one component decomposition, one clique
+  /// enumeration per class — per-member work shrinks to a hash lookup at the
+  /// leaves, so per-poll cost tracks the number of *classes*, not members.
+  /// Verdicts are identical to the per-member path (under unlimited budgets;
+  /// a budget is shared per class, so *which* members come back kUndecided
+  /// at expiry may differ). Polls that force an explicit algorithm
+  /// (options.algorithm != kAuto) fall back to per-member evaluation, which
+  /// honors the requested algorithm exactly.
+  bool enable_template_batching = true;
   /// Default per-constraint check budget applied by Poll whenever the
   /// caller's DcSatOptions leaves its own budget unlimited. With both
   /// unlimited (the default), checks run to completion exactly as before;
@@ -72,7 +120,8 @@ struct MonitorOptions {
   BudgetLimits budget;
   /// Escalation: each consecutive undecided verdict multiplies the entry's
   /// next budget by this factor (a later poll retries with more room), up
-  /// to max_budget_scale. 1 disables growth.
+  /// to max_budget_scale. 1 disables growth. A batched class runs under the
+  /// largest participating member's scale.
   double budget_growth = 2.0;
   /// Ceiling on the cumulative escalation factor.
   double max_budget_scale = 64.0;
@@ -90,14 +139,24 @@ struct MonitorOptions {
 /// already on the chain, still possible in some future, or impossible in
 /// every future.
 ///
-/// Poll evaluates independent constraints concurrently over a read-only
-/// snapshot: the engine's steady-state caches are refreshed once
+/// Registration is organized around *constraint templates*: a template is a
+/// constraint with named constant placeholders (`$addr`, `$limit`, ...), and
+/// each RegisterTemplate + Bind pair registers one ground member of that
+/// class. Plain Add still accepts ground constraints and internally
+/// canonicalizes them — constants are extracted into a binding and the
+/// constant-free skeleton is hashed, so a million near-identical Adds
+/// collapse onto one class. Poll exploits the grouping: a batch-admitted
+/// class is decided by ONE shared check per poll regardless of how many
+/// members are bound (see MonitorOptions::enable_template_batching).
+///
+/// Poll evaluates independent constraint classes concurrently over a
+/// read-only snapshot: the engine's steady-state caches are refreshed once
 /// (single-threaded, incrementally from the mutation-delta log when
 /// possible), every standing query is compiled once per database version
 /// (the compiled-query cache — steady-state polling stops paying
 /// compilation), only *dirty* constraints — those whose referenced
 /// relations intersect the transactions changed since the previous poll —
-/// are re-evaluated, and only then is the per-constraint work fanned out.
+/// are re-evaluated, and only then is the per-class work fanned out.
 /// Concurrent Poll calls serialize on an internal mutex; mutating the
 /// database concurrently with Poll is not supported.
 class ConstraintMonitor {
@@ -118,6 +177,14 @@ class ConstraintMonitor {
     std::string label;
     Verdict before;
     Verdict after;
+    /// Label of the template class the entry belongs to (the canonical
+    /// skeleton for classes Add created implicitly) — a stable aggregation
+    /// key: dashboards fold a million per-member changes into per-class
+    /// rows without re-deriving the grouping.
+    std::string template_label;
+    /// Display form of the member's parameter binding, e.g. "(42, 'a1b2')";
+    /// "()" for parameterless constraints.
+    std::string binding_summary;
   };
 
   /// Cumulative counters for the steady-state behaviour of Poll.
@@ -132,6 +199,8 @@ class ConstraintMonitor {
     std::size_t undecided_verdicts = 0;  // Checks whose budget expired.
     std::size_t budget_escalations = 0;  // Retries granted a larger budget.
     std::size_t backoff_skips = 0;  // Undecided entries sat out (backoff).
+    std::size_t classes_evaluated = 0;  // Shared batch checks run.
+    std::size_t constraints_batched = 0;  // Entries decided by batch checks.
   };
 
   /// `db` must outlive the monitor. The monitor subscribes to the
@@ -151,20 +220,59 @@ class ConstraintMonitor {
   /// malformed constraint never reaches Poll. The accepted entry keeps its
   /// AnalysisReport (see analysis()) and uses the inferred footprint,
   /// monotonicity, and tractability class for dirty tracking and dispatch.
+  ///
+  /// Internally the constraint is canonicalized: every constant is
+  /// extracted into a parameter binding and the constant-free skeleton
+  /// (plus IND-closed footprint) keys a template class, so structurally
+  /// identical Adds share one class — and, when the class is batch
+  /// admitted, one shared check per poll.
   StatusOr<MonitorHandle> Add(std::string label, DenialConstraint q);
 
   /// Convenience overload: parses `query_text` first, so callers with
   /// textual constraints skip the parse boilerplate.
   StatusOr<MonitorHandle> Add(std::string label, std::string_view query_text);
 
-  /// Unregisters a standing constraint. The slot is tombstoned, never
-  /// reused: other handles stay valid, size() drops by one, and the removed
-  /// handle reports kUnknown / an empty label from now on. Returns false
-  /// when the handle is invalid, out of range, or already removed.
-  bool Remove(MonitorHandle handle);
+  /// Registers a constraint template — a constraint with `$name` constant
+  /// placeholders — as a new class. The template analyzer runs here:
+  /// binding-independent errors (unknown relation, arity mismatch, unsafe
+  /// variable, ...) fail the registration, and the class is admitted for
+  /// batch evaluation when the analysis proves it projectable (Boolean,
+  /// non-aggregate, positive, every parameter in some positive atom).
+  /// Each call creates a distinct class, even for an identical template —
+  /// the label names the class in Change records and introspection.
+  StatusOr<TemplateHandle> RegisterTemplate(std::string label,
+                                            ConstraintTemplate tmpl);
+
+  /// Convenience overload: parses `template_text` (placeholder syntax
+  /// `$name`) first.
+  StatusOr<TemplateHandle> RegisterTemplate(std::string label,
+                                            std::string_view template_text);
+
+  /// Binds one member of a template class: `binding[i]` substitutes the
+  /// template's `param_names()[i]`. The member behaves exactly like an Add
+  /// of the instantiated constraint — own handle, own verdict, own Change
+  /// records — but is evaluated through the class's shared batch check when
+  /// the class is admitted. Fails with InvalidArgument on a handle from
+  /// another monitor, a binding of the wrong arity, or binding values whose
+  /// types the instantiated constraint would be rejected for.
+  StatusOr<MonitorHandle> Bind(TemplateHandle tmpl,
+                               const std::vector<Value>& binding);
+
+  /// Unregisters a standing constraint (an Add entry or a bound template
+  /// member — removing one member leaves its class and siblings untouched).
+  /// The slot is tombstoned, never reused: other handles stay valid, size()
+  /// drops by one, and the removed handle reports kUnknown / an empty label
+  /// from now on. Fails with InvalidArgument when the handle is invalid,
+  /// out of range, or minted by a different monitor, and with NotFound when
+  /// the entry was already removed.
+  Status Remove(MonitorHandle handle);
 
   /// Number of live (added and not removed) constraints.
   std::size_t size() const { return live_count_; }
+
+  /// Number of template classes (explicitly registered plus those Add
+  /// created by canonicalization). Classes are never removed.
+  std::size_t num_classes() const { return classes_.size(); }
 
   /// Verdict of `handle` as of the last Poll; kUnknown for invalid,
   /// out-of-range, removed, or never-polled handles.
@@ -174,7 +282,8 @@ class ConstraintMonitor {
   }
 
   /// Label of `handle`; the empty string for invalid, out-of-range, or
-  /// removed handles.
+  /// removed handles. Bound members are labeled
+  /// "<template label>[<binding summary>]".
   const std::string& label(MonitorHandle handle) const {
     static const std::string kNoLabel;
     const Entry* entry = Find(handle);
@@ -183,18 +292,51 @@ class ConstraintMonitor {
 
   /// The static analysis the entry was admitted under (classification,
   /// footprint, diagnostics); nullptr for invalid or removed handles.
+  /// Add entries report their own grounded analysis; batch-evaluated
+  /// template members report the class-level analysis (binding-independent
+  /// by construction).
   const AnalysisReport* analysis(MonitorHandle handle) const {
     const Entry* entry = Find(handle);
-    return entry != nullptr ? &entry->report : nullptr;
+    if (entry == nullptr) return nullptr;
+    if (entry->report.has_value()) return &*entry->report;
+    return &classes_[entry->class_id].report;
+  }
+
+  /// Label of a template class; empty for foreign/invalid handles.
+  const std::string& template_label(TemplateHandle tmpl) const {
+    static const std::string kNoLabel;
+    const TemplateClass* cls = FindClass(tmpl);
+    return cls != nullptr ? cls->label : kNoLabel;
+  }
+
+  /// The class-level analysis a template was admitted under; nullptr for
+  /// foreign/invalid handles.
+  const AnalysisReport* template_analysis(TemplateHandle tmpl) const {
+    const TemplateClass* cls = FindClass(tmpl);
+    return cls != nullptr ? &cls->report : nullptr;
+  }
+
+  /// Whether the class is admitted for shared batch evaluation.
+  bool template_batchable(TemplateHandle tmpl) const {
+    const TemplateClass* cls = FindClass(tmpl);
+    return cls != nullptr && cls->batchable;
+  }
+
+  /// The class's canonicalization key (α-renamed skeleton + IND-closed
+  /// footprint) — equal keys mean Add would have merged the classes.
+  const std::string& class_key(TemplateHandle tmpl) const {
+    static const std::string kNoKey;
+    const TemplateClass* cls = FindClass(tmpl);
+    return cls != nullptr ? cls->key : kNoKey;
   }
 
   /// Re-evaluates the dirty standing constraints against the current
   /// database state and returns the transitions since the previous poll
   /// (first poll reports every constraint as a transition from kUnknown).
-  /// `options.num_threads` picks the cross-constraint fan-out width
-  /// (0 = hardware concurrency, 1 = serial); each constraint's own check
-  /// runs serially — with many standing constraints, constraint-level
-  /// parallelism subsumes component-level parallelism.
+  /// `options.num_threads` picks the cross-class fan-out width
+  /// (0 = hardware concurrency, 1 = serial); each class's own check runs
+  /// serially — with many standing classes, class-level parallelism
+  /// subsumes component-level parallelism.
   StatusOr<std::vector<Change>> Poll(const DcSatOptions& options = {});
 
   const PollStats& poll_stats() const { return poll_stats_; }
@@ -202,44 +344,114 @@ class ConstraintMonitor {
   const DcSatEngine& engine() const { return engine_; }
 
  private:
-  struct Entry {
+  /// One template class: the unit of batch evaluation, dirty tracking, and
+  /// compiled-query caching. Add-created classes are deduplicated by `key`;
+  /// RegisterTemplate always creates a fresh class.
+  struct TemplateClass {
     std::string label;
-    DenialConstraint q;
-    /// The admission-time static analysis: classification (drives the
-    /// engine dispatch and the budget exemption), footprint, monotonicity.
+    ConstraintTemplate tmpl;
+    /// Canonical skeleton + IND-closed footprint: the isomorphism key.
+    std::string key;
+    /// Class-level analysis: the generalized query's report for batchable
+    /// classes (monotonicity, connectivity, tractability, and footprint are
+    /// binding-independent facts), a dummy-typed instance's otherwise.
     AnalysisReport report;
+    /// Admitted for the shared batch evaluator.
+    bool batchable = false;
+    /// The analyzer's IND-closed footprint — the dirty-filter key. A
+    /// mutation in R can change the possible worlds of an S-tuple when
+    /// S[x] ⊆ R[a] ties them together, so members over S must re-evaluate
+    /// on R churn even though the constraint never mentions R.
+    std::vector<std::size_t> relation_ids;
+    /// Not proved monotone (class-level — monotonicity is structural, so
+    /// it holds for every binding): never skipped by the dirty filter.
+    bool always_dirty = false;
+    /// Entry slots ever bound to this class (including removed ones).
+    std::vector<std::size_t> members;
+    std::size_t live_members = 0;
+    // Batch machinery (batchable classes only): the generalized query —
+    // parameters projected into head variables — its template-level
+    // equality skeleton, and the per-version compiled form.
+    DenialConstraint generalized;
+    std::vector<EqualityConstraint> template_equalities;
+    std::optional<CompiledQuery> compiled;
+    std::uint64_t compiled_version = ~std::uint64_t{0};
+    // Batch-poll cache: the live members' bindings, their entry slots, and
+    // the dedup index CheckTemplateBatch consumes. Membership changes (Bind
+    // / Remove) bump members_version; the cache is rebuilt lazily on the
+    // next poll that selects the full live membership — the steady state —
+    // making per-poll batch setup O(1) instead of re-copying and re-hashing
+    // every binding. Polls that select a strict subset (members backing
+    // off) bypass the cache and build their binding list ad hoc.
+    std::uint64_t members_version = 0;
+    std::uint64_t cached_members_version = ~std::uint64_t{0};
+    std::vector<Tuple> cached_bindings;
+    std::vector<std::size_t> cached_slots;  // Entry slot per cached binding.
+    TemplateBindingIndex cached_index;
+  };
+
+  /// One standing constraint: a (class, binding) pair.
+  struct Entry {
+    std::size_t class_id = 0;
+    std::string label;
+    /// The member's parameter values (interned, template order); empty for
+    /// parameterless constraints.
+    Tuple binding;
     Verdict verdict = Verdict::kUnknown;
     bool removed = false;
-    /// Relations whose mutations can change q's verdict — the analyzer's
-    /// IND-closed footprint: the relations q references (positive and
-    /// negated atoms), closed under the coupling induced by the database's
-    /// inclusion dependencies. An IND S[x] ⊆ R[a] lets a mutation in R
-    /// change which worlds an S-tuple can inhabit, so an entry over S must
-    /// also watch R.
-    std::vector<std::size_t> relation_ids;
-    /// Not proved monotone (from the report): never skipped by the dirty
-    /// filter (see MonitorOptions::dirty_tracking).
-    bool always_dirty = false;
     /// Budget escalation state (see MonitorOptions): consecutive undecided
     /// verdicts, the cumulative budget multiplier the next check gets, and
     /// how many polls the entry still sits out before being retried.
     std::size_t undecided_streak = 0;
     double budget_scale = 1.0;
     std::size_t backoff_remaining = 0;
-    // Compiled-query cache, keyed on the database version at compile time.
+    // Grounded machinery, used when the entry is evaluated individually
+    // (non-batchable class, batching disabled, or an explicit-algorithm
+    // poll): the instantiated constraint, its own analysis, and the
+    // per-version compiled form. Materialized eagerly by Add and by Bind
+    // into a non-batched class, lazily otherwise.
+    std::optional<DenialConstraint> q;
+    std::optional<AnalysisReport> report;
     std::optional<CompiledQuery> compiled;
     std::uint64_t compiled_version = ~std::uint64_t{0};
   };
 
-  /// The live entry behind `handle`, or nullptr.
+  /// The live entry behind `handle`, or nullptr. Handles minted by a
+  /// different monitor never resolve, whatever their index.
   const Entry* Find(MonitorHandle handle) const {
-    if (!handle.valid() || handle.value() >= entries_.size()) return nullptr;
+    if (!handle.valid() || handle.owner_ != uid_ ||
+        handle.value() >= entries_.size()) {
+      return nullptr;
+    }
     const Entry& entry = entries_[handle.value()];
     return entry.removed ? nullptr : &entry;
   }
 
-  /// Whether `entry` must be re-evaluated this poll.
-  bool IsDirty(const Entry& entry) const;
+  /// The class behind `tmpl`, or nullptr (foreign/invalid handles).
+  const TemplateClass* FindClass(TemplateHandle tmpl) const {
+    if (!tmpl.valid() || tmpl.owner_ != uid_ ||
+        tmpl.value() >= classes_.size()) {
+      return nullptr;
+    }
+    return &classes_[tmpl.value()];
+  }
+
+  /// Builds a TemplateClass from an analyzed template; returns its id.
+  std::size_t CreateClass(std::string label, ConstraintTemplate tmpl,
+                          TemplateAnalysis analysis);
+
+  /// Appends a member entry of `class_id`; returns its handle.
+  MonitorHandle AppendEntry(Entry entry);
+
+  /// Materializes the grounded machinery (instantiated constraint + its
+  /// analysis) for an entry that so far only existed as a class binding.
+  Status GroundEntry(Entry& entry);
+
+  /// "(v0, v1, ...)" display form of a binding tuple.
+  static std::string BindingSummary(const Tuple& binding);
+
+  /// Whether any of the class's footprint relations was dirtied.
+  bool ClassIsDirty(const TemplateClass& cls) const;
 
   /// Folds the relations of transactions whose validity changed since the
   /// previous poll into dirty_relations_ (covers cascade invalidations the
@@ -251,12 +463,20 @@ class ConstraintMonitor {
 
   /// Verdict of one entry over the current (cache-fresh) database state.
   /// Thread-safe: touches only const state and the entry's compiled query.
+  /// Requires grounded machinery (see GroundEntry).
   StatusOr<Verdict> EvaluateEntry(const Entry& entry,
                                   const DcSatOptions& options) const;
 
   BlockchainDatabase* db_;
   MonitorOptions options_;
   DcSatEngine engine_;
+  /// This monitor's process-unique identity, stamped into every handle.
+  std::uint64_t uid_;
+  std::vector<TemplateClass> classes_;
+  /// Canonicalization key -> class id, for the classes Add creates. Classes
+  /// from RegisterTemplate are intentionally absent: each registration is
+  /// its own class, owned by its label.
+  std::map<std::string, std::size_t> class_by_key_;
   std::vector<Entry> entries_;
   std::size_t live_count_ = 0;
   MutationListenerId listener_id_ = 0;

@@ -1,6 +1,8 @@
 #include "query/analysis.h"
 
+#include <array>
 #include <map>
+#include <set>
 
 #include "util/union_find.h"
 
@@ -223,6 +225,58 @@ StatusOr<std::vector<EqualityConstraint>> EqualitiesFromQuery(
         }
       }
       if (!eq.lhs_positions.empty()) result.push_back(std::move(eq));
+    }
+  }
+  return result;
+}
+
+StatusOr<std::vector<EqualityConstraint>> TemplateEqualitiesFromQuery(
+    const DenialConstraint& generalized, const Catalog& catalog) {
+  TermClasses classes(generalized);
+  UnionFind uf = classes.BuildUnionFind();
+
+  std::vector<std::size_t> relation_ids(generalized.positive_atoms.size());
+  for (std::size_t a = 0; a < generalized.positive_atoms.size(); ++a) {
+    StatusOr<std::size_t> rel_id =
+        catalog.RelationId(generalized.positive_atoms[a].relation);
+    if (!rel_id.ok()) return rel_id.status();
+    relation_ids[a] = *rel_id;
+  }
+
+  // A class is groundable when some binding fixes its value: it contains a
+  // constant or a `$`-variable (a projected template parameter).
+  std::map<std::size_t, bool> groundable;
+  for (const Atom& atom : generalized.positive_atoms) {
+    for (const Term& term : atom.args) {
+      const std::size_t root = uf.Find(classes.NodeOf(term));
+      const bool fixed =
+          !term.is_variable() ||
+          (!term.name().empty() && term.name()[0] == '$');
+      groundable[root] = groundable[root] || fixed;
+    }
+  }
+
+  std::vector<EqualityConstraint> result;
+  std::set<std::array<std::size_t, 4>> seen;
+  for (std::size_t a = 0; a < generalized.positive_atoms.size(); ++a) {
+    for (std::size_t b = a + 1; b < generalized.positive_atoms.size(); ++b) {
+      const Atom& atom_a = generalized.positive_atoms[a];
+      const Atom& atom_b = generalized.positive_atoms[b];
+      for (std::size_t i = 0; i < atom_a.args.size(); ++i) {
+        const std::size_t class_a = uf.Find(classes.NodeOf(atom_a.args[i]));
+        for (std::size_t j = 0; j < atom_b.args.size(); ++j) {
+          const std::size_t class_b = uf.Find(classes.NodeOf(atom_b.args[j]));
+          const bool potentially_equal =
+              class_a == class_b ||
+              (groundable[class_a] && groundable[class_b]);
+          if (!potentially_equal) continue;
+          if (!seen.insert({relation_ids[a], relation_ids[b], i, j}).second) {
+            continue;
+          }
+          result.push_back(EqualityConstraint{relation_ids[a], relation_ids[b],
+                                              {i}, {j}});
+        }
+      }
     }
   }
   return result;

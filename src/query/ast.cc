@@ -97,9 +97,12 @@ std::string DenialConstraint::ToString() const {
     head += aggregate->args[i].ToString();
   }
   head += "))";
+  const std::string threshold_text =
+      aggregate->threshold_param.has_value()
+          ? "$" + *aggregate->threshold_param
+          : aggregate->threshold.ToString();
   return "[" + head + " :- " + body + "] " +
-         ComparisonOpToString(aggregate->op) + " " +
-         aggregate->threshold.ToString();
+         ComparisonOpToString(aggregate->op) + " " + threshold_text;
 }
 
 }  // namespace bcdb

@@ -9,19 +9,32 @@
 
 namespace bcdb {
 
-/// A term in a query body: a named variable or a constant value.
+/// A term in a query body: a named variable, a constant value, or a named
+/// constant placeholder (`$name`, a ConstraintTemplate parameter).
+///
+/// Parameters are a *template-time* construct: ConstraintTemplate::Instantiate
+/// substitutes them with constants before compilation, and
+/// ConstraintTemplate::Generalized turns them into head variables for the
+/// batch evaluator. A raw parameter reaching CompiledQuery::Compile is an
+/// error ("bind it first"), so evaluation code never sees one.
 class Term {
  public:
   static Term Var(std::string name) {
     Term t;
-    t.is_var_ = true;
+    t.kind_ = Kind::kVar;
     t.name_ = std::move(name);
     return t;
   }
   static Term Const(Value value) {
     Term t;
-    t.is_var_ = false;
+    t.kind_ = Kind::kConst;
     t.value_ = std::move(value);
+    return t;
+  }
+  static Term Param(std::string name) {
+    Term t;
+    t.kind_ = Kind::kParam;
+    t.name_ = std::move(name);
     return t;
   }
   /// Shorthand constant constructors.
@@ -29,23 +42,35 @@ class Term {
   static Term Const(const char* v) { return Const(Value::Str(v)); }
   static Term Const(std::string v) { return Const(Value::Str(std::move(v))); }
 
-  bool is_variable() const { return is_var_; }
-  /// Requires is_variable().
+  bool is_variable() const { return kind_ == Kind::kVar; }
+  bool is_param() const { return kind_ == Kind::kParam; }
+  /// Requires is_variable() || is_param().
   const std::string& name() const { return name_; }
-  /// Requires !is_variable().
+  /// Requires !is_variable() && !is_param().
   const Value& value() const { return value_; }
 
   bool operator==(const Term& other) const {
-    if (is_var_ != other.is_var_) return false;
-    return is_var_ ? name_ == other.name_ : value_ == other.value_;
+    if (kind_ != other.kind_) return false;
+    return kind_ == Kind::kConst ? value_ == other.value_
+                                 : name_ == other.name_;
   }
 
   std::string ToString() const {
-    return is_var_ ? name_ : value_.ToString();
+    switch (kind_) {
+      case Kind::kVar:
+        return name_;
+      case Kind::kParam:
+        return "$" + name_;
+      case Kind::kConst:
+        break;
+    }
+    return value_.ToString();
   }
 
  private:
-  bool is_var_ = false;
+  enum class Kind { kConst, kVar, kParam };
+
+  Kind kind_ = Kind::kConst;
   std::string name_;
   Value value_;
 };
@@ -102,6 +127,10 @@ struct AggregateSpec {
   std::vector<Term> args;
   ComparisonOp op = ComparisonOp::kGt;
   Value threshold;
+  /// When set, the threshold is the template parameter `$threshold_param`
+  /// rather than the `threshold` constant. Must be substituted (via
+  /// ConstraintTemplate::Instantiate) before compilation.
+  std::optional<std::string> threshold_param;
 };
 
 /// A denial constraint: a Boolean (possibly aggregate) query `q` that the

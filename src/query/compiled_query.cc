@@ -75,6 +75,36 @@ StatusOr<CompiledQuery> CompiledQuery::Compile(const DenialConstraint& q,
                                    "' has no positive atoms");
   }
 
+  // --- Reject unbound template parameters before anything else sees them. ---
+  {
+    const Term* param = nullptr;
+    auto scan = [&](const std::vector<Term>& terms) {
+      for (const Term& t : terms) {
+        if (t.is_param() && param == nullptr) param = &t;
+      }
+    };
+    for (const Atom& atom : q.positive_atoms) scan(atom.args);
+    for (const Atom& atom : q.negated_atoms) scan(atom.args);
+    for (const Comparison& cmp : q.comparisons) {
+      if (cmp.lhs.is_param() && param == nullptr) param = &cmp.lhs;
+      if (cmp.rhs.is_param() && param == nullptr) param = &cmp.rhs;
+    }
+    if (q.aggregate.has_value()) scan(q.aggregate->args);
+    std::string param_name;
+    if (param != nullptr) {
+      param_name = param->name();
+    } else if (q.aggregate.has_value() &&
+               q.aggregate->threshold_param.has_value()) {
+      param_name = *q.aggregate->threshold_param;
+    }
+    if (!param_name.empty()) {
+      return Status::InvalidArgument(
+          "unbound parameter '$" + param_name +
+          "' in query '" + q.name +
+          "'; bind it through a ConstraintTemplate before compiling");
+    }
+  }
+
   // --- Validate atoms and intern variables (positive atoms define them). ---
   VariableTable vars;
   std::vector<std::size_t> atom_relation_ids(q.positive_atoms.size());

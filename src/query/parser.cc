@@ -13,6 +13,7 @@ enum class TokenKind {
   kIdent,
   kNumber,
   kString,
+  kParam,   // $name (template placeholder)
   kLParen,
   kRParen,
   kLBracket,
@@ -83,6 +84,25 @@ class Lexer {
           }
           ++pos_;  // Closing quote.
           tokens.push_back({TokenKind::kString, std::move(text), start});
+          break;
+        }
+        case '$': {
+          ++pos_;
+          const std::size_t name_start = pos_;
+          while (pos_ < input_.size() &&
+                 (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                  input_[pos_] == '_')) {
+            ++pos_;
+          }
+          if (pos_ == name_start) {
+            return Status::InvalidArgument(
+                "expected parameter name after '$' at offset " +
+                std::to_string(start));
+          }
+          tokens.push_back(
+              {TokenKind::kParam,
+               std::string(input_.substr(name_start, pos_ - name_start)),
+               start});
           break;
         }
         case '(':
@@ -248,7 +268,11 @@ class Parser {
       if (threshold->is_variable()) {
         return Status::InvalidArgument("aggregate threshold must be a constant");
       }
-      q.aggregate->threshold = threshold->value();
+      if (threshold->is_param()) {
+        q.aggregate->threshold_param = threshold->name();
+      } else {
+        q.aggregate->threshold = threshold->value();
+      }
     }
 
     if (Current().kind == TokenKind::kPeriod) Advance();
@@ -304,6 +328,11 @@ class Parser {
       }
       case TokenKind::kString: {
         Term term = Term::Const(Value::Str(token.text));
+        Advance();
+        return term;
+      }
+      case TokenKind::kParam: {
+        Term term = Term::Param(token.text);
         Advance();
         return term;
       }

@@ -1,0 +1,111 @@
+#ifndef BCDB_QUERY_TEMPLATE_H_
+#define BCDB_QUERY_TEMPLATE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace bcdb {
+
+/// A position inside a DenialConstraint where a template parameter occurs.
+struct ParamSite {
+  enum class Kind {
+    kPositiveAtom,
+    kNegatedAtom,
+    kComparison,
+    kAggregateArg,
+    kAggregateThreshold,
+  };
+
+  Kind kind = Kind::kPositiveAtom;
+  /// Index into the corresponding constraint list (atom / comparison index);
+  /// unused for kAggregateThreshold.
+  std::size_t element_index = 0;
+  /// Argument position inside the atom (or aggregate argument list). For
+  /// kComparison, 0 = lhs and 1 = rhs.
+  std::size_t arg_index = 0;
+};
+
+struct CanonicalizedConstraint;
+
+/// A denial constraint with named constant placeholders (`$name`).
+///
+/// Templates are the unit of *class* registration in the monitor: millions of
+/// structurally identical constraints differing only in constants share one
+/// template and are registered as per-binding instances via
+/// `ConstraintMonitor::Bind`. `Instantiate` substitutes a binding (one Value
+/// per parameter, in `param_names()` order) to recover an ordinary ground
+/// constraint; `Generalized` turns parameters into head variables so the
+/// whole class can be evaluated as a single answer-producing query.
+class ConstraintTemplate {
+ public:
+  /// An empty template (no constraint, no parameters); assign a real one
+  /// from Create/Parse/Canonicalize before use.
+  ConstraintTemplate() = default;
+
+  /// Wraps a parsed constraint, collecting parameter occurrences. Parameter
+  /// order is first occurrence in a fixed traversal: positive atoms, negated
+  /// atoms, comparisons (lhs before rhs), aggregate arguments, aggregate
+  /// threshold.
+  static StatusOr<ConstraintTemplate> Create(DenialConstraint constraint);
+
+  /// Parses `text` (which may contain `$name` placeholders) and Creates.
+  static StatusOr<ConstraintTemplate> Parse(std::string_view text);
+
+  /// Canonicalizes a ground constraint into a template plus binding by
+  /// extracting every constant (except aggregate thresholds) into a
+  /// parameter. Equal constants share one parameter, so `R(1, 1)` and
+  /// `R(1, 2)` canonicalize into *different* templates — constant coupling
+  /// is part of the structure. Constraints that already contain parameters
+  /// are rejected.
+  static StatusOr<CanonicalizedConstraint> Canonicalize(
+      const DenialConstraint& constraint);
+
+  /// Substitutes `binding[i]` for parameter `param_names()[i]` everywhere,
+  /// yielding a ground constraint.
+  StatusOr<DenialConstraint> Instantiate(const std::vector<Value>& binding) const;
+
+  /// An α-renamed rendering (query name -> "q", variables -> v0, v1, ...,
+  /// parameters -> p0, p1, ..., by first occurrence): two templates have
+  /// equal skeletons iff they are isomorphic up to naming.
+  std::string CanonicalSkeleton() const;
+
+  /// Whether the class can be batch-evaluated by projecting parameters into
+  /// head variables: Boolean, non-aggregate, no negated atoms, at least one
+  /// parameter, and every parameter occurs in some positive atom.
+  bool projectable() const { return projectable_; }
+
+  /// The parameterized constraint with every parameter `p` replaced by a
+  /// fresh variable `$p`, and head variables `$p0, $p1, ...` in
+  /// `param_names()` order. Only meaningful when `projectable()`.
+  DenialConstraint Generalized() const;
+
+  const DenialConstraint& constraint() const { return constraint_; }
+  const std::vector<std::string>& param_names() const { return param_names_; }
+  std::size_t num_params() const { return param_names_.size(); }
+  /// Occurrence sites per parameter, parallel to `param_names()`.
+  const std::vector<std::vector<ParamSite>>& param_sites() const {
+    return param_sites_;
+  }
+
+ private:
+  DenialConstraint constraint_;
+  std::vector<std::string> param_names_;
+  std::vector<std::vector<ParamSite>> param_sites_;
+  bool projectable_ = false;
+};
+
+/// Result of ConstraintTemplate::Canonicalize.
+struct CanonicalizedConstraint {
+  ConstraintTemplate tmpl;
+  /// The extracted constants, in `tmpl.param_names()` order.
+  std::vector<Value> binding;
+};
+
+}  // namespace bcdb
+
+#endif  // BCDB_QUERY_TEMPLATE_H_

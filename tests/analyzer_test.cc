@@ -8,6 +8,7 @@
 #include "core/dcsat.h"
 #include "core/monitor.h"
 #include "query/parser.h"
+#include "query/template.h"
 
 namespace bcdb {
 namespace {
@@ -448,7 +449,7 @@ TEST(MonitorRegistrationTest, AcceptedEntryExposesAnalysis) {
   // The IND-closed footprint watches R as well as S.
   EXPECT_EQ(report->footprint.size(), 2u);
   EXPECT_TRUE(report->monotone);
-  monitor.Remove(*handle);
+  EXPECT_TRUE(monitor.Remove(*handle).ok());
   EXPECT_EQ(monitor.analysis(*handle), nullptr);
 }
 
@@ -514,6 +515,46 @@ TEST(LintFormatTest, TextRendersCaretUnderSpan) {
   EXPECT_NE(text.find("f.dc:2: error: no Nope [unknown-relation]"),
             std::string::npos);
   EXPECT_NE(text.find("       ^~~~"), std::string::npos);
+}
+
+TEST(LintFormatTest, TemplateLinesCarryClassKeyAndAdmission) {
+  Database db(MakeCatalog());
+  ConstraintSet constraints;
+  auto tmpl = ConstraintTemplate::Parse("q() :- R($a, y)");
+  ASSERT_TRUE(tmpl.ok()) << tmpl.status().message();
+  const TemplateAnalysis analysis = AnalyzeTemplate(*tmpl, db, constraints);
+  ASSERT_TRUE(analysis.report.ok());
+  EXPECT_TRUE(analysis.batchable);
+
+  LintedConstraint c;
+  c.text = "q() :- R($a, y)";
+  c.line = 4;
+  c.report = analysis.report;
+  c.is_template = true;
+  c.batchable = analysis.batchable;
+  c.num_params = tmpl->num_params();
+  c.class_key = analysis.class_key;
+
+  const std::string text = FormatConstraintText("f.dc", c);
+  EXPECT_NE(text.find("f.dc:4: template (1 param)"), std::string::npos);
+  EXPECT_NE(text.find("batch-admitted"), std::string::npos);
+  EXPECT_NE(text.find("f.dc:4: class key: " + analysis.class_key),
+            std::string::npos);
+
+  const std::string json = FormatFileJson("f.dc", {c});
+  EXPECT_NE(json.find("\"template\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"params\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"batchable\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"class_key\": \"" + JsonEscape(analysis.class_key) +
+                      "\""),
+            std::string::npos);
+
+  // An alpha-renamed registration of the same skeleton shares the key: the
+  // lint output is how an operator spots fleets that will share one class.
+  auto renamed = ConstraintTemplate::Parse("q() :- R($other, z)");
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_EQ(AnalyzeTemplate(*renamed, db, constraints).class_key,
+            analysis.class_key);
 }
 
 }  // namespace

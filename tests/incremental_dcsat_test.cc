@@ -164,7 +164,8 @@ void ExpectMonitorEquivalence(ConstraintMonitor& monitor,
                               BlockchainDatabase& db,
                               const std::string& context) {
   ASSERT_TRUE(monitor.Poll().ok()) << context;
-  ConstraintMonitor fresh(&db, MonitorOptions{ScratchOptions(), false});
+  ConstraintMonitor fresh(&db, MonitorOptions{.steady = ScratchOptions(),
+                                              .dirty_tracking = false});
   std::vector<MonitorHandle> fresh_handles;
   for (const char* text : kMonitorQueries) {
     auto handle = fresh.Add(text, text);

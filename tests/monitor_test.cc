@@ -186,7 +186,11 @@ TEST(ConstraintMonitorTest, PoolWidthStableAcrossDirtyCounts) {
     ASSERT_TRUE(db->AddPending(r_txn).ok());
   }
 
-  ConstraintMonitor monitor(&*db);
+  // Per-member fan-out is what sizes the pool; template batching would
+  // collapse the six entries into two class tasks, so it is disabled here.
+  MonitorOptions no_batching;
+  no_batching.enable_template_batching = false;
+  ConstraintMonitor monitor(&*db, no_batching);
   for (int c = 0; c < 4; ++c) {
     ASSERT_TRUE(monitor
                     .Add("r" + std::to_string(c),

@@ -185,8 +185,12 @@ DenialConstraint Q(const std::string& text) {
 TEST(ParallelMonitorTest, ParallelPollMatchesSerialVerdicts) {
   BlockchainDatabase serial_db = MakeRunningExample();
   BlockchainDatabase parallel_db = MakeRunningExample();
-  ConstraintMonitor serial_monitor(&serial_db);
-  ConstraintMonitor parallel_monitor(&parallel_db);
+  // Per-member fan-out is what this test measures; template batching would
+  // collapse the six same-class entries into one shared task.
+  MonitorOptions no_batching;
+  no_batching.enable_template_batching = false;
+  ConstraintMonitor serial_monitor(&serial_db, no_batching);
+  ConstraintMonitor parallel_monitor(&parallel_db, no_batching);
   const char* queries[] = {
       "q() :- TxOut(t, s, 'U8Pk', a)", "q() :- TxOut(t, s, 'U3Pk', a)",
       "q() :- TxOut(t, s, 'U9Pk', a)", "q() :- TxOut(t, s, 'U5Pk', a)",

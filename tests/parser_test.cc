@@ -103,6 +103,46 @@ TEST(ParserTest, RoundTripsThroughToString) {
   }
 }
 
+TEST(ParserTest, TemplateParams) {
+  auto q = ParseDenialConstraint("q() :- TxOut(t, s, $pk, a), a > $floor");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->positive_atoms.size(), 1u);
+  EXPECT_TRUE(q->positive_atoms[0].args[2].is_param());
+  EXPECT_EQ(q->positive_atoms[0].args[2].name(), "pk");
+  ASSERT_EQ(q->comparisons.size(), 1u);
+  EXPECT_TRUE(q->comparisons[0].rhs.is_param());
+  EXPECT_EQ(q->comparisons[0].rhs.name(), "floor");
+
+  auto agg = ParseDenialConstraint("[q(count()) :- R(x, y)] > $limit");
+  ASSERT_TRUE(agg.ok());
+  ASSERT_TRUE(agg->aggregate.has_value());
+  ASSERT_TRUE(agg->aggregate->threshold_param.has_value());
+  EXPECT_EQ(*agg->aggregate->threshold_param, "limit");
+}
+
+TEST(ParserTest, TemplateParamsRoundTrip) {
+  const char* templates[] = {
+      "q() :- TxOut(t, s, $pk, a)",
+      "q() :- R(x, $b), S(x, $c), x != $b",
+      "[q(sum(a)) :- TxOut(n, s, $pk, a)] >= $cap",
+  };
+  for (const char* text : templates) {
+    auto q1 = ParseDenialConstraint(text);
+    ASSERT_TRUE(q1.ok()) << text;
+    auto q2 = ParseDenialConstraint(q1->ToString());
+    ASSERT_TRUE(q2.ok()) << q1->ToString();
+    EXPECT_EQ(q1->ToString(), q2->ToString());
+  }
+}
+
+TEST(ParserTest, TemplateParamErrors) {
+  // '$' must be followed by a name.
+  EXPECT_FALSE(ParseDenialConstraint("q() :- R($, y)").ok());
+  EXPECT_FALSE(ParseDenialConstraint("q() :- R($ x, y)").ok());
+  // Params are constant placeholders, not head variables.
+  EXPECT_FALSE(ParseDenialConstraint("q($a) :- R($a, y)").ok());
+}
+
 TEST(ParserTest, HeadVariables) {
   auto q = ParseDenialConstraint("q(pk, a) :- TxOut(t, s, pk, a)");
   ASSERT_TRUE(q.ok());

@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/monitor.h"
+#include "query/parser.h"
+#include "util/rng.h"
+
+namespace bcdb {
+namespace {
+
+// Differential harness for template batching: a monitor with
+// enable_template_batching on must report verdicts identical to one with it
+// off (the per-member grounded path) for the same registrations over the
+// same database history — across registration styles (RegisterTemplate+Bind
+// fleets, plain Adds that canonicalize into shared classes, non-batchable
+// templates), churn (apply/discard/add-pending), and member removal. Under
+// unlimited budgets the batch evaluator is a pure optimization; any verdict
+// divergence is a bug.
+
+using Verdict = ConstraintMonitor::Verdict;
+
+DenialConstraint Q(const std::string& text) {
+  auto q = ParseDenialConstraint(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return *q;
+}
+
+BlockchainDatabase MakeInstance(std::uint64_t seed, bool keys, bool inds) {
+  Xoshiro256 rng(seed);
+  Catalog catalog;
+  EXPECT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "R", {Attribute{"a", ValueType::kInt, false},
+                            Attribute{"b", ValueType::kInt, false}}))
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "S", {Attribute{"x", ValueType::kInt, false},
+                            Attribute{"y", ValueType::kInt, true}}))
+                  .ok());
+  ConstraintSet constraints;
+  if (keys) {
+    constraints.AddFd(*FunctionalDependency::Key(catalog, "R", {"a"}));
+    constraints.AddFd(
+        *FunctionalDependency::Create(catalog, "S", {"x"}, {"y"}));
+  }
+  if (inds) {
+    constraints.AddInd(
+        *InclusionDependency::Create(catalog, "S", {"x"}, "R", {"a"}));
+  }
+  auto db =
+      BlockchainDatabase::Create(std::move(catalog), std::move(constraints));
+  EXPECT_TRUE(db.ok());
+
+  const std::size_t base_r = rng.NextBelow(3);
+  for (std::size_t a = 0; a < base_r; ++a) {
+    EXPECT_TRUE(db->InsertCurrent(
+                      "R", Tuple({Value::Int(static_cast<std::int64_t>(a)),
+                                  Value::Int(rng.NextInRange(0, 3))}))
+                    .ok());
+  }
+  const std::size_t num_pending = 3 + rng.NextBelow(4);
+  for (std::size_t t = 0; t < num_pending; ++t) {
+    Transaction txn("P" + std::to_string(t));
+    const std::size_t num_tuples = 1 + rng.NextBelow(3);
+    for (std::size_t i = 0; i < num_tuples; ++i) {
+      if (rng.NextBool(0.5)) {
+        txn.Add("R", Tuple({Value::Int(rng.NextInRange(0, 4)),
+                            Value::Int(rng.NextInRange(0, 3))}));
+      } else {
+        txn.Add("S", Tuple({Value::Int(rng.NextInRange(0, 4)),
+                            Value::Int(rng.NextInRange(0, 3))}));
+      }
+    }
+    EXPECT_TRUE(db->AddPending(txn).ok());
+  }
+  return std::move(*db);
+}
+
+struct Config {
+  const char* name;
+  bool keys;
+  bool inds;
+};
+
+constexpr Config kConfigs[] = {
+    {"fd-only", true, false},
+    {"ind-only", false, true},
+    {"mixed", true, true},
+};
+
+// One monitor per evaluation mode, registered identically.
+struct Pair {
+  BlockchainDatabase batched_db;
+  BlockchainDatabase grounded_db;
+  ConstraintMonitor batched;
+  ConstraintMonitor grounded;
+  // Parallel handle arrays: member i means the same registration in both.
+  std::vector<MonitorHandle> batched_handles;
+  std::vector<MonitorHandle> grounded_handles;
+  std::vector<std::string> names;
+
+  Pair(std::uint64_t seed, const Config& config)
+      : batched_db(MakeInstance(seed, config.keys, config.inds)),
+        grounded_db(MakeInstance(seed, config.keys, config.inds)),
+        batched(&batched_db),
+        grounded(&grounded_db, NoBatching()) {}
+
+  static MonitorOptions NoBatching() {
+    MonitorOptions options;
+    options.enable_template_batching = false;
+    return options;
+  }
+
+  void BindBoth(TemplateHandle bt, TemplateHandle gt,
+                const std::vector<Value>& binding, const std::string& name) {
+    auto b = batched.Bind(bt, binding);
+    auto g = grounded.Bind(gt, binding);
+    ASSERT_TRUE(b.ok()) << name << ": " << b.status();
+    ASSERT_TRUE(g.ok()) << name << ": " << g.status();
+    batched_handles.push_back(*b);
+    grounded_handles.push_back(*g);
+    names.push_back(name);
+  }
+
+  void AddBoth(const std::string& label, const std::string& text) {
+    auto b = batched.Add(label, Q(text));
+    auto g = grounded.Add(label, Q(text));
+    ASSERT_TRUE(b.ok()) << label << ": " << b.status();
+    ASSERT_TRUE(g.ok()) << label << ": " << g.status();
+    batched_handles.push_back(*b);
+    grounded_handles.push_back(*g);
+    names.push_back(label);
+  }
+
+  void PollAndCompare(const char* when) {
+    ASSERT_TRUE(batched.Poll().ok()) << when;
+    ASSERT_TRUE(grounded.Poll().ok()) << when;
+    for (std::size_t i = 0; i < batched_handles.size(); ++i) {
+      EXPECT_EQ(batched.verdict(batched_handles[i]),
+                grounded.verdict(grounded_handles[i]))
+          << when << ": " << names[i];
+    }
+  }
+};
+
+class TemplateDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TemplateDifferentialTest, BatchedMatchesGroundedAcrossChurn) {
+  for (const Config& config : kConfigs) {
+    SCOPED_TRACE(std::string(config.name) + " seed " +
+                 std::to_string(GetParam()));
+    const std::uint64_t seed =
+        GetParam() * 7 + (config.keys ? 1 : 0) + (config.inds ? 2 : 0);
+    Pair pair(seed, config);
+
+    // Fleet 1: single-param template over R's key column.
+    auto bt1 = pair.batched.RegisterTemplate("watch-a", "q() :- R($a, y)");
+    auto gt1 = pair.grounded.RegisterTemplate("watch-a", "q() :- R($a, y)");
+    ASSERT_TRUE(bt1.ok());
+    ASSERT_TRUE(gt1.ok());
+    for (std::int64_t a = 0; a < 5; ++a) {
+      pair.BindBoth(*bt1, *gt1, {Value::Int(a)},
+                    "watch-a(" + std::to_string(a) + ")");
+    }
+
+    // Fleet 2: two-param join template (CoNP-mixed under IND configs).
+    auto bt2 =
+        pair.batched.RegisterTemplate("join", "q() :- R(x, $b), S(x, $c)");
+    auto gt2 =
+        pair.grounded.RegisterTemplate("join", "q() :- R(x, $b), S(x, $c)");
+    ASSERT_TRUE(bt2.ok());
+    ASSERT_TRUE(gt2.ok());
+    for (std::int64_t b = 0; b < 3; ++b) {
+      for (std::int64_t c = 0; c < 3; ++c) {
+        pair.BindBoth(*bt2, *gt2, {Value::Int(b), Value::Int(c)},
+                      "join(" + std::to_string(b) + "," + std::to_string(c) +
+                          ")");
+      }
+    }
+
+    // Fleet 3: a non-batchable template ($t only in a comparison) exercises
+    // the grounded fallback inside the batching-enabled monitor.
+    auto bt3 = pair.batched.RegisterTemplate(
+        "gt", "q() :- S(x, y), R(x, b), b > $t");
+    auto gt3 = pair.grounded.RegisterTemplate(
+        "gt", "q() :- S(x, y), R(x, b), b > $t");
+    ASSERT_TRUE(bt3.ok());
+    ASSERT_TRUE(gt3.ok());
+    EXPECT_FALSE(pair.batched.template_batchable(*bt3));
+    for (std::int64_t t = 0; t < 2; ++t) {
+      pair.BindBoth(*bt3, *gt3, {Value::Int(t)},
+                    "gt(" + std::to_string(t) + ")");
+    }
+
+    // Plain Adds: same-skeleton constants collapse onto one implicit class
+    // in the batched monitor; an aggregate stays per-member everywhere.
+    pair.AddBoth("r0", "q() :- R(0, y)");
+    pair.AddBoth("r1", "q() :- R(1, y)");
+    pair.AddBoth("count-s", "[q(count()) :- S(x, y)] > 2");
+    if (HasFatalFailure()) return;
+
+    pair.PollAndCompare("initial");
+
+    // Churn: the same mutation sequence on both databases. The instances
+    // are identical, so success/failure must agree; verdicts are compared
+    // after every step either way.
+    Status applied_b = pair.batched_db.ApplyPending(0);
+    Status applied_g = pair.grounded_db.ApplyPending(0);
+    EXPECT_EQ(applied_b.ok(), applied_g.ok());
+    pair.PollAndCompare("after apply P0");
+
+    // Remove one member of the watch-a fleet from both monitors; its
+    // siblings (same class) must keep evaluating identically.
+    ASSERT_TRUE(pair.batched.Remove(pair.batched_handles[2]).ok());
+    ASSERT_TRUE(pair.grounded.Remove(pair.grounded_handles[2]).ok());
+    pair.batched_handles.erase(pair.batched_handles.begin() + 2);
+    pair.grounded_handles.erase(pair.grounded_handles.begin() + 2);
+    pair.names.erase(pair.names.begin() + 2);
+
+    Transaction extra("extra");
+    extra.Add("R", Tuple({Value::Int(2), Value::Int(2)}));
+    extra.Add("S", Tuple({Value::Int(2), Value::Int(1)}));
+    ASSERT_TRUE(pair.batched_db.AddPending(extra).ok());
+    ASSERT_TRUE(pair.grounded_db.AddPending(extra).ok());
+    pair.PollAndCompare("after remove + add pending");
+
+    Status discarded_b = pair.batched_db.DiscardPending(1);
+    Status discarded_g = pair.grounded_db.DiscardPending(1);
+    EXPECT_EQ(discarded_b.ok(), discarded_g.ok());
+    pair.PollAndCompare("after discard P1");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemplateDifferentialTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+// --- Budgets ------------------------------------------------------------
+
+/// R(a, b) with key a plus S[x] ⊆ R[a] (the IND forces the CoNP-mixed
+/// class, so the monitor's default budget applies); pending double-spend
+/// pairs (i,0) vs (i,1) for i < k give |Poss(D)| = 3^k.
+BlockchainDatabase MakeMixedConflictLadder(std::size_t k) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "R", {Attribute{"a", ValueType::kInt, false},
+                            Attribute{"b", ValueType::kInt, false}}))
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "S", {Attribute{"x", ValueType::kInt, false},
+                            Attribute{"y", ValueType::kInt, false}}))
+                  .ok());
+  ConstraintSet constraints;
+  auto key = FunctionalDependency::Key(catalog, "R", {"a"});
+  EXPECT_TRUE(key.ok());
+  constraints.AddFd(std::move(*key));
+  constraints.AddInd(
+      *InclusionDependency::Create(catalog, "S", {"x"}, "R", {"a"}));
+  auto db =
+      BlockchainDatabase::Create(std::move(catalog), std::move(constraints));
+  EXPECT_TRUE(db.ok());
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::int64_t b : {0, 1}) {
+      Transaction txn;
+      txn.Add("R",
+              Tuple({Value::Int(static_cast<std::int64_t>(i)), Value::Int(b)}));
+      EXPECT_TRUE(db->AddPending(txn).ok());
+    }
+  }
+  return std::move(*db);
+}
+
+// A budget-starved batch check may answer kUndecided, but a *decided*
+// verdict it reports must match the unlimited reference, and escalation
+// must eventually decide every member.
+TEST(TemplateBudgetDifferentialTest, BatchNeverLiesUnderBudgetAndEscalates) {
+  BlockchainDatabase reference_db = MakeMixedConflictLadder(3);  // 27 worlds.
+  ConstraintMonitor reference(&reference_db);
+
+  BlockchainDatabase budgeted_db = MakeMixedConflictLadder(3);
+  MonitorOptions options;
+  // One world per check: any single maximal world contains at most one of
+  // R(0,0) / R(0,1), so the three surviving bindings cannot all settle —
+  // work-based, deterministic expiry.
+  options.budget.max_worlds = 1;
+  options.budget_growth = 4.0;
+  ConstraintMonitor budgeted(&budgeted_db, options);
+
+  auto ref_tmpl = reference.RegisterTemplate("cell", "q() :- R($a, $b)");
+  auto bud_tmpl = budgeted.RegisterTemplate("cell", "q() :- R($a, $b)");
+  ASSERT_TRUE(ref_tmpl.ok());
+  ASSERT_TRUE(bud_tmpl.ok());
+  ASSERT_TRUE(budgeted.template_batchable(*bud_tmpl));
+
+  const std::vector<std::vector<Value>> bindings = {
+      {Value::Int(0), Value::Int(0)},
+      {Value::Int(0), Value::Int(1)},
+      {Value::Int(1), Value::Int(0)},
+      {Value::Int(9), Value::Int(9)},
+  };
+  std::vector<MonitorHandle> ref_handles;
+  std::vector<MonitorHandle> bud_handles;
+  for (const auto& binding : bindings) {
+    auto r = reference.Bind(*ref_tmpl, binding);
+    auto b = budgeted.Bind(*bud_tmpl, binding);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(b.ok());
+    ref_handles.push_back(*r);
+    bud_handles.push_back(*b);
+  }
+  ASSERT_TRUE(reference.Poll().ok());
+  for (MonitorHandle handle : ref_handles) {
+    ASSERT_NE(reference.verdict(handle), Verdict::kUndecided);
+  }
+
+  bool all_decided = false;
+  for (int poll = 0; poll < 10 && !all_decided; ++poll) {
+    ASSERT_TRUE(budgeted.Poll().ok());
+    all_decided = true;
+    for (std::size_t i = 0; i < bindings.size(); ++i) {
+      const Verdict got = budgeted.verdict(bud_handles[i]);
+      if (got == Verdict::kUndecided) {
+        all_decided = false;
+        continue;
+      }
+      // Decided under budget pressure: must agree with the reference.
+      EXPECT_EQ(got, reference.verdict(ref_handles[i])) << "binding " << i;
+    }
+  }
+  EXPECT_TRUE(all_decided);
+  EXPECT_GT(budgeted.poll_stats().undecided_verdicts, 0u);
+  EXPECT_GT(budgeted.poll_stats().budget_escalations, 0u);
+  for (std::size_t i = 0; i < bindings.size(); ++i) {
+    EXPECT_EQ(budgeted.verdict(bud_handles[i]),
+              reference.verdict(ref_handles[i]))
+        << "binding " << i;
+  }
+}
+
+}  // namespace
+}  // namespace bcdb

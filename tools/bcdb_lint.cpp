@@ -21,6 +21,7 @@
 #include "analysis/lint_format.h"
 #include "analysis/schema_text.h"
 #include "bitcoin/to_relational.h"
+#include "query/template.h"
 #include "relational/database.h"
 
 namespace {
@@ -55,6 +56,20 @@ struct LintStats {
   std::size_t warnings = 0;
 };
 
+/// A `$` outside a string literal marks the line as a constraint template
+/// ($name placeholders), linted class-level via AnalyzeTemplate.
+bool LooksLikeTemplate(const std::string& text) {
+  bool in_string = false;
+  for (const char ch : text) {
+    if (ch == '\'') {
+      in_string = !in_string;
+    } else if (ch == '$' && !in_string) {
+      return true;
+    }
+  }
+  return false;
+}
+
 /// Lints one .dc file against the schema; prints per the chosen format and
 /// accumulates totals.
 bool LintFile(const std::string& path, const bcdb::Database& db,
@@ -79,7 +94,24 @@ bool LintFile(const std::string& path, const bcdb::Database& db,
     bcdb::LintedConstraint c;
     c.text = line.substr(start, end - start + 1);
     c.line = line_number;
-    c.report = bcdb::AnalyzeConstraintText(c.text, db, constraints);
+    if (LooksLikeTemplate(c.text)) {
+      auto tmpl = bcdb::ConstraintTemplate::Parse(c.text);
+      if (tmpl.ok()) {
+        bcdb::TemplateAnalysis analysis =
+            bcdb::AnalyzeTemplate(*tmpl, db, constraints);
+        c.is_template = true;
+        c.num_params = tmpl->num_params();
+        c.batchable = analysis.batchable;
+        c.class_key = std::move(analysis.class_key);
+        c.report = std::move(analysis.report);
+      } else {
+        // Syntactically broken template: the text analyzer's parse
+        // diagnostic (with its span) is strictly better than a bare Status.
+        c.report = bcdb::AnalyzeConstraintText(c.text, db, constraints);
+      }
+    } else {
+      c.report = bcdb::AnalyzeConstraintText(c.text, db, constraints);
+    }
     linted.push_back(std::move(c));
   }
 
