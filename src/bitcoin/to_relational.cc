@@ -73,12 +73,18 @@ Transaction ToRelationalTransaction(const BitcoinTransaction& tx) {
 
 StatusOr<BlockchainDatabase> BuildBlockchainDatabase(
     const SimulatedNode& node) {
+  return BuildBlockchainDatabase(node, /*sink=*/nullptr);
+}
+
+StatusOr<BlockchainDatabase> BuildBlockchainDatabase(const SimulatedNode& node,
+                                                     DurabilitySink* sink) {
   Catalog catalog = MakeBitcoinCatalog();
   StatusOr<ConstraintSet> constraints = MakeBitcoinConstraints(catalog);
   if (!constraints.ok()) return constraints.status();
   StatusOr<BlockchainDatabase> db =
       BlockchainDatabase::Create(std::move(catalog), std::move(*constraints));
   if (!db.ok()) return db.status();
+  if (sink != nullptr) db->AttachDurabilitySink(sink);
 
   // The chain is fully materialized here, so both relation cardinalities are
   // known exactly before the first insert — pre-size the tuple arrays and

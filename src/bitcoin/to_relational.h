@@ -35,6 +35,12 @@ Transaction ToRelationalTransaction(const BitcoinTransaction& tx);
 /// Example-1 constraints, T = one pending transaction per mempool entry.
 StatusOr<BlockchainDatabase> BuildBlockchainDatabase(const SimulatedNode& node);
 
+/// Same, but with `sink` attached before the first insert, so the entire
+/// ingest streams through the durability hook (a dataset imported this way
+/// is already persisted when the call returns). `sink` may be null.
+StatusOr<BlockchainDatabase> BuildBlockchainDatabase(const SimulatedNode& node,
+                                                     DurabilitySink* sink);
+
 }  // namespace bitcoin
 }  // namespace bcdb
 

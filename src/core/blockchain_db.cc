@@ -24,7 +24,8 @@ void BlockchainDatabase::RemoveMutationListener(MutationListenerId id) {
 }
 
 void BlockchainDatabase::Publish(MutationKind kind, PendingId id,
-                                 std::vector<std::size_t> relation_ids) {
+                                 std::vector<std::size_t> relation_ids,
+                                 const MutationPayload& payload) {
   MutationEvent event;
   event.kind = kind;
   event.seq = mutation_log_->end_seq();  // Append re-stamps identically.
@@ -32,6 +33,9 @@ void BlockchainDatabase::Publish(MutationKind kind, PendingId id,
   event.pending_id = id;
   event.relation_ids = std::move(relation_ids);
   mutation_log_->Append(event);
+  // The durability sink runs first: the write-ahead record must exist
+  // before any listener can act on (and externalize) the mutation.
+  if (durability_sink_ != nullptr) durability_sink_->Persist(event, payload);
   // By index with the size snapshotted up front, invoking a copy: a
   // callback may register or remove listeners, which reallocates or
   // overwrites the vector (references into it would dangle, even under the
@@ -65,12 +69,20 @@ StatusOr<BlockchainDatabase> BlockchainDatabase::Create(
 Status BlockchainDatabase::InsertCurrent(std::string_view relation,
                                          Tuple tuple) {
   StatusOr<std::size_t> relation_id = db_->RelationId(relation);
+  // The durability sink needs the tuple after the store has consumed it;
+  // an id-array copy is cheap, but skip it on the volatile bulk-load path.
+  Tuple persisted;
+  if (durability_sink_ != nullptr) persisted = tuple;
   Status status = db_->Insert(relation, std::move(tuple), kBaseOwner);
   if (!status.ok()) return status;
   ++version_;
+  MutationPayload payload;
+  payload.tuple = &persisted;
+  payload.relation_id = relation_id.ok() ? *relation_id : ~std::size_t{0};
   Publish(MutationKind::kCurrentInserted, ~std::size_t{0},
           relation_id.ok() ? std::vector<std::size_t>{*relation_id}
-                           : std::vector<std::size_t>{});
+                           : std::vector<std::size_t>{},
+          payload);
   return status;
 }
 
@@ -119,7 +131,9 @@ StatusOr<PendingId> BlockchainDatabase::AddPending(const Transaction& txn) {
   }
   pending_relations_.push_back(relation_ids);
   ++version_;
-  Publish(MutationKind::kPendingAdded, id, std::move(relation_ids));
+  MutationPayload payload;
+  payload.txn = &pending_.back();
+  Publish(MutationKind::kPendingAdded, id, std::move(relation_ids), payload);
   return id;
 }
 
@@ -134,12 +148,18 @@ Status BlockchainDatabase::ApplyPending(PendingId id) {
         "appending pending transaction " + std::to_string(id) +
         " would violate the integrity constraints");
   }
+  // Capture the event's relation set before any tuple teardown: the event
+  // must describe the transaction as it was registered, independent of what
+  // the promote/drop loops below do to per-relation state. (Teardown does
+  // not touch pending_relations_ today, but the capture-then-mutate order
+  // is the invariant listeners rely on, so make it structural.)
+  std::vector<std::size_t> event_relations = pending_relations_[id];
   for (std::size_t r = 0; r < db_->num_relations(); ++r) {
     db_->relation(r).PromoteOwner(static_cast<TupleOwner>(id));
   }
   pending_state_[id] = PendingState::kApplied;
   ++version_;
-  Publish(MutationKind::kPendingApplied, id, pending_relations_[id]);
+  Publish(MutationKind::kPendingApplied, id, std::move(event_relations));
   return Status::OK();
 }
 
@@ -147,12 +167,16 @@ Status BlockchainDatabase::DiscardPending(PendingId id) {
   if (!IsPending(id)) {
     return Status::InvalidArgument("transaction is not pending");
   }
+  // As in ApplyPending: snapshot the relation set before teardown drops the
+  // transaction's tuples, so the published event always carries the
+  // registration-time footprint.
+  std::vector<std::size_t> event_relations = pending_relations_[id];
   for (std::size_t r = 0; r < db_->num_relations(); ++r) {
     db_->relation(r).DropOwner(static_cast<TupleOwner>(id));
   }
   pending_state_[id] = PendingState::kDiscarded;
   ++version_;
-  Publish(MutationKind::kPendingDiscarded, id, pending_relations_[id]);
+  Publish(MutationKind::kPendingDiscarded, id, std::move(event_relations));
   return Status::OK();
 }
 
@@ -162,6 +186,41 @@ std::vector<PendingId> BlockchainDatabase::PendingIds() const {
     if (pending_state_[id] == PendingState::kPending) ids.push_back(id);
   }
   return ids;
+}
+
+Status BlockchainDatabase::RestorePendingSlot(
+    Transaction txn, PendingState state,
+    std::vector<std::size_t> relation_ids) {
+  if (txn.empty()) {
+    return Status::InvalidArgument("restored pending transaction is empty");
+  }
+  for (std::size_t rid : relation_ids) {
+    if (rid >= db_->num_relations()) {
+      return Status::InvalidArgument(
+          "restored pending slot references unknown relation id");
+    }
+  }
+  const PendingId id = pending_.size();
+  const TupleOwner owner = db_->RegisterOwner();
+  if (static_cast<std::size_t>(owner) != id) {
+    db_->ReleaseOwner(owner);
+    return Status::Internal("pending id / owner tag mismatch during restore");
+  }
+  pending_.push_back(std::move(txn));
+  pending_state_.push_back(state);
+  pending_relations_.push_back(std::move(relation_ids));
+  return Status::OK();
+}
+
+Status BlockchainDatabase::RestoreClock(std::uint64_t version,
+                                        std::uint64_t next_seq) {
+  if (version_ != 0 || mutation_log_->end_seq() != 0) {
+    return Status::InvalidArgument(
+        "RestoreClock requires a database that has never mutated");
+  }
+  version_ = version;
+  mutation_log_->RestoreSeq(next_seq);
+  return Status::OK();
 }
 
 WorldView BlockchainDatabase::PendingUnionView() const {

@@ -25,6 +25,31 @@ namespace bcdb {
 using MutationListener = std::function<void(const MutationEvent&)>;
 using MutationListenerId = std::size_t;
 
+/// What a MutationEvent does not carry but a durable log must: the payload
+/// needed to replay the mutation against a recovered database. Pointers
+/// borrow from the database and are valid only for the duration of the
+/// Persist call.
+struct MutationPayload {
+  /// kPendingAdded: the full transaction just registered.
+  const Transaction* txn = nullptr;
+  /// kCurrentInserted: the inserted tuple and its relation.
+  const Tuple* tuple = nullptr;
+  std::size_t relation_id = ~std::size_t{0};
+};
+
+/// Write-ahead hook of the durable storage backend (src/storage). Attached
+/// sinks observe every successful mutation synchronously — before regular
+/// listeners — together with the replay payload. Persist must not mutate
+/// the database; errors are latched inside the sink (mutations never fail
+/// for durability reasons) and surface through the sink's own status/sync
+/// API.
+class DurabilitySink {
+ public:
+  virtual ~DurabilitySink() = default;
+  virtual void Persist(const MutationEvent& event,
+                       const MutationPayload& payload) = 0;
+};
+
 /// The paper's blockchain database D = (R, I, T): a current state R stored
 /// in the relational substrate, integrity constraints I with R |= I, and a
 /// set T of pending insert transactions that may or may not ever be
@@ -38,6 +63,15 @@ using MutationListenerId = std::size_t;
 /// push listener with AddMutationListener.
 class BlockchainDatabase {
  public:
+  /// Lifecycle of a pending-transaction slot. Slots are never reused:
+  /// applied and discarded transactions keep their id (and owner tag)
+  /// forever, so graphs and bitsets indexed by PendingId stay stable.
+  enum class PendingState : std::uint8_t {
+    kPending = 0,
+    kApplied = 1,
+    kDiscarded = 2,
+  };
+
   /// Builds an empty database over `catalog` with constraints `I`.
   /// Fails if a constraint references a relation missing from the catalog
   /// (constraints are already resolved, so this only re-checks ids).
@@ -96,6 +130,11 @@ class BlockchainDatabase {
            pending_state_[id] == PendingState::kPending;
   }
 
+  /// Lifecycle state of pending slot `id` (which must be < num_pending()).
+  PendingState pending_state(PendingId id) const {
+    return pending_state_[id];
+  }
+
   /// All currently-pending ids (ascending).
   std::vector<PendingId> PendingIds() const;
 
@@ -109,8 +148,9 @@ class BlockchainDatabase {
 
   /// The mutation-delta log: one typed event per successful mutation, in
   /// order. Pull-style consumers keep a seq cursor and call
-  /// mutations().ReadSince(cursor); a false return means the cursor fell out
-  /// of the retention window and the consumer must rebuild from scratch.
+  /// mutations().ReadSince(cursor); a kTrimmed result means the cursor fell
+  /// out of the retention window and the consumer must rebuild from scratch
+  /// (kForeignCursor flags a cursor that never came from this log).
   const MutationLog& mutations() const { return *mutation_log_; }
 
   /// Registers a push listener notified synchronously after every mutation.
@@ -119,15 +159,39 @@ class BlockchainDatabase {
   MutationListenerId AddMutationListener(MutationListener listener);
   void RemoveMutationListener(MutationListenerId id);
 
- private:
-  enum class PendingState { kPending, kApplied, kDiscarded };
+  /// Attaches the write-ahead durability sink, which observes every
+  /// subsequent mutation (with its replay payload) before any regular
+  /// listener. At most one sink may be attached; pass nullptr to detach.
+  void AttachDurabilitySink(DurabilitySink* sink) { durability_sink_ = sink; }
+  DurabilitySink* durability_sink() const { return durability_sink_; }
 
+  // ---- Restore hooks (durable storage backend) --------------------------
+  // These rebuild a database to match a persisted image without publishing
+  // events or bumping the version. Only src/storage recovery should call
+  // them, on a freshly created database; relation contents are restored
+  // separately through Relation::RestoreTuple.
+
+  /// Appends one pending-transaction slot in its final lifecycle state.
+  /// Registers the matching owner tag but does not insert the
+  /// transaction's tuples (the segment records carry exact owner lists,
+  /// including promoted and dropped states).
+  Status RestorePendingSlot(Transaction txn, PendingState state,
+                            std::vector<std::size_t> relation_ids);
+
+  /// Overwrites the version counter and positions the (empty) mutation log
+  /// at `next_seq`, so post-recovery mutations continue the persisted
+  /// version/seq history exactly.
+  Status RestoreClock(std::uint64_t version, std::uint64_t next_seq);
+
+ private:
   BlockchainDatabase(Catalog catalog, ConstraintSet constraints);
 
-  /// Appends the event (stamping the post-mutation version) and notifies
-  /// listeners.
+  /// Appends the event (stamping the post-mutation version), hands it to
+  /// the durability sink (if attached) with its replay payload, and
+  /// notifies listeners.
   void Publish(MutationKind kind, PendingId id,
-               std::vector<std::size_t> relation_ids);
+               std::vector<std::size_t> relation_ids,
+               const MutationPayload& payload = MutationPayload{});
 
   std::unique_ptr<Database> db_;
   std::unique_ptr<ConstraintSet> constraints_;
@@ -140,6 +204,8 @@ class BlockchainDatabase {
   std::unique_ptr<MutationLog> mutation_log_;
   /// Slot per listener id; removed listeners leave an empty function.
   std::unique_ptr<std::vector<MutationListener>> listeners_;
+  /// Non-owning write-ahead hook; nullptr when the database is volatile.
+  DurabilitySink* durability_sink_ = nullptr;
 };
 
 }  // namespace bcdb

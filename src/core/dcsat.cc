@@ -91,9 +91,11 @@ bool DcSatEngine::TryIncrementalRefresh() {
     return false;
   }
   std::vector<MutationEvent> events;
-  if (!db_->mutations().ReadSince(consumed_seq_, &events)) {
-    // The bounded log was trimmed past our cursor: deltas were missed, the
-    // maintained state can no longer be patched soundly.
+  if (db_->mutations().ReadSince(consumed_seq_, &events) !=
+      MutationLog::ReadResult::kOk) {
+    // The bounded log was trimmed past our cursor (or the cursor is foreign):
+    // deltas were missed, the maintained state can no longer be patched
+    // soundly.
     ++steady_stats_.fallbacks_missed_events;
     return false;
   }
@@ -195,30 +197,33 @@ std::shared_ptr<ThreadPool> DcSatEngine::PoolFor(
   return pool_;
 }
 
-StatusOr<const CompiledQuery*> DcSatEngine::GetOrCompile(
+StatusOr<std::shared_ptr<const CompiledQuery>> DcSatEngine::GetOrCompile(
     const DenialConstraint& q) {
   const std::uint64_t version = db_->version();
   std::string text = q.ToString();
   for (const CompiledCacheEntry& entry : compiled_cache_) {
     if (entry.version == version && entry.text == text) {
-      return &entry.compiled;
+      return entry.compiled;
     }
   }
   StatusOr<CompiledQuery> compiled =
       CompiledQuery::Compile(q, &db_->database());
   if (!compiled.ok()) return compiled.status();
   if (compiled_cache_.size() >= kCompiledCacheCapacity) {
-    compiled_cache_.erase(compiled_cache_.begin());  // FIFO eviction.
+    // FIFO eviction drops only the cache's reference; queries handed out by
+    // earlier calls stay alive with their holders.
+    compiled_cache_.erase(compiled_cache_.begin());
   }
-  compiled_cache_.push_back(
-      CompiledCacheEntry{std::move(text), version, std::move(*compiled)});
-  return &compiled_cache_.back().compiled;
+  compiled_cache_.push_back(CompiledCacheEntry{
+      std::move(text), version,
+      std::make_shared<const CompiledQuery>(std::move(*compiled))});
+  return compiled_cache_.back().compiled;
 }
 
 StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
                                          const DcSatOptions& options) {
   Stopwatch total_watch;
-  StatusOr<const CompiledQuery*> compiled = GetOrCompile(q);
+  StatusOr<std::shared_ptr<const CompiledQuery>> compiled = GetOrCompile(q);
   if (!compiled.ok()) return compiled.status();
   const bool cache_hit =
       cached_version_ == db_->version() && fd_graph_.has_value();
@@ -242,7 +247,7 @@ StatusOr<DcSatResult> DcSatEngine::Check(const DenialConstraint& q,
     return Status::InvalidArgument(
         "constraint rejected by static analysis: " + report.ErrorSummary());
   }
-  StatusOr<const CompiledQuery*> compiled = GetOrCompile(q);
+  StatusOr<std::shared_ptr<const CompiledQuery>> compiled = GetOrCompile(q);
   if (!compiled.ok()) return compiled.status();
   const bool cache_hit =
       cached_version_ == db_->version() && fd_graph_.has_value();

@@ -311,6 +311,25 @@ class DcSatEngine {
   std::size_t steady_cache_hits() const { return cache_hits_; }
   std::size_t steady_cache_misses() const { return cache_misses_; }
 
+  /// Capacity of the compiled-query cache (FIFO eviction beyond it).
+  static constexpr std::size_t kCompiledCacheCapacity = 32;
+
+  /// Compiled-query cache for the serial Check paths. Monitors, pollers and
+  /// benchmark harnesses re-check the same constraints over an unchanged
+  /// database; recompiling per check (plan construction, structural
+  /// analysis, Θ_q derivation) is pure overhead there. Keyed by query text
+  /// and database version — conservative, since plans are structural, but
+  /// cover probes and size hints are only validated against the version
+  /// they compiled at.
+  ///
+  /// Entries are shared-ownership: the returned query stays valid for as
+  /// long as the caller holds the pointer, across arbitrary later compiles,
+  /// cache growth, and FIFO eviction. (A previous revision returned a raw
+  /// pointer into the cache vector, which a later GetOrCompile could
+  /// reallocate — dangling every outstanding compiled query.)
+  StatusOr<std::shared_ptr<const CompiledQuery>> GetOrCompile(
+      const DenialConstraint& q);
+
   const SteadyStateOptions& steady_state_options() const {
     return steady_options_;
   }
@@ -352,16 +371,6 @@ class DcSatEngine {
   bool TryIncrementalRefresh();
   std::shared_ptr<ThreadPool> PoolFor(std::size_t num_workers) const;
 
-  /// Compiled-query cache for the serial Check paths. Monitors, pollers and
-  /// benchmark harnesses re-check the same constraints over an unchanged
-  /// database; recompiling per check (plan construction, structural
-  /// analysis, Θ_q derivation) is pure overhead there. Keyed by query text
-  /// and database version — conservative, since plans are structural, but
-  /// cover probes and size hints are only validated against the version
-  /// they compiled at. The returned pointer is valid until the next
-  /// GetOrCompile call.
-  StatusOr<const CompiledQuery*> GetOrCompile(const DenialConstraint& q);
-
   const BlockchainDatabase* db_;
   SteadyStateOptions steady_options_;
   std::uint64_t cached_version_ = ~std::uint64_t{0};
@@ -373,12 +382,15 @@ class DcSatEngine {
   SteadyStateRefresh last_refresh_;
   // Scratch for the serial Check path only (never shared across threads).
   UnionFind uf_scratch_{0};
+  /// The compiled query is held behind shared_ptr so that cache slots have
+  /// no address or lifetime coupling to the vector: growth, FIFO eviction
+  /// and shuffles only move the controlling pointers, never the queries
+  /// callers may still hold.
   struct CompiledCacheEntry {
     std::string text;
     std::uint64_t version;
-    CompiledQuery compiled;
+    std::shared_ptr<const CompiledQuery> compiled;
   };
-  static constexpr std::size_t kCompiledCacheCapacity = 32;
   std::vector<CompiledCacheEntry> compiled_cache_;
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;

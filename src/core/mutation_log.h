@@ -1,6 +1,7 @@
 #ifndef BCDB_CORE_MUTATION_LOG_H_
 #define BCDB_CORE_MUTATION_LOG_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -53,6 +54,18 @@ class MutationLog {
  public:
   static constexpr std::size_t kDefaultCapacity = 4096;
 
+  /// Outcome of a ReadSince. The two failure modes demand opposite
+  /// reactions, so they are distinct: kTrimmed is the legitimate "you
+  /// lagged behind the retention window, rebuild from scratch" signal every
+  /// incremental consumer must handle, while kForeignCursor means the
+  /// cursor never came from this log at all — a caller bug (e.g. a cursor
+  /// carried across databases), asserted on in debug builds.
+  enum class ReadResult {
+    kOk,
+    kTrimmed,
+    kForeignCursor,
+  };
+
   explicit MutationLog(std::size_t capacity = kDefaultCapacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
@@ -71,15 +84,32 @@ class MutationLog {
   std::uint64_t end_seq() const { return end_seq_; }
 
   /// Copies all events with seq >= `from` into `out` (appending, ascending
-  /// seq). Returns false — with `out` untouched — when events in
-  /// [from, end) have already been trimmed, i.e. the reader missed some.
-  bool ReadSince(std::uint64_t from, std::vector<MutationEvent>* out) const {
-    if (from > end_seq_) return false;  // Cursor from another log.
-    if (from < begin_seq()) return false;
+  /// seq). Returns kTrimmed — with `out` untouched — when events in
+  /// [from, end) have already fallen out of the retention window (the
+  /// reader must rebuild), and kForeignCursor — also with `out` untouched —
+  /// when `from` lies beyond end_seq() and therefore cannot be a cursor
+  /// ever handed out by this log.
+  ReadResult ReadSince(std::uint64_t from,
+                       std::vector<MutationEvent>* out) const {
+    if (from > end_seq_) {
+      assert(false && "MutationLog::ReadSince: cursor beyond end_seq (from a "
+                      "different log?)");
+      return ReadResult::kForeignCursor;
+    }
+    if (from < begin_seq()) return ReadResult::kTrimmed;
     for (std::size_t i = from - begin_seq(); i < events_.size(); ++i) {
       out->push_back(events_[i]);
     }
-    return true;
+    return ReadResult::kOk;
+  }
+
+  /// Restore hook for the durable storage backend: positions the next seq
+  /// of a fresh, never-appended log so that cursors taken against a
+  /// recovered database line up with the persisted history.
+  void RestoreSeq(std::uint64_t next_seq) {
+    assert(events_.empty() && end_seq_ == 0 &&
+           "RestoreSeq on a log that has already seen events");
+    end_seq_ = next_seq;
   }
 
  private:

@@ -36,6 +36,29 @@ TupleId Relation::Insert(Tuple tuple, TupleOwner owner) {
   return id;
 }
 
+Status Relation::RestoreTuple(Tuple tuple,
+                              const std::vector<TupleOwner>& owners) {
+  BCDB_RETURN_IF_ERROR(schema_->ValidateTuple(tuple));
+  if (ids_by_tuple_.find(tuple) != ids_by_tuple_.end()) {
+    return Status::AlreadyExists("restored tuple already stored in " +
+                                 schema_->name());
+  }
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    for (std::size_t j = i + 1; j < owners.size(); ++j) {
+      if (owners[i] == owners[j]) {
+        return Status::InvalidArgument("restored tuple repeats an owner");
+      }
+    }
+  }
+  const TupleId id = static_cast<TupleId>(tuples_.size());
+  ids_by_tuple_.emplace(tuple, id);
+  tuples_.push_back(std::move(tuple));
+  owners_.push_back(owners);
+  for (TupleOwner owner : owners) tuples_by_owner_[owner].push_back(id);
+  for (HashIndex& index : indexes_) AddToIndex(index, id);
+  return Status::OK();
+}
+
 bool Relation::ContainsVisible(const Tuple& tuple,
                                const WorldView& view) const {
   auto it = ids_by_tuple_.find(tuple);

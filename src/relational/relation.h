@@ -41,6 +41,15 @@ class Relation {
   /// large ingests).
   void Reserve(std::size_t expected_tuples);
 
+  /// Restore hook for the durable storage backend: appends `tuple` with an
+  /// explicit owner list — possibly empty, since a tuple whose owners were
+  /// all dropped stays stored (and invisible) to keep TupleId assignment
+  /// stable. Called in persisted TupleId order on a relation with no
+  /// secondary indexes yet, it reproduces the persisted id layout exactly.
+  /// Fails (leaving the relation untouched) on schema violations or if an
+  /// equal tuple is already stored.
+  Status RestoreTuple(Tuple tuple, const std::vector<TupleOwner>& owners);
+
   /// Number of distinct stored tuples (visible or not, over all owners).
   std::size_t num_tuples() const { return tuples_.size(); }
 

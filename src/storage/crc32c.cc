@@ -1,0 +1,54 @@
+#include "storage/crc32c.h"
+
+#include <array>
+
+namespace bcdb {
+namespace storage {
+
+namespace {
+
+/// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+constexpr std::uint32_t kMaskDelta = 0xa282ead8u;
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t n, std::uint32_t seed) {
+  const std::array<std::uint32_t, 256>& table = Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t MaskCrc(std::uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+std::uint32_t UnmaskCrc(std::uint32_t masked) {
+  const std::uint32_t rot = masked - kMaskDelta;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace storage
+}  // namespace bcdb

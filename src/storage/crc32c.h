@@ -1,0 +1,32 @@
+#ifndef BCDB_STORAGE_CRC32C_H_
+#define BCDB_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bcdb {
+namespace storage {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected), the checksum
+/// every segment block and WAL record carries. Software slice-by-one table
+/// implementation — storage integrity checks are I/O bound, not CRC bound.
+///
+/// Incremental use: crc = Crc32c(data2, Crc32c(data1)). The known-answer
+/// vector Crc32c("123456789") == 0xE3069283 is pinned by a test.
+std::uint32_t Crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32c(std::string_view bytes, std::uint32_t seed = 0) {
+  return Crc32c(bytes.data(), bytes.size(), seed);
+}
+
+/// A checksum stored on disk is masked (rotated + offset, the
+/// LevelDB/RocksDB trick) so that a block whose payload is itself a CRC —
+/// or a run of zero bytes — does not checksum to its own stored value.
+std::uint32_t MaskCrc(std::uint32_t crc);
+std::uint32_t UnmaskCrc(std::uint32_t masked);
+
+}  // namespace storage
+}  // namespace bcdb
+
+#endif  // BCDB_STORAGE_CRC32C_H_

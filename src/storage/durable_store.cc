@@ -1,0 +1,377 @@
+#include "storage/durable_store.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "storage/record_codec.h"
+#include "storage/segment.h"
+
+namespace bcdb {
+namespace storage {
+
+namespace {
+
+constexpr char kCheckpointPrefix[] = "checkpoint-";
+constexpr char kCheckpointSuffix[] = ".seg";
+constexpr char kWalPrefix[] = "wal-";
+constexpr char kWalSuffix[] = ".log";
+
+std::string SeqName(const char* prefix, std::uint64_t seq,
+                    const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%016" PRIx64 "%s", prefix, seq, suffix);
+  return buf;
+}
+
+/// Parses "<prefix><16 hex digits><suffix>" names; returns false otherwise.
+bool ParseSeqName(const std::string& name, const char* prefix,
+                  const char* suffix, std::uint64_t* seq) {
+  const std::size_t prefix_len = std::strlen(prefix);
+  const std::size_t suffix_len = std::strlen(suffix);
+  if (name.size() != prefix_len + 16 + suffix_len) return false;
+  if (name.compare(0, prefix_len, prefix) != 0) return false;
+  if (name.compare(prefix_len + 16, suffix_len, suffix) != 0) return false;
+  std::uint64_t value = 0;
+  for (std::size_t i = prefix_len; i < prefix_len + 16; ++i) {
+    const char c = name[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  *seq = value;
+  return true;
+}
+
+/// Seqs of all files in `dir` matching the prefix/suffix pattern.
+std::vector<std::uint64_t> ListSeqs(const std::string& dir, const char* prefix,
+                                    const char* suffix) {
+  std::vector<std::uint64_t> seqs;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return seqs;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::uint64_t seq;
+    if (ParseSeqName(entry->d_name, prefix, suffix, &seq)) {
+      seqs.push_back(seq);
+    }
+  }
+  ::closedir(d);
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+}  // namespace
+
+DurableStore::DurableStore(std::string dir, Catalog catalog,
+                           DurableStoreOptions options)
+    : dir_(std::move(dir)),
+      catalog_(std::move(catalog)),
+      options_(options),
+      schema_fingerprint_(SchemaFingerprint(catalog_)) {}
+
+StatusOr<std::unique_ptr<DurableStore>> DurableStore::Open(
+    std::string dir, Catalog catalog, DurableStoreOptions options) {
+  if (dir.empty()) return Status::InvalidArgument("empty store directory");
+  while (!dir.empty() && dir.back() == '/') dir.pop_back();
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("mkdir " + dir + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<DurableStore>(
+      new DurableStore(std::move(dir), std::move(catalog), options));
+}
+
+std::string DurableStore::CheckpointPath(std::uint64_t seq) const {
+  return dir_ + "/" + SeqName(kCheckpointPrefix, seq, kCheckpointSuffix);
+}
+
+std::string DurableStore::WalPath(std::uint64_t start_seq) const {
+  return dir_ + "/" + SeqName(kWalPrefix, start_seq, kWalSuffix);
+}
+
+std::vector<std::string> DurableStore::ListCheckpoints() const {
+  std::vector<std::uint64_t> seqs =
+      ListSeqs(dir_, kCheckpointPrefix, kCheckpointSuffix);
+  std::vector<std::string> paths;
+  for (auto it = seqs.rbegin(); it != seqs.rend(); ++it) {
+    paths.push_back(CheckpointPath(*it));
+  }
+  return paths;
+}
+
+std::vector<std::string> DurableStore::ListWalFiles() const {
+  std::vector<std::string> paths;
+  for (std::uint64_t seq : ListSeqs(dir_, kWalPrefix, kWalSuffix)) {
+    paths.push_back(WalPath(seq));
+  }
+  return paths;
+}
+
+Status DurableStore::OpenActiveWal(std::uint64_t start_seq, bool fresh) {
+  AbsorbWalCounters();
+  const std::string path = WalPath(start_seq);
+  if (fresh) ::unlink(path.c_str());
+  StatusOr<WalWriter> writer =
+      WalWriter::Open(path, options_.sync, options_.group_bytes);
+  if (!writer.ok()) return writer.status();
+  wal_ = std::move(*writer);
+  wal_start_seq_ = start_seq;
+  return Status::OK();
+}
+
+void DurableStore::AbsorbWalCounters() {
+  absorbed_wal_bytes_ += wal_.physical_bytes();
+  absorbed_wal_records_ += wal_.records();
+  absorbed_wal_syncs_ += wal_.syncs();
+  stats_.wal_bytes = absorbed_wal_bytes_;
+  stats_.wal_records = absorbed_wal_records_;
+  stats_.wal_syncs = absorbed_wal_syncs_;
+}
+
+StatusOr<BlockchainDatabase> DurableStore::Recover(ConstraintSet constraints) {
+  if (recovered_) {
+    return Status::InvalidArgument("Recover may only be called once");
+  }
+
+  // 1. Base image: the newest checkpoint that reads back clean and matches
+  // the catalog; older retained checkpoints are fallbacks. No checkpoint
+  // (fresh directory, or all corrupt) starts from empty.
+  StatusOr<BlockchainDatabase> db =
+      BlockchainDatabase::Create(catalog_, std::move(constraints));
+  if (!db.ok()) return db.status();
+  const std::vector<std::uint64_t> checkpoint_seqs =
+      ListSeqs(dir_, kCheckpointPrefix, kCheckpointSuffix);
+  bool restored = false;
+  for (auto it = checkpoint_seqs.rbegin();
+       !restored && it != checkpoint_seqs.rend(); ++it) {
+    StatusOr<SegmentContents> segment = ReadSegment(CheckpointPath(*it));
+    if (!segment.ok()) {
+      stats_.degraded_recovery = true;  // A persisted checkpoint is unusable.
+      continue;
+    }
+    if (segment->header.schema_fingerprint != schema_fingerprint_) {
+      return Status::InvalidArgument(
+          "checkpoint " + CheckpointPath(*it) +
+          " was written under a different schema");
+    }
+    // Rehydrate into a throwaway database so a half-restored image from a
+    // corrupt payload never becomes the fallback base.
+    StatusOr<BlockchainDatabase> candidate =
+        BlockchainDatabase::Create(catalog_, db->constraints());
+    if (!candidate.ok()) return candidate.status();
+    Status restore =
+        RestoreSnapshot(segment->payload, segment->header.db_version,
+                        segment->header.checkpoint_seq, &*candidate);
+    if (!restore.ok()) {
+      stats_.degraded_recovery = true;
+      continue;
+    }
+    db = std::move(candidate);
+    restored = true;
+    for (std::size_t r = 0; r < db->database().num_relations(); ++r) {
+      stats_.recovered_snapshot_tuples += db->database().relation(r).num_tuples();
+    }
+  }
+
+  // 2. Roll the WAL forward. Files partition the seq space by rotation
+  // point, so replaying them oldest-first and skipping already-covered
+  // seqs applies exactly the suffix after the recovered base. The final
+  // file may have a torn tail (crash mid-append): truncate it back to the
+  // last whole record. A seq gap or a corrupt non-final file means the
+  // remaining records can never apply (double-fault past the retention
+  // horizon): recovery stops there, flags degradation, and discards the
+  // poisoned files.
+  const std::vector<std::uint64_t> wal_seqs =
+      ListSeqs(dir_, kWalPrefix, kWalSuffix);
+  bool replay_poisoned = false;
+  for (std::size_t i = 0; i < wal_seqs.size() && !replay_poisoned; ++i) {
+    const std::string path = WalPath(wal_seqs[i]);
+    const bool is_last = i + 1 == wal_seqs.size();
+    StatusOr<WalScan> scan = ScanWal(path);
+    if (!scan.ok()) return scan.status();
+    for (const std::string& record : scan->records) {
+      StatusOr<PersistedMutation> mutation = DecodeMutation(record, catalog_);
+      if (!mutation.ok()) {
+        replay_poisoned = true;
+        break;
+      }
+      const std::uint64_t next_seq = db->mutations().end_seq();
+      if (mutation->event.seq < next_seq) continue;  // Checkpoint-covered.
+      if (mutation->event.seq > next_seq) {          // Gap: cannot apply.
+        replay_poisoned = true;
+        break;
+      }
+      Status applied = Status::OK();
+      switch (mutation->event.kind) {
+        case MutationKind::kPendingAdded: {
+          StatusOr<PendingId> id = db->AddPending(mutation->txn);
+          if (!id.ok()) {
+            applied = id.status();
+          } else if (*id != mutation->event.pending_id) {
+            applied = Status::Internal("replayed pending id mismatch");
+          }
+          break;
+        }
+        case MutationKind::kPendingApplied:
+          applied = db->ApplyPending(mutation->event.pending_id);
+          break;
+        case MutationKind::kPendingDiscarded:
+          applied = db->DiscardPending(mutation->event.pending_id);
+          break;
+        case MutationKind::kCurrentInserted:
+          applied = db->InsertCurrent(
+              catalog_.schema(mutation->relation_id).name(),
+              std::move(mutation->tuple));
+          break;
+      }
+      if (!applied.ok()) {
+        return Status::Internal("WAL replay of seq " +
+                                std::to_string(mutation->event.seq) +
+                                " failed: " + applied.message());
+      }
+      if (db->version() != mutation->event.version) {
+        return Status::Internal("WAL replay diverged from recorded version");
+      }
+      ++stats_.recovered_wal_records;
+    }
+    if (replay_poisoned) break;
+    if (scan->tail_corrupt) {
+      if (!is_last) {
+        replay_poisoned = true;  // Interior corruption: later files can't apply.
+        break;
+      }
+      BCDB_RETURN_IF_ERROR(TruncateWal(path, scan->valid_prefix));
+    }
+  }
+
+  // 3. Position the store for appends. In the normal case the last WAL
+  // file simply continues; after a poisoned replay the unappliable files
+  // are dropped and a fresh file starts at the recovered seq.
+  const std::uint64_t end_seq = db->mutations().end_seq();
+  if (replay_poisoned) {
+    stats_.degraded_recovery = true;
+    // Persist the salvaged prefix as a checkpoint BEFORE discarding the
+    // poisoned WAL files: the salvage otherwise exists only in this
+    // process, and a second open would come up empty.
+    SegmentHeader salvage;
+    salvage.checkpoint_seq = end_seq;
+    salvage.db_version = db->version();
+    salvage.schema_fingerprint = schema_fingerprint_;
+    std::uint64_t physical = 0;
+    BCDB_RETURN_IF_ERROR(WriteSegment(CheckpointPath(end_seq), salvage,
+                                      EncodeSnapshot(*db), &physical));
+    stats_.segment_bytes += physical;
+    ++stats_.checkpoints;
+    for (std::uint64_t seq : wal_seqs) ::unlink(WalPath(seq).c_str());
+    BCDB_RETURN_IF_ERROR(OpenActiveWal(end_seq, /*fresh=*/true));
+  } else if (!wal_seqs.empty()) {
+    BCDB_RETURN_IF_ERROR(OpenActiveWal(wal_seqs.back(), /*fresh=*/false));
+  } else {
+    BCDB_RETURN_IF_ERROR(OpenActiveWal(end_seq, /*fresh=*/true));
+  }
+  recovered_ = true;
+  return db;
+}
+
+void DurableStore::Persist(const MutationEvent& event,
+                           const MutationPayload& payload) {
+  if (!status_.ok()) return;  // Latched: later mutations are not durable.
+  if (!recovered_) {
+    status_ = Status::Internal("Persist before Recover positioned the store");
+    return;
+  }
+  std::string record;
+  Status encoded = EncodeMutation(event, payload, catalog_, &record);
+  if (!encoded.ok()) {
+    status_ = std::move(encoded);
+    return;
+  }
+  stats_.logical_bytes += record.size();
+  Status appended = wal_.Append(record);
+  if (!appended.ok()) {
+    status_ = std::move(appended);
+    return;
+  }
+  stats_.wal_bytes = absorbed_wal_bytes_ + wal_.physical_bytes();
+  stats_.wal_records = absorbed_wal_records_ + wal_.records();
+  stats_.wal_syncs = absorbed_wal_syncs_ + wal_.syncs();
+}
+
+Status DurableStore::Sync() {
+  BCDB_RETURN_IF_ERROR(status_);
+  Status synced = wal_.Sync();
+  stats_.wal_syncs = absorbed_wal_syncs_ + wal_.syncs();
+  return synced;
+}
+
+Status DurableStore::Checkpoint(const BlockchainDatabase& db) {
+  BCDB_RETURN_IF_ERROR(status_);
+  if (!recovered_) {
+    return Status::Internal("Checkpoint before Recover positioned the store");
+  }
+  // The WAL must be durable before the checkpoint claims to cover it:
+  // otherwise a crash between rename and fsync could leave a checkpoint
+  // whose fallback records were never written.
+  BCDB_RETURN_IF_ERROR(wal_.Sync());
+
+  const std::uint64_t seq = db.mutations().end_seq();
+  SegmentHeader header;
+  header.checkpoint_seq = seq;
+  header.db_version = db.version();
+  header.schema_fingerprint = schema_fingerprint_;
+  const std::string payload = EncodeSnapshot(db);
+  std::uint64_t physical = 0;
+  BCDB_RETURN_IF_ERROR(
+      WriteSegment(CheckpointPath(seq), header, payload, &physical));
+  stats_.segment_bytes += physical;
+  ++stats_.checkpoints;
+
+  // Rotate the WAL at the checkpoint boundary, then prune everything the
+  // retention policy no longer needs.
+  BCDB_RETURN_IF_ERROR(wal_.Close());
+  BCDB_RETURN_IF_ERROR(OpenActiveWal(seq, /*fresh=*/true));
+  Prune();
+  return Status::OK();
+}
+
+void DurableStore::Prune() {
+  std::vector<std::uint64_t> checkpoint_seqs =
+      ListSeqs(dir_, kCheckpointPrefix, kCheckpointSuffix);
+  if (checkpoint_seqs.size() > options_.retained_checkpoints) {
+    const std::size_t drop =
+        checkpoint_seqs.size() - options_.retained_checkpoints;
+    for (std::size_t i = 0; i < drop; ++i) {
+      ::unlink(CheckpointPath(checkpoint_seqs[i]).c_str());
+    }
+    checkpoint_seqs.erase(checkpoint_seqs.begin(),
+                          checkpoint_seqs.begin() + drop);
+  }
+  // Until the full complement of checkpoints exists, the empty database
+  // is the implicit oldest fallback: keep every WAL span so recovery can
+  // still replay from the origin if all on-disk checkpoints turn out
+  // corrupt.
+  if (checkpoint_seqs.size() < options_.retained_checkpoints) return;
+  // Every retained checkpoint must stay roll-forwardable: keep WAL files
+  // from the oldest retained checkpoint's rotation point onward. A WAL
+  // file starting below the horizon but still feeding it (the one that
+  // *contains* the horizon seq) can only exist transiently; rotation
+  // always cuts exactly at checkpoint seqs, so strict < is safe.
+  const std::uint64_t horizon = checkpoint_seqs.front();
+  for (std::uint64_t seq : ListSeqs(dir_, kWalPrefix, kWalSuffix)) {
+    if (seq < horizon) ::unlink(WalPath(seq).c_str());
+  }
+}
+
+}  // namespace storage
+}  // namespace bcdb

@@ -1,0 +1,139 @@
+#ifndef BCDB_STORAGE_DURABLE_STORE_H_
+#define BCDB_STORAGE_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/blockchain_db.h"
+#include "relational/schema.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace bcdb {
+namespace storage {
+
+struct DurableStoreOptions {
+  SyncPolicy sync = SyncPolicy::kGroup;
+  /// Group-commit threshold (SyncPolicy::kGroup only).
+  std::size_t group_bytes = 256 * 1024;
+  /// Checkpoint segments kept on disk. The newest one is the recovery
+  /// base; older ones are fallbacks if it turns out corrupted. WAL files
+  /// are retained back to the oldest kept checkpoint so every retained
+  /// segment can still be rolled forward to the present.
+  std::size_t retained_checkpoints = 2;
+};
+
+/// Counters for write amplification and recovery reporting. "Logical"
+/// bytes are the encoded mutation payloads; physical bytes include all
+/// framing, checksums, and checkpoint snapshots actually written.
+struct DurableStoreStats {
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t segment_bytes = 0;
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_syncs = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t recovered_snapshot_tuples = 0;
+  std::uint64_t recovered_wal_records = 0;
+  /// Recovery fell back past unusable state (corrupt newest checkpoint, a
+  /// WAL gap): some persisted suffix could not be applied.
+  bool degraded_recovery = false;
+
+  double WriteAmplification() const {
+    return logical_bytes == 0
+               ? 0.0
+               : static_cast<double>(wal_bytes + segment_bytes) /
+                     static_cast<double>(logical_bytes);
+  }
+};
+
+/// The durable backend of a BlockchainDatabase: an on-disk directory of
+/// checksummed checkpoint segments plus a write-ahead log of mutation
+/// records, attachable to a live database as its DurabilitySink.
+///
+/// Usage:
+///
+///   auto store = DurableStore::Open(dir, MakeBitcoinCatalog());
+///   auto db = store->Recover(constraints);         // empty on first open
+///   db->AttachDurabilitySink(store->get());        // stream from now on
+///   ... mutations ...
+///   store->Checkpoint(*db);                        // bound replay time
+///
+/// Persist never fails the mutation: I/O errors latch into status() and
+/// every later Persist is a no-op, so the in-memory database stays usable
+/// (and the caller decides whether a cold store is fatal).
+///
+/// Not thread-safe: the store expects the same single-threaded mutation
+/// discipline as the database it backs.
+class DurableStore : public DurabilitySink {
+ public:
+  /// Opens (creating if needed) the store directory. The catalog is the
+  /// codec's name/id map and schema fingerprint; Recover validates it
+  /// against what segments were written under.
+  static StatusOr<std::unique_ptr<DurableStore>> Open(
+      std::string dir, Catalog catalog, DurableStoreOptions options = {});
+
+  /// Rebuilds the database from the newest valid checkpoint plus the WAL
+  /// suffix, truncating any torn WAL tail, and leaves the store positioned
+  /// to append. Call once, before attaching the sink; the returned
+  /// database has no sink attached.
+  StatusOr<BlockchainDatabase> Recover(ConstraintSet constraints);
+
+  /// DurabilitySink: encode + append to the WAL under the sync policy.
+  void Persist(const MutationEvent& event,
+               const MutationPayload& payload) override;
+
+  /// First I/O error hit by Persist (mutations after it are NOT durable).
+  const Status& status() const { return status_; }
+
+  /// Forces all appended records to disk regardless of policy.
+  Status Sync();
+
+  /// Snapshots `db` into a new checkpoint segment, rotates the WAL, and
+  /// prunes segments/WAL files past the retention horizon. `db` must be
+  /// the database this store was recovered into / attached to, quiescent
+  /// for the duration of the call.
+  Status Checkpoint(const BlockchainDatabase& db);
+
+  const DurableStoreStats& stats() const { return stats_; }
+  const Catalog& catalog() const { return catalog_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Checkpoint segment paths currently on disk, newest first.
+  std::vector<std::string> ListCheckpoints() const;
+  /// WAL file paths currently on disk, oldest first.
+  std::vector<std::string> ListWalFiles() const;
+
+ private:
+  DurableStore(std::string dir, Catalog catalog, DurableStoreOptions options);
+
+  std::string CheckpointPath(std::uint64_t seq) const;
+  std::string WalPath(std::uint64_t start_seq) const;
+  /// Opens the active WAL file (appending); `fresh` truncates leftovers.
+  Status OpenActiveWal(std::uint64_t start_seq, bool fresh);
+  /// Absorbs the active writer's counters into stats_ (on rotation/close).
+  void AbsorbWalCounters();
+  /// Deletes checkpoints/WAL files behind the retention horizon.
+  void Prune();
+
+  std::string dir_;
+  Catalog catalog_;
+  DurableStoreOptions options_;
+  std::uint64_t schema_fingerprint_ = 0;
+  WalWriter wal_;
+  std::uint64_t wal_start_seq_ = 0;
+  bool recovered_ = false;
+  Status status_;
+  DurableStoreStats stats_;
+  /// Counters already absorbed from rotated-away WAL writers.
+  std::uint64_t absorbed_wal_bytes_ = 0;
+  std::uint64_t absorbed_wal_records_ = 0;
+  std::uint64_t absorbed_wal_syncs_ = 0;
+};
+
+}  // namespace storage
+}  // namespace bcdb
+
+#endif  // BCDB_STORAGE_DURABLE_STORE_H_

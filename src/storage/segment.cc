@@ -1,0 +1,232 @@
+#include "storage/segment.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "storage/crc32c.h"
+#include "util/bytes.h"
+
+namespace bcdb {
+namespace storage {
+
+namespace {
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+std::string EncodeHeader(const SegmentHeader& header) {
+  std::string out;
+  out.append(SegmentHeader::kMagic, 8);
+  AppendU32(&out, SegmentHeader::kFormatVersion);
+  AppendU32(&out, header.block_size);
+  AppendU64(&out, header.checkpoint_seq);
+  AppendU64(&out, header.db_version);
+  AppendU64(&out, header.schema_fingerprint);
+  AppendU64(&out, header.payload_size);
+  AppendU32(&out, MaskCrc(Crc32c(out)));
+  return out;
+}
+
+Status DecodeHeader(ByteReader* in, std::string_view raw,
+                    SegmentHeader* header) {
+  if (raw.size() < 8 || raw.substr(0, 8) != SegmentHeader::kMagic) {
+    return Status::InvalidArgument("segment: bad magic");
+  }
+  in->Skip(8);
+  std::uint32_t format_version;
+  std::uint32_t stored_crc;
+  if (!in->ReadU32(&format_version) || !in->ReadU32(&header->block_size) ||
+      !in->ReadU64(&header->checkpoint_seq) ||
+      !in->ReadU64(&header->db_version) ||
+      !in->ReadU64(&header->schema_fingerprint) ||
+      !in->ReadU64(&header->payload_size)) {
+    return Status::InvalidArgument("segment: truncated header");
+  }
+  const std::size_t crc_offset = in->offset();
+  if (!in->ReadU32(&stored_crc)) {
+    return Status::InvalidArgument("segment: truncated header");
+  }
+  if (UnmaskCrc(stored_crc) != Crc32c(raw.substr(0, crc_offset))) {
+    return Status::InvalidArgument("segment: header checksum mismatch");
+  }
+  if (format_version != SegmentHeader::kFormatVersion) {
+    return Status::InvalidArgument("segment: unsupported format version");
+  }
+  if (header->block_size == 0) {
+    return Status::InvalidArgument("segment: zero block size");
+  }
+  return Status::OK();
+}
+
+Status WriteAll(int fd, std::string_view bytes, const std::string& path) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError("write", path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return IoError("open dir", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return IoError("fsync dir", dir);
+  return Status::OK();
+}
+
+Status WriteSegment(const std::string& path, const SegmentHeader& header,
+                    std::string_view payload, std::uint64_t* physical_bytes) {
+  SegmentHeader stamped = header;
+  stamped.payload_size = payload.size();
+  const std::string tmp_path = path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return IoError("open", tmp_path);
+
+  std::uint64_t written = 0;
+  Status status = Status::OK();
+  {
+    const std::string raw_header = EncodeHeader(stamped);
+    status = WriteAll(fd, raw_header, tmp_path);
+    written += raw_header.size();
+  }
+  for (std::size_t off = 0; status.ok() && off < payload.size();
+       off += stamped.block_size) {
+    const std::size_t len =
+        std::min<std::size_t>(stamped.block_size, payload.size() - off);
+    const std::string_view block = payload.substr(off, len);
+    std::string frame;
+    AppendU32(&frame, static_cast<std::uint32_t>(len));
+    AppendU32(&frame, MaskCrc(Crc32c(block)));
+    status = WriteAll(fd, frame, tmp_path);
+    if (status.ok()) status = WriteAll(fd, block, tmp_path);
+    written += frame.size() + block.size();
+  }
+  if (status.ok() && ::fsync(fd) != 0) status = IoError("fsync", tmp_path);
+  ::close(fd);
+  if (!status.ok()) {
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const Status rename_status = IoError("rename", tmp_path);
+    ::unlink(tmp_path.c_str());
+    return rename_status;
+  }
+  BCDB_RETURN_IF_ERROR(SyncParentDir(path));
+  if (physical_bytes != nullptr) *physical_bytes = written;
+  return Status::OK();
+}
+
+StatusOr<SegmentContents> ReadSegment(const std::string& path) {
+  StatusOr<MappedFile> mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  const std::string_view raw = mapped->view();
+
+  SegmentContents contents;
+  ByteReader in(raw);
+  BCDB_RETURN_IF_ERROR(DecodeHeader(&in, raw, &contents.header));
+
+  contents.payload.reserve(contents.header.payload_size);
+  while (contents.payload.size() < contents.header.payload_size) {
+    std::uint32_t len;
+    std::uint32_t stored_crc;
+    if (!in.ReadU32(&len) || !in.ReadU32(&stored_crc)) {
+      return Status::InvalidArgument("segment: truncated block header");
+    }
+    if (len == 0 || len > contents.header.block_size ||
+        in.remaining() < len) {
+      return Status::InvalidArgument("segment: truncated block payload");
+    }
+    const std::string_view block = raw.substr(in.offset(), len);
+    if (UnmaskCrc(stored_crc) != Crc32c(block)) {
+      return Status::InvalidArgument(
+          "segment: block checksum mismatch at offset " +
+          std::to_string(in.offset()));
+    }
+    contents.payload.append(block.data(), block.size());
+    in.Skip(len);
+  }
+  if (contents.payload.size() != contents.header.payload_size ||
+      !in.exhausted()) {
+    return Status::InvalidArgument("segment: payload size mismatch");
+  }
+  return contents;
+}
+
+StatusOr<SegmentHeader> ReadSegmentHeader(const std::string& path) {
+  StatusOr<MappedFile> mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  SegmentHeader header;
+  ByteReader in(mapped->view());
+  BCDB_RETURN_IF_ERROR(DecodeHeader(&in, mapped->view(), &header));
+  return header;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(const_cast<char*>(data_), size_);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(const_cast<char*>(data_), size_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return errno == ENOENT ? Status::NotFound("no such file: " + path)
+                           : IoError("open", path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = IoError("fstat", path);
+    ::close(fd);
+    return status;
+  }
+  MappedFile mapped;
+  mapped.size_ = static_cast<std::size_t>(st.st_size);
+  if (mapped.size_ > 0) {
+    void* addr = ::mmap(nullptr, mapped.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const Status status = IoError("mmap", path);
+      ::close(fd);
+      return status;
+    }
+    mapped.data_ = static_cast<const char*>(addr);
+  }
+  ::close(fd);
+  return mapped;
+}
+
+}  // namespace storage
+}  // namespace bcdb

@@ -1,0 +1,169 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/crc32c.h"
+#include "storage/segment.h"
+#include "util/bytes.h"
+
+namespace bcdb {
+namespace storage {
+
+namespace {
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+const char* SyncPolicyToString(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::kNone:
+      return "none";
+    case SyncPolicy::kGroup:
+      return "group";
+    case SyncPolicy::kEveryRecord:
+      return "every-record";
+  }
+  return "?";
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept { *this = std::move(other); }
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::fsync(fd_);
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    policy_ = other.policy_;
+    group_bytes_ = other.group_bytes_;
+    unsynced_bytes_ = other.unsynced_bytes_;
+    physical_bytes_ = other.physical_bytes_;
+    records_ = other.records_;
+    syncs_ = other.syncs_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<WalWriter> WalWriter::Open(const std::string& path, SyncPolicy policy,
+                                    std::size_t group_bytes) {
+  WalWriter writer;
+  writer.fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (writer.fd_ < 0) return IoError("open", path);
+  writer.path_ = path;
+  writer.policy_ = policy;
+  writer.group_bytes_ = group_bytes == 0 ? 1 : group_bytes;
+  return writer;
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  if (fd_ < 0) return Status::Internal("WAL writer is closed");
+  std::string frame;
+  frame.reserve(12 + payload.size());
+  AppendU32(&frame, kRecordMagic);
+  AppendU32(&frame, static_cast<std::uint32_t>(payload.size()));
+  AppendU32(&frame, MaskCrc(Crc32c(payload)));
+  frame.append(payload.data(), payload.size());
+
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError("write", path_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  physical_bytes_ += frame.size();
+  unsynced_bytes_ += frame.size();
+  ++records_;
+
+  switch (policy_) {
+    case SyncPolicy::kNone:
+      return Status::OK();
+    case SyncPolicy::kGroup:
+      return unsynced_bytes_ >= group_bytes_ ? Sync() : Status::OK();
+    case SyncPolicy::kEveryRecord:
+      return Sync();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) return Status::Internal("WAL writer is closed");
+  if (unsynced_bytes_ == 0) return Status::OK();
+  if (::fsync(fd_) != 0) return IoError("fsync", path_);
+  unsynced_bytes_ = 0;
+  ++syncs_;
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status status = Sync();
+  if (::close(fd_) != 0 && status.ok()) status = IoError("close", path_);
+  fd_ = -1;
+  return status;
+}
+
+StatusOr<WalScan> ScanWal(const std::string& path) {
+  WalScan scan;
+  StatusOr<MappedFile> mapped = MappedFile::Open(path);
+  if (!mapped.ok()) {
+    if (mapped.status().code() == StatusCode::kNotFound) return scan;
+    return mapped.status();
+  }
+  const std::string_view raw = mapped->view();
+  ByteReader in(raw);
+  while (!in.exhausted()) {
+    const std::size_t record_start = in.offset();
+    std::uint32_t magic;
+    std::uint32_t len;
+    std::uint32_t stored_crc;
+    if (!in.ReadU32(&magic) || magic != WalWriter::kRecordMagic ||
+        !in.ReadU32(&len) || !in.ReadU32(&stored_crc) ||
+        in.remaining() < len) {
+      scan.valid_prefix = record_start;
+      scan.tail_corrupt = true;
+      return scan;
+    }
+    const std::string_view payload = raw.substr(in.offset(), len);
+    if (UnmaskCrc(stored_crc) != Crc32c(payload)) {
+      scan.valid_prefix = record_start;
+      scan.tail_corrupt = true;
+      return scan;
+    }
+    in.Skip(len);
+    scan.records.emplace_back(payload);
+    scan.valid_prefix = in.offset();
+  }
+  scan.valid_prefix = raw.size();
+  return scan;
+}
+
+Status TruncateWal(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return IoError("truncate", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace bcdb

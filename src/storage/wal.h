@@ -1,0 +1,96 @@
+#ifndef BCDB_STORAGE_WAL_H_
+#define BCDB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bcdb {
+namespace storage {
+
+/// When appended WAL records reach the disk.
+enum class SyncPolicy {
+  /// Never fsync (OS page cache only) — the fastest and weakest option;
+  /// durable only across process crashes, not power loss.
+  kNone,
+  /// Group commit: fsync once at least `group_bytes` are pending (and on
+  /// Sync()/Close()). Amortizes the fsync over many records.
+  kGroup,
+  /// fsync after every record — the strongest and slowest option.
+  kEveryRecord,
+};
+
+const char* SyncPolicyToString(SyncPolicy policy);
+
+/// Append-only write-ahead log of framed records:
+///
+///   record := magic u32 ("WALR") | len u32 | masked CRC32C u32 | payload
+///
+/// A torn tail (crash mid-append) shows up as a record whose magic, length
+/// bound, or checksum fails; the recovery scan stops there and truncates
+/// the file back to the last whole record.
+class WalWriter {
+ public:
+  static constexpr std::uint32_t kRecordMagic = 0x574C4152u;  // "RALW" LE
+
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending (creating it if missing).
+  static StatusOr<WalWriter> Open(const std::string& path, SyncPolicy policy,
+                                  std::size_t group_bytes = 256 * 1024);
+
+  /// Frames and appends one record, then applies the sync policy.
+  Status Append(std::string_view payload);
+
+  /// Forces everything appended so far to disk.
+  Status Sync();
+
+  /// Syncs and closes. Further appends fail.
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  std::uint64_t physical_bytes() const { return physical_bytes_; }
+  std::uint64_t records() const { return records_; }
+  std::uint64_t syncs() const { return syncs_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  SyncPolicy policy_ = SyncPolicy::kGroup;
+  std::size_t group_bytes_ = 0;
+  std::size_t unsynced_bytes_ = 0;
+  std::uint64_t physical_bytes_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t syncs_ = 0;
+};
+
+/// Result of scanning one WAL file.
+struct WalScan {
+  /// Payloads of every whole, checksum-valid record, in append order.
+  std::vector<std::string> records;
+  /// Byte offset just past the last valid record — where a torn tail (if
+  /// any) starts.
+  std::uint64_t valid_prefix = 0;
+  /// True if bytes past valid_prefix exist (torn or corrupted tail).
+  bool tail_corrupt = false;
+};
+
+/// Scans `path` front to back, stopping at the first framing or checksum
+/// failure. A missing file scans as empty.
+StatusOr<WalScan> ScanWal(const std::string& path);
+
+/// Truncates `path` to `size` bytes (recovery chopping a torn tail).
+Status TruncateWal(const std::string& path, std::uint64_t size);
+
+}  // namespace storage
+}  // namespace bcdb
+
+#endif  // BCDB_STORAGE_WAL_H_

@@ -141,5 +141,40 @@ TEST(BlockchainDatabaseTest, LabelsAreAccessible) {
   EXPECT_EQ(db.pending(3).size(), 4u);  // T4: 2 inputs + 2 outputs.
 }
 
+TEST(BlockchainDatabaseTest, ListenersSeeRegistrationTimeFootprints) {
+  // Regression: Apply/DiscardPending built their event's relation_ids
+  // *after* tearing down the slot's tuples, so listeners of a discarded
+  // slot could observe an empty (or partial) footprint and skip
+  // invalidating affected relations. The footprint in the event must be
+  // the registration-time one, and the database state visible inside the
+  // callback must already reflect the completed mutation.
+  BlockchainDatabase db = MakeRunningExample();
+  const std::vector<std::size_t> apply_footprint = db.PendingRelations(0);
+  const std::vector<std::size_t> discard_footprint = db.PendingRelations(3);
+  ASSERT_FALSE(apply_footprint.empty());
+  ASSERT_FALSE(discard_footprint.empty());
+
+  std::vector<MutationEvent> seen;
+  std::vector<BlockchainDatabase::PendingState> state_at_callback;
+  db.AddMutationListener([&](const MutationEvent& event) {
+    seen.push_back(event);
+    state_at_callback.push_back(db.pending_state(event.pending_id));
+  });
+
+  ASSERT_TRUE(db.ApplyPending(0).ok());
+  ASSERT_TRUE(db.DiscardPending(3).ok());
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].kind, MutationKind::kPendingApplied);
+  EXPECT_EQ(seen[0].pending_id, 0u);
+  EXPECT_EQ(seen[0].relation_ids, apply_footprint);
+  EXPECT_EQ(state_at_callback[0], BlockchainDatabase::PendingState::kApplied);
+  EXPECT_EQ(seen[1].kind, MutationKind::kPendingDiscarded);
+  EXPECT_EQ(seen[1].pending_id, 3u);
+  EXPECT_EQ(seen[1].relation_ids, discard_footprint);
+  EXPECT_EQ(state_at_callback[1],
+            BlockchainDatabase::PendingState::kDiscarded);
+}
+
 }  // namespace
 }  // namespace bcdb

@@ -1,0 +1,313 @@
+// Fault-injection matrix for the durable store: a randomized churn
+// workload is persisted, the process "crashes" (store closed, files
+// corrupted per-variant), the database is recovered, and the remaining
+// operations are re-applied. The recovered run must end bit-identical to a
+// never-crashed baseline — same relation contents id-for-id, same pending
+// slots, and the same DCSat verdicts / monitor verdicts folded into a
+// digest. 30 seeds sweep kill points (1/3 vs 2/3 through the workload)
+// crossed with five corruption variants:
+//
+//   seed % 5 == 0  clean restart (no corruption)
+//   seed % 5 == 1  torn final WAL record (truncated tail)
+//   seed % 5 == 2  bit flip mid-WAL (checksum-detected interior corruption)
+//   seed % 5 == 3  corrupted newest checkpoint (fallback + WAL roll-forward)
+//   seed % 5 == 4  orphaned .tmp segment (crash mid-checkpoint-write)
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dcsat.h"
+#include "core/monitor.h"
+#include "query/parser.h"
+#include "storage/durable_store.h"
+#include "storage_test_util.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace bcdb {
+namespace {
+
+using storage::DurableStore;
+using storage::DurableStoreOptions;
+using storage_test::ExpectEquivalent;
+using storage_test::FileSize;
+using storage_test::FlipByte;
+using storage_test::ListFilesWithSuffix;
+using storage_test::MakeTestCatalog;
+using storage_test::ScratchDir;
+using storage_test::TruncateFileBy;
+
+constexpr std::size_t kNumSeeds = 30;
+constexpr std::size_t kOpsPerSeed = 24;
+
+class Digest {
+ public:
+  void Mix(std::uint64_t x) {
+    state_ = HashMix64(state_ ^ HashMix64(x + 0x9e3779b97f4a7c15ULL));
+  }
+  void Mix(bool b) { Mix(static_cast<std::uint64_t>(b ? 1 : 2)); }
+  std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x5bf03635aca31a6fULL;
+};
+
+ConstraintSet MakeConstraints(bool with_ind) {
+  Catalog catalog = MakeTestCatalog();
+  ConstraintSet constraints;
+  auto key = FunctionalDependency::Key(catalog, "R", {"a"});
+  EXPECT_TRUE(key.ok());
+  constraints.AddFd(std::move(*key));
+  if (with_ind) {
+    auto ind = InclusionDependency::Create(catalog, "S", {"x"}, "R", {"a"});
+    EXPECT_TRUE(ind.ok());
+    constraints.AddInd(std::move(*ind));
+  }
+  return constraints;
+}
+
+/// One recorded mutation. The workload is generated once per seed by
+/// running it against the baseline; each recorded op published exactly one
+/// mutation event, so op index == mutation seq, and replaying ops [E, N)
+/// onto any state recovered at end_seq E deterministically reproduces the
+/// baseline's final state.
+struct Op {
+  enum Kind { kInsert, kAdd, kApply, kDiscard } kind;
+  std::string relation;   // kInsert
+  Tuple tuple;            // kInsert
+  Transaction txn{""};    // kAdd
+  PendingId pending_id =  // kAdd (assigned id, verified), kApply, kDiscard
+      0;
+};
+
+Transaction RandomTxn(Xoshiro256& rng, std::size_t ordinal) {
+  Transaction txn("P" + std::to_string(ordinal));
+  const std::size_t num_tuples = 1 + rng.NextBelow(2);
+  for (std::size_t i = 0; i < num_tuples; ++i) {
+    if (rng.NextBool(0.5)) {
+      txn.Add("R", Tuple({Value::Int(rng.NextInRange(0, 5)),
+                          Value::Int(rng.NextInRange(0, 3))}));
+    } else {
+      txn.Add("S", Tuple({Value::Int(rng.NextInRange(0, 5)),
+                          Value::Int(rng.NextInRange(0, 3))}));
+    }
+  }
+  return txn;
+}
+
+/// Generates and applies the workload against `db`, recording every op
+/// that actually published a mutation event (no-op inserts of duplicate
+/// tuples are retried, not recorded).
+std::vector<Op> GenerateOps(Xoshiro256& rng, BlockchainDatabase* db) {
+  std::vector<Op> ops;
+  std::vector<PendingId> live;
+  std::size_t ordinal = 0;
+  while (ops.size() < kOpsPerSeed) {
+    const std::uint64_t seq_before = db->mutations().end_seq();
+    Op op;
+    const std::size_t pick = rng.NextBelow(4);
+    if (pick == 0) {
+      op.kind = Op::kInsert;
+      op.relation = rng.NextBool(0.5) ? "R" : "S";
+      op.tuple = Tuple({Value::Int(rng.NextInRange(0, 20)),
+                        Value::Int(rng.NextInRange(0, 3))});
+      if (!db->InsertCurrent(op.relation, op.tuple).ok()) continue;
+    } else if (pick == 1 || live.empty()) {
+      op.kind = Op::kAdd;
+      op.txn = RandomTxn(rng, ordinal++);
+      auto id = db->AddPending(op.txn);
+      if (!id.ok()) continue;
+      op.pending_id = *id;
+      live.push_back(*id);
+    } else {
+      const std::size_t at = rng.NextBelow(live.size());
+      op.pending_id = live[at];
+      if (pick == 2 && db->ApplyPending(op.pending_id).ok()) {
+        op.kind = Op::kApply;
+      } else if (db->DiscardPending(op.pending_id).ok()) {
+        op.kind = Op::kDiscard;
+      } else {
+        continue;
+      }
+      live.erase(live.begin() + at);
+    }
+    if (db->mutations().end_seq() == seq_before) continue;  // No event.
+    EXPECT_EQ(db->mutations().end_seq(), seq_before + 1);
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+/// Replays one recorded op; every replay must succeed and assign the same
+/// ids it did on the baseline.
+void ReplayOp(const Op& op, BlockchainDatabase* db) {
+  switch (op.kind) {
+    case Op::kInsert:
+      ASSERT_TRUE(db->InsertCurrent(op.relation, op.tuple).ok());
+      break;
+    case Op::kAdd: {
+      auto id = db->AddPending(op.txn);
+      ASSERT_TRUE(id.ok());
+      ASSERT_EQ(*id, op.pending_id);
+      break;
+    }
+    case Op::kApply:
+      ASSERT_TRUE(db->ApplyPending(op.pending_id).ok());
+      break;
+    case Op::kDiscard:
+      ASSERT_TRUE(db->DiscardPending(op.pending_id).ok());
+      break;
+  }
+}
+
+const char* kEngineQueries[] = {
+    "q() :- R(x, y)",
+    "q() :- R(0, y)",
+    "q() :- R(x, y), S(x, z)",
+    "q() :- R(x, y), S(x, z), y < z",
+};
+
+const char* kMonitorQueries[] = {
+    "q() :- R(x, y)",
+    "q() :- R(x, 2)",
+    "q() :- R(x, y), S(x, z)",
+};
+
+/// Folds every constraint-level observable of `db`'s final state into the
+/// digest: DCSat verdicts + witnesses over the engine queries, and monitor
+/// verdicts after one poll.
+void DigestVerdicts(BlockchainDatabase* db, Digest* digest) {
+  DcSatEngine engine(db);
+  for (const char* text : kEngineQueries) {
+    auto q = ParseDenialConstraint(text);
+    ASSERT_TRUE(q.ok()) << text;
+    auto result = engine.Check(*q);
+    ASSERT_TRUE(result.ok()) << text;
+    digest->Mix(result->decided);
+    digest->Mix(result->satisfied);
+    digest->Mix(result->witness.has_value());
+    if (result->witness) {
+      digest->Mix(static_cast<std::uint64_t>(result->witness->size()));
+      for (PendingId id : *result->witness) {
+        digest->Mix(static_cast<std::uint64_t>(id));
+      }
+    }
+  }
+  ConstraintMonitor monitor(db);
+  std::vector<MonitorHandle> handles;
+  for (const char* text : kMonitorQueries) {
+    auto handle = monitor.Add(text, text);
+    ASSERT_TRUE(handle.ok()) << text;
+    handles.push_back(*handle);
+  }
+  ASSERT_TRUE(monitor.Poll().ok());
+  for (MonitorHandle handle : handles) {
+    digest->Mix(static_cast<std::uint64_t>(monitor.verdict(handle)));
+  }
+}
+
+void CorruptPerVariant(const std::string& dir, std::uint64_t variant) {
+  switch (variant) {
+    case 0:  // Clean restart.
+      break;
+    case 1: {  // Torn final WAL record.
+      const std::vector<std::string> wals = ListFilesWithSuffix(dir, ".log");
+      if (!wals.empty() && FileSize(wals.back()) > 0) {
+        TruncateFileBy(wals.back(), 3);
+      }
+      break;
+    }
+    case 2: {  // Bit flip mid-WAL.
+      const std::vector<std::string> wals = ListFilesWithSuffix(dir, ".log");
+      if (!wals.empty() && FileSize(wals.back()) > 0) {
+        FlipByte(wals.back(), FileSize(wals.back()) / 2);
+      }
+      break;
+    }
+    case 3: {  // Corrupted newest checkpoint: force the fallback path.
+      const std::vector<std::string> segs = ListFilesWithSuffix(dir, ".seg");
+      if (!segs.empty()) {
+        FlipByte(segs.back(), FileSize(segs.back()) / 2);
+      }
+      break;
+    }
+    case 4:  // Orphaned .tmp from a crash mid-checkpoint-write.
+      storage_test::AppendBytesToFile(
+          dir + "/checkpoint-ffffffffffffffff.seg.tmp", "half-written junk");
+      break;
+    default:
+      FAIL() << "unknown variant " << variant;
+  }
+}
+
+TEST(CrashRecoveryTest, ThirtySeedFaultMatrixMatchesNeverCrashedBaseline) {
+  for (std::uint64_t seed = 0; seed < kNumSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const bool with_ind = (seed % 2) == 1;
+    const std::uint64_t variant = seed % 5;
+    Xoshiro256 rng(seed);
+
+    // Baseline: the full workload with no persistence and no crash.
+    auto baseline =
+        BlockchainDatabase::Create(MakeTestCatalog(), MakeConstraints(with_ind));
+    ASSERT_TRUE(baseline.ok());
+    const std::vector<Op> ops = GenerateOps(rng, &*baseline);
+    ASSERT_EQ(ops.size(), kOpsPerSeed);
+    Digest baseline_digest;
+    ASSERT_NO_FATAL_FAILURE(DigestVerdicts(&*baseline, &baseline_digest));
+
+    // Crash run: persist ops [0, kill) with two interior checkpoints, then
+    // "crash" (close + corrupt).
+    ScratchDir scratch;
+    const std::string dir = scratch.Sub("db");
+    const std::size_t kill =
+        (seed % 2 == 0) ? kOpsPerSeed / 3 : (2 * kOpsPerSeed) / 3;
+    {
+      auto store = DurableStore::Open(dir, MakeTestCatalog());
+      ASSERT_TRUE(store.ok()) << store.status();
+      auto db = (*store)->Recover(MakeConstraints(with_ind));
+      ASSERT_TRUE(db.ok()) << db.status();
+      db->AttachDurabilitySink(store->get());
+      for (std::size_t i = 0; i < kill; ++i) {
+        ASSERT_NO_FATAL_FAILURE(ReplayOp(ops[i], &*db));
+        if (i + 1 == kill / 3 || i + 1 == (2 * kill) / 3) {
+          ASSERT_TRUE((*store)->Checkpoint(*db).ok());
+        }
+      }
+      ASSERT_TRUE((*store)->Sync().ok());
+      ASSERT_TRUE((*store)->status().ok());
+    }
+    ASSERT_NO_FATAL_FAILURE(CorruptPerVariant(dir, variant));
+
+    // Recover, then re-apply everything the recovered image is missing.
+    auto store = DurableStore::Open(dir, MakeTestCatalog());
+    ASSERT_TRUE(store.ok()) << store.status();
+    auto recovered = (*store)->Recover(MakeConstraints(with_ind));
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    const std::uint64_t resume_seq = recovered->mutations().end_seq();
+    ASSERT_LE(resume_seq, kill);
+    if (variant == 0) {
+      // Clean restart loses nothing and must not report degradation.
+      EXPECT_EQ(resume_seq, kill);
+      EXPECT_FALSE((*store)->stats().degraded_recovery);
+    }
+    recovered->AttachDurabilitySink(store->get());
+    for (std::size_t i = resume_seq; i < kOpsPerSeed; ++i) {
+      ASSERT_NO_FATAL_FAILURE(ReplayOp(ops[i], &*recovered));
+    }
+    ASSERT_TRUE((*store)->status().ok());
+
+    // Structural identity and verdict identity with the baseline.
+    ASSERT_NO_FATAL_FAILURE(ExpectEquivalent(*baseline, *recovered));
+    Digest recovered_digest;
+    ASSERT_NO_FATAL_FAILURE(DigestVerdicts(&*recovered, &recovered_digest));
+    EXPECT_EQ(recovered_digest.value(), baseline_digest.value())
+        << "constraint verdicts diverged after crash recovery";
+  }
+}
+
+}  // namespace
+}  // namespace bcdb

@@ -167,5 +167,31 @@ TEST_F(DcSatTest, CompileErrorsPropagate) {
   EXPECT_FALSE(engine_.Check(*q).ok());
 }
 
+TEST_F(DcSatTest, CompiledQuerySurvivesCacheGrowthAndEviction) {
+  // Regression: GetOrCompile used to return a raw pointer into the cache
+  // vector, dangling as soon as a later compile reallocated or FIFO-evicted
+  // it. Hold the first compiled query while pushing the cache through one
+  // full capacity of growth plus evictions, then use it — under asan, the
+  // old code faults here.
+  auto held_q = ParseDenialConstraint("q() :- TxOut(t, s, 'U1Pk', a)");
+  ASSERT_TRUE(held_q.ok());
+  auto held = engine_.GetOrCompile(*held_q);
+  ASSERT_TRUE(held.ok()) << held.status();
+  const DcSatResult before = Check("q() :- TxOut(t, s, 'U1Pk', a)", {});
+
+  for (std::size_t i = 0; i < DcSatEngine::kCompiledCacheCapacity + 8; ++i) {
+    auto q = ParseDenialConstraint("q() :- TxOut(t, s, pk, " +
+                                   std::to_string(i) + ")");
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(engine_.GetOrCompile(*q).ok());
+  }
+
+  engine_.PrepareSteadyState();
+  auto result = engine_.CheckPrepared(*held_q, **held);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->satisfied, before.satisfied);
+  EXPECT_EQ(result->decided, before.decided);
+}
+
 }  // namespace
 }  // namespace bcdb

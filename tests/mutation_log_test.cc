@@ -24,7 +24,7 @@ TEST(MutationLogTest, StampsMonotoneSequenceNumbers) {
   EXPECT_EQ(log.end_seq(), 5u);
 
   std::vector<MutationEvent> events;
-  ASSERT_TRUE(log.ReadSince(0, &events));
+  ASSERT_EQ(log.ReadSince(0, &events), MutationLog::ReadResult::kOk);
   ASSERT_EQ(events.size(), 5u);
   for (std::uint64_t i = 0; i < events.size(); ++i) {
     EXPECT_EQ(events[i].seq, i);
@@ -36,19 +36,33 @@ TEST(MutationLogTest, ReadSinceReturnsSuffixAndEmptyTail) {
   for (int i = 0; i < 4; ++i) log.Append(Event(MutationKind::kPendingAdded));
 
   std::vector<MutationEvent> tail;
-  ASSERT_TRUE(log.ReadSince(2, &tail));
+  ASSERT_EQ(log.ReadSince(2, &tail), MutationLog::ReadResult::kOk);
   ASSERT_EQ(tail.size(), 2u);
   EXPECT_EQ(tail[0].seq, 2u);
   EXPECT_EQ(tail[1].seq, 3u);
 
   // A caught-up cursor reads nothing but succeeds.
   std::vector<MutationEvent> none;
-  EXPECT_TRUE(log.ReadSince(4, &none));
+  EXPECT_EQ(log.ReadSince(4, &none), MutationLog::ReadResult::kOk);
   EXPECT_TRUE(none.empty());
+}
 
-  // A cursor past the end belongs to some other log: refuse.
-  EXPECT_FALSE(log.ReadSince(5, &none));
-  EXPECT_TRUE(none.empty());
+TEST(MutationLogTest, ForeignCursorIsACallerBugDistinctFromTrimming) {
+  MutationLog log;
+  for (int i = 0; i < 4; ++i) log.Append(Event(MutationKind::kPendingAdded));
+
+  // A cursor past the end cannot come from this log: it is a caller bug
+  // (mixing cursors between logs), asserted in debug builds and reported as
+  // kForeignCursor — not kTrimmed — in release builds, so consumers never
+  // mistake it for a legitimate "rebuild your state" signal.
+  std::vector<MutationEvent> none;
+  EXPECT_DEBUG_DEATH(
+      {
+        const MutationLog::ReadResult result = log.ReadSince(5, &none);
+        EXPECT_EQ(result, MutationLog::ReadResult::kForeignCursor);
+        EXPECT_TRUE(none.empty());
+      },
+      "cursor beyond end_seq");
 }
 
 TEST(MutationLogTest, TrimsToCapacityAndFailsLaggingReaders) {
@@ -62,11 +76,11 @@ TEST(MutationLogTest, TrimsToCapacityAndFailsLaggingReaders) {
   // A reader whose cursor fell out of the retention window learns it missed
   // events; the output vector is untouched.
   std::vector<MutationEvent> events;
-  EXPECT_FALSE(log.ReadSince(3, &events));
+  EXPECT_EQ(log.ReadSince(3, &events), MutationLog::ReadResult::kTrimmed);
   EXPECT_TRUE(events.empty());
 
   // The oldest retained seq is still readable.
-  ASSERT_TRUE(log.ReadSince(4, &events));
+  ASSERT_EQ(log.ReadSince(4, &events), MutationLog::ReadResult::kOk);
   ASSERT_EQ(events.size(), 3u);
   EXPECT_EQ(events.front().seq, 4u);
   EXPECT_EQ(events.back().seq, 6u);
@@ -78,7 +92,7 @@ TEST(MutationLogTest, ZeroCapacityClampsToOne) {
   log.Append(Event(MutationKind::kPendingApplied));
   EXPECT_EQ(log.begin_seq(), 1u);
   std::vector<MutationEvent> events;
-  ASSERT_TRUE(log.ReadSince(1, &events));
+  ASSERT_EQ(log.ReadSince(1, &events), MutationLog::ReadResult::kOk);
   ASSERT_EQ(events.size(), 1u);
   EXPECT_EQ(events[0].kind, MutationKind::kPendingApplied);
 }
@@ -125,7 +139,8 @@ TEST_F(DatabaseMutationsTest, RecordsEveryMutationKind) {
   ASSERT_TRUE(db.DiscardPending(*doomed_id).ok());
 
   std::vector<MutationEvent> events;
-  ASSERT_TRUE(db.mutations().ReadSince(0, &events));
+  ASSERT_EQ(db.mutations().ReadSince(0, &events),
+            MutationLog::ReadResult::kOk);
   ASSERT_EQ(events.size(), 5u);
 
   EXPECT_EQ(events[0].kind, MutationKind::kCurrentInserted);

@@ -1,0 +1,332 @@
+// Checkpoint segment files and the DurableStore checkpoint/recover cycle.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/durable_store.h"
+#include "storage/record_codec.h"
+#include "storage/segment.h"
+#include "storage_test_util.h"
+
+namespace bcdb {
+namespace {
+
+using storage::DurableStore;
+using storage::DurableStoreOptions;
+using storage::MappedFile;
+using storage::ReadSegment;
+using storage::ReadSegmentHeader;
+using storage::SegmentContents;
+using storage::SegmentHeader;
+using storage::WriteSegment;
+using storage_test::ExpectEquivalent;
+using storage_test::FileSize;
+using storage_test::FlipByte;
+using storage_test::ListFilesWithSuffix;
+using storage_test::MakeTestCatalog;
+using storage_test::ScratchDir;
+using storage_test::TruncateFileBy;
+
+std::string MakePayload(std::size_t size) {
+  std::string payload(size, '\0');
+  for (std::size_t i = 0; i < size; ++i) {
+    payload[i] = static_cast<char>((i * 131 + 17) & 0xFF);
+  }
+  return payload;
+}
+
+SegmentHeader SmallBlockHeader(std::size_t payload_size) {
+  SegmentHeader header;
+  header.block_size = 64;  // Force many blocks even for small payloads.
+  header.checkpoint_seq = 42;
+  header.db_version = 7;
+  header.schema_fingerprint = 0x1234abcd5678ef00ULL;
+  header.payload_size = payload_size;
+  return header;
+}
+
+TEST(SegmentTest, RoundTripsMultiBlockPayload) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("multi.seg");
+  const std::string payload = MakePayload(1000);  // 15 full blocks + remainder.
+  std::uint64_t physical = 0;
+  ASSERT_TRUE(
+      WriteSegment(path, SmallBlockHeader(payload.size()), payload, &physical)
+          .ok());
+  EXPECT_GT(physical, payload.size());  // Framing overhead exists...
+  EXPECT_EQ(physical, FileSize(path));  // ...and is what actually hit disk.
+
+  StatusOr<SegmentContents> contents = ReadSegment(path);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  EXPECT_EQ(contents->payload, payload);
+  EXPECT_EQ(contents->header.checkpoint_seq, 42u);
+  EXPECT_EQ(contents->header.db_version, 7u);
+  EXPECT_EQ(contents->header.schema_fingerprint, 0x1234abcd5678ef00ULL);
+  EXPECT_EQ(contents->header.block_size, 64u);
+}
+
+TEST(SegmentTest, RoundTripsEmptyPayload) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("empty.seg");
+  ASSERT_TRUE(WriteSegment(path, SmallBlockHeader(0), "").ok());
+  StatusOr<SegmentContents> contents = ReadSegment(path);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  EXPECT_TRUE(contents->payload.empty());
+}
+
+TEST(SegmentTest, HeaderProbeReadsWithoutValidatingBlocks) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("probe.seg");
+  const std::string payload = MakePayload(300);
+  ASSERT_TRUE(
+      WriteSegment(path, SmallBlockHeader(payload.size()), payload).ok());
+
+  StatusOr<SegmentHeader> header = ReadSegmentHeader(path);
+  ASSERT_TRUE(header.ok()) << header.status();
+  EXPECT_EQ(header->checkpoint_seq, 42u);
+  EXPECT_EQ(header->payload_size, payload.size());
+
+  // A flipped payload bit doesn't bother the probe, but fails a full read.
+  FlipByte(path, FileSize(path) - 1);
+  EXPECT_TRUE(ReadSegmentHeader(path).ok());
+  EXPECT_FALSE(ReadSegment(path).ok());
+}
+
+TEST(SegmentTest, DetectsBitFlipAnywhere) {
+  ScratchDir dir;
+  const std::string pristine = dir.Sub("pristine.seg");
+  const std::string payload = MakePayload(200);
+  ASSERT_TRUE(
+      WriteSegment(pristine, SmallBlockHeader(payload.size()), payload).ok());
+  const std::uint64_t size = FileSize(pristine);
+
+  // Flip one byte at a spread of offsets covering the header, block
+  // framing, and payloads; every single one must be caught.
+  for (std::uint64_t offset = 0; offset < size; offset += 13) {
+    const std::string corrupt = dir.Sub("corrupt.seg");
+    std::filesystem::copy_file(pristine, corrupt,
+                               std::filesystem::copy_options::overwrite_existing);
+    FlipByte(corrupt, offset);
+    EXPECT_FALSE(ReadSegment(corrupt).ok()) << "offset " << offset;
+  }
+}
+
+TEST(SegmentTest, DetectsTruncationAndTrailingGarbage) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("trunc.seg");
+  const std::string payload = MakePayload(500);
+  ASSERT_TRUE(
+      WriteSegment(path, SmallBlockHeader(payload.size()), payload).ok());
+
+  const std::string garbled = dir.Sub("garbled.seg");
+  std::filesystem::copy_file(path, garbled);
+  storage_test::AppendBytesToFile(garbled, "extra");
+  EXPECT_FALSE(ReadSegment(garbled).ok());
+
+  for (std::uint64_t chop : {std::uint64_t{1}, std::uint64_t{7},
+                             FileSize(path) / 2, FileSize(path) - 1}) {
+    const std::string cut = dir.Sub("cut.seg");
+    std::filesystem::copy_file(path, cut,
+                               std::filesystem::copy_options::overwrite_existing);
+    TruncateFileBy(cut, chop);
+    EXPECT_FALSE(ReadSegment(cut).ok()) << "chopped " << chop;
+  }
+}
+
+TEST(SegmentTest, MappedFileReportsMissingFileAsNotFound) {
+  ScratchDir dir;
+  StatusOr<MappedFile> mapped = MappedFile::Open(dir.Sub("nope"));
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(ReadSegment(dir.Sub("nope")).ok());
+}
+
+// ---- DurableStore checkpoint / recover ------------------------------------
+
+/// Runs a small scripted workload: base tuples, an applied txn, a
+/// discarded txn, and a still-live txn.
+void RunWorkload(BlockchainDatabase* db) {
+  ASSERT_TRUE(db->InsertCurrent("R", Tuple({Value::Int(1), Value::Int(10)})).ok());
+  ASSERT_TRUE(db->InsertCurrent("S", Tuple({Value::Int(2), Value::Int(20)})).ok());
+  Transaction applied("applied");
+  applied.Add("R", Tuple({Value::Int(3), Value::Int(30)}));
+  auto applied_id = db->AddPending(applied);
+  ASSERT_TRUE(applied_id.ok());
+  Transaction discarded("discarded");
+  discarded.Add("S", Tuple({Value::Int(4), Value::Int(40)}));
+  auto discarded_id = db->AddPending(discarded);
+  ASSERT_TRUE(discarded_id.ok());
+  Transaction live("live");
+  live.Add("R", Tuple({Value::Int(5), Value::Int(50)}));
+  ASSERT_TRUE(db->AddPending(live).ok());
+  ASSERT_TRUE(db->ApplyPending(*applied_id).ok());
+  ASSERT_TRUE(db->DiscardPending(*discarded_id).ok());
+}
+
+TEST(DurableStoreTest, FreshDirectoryRecoversEmpty) {
+  ScratchDir dir;
+  auto store = DurableStore::Open(dir.Sub("db"), MakeTestCatalog());
+  ASSERT_TRUE(store.ok()) << store.status();
+  auto db = (*store)->Recover(ConstraintSet{});
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->version(), 0u);
+  EXPECT_EQ(db->num_pending(), 0u);
+  EXPECT_EQ(db->mutations().end_seq(), 0u);
+  EXPECT_FALSE((*store)->stats().degraded_recovery);
+}
+
+TEST(DurableStoreTest, CheckpointThenRecoverIsIdForIdEquivalent) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("db");
+  auto store = DurableStore::Open(path, MakeTestCatalog());
+  ASSERT_TRUE(store.ok()) << store.status();
+  auto db = (*store)->Recover(ConstraintSet{});
+  ASSERT_TRUE(db.ok()) << db.status();
+  db->AttachDurabilitySink(store->get());
+  ASSERT_NO_FATAL_FAILURE(RunWorkload(&*db));
+  ASSERT_TRUE((*store)->Checkpoint(*db).ok());
+  ASSERT_TRUE((*store)->status().ok());
+  EXPECT_EQ((*store)->stats().checkpoints, 1u);
+  store->reset();  // Close cleanly.
+
+  auto reopened = DurableStore::Open(path, MakeTestCatalog());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  auto recovered = (*reopened)->Recover(ConstraintSet{});
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ExpectEquivalent(*db, *recovered);
+  EXPECT_FALSE((*reopened)->stats().degraded_recovery);
+  EXPECT_GT((*reopened)->stats().recovered_snapshot_tuples, 0u);
+  EXPECT_EQ((*reopened)->stats().recovered_wal_records, 0u);
+}
+
+TEST(DurableStoreTest, RecoveredDatabaseKeepsAppendingDurably) {
+  // Recover → mutate → recover again: the second recovery sees the
+  // post-recovery mutations (the store is positioned to append, not
+  // overwrite).
+  ScratchDir dir;
+  const std::string path = dir.Sub("db");
+  {
+    auto store = DurableStore::Open(path, MakeTestCatalog());
+    ASSERT_TRUE(store.ok());
+    auto db = (*store)->Recover(ConstraintSet{});
+    ASSERT_TRUE(db.ok());
+    db->AttachDurabilitySink(store->get());
+    ASSERT_NO_FATAL_FAILURE(RunWorkload(&*db));
+    ASSERT_TRUE((*store)->Checkpoint(*db).ok());
+  }
+  BlockchainDatabase after_first = [&] {
+    auto store = DurableStore::Open(path, MakeTestCatalog());
+    EXPECT_TRUE(store.ok());
+    auto db = (*store)->Recover(ConstraintSet{});
+    EXPECT_TRUE(db.ok());
+    db->AttachDurabilitySink(store->get());
+    EXPECT_TRUE(
+        db->InsertCurrent("R", Tuple({Value::Int(77), Value::Int(7)})).ok());
+    EXPECT_TRUE((*store)->Sync().ok());
+    return std::move(*db);
+  }();
+
+  auto store = DurableStore::Open(path, MakeTestCatalog());
+  ASSERT_TRUE(store.ok());
+  auto db = (*store)->Recover(ConstraintSet{});
+  ASSERT_TRUE(db.ok()) << db.status();
+  ExpectEquivalent(after_first, *db);
+  EXPECT_EQ((*store)->stats().recovered_wal_records, 1u);
+}
+
+TEST(DurableStoreTest, SchemaMismatchRefusesToRecover) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("db");
+  {
+    auto store = DurableStore::Open(path, MakeTestCatalog());
+    ASSERT_TRUE(store.ok());
+    auto db = (*store)->Recover(ConstraintSet{});
+    ASSERT_TRUE(db.ok());
+    db->AttachDurabilitySink(store->get());
+    ASSERT_NO_FATAL_FAILURE(RunWorkload(&*db));
+    ASSERT_TRUE((*store)->Checkpoint(*db).ok());
+  }
+  Catalog other;
+  ASSERT_TRUE(other
+                  .AddRelation(RelationSchema(
+                      "R", {Attribute{"a", ValueType::kString, false},
+                            Attribute{"b", ValueType::kInt, false}}))
+                  .ok());
+  ASSERT_TRUE(other
+                  .AddRelation(RelationSchema(
+                      "S", {Attribute{"x", ValueType::kInt, false},
+                            Attribute{"y", ValueType::kInt, true}}))
+                  .ok());
+  auto store = DurableStore::Open(path, other);
+  ASSERT_TRUE(store.ok());
+  auto db = (*store)->Recover(ConstraintSet{});
+  EXPECT_FALSE(db.ok());
+}
+
+TEST(DurableStoreTest, RetentionPrunesOldCheckpoints) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("db");
+  DurableStoreOptions options;
+  options.retained_checkpoints = 2;
+  auto store = DurableStore::Open(path, MakeTestCatalog(), options);
+  ASSERT_TRUE(store.ok());
+  auto db = (*store)->Recover(ConstraintSet{});
+  ASSERT_TRUE(db.ok());
+  db->AttachDurabilitySink(store->get());
+
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(db->InsertCurrent("R", Tuple({Value::Int(round),
+                                              Value::Int(round * 10)}))
+                    .ok());
+    ASSERT_TRUE((*store)->Checkpoint(*db).ok()) << round;
+  }
+  EXPECT_EQ((*store)->stats().checkpoints, 4u);
+  EXPECT_EQ((*store)->ListCheckpoints().size(), 2u);
+  EXPECT_EQ(ListFilesWithSuffix(path, ".seg").size(), 2u);
+  // Exactly one WAL file per retained span survives pruning — the one
+  // rotated in at the newest checkpoint, plus the fallback span.
+  EXPECT_LE(ListFilesWithSuffix(path, ".log").size(), 2u);
+
+  store->reset();
+  auto reopened = DurableStore::Open(path, MakeTestCatalog(), options);
+  ASSERT_TRUE(reopened.ok());
+  auto recovered = (*reopened)->Recover(ConstraintSet{});
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ExpectEquivalent(*db, *recovered);
+}
+
+TEST(DurableStoreTest, RecoverTwiceIsACallerBug) {
+  ScratchDir dir;
+  auto store = DurableStore::Open(dir.Sub("db"), MakeTestCatalog());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Recover(ConstraintSet{}).ok());
+  EXPECT_FALSE((*store)->Recover(ConstraintSet{}).ok());
+}
+
+TEST(DurableStoreTest, StatsTrackWriteAmplification) {
+  ScratchDir dir;
+  DurableStoreOptions options;
+  options.sync = storage::SyncPolicy::kNone;
+  auto store = DurableStore::Open(dir.Sub("db"), MakeTestCatalog(), options);
+  ASSERT_TRUE(store.ok());
+  auto db = (*store)->Recover(ConstraintSet{});
+  ASSERT_TRUE(db.ok());
+  db->AttachDurabilitySink(store->get());
+  ASSERT_NO_FATAL_FAILURE(RunWorkload(&*db));
+  ASSERT_TRUE((*store)->Sync().ok());
+
+  const storage::DurableStoreStats& stats = (*store)->stats();
+  EXPECT_EQ(stats.wal_records, db->mutations().end_seq());
+  EXPECT_GT(stats.logical_bytes, 0u);
+  EXPECT_GT(stats.wal_bytes, stats.logical_bytes);  // Framing overhead.
+  EXPECT_GT(stats.WriteAmplification(), 1.0);
+
+  ASSERT_TRUE((*store)->Checkpoint(*db).ok());
+  EXPECT_GT((*store)->stats().segment_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace bcdb

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/crc32c.h"
+#include "storage/record_codec.h"
+#include "storage_test_util.h"
+
+namespace bcdb {
+namespace {
+
+using storage::Crc32c;
+using storage::DecodeMutation;
+using storage::DecodeTupleValues;
+using storage::DecodeValue;
+using storage::EncodeMutation;
+using storage::EncodeSnapshot;
+using storage::EncodeTupleValues;
+using storage::EncodeValue;
+using storage::MaskCrc;
+using storage::PersistedMutation;
+using storage::RestoreSnapshot;
+using storage::SchemaFingerprint;
+using storage::UnmaskCrc;
+using storage_test::ExpectEquivalent;
+using storage_test::MakeTestCatalog;
+
+TEST(Crc32cTest, MatchesKnownAnswerVector) {
+  // The canonical CRC-32C check value (RFC 3720 appendix / every
+  // implementation's self-test).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    const std::uint32_t first = Crc32c(data.substr(0, split));
+    EXPECT_EQ(Crc32c(data.substr(split), first), Crc32c(data)) << split;
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndDisplacesValue) {
+  for (std::uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu, 0xDEADBEEFu}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+    EXPECT_NE(MaskCrc(crc), crc);
+  }
+}
+
+TEST(ValueCodecTest, RoundTripsEveryType) {
+  const std::vector<Value> values = {
+      Value::Null(),
+      Value::Int(0),
+      Value::Int(-1),
+      Value::Int(std::int64_t{1} << 62),
+      Value::Real(3.25),
+      Value::Real(-0.0),
+      Value::Str(""),
+      Value::Str("pubkey-with-\0-byte" + std::string(1, '\0')),
+      Value::Str(std::string(100, 'x')),
+  };
+  for (const Value& v : values) {
+    std::string buf;
+    EncodeValue(&buf, v);
+    ByteReader in(buf);
+    Value decoded;
+    ASSERT_TRUE(DecodeValue(&in, &decoded)) << v.ToString();
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(in.exhausted());
+  }
+}
+
+TEST(ValueCodecTest, TruncatedInputFailsCleanly) {
+  std::string buf;
+  EncodeValue(&buf, Value::Str("hello"));
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    ByteReader in(buf.data(), cut);
+    Value v;
+    EXPECT_FALSE(DecodeValue(&in, &v)) << cut;
+  }
+}
+
+TEST(ValueCodecTest, TupleRoundTripInternsIntoPool) {
+  const Tuple original({Value::Int(7), Value::Str("pk"), Value::Real(1.5)});
+  std::string buf;
+  EncodeTupleValues(&buf, original);
+  ByteReader in(buf);
+  Tuple decoded;
+  ASSERT_TRUE(DecodeTupleValues(&in, &decoded));
+  // Interning canonicalizes, so the decoded tuple is id-for-id equal — not
+  // merely value-equal — to the original.
+  ASSERT_EQ(decoded.arity(), original.arity());
+  for (std::size_t i = 0; i < original.arity(); ++i) {
+    EXPECT_EQ(decoded.id_at(i), original.id_at(i)) << i;
+  }
+}
+
+TEST(SchemaFingerprintTest, SeparatesSchemas) {
+  const std::uint64_t base = SchemaFingerprint(MakeTestCatalog());
+  EXPECT_EQ(base, SchemaFingerprint(MakeTestCatalog()));  // Deterministic.
+
+  Catalog renamed;
+  ASSERT_TRUE(renamed
+                  .AddRelation(RelationSchema(
+                      "R2", {Attribute{"a", ValueType::kInt, false},
+                             Attribute{"b", ValueType::kInt, false}}))
+                  .ok());
+  ASSERT_TRUE(renamed
+                  .AddRelation(RelationSchema(
+                      "S", {Attribute{"x", ValueType::kInt, false},
+                            Attribute{"y", ValueType::kInt, true}}))
+                  .ok());
+  EXPECT_NE(SchemaFingerprint(renamed), base);
+
+  Catalog retyped;
+  ASSERT_TRUE(retyped
+                  .AddRelation(RelationSchema(
+                      "R", {Attribute{"a", ValueType::kString, false},
+                            Attribute{"b", ValueType::kInt, false}}))
+                  .ok());
+  ASSERT_TRUE(retyped
+                  .AddRelation(RelationSchema(
+                      "S", {Attribute{"x", ValueType::kInt, false},
+                            Attribute{"y", ValueType::kInt, true}}))
+                  .ok());
+  EXPECT_NE(SchemaFingerprint(retyped), base);
+}
+
+class MutationCodecTest : public ::testing::Test {
+ protected:
+  Catalog catalog_ = MakeTestCatalog();
+};
+
+TEST_F(MutationCodecTest, PendingAddedRoundTrips) {
+  Transaction txn("P1");
+  txn.Add("R", Tuple({Value::Int(1), Value::Int(2)}));
+  txn.Add("S", Tuple({Value::Int(3), Value::Int(4)}));
+
+  MutationEvent event;
+  event.kind = MutationKind::kPendingAdded;
+  event.seq = 17;
+  event.version = 42;
+  event.pending_id = 5;
+  event.relation_ids = {0, 1};
+  MutationPayload payload;
+  payload.txn = &txn;
+
+  std::string buf;
+  ASSERT_TRUE(EncodeMutation(event, payload, catalog_, &buf).ok());
+  StatusOr<PersistedMutation> decoded = DecodeMutation(buf, catalog_);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->event.kind, MutationKind::kPendingAdded);
+  EXPECT_EQ(decoded->event.seq, 17u);
+  EXPECT_EQ(decoded->event.version, 42u);
+  EXPECT_EQ(decoded->event.pending_id, 5u);
+  EXPECT_EQ(decoded->event.relation_ids, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(decoded->txn.label(), "P1");
+  ASSERT_EQ(decoded->txn.size(), 2u);
+  EXPECT_EQ(decoded->txn.items()[0].relation, "R");
+  EXPECT_EQ(decoded->txn.items()[0].tuple,
+            Tuple({Value::Int(1), Value::Int(2)}));
+  EXPECT_EQ(decoded->txn.items()[1].relation, "S");
+}
+
+TEST_F(MutationCodecTest, CurrentInsertedRoundTrips) {
+  const Tuple tuple({Value::Int(9), Value::Int(8)});
+  MutationEvent event;
+  event.kind = MutationKind::kCurrentInserted;
+  event.seq = 3;
+  event.version = 4;
+  event.relation_ids = {0};
+  MutationPayload payload;
+  payload.tuple = &tuple;
+  payload.relation_id = 0;
+
+  std::string buf;
+  ASSERT_TRUE(EncodeMutation(event, payload, catalog_, &buf).ok());
+  StatusOr<PersistedMutation> decoded = DecodeMutation(buf, catalog_);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->relation_id, 0u);
+  EXPECT_EQ(decoded->tuple, tuple);
+}
+
+TEST_F(MutationCodecTest, LifecycleEventsCarryNoPayload) {
+  for (MutationKind kind :
+       {MutationKind::kPendingApplied, MutationKind::kPendingDiscarded}) {
+    MutationEvent event;
+    event.kind = kind;
+    event.seq = 1;
+    event.version = 2;
+    event.pending_id = 0;
+    event.relation_ids = {1};
+    std::string buf;
+    ASSERT_TRUE(EncodeMutation(event, MutationPayload{}, catalog_, &buf).ok());
+    StatusOr<PersistedMutation> decoded = DecodeMutation(buf, catalog_);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->event.kind, kind);
+    EXPECT_EQ(decoded->event.pending_id, 0u);
+  }
+}
+
+TEST_F(MutationCodecTest, MissingPayloadAndBadRelationAreRejected) {
+  MutationEvent event;
+  event.kind = MutationKind::kPendingAdded;
+  std::string buf;
+  EXPECT_FALSE(EncodeMutation(event, MutationPayload{}, catalog_, &buf).ok());
+
+  Transaction txn("bad");
+  txn.Add("NoSuchRelation", Tuple({Value::Int(1)}));
+  MutationPayload payload;
+  payload.txn = &txn;
+  buf.clear();
+  EXPECT_FALSE(EncodeMutation(event, payload, catalog_, &buf).ok());
+}
+
+TEST_F(MutationCodecTest, CorruptRecordsFailToDecode) {
+  Transaction txn("P1");
+  txn.Add("R", Tuple({Value::Int(1), Value::Int(2)}));
+  MutationEvent event;
+  event.kind = MutationKind::kPendingAdded;
+  MutationPayload payload;
+  payload.txn = &txn;
+  std::string buf;
+  ASSERT_TRUE(EncodeMutation(event, payload, catalog_, &buf).ok());
+
+  // Every strict prefix fails (no partial decodes)...
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    EXPECT_FALSE(DecodeMutation(std::string_view(buf.data(), cut), catalog_)
+                     .ok())
+        << cut;
+  }
+  // ...and so do trailing bytes.
+  EXPECT_FALSE(DecodeMutation(buf + "x", catalog_).ok());
+}
+
+/// Builds a database with every flavor of persisted state: base tuples,
+/// live pending slots, applied and discarded slots, shared tuples.
+BlockchainDatabase MakePopulatedDb() {
+  auto db = BlockchainDatabase::Create(MakeTestCatalog(), ConstraintSet{});
+  EXPECT_TRUE(db.ok());
+  EXPECT_TRUE(db->InsertCurrent("R", Tuple({Value::Int(1), Value::Int(10)})).ok());
+  EXPECT_TRUE(db->InsertCurrent("S", Tuple({Value::Int(2), Value::Int(20)})).ok());
+
+  Transaction applied("applied");
+  applied.Add("R", Tuple({Value::Int(3), Value::Int(30)}));
+  applied.Add("S", Tuple({Value::Int(2), Value::Int(20)}));  // Shared tuple.
+  auto applied_id = db->AddPending(applied);
+  EXPECT_TRUE(applied_id.ok());
+
+  Transaction discarded("discarded");
+  discarded.Add("S", Tuple({Value::Int(4), Value::Int(40)}));
+  auto discarded_id = db->AddPending(discarded);
+  EXPECT_TRUE(discarded_id.ok());
+
+  Transaction live("live");
+  live.Add("R", Tuple({Value::Int(5), Value::Int(50)}));
+  EXPECT_TRUE(db->AddPending(live).ok());
+
+  EXPECT_TRUE(db->ApplyPending(*applied_id).ok());
+  EXPECT_TRUE(db->DiscardPending(*discarded_id).ok());
+  return std::move(*db);
+}
+
+TEST(SnapshotCodecTest, RoundTripsFullDatabaseImage) {
+  BlockchainDatabase original = MakePopulatedDb();
+  const std::string payload = EncodeSnapshot(original);
+
+  auto restored = BlockchainDatabase::Create(MakeTestCatalog(), ConstraintSet{});
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(RestoreSnapshot(payload, original.version(),
+                              original.mutations().end_seq(), &*restored)
+                  .ok());
+  ExpectEquivalent(original, *restored);
+
+  // The restored database is live: the next mutation continues the
+  // version/seq history exactly where the snapshot left off.
+  const std::uint64_t version_before = restored->version();
+  ASSERT_TRUE(
+      restored->InsertCurrent("R", Tuple({Value::Int(99), Value::Int(9)})).ok());
+  EXPECT_EQ(restored->version(), version_before + 1);
+}
+
+TEST(SnapshotCodecTest, DiscardedTuplesKeepTheirIdSlots) {
+  // A tuple owned only by a discarded transaction stays stored (invisible)
+  // so TupleIds after it keep their positions; the snapshot must preserve
+  // that, including the empty owner list.
+  BlockchainDatabase original = MakePopulatedDb();
+  const Relation& s = original.database().relation(1);
+  bool found_ownerless = false;
+  for (TupleId id = 0; id < s.num_tuples(); ++id) {
+    if (s.owners(id).empty()) found_ownerless = true;
+  }
+  ASSERT_TRUE(found_ownerless) << "test setup should leave an ownerless tuple";
+
+  const std::string payload = EncodeSnapshot(original);
+  auto restored = BlockchainDatabase::Create(MakeTestCatalog(), ConstraintSet{});
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(RestoreSnapshot(payload, original.version(),
+                              original.mutations().end_seq(), &*restored)
+                  .ok());
+  ExpectEquivalent(original, *restored);
+}
+
+TEST(SnapshotCodecTest, CorruptPayloadsAreRejected) {
+  BlockchainDatabase original = MakePopulatedDb();
+  const std::string payload = EncodeSnapshot(original);
+
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, payload.size() / 2,
+                          payload.size() - 1}) {
+    auto db = BlockchainDatabase::Create(MakeTestCatalog(), ConstraintSet{});
+    ASSERT_TRUE(db.ok());
+    EXPECT_FALSE(RestoreSnapshot(std::string_view(payload.data(), cut), 1, 1,
+                                 &*db)
+                     .ok())
+        << cut;
+  }
+
+  auto db = BlockchainDatabase::Create(MakeTestCatalog(), ConstraintSet{});
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(RestoreSnapshot(payload + "junk", 1, 1, &*db).ok());
+}
+
+}  // namespace
+}  // namespace bcdb

@@ -1,0 +1,385 @@
+// WAL framing, sync policies, torn-tail truncation, and WAL-driven
+// DurableStore recovery (replay, rotation, degraded modes).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/durable_store.h"
+#include "storage/wal.h"
+#include "storage_test_util.h"
+
+namespace bcdb {
+namespace {
+
+using storage::DurableStore;
+using storage::DurableStoreOptions;
+using storage::ScanWal;
+using storage::SyncPolicy;
+using storage::TruncateWal;
+using storage::WalScan;
+using storage::WalWriter;
+using storage_test::ExpectEquivalent;
+using storage_test::FileSize;
+using storage_test::FlipByte;
+using storage_test::ListFilesWithSuffix;
+using storage_test::MakeTestCatalog;
+using storage_test::ScratchDir;
+using storage_test::TruncateFileBy;
+
+TEST(WalWriterTest, AppendedRecordsScanBackInOrder) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("wal");
+  const std::vector<std::string> payloads = {
+      "first", "", std::string(1000, 'x'), std::string("\x00\xff\x01", 3)};
+  {
+    auto writer = WalWriter::Open(path, SyncPolicy::kNone);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    for (const std::string& p : payloads) {
+      ASSERT_TRUE(writer->Append(p).ok());
+    }
+    EXPECT_EQ(writer->records(), payloads.size());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  StatusOr<WalScan> scan = ScanWal(path);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(scan->records, payloads);
+  EXPECT_FALSE(scan->tail_corrupt);
+  EXPECT_EQ(scan->valid_prefix, FileSize(path));
+}
+
+TEST(WalWriterTest, MissingFileScansEmpty) {
+  ScratchDir dir;
+  StatusOr<WalScan> scan = ScanWal(dir.Sub("never-written"));
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_TRUE(scan->records.empty());
+  EXPECT_EQ(scan->valid_prefix, 0u);
+  EXPECT_FALSE(scan->tail_corrupt);
+}
+
+TEST(WalWriterTest, SyncPolicyGovernsFsyncCount) {
+  ScratchDir dir;
+  {
+    auto writer = WalWriter::Open(dir.Sub("every"), SyncPolicy::kEveryRecord);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(writer->Append("payload").ok());
+    EXPECT_EQ(writer->syncs(), 5u);
+  }
+  {
+    auto writer = WalWriter::Open(dir.Sub("none"), SyncPolicy::kNone);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(writer->Append("payload").ok());
+    EXPECT_EQ(writer->syncs(), 0u);
+    // An explicit Sync still works under kNone...
+    ASSERT_TRUE(writer->Sync().ok());
+    EXPECT_EQ(writer->syncs(), 1u);
+    // ...and a Sync with nothing new pending is a no-op.
+    ASSERT_TRUE(writer->Sync().ok());
+    EXPECT_EQ(writer->syncs(), 1u);
+  }
+  {
+    // Group commit: records smaller than the threshold batch into one sync.
+    auto writer =
+        WalWriter::Open(dir.Sub("group"), SyncPolicy::kGroup, /*group_bytes=*/256);
+    ASSERT_TRUE(writer.ok());
+    const std::string payload(100, 'p');  // ~112 framed bytes.
+    ASSERT_TRUE(writer->Append(payload).ok());
+    EXPECT_EQ(writer->syncs(), 0u);  // Below threshold: still buffered.
+    ASSERT_TRUE(writer->Append(payload).ok());
+    ASSERT_TRUE(writer->Append(payload).ok());
+    EXPECT_GE(writer->syncs(), 1u);  // Threshold crossed at least once.
+    EXPECT_LT(writer->syncs(), 3u);  // But NOT one sync per record.
+  }
+}
+
+TEST(WalScanTest, TornTailStopsScanAndTruncates) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("wal");
+  {
+    auto writer = WalWriter::Open(path, SyncPolicy::kNone);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(writer->Append("record-" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  const std::uint64_t full_size = FileSize(path);
+  TruncateFileBy(path, 3);  // Tear the last record mid-payload.
+
+  StatusOr<WalScan> scan = ScanWal(path);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_EQ(scan->records[2], "record-2");
+  EXPECT_TRUE(scan->tail_corrupt);
+  EXPECT_LT(scan->valid_prefix, full_size);
+
+  // Recovery chops the tail; the file then scans clean and appends resume.
+  ASSERT_TRUE(TruncateWal(path, scan->valid_prefix).ok());
+  StatusOr<WalScan> rescan = ScanWal(path);
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_EQ(rescan->records.size(), 3u);
+  EXPECT_FALSE(rescan->tail_corrupt);
+
+  auto writer = WalWriter::Open(path, SyncPolicy::kNone);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append("record-3b").ok());
+  ASSERT_TRUE(writer->Close().ok());
+  StatusOr<WalScan> final_scan = ScanWal(path);
+  ASSERT_TRUE(final_scan.ok());
+  ASSERT_EQ(final_scan->records.size(), 4u);
+  EXPECT_EQ(final_scan->records[3], "record-3b");
+}
+
+TEST(WalScanTest, InteriorBitFlipStopsAtTheCorruptRecord) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("wal");
+  std::uint64_t second_record_offset = 0;
+  {
+    auto writer = WalWriter::Open(path, SyncPolicy::kNone);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(std::string(50, 'a')).ok());
+    second_record_offset = writer->physical_bytes();
+    ASSERT_TRUE(writer->Append(std::string(50, 'b')).ok());
+    ASSERT_TRUE(writer->Append(std::string(50, 'c')).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  FlipByte(path, second_record_offset + 20);  // Inside record 1's payload.
+
+  StatusOr<WalScan> scan = ScanWal(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);  // Record 2 is unreachable.
+  EXPECT_EQ(scan->records[0], std::string(50, 'a'));
+  EXPECT_TRUE(scan->tail_corrupt);
+  EXPECT_EQ(scan->valid_prefix, second_record_offset);
+}
+
+// ---- DurableStore WAL recovery --------------------------------------------
+
+/// Mirrors a scripted workload into both databases (one durable, one
+/// in-memory reference).
+void RunWorkloadOn(BlockchainDatabase* db) {
+  ASSERT_TRUE(db->InsertCurrent("R", Tuple({Value::Int(1), Value::Int(2)})).ok());
+  Transaction t1("t1");
+  t1.Add("R", Tuple({Value::Int(3), Value::Int(4)}));
+  t1.Add("S", Tuple({Value::Int(3), Value::Int(5)}));
+  auto id1 = db->AddPending(t1);
+  ASSERT_TRUE(id1.ok());
+  Transaction t2("t2");
+  t2.Add("S", Tuple({Value::Int(6), Value::Int(7)}));
+  auto id2 = db->AddPending(t2);
+  ASSERT_TRUE(id2.ok());
+  ASSERT_TRUE(db->ApplyPending(*id1).ok());
+  ASSERT_TRUE(db->DiscardPending(*id2).ok());
+  ASSERT_TRUE(db->InsertCurrent("S", Tuple({Value::Int(8), Value::Int(9)})).ok());
+}
+
+TEST(DurableStoreWalTest, RecoversFromWalAloneWithoutAnyCheckpoint) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("db");
+  BlockchainDatabase reference = [&] {
+    auto db = BlockchainDatabase::Create(MakeTestCatalog(), ConstraintSet{});
+    EXPECT_TRUE(db.ok());
+    RunWorkloadOn(&*db);
+    return std::move(*db);
+  }();
+  {
+    auto store = DurableStore::Open(path, MakeTestCatalog());
+    ASSERT_TRUE(store.ok());
+    auto db = (*store)->Recover(ConstraintSet{});
+    ASSERT_TRUE(db.ok());
+    db->AttachDurabilitySink(store->get());
+    ASSERT_NO_FATAL_FAILURE(RunWorkloadOn(&*db));
+    ASSERT_TRUE((*store)->Sync().ok());
+    ASSERT_TRUE((*store)->status().ok());
+  }
+  ASSERT_TRUE(ListFilesWithSuffix(path, ".seg").empty());
+
+  auto store = DurableStore::Open(path, MakeTestCatalog());
+  ASSERT_TRUE(store.ok());
+  auto recovered = (*store)->Recover(ConstraintSet{});
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ExpectEquivalent(reference, *recovered);
+  EXPECT_EQ((*store)->stats().recovered_wal_records,
+            reference.mutations().end_seq());
+  EXPECT_FALSE((*store)->stats().degraded_recovery);
+}
+
+TEST(DurableStoreWalTest, RecoversCheckpointPlusWalSuffix) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("db");
+  BlockchainDatabase reference = [&] {
+    auto db = BlockchainDatabase::Create(MakeTestCatalog(), ConstraintSet{});
+    EXPECT_TRUE(db.ok());
+    RunWorkloadOn(&*db);
+    RunWorkloadOn(&*db);
+    return std::move(*db);
+  }();
+  {
+    auto store = DurableStore::Open(path, MakeTestCatalog());
+    ASSERT_TRUE(store.ok());
+    auto db = (*store)->Recover(ConstraintSet{});
+    ASSERT_TRUE(db.ok());
+    db->AttachDurabilitySink(store->get());
+    ASSERT_NO_FATAL_FAILURE(RunWorkloadOn(&*db));
+    ASSERT_TRUE((*store)->Checkpoint(*db).ok());
+    ASSERT_NO_FATAL_FAILURE(RunWorkloadOn(&*db));  // Suffix past checkpoint.
+    ASSERT_TRUE((*store)->Sync().ok());
+  }
+  auto store = DurableStore::Open(path, MakeTestCatalog());
+  ASSERT_TRUE(store.ok());
+  auto recovered = (*store)->Recover(ConstraintSet{});
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ExpectEquivalent(reference, *recovered);
+  EXPECT_GT((*store)->stats().recovered_snapshot_tuples, 0u);
+  EXPECT_GT((*store)->stats().recovered_wal_records, 0u);
+  EXPECT_LT((*store)->stats().recovered_wal_records,
+            reference.mutations().end_seq());
+}
+
+TEST(DurableStoreWalTest, CheckpointRotatesTheActiveWalFile) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("db");
+  auto store = DurableStore::Open(path, MakeTestCatalog());
+  ASSERT_TRUE(store.ok());
+  auto db = (*store)->Recover(ConstraintSet{});
+  ASSERT_TRUE(db.ok());
+  db->AttachDurabilitySink(store->get());
+
+  ASSERT_NO_FATAL_FAILURE(RunWorkloadOn(&*db));
+  const std::vector<std::string> before = ListFilesWithSuffix(path, ".log");
+  ASSERT_EQ(before.size(), 1u);
+  ASSERT_TRUE((*store)->Checkpoint(*db).ok());
+  ASSERT_NO_FATAL_FAILURE(RunWorkloadOn(&*db));
+  ASSERT_TRUE((*store)->Sync().ok());
+
+  const std::vector<std::string> after = ListFilesWithSuffix(path, ".log");
+  ASSERT_EQ(after.size(), 2u);  // Old span retained (fallback), new active.
+  EXPECT_EQ(after[0], before[0]);
+  EXPECT_NE(after[1], before[0]);
+}
+
+TEST(DurableStoreWalTest, TornWalTailIsTruncatedAndRecoveryContinues) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("db");
+  {
+    auto store = DurableStore::Open(path, MakeTestCatalog());
+    ASSERT_TRUE(store.ok());
+    auto db = (*store)->Recover(ConstraintSet{});
+    ASSERT_TRUE(db.ok());
+    db->AttachDurabilitySink(store->get());
+    ASSERT_NO_FATAL_FAILURE(RunWorkloadOn(&*db));
+    ASSERT_TRUE((*store)->Sync().ok());
+  }
+  const std::vector<std::string> wals = ListFilesWithSuffix(path, ".log");
+  ASSERT_EQ(wals.size(), 1u);
+  TruncateFileBy(wals[0], 2);  // Tear the final record.
+
+  BlockchainDatabase reference = [&] {
+    auto db = BlockchainDatabase::Create(MakeTestCatalog(), ConstraintSet{});
+    EXPECT_TRUE(db.ok());
+    RunWorkloadOn(&*db);
+    return std::move(*db);
+  }();
+  const std::uint64_t full_seq = reference.mutations().end_seq();
+
+  auto store = DurableStore::Open(path, MakeTestCatalog());
+  ASSERT_TRUE(store.ok());
+  auto recovered = (*store)->Recover(ConstraintSet{});
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  // One event lost to the tear; a torn FINAL record is normal crash
+  // residue, not degradation.
+  EXPECT_EQ(recovered->mutations().end_seq(), full_seq - 1);
+  EXPECT_FALSE((*store)->stats().degraded_recovery);
+
+  // The store stays appendable after the truncation.
+  recovered->AttachDurabilitySink(store->get());
+  ASSERT_TRUE(
+      recovered->InsertCurrent("R", Tuple({Value::Int(50), Value::Int(5)})).ok());
+  ASSERT_TRUE((*store)->Sync().ok());
+  ASSERT_TRUE((*store)->status().ok());
+}
+
+TEST(DurableStoreWalTest, InteriorCorruptionRecoversTheValidPrefix) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("db");
+  {
+    auto store = DurableStore::Open(path, MakeTestCatalog());
+    ASSERT_TRUE(store.ok());
+    auto db = (*store)->Recover(ConstraintSet{});
+    ASSERT_TRUE(db.ok());
+    db->AttachDurabilitySink(store->get());
+    ASSERT_NO_FATAL_FAILURE(RunWorkloadOn(&*db));
+    ASSERT_TRUE((*store)->Sync().ok());
+  }
+  const std::vector<std::string> wals = ListFilesWithSuffix(path, ".log");
+  ASSERT_EQ(wals.size(), 1u);
+  FlipByte(wals[0], FileSize(wals[0]) / 2);  // Mid-log, not the tail.
+
+  auto store = DurableStore::Open(path, MakeTestCatalog());
+  ASSERT_TRUE(store.ok());
+  auto recovered = (*store)->Recover(ConstraintSet{});
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  // Only the prefix survives; the database is a valid point-in-time image.
+  BlockchainDatabase reference = [&] {
+    auto db = BlockchainDatabase::Create(MakeTestCatalog(), ConstraintSet{});
+    EXPECT_TRUE(db.ok());
+    RunWorkloadOn(&*db);
+    return std::move(*db);
+  }();
+  EXPECT_LT(recovered->mutations().end_seq(), reference.mutations().end_seq());
+
+  // A third open recovers exactly the same prefix image (recovery is
+  // idempotent after the degraded cleanup).
+  const std::uint64_t prefix_seq = recovered->mutations().end_seq();
+  store->reset();
+  auto again = DurableStore::Open(path, MakeTestCatalog());
+  ASSERT_TRUE(again.ok());
+  auto recovered2 = (*again)->Recover(ConstraintSet{});
+  ASSERT_TRUE(recovered2.ok()) << recovered2.status();
+  EXPECT_EQ(recovered2->mutations().end_seq(), prefix_seq);
+  ExpectEquivalent(*recovered, *recovered2);
+}
+
+TEST(DurableStoreWalTest, PoisonedReplaySalvageSurvivesReopen) {
+  ScratchDir dir;
+  const std::string path = dir.Sub("db");
+  {
+    auto store = DurableStore::Open(path, MakeTestCatalog());
+    ASSERT_TRUE(store.ok());
+    auto db = (*store)->Recover(ConstraintSet{});
+    ASSERT_TRUE(db.ok());
+    db->AttachDurabilitySink(store->get());
+    ASSERT_NO_FATAL_FAILURE(RunWorkloadOn(&*db));
+    ASSERT_TRUE((*store)->Checkpoint(*db).ok());  // Rotates: two WAL spans.
+  }
+  // Lose every checkpoint and corrupt the FIRST (non-final) WAL span:
+  // replay stops at the bad record and the later span can never apply.
+  for (const std::string& seg : ListFilesWithSuffix(path, ".seg")) {
+    std::filesystem::remove(seg);
+  }
+  const std::vector<std::string> wals = ListFilesWithSuffix(path, ".log");
+  ASSERT_EQ(wals.size(), 2u);
+  FlipByte(wals[0], FileSize(wals[0]) / 2);
+
+  auto store = DurableStore::Open(path, MakeTestCatalog());
+  ASSERT_TRUE(store.ok());
+  auto salvaged = (*store)->Recover(ConstraintSet{});
+  ASSERT_TRUE(salvaged.ok()) << salvaged.status();
+  EXPECT_TRUE((*store)->stats().degraded_recovery);
+  EXPECT_GT(salvaged->mutations().end_seq(), 0u);
+
+  // The salvage must be persisted (as a checkpoint) before the poisoned
+  // WAL files are dropped — a second open must not come up empty.
+  store->reset();
+  auto again = DurableStore::Open(path, MakeTestCatalog());
+  ASSERT_TRUE(again.ok());
+  auto recovered = (*again)->Recover(ConstraintSet{});
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->mutations().end_seq(), salvaged->mutations().end_seq());
+  ExpectEquivalent(*salvaged, *recovered);
+}
+
+}  // namespace
+}  // namespace bcdb
