@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
   std::vector<double> check_incremental, check_full;
   std::vector<double> poll_incremental, poll_full;
   bool satisfied = false;
-  PendingId previous = ~std::size_t{0};
+  PendingId previous = kNoPendingId;
   for (std::size_t step = 0; step < steps; ++step) {
     // The churn: one transaction enters the mempool, the previous churn
     // transaction is evicted. Fresh (txId, ser) keys keep the database
@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
                    id.status().ToString().c_str());
       return 1;
     }
-    if (previous != ~std::size_t{0} && !db.DiscardPending(previous).ok()) {
+    if (previous != kNoPendingId && !db.DiscardPending(previous).ok()) {
       return 1;
     }
     previous = *id;

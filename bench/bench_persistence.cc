@@ -119,7 +119,7 @@ std::pair<std::unique_ptr<DurableStore>, BlockchainDatabase> RecoverOrDie(
 /// One mempool cycle: a fresh pending transaction enters, the previous
 /// churn transaction leaves. Every step appends two WAL records.
 void Churn(BlockchainDatabase& db, std::size_t steps) {
-  PendingId previous = ~std::size_t{0};
+  PendingId previous = kNoPendingId;
   for (std::size_t step = 0; step < steps; ++step) {
     Transaction incoming("persist-churn-" + std::to_string(step));
     incoming.Add(
@@ -128,7 +128,7 @@ void Churn(BlockchainDatabase& db, std::size_t steps) {
                Value::Int(0), Value::Str("PersistPk"), Value::Int(1)}));
     auto id = db.AddPending(incoming);
     if (!id.ok()) Die("churn add", id.status());
-    if (previous != ~std::size_t{0} && !db.DiscardPending(previous).ok()) {
+    if (previous != kNoPendingId && !db.DiscardPending(previous).ok()) {
       std::abort();
     }
     previous = *id;

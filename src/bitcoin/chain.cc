@@ -2,6 +2,7 @@
 
 #include "bitcoin/script.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace bcdb {
@@ -10,6 +11,7 @@ namespace bitcoin {
 Blockchain::Blockchain() {
   blocks_.emplace_back(/*height=*/0, /*prev_hash=*/0,
                        std::vector<BitcoinTransaction>{});
+  block_tree_.emplace(blocks_.back().hash(), blocks_.back());
   stats_.blocks = 1;
 }
 
@@ -100,7 +102,90 @@ Status Blockchain::AppendBlock(const Block& block) {
   }
   stats_.blocks += 1;
   blocks_.push_back(block);
+  block_tree_.emplace(block.hash(), block);
   return Status::OK();
+}
+
+StatusOr<ChainUpdate> Blockchain::AcceptBlock(const Block& block) {
+  if (block_tree_.count(block.hash()) > 0) {
+    return Status::AlreadyExists("block already known");
+  }
+  if (block.prev_hash() == tip().hash()) {
+    BCDB_RETURN_IF_ERROR(AppendBlock(block));
+    ChainUpdate update;
+    update.kind = ChainUpdate::Kind::kExtendedTip;
+    update.connected_blocks = 1;
+    return update;
+  }
+
+  const Block* parent = FindBlock(block.prev_hash());
+  if (parent == nullptr) {
+    return Status::NotFound("block's parent is unknown");
+  }
+  if (block.height() != parent->height() + 1) {
+    return Status::InvalidArgument("block height must be parent height + 1");
+  }
+
+  // Collect the branch from the fork point (exclusive) down to `block`.
+  // Every tracked block's ancestry is closed under block_tree_ (a block is
+  // only admitted once its parent is known), so the walk always reaches the
+  // active chain.
+  std::vector<Block> branch{block};
+  const Block* cursor = &block;
+  while (!IsActive(cursor->prev_hash(), cursor->height() - 1)) {
+    cursor = FindBlock(cursor->prev_hash());
+    branch.push_back(*cursor);
+  }
+  std::reverse(branch.begin(), branch.end());
+  const std::uint64_t fork_height = branch.front().height() - 1;
+
+  if (block.height() <= height()) {
+    // Not longer than the active chain: track it, change nothing.
+    block_tree_.emplace(block.hash(), block);
+    ChainUpdate update;
+    update.kind = ChainUpdate::Kind::kSideChain;
+    return update;
+  }
+
+  // Strictly longer: fully validate the candidate chain by replaying it from
+  // genesis on a scratch instance. The shared prefix is already validated;
+  // replaying it rebuilds the UTXO set the branch must be judged against
+  // (and keeps re-confirmations of rolled-back transactions legal, since the
+  // scratch chain never saw the abandoned suffix).
+  Blockchain candidate;
+  for (std::uint64_t h = 1; h <= fork_height; ++h) {
+    Status replayed = candidate.AppendBlock(blocks_[h]);
+    if (!replayed.ok()) {
+      return Status::Internal("active chain prefix failed to replay: " +
+                              replayed.message());
+    }
+  }
+  for (const Block& b : branch) {
+    Status applied = candidate.AppendBlock(b);
+    if (!applied.ok()) {
+      // Invalid branch: reject the new block and keep the active chain.
+      return applied;
+    }
+  }
+
+  ChainUpdate update;
+  update.kind = ChainUpdate::Kind::kReorged;
+  update.connected_blocks = branch.size();
+  update.disconnected_blocks = height() - fork_height;
+  for (std::uint64_t h = fork_height + 1; h < blocks_.size(); ++h) {
+    for (const BitcoinTransaction& tx : blocks_[h].transactions()) {
+      update.disconnected.push_back(tx);
+    }
+  }
+
+  // Adopt the candidate's state; the abandoned suffix stays in the tree as a
+  // side branch (a further reorg may return to it).
+  block_tree_.emplace(block.hash(), block);
+  blocks_ = std::move(candidate.blocks_);
+  utxos_ = std::move(candidate.utxos_);
+  confirmed_txids_ = std::move(candidate.confirmed_txids_);
+  stats_ = candidate.stats_;
+  return update;
 }
 
 Status Blockchain::MineAndAppend(std::vector<BitcoinTransaction> transactions) {

@@ -30,10 +30,36 @@ struct ChainStats {
   std::size_t outputs = 0;
 };
 
-/// The authoritative chain of one node: an append-only block sequence plus
-/// the UTXO set it induces. Forks are not modeled (see the paper's Remark 1:
-/// fork handling is protocol-specific and resolved data is what enters the
-/// database).
+/// Outcome of offering one block to the chain (AcceptBlock).
+struct ChainUpdate {
+  enum class Kind {
+    /// The block extended the active tip; one block connected.
+    kExtendedTip,
+    /// The block forked off a non-tip ancestor but its branch is not longer
+    /// than the active chain; it is tracked but nothing changed.
+    kSideChain,
+    /// The block completed a strictly-longer branch; the node switched to
+    /// it, rolling back every active block above the fork point.
+    kReorged,
+  };
+
+  Kind kind = Kind::kExtendedTip;
+  /// kReorged only: transactions of the rolled-back blocks in block order
+  /// (coinbases included — callers decide what to re-broadcast). Their
+  /// confirmations are undone; any of them not re-confirmed on the new
+  /// branch is pending again from the node's point of view.
+  std::vector<BitcoinTransaction> disconnected;
+  std::size_t disconnected_blocks = 0;
+  std::size_t connected_blocks = 0;
+};
+
+/// The chain state of one node: the active block sequence plus the UTXO set
+/// it induces, and a tree of every structurally-linked block ever offered
+/// (side branches included). The paper's Remark 1 treats fork resolution as
+/// protocol-specific; here we model the common heaviest-chain rule —
+/// AcceptBlock switches to a strictly longer branch and reports the
+/// disconnected transactions so the database layer can retract their
+/// confirmations (kCurrentRemoved / kPendingRestored events).
 class Blockchain {
  public:
   /// Starts from an empty genesis block.
@@ -50,8 +76,18 @@ class Blockchain {
   /// Validates `block` (chain linkage, at most one leading coinbase with
   /// reward ≤ subsidy + fees, every input spends an existing unspent output
   /// with matching pubkey/amount and a valid signature, no double spends)
-  /// and applies it to the UTXO set.
+  /// and applies it to the UTXO set. Only extends the active tip; use
+  /// AcceptBlock for blocks that may fork.
   Status AppendBlock(const Block& block);
+
+  /// Offers a block that may extend the tip, start/extend a side branch, or
+  /// complete a strictly-longer branch (heaviest-chain reorg). Side blocks
+  /// are linkage-checked on arrival (known parent, consecutive height) and
+  /// fully validated when their branch is adopted: adoption replays the
+  /// candidate chain from genesis, and an invalid branch leaves the active
+  /// chain untouched. Equal-length competitors are kept as side chains
+  /// (first-seen wins, like Bitcoin Core).
+  StatusOr<ChainUpdate> AcceptBlock(const Block& block);
 
   /// Convenience: builds a block at the current tip from `transactions`
   /// (already including any coinbase) and appends it.
@@ -64,15 +100,29 @@ class Blockchain {
       const BitcoinTransaction& tx,
       const std::unordered_map<OutPoint, Utxo, OutPointHash>& available);
 
-  /// True if the transaction was confirmed in some block.
+  /// True if the transaction was confirmed in some *active* block (reorgs
+  /// un-confirm the rolled-back branch's transactions).
   bool ContainsTransaction(TxId txid) const {
     return confirmed_txids_.count(txid) > 0;
+  }
+
+  /// True if `hash` is the hash of the active block at `height`.
+  bool IsActive(BlockHash hash, std::uint64_t height) const {
+    return height < blocks_.size() && blocks_[height].hash() == hash;
+  }
+
+  /// Looks up any known block (active or side branch) by hash.
+  const Block* FindBlock(BlockHash hash) const {
+    auto it = block_tree_.find(hash);
+    return it == block_tree_.end() ? nullptr : &it->second;
   }
 
   ChainStats Stats() const { return stats_; }
 
  private:
   std::vector<Block> blocks_;
+  /// Every structurally-linked block ever offered, active or not, by hash.
+  std::unordered_map<BlockHash, Block> block_tree_;
   std::unordered_map<OutPoint, Utxo, OutPointHash> utxos_;
   std::unordered_map<TxId, std::uint64_t> confirmed_txids_;  // txid -> height
   ChainStats stats_;

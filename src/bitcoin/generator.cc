@@ -112,6 +112,9 @@ class Generator {
     BCDB_RETURN_IF_ERROR(BroadcastDesignatedPending());
     BCDB_RETURN_IF_ERROR(BroadcastBulkPending());
     BCDB_RETURN_IF_ERROR(InjectContradictions());
+    BCDB_RETURN_IF_ERROR(ReplacePendingByFee());
+    BCDB_RETURN_IF_ERROR(EnforceMempoolCapacity());
+    BCDB_RETURN_IF_ERROR(SimulateReorg());
     return GeneratedWorkload{std::move(node_), std::move(metadata_)};
   }
 
@@ -312,6 +315,102 @@ class Generator {
       BCDB_RETURN_IF_ERROR(node_.SubmitTransaction(MakePayment(
           input.prev, utxo, rival, input.amount - params_.fee, params_.fee)));
     }
+    return Status::OK();
+  }
+
+  /// Bulk user-to-user single-input payments are the only safe churn
+  /// victims: the designated chain/star/rich transactions must survive so
+  /// the landmark constraints stay realizable.
+  std::vector<std::size_t> BulkPaymentIndices() const {
+    const std::vector<BitcoinTransaction>& pool = node_.mempool().transactions();
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (pool[i].inputs().size() == 1 &&
+          pool[i].inputs()[0].pubkey.rfind("U", 0) == 0 &&
+          !pool[i].outputs().empty() &&
+          pool[i].outputs()[0].pubkey.rfind("U", 0) == 0) {
+        candidates.push_back(i);
+      }
+    }
+    return candidates;
+  }
+
+  Status ReplacePendingByFee() {
+    if (params_.num_replacements == 0) return Status::OK();
+    const std::vector<std::size_t> candidates = BulkPaymentIndices();
+    if (candidates.size() < params_.num_replacements) {
+      return Status::Internal("not enough bulk pending payments to replace " +
+                              std::to_string(params_.num_replacements));
+    }
+    // Collect the victims' inputs up front: each replacement evicts its
+    // victim (and any double spend of the same output), shifting pool
+    // indices.
+    std::vector<TxInput> victim_inputs;
+    for (std::size_t c = 0; c < params_.num_replacements; ++c) {
+      // Walk from the back so the contradiction victims (chosen from the
+      // front by InjectContradictions) mostly keep their conflict pairs.
+      const std::size_t pick = candidates[candidates.size() - 1 - c];
+      victim_inputs.push_back(node_.mempool().transactions()[pick].inputs()[0]);
+    }
+    for (std::size_t c = 0; c < victim_inputs.size(); ++c) {
+      const TxInput& input = victim_inputs[c];
+      // A replacement can displace the victim plus one double spend of the
+      // same output; tripling the fee beats their summed fees.
+      const Satoshi bumped_fee = 3 * params_.fee;
+      if (input.amount <= bumped_fee) continue;
+      const TxOutput utxo{input.pubkey, input.amount};
+      StatusOr<std::vector<TxId>> evicted = node_.mempool().ReplaceByFee(
+          node_.chain(),
+          MakePayment(input.prev, utxo, "RbfRcpt" + std::to_string(c) + "Pk",
+                      input.amount - bumped_fee, bumped_fee));
+      if (!evicted.ok()) return evicted.status();
+      metadata_.replaced_by_fee += evicted->size();
+    }
+    return Status::OK();
+  }
+
+  Status EnforceMempoolCapacity() {
+    if (params_.mempool_capacity == 0) return Status::OK();
+    metadata_.evicted_by_capacity =
+        node_.mempool()
+            .EvictToCapacity(node_.chain(), params_.mempool_capacity)
+            .size();
+    return Status::OK();
+  }
+
+  Status SimulateReorg() {
+    if (params_.reorg_depth == 0) return Status::OK();
+    const BlockHash fork_tip = node_.chain().tip().hash();
+    const std::uint64_t fork_height = node_.chain().height();
+    // Confirm pending transactions on what will become the losing branch.
+    for (std::size_t d = 0; d < params_.reorg_depth; ++d) {
+      BCDB_RETURN_IF_ERROR(MineOne());
+    }
+    // A rival miner extends the old tip with a strictly longer empty branch.
+    BlockHash prev = fork_tip;
+    for (std::size_t d = 1; d <= params_.reorg_depth + 1; ++d) {
+      const std::uint64_t h = fork_height + d;
+      Block rival(h, prev,
+                  {BitcoinTransaction::Coinbase("ForkMinerPk", kBlockReward,
+                                                h)});
+      prev = rival.hash();
+      StatusOr<ChainUpdate> update = node_.AcceptBlock(rival);
+      if (!update.ok()) return update.status();
+      if (d <= params_.reorg_depth) {
+        if (update->kind != ChainUpdate::Kind::kSideChain) {
+          return Status::Internal("rival branch switched the chain early");
+        }
+      } else {
+        if (update->kind != ChainUpdate::Kind::kReorged) {
+          return Status::Internal("rival branch failed to trigger the reorg");
+        }
+        for (const BitcoinTransaction& tx : update->disconnected) {
+          if (!tx.is_coinbase()) ++metadata_.disconnected_by_reorg;
+        }
+      }
+    }
+    // The wallet book is stale past this point (it tracked the abandoned
+    // branch); churn phases must run before the reorg.
     return Status::OK();
   }
 

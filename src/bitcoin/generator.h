@@ -42,6 +42,21 @@ struct GeneratorParams {
   std::size_t rich_payments = 10;
 
   Satoshi fee = 10'000;
+
+  // --- Opt-in lifecycle churn (all off by default, so the long-standing
+  // --- benchmark datasets are byte-identical with the base knobs alone). ---
+  /// Number of bulk pending payments re-issued at a higher fee through
+  /// replace-by-fee after the pending set is broadcast.
+  std::size_t num_replacements = 0;
+  /// If > 0, the mempool is evicted down to this many entries (lowest fee
+  /// first, dependants cascading) after broadcast.
+  std::size_t mempool_capacity = 0;
+  /// If > 0, the generator then mines `reorg_depth` blocks confirming
+  /// pending transactions and feeds the node a competing coinbase-only
+  /// branch of `reorg_depth + 1` blocks forked from the pre-churn tip,
+  /// forcing a heaviest-chain reorg that disconnects those confirmations
+  /// back into the mempool.
+  std::size_t reorg_depth = 0;
 };
 
 /// Landmarks in the generated data, used to pick constants that make the
@@ -63,6 +78,12 @@ struct WorkloadMetadata {
   std::string quiet_pk;
   std::string quiet_pk2;
   std::string absent_pk = "NoSuchPk";
+
+  /// Lifecycle churn tallies; non-zero only when the corresponding
+  /// GeneratorParams knobs are set.
+  std::size_t replaced_by_fee = 0;
+  std::size_t evicted_by_capacity = 0;
+  std::size_t disconnected_by_reorg = 0;
 };
 
 struct GeneratedWorkload {

@@ -85,21 +85,17 @@ std::vector<std::pair<std::size_t, std::size_t>> Mempool::ConflictPairs()
   return pairs;
 }
 
-std::size_t Mempool::RemoveConfirmedAndInvalid(const Blockchain& chain,
-                                               const Block& block) {
-  std::unordered_set<TxId> confirmed;
-  for (const BitcoinTransaction& tx : block.transactions()) {
-    confirmed.insert(tx.txid());
-  }
-
-  // Iteratively drop confirmed transactions and transactions whose inputs
-  // can no longer be satisfied by chain UTXOs or surviving mempool parents
-  // (a dropped parent invalidates its dependants transitively).
+std::vector<TxId> Mempool::EvictSet(const Blockchain& chain,
+                                    const std::unordered_set<TxId>& victims) {
+  // Iteratively drop the designated victims, transactions confirmed on the
+  // active chain, and transactions whose inputs can no longer be satisfied
+  // by chain UTXOs or surviving mempool parents (a dropped parent
+  // invalidates its dependants transitively).
   std::vector<BitcoinTransaction> survivors = std::move(transactions_);
   transactions_.clear();
   by_txid_.clear();
+  std::vector<TxId> evicted;
   bool changed = true;
-  std::size_t evicted = 0;
   while (changed) {
     changed = false;
     std::unordered_set<TxId> surviving_ids;
@@ -109,22 +105,20 @@ std::size_t Mempool::RemoveConfirmedAndInvalid(const Blockchain& chain,
     std::vector<BitcoinTransaction> next;
     next.reserve(survivors.size());
     for (BitcoinTransaction& tx : survivors) {
-      if (confirmed.count(tx.txid()) > 0) {
-        ++evicted;
-        changed = true;
-        continue;
-      }
-      bool valid = true;
-      for (const TxInput& input : tx.inputs()) {
-        const bool on_chain = chain.utxos().count(input.prev) > 0;
-        const bool from_mempool = surviving_ids.count(input.prev.txid) > 0;
-        if (!on_chain && !from_mempool) {
-          valid = false;
-          break;
+      bool drop = victims.count(tx.txid()) > 0 ||
+                  chain.ContainsTransaction(tx.txid());
+      if (!drop) {
+        for (const TxInput& input : tx.inputs()) {
+          const bool on_chain = chain.utxos().count(input.prev) > 0;
+          const bool from_mempool = surviving_ids.count(input.prev.txid) > 0;
+          if (!on_chain && !from_mempool) {
+            drop = true;
+            break;
+          }
         }
       }
-      if (!valid) {
-        ++evicted;
+      if (drop) {
+        evicted.push_back(tx.txid());
         changed = true;
         continue;
       }
@@ -136,6 +130,76 @@ std::size_t Mempool::RemoveConfirmedAndInvalid(const Blockchain& chain,
   for (BitcoinTransaction& tx : survivors) {
     by_txid_.emplace(tx.txid(), transactions_.size());
     transactions_.push_back(std::move(tx));
+  }
+  return evicted;
+}
+
+std::size_t Mempool::RemoveConfirmedAndInvalid(const Blockchain& chain,
+                                               const Block& block) {
+  // `block` is already appended when this runs, so the chain's confirmation
+  // index covers its transactions; the parameter is kept for callers that
+  // want to assert as much.
+  std::unordered_set<TxId> confirmed;
+  for (const BitcoinTransaction& tx : block.transactions()) {
+    confirmed.insert(tx.txid());
+  }
+  return EvictSet(chain, confirmed).size();
+}
+
+std::vector<TxId> Mempool::Resync(const Blockchain& chain) {
+  return EvictSet(chain, {});
+}
+
+std::vector<TxId> Mempool::EvictToCapacity(const Blockchain& chain,
+                                           std::size_t max_transactions) {
+  std::vector<TxId> evicted;
+  while (transactions_.size() > max_transactions) {
+    const BitcoinTransaction* victim = nullptr;
+    for (const BitcoinTransaction& tx : transactions_) {
+      if (victim == nullptr || tx.Fee() < victim->Fee() ||
+          (tx.Fee() == victim->Fee() && tx.txid() < victim->txid())) {
+        victim = &tx;
+      }
+    }
+    std::vector<TxId> round = EvictSet(chain, {victim->txid()});
+    evicted.insert(evicted.end(), round.begin(), round.end());
+  }
+  return evicted;
+}
+
+StatusOr<std::vector<TxId>> Mempool::ReplaceByFee(const Blockchain& chain,
+                                                  BitcoinTransaction tx) {
+  std::unordered_set<OutPoint, OutPointHash> claimed;
+  for (const TxInput& input : tx.inputs()) claimed.insert(input.prev);
+
+  std::unordered_set<TxId> conflicts;
+  Satoshi displaced_fees = 0;
+  for (const BitcoinTransaction& resident : transactions_) {
+    for (const TxInput& input : resident.inputs()) {
+      if (claimed.count(input.prev) > 0) {
+        if (conflicts.insert(resident.txid()).second) {
+          displaced_fees += resident.Fee();
+        }
+        break;
+      }
+    }
+  }
+  if (!conflicts.empty() && tx.Fee() <= displaced_fees) {
+    return Status::ConstraintViolation(
+        "replacement fee " + std::to_string(tx.Fee()) +
+        " does not exceed the " + std::to_string(displaced_fees) +
+        " satoshi it displaces");
+  }
+  // Evict, then admit; a failed admission (e.g. the replacement depended on
+  // an output of an evicted dependant) restores the pre-call pool.
+  std::vector<BitcoinTransaction> pool_snapshot = transactions_;
+  std::unordered_map<TxId, std::size_t> index_snapshot = by_txid_;
+  std::vector<TxId> evicted = EvictSet(chain, conflicts);
+  Status admitted = Add(chain, std::move(tx));
+  if (!admitted.ok()) {
+    transactions_ = std::move(pool_snapshot);
+    by_txid_ = std::move(index_snapshot);
+    return admitted;
   }
   return evicted;
 }

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "bitcoin/chain.h"
@@ -47,9 +48,38 @@ class Mempool {
   std::size_t RemoveConfirmedAndInvalid(const Blockchain& chain,
                                         const Block& block);
 
+  /// Reconciles the pool against an arbitrary chain state — the general form
+  /// of RemoveConfirmedAndInvalid, usable after a reorg switched the active
+  /// chain underneath the pool. Drops every transaction that is confirmed on
+  /// the (new) active chain or whose inputs are no longer satisfiable from
+  /// chain UTXOs / surviving mempool parents. Returns the dropped txids in
+  /// pool order per cascade round.
+  std::vector<TxId> Resync(const Blockchain& chain);
+
+  /// Fee-capped admission: while the pool holds more than `max_transactions`
+  /// entries, evicts the lowest-fee transaction (txid breaks ties, so
+  /// eviction is deterministic) together with every dependant that loses its
+  /// funding. Returns the evicted txids in eviction order.
+  std::vector<TxId> EvictToCapacity(const Blockchain& chain,
+                                    std::size_t max_transactions);
+
+  /// Replace-by-fee: admits `tx` after evicting every mempool transaction
+  /// that directly conflicts with it (spends one of its inputs) plus their
+  /// dependants — but only if tx's fee strictly exceeds the summed fees of
+  /// the direct conflicts (BIP 125's core rule). With no conflicts this is
+  /// plain Add. Returns the evicted txids; the pool is unchanged on error.
+  StatusOr<std::vector<TxId>> ReplaceByFee(const Blockchain& chain,
+                                           BitcoinTransaction tx);
+
   ChainStats Stats() const;
 
  private:
+  /// Removes `victims` plus, transitively, every transaction that is
+  /// confirmed on the chain or whose inputs can no longer be resolved.
+  /// Returns all removed txids.
+  std::vector<TxId> EvictSet(const Blockchain& chain,
+                             const std::unordered_set<TxId>& victims);
+
   std::vector<BitcoinTransaction> transactions_;
   std::unordered_map<TxId, std::size_t> by_txid_;
 };

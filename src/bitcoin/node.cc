@@ -12,9 +12,25 @@ StatusOr<std::size_t> SimulatedNode::MineBlock(const MinerPolicy& policy) {
 }
 
 Status SimulatedNode::ReceiveBlock(const Block& block) {
-  BCDB_RETURN_IF_ERROR(chain_.AppendBlock(block));
-  mempool_.RemoveConfirmedAndInvalid(chain_, block);
-  return Status::OK();
+  return AcceptBlock(block).status();
+}
+
+StatusOr<ChainUpdate> SimulatedNode::AcceptBlock(const Block& block) {
+  StatusOr<ChainUpdate> update = chain_.AcceptBlock(block);
+  if (!update.ok()) return update;
+  if (update->kind == ChainUpdate::Kind::kReorged) {
+    // Disconnected transactions come back in block order, so parents are
+    // re-admitted before the children that spend them.
+    for (const BitcoinTransaction& tx : update->disconnected) {
+      if (tx.is_coinbase()) continue;
+      Status readmitted = mempool_.Add(chain_, tx);
+      (void)readmitted;  // Best-effort: re-confirmed or defunded txs stay out.
+    }
+  }
+  if (update->kind != ChainUpdate::Kind::kSideChain) {
+    mempool_.Resync(chain_);
+  }
+  return update;
 }
 
 }  // namespace bitcoin

@@ -40,7 +40,15 @@ class SimulatedNode {
 
   /// Accepts a block mined elsewhere (received via gossip): validates and
   /// appends it, then evicts confirmed / invalidated mempool entries.
+  /// Fork-aware (delegates to AcceptBlock); only the status survives.
   Status ReceiveBlock(const Block& block);
+
+  /// Fork-aware block intake. On a reorg, every disconnected non-coinbase
+  /// transaction is re-broadcast into the mempool (best-effort — ones
+  /// re-confirmed on the new branch or stripped of their funding stay out),
+  /// then the pool is resynced against the new active chain. The returned
+  /// update tells database-layer callers which confirmations to retract.
+  StatusOr<ChainUpdate> AcceptBlock(const Block& block);
 
  private:
   Blockchain chain_;

@@ -25,13 +25,15 @@ void BlockchainDatabase::RemoveMutationListener(MutationListenerId id) {
 
 void BlockchainDatabase::Publish(MutationKind kind, PendingId id,
                                  std::vector<std::size_t> relation_ids,
-                                 const MutationPayload& payload) {
+                                 const MutationPayload& payload,
+                                 Tuple event_tuple) {
   MutationEvent event;
   event.kind = kind;
   event.seq = mutation_log_->end_seq();  // Append re-stamps identically.
   event.version = version_;
   event.pending_id = id;
   event.relation_ids = std::move(relation_ids);
+  event.tuple = std::move(event_tuple);
   mutation_log_->Append(event);
   // The durability sink runs first: the write-ahead record must exist
   // before any listener can act on (and externalize) the mutation.
@@ -69,21 +71,38 @@ StatusOr<BlockchainDatabase> BlockchainDatabase::Create(
 Status BlockchainDatabase::InsertCurrent(std::string_view relation,
                                          Tuple tuple) {
   StatusOr<std::size_t> relation_id = db_->RelationId(relation);
-  // The durability sink needs the tuple after the store has consumed it;
-  // an id-array copy is cheap, but skip it on the volatile bulk-load path.
-  Tuple persisted;
-  if (durability_sink_ != nullptr) persisted = tuple;
+  // The event (and durability sink) carry the tuple after the store has
+  // consumed it; an id-array copy is cheap, and incremental engines probe
+  // their determinant buckets with it instead of re-reading the store.
+  Tuple persisted = tuple;
   Status status = db_->Insert(relation, std::move(tuple), kBaseOwner);
   if (!status.ok()) return status;
   ++version_;
   MutationPayload payload;
   payload.tuple = &persisted;
   payload.relation_id = relation_id.ok() ? *relation_id : ~std::size_t{0};
-  Publish(MutationKind::kCurrentInserted, ~std::size_t{0},
+  Publish(MutationKind::kCurrentInserted, kNoPendingId,
           relation_id.ok() ? std::vector<std::size_t>{*relation_id}
                            : std::vector<std::size_t>{},
-          payload);
+          payload, persisted);
   return status;
+}
+
+Status BlockchainDatabase::RemoveCurrent(std::string_view relation,
+                                         const Tuple& tuple) {
+  StatusOr<std::size_t> relation_id = db_->RelationId(relation);
+  if (!relation_id.ok()) return relation_id.status();
+  if (!db_->relation(*relation_id).RemoveTupleOwner(tuple, kBaseOwner)) {
+    return Status::NotFound("tuple is not part of the current state of " +
+                            std::string(relation));
+  }
+  ++version_;
+  MutationPayload payload;
+  payload.tuple = &tuple;
+  payload.relation_id = *relation_id;
+  Publish(MutationKind::kCurrentRemoved, kNoPendingId,
+          std::vector<std::size_t>{*relation_id}, payload, tuple);
+  return Status::OK();
 }
 
 Status BlockchainDatabase::ValidateCurrentState() const {
@@ -177,6 +196,27 @@ Status BlockchainDatabase::DiscardPending(PendingId id) {
   pending_state_[id] = PendingState::kDiscarded;
   ++version_;
   Publish(MutationKind::kPendingDiscarded, id, std::move(event_relations));
+  return Status::OK();
+}
+
+Status BlockchainDatabase::UnapplyPending(PendingId id) {
+  if (id >= pending_state_.size() ||
+      pending_state_[id] != PendingState::kApplied) {
+    return Status::InvalidArgument("transaction is not applied");
+  }
+  // Demote by content: ApplyPending merged the transaction's tuples into
+  // base ownership, so the promoted TupleIds are only recoverable through
+  // the stored transaction itself. A duplicate item demotes its tuple once
+  // (set semantics); see the header for the shared-base-ownership caveat.
+  const TupleOwner owner = static_cast<TupleOwner>(id);
+  for (const Transaction::Item& item : pending_[id].items()) {
+    StatusOr<std::size_t> rid = db_->RelationId(item.relation);
+    if (!rid.ok()) continue;  // Validated at AddPending; defensive.
+    db_->relation(*rid).DemoteTuple(item.tuple, owner);
+  }
+  pending_state_[id] = PendingState::kPending;
+  ++version_;
+  Publish(MutationKind::kPendingRestored, id, pending_relations_[id]);
   return Status::OK();
 }
 

@@ -32,7 +32,7 @@ using MutationListenerId = std::size_t;
 struct MutationPayload {
   /// kPendingAdded: the full transaction just registered.
   const Transaction* txn = nullptr;
-  /// kCurrentInserted: the inserted tuple and its relation.
+  /// kCurrentInserted / kCurrentRemoved: the affected tuple and its relation.
   const Tuple* tuple = nullptr;
   std::size_t relation_id = ~std::size_t{0};
 };
@@ -66,6 +66,8 @@ class BlockchainDatabase {
   /// Lifecycle of a pending-transaction slot. Slots are never reused:
   /// applied and discarded transactions keep their id (and owner tag)
   /// forever, so graphs and bitsets indexed by PendingId stay stable.
+  /// kApplied is not terminal — a chain reorg may return the slot to
+  /// kPending via UnapplyPending; kDiscarded is.
   enum class PendingState : std::uint8_t {
     kPending = 0,
     kApplied = 1,
@@ -91,6 +93,13 @@ class BlockchainDatabase {
   /// responsible for R |= I (verify with ValidateCurrentState); bulk loaders
   /// use this to avoid per-tuple constraint checks.
   Status InsertCurrent(std::string_view relation, Tuple tuple);
+
+  /// Retracts a tuple from the current state R (a chain reorg orphaned the
+  /// block that carried it). Fails with NotFound unless an equal tuple is
+  /// stored with base ownership. The stored tuple itself survives (possibly
+  /// unowned and invisible) so TupleIds stay stable; shrinking R can only
+  /// *revalidate* pending transactions, never invalidate them.
+  Status RemoveCurrent(std::string_view relation, const Tuple& tuple);
 
   /// Full constraint check of the current state (R |= I must hold for the
   /// possible-worlds semantics to be meaningful).
@@ -123,6 +132,18 @@ class BlockchainDatabase {
   /// unappendable and the node evicted it). Its tuples disappear from all
   /// future worlds.
   Status DiscardPending(PendingId id);
+
+  /// The UndoBlock half of a chain reorg: returns applied transaction `id`
+  /// to the pending state, moving each of its tuples from base ownership
+  /// back to the transaction's owner tag (by content — the inverse of
+  /// ApplyPending's promote). Fails with InvalidArgument unless the slot is
+  /// kApplied. Caveat (documented in DESIGN.md §15): a tuple the applied
+  /// transaction shares with another still-applied source of base ownership
+  /// (a second applied transaction carrying the equal tuple, or a direct
+  /// InsertCurrent) has a single merged base ownership under set semantics,
+  /// so unapplying removes it from R outright. The Bitcoin mapping never
+  /// constructs that overlap (txids are unique per relation key).
+  Status UnapplyPending(PendingId id);
 
   /// True if the transaction is still pending (not applied / discarded).
   bool IsPending(PendingId id) const {
@@ -188,10 +209,12 @@ class BlockchainDatabase {
 
   /// Appends the event (stamping the post-mutation version), hands it to
   /// the durability sink (if attached) with its replay payload, and
-  /// notifies listeners.
+  /// notifies listeners. `event_tuple` is the base tuple the event carries
+  /// (kCurrentInserted / kCurrentRemoved only; empty otherwise).
   void Publish(MutationKind kind, PendingId id,
                std::vector<std::size_t> relation_ids,
-               const MutationPayload& payload = MutationPayload{});
+               const MutationPayload& payload = MutationPayload{},
+               Tuple event_tuple = Tuple());
 
   std::unique_ptr<Database> db_;
   std::unique_ptr<ConstraintSet> constraints_;

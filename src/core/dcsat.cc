@@ -103,26 +103,32 @@ bool DcSatEngine::TryIncrementalRefresh() {
     ++steady_stats_.fallbacks_batch_too_large;
     return false;
   }
-  std::vector<PendingId> added_in_batch;
+  std::vector<PendingId> integrated_in_batch;
   for (const MutationEvent& event : events) {
-    if (event.kind == MutationKind::kCurrentInserted) {
-      // Direct base-state inserts are bulk loads, not steady-state churn;
-      // they can invalidate arbitrary pending transactions, so rebuild.
+    if ((event.kind == MutationKind::kCurrentInserted ||
+         event.kind == MutationKind::kCurrentRemoved) &&
+        (event.relation_ids.empty() || event.tuple.arity() == 0)) {
+      // A base-state event without its tuple payload cannot drive the
+      // determinant-bucket probes (never produced by the public API, but a
+      // hand-built event stream could). Rebuild.
       ++steady_stats_.fallbacks_base_insert;
       return false;
     }
-    if (event.kind == MutationKind::kPendingAdded) {
-      added_in_batch.push_back(event.pending_id);
+    if (event.kind == MutationKind::kPendingAdded ||
+        event.kind == MutationKind::kPendingRestored) {
+      integrated_in_batch.push_back(event.pending_id);
     } else if (event.kind == MutationKind::kPendingApplied &&
-               std::find(added_in_batch.begin(), added_in_batch.end(),
-                         event.pending_id) != added_in_batch.end()) {
-      // An AddPending and ApplyPending of one transaction inside a single
-      // batch cannot be replayed: the add replays against the post-apply
-      // database (IsPending is already false), so the node is never
-      // integrated, and the apply's cascade — the still-pending
-      // FD-conflictors it invalidates — would be computed from the absent
-      // node's edges and come up empty, leaving those conflictors marked
-      // valid where a from-scratch build invalidates them. Rebuild.
+               std::find(integrated_in_batch.begin(),
+                         integrated_in_batch.end(),
+                         event.pending_id) != integrated_in_batch.end()) {
+      // An AddPending (or UnapplyPending) and ApplyPending of one
+      // transaction inside a single batch cannot be replayed: the
+      // add/restore replays against the post-apply database (IsPending is
+      // already false), so the node is never integrated, and the apply's
+      // cascade — the still-pending FD-conflictors it invalidates — would
+      // be computed from the absent node's edges and come up empty, leaving
+      // those conflictors marked valid where a from-scratch build
+      // invalidates them. Rebuild.
       ++steady_stats_.fallbacks_applied_in_batch;
       return false;
     }
@@ -132,15 +138,56 @@ bool DcSatEngine::TryIncrementalRefresh() {
   // final state, so validity probes (AddPendingNode) see the final base —
   // exactly what a from-scratch build over the final state would see —
   // while removals work off recorded footprints and never re-read tuples.
+  //
+  // Base-state mutations ride on validity monotonicity: growing R can only
+  // *invalidate* pending transactions (more base tuples, more FD
+  // conflicts — found by one determinant-bucket probe per FD), while
+  // shrinking R (kCurrentRemoved) or returning an applied transaction to
+  // pending (kPendingRestored) can only *revalidate* — so those events
+  // re-probe exactly the still-invalid pending transactions touching the
+  // event's relations against the final base. Pairwise pending/pending
+  // conflicts never depend on R at all.
   bool removed_nodes = false;
+
+  // Re-checks every invalid-but-still-pending transaction whose footprint
+  // meets `rids`; AddPendingNode runs the full base-consistency probe, so a
+  // node that stays inconsistent for another reason stays out.
+  auto revalidate_touching = [&](const std::vector<std::size_t>& rids) {
+    for (PendingId id = 0; id < db_->num_pending(); ++id) {
+      if (!db_->IsPending(id)) continue;
+      const DynamicBitset& valid = fd_graph_->valid_nodes();
+      if (id < valid.size() && valid.Test(id)) continue;
+      bool touches = false;
+      for (std::size_t rid : db_->PendingRelations(id)) {
+        if (std::find(rids.begin(), rids.end(), rid) != rids.end()) {
+          touches = true;
+          break;
+        }
+      }
+      if (touches && fd_graph_->AddPendingNode(id)) {
+        theta_i_.AddNode(id);
+        last_refresh_.revalidated.push_back(id);
+      }
+    }
+  };
+
   for (const MutationEvent& event : events) {
     switch (event.kind) {
-      case MutationKind::kPendingAdded:
+      case MutationKind::kPendingAdded: {
         theta_i_.GrowTo(db_->num_pending());
+        // An earlier kCurrentRemoved/kPendingRestored in this batch may have
+        // already integrated this node (revalidation replays against the
+        // final database state, which includes it); Θ_I membership is not
+        // idempotent, so skip the double add.
+        const DynamicBitset& valid = fd_graph_->valid_nodes();
+        if (event.pending_id < valid.size() && valid.Test(event.pending_id)) {
+          break;
+        }
         if (fd_graph_->AddPendingNode(event.pending_id)) {
           theta_i_.AddNode(event.pending_id);
         }
         break;
+      }
       case MutationKind::kPendingDiscarded: {
         const DynamicBitset& valid = fd_graph_->valid_nodes();
         const bool was_valid =
@@ -171,8 +218,36 @@ bool DcSatEngine::TryIncrementalRefresh() {
             cascade.end());
         break;
       }
-      case MutationKind::kCurrentInserted:
-        break;  // Rejected above.
+      case MutationKind::kCurrentInserted: {
+        const std::vector<PendingId> invalidated = fd_graph_->InsertBaseTuple(
+            event.relation_ids.front(), event.tuple);
+        for (PendingId node : invalidated) {
+          theta_i_.RemoveNode(node);
+          removed_nodes = true;
+        }
+        last_refresh_.cascade_invalidated.insert(
+            last_refresh_.cascade_invalidated.end(), invalidated.begin(),
+            invalidated.end());
+        break;
+      }
+      case MutationKind::kCurrentRemoved:
+        revalidate_touching(event.relation_ids);
+        break;
+      case MutationKind::kPendingRestored: {
+        // The restored transaction itself first (its tuples left R and are
+        // pending again), then the nodes its base departure may have
+        // revalidated — any FD-conflictor shares the FD's relation, so the
+        // footprint filter covers the whole former cascade. Skip the node if
+        // an earlier event's revalidation already integrated it.
+        const DynamicBitset& valid = fd_graph_->valid_nodes();
+        const bool already =
+            event.pending_id < valid.size() && valid.Test(event.pending_id);
+        if (!already && fd_graph_->AddPendingNode(event.pending_id)) {
+          theta_i_.AddNode(event.pending_id);
+        }
+        revalidate_touching(event.relation_ids);
+        break;
+      }
     }
   }
   // A union-find cannot split, so removals leave it too coarse; one replay

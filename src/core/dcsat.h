@@ -110,9 +110,14 @@ struct SteadyStateStats {
   std::size_t incremental_events = 0;  // Mutation events applied as deltas.
   std::size_t fallbacks_batch_too_large = 0;  // > max_delta_events pending.
   std::size_t fallbacks_missed_events = 0;    // Mutation log trimmed past us.
-  std::size_t fallbacks_base_insert = 0;      // kCurrentInserted (bulk load).
-  /// One batch both added and applied a transaction; replay cannot
-  /// reconstruct its cascade (see TryIncrementalRefresh).
+  /// A base-state event (kCurrentInserted / kCurrentRemoved) arrived without
+  /// its tuple payload, so the determinant-bucket probes cannot run. The
+  /// public mutation API always attaches the payload — base churn is handled
+  /// incrementally — so this counts only hand-built event streams.
+  std::size_t fallbacks_base_insert = 0;
+  /// One batch both integrated (added or restored) and applied a
+  /// transaction; replay cannot reconstruct its cascade (see
+  /// TryIncrementalRefresh).
   std::size_t fallbacks_applied_in_batch = 0;
 };
 
@@ -123,8 +128,12 @@ struct SteadyStateRefresh {
   bool full_rebuild = false;  // Meaningful only when refreshed.
   std::size_t events_applied = 0;
   /// Still-pending transactions invalidated because they FD-conflicted with
-  /// a transaction that a delta batch applied to the current state.
+  /// a transaction the delta batch applied, or with a tuple it inserted
+  /// directly into the current state.
   std::vector<PendingId> cascade_invalidated;
+  /// Still-pending transactions that regained validity because the delta
+  /// batch shrank the current state (kCurrentRemoved / kPendingRestored).
+  std::vector<PendingId> revalidated;
 };
 
 struct DcSatStats {
@@ -204,9 +213,10 @@ struct TemplateBindingIndex {
 /// fd-transaction graph, the Θ_I part of the ind-graph components, and the
 /// per-transaction validity bits. Caches are keyed on the database version;
 /// after mutations they are patched from the database's mutation-delta log
-/// (see SteadyStateOptions) or, when a delta batch is too large, the log
-/// was trimmed past the engine's cursor, the base state was bulk-loaded, or
-/// one batch both added and applied a transaction, rebuilt from scratch.
+/// (see SteadyStateOptions) — including direct base-state inserts,
+/// retractions and reorg restores — or, when a delta batch is too large,
+/// the log was trimmed past the engine's cursor, or one batch both
+/// integrated and applied a transaction, rebuilt from scratch.
 class DcSatEngine {
  public:
   /// `db` must outlive the engine.
@@ -366,8 +376,9 @@ class DcSatEngine {
   /// consumed_seq_. Returns false — leaving the caches untouched, all
   /// eligibility checks run before the first mutation — when the delta path
   /// is ineligible (disabled, untracked graph, trimmed log, oversized
-  /// batch, a base-state insert, or an add+apply of one transaction within
-  /// the batch, whose cascade replay would be unsound).
+  /// batch, a payload-less base-state event, or an add-or-restore+apply of
+  /// one transaction within the batch, whose cascade replay would be
+  /// unsound).
   bool TryIncrementalRefresh();
   std::shared_ptr<ThreadPool> PoolFor(std::size_t num_workers) const;
 

@@ -66,6 +66,11 @@ bool FdGraph::AddPendingNode(PendingId id) {
   graph_.Resize(n);
   valid_nodes_.Resize(n);
   footprints_.resize(n);
+  // Idempotent on an already-integrated node: re-running the complete-graph
+  // edge pass would resurrect its removed conflict edges, and the bucket
+  // probe would then strip them again while incrementing
+  // num_conflict_pairs_ a second time.
+  if (id < valid_nodes_.size() && valid_nodes_.Test(id)) return true;
   if (!db_->IsPending(id) ||
       !db_->checker().FdConsistentWithBase(static_cast<TupleOwner>(id))) {
     // Invalid nodes carry no edges and no bucket entries — exactly how a
@@ -126,6 +131,30 @@ void FdGraph::DetachNode(PendingId id) {
 }
 
 void FdGraph::RemovePendingNode(PendingId id) { DetachNode(id); }
+
+std::vector<PendingId> FdGraph::InsertBaseTuple(std::size_t relation_id,
+                                                const Tuple& tuple) {
+  std::vector<PendingId> invalidated;
+  const std::vector<FunctionalDependency>& fds = db_->constraints().fds();
+  for (std::size_t ord = 0; ord < fds.size(); ++ord) {
+    const FunctionalDependency& fd = fds[ord];
+    if (fd.relation_id() != relation_id) continue;
+    const Tuple key = tuple.Project(fd.lhs());
+    const Tuple dependent = tuple.Project(fd.rhs());
+    auto it = fd_buckets_[ord].find(key);
+    if (it == fd_buckets_[ord].end()) continue;
+    for (const BucketEntry& entry : it->second) {
+      if (entry.dependent != dependent) invalidated.push_back(entry.txn);
+    }
+  }
+  std::sort(invalidated.begin(), invalidated.end());
+  invalidated.erase(std::unique(invalidated.begin(), invalidated.end()),
+                    invalidated.end());
+  // Detach after the probes: DetachNode erases bucket entries, which would
+  // invalidate the iteration above.
+  for (PendingId id : invalidated) DetachNode(id);
+  return invalidated;
+}
 
 std::vector<PendingId> FdGraph::ApplyPendingNode(PendingId id) {
   std::vector<PendingId> cascade;

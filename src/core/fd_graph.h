@@ -70,6 +70,17 @@ class FdGraph {
   /// structure keyed on valid nodes (Θ_I buckets).
   std::vector<PendingId> ApplyPendingNode(PendingId id);
 
+  /// Integrates a direct base-state insert (kCurrentInserted) of `tuple`
+  /// into relation `relation_id`: a valid node whose own tuple shares an FD
+  /// determinant with the new base tuple but disagrees on the dependent is
+  /// now inconsistent with R. Growing R is anti-monotone for validity —
+  /// it can only invalidate, never revalidate — so one determinant-bucket
+  /// probe per FD on the relation finds every affected node without
+  /// rescanning. Returns the invalidated nodes (ascending, deduplicated);
+  /// same caller contract as ApplyPendingNode's cascade.
+  std::vector<PendingId> InsertBaseTuple(std::size_t relation_id,
+                                         const Tuple& tuple);
+
   bool tracking_mutations() const { return tracked_; }
 
  private:

@@ -8,22 +8,36 @@
 #include <optional>
 #include <vector>
 
+#include "relational/tuple.h"
+
 namespace bcdb {
 
 /// Index of a pending transaction within a blockchain database. Equals the
 /// TupleOwner tag of its tuples.
 using PendingId = std::size_t;
 
-/// What a BlockchainDatabase mutation did. The four kinds are exactly the
-/// steady-state churn of a node: the mempool absorbing a transaction, a
-/// block confirming one, the node evicting one, and a direct insert into
-/// the current state (bulk loading).
+/// Sentinel pending id of events that concern no pending transaction
+/// (the base-state kinds kCurrentInserted / kCurrentRemoved).
+inline constexpr PendingId kNoPendingId = ~std::size_t{0};
+
+/// What a BlockchainDatabase mutation did. The six kinds are the full
+/// lifecycle churn of a node: the mempool absorbing a transaction, a block
+/// confirming one, the node evicting one, a direct insert into the current
+/// state (bulk loading, orphan-free coinbases), a base-tuple retraction
+/// (a reorg orphaning part of R), and a reorg returning a confirmed
+/// transaction to pending.
 enum class MutationKind : std::uint8_t {
   kPendingAdded,
   kPendingApplied,
   kPendingDiscarded,
   kCurrentInserted,
+  kCurrentRemoved,
+  kPendingRestored,
 };
+
+/// Number of MutationKind enumerators; codecs and exhaustiveness tests key
+/// range checks on this so a new kind cannot silently pass as garbage.
+inline constexpr std::size_t kNumMutationKinds = 6;
 
 const char* MutationKindToString(MutationKind kind);
 
@@ -36,13 +50,18 @@ struct MutationEvent {
   std::uint64_t seq = 0;
   /// Database version after the mutation.
   std::uint64_t version = 0;
-  /// The affected pending transaction; unused for kCurrentInserted.
-  PendingId pending_id = ~std::size_t{0};
+  /// The affected pending transaction; kNoPendingId for the base-state
+  /// kinds (kCurrentInserted / kCurrentRemoved).
+  PendingId pending_id = kNoPendingId;
   /// Relation ids touched by the mutation (the pending transaction's tuple
-  /// relations, or the inserted tuple's relation). Recorded at event time so
-  /// consumers can reason about a transaction even after DiscardPending has
-  /// dropped its tuples from the store.
+  /// relations, or the inserted/removed tuple's relation). Recorded at event
+  /// time so consumers can reason about a transaction even after
+  /// DiscardPending has dropped its tuples from the store.
   std::vector<std::size_t> relation_ids;
+  /// kCurrentInserted / kCurrentRemoved: the affected base tuple, so
+  /// incremental consumers can probe their determinant buckets without
+  /// re-reading the store. Empty (arity 0) for the pending kinds.
+  Tuple tuple;
 };
 
 /// Bounded, append-only log of mutation events with sequence-number
@@ -128,6 +147,10 @@ inline const char* MutationKindToString(MutationKind kind) {
       return "pending-discarded";
     case MutationKind::kCurrentInserted:
       return "current-inserted";
+    case MutationKind::kCurrentRemoved:
+      return "current-removed";
+    case MutationKind::kPendingRestored:
+      return "pending-restored";
   }
   return "?";
 }

@@ -117,6 +117,36 @@ void Relation::DropOwner(TupleOwner owner) {
   }
 }
 
+bool Relation::RemoveTupleOwner(const Tuple& tuple, TupleOwner owner) {
+  auto it = ids_by_tuple_.find(tuple);
+  if (it == ids_by_tuple_.end()) return false;
+  const TupleId id = it->second;
+  std::vector<TupleOwner>& owner_list = owners_[id];
+  auto pos = std::find(owner_list.begin(), owner_list.end(), owner);
+  if (pos == owner_list.end()) return false;
+  owner_list.erase(pos);
+  auto by_owner = tuples_by_owner_.find(owner);
+  if (by_owner != tuples_by_owner_.end()) {
+    std::vector<TupleId>& ids = by_owner->second;
+    auto id_pos = std::find(ids.begin(), ids.end(), id);
+    if (id_pos != ids.end()) {
+      // Order within an owner's id list is not meaningful (PromoteOwner /
+      // DropOwner walk it as a set), so swap-erase.
+      *id_pos = ids.back();
+      ids.pop_back();
+    }
+    if (ids.empty()) tuples_by_owner_.erase(by_owner);
+  }
+  return true;
+}
+
+bool Relation::DemoteTuple(const Tuple& tuple, TupleOwner owner) {
+  assert(owner != kBaseOwner);
+  if (!RemoveTupleOwner(tuple, kBaseOwner)) return false;
+  Insert(tuple, owner);  // Re-attaches `owner`; dedups if already present.
+  return true;
+}
+
 std::size_t Relation::GetOrBuildIndex(
     const std::vector<std::size_t>& positions) const {
   assert(std::is_sorted(positions.begin(), positions.end()));

@@ -85,6 +85,23 @@ class Relation {
   /// become invisible in every view.
   void DropOwner(TupleOwner owner);
 
+  /// Removes `owner` from the stored tuple equal to `tuple`, if both exist.
+  /// Returns true when an ownership was actually removed (false: the tuple
+  /// is not stored, or `owner` does not own it). The tuple itself stays
+  /// stored — possibly with no owners, and therefore invisible in every
+  /// view — so TupleId assignment and index entries remain stable; indexes
+  /// need no maintenance because readers re-check visibility.
+  bool RemoveTupleOwner(const Tuple& tuple, TupleOwner owner);
+
+  /// Moves ownership of the stored tuple equal to `tuple` from the base
+  /// state back to `owner` (the inverse of one PromoteOwner step, used when
+  /// a chain reorg returns an applied transaction to pending). Returns true
+  /// when the base ownership was removed; `owner` gains the tuple either
+  /// way (no-op if it already owns it). False when the tuple is not stored
+  /// or not base-owned — the caller decides whether that is tolerable (a
+  /// transaction listing one tuple twice demotes it once).
+  bool DemoteTuple(const Tuple& tuple, TupleOwner owner);
+
   /// Identifier of the lazily-built hash index over `positions`, which must
   /// be sorted, unique and in range. The same positions always return the
   /// same id.

@@ -234,6 +234,13 @@ StatusOr<BlockchainDatabase> DurableStore::Recover(ConstraintSet constraints) {
               catalog_.schema(mutation->relation_id).name(),
               std::move(mutation->tuple));
           break;
+        case MutationKind::kCurrentRemoved:
+          applied = db->RemoveCurrent(
+              catalog_.schema(mutation->relation_id).name(), mutation->tuple);
+          break;
+        case MutationKind::kPendingRestored:
+          applied = db->UnapplyPending(mutation->event.pending_id);
+          break;
       }
       if (!applied.ok()) {
         return Status::Internal("WAL replay of seq " +

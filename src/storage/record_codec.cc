@@ -95,7 +95,7 @@ bool DecodeEvent(ByteReader* in, MutationEvent* event) {
   std::uint8_t kind;
   std::uint64_t pending_id;
   std::uint32_t num_relations;
-  if (!in->ReadU8(&kind) || kind > 3) return false;
+  if (!in->ReadU8(&kind) || kind >= kNumMutationKinds) return false;
   event->kind = static_cast<MutationKind>(kind);
   if (!in->ReadU64(&event->seq) || !in->ReadU64(&event->version) ||
       !in->ReadU64(&pending_id) || !in->ReadU32(&num_relations)) {
@@ -212,11 +212,14 @@ Status EncodeMutation(const MutationEvent& event,
       }
       return Status::OK();
     }
-    case MutationKind::kCurrentInserted: {
+    case MutationKind::kCurrentInserted:
+    case MutationKind::kCurrentRemoved: {
+      // Both base-state kinds are self-contained: relation plus full tuple
+      // values, so replay never depends on surviving store contents.
       if (payload.tuple == nullptr ||
           payload.relation_id >= catalog.num_relations()) {
         return Status::InvalidArgument(
-            "kCurrentInserted mutation carries no resolvable tuple payload");
+            "base-state mutation carries no resolvable tuple payload");
       }
       AppendU32(out, static_cast<std::uint32_t>(payload.relation_id));
       EncodeTupleValues(out, *payload.tuple);
@@ -224,6 +227,7 @@ Status EncodeMutation(const MutationEvent& event,
     }
     case MutationKind::kPendingApplied:
     case MutationKind::kPendingDiscarded:
+    case MutationKind::kPendingRestored:
       return Status::OK();  // The event alone replays.
   }
   return Status::Internal("unknown mutation kind");
@@ -263,18 +267,20 @@ StatusOr<PersistedMutation> DecodeMutation(std::string_view payload,
       }
       break;
     }
-    case MutationKind::kCurrentInserted: {
+    case MutationKind::kCurrentInserted:
+    case MutationKind::kCurrentRemoved: {
       std::uint32_t rid;
       if (!in.ReadU32(&rid) || rid >= catalog.num_relations() ||
           !DecodeTupleValues(&in, &out.tuple)) {
         return Status::InvalidArgument(
-            "mutation record: malformed insert payload");
+            "mutation record: malformed base-tuple payload");
       }
       out.relation_id = rid;
       break;
     }
     case MutationKind::kPendingApplied:
     case MutationKind::kPendingDiscarded:
+    case MutationKind::kPendingRestored:
       break;
   }
   if (!in.exhausted()) {

@@ -48,7 +48,7 @@ struct PersistedMutation {
   /// kPendingAdded: the registered transaction (relation names resolved
   /// from the catalog).
   Transaction txn;
-  /// kCurrentInserted: the inserted tuple and its relation.
+  /// kCurrentInserted / kCurrentRemoved: the affected tuple and relation.
   std::size_t relation_id = ~std::size_t{0};
   Tuple tuple;
 };

@@ -122,6 +122,104 @@ TEST(BlockchainDatabaseTest, ApplyAndDiscardStateMachine) {
   EXPECT_EQ(db.PendingIds(), (std::vector<PendingId>{1, 2, 3}));
 }
 
+TEST(BlockchainDatabaseTest, RemoveCurrentRetractsOnlyBaseOwnership) {
+  BlockchainDatabase db = MakeRunningExample();
+  const Tuple row({Value::Int(97), Value::Int(1), Value::Str("ReorgPk"),
+                   Value::Int(5)});
+  ASSERT_TRUE(db.InsertCurrent("TxOut", row).ok());
+  const auto txout_id = db.catalog().RelationId("TxOut");
+  ASSERT_TRUE(txout_id.ok());
+  EXPECT_TRUE(db.database().relation(*txout_id).ContainsVisible(row, db.BaseView()));
+
+  std::vector<MutationEvent> seen;
+  db.AddMutationListener(
+      [&](const MutationEvent& event) { seen.push_back(event); });
+  const std::uint64_t version_before = db.version();
+  ASSERT_TRUE(db.RemoveCurrent("TxOut", row).ok());
+  EXPECT_GT(db.version(), version_before);
+  EXPECT_FALSE(db.database().relation(*txout_id).ContainsVisible(row, db.BaseView()));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].kind, MutationKind::kCurrentRemoved);
+  EXPECT_EQ(seen[0].pending_id, kNoPendingId);
+  EXPECT_EQ(seen[0].relation_ids, std::vector<std::size_t>{*txout_id});
+  EXPECT_EQ(seen[0].tuple, row);  // Payload travels with the event.
+
+  // Second removal: the base no longer owns the tuple.
+  EXPECT_EQ(db.RemoveCurrent("TxOut", row).code(), StatusCode::kNotFound);
+  // Never-inserted tuple and unknown relation are typed errors, no event.
+  EXPECT_EQ(db.RemoveCurrent("TxOut", Tuple({Value::Int(96), Value::Int(9),
+                                             Value::Str("NoPk"),
+                                             Value::Int(1)}))
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(db.RemoveCurrent("Nope", row).ok());
+  EXPECT_EQ(seen.size(), 1u);
+}
+
+TEST(BlockchainDatabaseTest, RemoveCurrentLeavesPendingOwnersIntact) {
+  BlockchainDatabase db = MakeRunningExample();
+  // A tuple owned by both the base and a pending transaction: retracting
+  // the base ownership must keep the pending copy visible in its worlds.
+  const Tuple row({Value::Int(95), Value::Int(1), Value::Str("SharedPk"),
+                   Value::Int(2)});
+  Transaction txn("shared");
+  txn.Add("TxOut", row);
+  auto id = db.AddPending(txn);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db.InsertCurrent("TxOut", row).ok());
+
+  ASSERT_TRUE(db.RemoveCurrent("TxOut", row).ok());
+  const auto txout_id = db.catalog().RelationId("TxOut");
+  ASSERT_TRUE(txout_id.ok());
+  const Relation& txout = db.database().relation(*txout_id);
+  EXPECT_FALSE(txout.ContainsVisible(row, db.BaseView()));
+  EXPECT_TRUE(txout.ContainsVisible(row, db.PendingUnionView()));
+}
+
+TEST(BlockchainDatabaseTest, UnapplyPendingRoundTripsThroughApplied) {
+  BlockchainDatabase db = MakeRunningExample();
+  // Never-applied ids (still pending, out of range) are typed errors.
+  EXPECT_EQ(db.UnapplyPending(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.UnapplyPending(12345).code(), StatusCode::kInvalidArgument);
+
+  const std::vector<std::size_t> footprint = db.PendingRelations(0);
+  ASSERT_TRUE(db.ApplyPending(0).ok());
+  EXPECT_FALSE(db.IsPending(0));
+
+  std::vector<MutationEvent> seen;
+  db.AddMutationListener(
+      [&](const MutationEvent& event) { seen.push_back(event); });
+  ASSERT_TRUE(db.UnapplyPending(0).ok());
+  EXPECT_TRUE(db.IsPending(0));
+  EXPECT_EQ(db.pending_state(0), BlockchainDatabase::PendingState::kPending);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].kind, MutationKind::kPendingRestored);
+  EXPECT_EQ(seen[0].pending_id, 0u);
+  EXPECT_EQ(seen[0].relation_ids, footprint);
+
+  // kApplied is no longer terminal: the slot cycles freely.
+  EXPECT_EQ(db.UnapplyPending(0).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(db.ApplyPending(0).ok());
+  ASSERT_TRUE(db.UnapplyPending(0).ok());
+  ASSERT_TRUE(db.DiscardPending(0).ok());
+  EXPECT_EQ(db.UnapplyPending(0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BlockchainDatabaseTest, UnapplyRestoresPendingVisibility) {
+  BlockchainDatabase db = MakeRunningExample();
+  // T1's outputs leave the base and return to pending-only visibility.
+  const auto txout_id = db.catalog().RelationId("TxOut");
+  ASSERT_TRUE(txout_id.ok());
+  const Relation& txout = db.database().relation(*txout_id);
+  const Tuple t1_out({Value::Int(4), Value::Int(1), Value::Str("U5Pk"),
+                      Value::Real(1)});
+  ASSERT_TRUE(db.ApplyPending(0).ok());
+  EXPECT_TRUE(txout.ContainsVisible(t1_out, db.BaseView()));
+  ASSERT_TRUE(db.UnapplyPending(0).ok());
+  EXPECT_FALSE(txout.ContainsVisible(t1_out, db.BaseView()));
+  EXPECT_TRUE(txout.ContainsVisible(t1_out, db.PendingUnionView()));
+}
+
 TEST(BlockchainDatabaseTest, PendingUnionViewTracksSurvivors) {
   BlockchainDatabase db = MakeRunningExample();
   ASSERT_TRUE(db.DiscardPending(3).ok());  // Drop T4 (pays U8Pk).

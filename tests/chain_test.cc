@@ -156,6 +156,149 @@ TEST_F(ChainTest, StatsAccumulate) {
   EXPECT_EQ(stats.outputs, 2u);
 }
 
+TEST_F(ChainTest, AcceptBlockExtendsTipAndRejectsMalformedOffers) {
+  BitcoinTransaction cb =
+      BitcoinTransaction::Coinbase("AlicePk", kBlockReward, 1);
+  const Block block(1, chain_.tip().hash(), {cb});
+  auto update = chain_.AcceptBlock(block);
+  ASSERT_TRUE(update.ok()) << update.status();
+  EXPECT_EQ(update->kind, ChainUpdate::Kind::kExtendedTip);
+  EXPECT_EQ(update->connected_blocks, 1u);
+  EXPECT_TRUE(update->disconnected.empty());
+  EXPECT_EQ(chain_.height(), 1u);
+
+  // Re-offering a known block, linking to an unknown parent, and a height
+  // that does not follow the parent are all typed rejections.
+  EXPECT_EQ(chain_.AcceptBlock(block).status().code(),
+            StatusCode::kAlreadyExists);
+  const Block orphan(
+      2, /*prev_hash=*/0x1234abcd,
+      {BitcoinTransaction::Coinbase("BobPk", kBlockReward, 2)});
+  EXPECT_EQ(chain_.AcceptBlock(orphan).status().code(), StatusCode::kNotFound);
+  const Block skewed(
+      7, chain_.tip().hash(),
+      {BitcoinTransaction::Coinbase("BobPk", kBlockReward, 7)});
+  EXPECT_EQ(chain_.AcceptBlock(skewed).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ChainTest, EqualLengthCompetitorStaysSideChain) {
+  MineCoinbaseTo("AlicePk");
+  const Block rival(
+      1, chain_.blocks()[0].hash(),
+      {BitcoinTransaction::Coinbase("RivalPk", kBlockReward, 1)});
+  auto update = chain_.AcceptBlock(rival);
+  ASSERT_TRUE(update.ok()) << update.status();
+  EXPECT_EQ(update->kind, ChainUpdate::Kind::kSideChain);
+  // First-seen wins: the active chain is untouched but the rival is known.
+  EXPECT_EQ(chain_.height(), 1u);
+  EXPECT_NE(chain_.tip().hash(), rival.hash());
+  EXPECT_NE(chain_.FindBlock(rival.hash()), nullptr);
+  EXPECT_EQ(chain_.utxos().count(OutPoint{rival.transactions()[0].txid(), 1}),
+            0u);
+}
+
+TEST_F(ChainTest, LongerBranchReorgsAndReportsDisconnections) {
+  // Active: A1 (coinbase -> Alice), A2 (coinbase + Alice pays Bob).
+  BitcoinTransaction cb_a1 = MineCoinbaseTo("AlicePk");
+  BitcoinTransaction cb_a2 =
+      BitcoinTransaction::Coinbase("AlicePk", kBlockReward, 2);
+  BitcoinTransaction pay = Payment(OutPoint{cb_a1.txid(), 1}, "AlicePk",
+                                   kBlockReward, "BobPk", kCoin, 0);
+  ASSERT_TRUE(chain_.MineAndAppend({cb_a2, pay}).ok());
+  ASSERT_TRUE(chain_.ContainsTransaction(pay.txid()));
+
+  // Rival branch from genesis: three coinbase-only blocks.
+  std::vector<Block> branch;
+  BlockHash prev = chain_.blocks()[0].hash();
+  for (std::uint64_t h = 1; h <= 3; ++h) {
+    branch.emplace_back(
+        h, prev,
+        std::vector<BitcoinTransaction>{
+            BitcoinTransaction::Coinbase("RivalPk", kBlockReward, h)});
+    prev = branch.back().hash();
+  }
+  auto side1 = chain_.AcceptBlock(branch[0]);
+  ASSERT_TRUE(side1.ok());
+  EXPECT_EQ(side1->kind, ChainUpdate::Kind::kSideChain);
+  auto side2 = chain_.AcceptBlock(branch[1]);
+  ASSERT_TRUE(side2.ok());
+  EXPECT_EQ(side2->kind, ChainUpdate::Kind::kSideChain);
+
+  auto reorg = chain_.AcceptBlock(branch[2]);
+  ASSERT_TRUE(reorg.ok()) << reorg.status();
+  EXPECT_EQ(reorg->kind, ChainUpdate::Kind::kReorged);
+  EXPECT_EQ(reorg->disconnected_blocks, 2u);
+  EXPECT_EQ(reorg->connected_blocks, 3u);
+  // Disconnected transactions come back in block order, coinbases included.
+  ASSERT_EQ(reorg->disconnected.size(), 3u);
+  EXPECT_EQ(reorg->disconnected[0].txid(), cb_a1.txid());
+  EXPECT_EQ(reorg->disconnected[1].txid(), cb_a2.txid());
+  EXPECT_EQ(reorg->disconnected[2].txid(), pay.txid());
+
+  // The node now follows the rival branch: rolled-back confirmations are
+  // gone and the UTXO set is the branch's.
+  EXPECT_EQ(chain_.height(), 3u);
+  EXPECT_EQ(chain_.tip().hash(), branch[2].hash());
+  EXPECT_FALSE(chain_.ContainsTransaction(pay.txid()));
+  EXPECT_FALSE(chain_.ContainsTransaction(cb_a1.txid()));
+  EXPECT_EQ(chain_.utxos().size(), 3u);
+  for (const Block& block : branch) {
+    EXPECT_TRUE(chain_.ContainsTransaction(block.transactions()[0].txid()));
+    EXPECT_EQ(
+        chain_.utxos().count(OutPoint{block.transactions()[0].txid(), 1}),
+        1u);
+  }
+}
+
+TEST_F(ChainTest, InvalidLongerBranchLeavesActiveChainUntouched) {
+  BitcoinTransaction cb_a1 = MineCoinbaseTo("AlicePk");
+  // Rival branch whose second block overspends a nonexistent output; it is
+  // only fully validated at adoption time, which must fail atomically.
+  const BitcoinTransaction rival_cb =
+      BitcoinTransaction::Coinbase("RivalPk", kBlockReward, 1);
+  const Block b1(1, chain_.blocks()[0].hash(), {rival_cb});
+  const BitcoinTransaction bogus =
+      Payment(OutPoint{0x77777, 1}, "NoonePk", kCoin, "BobPk", kCoin, 0);
+  const Block b2(2, b1.hash(), {bogus});
+  ASSERT_TRUE(chain_.AcceptBlock(b1).ok());
+  EXPECT_FALSE(chain_.AcceptBlock(b2).ok());
+  EXPECT_EQ(chain_.height(), 1u);
+  EXPECT_EQ(chain_.tip().hash(), chain_.blocks()[1].hash());
+  EXPECT_TRUE(chain_.ContainsTransaction(cb_a1.txid()));
+  EXPECT_EQ(chain_.utxos().count(OutPoint{cb_a1.txid(), 1}), 1u);
+}
+
+TEST_F(ChainTest, ReorgReconfirmsSharedTransactions) {
+  // The rival branch confirms the same payment the active chain had: after
+  // the switch it must still count as confirmed (replay-from-genesis sees
+  // it fresh on the candidate chain).
+  BitcoinTransaction cb_a1 = MineCoinbaseTo("AlicePk");
+  BitcoinTransaction pay = Payment(OutPoint{cb_a1.txid(), 1}, "AlicePk",
+                                   kBlockReward, "BobPk", kCoin, 0);
+  ASSERT_TRUE(chain_.MineAndAppend({pay}).ok());
+
+  std::vector<Block> branch;
+  branch.emplace_back(2, chain_.blocks()[1].hash(),
+                      std::vector<BitcoinTransaction>{
+                          BitcoinTransaction::Coinbase("RivalPk",
+                                                       kBlockReward, 2),
+                          pay});
+  branch.emplace_back(3, branch.back().hash(),
+                      std::vector<BitcoinTransaction>{
+                          BitcoinTransaction::Coinbase("RivalPk",
+                                                       kBlockReward, 3)});
+  ASSERT_TRUE(chain_.AcceptBlock(branch[0]).ok());
+  auto reorg = chain_.AcceptBlock(branch[1]);
+  ASSERT_TRUE(reorg.ok()) << reorg.status();
+  EXPECT_EQ(reorg->kind, ChainUpdate::Kind::kReorged);
+  // The payment was disconnected with its old block but re-confirmed on
+  // the new branch.
+  EXPECT_TRUE(chain_.ContainsTransaction(pay.txid()));
+  EXPECT_TRUE(chain_.ContainsTransaction(cb_a1.txid()));
+  EXPECT_EQ(chain_.utxos().count(OutPoint{pay.txid(), 1}), 1u);
+}
+
 }  // namespace
 }  // namespace bitcoin
 }  // namespace bcdb

@@ -12,6 +12,13 @@
 //   seed % 5 == 2  bit flip mid-WAL (checksum-detected interior corruption)
 //   seed % 5 == 3  corrupted newest checkpoint (fallback + WAL roll-forward)
 //   seed % 5 == 4  orphaned .tmp segment (crash mid-checkpoint-write)
+//
+// The workload spans the full mutation lifecycle — base inserts AND
+// removals, pending add/apply/discard AND restore (UnapplyPending) — and
+// every seed emits one mid-workload "reorg burst" (an unapply followed by
+// base removals, back to back, as a chain switch would produce). Seeds
+// with seed % 3 == 0 move their kill point INSIDE that burst, so recovery
+// must roll forward from a WAL that ends halfway through a reorg.
 
 #include <gtest/gtest.h>
 
@@ -75,12 +82,19 @@ ConstraintSet MakeConstraints(bool with_ind) {
 /// onto any state recovered at end_seq E deterministically reproduces the
 /// baseline's final state.
 struct Op {
-  enum Kind { kInsert, kAdd, kApply, kDiscard } kind;
-  std::string relation;   // kInsert
-  Tuple tuple;            // kInsert
+  enum Kind { kInsert, kRemove, kAdd, kApply, kDiscard, kUnapply } kind;
+  std::string relation;   // kInsert, kRemove
+  Tuple tuple;            // kInsert, kRemove
   Transaction txn{""};    // kAdd
-  PendingId pending_id =  // kAdd (assigned id, verified), kApply, kDiscard
-      0;
+  PendingId pending_id =  // kAdd (assigned id, verified), kApply, kDiscard,
+      0;                  // kUnapply
+};
+
+/// Op-index range [begin, end) of the reorg burst within the workload;
+/// empty when the seed's state offered nothing to reorganize.
+struct ReorgWindow {
+  std::size_t begin = 0;
+  std::size_t end = 0;
 };
 
 Transaction RandomTxn(Xoshiro256& rng, std::size_t ordinal) {
@@ -101,21 +115,90 @@ Transaction RandomTxn(Xoshiro256& rng, std::size_t ordinal) {
 /// Generates and applies the workload against `db`, recording every op
 /// that actually published a mutation event (no-op inserts of duplicate
 /// tuples are retried, not recorded).
-std::vector<Op> GenerateOps(Xoshiro256& rng, BlockchainDatabase* db) {
+std::vector<Op> GenerateOps(Xoshiro256& rng, BlockchainDatabase* db,
+                            ReorgWindow* reorg) {
   std::vector<Op> ops;
   std::vector<PendingId> live;
+  std::vector<PendingId> applied;
+  std::vector<std::pair<std::string, Tuple>> base;
   std::size_t ordinal = 0;
+  // Records `op` iff it published exactly one mutation event.
+  auto record = [&](Op op, std::uint64_t seq_before) {
+    if (db->mutations().end_seq() == seq_before) return false;  // No event.
+    EXPECT_EQ(db->mutations().end_seq(), seq_before + 1);
+    ops.push_back(std::move(op));
+    return true;
+  };
   while (ops.size() < kOpsPerSeed) {
+    // Halfway through, a reorg burst: one chain-switch worth of restore +
+    // base-retraction events, back to back.
+    if (ops.size() == kOpsPerSeed / 2 && reorg->end == 0) {
+      reorg->begin = ops.size();
+      if (!applied.empty()) {
+        Op op;
+        op.kind = Op::kUnapply;
+        op.pending_id = applied.back();
+        const std::uint64_t seq_before = db->mutations().end_seq();
+        if (db->UnapplyPending(op.pending_id).ok() &&
+            record(std::move(op), seq_before)) {
+          live.push_back(applied.back());
+          applied.pop_back();
+        }
+      }
+      for (std::size_t burst = 0; burst < 2 && !base.empty(); ++burst) {
+        Op op;
+        op.kind = Op::kRemove;
+        op.relation = base.back().first;
+        op.tuple = base.back().second;
+        const std::uint64_t seq_before = db->mutations().end_seq();
+        if (db->RemoveCurrent(op.relation, op.tuple).ok()) {
+          record(std::move(op), seq_before);
+        }
+        base.pop_back();
+      }
+      reorg->end = ops.size();
+      continue;
+    }
     const std::uint64_t seq_before = db->mutations().end_seq();
     Op op;
-    const std::size_t pick = rng.NextBelow(4);
+    const std::size_t pick = rng.NextBelow(6);
     if (pick == 0) {
       op.kind = Op::kInsert;
       op.relation = rng.NextBool(0.5) ? "R" : "S";
       op.tuple = Tuple({Value::Int(rng.NextInRange(0, 20)),
                         Value::Int(rng.NextInRange(0, 3))});
       if (!db->InsertCurrent(op.relation, op.tuple).ok()) continue;
-    } else if (pick == 1 || live.empty()) {
+      if (record(std::move(op), seq_before)) {
+        base.emplace_back(ops.back().relation, ops.back().tuple);
+      }
+      continue;
+    }
+    if (pick == 4) {  // Reorg-style base retraction.
+      if (base.empty()) continue;
+      const std::size_t at = rng.NextBelow(base.size());
+      op.kind = Op::kRemove;
+      op.relation = base[at].first;
+      op.tuple = base[at].second;
+      // A stale entry (ownership demoted by a prior unapply) just drops.
+      if (db->RemoveCurrent(op.relation, op.tuple).ok()) {
+        record(std::move(op), seq_before);
+      }
+      base.erase(base.begin() + at);
+      continue;
+    }
+    if (pick == 5) {  // Reorg-style restore of an applied transaction.
+      if (applied.empty()) continue;
+      const std::size_t at = rng.NextBelow(applied.size());
+      op.kind = Op::kUnapply;
+      op.pending_id = applied[at];
+      if (!db->UnapplyPending(op.pending_id).ok()) continue;
+      if (record(std::move(op), seq_before)) {
+        live.push_back(applied[at]);
+        applied.erase(applied.begin() + at);
+      }
+      continue;
+    }
+    if (pick == 1 || live.empty()) {
       op.kind = Op::kAdd;
       op.txn = RandomTxn(rng, ordinal++);
       auto id = db->AddPending(op.txn);
@@ -127,6 +210,7 @@ std::vector<Op> GenerateOps(Xoshiro256& rng, BlockchainDatabase* db) {
       op.pending_id = live[at];
       if (pick == 2 && db->ApplyPending(op.pending_id).ok()) {
         op.kind = Op::kApply;
+        applied.push_back(op.pending_id);
       } else if (db->DiscardPending(op.pending_id).ok()) {
         op.kind = Op::kDiscard;
       } else {
@@ -134,9 +218,7 @@ std::vector<Op> GenerateOps(Xoshiro256& rng, BlockchainDatabase* db) {
       }
       live.erase(live.begin() + at);
     }
-    if (db->mutations().end_seq() == seq_before) continue;  // No event.
-    EXPECT_EQ(db->mutations().end_seq(), seq_before + 1);
-    ops.push_back(std::move(op));
+    record(std::move(op), seq_before);
   }
   return ops;
 }
@@ -159,6 +241,12 @@ void ReplayOp(const Op& op, BlockchainDatabase* db) {
       break;
     case Op::kDiscard:
       ASSERT_TRUE(db->DiscardPending(op.pending_id).ok());
+      break;
+    case Op::kRemove:
+      ASSERT_TRUE(db->RemoveCurrent(op.relation, op.tuple).ok());
+      break;
+    case Op::kUnapply:
+      ASSERT_TRUE(db->UnapplyPending(op.pending_id).ok());
       break;
   }
 }
@@ -254,7 +342,8 @@ TEST(CrashRecoveryTest, ThirtySeedFaultMatrixMatchesNeverCrashedBaseline) {
     auto baseline =
         BlockchainDatabase::Create(MakeTestCatalog(), MakeConstraints(with_ind));
     ASSERT_TRUE(baseline.ok());
-    const std::vector<Op> ops = GenerateOps(rng, &*baseline);
+    ReorgWindow reorg;
+    const std::vector<Op> ops = GenerateOps(rng, &*baseline, &reorg);
     ASSERT_EQ(ops.size(), kOpsPerSeed);
     Digest baseline_digest;
     ASSERT_NO_FATAL_FAILURE(DigestVerdicts(&*baseline, &baseline_digest));
@@ -263,8 +352,13 @@ TEST(CrashRecoveryTest, ThirtySeedFaultMatrixMatchesNeverCrashedBaseline) {
     // "crash" (close + corrupt).
     ScratchDir scratch;
     const std::string dir = scratch.Sub("db");
-    const std::size_t kill =
+    std::size_t kill =
         (seed % 2 == 0) ? kOpsPerSeed / 3 : (2 * kOpsPerSeed) / 3;
+    // A third of the seeds crash INSIDE the reorg burst: the WAL ends with
+    // a restore already persisted but its sibling retractions lost.
+    if (seed % 3 == 0 && reorg.end > reorg.begin + 1) {
+      kill = reorg.begin + 1;
+    }
     {
       auto store = DurableStore::Open(dir, MakeTestCatalog());
       ASSERT_TRUE(store.ok()) << store.status();

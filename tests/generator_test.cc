@@ -159,6 +159,43 @@ TEST(GeneratorTest, ActivityGrowsWithHeight) {
   EXPECT_GT(late, early);
 }
 
+TEST(GeneratorTest, LifecycleKnobsDefaultOff) {
+  // All three churn knobs default to zero, so existing datasets stay
+  // byte-identical: no replacements, evictions, or reorgs happen.
+  auto workload = GenerateWorkload(SmallParams());
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ(workload->metadata.replaced_by_fee, 0u);
+  EXPECT_EQ(workload->metadata.evicted_by_capacity, 0u);
+  EXPECT_EQ(workload->metadata.disconnected_by_reorg, 0u);
+}
+
+TEST(GeneratorTest, LifecycleKnobsDriveChurn) {
+  GeneratorParams params = SmallParams();
+  params.num_replacements = 3;
+  params.mempool_capacity = 20;
+  params.reorg_depth = 2;
+  auto workload = GenerateWorkload(params);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  EXPECT_EQ(workload->metadata.replaced_by_fee, 3u);
+  // The pool was squeezed to the cap (replacements keep the size level, so
+  // there was an excess to evict) and is still within it.
+  EXPECT_GT(workload->metadata.evicted_by_capacity, 0u);
+  EXPECT_LE(workload->node.mempool().size(), params.mempool_capacity);
+  // The rival branch disconnected the reorg_depth churn-confirmation
+  // blocks; whatever they confirmed is counted.
+  EXPECT_GT(workload->metadata.disconnected_by_reorg, 0u);
+
+  // Determinism holds with the knobs on.
+  auto again = GenerateWorkload(params);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(workload->node.chain().tip().hash(),
+            again->node.chain().tip().hash());
+  EXPECT_EQ(workload->node.mempool().size(), again->node.mempool().size());
+  EXPECT_EQ(workload->metadata.disconnected_by_reorg,
+            again->metadata.disconnected_by_reorg);
+}
+
 }  // namespace
 }  // namespace bitcoin
 }  // namespace bcdb

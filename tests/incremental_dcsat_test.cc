@@ -346,7 +346,10 @@ TEST(IncrementalFallbackTest, OversizedBatchFallsBackToFullRebuild) {
   ExpectEngineEquivalence(engine, db, "follow-up delta");
 }
 
-TEST(IncrementalFallbackTest, BaseInsertFallsBackToFullRebuild) {
+TEST(IncrementalFallbackTest, BaseInsertHandledIncrementally) {
+  // Base-state events published through the public API carry their tuple
+  // payload, so the engine patches determinant buckets in place instead of
+  // rebuilding.
   Xoshiro256 rng(8);
   BlockchainDatabase db = MakeInstance(rng, false);
   DcSatEngine engine(&db);
@@ -355,9 +358,16 @@ TEST(IncrementalFallbackTest, BaseInsertFallsBackToFullRebuild) {
   ASSERT_TRUE(
       db.InsertCurrent("R", Tuple({Value::Int(17), Value::Int(1)})).ok());
   engine.PrepareSteadyState();
-  EXPECT_EQ(engine.steady_state_stats().fallbacks_base_insert, 1u);
-  EXPECT_TRUE(engine.last_refresh().full_rebuild);
+  EXPECT_EQ(engine.steady_state_stats().fallbacks_base_insert, 0u);
+  EXPECT_FALSE(engine.last_refresh().full_rebuild);
   ExpectEngineEquivalence(engine, db, "base insert");
+
+  ASSERT_TRUE(
+      db.RemoveCurrent("R", Tuple({Value::Int(17), Value::Int(1)})).ok());
+  engine.PrepareSteadyState();
+  EXPECT_EQ(engine.steady_state_stats().fallbacks_base_insert, 0u);
+  EXPECT_FALSE(engine.last_refresh().full_rebuild);
+  ExpectEngineEquivalence(engine, db, "base remove");
 }
 
 TEST(IncrementalFallbackTest, TrimmedLogFallsBackToFullRebuild) {

@@ -137,6 +137,211 @@ TEST_F(MempoolTest, SurvivorsKeptAfterConfirmation) {
   EXPECT_TRUE(mempool_.Contains(child.txid()));
 }
 
+TEST_F(MempoolTest, ResyncDropsEntriesStrandedByReorg) {
+  // A transaction funded by Alice's coinbase, and its child.
+  BitcoinTransaction pay_bob =
+      Payment(alice_utxo_, "AlicePk", kBlockReward, "BobPk", kCoin);
+  BitcoinTransaction child =
+      Payment(OutPoint{pay_bob.txid(), 1}, "BobPk", kCoin, "DanPk", kCoin / 2);
+  ASSERT_TRUE(mempool_.Add(chain_, pay_bob).ok());
+  ASSERT_TRUE(mempool_.Add(chain_, child).ok());
+
+  // A reorg to a rival branch strands them: Alice's coinbase no longer
+  // exists on the active chain, so the whole ancestry cascades out.
+  std::vector<Block> branch;
+  BlockHash prev = chain_.blocks()[0].hash();
+  for (std::uint64_t h = 1; h <= 2; ++h) {
+    branch.emplace_back(
+        h, prev,
+        std::vector<BitcoinTransaction>{
+            BitcoinTransaction::Coinbase("RivalPk", kBlockReward, h)});
+    prev = branch.back().hash();
+  }
+  ASSERT_TRUE(chain_.AcceptBlock(branch[0]).ok());
+  auto reorg = chain_.AcceptBlock(branch[1]);
+  ASSERT_TRUE(reorg.ok());
+  ASSERT_EQ(reorg->kind, ChainUpdate::Kind::kReorged);
+
+  const std::vector<TxId> evicted = mempool_.Resync(chain_);
+  EXPECT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(mempool_.size(), 0u);
+}
+
+TEST_F(MempoolTest, EvictToCapacityDropsCheapestFirstWithDescendants) {
+  // Three independent outputs to spend from: mine two more coinbases.
+  BitcoinTransaction cb2 = BitcoinTransaction::Coinbase(
+      "AlicePk", kBlockReward, chain_.height() + 1);
+  ASSERT_TRUE(chain_.MineAndAppend({cb2}).ok());
+  BitcoinTransaction cb3 = BitcoinTransaction::Coinbase(
+      "AlicePk", kBlockReward, chain_.height() + 1);
+  ASSERT_TRUE(chain_.MineAndAppend({cb3}).ok());
+
+  BitcoinTransaction cheap = Payment(alice_utxo_, "AlicePk", kBlockReward,
+                                     "BobPk", kCoin, /*fee=*/100);
+  BitcoinTransaction cheap_child = Payment(OutPoint{cheap.txid(), 1}, "BobPk",
+                                           kCoin, "DanPk", kCoin / 2,
+                                           /*fee=*/50'000);
+  BitcoinTransaction mid = Payment(OutPoint{cb2.txid(), 1}, "AlicePk",
+                                   kBlockReward, "CarolPk", kCoin,
+                                   /*fee=*/5'000);
+  BitcoinTransaction rich = Payment(OutPoint{cb3.txid(), 1}, "AlicePk",
+                                    kBlockReward, "ErinPk", kCoin,
+                                    /*fee=*/90'000);
+  ASSERT_TRUE(mempool_.Add(chain_, cheap).ok());
+  ASSERT_TRUE(mempool_.Add(chain_, cheap_child).ok());
+  ASSERT_TRUE(mempool_.Add(chain_, mid).ok());
+  ASSERT_TRUE(mempool_.Add(chain_, rich).ok());
+
+  // Capacity 2: the lowest-fee entry goes first, taking its now-unfunded
+  // child with it — which already lands the pool at the cap, so the
+  // mid-fee transaction survives.
+  const std::vector<TxId> evicted = mempool_.EvictToCapacity(chain_, 2);
+  EXPECT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(mempool_.size(), 2u);
+  EXPECT_FALSE(mempool_.Contains(cheap.txid()));
+  EXPECT_FALSE(mempool_.Contains(cheap_child.txid()));
+  EXPECT_TRUE(mempool_.Contains(mid.txid()));
+  EXPECT_TRUE(mempool_.Contains(rich.txid()));
+
+  // Already within capacity: a no-op.
+  EXPECT_TRUE(mempool_.EvictToCapacity(chain_, 2).empty());
+}
+
+TEST_F(MempoolTest, ReplaceByFeeRequiresStrictlyHigherFee) {
+  BitcoinTransaction original = Payment(alice_utxo_, "AlicePk", kBlockReward,
+                                        "BobPk", kCoin, /*fee=*/10'000);
+  ASSERT_TRUE(mempool_.Add(chain_, original).ok());
+
+  // Equal fee: rejected, pool unchanged.
+  BitcoinTransaction equal = Payment(alice_utxo_, "AlicePk", kBlockReward,
+                                     "CarolPk", kCoin, /*fee=*/10'000);
+  EXPECT_EQ(mempool_.ReplaceByFee(chain_, equal).status().code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_TRUE(mempool_.Contains(original.txid()));
+  EXPECT_EQ(mempool_.size(), 1u);
+
+  // Strictly higher fee: the conflictor is displaced.
+  BitcoinTransaction bumped = Payment(alice_utxo_, "AlicePk", kBlockReward,
+                                      "CarolPk", kCoin, /*fee=*/25'000);
+  auto displaced = mempool_.ReplaceByFee(chain_, bumped);
+  ASSERT_TRUE(displaced.ok()) << displaced.status();
+  EXPECT_EQ(*displaced, std::vector<TxId>{original.txid()});
+  EXPECT_FALSE(mempool_.Contains(original.txid()));
+  EXPECT_TRUE(mempool_.Contains(bumped.txid()));
+  EXPECT_EQ(mempool_.size(), 1u);
+}
+
+TEST_F(MempoolTest, ReplaceByFeeOutbidsSummedDisplacedFees) {
+  // Two coinbases so two disjoint conflictors can exist.
+  BitcoinTransaction cb2 = BitcoinTransaction::Coinbase(
+      "AlicePk", kBlockReward, chain_.height() + 1);
+  ASSERT_TRUE(chain_.MineAndAppend({cb2}).ok());
+  BitcoinTransaction a = Payment(alice_utxo_, "AlicePk", kBlockReward,
+                                 "BobPk", kCoin, /*fee=*/10'000);
+  BitcoinTransaction b = Payment(OutPoint{cb2.txid(), 1}, "AlicePk",
+                                 kBlockReward, "CarolPk", kCoin,
+                                 /*fee=*/15'000);
+  ASSERT_TRUE(mempool_.Add(chain_, a).ok());
+  ASSERT_TRUE(mempool_.Add(chain_, b).ok());
+
+  // One replacement spending BOTH outpoints must outbid fee(a) + fee(b).
+  BitcoinTransaction low(
+      {TxInput{alice_utxo_, "AlicePk", kBlockReward, SignatureFor("AlicePk")},
+       TxInput{OutPoint{cb2.txid(), 1}, "AlicePk", kBlockReward,
+               SignatureFor("AlicePk")}},
+      {TxOutput{"DanPk", 2 * kBlockReward - 20'000}});
+  EXPECT_EQ(mempool_.ReplaceByFee(chain_, low).status().code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(mempool_.size(), 2u);
+
+  BitcoinTransaction high(
+      {TxInput{alice_utxo_, "AlicePk", kBlockReward, SignatureFor("AlicePk")},
+       TxInput{OutPoint{cb2.txid(), 1}, "AlicePk", kBlockReward,
+               SignatureFor("AlicePk")}},
+      {TxOutput{"DanPk", 2 * kBlockReward - 30'000}});
+  auto displaced = mempool_.ReplaceByFee(chain_, high);
+  ASSERT_TRUE(displaced.ok()) << displaced.status();
+  EXPECT_EQ(displaced->size(), 2u);
+  EXPECT_EQ(mempool_.size(), 1u);
+  EXPECT_TRUE(mempool_.Contains(high.txid()));
+}
+
+TEST_F(MempoolTest, ReplaceByFeeDisplacesDescendantsToo) {
+  BitcoinTransaction original = Payment(alice_utxo_, "AlicePk", kBlockReward,
+                                        "BobPk", kCoin, /*fee=*/10'000);
+  BitcoinTransaction child =
+      Payment(OutPoint{original.txid(), 1}, "BobPk", kCoin, "DanPk",
+              kCoin / 2, /*fee=*/1'000);
+  ASSERT_TRUE(mempool_.Add(chain_, original).ok());
+  ASSERT_TRUE(mempool_.Add(chain_, child).ok());
+
+  BitcoinTransaction bumped = Payment(alice_utxo_, "AlicePk", kBlockReward,
+                                      "CarolPk", kCoin, /*fee=*/50'000);
+  auto displaced = mempool_.ReplaceByFee(chain_, bumped);
+  ASSERT_TRUE(displaced.ok()) << displaced.status();
+  // The conflictor and its orphaned descendant both leave.
+  EXPECT_EQ(displaced->size(), 2u);
+  EXPECT_EQ(mempool_.size(), 1u);
+  EXPECT_TRUE(mempool_.Contains(bumped.txid()));
+}
+
+TEST_F(MempoolTest, ReplaceByFeeWithoutConflictsActsAsAdd) {
+  BitcoinTransaction pay = Payment(alice_utxo_, "AlicePk", kBlockReward,
+                                   "BobPk", kCoin, /*fee=*/1'000);
+  auto displaced = mempool_.ReplaceByFee(chain_, pay);
+  ASSERT_TRUE(displaced.ok()) << displaced.status();
+  EXPECT_TRUE(displaced->empty());
+  EXPECT_TRUE(mempool_.Contains(pay.txid()));
+  // An invalid replacement (unknown funding) fails and leaves the pool
+  // unchanged even after its conflictors were provisionally evicted.
+  BitcoinTransaction bogus = Payment(OutPoint{0x999, 1}, "NoonePk", kCoin,
+                                     "DanPk", kCoin, /*fee=*/2'000);
+  EXPECT_FALSE(mempool_.ReplaceByFee(chain_, bogus).ok());
+  EXPECT_EQ(mempool_.size(), 1u);
+  EXPECT_TRUE(mempool_.Contains(pay.txid()));
+}
+
+TEST_F(MempoolTest, NodeReorgReinjectsDisconnectedTransactions) {
+  // A node confirms Alice's payment, then watches a longer rival branch
+  // orphan that block: the payment must return to the mempool.
+  SimulatedNode node;
+  BitcoinTransaction cb =
+      BitcoinTransaction::Coinbase("AlicePk", kBlockReward, 1);
+  Block a1(1, node.chain().tip().hash(), {cb});
+  ASSERT_TRUE(node.ReceiveBlock(a1).ok());
+  BitcoinTransaction pay = Payment(OutPoint{cb.txid(), 1}, "AlicePk",
+                                   kBlockReward, "BobPk", kCoin);
+  Block a2(2, a1.hash(), {pay});
+  ASSERT_TRUE(node.ReceiveBlock(a2).ok());
+  EXPECT_EQ(node.mempool().size(), 0u);
+
+  // Rival branch from a1: three coinbase-only blocks win at height 4.
+  std::vector<Block> branch;
+  BlockHash prev = a1.hash();
+  for (std::uint64_t h = 2; h <= 4; ++h) {
+    branch.emplace_back(
+        h, prev,
+        std::vector<BitcoinTransaction>{
+            BitcoinTransaction::Coinbase("RivalPk", kBlockReward, h)});
+    prev = branch.back().hash();
+  }
+  auto side = node.AcceptBlock(branch[0]);
+  ASSERT_TRUE(side.ok());
+  ASSERT_EQ(side->kind, ChainUpdate::Kind::kSideChain);
+  auto update = node.AcceptBlock(branch[1]);  // Height 3 beats the tip at 2.
+  ASSERT_TRUE(update.ok()) << update.status();
+  ASSERT_EQ(update->kind, ChainUpdate::Kind::kReorged);
+  auto extended = node.AcceptBlock(branch[2]);
+  ASSERT_TRUE(extended.ok());
+  ASSERT_EQ(extended->kind, ChainUpdate::Kind::kExtendedTip);
+
+  // Alice's payment was rolled back; its funding coinbase (a1) is still
+  // active, so the node re-injects it as pending.
+  EXPECT_FALSE(node.chain().ContainsTransaction(pay.txid()));
+  EXPECT_EQ(node.mempool().size(), 1u);
+  EXPECT_TRUE(node.mempool().Contains(pay.txid()));
+}
+
 TEST_F(MempoolTest, StatsCountRows) {
   BitcoinTransaction pay =
       Payment(alice_utxo_, "AlicePk", kBlockReward, "BobPk", kCoin);

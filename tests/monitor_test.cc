@@ -107,6 +107,90 @@ TEST(ConstraintMonitorTest, VerdictStrings) {
 // A failing poll must not silently commit the verdicts it computed before
 // the failure: a transition committed-but-not-returned is lost forever (the
 // next poll sees the verdict already updated and reports no Change).
+TEST(ConstraintMonitorTest, BaseRemovalDirtiesOnlyTouchedRelations) {
+  BlockchainDatabase db = MakeRunningExample();
+  ConstraintMonitor monitor(&db);
+  auto watch_out = monitor.Add("u9", Q("q() :- TxOut(t, s, 'U9Pk', a)"));
+  auto watch_in = monitor.Add("in", Q("q() :- TxIn(p, s, 'U1Pk', a, n, g)"));
+  ASSERT_TRUE(watch_out.ok());
+  ASSERT_TRUE(watch_in.ok());
+  const Tuple row({Value::Int(99), Value::Int(1), Value::Str("U9Pk"),
+                   Value::Int(1)});
+  ASSERT_TRUE(db.InsertCurrent("TxOut", row).ok());
+  ASSERT_TRUE(monitor.Poll().ok());
+  EXPECT_EQ(monitor.verdict(*watch_out), Verdict::kHappened);
+
+  // A reorg retracts the row: the TxOut watcher must go dirty and
+  // re-verdict. The TxIn watcher also re-runs — its IND-closed footprint
+  // spans TxOut (inputs reference outputs) — but keeps its verdict.
+  ASSERT_TRUE(db.RemoveCurrent("TxOut", row).ok());
+  auto changes = monitor.Poll();
+  ASSERT_TRUE(changes.ok());
+  ASSERT_EQ(changes->size(), 1u);
+  EXPECT_EQ((*changes)[0].before, Verdict::kHappened);
+  EXPECT_EQ((*changes)[0].after, Verdict::kImpossible);
+  EXPECT_EQ(monitor.verdict(*watch_out), Verdict::kImpossible);
+
+}
+
+TEST(ConstraintMonitorTest, RemovalDirtyFilterSkipsUncoupledWatchers) {
+  // TxIn/TxOut share one IND-coupling class, so the bitcoin schema cannot
+  // show the filter's precision; two IND-free relations can. Only the
+  // watcher of the retracted relation re-evaluates.
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "R", {Attribute{"a", ValueType::kInt, false}}))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .AddRelation(RelationSchema(
+                      "S", {Attribute{"x", ValueType::kInt, false}}))
+                  .ok());
+  auto db = BlockchainDatabase::Create(std::move(catalog), ConstraintSet());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->InsertCurrent("R", Tuple({Value::Int(1)})).ok());
+  ASSERT_TRUE(db->InsertCurrent("R", Tuple({Value::Int(2)})).ok());
+  ASSERT_TRUE(db->InsertCurrent("S", Tuple({Value::Int(7)})).ok());
+
+  ConstraintMonitor monitor(&*db);
+  auto watch_r = monitor.Add("r", Q("q() :- R(x)"));
+  auto watch_s = monitor.Add("s", Q("q() :- S(x)"));
+  ASSERT_TRUE(watch_r.ok());
+  ASSERT_TRUE(watch_s.ok());
+  ASSERT_TRUE(monitor.Poll().ok());
+
+  ASSERT_TRUE(db->RemoveCurrent("R", Tuple({Value::Int(2)})).ok());
+  const auto evaluated_before = monitor.poll_stats().constraints_evaluated;
+  const auto skipped_before = monitor.poll_stats().constraints_skipped;
+  auto changes = monitor.Poll();
+  ASSERT_TRUE(changes.ok());
+  EXPECT_TRUE(changes->empty());  // R(1) still matches.
+  EXPECT_EQ(monitor.poll_stats().constraints_evaluated - evaluated_before,
+            1u);
+  EXPECT_EQ(monitor.poll_stats().constraints_skipped - skipped_before, 1u);
+}
+
+TEST(ConstraintMonitorTest, RestoredTransactionReopensPossibility) {
+  BlockchainDatabase db = MakeRunningExample();
+  ConstraintMonitor monitor(&db);
+  auto u5 = monitor.Add("u5", Q("q() :- TxOut(t, s, 'U5Pk', a)"));
+  ASSERT_TRUE(u5.ok());
+  ASSERT_TRUE(db.ApplyPending(0).ok());  // T1 pays U5Pk on-chain.
+  ASSERT_TRUE(monitor.Poll().ok());
+  EXPECT_EQ(monitor.verdict(*u5), Verdict::kHappened);
+
+  // The reorg returns T1 to the mempool: kPendingRestored carries T1's
+  // registration-time footprint, so the watcher goes dirty and the payout
+  // is merely possible again.
+  ASSERT_TRUE(db.UnapplyPending(0).ok());
+  auto changes = monitor.Poll();
+  ASSERT_TRUE(changes.ok());
+  ASSERT_EQ(changes->size(), 1u);
+  EXPECT_EQ((*changes)[0].before, Verdict::kHappened);
+  EXPECT_EQ((*changes)[0].after, Verdict::kPossible);
+  EXPECT_EQ(monitor.verdict(*u5), Verdict::kPossible);
+}
+
 TEST(ConstraintMonitorTest, FailedPollDoesNotSwallowTransitions) {
   BlockchainDatabase db = MakeRunningExample();
   ConstraintMonitor monitor(&db);

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "core/blockchain_db.h"
@@ -230,6 +232,24 @@ TEST_F(DatabaseMutationsTest, ListenerMayRegisterAndRemoveFromCallback) {
   EXPECT_EQ(outer_seen, std::vector<MutationKind>{MutationKind::kPendingAdded});
   EXPECT_EQ(inner_seen,
             std::vector<MutationKind>{MutationKind::kPendingDiscarded});
+}
+
+// Exhaustive over the enum: every kind below kNumMutationKinds must map to
+// a distinct, real name — "?" would mean a kind was added without updating
+// MutationKindToString (or kNumMutationKinds without a new enumerator).
+TEST(MutationKindToStringTest, CoversEveryKindWithDistinctNames) {
+  std::set<std::string> names;
+  for (std::size_t raw = 0; raw < kNumMutationKinds; ++raw) {
+    const char* name = MutationKindToString(static_cast<MutationKind>(raw));
+    EXPECT_STRNE(name, "?") << "kind " << raw << " has no name";
+    EXPECT_TRUE(names.insert(name).second)
+        << "kind " << raw << " reuses name \"" << name << "\"";
+  }
+  EXPECT_EQ(names.size(), kNumMutationKinds);
+  EXPECT_EQ(MutationKindToString(MutationKind::kCurrentRemoved),
+            std::string("current-removed"));
+  EXPECT_EQ(MutationKindToString(MutationKind::kPendingRestored),
+            std::string("pending-restored"));
 }
 
 }  // namespace

@@ -183,6 +183,52 @@ TEST_F(MutationCodecTest, CurrentInsertedRoundTrips) {
   EXPECT_EQ(decoded->tuple, tuple);
 }
 
+TEST_F(MutationCodecTest, CurrentRemovedRoundTrips) {
+  // Shares the tuple-payload branch with kCurrentInserted: a reorg's base
+  // retraction must survive the WAL with its tuple intact.
+  const Tuple tuple({Value::Int(7), Value::Int(6)});
+  MutationEvent event;
+  event.kind = MutationKind::kCurrentRemoved;
+  event.seq = 11;
+  event.version = 12;
+  event.pending_id = kNoPendingId;
+  event.relation_ids = {1};
+  MutationPayload payload;
+  payload.tuple = &tuple;
+  payload.relation_id = 1;
+
+  std::string buf;
+  ASSERT_TRUE(EncodeMutation(event, payload, catalog_, &buf).ok());
+  StatusOr<PersistedMutation> decoded = DecodeMutation(buf, catalog_);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->event.kind, MutationKind::kCurrentRemoved);
+  EXPECT_EQ(decoded->event.seq, 11u);
+  EXPECT_EQ(decoded->relation_id, 1u);
+  EXPECT_EQ(decoded->tuple, tuple);
+
+  // The tuple payload is mandatory, exactly as for inserts.
+  buf.clear();
+  EXPECT_FALSE(EncodeMutation(event, MutationPayload{}, catalog_, &buf).ok());
+}
+
+TEST_F(MutationCodecTest, PendingRestoredRoundTrips) {
+  // Event-only record: the restored transaction's tuples are recovered
+  // from its original kPendingAdded record, not re-encoded here.
+  MutationEvent event;
+  event.kind = MutationKind::kPendingRestored;
+  event.seq = 21;
+  event.version = 22;
+  event.pending_id = 3;
+  event.relation_ids = {0, 1};
+  std::string buf;
+  ASSERT_TRUE(EncodeMutation(event, MutationPayload{}, catalog_, &buf).ok());
+  StatusOr<PersistedMutation> decoded = DecodeMutation(buf, catalog_);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->event.kind, MutationKind::kPendingRestored);
+  EXPECT_EQ(decoded->event.pending_id, 3u);
+  EXPECT_EQ(decoded->event.relation_ids, (std::vector<std::size_t>{0, 1}));
+}
+
 TEST_F(MutationCodecTest, LifecycleEventsCarryNoPayload) {
   for (MutationKind kind :
        {MutationKind::kPendingApplied, MutationKind::kPendingDiscarded}) {

@@ -270,6 +270,69 @@ TEST(TemplateMonitorTest, BatchedVerdictsMatchPerConstraintAdds) {
   EXPECT_EQ(templated.poll_stats().constraints_batched, 4u);
 }
 
+TEST(TemplateMonitorTest, BaseRemovalDirtiesBatchClass) {
+  BlockchainDatabase db = MakeRunningExample();
+  ConstraintMonitor monitor(&db);
+  auto tmpl = monitor.RegisterTemplate("watch", "q() :- TxOut(t, s, $pk, a)");
+  ASSERT_TRUE(tmpl.ok());
+  auto u3 = monitor.Bind(*tmpl, {Value::Str("U3Pk")});
+  auto u9 = monitor.Bind(*tmpl, {Value::Str("U9Pk")});
+  ASSERT_TRUE(u3.ok());
+  ASSERT_TRUE(u9.ok());
+  const Tuple row({Value::Int(99), Value::Int(1), Value::Str("U9Pk"),
+                   Value::Int(1)});
+  ASSERT_TRUE(db.InsertCurrent("TxOut", row).ok());
+  ASSERT_TRUE(monitor.Poll().ok());
+  EXPECT_EQ(monitor.verdict(*u9), Verdict::kHappened);
+
+  // The retraction dirties the class through the shared footprint; the
+  // whole batch re-runs and only the affected member transitions.
+  ASSERT_TRUE(db.RemoveCurrent("TxOut", row).ok());
+  const auto classes_before = monitor.poll_stats().classes_evaluated;
+  const auto batched_before = monitor.poll_stats().constraints_batched;
+  auto changes = monitor.Poll();
+  ASSERT_TRUE(changes.ok());
+  ASSERT_EQ(changes->size(), 1u);
+  EXPECT_EQ((*changes)[0].after, Verdict::kImpossible);
+  EXPECT_EQ(monitor.verdict(*u9), Verdict::kImpossible);
+  EXPECT_EQ(monitor.verdict(*u3), Verdict::kHappened);
+  EXPECT_EQ(monitor.poll_stats().classes_evaluated - classes_before, 1u);
+  EXPECT_EQ(monitor.poll_stats().constraints_batched - batched_before, 2u);
+}
+
+TEST(TemplateMonitorTest, RemovalPollRefreshesBatchMembership) {
+  // A base removal dirties the class; the re-run must pick up membership
+  // changes made since the cached batch was built (members_version), not
+  // replay the stale binding list.
+  BlockchainDatabase db = MakeRunningExample();
+  ConstraintMonitor monitor(&db);
+  auto tmpl = monitor.RegisterTemplate("watch", "q() :- TxOut(t, s, $pk, a)");
+  ASSERT_TRUE(tmpl.ok());
+  auto u5 = monitor.Bind(*tmpl, {Value::Str("U5Pk")});
+  auto u9 = monitor.Bind(*tmpl, {Value::Str("U9Pk")});
+  ASSERT_TRUE(u5.ok());
+  ASSERT_TRUE(u9.ok());
+  const Tuple row({Value::Int(99), Value::Int(1), Value::Str("U9Pk"),
+                   Value::Int(1)});
+  ASSERT_TRUE(db.InsertCurrent("TxOut", row).ok());
+  ASSERT_TRUE(monitor.Poll().ok());  // Caches the two-member batch.
+
+  // Unbind one member, retract its row, and bind a fresh member before the
+  // next poll.
+  ASSERT_TRUE(monitor.Remove(*u9).ok());
+  ASSERT_TRUE(db.RemoveCurrent("TxOut", row).ok());
+  auto u3 = monitor.Bind(*tmpl, {Value::Str("U3Pk")});
+  ASSERT_TRUE(u3.ok());
+
+  const auto batched_before = monitor.poll_stats().constraints_batched;
+  ASSERT_TRUE(monitor.Poll().ok());
+  EXPECT_EQ(monitor.verdict(*u5), Verdict::kPossible);
+  EXPECT_EQ(monitor.verdict(*u3), Verdict::kHappened);
+  // Exactly the surviving + new member ran through the batch — the removed
+  // binding is gone from the refreshed member list.
+  EXPECT_EQ(monitor.poll_stats().constraints_batched - batched_before, 2u);
+}
+
 TEST(TemplateMonitorTest, ChangesCarryTemplateContext) {
   BlockchainDatabase db = MakeRunningExample();
   ConstraintMonitor monitor(&db);
