@@ -33,6 +33,7 @@ inline std::size_t& BenchNumThreads() {
 /// flags it doesn't know) and reads BCDB_NUM_THREADS. Call before
 /// benchmark::Initialize.
 inline void ApplyThreadFlag(int* argc, char** argv) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only, no setenv anywhere
   if (const char* env = std::getenv("BCDB_NUM_THREADS")) {
     BenchNumThreads() = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
   }
@@ -53,7 +54,8 @@ inline void ApplyThreadFlag(int* argc, char** argv) {
 /// CI smoke runs shrink datasets/iterations to finish in seconds while
 /// still walking every code path the bench exercises.
 inline bool ApplySmokeFlag(int* argc, char** argv) {
-  bool smoke = std::getenv("BCDB_BENCH_SMOKE") != nullptr;
+  bool smoke =  // NOLINT(concurrency-mt-unsafe): read-only, no setenv anywhere
+      std::getenv("BCDB_BENCH_SMOKE") != nullptr;
   int out = 0;
   for (int i = 0; i < *argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {

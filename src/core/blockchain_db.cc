@@ -11,16 +11,20 @@ BlockchainDatabase::BlockchainDatabase(Catalog catalog,
       checker_(std::make_unique<ConstraintChecker>(db_.get(),
                                                    constraints_.get())),
       mutation_log_(std::make_unique<MutationLog>()),
-      listeners_(std::make_unique<std::vector<MutationListener>>()) {}
+      listeners_(std::make_unique<ListenerRegistry>()) {}
 
 MutationListenerId BlockchainDatabase::AddMutationListener(
     MutationListener listener) {
-  listeners_->push_back(std::move(listener));
-  return listeners_->size() - 1;
+  MutexLock lock(listeners_->mutex);
+  listeners_->listeners.push_back(std::move(listener));
+  return listeners_->listeners.size() - 1;
 }
 
 void BlockchainDatabase::RemoveMutationListener(MutationListenerId id) {
-  if (id < listeners_->size()) (*listeners_)[id] = nullptr;
+  MutexLock lock(listeners_->mutex);
+  if (id < listeners_->listeners.size()) {
+    listeners_->listeners[id] = nullptr;
+  }
 }
 
 void BlockchainDatabase::Publish(MutationKind kind, PendingId id,
@@ -38,14 +42,23 @@ void BlockchainDatabase::Publish(MutationKind kind, PendingId id,
   // The durability sink runs first: the write-ahead record must exist
   // before any listener can act on (and externalize) the mutation.
   if (durability_sink_ != nullptr) durability_sink_->Persist(event, payload);
-  // By index with the size snapshotted up front, invoking a copy: a
-  // callback may register or remove listeners, which reallocates or
-  // overwrites the vector (references into it would dangle, even under the
-  // running callback itself). A listener registered mid-publish starts with
-  // the next event; one removed mid-publish may still receive this one.
-  const std::size_t num_listeners = listeners_->size();
+  // By index with the size snapshotted up front, invoking a copy with the
+  // registry unlocked: a callback may register or remove listeners, which
+  // reallocates or overwrites the vector (references into it would dangle,
+  // even under the running callback itself) and re-acquires the registry
+  // lock. A listener registered mid-publish starts with the next event; one
+  // removed mid-publish may still receive this one.
+  std::size_t num_listeners;
+  {
+    MutexLock lock(listeners_->mutex);
+    num_listeners = listeners_->listeners.size();
+  }
   for (std::size_t i = 0; i < num_listeners; ++i) {
-    MutationListener listener = (*listeners_)[i];
+    MutationListener listener;
+    {
+      MutexLock lock(listeners_->mutex);
+      listener = listeners_->listeners[i];
+    }
     if (listener) listener(event);
   }
 }

@@ -13,7 +13,9 @@
 #include "core/transaction.h"
 #include "relational/database.h"
 #include "relational/world_view.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace bcdb {
 
@@ -225,8 +227,21 @@ class BlockchainDatabase {
   std::vector<std::vector<std::size_t>> pending_relations_;
   std::uint64_t version_ = 0;
   std::unique_ptr<MutationLog> mutation_log_;
-  /// Slot per listener id; removed listeners leave an empty function.
-  std::unique_ptr<std::vector<MutationListener>> listeners_;
+  /// Listener slots behind their own lock (and behind unique_ptr so the
+  /// database stays movable despite the non-movable Mutex). Publish copies
+  /// each listener out under the lock and invokes it unlocked, so callbacks
+  /// may re-enter Add/RemoveMutationListener. The lock is a near-top leaf
+  /// (kMutationListeners = 75): mutations may run under caller locks (the
+  /// durable store's during WAL replay), and snapshotting a listener must
+  /// rank above all of them. The *callback* runs with this lock dropped,
+  /// but under whatever the mutating caller still holds — so a mutation
+  /// with a monitor attached must not hold locks at or above kMonitor.
+  struct ListenerRegistry {
+    Mutex mutex{LockRank::kMutationListeners};
+    /// Slot per listener id; removed listeners leave an empty function.
+    std::vector<MutationListener> listeners BCDB_GUARDED_BY(mutex);
+  };
+  std::unique_ptr<ListenerRegistry> listeners_;
   /// Non-owning write-ahead hook; nullptr when the database is volatile.
   DurabilitySink* durability_sink_ = nullptr;
 };

@@ -265,7 +265,7 @@ std::shared_ptr<ThreadPool> DcSatEngine::PoolFor(
   // min(threads, work items)), so in steady state the pool is created once
   // and reused: recreating it per Check as the component count fluctuates
   // is a thread create/join storm.
-  std::lock_guard<std::mutex> lock(pool_mutex_);
+  MutexLock lock(pool_mutex_);
   if (pool_ == nullptr || pool_->num_threads() != num_workers) {
     pool_ = std::make_shared<ThreadPool>(num_workers);
   }

@@ -4,7 +4,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -18,8 +17,10 @@
 #include "query/ast.h"
 #include "query/compiled_query.h"
 #include "util/deadline.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/union_find.h"
 
@@ -405,8 +406,14 @@ class DcSatEngine {
   std::vector<CompiledCacheEntry> compiled_cache_;
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;
-  mutable std::mutex pool_mutex_;
-  mutable std::shared_ptr<ThreadPool> pool_;
+  // The only internally-synchronized state of the engine: PoolFor is called
+  // from const Check paths that may race only with each other. Everything
+  // above (fd_graph_, theta_i_, compiled_cache_, the stats) is externally
+  // synchronized — a DcSatEngine belongs to one monitor/caller thread at a
+  // time, which ConstraintMonitor enforces by holding its own mutex_ across
+  // every engine call.
+  mutable Mutex pool_mutex_{LockRank::kEnginePool};
+  mutable std::shared_ptr<ThreadPool> pool_ BCDB_GUARDED_BY(pool_mutex_);
 };
 
 }  // namespace bcdb

@@ -17,7 +17,8 @@ namespace {
 /// Process-wide monitor identity source. Handles are stamped with their
 /// minting monitor's uid so a handle index colliding across monitors can
 /// never resolve against the wrong one.
-std::atomic<std::uint64_t> g_monitor_uid{1};
+std::atomic<std::uint64_t> g_monitor_uid BCDB_LOCK_FREE(
+    "relaxed fetch_add id mint; uniqueness is all that matters") {1};
 
 ConstraintMonitor::Verdict FromOutcome(TemplateBatchOutcome outcome) {
   switch (outcome) {
@@ -60,6 +61,9 @@ ConstraintMonitor::ConstraintMonitor(BlockchainDatabase* db,
   listener_id_ = db_->AddMutationListener([this](const MutationEvent& event) {
     // Any event at all (even one with no attributable relations) wakes the
     // always-dirty entries; per-relation bits drive the precise filter.
+    // Publish invokes listeners with no lock held, so taking the monitor
+    // lock here is hierarchy-clean from any mutating thread.
+    MutexLock lock(mutex_);
     mutated_since_poll_ = true;
     for (std::size_t relation_id : event.relation_ids) {
       MarkRelationDirty(relation_id);
@@ -127,6 +131,7 @@ MonitorHandle ConstraintMonitor::AppendEntry(Entry entry) {
 
 StatusOr<MonitorHandle> ConstraintMonitor::Add(std::string label,
                                                DenialConstraint q) {
+  MutexLock lock(mutex_);
   // Registration-time rejection is the contract: the static analyzer runs
   // here, so a constraint Poll could never evaluate (unknown relation,
   // arity mismatch, unsafe variable, ...) fails the Add with every
@@ -183,6 +188,7 @@ StatusOr<MonitorHandle> ConstraintMonitor::Add(std::string label,
 
 StatusOr<TemplateHandle> ConstraintMonitor::RegisterTemplate(
     std::string label, ConstraintTemplate tmpl) {
+  MutexLock lock(mutex_);
   TemplateAnalysis analysis =
       AnalyzeTemplate(tmpl, db_->database(), db_->constraints());
   if (!analysis.report.ok()) {
@@ -204,6 +210,7 @@ StatusOr<TemplateHandle> ConstraintMonitor::RegisterTemplate(
 
 StatusOr<MonitorHandle> ConstraintMonitor::Bind(
     TemplateHandle tmpl, const std::vector<Value>& binding) {
+  MutexLock lock(mutex_);
   if (FindClass(tmpl) == nullptr) {
     return Status::InvalidArgument(
         tmpl.valid() && tmpl.owner_ != uid_
@@ -276,6 +283,7 @@ Status ConstraintMonitor::GroundEntry(Entry& entry) {
 }
 
 Status ConstraintMonitor::Remove(MonitorHandle handle) {
+  MutexLock lock(mutex_);
   if (!handle.valid()) {
     return Status::InvalidArgument("invalid monitor handle");
   }
@@ -344,7 +352,7 @@ StatusOr<ConstraintMonitor::Verdict> ConstraintMonitor::EvaluateEntry(
 
 StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
     const DcSatOptions& options) {
-  std::lock_guard<std::mutex> lock(poll_mutex_);
+  MutexLock lock(mutex_);
   ++poll_stats_.polls;
 
   // Phase 1 (single-threaded): refresh the engine's steady-state caches
@@ -414,14 +422,30 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
   // Group the selected members into evaluation tasks: one shared task per
   // batch-admitted class (however many members), one task per remaining
   // member. `items` are indices into to_evaluate.
+  //
+  // The worker lambda below runs on pool threads while this thread keeps
+  // the monitor lock held, so workers must never touch the guarded tables
+  // directly. Each task therefore carries an immutable view — pointers to
+  // the class's compiled query/equalities/binding cache (stable: nothing
+  // mutates classes_/entries_ until every worker has joined) plus its
+  // output slots — all resolved here under the lock.
   struct PollTask {
     bool batch = false;
-    // Batch task covering the full live membership: evaluate through the
-    // class's cached binding list + dedup index instead of gathering a
-    // fresh copy (see TemplateClass::cached_bindings).
-    bool use_cache = false;
     std::size_t class_id = 0;
     std::vector<std::size_t> items;
+    // Batch tasks: the resolved batch inputs. `index` is non-null iff the
+    // task evaluates through the class's cached binding list + dedup index
+    // (full live membership — the steady state) instead of a fresh gather
+    // (see TemplateClass::cached_bindings).
+    const CompiledQuery* compiled = nullptr;
+    const std::vector<EqualityConstraint>* equalities = nullptr;
+    const std::vector<Tuple>* bindings = nullptr;
+    const TemplateBindingIndex* index = nullptr;
+    std::vector<Tuple> gathered_bindings;  // Backing store when not cached.
+    std::vector<std::size_t> slots;  // Verdict slot per batch outcome.
+    // Single tasks: the entry to evaluate and its verdict slot.
+    const Entry* entry = nullptr;
+    std::size_t slot = 0;
   };
   std::vector<PollTask> tasks;
   std::map<std::size_t, std::size_t> batch_task_of;
@@ -442,9 +466,9 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
   }
 
   // Compile (and, for members falling back to per-member evaluation,
-  // ground) everything that will run. Batch classes compile the
-  // generalized query once per database version; singles keep their own
-  // per-version compiled form.
+  // ground) everything that will run, and resolve each task's immutable
+  // worker view. Batch classes compile the generalized query once per
+  // database version; singles keep their own per-version compiled form.
   const std::uint64_t version = db_->version();
   for (PollTask& task : tasks) {
     if (task.batch) {
@@ -467,18 +491,30 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
           cls.cached_index = TemplateBindingIndex::Build(cls.cached_bindings);
           cls.cached_members_version = cls.members_version;
         }
-        task.use_cache = true;
+        task.bindings = &cls.cached_bindings;
+        task.index = &cls.cached_index;
+        task.slots = cls.cached_slots;
+      } else {
+        task.gathered_bindings.reserve(task.items.size());
+        task.slots.reserve(task.items.size());
+        for (std::size_t i : task.items) {
+          task.gathered_bindings.push_back(entries_[to_evaluate[i]].binding);
+          task.slots.push_back(to_evaluate[i]);
+        }
+        task.bindings = &task.gathered_bindings;
       }
+      task.equalities = &cls.template_equalities;
       if (cls.compiled.has_value() && cls.compiled_version == version) {
         ++poll_stats_.compile_cache_hits;
-        continue;
+      } else {
+        StatusOr<CompiledQuery> compiled =
+            CompiledQuery::Compile(cls.generalized, &db_->database());
+        if (!compiled.ok()) return compiled.status();
+        cls.compiled = std::move(*compiled);
+        cls.compiled_version = version;
+        ++poll_stats_.compile_cache_misses;
       }
-      StatusOr<CompiledQuery> compiled =
-          CompiledQuery::Compile(cls.generalized, &db_->database());
-      if (!compiled.ok()) return compiled.status();
-      cls.compiled = std::move(*compiled);
-      cls.compiled_version = version;
-      ++poll_stats_.compile_cache_misses;
+      task.compiled = &*cls.compiled;
     } else {
       Entry& entry = entries_[to_evaluate[task.items[0]]];
       if (!entry.q.has_value()) {
@@ -488,14 +524,16 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
       }
       if (entry.compiled.has_value() && entry.compiled_version == version) {
         ++poll_stats_.compile_cache_hits;
-        continue;
+      } else {
+        StatusOr<CompiledQuery> compiled =
+            CompiledQuery::Compile(*entry.q, &db_->database());
+        if (!compiled.ok()) return compiled.status();
+        entry.compiled = std::move(*compiled);
+        entry.compiled_version = version;
+        ++poll_stats_.compile_cache_misses;
       }
-      StatusOr<CompiledQuery> compiled =
-          CompiledQuery::Compile(*entry.q, &db_->database());
-      if (!compiled.ok()) return compiled.status();
-      entry.compiled = std::move(*compiled);
-      entry.compiled_version = version;
-      ++poll_stats_.compile_cache_misses;
+      task.entry = &entry;
+      task.slot = to_evaluate[task.items[0]];
     }
   }
 
@@ -533,45 +571,30 @@ StatusOr<std::vector<ConstraintMonitor::Change>> ConstraintMonitor::Poll(
   // items — slot indexing makes the two meet without a per-poll remap.
   std::vector<Verdict> verdicts(entries_.size(), Verdict::kUnknown);
   std::vector<Status> statuses(tasks.size());
+  // Workers read only the task's resolved view (plus the locals above and
+  // the engine) — never the guarded tables, which stay under the monitor
+  // lock this thread holds until the join below.
   auto run_task = [&](std::size_t t) {
     const PollTask& task = tasks[t];
     if (task.batch) {
-      const TemplateClass& cls = classes_[task.class_id];
       StatusOr<TemplateBatchResult> result =
-          task.use_cache
-              ? engine_.CheckTemplateBatch(*cls.compiled,
-                                           cls.template_equalities,
-                                           cls.cached_bindings,
-                                           cls.cached_index, task_options[t])
-              : [&] {
-                  std::vector<Tuple> bindings;
-                  bindings.reserve(task.items.size());
-                  for (std::size_t i : task.items) {
-                    bindings.push_back(entries_[to_evaluate[i]].binding);
-                  }
-                  return engine_.CheckTemplateBatch(*cls.compiled,
-                                                    cls.template_equalities,
-                                                    bindings, task_options[t]);
-                }();
+          task.index != nullptr
+              ? engine_.CheckTemplateBatch(*task.compiled, *task.equalities,
+                                           *task.bindings, *task.index,
+                                           task_options[t])
+              : engine_.CheckTemplateBatch(*task.compiled, *task.equalities,
+                                           *task.bindings, task_options[t]);
       if (!result.ok()) {
         statuses[t] = result.status();
         return;
       }
-      if (task.use_cache) {
-        for (std::size_t j = 0; j < cls.cached_slots.size(); ++j) {
-          verdicts[cls.cached_slots[j]] = FromOutcome(result->outcomes[j]);
-        }
-      } else {
-        for (std::size_t j = 0; j < task.items.size(); ++j) {
-          verdicts[to_evaluate[task.items[j]]] =
-              FromOutcome(result->outcomes[j]);
-        }
+      for (std::size_t j = 0; j < task.slots.size(); ++j) {
+        verdicts[task.slots[j]] = FromOutcome(result->outcomes[j]);
       }
     } else {
-      StatusOr<Verdict> verdict =
-          EvaluateEntry(entries_[to_evaluate[task.items[0]]], task_options[t]);
+      StatusOr<Verdict> verdict = EvaluateEntry(*task.entry, task_options[t]);
       if (verdict.ok()) {
-        verdicts[to_evaluate[task.items[0]]] = *verdict;
+        verdicts[task.slot] = *verdict;
       } else {
         statuses[t] = verdict.status();
       }

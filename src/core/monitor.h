@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -16,7 +15,9 @@
 #include "query/template.h"
 #include "relational/tuple.h"
 #include "util/bitset.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace bcdb {
@@ -157,8 +158,14 @@ struct MonitorOptions {
 /// compilation), only *dirty* constraints — those whose referenced
 /// relations intersect the transactions changed since the previous poll —
 /// are re-evaluated, and only then is the per-class work fanned out.
-/// Concurrent Poll calls serialize on an internal mutex; mutating the
-/// database concurrently with Poll is not supported.
+///
+/// Thread safety: every public method serializes on one internal lock
+/// (LockRank::kMonitor), so concurrent Poll calls, registrations, and
+/// accessor reads (verdict/label/poll_stats) are safe — an accessor racing
+/// a Poll observes either the pre-poll or the committed post-poll state,
+/// never a torn one. The fan-out inside Poll hands each worker an
+/// immutable per-task view resolved under the lock, which the poll thread
+/// keeps held until every worker has joined.
 class ConstraintMonitor {
  public:
   enum class Verdict {
@@ -268,34 +275,51 @@ class ConstraintMonitor {
   Status Remove(MonitorHandle handle);
 
   /// Number of live (added and not removed) constraints.
-  std::size_t size() const { return live_count_; }
+  std::size_t size() const BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return live_count_;
+  }
 
   /// Number of template classes (explicitly registered plus those Add
   /// created by canonicalization). Classes are never removed.
-  std::size_t num_classes() const { return classes_.size(); }
+  std::size_t num_classes() const BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return classes_.size();
+  }
 
   /// Verdict of `handle` as of the last Poll; kUnknown for invalid,
-  /// out-of-range, removed, or never-polled handles.
-  Verdict verdict(MonitorHandle handle) const {
+  /// out-of-range, removed, or never-polled handles. Safe to call while
+  /// another thread polls: the snapshot is taken under the monitor lock, so
+  /// a caller sees either the pre-poll or the committed post-poll verdict,
+  /// never a torn intermediate.
+  Verdict verdict(MonitorHandle handle) const BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     const Entry* entry = Find(handle);
     return entry != nullptr ? entry->verdict : Verdict::kUnknown;
   }
 
   /// Label of `handle`; the empty string for invalid, out-of-range, or
   /// removed handles. Bound members are labeled
-  /// "<template label>[<binding summary>]".
-  const std::string& label(MonitorHandle handle) const {
-    static const std::string kNoLabel;
+  /// "<template label>[<binding summary>]". Returned by value: a reference
+  /// into the entry table would dangle the moment a concurrent Remove
+  /// tombstones the slot.
+  std::string label(MonitorHandle handle) const BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     const Entry* entry = Find(handle);
-    return entry != nullptr ? entry->label : kNoLabel;
+    return entry != nullptr ? entry->label : std::string();
   }
 
   /// The static analysis the entry was admitted under (classification,
   /// footprint, diagnostics); nullptr for invalid or removed handles.
   /// Add entries report their own grounded analysis; batch-evaluated
   /// template members report the class-level analysis (binding-independent
-  /// by construction).
-  const AnalysisReport* analysis(MonitorHandle handle) const {
+  /// by construction). The pointer borrows from the monitor and is valid
+  /// only until the next registration or removal (the tables may grow) —
+  /// the same single-threaded introspection contract as before; do not
+  /// cache it across mutating calls.
+  const AnalysisReport* analysis(MonitorHandle handle) const
+      BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     const Entry* entry = Find(handle);
     if (entry == nullptr) return nullptr;
     if (entry->report.has_value()) return &*entry->report;
@@ -303,31 +327,35 @@ class ConstraintMonitor {
   }
 
   /// Label of a template class; empty for foreign/invalid handles.
-  const std::string& template_label(TemplateHandle tmpl) const {
-    static const std::string kNoLabel;
+  std::string template_label(TemplateHandle tmpl) const BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     const TemplateClass* cls = FindClass(tmpl);
-    return cls != nullptr ? cls->label : kNoLabel;
+    return cls != nullptr ? cls->label : std::string();
   }
 
   /// The class-level analysis a template was admitted under; nullptr for
-  /// foreign/invalid handles.
-  const AnalysisReport* template_analysis(TemplateHandle tmpl) const {
+  /// foreign/invalid handles. Borrows like analysis(): valid until the next
+  /// registration.
+  const AnalysisReport* template_analysis(TemplateHandle tmpl) const
+      BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     const TemplateClass* cls = FindClass(tmpl);
     return cls != nullptr ? &cls->report : nullptr;
   }
 
   /// Whether the class is admitted for shared batch evaluation.
-  bool template_batchable(TemplateHandle tmpl) const {
+  bool template_batchable(TemplateHandle tmpl) const BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     const TemplateClass* cls = FindClass(tmpl);
     return cls != nullptr && cls->batchable;
   }
 
   /// The class's canonicalization key (α-renamed skeleton + IND-closed
   /// footprint) — equal keys mean Add would have merged the classes.
-  const std::string& class_key(TemplateHandle tmpl) const {
-    static const std::string kNoKey;
+  std::string class_key(TemplateHandle tmpl) const BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     const TemplateClass* cls = FindClass(tmpl);
-    return cls != nullptr ? cls->key : kNoKey;
+    return cls != nullptr ? cls->key : std::string();
   }
 
   /// Re-evaluates the dirty standing constraints against the current
@@ -339,8 +367,19 @@ class ConstraintMonitor {
   /// subsumes component-level parallelism.
   StatusOr<std::vector<Change>> Poll(const DcSatOptions& options = {});
 
-  const PollStats& poll_stats() const { return poll_stats_; }
-  /// The embedded engine, for steady-state cache introspection.
+  /// Snapshot of the cumulative poll counters, taken under the monitor
+  /// lock. Returned by value: Poll mutates the counters in place, so a
+  /// reference would let a caller race a concurrent poll field by field
+  /// (the pre-snapshot bug this accessor replaces — counters could be read
+  /// half from poll N, half from poll N+1, and tsan flagged the loads).
+  PollStats poll_stats() const BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return poll_stats_;
+  }
+  /// The embedded engine, for steady-state cache introspection. Not
+  /// synchronized: read it only while no Poll/Add/Bind is in flight (the
+  /// monitor drives every engine call under its own lock, but this escape
+  /// hatch hands out the engine without one).
   const DcSatEngine& engine() const { return engine_; }
 
  private:
@@ -418,7 +457,7 @@ class ConstraintMonitor {
 
   /// The live entry behind `handle`, or nullptr. Handles minted by a
   /// different monitor never resolve, whatever their index.
-  const Entry* Find(MonitorHandle handle) const {
+  const Entry* Find(MonitorHandle handle) const BCDB_REQUIRES(mutex_) {
     if (!handle.valid() || handle.owner_ != uid_ ||
         handle.value() >= entries_.size()) {
       return nullptr;
@@ -428,7 +467,8 @@ class ConstraintMonitor {
   }
 
   /// The class behind `tmpl`, or nullptr (foreign/invalid handles).
-  const TemplateClass* FindClass(TemplateHandle tmpl) const {
+  const TemplateClass* FindClass(TemplateHandle tmpl) const
+      BCDB_REQUIRES(mutex_) {
     if (!tmpl.valid() || tmpl.owner_ != uid_ ||
         tmpl.value() >= classes_.size()) {
       return nullptr;
@@ -438,28 +478,28 @@ class ConstraintMonitor {
 
   /// Builds a TemplateClass from an analyzed template; returns its id.
   std::size_t CreateClass(std::string label, ConstraintTemplate tmpl,
-                          TemplateAnalysis analysis);
+                          TemplateAnalysis analysis) BCDB_REQUIRES(mutex_);
 
   /// Appends a member entry of `class_id`; returns its handle.
-  MonitorHandle AppendEntry(Entry entry);
+  MonitorHandle AppendEntry(Entry entry) BCDB_REQUIRES(mutex_);
 
   /// Materializes the grounded machinery (instantiated constraint + its
   /// analysis) for an entry that so far only existed as a class binding.
-  Status GroundEntry(Entry& entry);
+  Status GroundEntry(Entry& entry) BCDB_REQUIRES(mutex_);
 
   /// "(v0, v1, ...)" display form of a binding tuple.
   static std::string BindingSummary(const Tuple& binding);
 
   /// Whether any of the class's footprint relations was dirtied.
-  bool ClassIsDirty(const TemplateClass& cls) const;
+  bool ClassIsDirty(const TemplateClass& cls) const BCDB_REQUIRES(mutex_);
 
   /// Folds the relations of transactions whose validity changed since the
   /// previous poll into dirty_relations_ (covers cascade invalidations the
   /// mutation events alone cannot attribute), then snapshots the bits.
-  void AbsorbValidityDiff(const DynamicBitset& valid);
+  void AbsorbValidityDiff(const DynamicBitset& valid) BCDB_REQUIRES(mutex_);
 
   /// Marks `relation_id` dirty, growing the bitset on demand.
-  void MarkRelationDirty(std::size_t relation_id);
+  void MarkRelationDirty(std::size_t relation_id) BCDB_REQUIRES(mutex_);
 
   /// Verdict of one entry over the current (cache-fresh) database state.
   /// Thread-safe: touches only const state and the entry's compiled query.
@@ -469,28 +509,35 @@ class ConstraintMonitor {
 
   BlockchainDatabase* db_;
   MonitorOptions options_;
+  /// Externally synchronized by mutex_: the monitor holds its lock across
+  /// every engine call (Poll, Add's Analyze, GroundEntry). Not annotated
+  /// because the engine() introspection accessor intentionally escapes it.
   DcSatEngine engine_;
   /// This monitor's process-unique identity, stamped into every handle.
   std::uint64_t uid_;
-  std::vector<TemplateClass> classes_;
+  /// The monitor's one big lock: registration tables, verdicts, dirty
+  /// bookkeeping, and the poll machinery all move together (a poll reads
+  /// the tables end to end), so finer locks would buy contention windows,
+  /// not parallelism — the fan-out inside Poll is where the parallelism is.
+  mutable Mutex mutex_{LockRank::kMonitor};
+  std::vector<TemplateClass> classes_ BCDB_GUARDED_BY(mutex_);
   /// Canonicalization key -> class id, for the classes Add creates. Classes
   /// from RegisterTemplate are intentionally absent: each registration is
   /// its own class, owned by its label.
-  std::map<std::string, std::size_t> class_by_key_;
-  std::vector<Entry> entries_;
-  std::size_t live_count_ = 0;
+  std::map<std::string, std::size_t> class_by_key_ BCDB_GUARDED_BY(mutex_);
+  std::vector<Entry> entries_ BCDB_GUARDED_BY(mutex_);
+  std::size_t live_count_ BCDB_GUARDED_BY(mutex_) = 0;
   MutationListenerId listener_id_ = 0;
   /// Relations touched by mutations since the last completed poll.
-  DynamicBitset dirty_relations_;
+  DynamicBitset dirty_relations_ BCDB_GUARDED_BY(mutex_);
   /// Any mutation event at all since the last completed poll — the dirty
   /// signal for entries whose verdict can shift on unattributable churn
   /// (not proved monotone).
-  bool mutated_since_poll_ = false;
+  bool mutated_since_poll_ BCDB_GUARDED_BY(mutex_) = false;
   /// Engine validity bits as of the last poll, for cascade attribution.
-  DynamicBitset prev_valid_;
-  std::mutex poll_mutex_;  // Serializes concurrent Poll calls.
-  std::shared_ptr<ThreadPool> pool_;
-  PollStats poll_stats_;
+  DynamicBitset prev_valid_ BCDB_GUARDED_BY(mutex_);
+  std::shared_ptr<ThreadPool> pool_ BCDB_GUARDED_BY(mutex_);
+  PollStats poll_stats_ BCDB_GUARDED_BY(mutex_);
 };
 
 }  // namespace bcdb

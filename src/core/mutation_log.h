@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "relational/tuple.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bcdb {
 
@@ -90,7 +92,8 @@ class MutationLog {
 
   /// Appends one event, stamping its seq; trims the oldest entry when the
   /// retention window is full.
-  void Append(MutationEvent event) {
+  void Append(MutationEvent event) BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     event.seq = end_seq_;
     events_.push_back(std::move(event));
     ++end_seq_;
@@ -98,9 +101,15 @@ class MutationLog {
   }
 
   /// Seq of the oldest retained event (== end_seq() when empty).
-  std::uint64_t begin_seq() const { return end_seq_ - events_.size(); }
+  std::uint64_t begin_seq() const BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return BeginSeqLocked();
+  }
   /// Seq the next appended event will get; a fully-caught-up reader's cursor.
-  std::uint64_t end_seq() const { return end_seq_; }
+  std::uint64_t end_seq() const BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return end_seq_;
+  }
 
   /// Copies all events with seq >= `from` into `out` (appending, ascending
   /// seq). Returns kTrimmed — with `out` untouched — when events in
@@ -109,14 +118,16 @@ class MutationLog {
   /// when `from` lies beyond end_seq() and therefore cannot be a cursor
   /// ever handed out by this log.
   ReadResult ReadSince(std::uint64_t from,
-                       std::vector<MutationEvent>* out) const {
+                       std::vector<MutationEvent>* out) const
+      BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (from > end_seq_) {
       assert(false && "MutationLog::ReadSince: cursor beyond end_seq (from a "
                       "different log?)");
       return ReadResult::kForeignCursor;
     }
-    if (from < begin_seq()) return ReadResult::kTrimmed;
-    for (std::size_t i = from - begin_seq(); i < events_.size(); ++i) {
+    if (from < BeginSeqLocked()) return ReadResult::kTrimmed;
+    for (std::size_t i = from - BeginSeqLocked(); i < events_.size(); ++i) {
       out->push_back(events_[i]);
     }
     return ReadResult::kOk;
@@ -125,16 +136,26 @@ class MutationLog {
   /// Restore hook for the durable storage backend: positions the next seq
   /// of a fresh, never-appended log so that cursors taken against a
   /// recovered database line up with the persisted history.
-  void RestoreSeq(std::uint64_t next_seq) {
+  void RestoreSeq(std::uint64_t next_seq) BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     assert(events_.empty() && end_seq_ == 0 &&
            "RestoreSeq on a log that has already seen events");
     end_seq_ = next_seq;
   }
 
  private:
-  std::size_t capacity_;
-  std::deque<MutationEvent> events_;
-  std::uint64_t end_seq_ = 0;
+  std::uint64_t BeginSeqLocked() const BCDB_REQUIRES(mutex_) {
+    return end_seq_ - events_.size();
+  }
+
+  // The retention window is internally locked so that the WAL-absorbing
+  // durability sink, a polling monitor, and an ingest thread can share one
+  // log. kMutationLog sits above kDurableStore: a checkpoint holding the
+  // store lock reads end_seq() here.
+  mutable Mutex mutex_{LockRank::kMutationLog};
+  std::size_t capacity_ BCDB_GUARDED_BY(mutex_);
+  std::deque<MutationEvent> events_ BCDB_GUARDED_BY(mutex_);
+  std::uint64_t end_seq_ BCDB_GUARDED_BY(mutex_) = 0;
 };
 
 inline const char* MutationKindToString(MutationKind kind) {

@@ -21,7 +21,7 @@ Value ValuePool::Canonical(const Value& v) {
 
 ValueId ValuePool::Intern(const Value& v) {
   Value canonical = Canonical(v);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = ids_.find(canonical);
   if (it != ids_.end()) return *it;
 

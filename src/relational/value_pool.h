@@ -6,10 +6,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 
 #include "relational/value.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bcdb {
 
@@ -130,10 +131,20 @@ class ValuePool {
     }
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_set<ValueId, IdHash, IdEq> ids_{16, IdHash{this}, IdEq{this}};
-  std::atomic<Entry*> chunks_[kNumChunks] = {};
-  std::atomic<std::size_t> size_{0};
+  mutable Mutex mutex_{LockRank::kValuePool};
+  std::unordered_set<ValueId, IdHash, IdEq> ids_ BCDB_GUARDED_BY(mutex_){
+      16, IdHash{this}, IdEq{this}};
+  // The read side (value/hash/entry) is intentionally lock-free: each chunk
+  // pointer is published once with release order after its first entry is
+  // written, and size_ is bumped with release order after the entry is
+  // complete, so an acquire reader holding a handed-off id always sees a
+  // fully constructed Entry. Readers never lock mutex_.
+  std::atomic<Entry*> chunks_[kNumChunks] BCDB_LOCK_FREE(
+      "write-once pointers published with release order under mutex_; read"
+      " with acquire order locklessly on the resolve hot path") = {};
+  std::atomic<std::size_t> size_ BCDB_LOCK_FREE(
+      "bumped with release order under mutex_ after the new Entry is fully"
+      " written; acquire readers use it as the publication fence") {0};
 };
 
 }  // namespace bcdb

@@ -12,6 +12,7 @@
 
 #include "storage/record_codec.h"
 #include "storage/segment.h"
+#include "util/strings.h"
 
 namespace bcdb {
 namespace storage {
@@ -86,7 +87,7 @@ StatusOr<std::unique_ptr<DurableStore>> DurableStore::Open(
   if (dir.empty()) return Status::InvalidArgument("empty store directory");
   while (!dir.empty() && dir.back() == '/') dir.pop_back();
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-    return Status::Internal("mkdir " + dir + ": " + std::strerror(errno));
+    return Status::Internal("mkdir " + dir + ": " + ErrnoString(errno));
   }
   return std::unique_ptr<DurableStore>(
       new DurableStore(std::move(dir), std::move(catalog), options));
@@ -140,6 +141,7 @@ void DurableStore::AbsorbWalCounters() {
 }
 
 StatusOr<BlockchainDatabase> DurableStore::Recover(ConstraintSet constraints) {
+  MutexLock lock(mutex_);
   if (recovered_) {
     return Status::InvalidArgument("Recover may only be called once");
   }
@@ -293,6 +295,7 @@ StatusOr<BlockchainDatabase> DurableStore::Recover(ConstraintSet constraints) {
 
 void DurableStore::Persist(const MutationEvent& event,
                            const MutationPayload& payload) {
+  MutexLock lock(mutex_);
   if (!status_.ok()) return;  // Latched: later mutations are not durable.
   if (!recovered_) {
     status_ = Status::Internal("Persist before Recover positioned the store");
@@ -316,6 +319,7 @@ void DurableStore::Persist(const MutationEvent& event,
 }
 
 Status DurableStore::Sync() {
+  MutexLock lock(mutex_);
   BCDB_RETURN_IF_ERROR(status_);
   Status synced = wal_.Sync();
   stats_.wal_syncs = absorbed_wal_syncs_ + wal_.syncs();
@@ -323,6 +327,10 @@ Status DurableStore::Sync() {
 }
 
 Status DurableStore::Checkpoint(const BlockchainDatabase& db) {
+  // Holds the store lock (kDurableStore) across the snapshot; reading the
+  // database's mutation-log clock below acquires kMutationLog, the one
+  // cross-module nesting in the hierarchy (see DESIGN.md §16).
+  MutexLock lock(mutex_);
   BCDB_RETURN_IF_ERROR(status_);
   if (!recovered_) {
     return Status::Internal("Checkpoint before Recover positioned the store");

@@ -9,7 +9,9 @@
 #include "core/blockchain_db.h"
 #include "relational/schema.h"
 #include "storage/wal.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace bcdb {
 namespace storage {
@@ -65,8 +67,11 @@ struct DurableStoreStats {
 /// every later Persist is a no-op, so the in-memory database stays usable
 /// (and the caller decides whether a cold store is fatal).
 ///
-/// Not thread-safe: the store expects the same single-threaded mutation
-/// discipline as the database it backs.
+/// The WAL/stats state is behind an internal lock (LockRank::kDurableStore)
+/// so status()/stats() introspection can race the sink path safely, but the
+/// store still expects the same single-threaded *mutation* discipline as
+/// the database it backs — two threads mutating (and hence Persisting)
+/// concurrently would interleave WAL records against log order.
 class DurableStore : public DurabilitySink {
  public:
   /// Opens (creating if needed) the store directory. The catalog is the
@@ -86,7 +91,12 @@ class DurableStore : public DurabilitySink {
                const MutationPayload& payload) override;
 
   /// First I/O error hit by Persist (mutations after it are NOT durable).
-  const Status& status() const { return status_; }
+  /// Returned by value: a snapshot under the store lock, safe against a
+  /// concurrent Persist latching an error.
+  Status status() const BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return status_;
+  }
 
   /// Forces all appended records to disk regardless of policy.
   Status Sync();
@@ -97,7 +107,12 @@ class DurableStore : public DurabilitySink {
   /// for the duration of the call.
   Status Checkpoint(const BlockchainDatabase& db);
 
-  const DurableStoreStats& stats() const { return stats_; }
+  /// Snapshot of the durability counters, taken under the store lock
+  /// (Persist updates them on every mutation).
+  DurableStoreStats stats() const BCDB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return stats_;
+  }
   const Catalog& catalog() const { return catalog_; }
   const std::string& dir() const { return dir_; }
 
@@ -112,9 +127,10 @@ class DurableStore : public DurabilitySink {
   std::string CheckpointPath(std::uint64_t seq) const;
   std::string WalPath(std::uint64_t start_seq) const;
   /// Opens the active WAL file (appending); `fresh` truncates leftovers.
-  Status OpenActiveWal(std::uint64_t start_seq, bool fresh);
+  Status OpenActiveWal(std::uint64_t start_seq, bool fresh)
+      BCDB_REQUIRES(mutex_);
   /// Absorbs the active writer's counters into stats_ (on rotation/close).
-  void AbsorbWalCounters();
+  void AbsorbWalCounters() BCDB_REQUIRES(mutex_);
   /// Deletes checkpoints/WAL files behind the retention horizon.
   void Prune();
 
@@ -122,15 +138,21 @@ class DurableStore : public DurabilitySink {
   Catalog catalog_;
   DurableStoreOptions options_;
   std::uint64_t schema_fingerprint_ = 0;
-  WalWriter wal_;
-  std::uint64_t wal_start_seq_ = 0;
-  bool recovered_ = false;
-  Status status_;
-  DurableStoreStats stats_;
+  /// Guards the append path and counters. kDurableStore sits *below*
+  /// kMutationLog: Checkpoint/Recover read the database's mutation-log
+  /// clock while holding this lock. The WalWriter itself stays a plain
+  /// externally-synchronized type (it must remain movable for rotation);
+  /// this lock is its external synchronization.
+  mutable Mutex mutex_{LockRank::kDurableStore};
+  WalWriter wal_ BCDB_GUARDED_BY(mutex_);
+  std::uint64_t wal_start_seq_ BCDB_GUARDED_BY(mutex_) = 0;
+  bool recovered_ BCDB_GUARDED_BY(mutex_) = false;
+  Status status_ BCDB_GUARDED_BY(mutex_);
+  DurableStoreStats stats_ BCDB_GUARDED_BY(mutex_);
   /// Counters already absorbed from rotated-away WAL writers.
-  std::uint64_t absorbed_wal_bytes_ = 0;
-  std::uint64_t absorbed_wal_records_ = 0;
-  std::uint64_t absorbed_wal_syncs_ = 0;
+  std::uint64_t absorbed_wal_bytes_ BCDB_GUARDED_BY(mutex_) = 0;
+  std::uint64_t absorbed_wal_records_ BCDB_GUARDED_BY(mutex_) = 0;
+  std::uint64_t absorbed_wal_syncs_ BCDB_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace storage

@@ -12,6 +12,7 @@
 
 #include "storage/crc32c.h"
 #include "util/bytes.h"
+#include "util/strings.h"
 
 namespace bcdb {
 namespace storage {
@@ -19,7 +20,7 @@ namespace storage {
 namespace {
 
 Status IoError(const std::string& what, const std::string& path) {
-  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+  return Status::Internal(what + " " + path + ": " + ErrnoString(errno));
 }
 
 std::string EncodeHeader(const SegmentHeader& header) {

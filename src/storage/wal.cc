@@ -10,6 +10,7 @@
 #include "storage/crc32c.h"
 #include "storage/segment.h"
 #include "util/bytes.h"
+#include "util/strings.h"
 
 namespace bcdb {
 namespace storage {
@@ -17,7 +18,7 @@ namespace storage {
 namespace {
 
 Status IoError(const std::string& what, const std::string& path) {
-  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+  return Status::Internal(what + " " + path + ": " + ErrnoString(errno));
 }
 
 }  // namespace

@@ -32,6 +32,12 @@ const char* SyncPolicyToString(SyncPolicy policy);
 /// A torn tail (crash mid-append) shows up as a record whose magic, length
 /// bound, or checksum fails; the recovery scan stops there and truncates
 /// the file back to the last whole record.
+///
+/// Externally synchronized by design: the writer stays a plain movable
+/// value type (rotation hands whole writers around — `wal_ = Open(...)`),
+/// which a member bcdb::Mutex would forbid. Its one owner, DurableStore,
+/// holds its kDurableStore lock around every call, and declares its
+/// WalWriter member GUARDED_BY that lock.
 class WalWriter {
  public:
   static constexpr std::uint32_t kRecordMagic = 0x574C4152u;  // "RALW" LE

@@ -6,6 +6,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/thread_annotations.h"
+
 namespace bcdb {
 
 /// Declarative ceilings for one DCSat check. Every field treats 0 as
@@ -143,11 +145,22 @@ class Budget {
   const BudgetLimits limits_;
   const bool has_deadline_;
   const Clock::time_point deadline_;
-  mutable std::atomic<std::size_t> cliques_{0};
-  mutable std::atomic<std::size_t> worlds_{0};
-  mutable std::atomic<std::size_t> components_{0};
-  mutable std::atomic<std::uint64_t> ticks_{0};
-  mutable std::atomic<bool> expired_{false};
+  // All accounting is intentionally lock-free: Charge sits on the innermost
+  // search loops, shared by every worker of a fan-out check, and a mutex
+  // here would serialize the very parallelism the pool exists for.
+  mutable std::atomic<std::size_t> cliques_ BCDB_LOCK_FREE(
+      "relaxed fetch_add counter; the limit comparison tolerates a small"
+      " overshoot (several workers can each pass the limit once)") {0};
+  mutable std::atomic<std::size_t> worlds_ BCDB_LOCK_FREE(
+      "relaxed fetch_add counter; same overshoot tolerance as cliques_") {0};
+  mutable std::atomic<std::size_t> components_ BCDB_LOCK_FREE(
+      "relaxed fetch_add counter; same overshoot tolerance as cliques_") {0};
+  mutable std::atomic<std::uint64_t> ticks_ BCDB_LOCK_FREE(
+      "probe counter used only to amortize clock polls (every 64th probe);"
+      " no decision rides on its exact value") {0};
+  mutable std::atomic<bool> expired_ BCDB_LOCK_FREE(
+      "monotone latch: set-once-true, read relaxed on every probe; a worker"
+      " observing it late only does bounded extra work") {false};
 };
 
 }  // namespace bcdb

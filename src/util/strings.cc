@@ -1,5 +1,7 @@
 #include "util/strings.h"
 
+#include <string.h>
+
 #include <cctype>
 
 namespace bcdb {
@@ -40,6 +42,21 @@ std::vector<std::string> SplitAndTrim(std::string_view input, char sep) {
 
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
+}
+
+std::string ErrnoString(int err) {
+  char buf[256];
+#if defined(_GNU_SOURCE) && defined(__GLIBC__)
+  // GNU flavor: returns the message, which may live in `buf` or in static
+  // immutable storage — either way, safe to copy from any thread.
+  return strerror_r(err, buf, sizeof(buf));
+#else
+  // XSI flavor: fills `buf`, non-zero on failure.
+  if (strerror_r(err, buf, sizeof(buf)) != 0) {
+    return "errno " + std::to_string(err);
+  }
+  return buf;
+#endif
 }
 
 }  // namespace bcdb

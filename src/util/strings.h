@@ -20,6 +20,12 @@ std::string_view TrimWhitespace(std::string_view s);
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+/// Thread-safe strerror: the message for `err` (an errno value) without
+/// touching the static buffer std::strerror may return (which
+/// concurrency-mt-unsafe rightly rejects — Persist can fail on one thread
+/// while a recovery path formats an error on another).
+std::string ErrnoString(int err);
+
 }  // namespace bcdb
 
 #endif  // BCDB_UTIL_STRINGS_H_

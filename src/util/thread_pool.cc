@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include "util/mutex.h"
+
 namespace bcdb {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -16,10 +18,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     stop_.store(true, std::memory_order_relaxed);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
@@ -29,14 +31,14 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   const std::size_t index =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[index]->mutex);
+    MutexLock lock(queues_[index]->mutex);
     queues_[index]->tasks.push_back(std::move(packaged));
   }
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     queued_.fetch_add(1, std::memory_order_relaxed);
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
   return future;
 }
 
@@ -44,7 +46,7 @@ bool ThreadPool::TryPop(std::size_t worker_index,
                         std::packaged_task<void()>& task) {
   {
     WorkerQueue& own = *queues_[worker_index];
-    std::lock_guard<std::mutex> lock(own.mutex);
+    MutexLock lock(own.mutex);
     if (!own.tasks.empty()) {
       task = std::move(own.tasks.front());
       own.tasks.pop_front();
@@ -54,7 +56,7 @@ bool ThreadPool::TryPop(std::size_t worker_index,
   for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
     WorkerQueue& victim =
         *queues_[(worker_index + offset) % queues_.size()];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     if (!victim.tasks.empty()) {
       task = std::move(victim.tasks.back());
       victim.tasks.pop_back();
@@ -73,14 +75,16 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
       continue;
     }
     if (stop_.load(std::memory_order_relaxed)) return;
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    wake_cv_.wait(lock, [this] {
-      return stop_.load(std::memory_order_relaxed) ||
-             queued_.load(std::memory_order_relaxed) > 0;
-    });
-    if (stop_.load(std::memory_order_relaxed) &&
-        queued_.load(std::memory_order_relaxed) <= 0) {
-      return;
+    {
+      MutexLock lock(wake_mutex_);
+      wake_cv_.Wait(wake_mutex_, [this] {
+        return stop_.load(std::memory_order_relaxed) ||
+               queued_.load(std::memory_order_relaxed) > 0;
+      });
+      if (stop_.load(std::memory_order_relaxed) &&
+          queued_.load(std::memory_order_relaxed) <= 0) {
+        return;
+      }
     }
   }
 }

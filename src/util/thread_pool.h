@@ -2,16 +2,17 @@
 #define BCDB_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bcdb {
 
@@ -51,8 +52,13 @@ class CancellationToken {
   }
 
  private:
-  std::atomic<bool> stop_{false};
-  std::atomic<std::size_t> rank_limit_{SIZE_MAX};
+  std::atomic<bool> stop_ BCDB_LOCK_FREE(
+      "monotone flag; relaxed is enough because cancellation is advisory —"
+      " observers only ever poll it") {false};
+  std::atomic<std::size_t> rank_limit_ BCDB_LOCK_FREE(
+      "monotone-decreasing watermark maintained by a relaxed CAS loop;"
+      " readers tolerate staleness (a late cancel only wastes work)") {
+      SIZE_MAX};
 };
 
 /// Fixed-size worker pool with per-worker task deques and work stealing.
@@ -91,9 +97,12 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
+  /// One worker's deque. All WorkerQueue mutexes share kThreadPoolQueue:
+  /// own-queue pop and victim steal each lock exactly one queue at a time,
+  /// never two (the hierarchy checker would reject a same-rank nesting).
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::packaged_task<void()>> tasks;
+    Mutex mutex{LockRank::kThreadPoolQueue};
+    std::deque<std::packaged_task<void()>> tasks BCDB_GUARDED_BY(mutex);
   };
 
   void WorkerLoop(std::size_t worker_index);
@@ -102,14 +111,18 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
 
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
-  // Guarded by wake_mutex_ on increment so sleeping workers never miss a
-  // submission; decremented lock-free after a successful pop (a transiently
-  // negative value only causes a spurious wake).
-  std::atomic<std::ptrdiff_t> queued_{0};
-  std::atomic<bool> stop_{false};
-  std::atomic<std::size_t> next_queue_{0};
+  Mutex wake_mutex_{LockRank::kThreadPoolWake};
+  CondVar wake_cv_;
+  std::atomic<std::ptrdiff_t> queued_ BCDB_LOCK_FREE(
+      "incremented under wake_mutex_ so sleeping workers never miss a"
+      " submission; decremented lock-free after a successful pop (a"
+      " transiently negative value only causes a spurious wake)") {0};
+  std::atomic<bool> stop_ BCDB_LOCK_FREE(
+      "set once under wake_mutex_ at shutdown (pairs with the cv wait);"
+      " read relaxed in the worker loop's fast path") {false};
+  std::atomic<std::size_t> next_queue_ BCDB_LOCK_FREE(
+      "round-robin submission cursor; relaxed fetch_add — distribution"
+      " quality, not correctness, is all that rides on it") {0};
 };
 
 }  // namespace bcdb

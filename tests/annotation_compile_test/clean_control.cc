@@ -1,0 +1,42 @@
+// Positive control for the negative-compilation probes: the same shapes as
+// guarded_by_violation.cc / lock_order_inversion.cc with the discipline
+// respected. If THIS fails, the harness flags (include paths, macros) are
+// broken, and the WILL_FAIL results of the sibling tests mean nothing.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Read() const {
+    bcdb::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable bcdb::Mutex mutex_{bcdb::LockRank::kValuePool};
+  int value_ BCDB_GUARDED_BY(mutex_) = 0;
+};
+
+class TwoLocks {
+ public:
+  void RightOrder() {
+    bcdb::MutexLock first(first_);
+    bcdb::MutexLock second(second_);
+  }
+
+ private:
+  bcdb::Mutex first_{bcdb::LockRank::kMonitor};
+  bcdb::Mutex second_ BCDB_ACQUIRED_AFTER(first_){
+      bcdb::LockRank::kValuePool};
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  TwoLocks locks;
+  locks.RightOrder();
+  return counter.Read();
+}

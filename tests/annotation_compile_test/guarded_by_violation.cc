@@ -1,0 +1,26 @@
+// Negative-compilation probe: reading a BCDB_GUARDED_BY member without the
+// guarding lock MUST fail under -Werror=thread-safety. If this file ever
+// compiles cleanly, the annotation gate is broken (macros expanded to
+// nothing under clang, or the warning flag fell out of the build).
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Read() const {
+    return value_;  // BAD: no lock held — the violation under test.
+  }
+
+ private:
+  mutable bcdb::Mutex mutex_{bcdb::LockRank::kValuePool};
+  int value_ BCDB_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.Read();
+}

@@ -1,0 +1,29 @@
+// Negative-compilation probe: acquiring locks against a declared
+// BCDB_ACQUIRED_AFTER order MUST fail under -Werror=thread-safety-beta
+// (the acquired_before/after analysis lives behind the beta flag). This
+// is the compile-time face of the runtime rank checker in util/mutex.cc.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class TwoLocks {
+ public:
+  void WrongOrder() {
+    bcdb::MutexLock second(second_);
+    bcdb::MutexLock first(first_);  // BAD: first_ must precede second_.
+  }
+
+ private:
+  bcdb::Mutex first_{bcdb::LockRank::kMonitor};
+  bcdb::Mutex second_ BCDB_ACQUIRED_AFTER(first_){
+      bcdb::LockRank::kValuePool};
+};
+
+}  // namespace
+
+int main() {
+  TwoLocks locks;
+  locks.WrongOrder();
+  return 0;
+}

@@ -205,7 +205,8 @@ void RunLifecycleDifferential(std::uint64_t seed, bool with_ind,
                                 std::to_string(with_ind) + " K " +
                                 std::to_string(refresh_every) + " step " +
                                 std::to_string(step);
-    const bool trace = std::getenv("BCDB_LIFECYCLE_TRACE") != nullptr;
+    const bool trace =  // NOLINT(concurrency-mt-unsafe): read-only, no setenv anywhere
+        std::getenv("BCDB_LIFECYCLE_TRACE") != nullptr;
     const std::size_t op = rng.NextBelow(8);
     switch (op) {
       case 0:

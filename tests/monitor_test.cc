@@ -1,3 +1,6 @@
+#include <atomic>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "core/monitor.h"
@@ -301,6 +304,43 @@ TEST(ConstraintMonitorTest, PoolWidthStableAcrossDirtyCounts) {
   ASSERT_TRUE(monitor.Poll(four_threads).ok());
   EXPECT_EQ(monitor.poll_stats().threads_used, 4u);
   EXPECT_EQ(monitor.poll_stats().constraints_skipped, 4u);
+}
+
+// Regression: poll_stats()/verdict()/label() used to hand out references
+// into state the next Poll mutates in place — a data race tsan flagged the
+// moment a dashboard thread read counters mid-poll. All three are now
+// by-value snapshots taken under the monitor lock; this test recreates the
+// racing reader so the tsan job pins the fix.
+TEST(ConstraintMonitorTest, StatsReadersRaceWithPoll) {
+  BlockchainDatabase db = MakeRunningExample();
+  ConstraintMonitor monitor(&db);
+  auto handle = monitor.Add("u8", Q("q() :- TxOut(t, s, 'U8Pk', a)"));
+  ASSERT_TRUE(handle.ok());
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    std::size_t last_polls = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const auto stats = monitor.poll_stats();
+      // Snapshots must be internally consistent and monotone even when
+      // taken mid-poll.
+      EXPECT_GE(stats.polls, last_polls);
+      last_polls = stats.polls;
+      (void)monitor.verdict(*handle);
+      (void)monitor.label(*handle);
+      (void)monitor.size();
+    }
+  });
+
+  bool applied = false;
+  for (int i = 0; i < 100; ++i) {
+    if (i == 50) applied = db.ApplyPending(4).ok();  // T5 confirms mid-run.
+    ASSERT_TRUE(monitor.Poll().ok());
+  }
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_TRUE(applied);
+  EXPECT_EQ(monitor.poll_stats().polls, 100u);
 }
 
 }  // namespace

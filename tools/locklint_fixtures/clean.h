@@ -1,0 +1,34 @@
+// Locklint fixture: MUST pass — the blessed shapes, all three rules.
+// A ranked annotated Mutex, a tagged atomic, and one sanctioned raw-token
+// escape hatch.
+#ifndef BCDB_TOOLS_LOCKLINT_FIXTURES_CLEAN_H_
+#define BCDB_TOOLS_LOCKLINT_FIXTURES_CLEAN_H_
+
+#include <atomic>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace bcdb_fixture {
+
+class Clean {
+ public:
+  void Touch() {
+    bcdb::MutexLock lock(mu_);
+    ++count_;
+  }
+  void Bump() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  bcdb::Mutex mu_{bcdb::LockRank::kValuePool};
+  int count_ BCDB_GUARDED_BY(mu_) = 0;
+  std::atomic<int> hits_ BCDB_LOCK_FREE(
+      "monotonic counter, relaxed increments, read only for reporting"){0};
+  // A deliberate mention of std::mutex for documentation purposes is fine
+  // when escaped:
+  using Banned = int;  // would be std::mutex in real code  locklint:allow-raw
+};
+
+}  // namespace bcdb_fixture
+
+#endif  // BCDB_TOOLS_LOCKLINT_FIXTURES_CLEAN_H_

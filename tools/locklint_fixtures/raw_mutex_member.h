@@ -1,0 +1,25 @@
+// Locklint fixture: MUST fail with [raw-primitive].
+// A class holding a raw std::mutex member instead of the annotated
+// bcdb::Mutex wrapper — invisible to clang's thread-safety analysis.
+#ifndef BCDB_TOOLS_LOCKLINT_FIXTURES_RAW_MUTEX_MEMBER_H_
+#define BCDB_TOOLS_LOCKLINT_FIXTURES_RAW_MUTEX_MEMBER_H_
+
+#include <mutex>
+
+namespace bcdb_fixture {
+
+class RawMutexMember {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace bcdb_fixture
+
+#endif  // BCDB_TOOLS_LOCKLINT_FIXTURES_RAW_MUTEX_MEMBER_H_

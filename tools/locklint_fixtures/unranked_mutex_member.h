@@ -1,0 +1,26 @@
+// Locklint fixture: MUST fail with [unranked-mutex].
+// An annotated bcdb::Mutex member that never names its LockRank — the
+// runtime hierarchy checker cannot place it in the acquisition order.
+#ifndef BCDB_TOOLS_LOCKLINT_FIXTURES_UNRANKED_MUTEX_MEMBER_H_
+#define BCDB_TOOLS_LOCKLINT_FIXTURES_UNRANKED_MUTEX_MEMBER_H_
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace bcdb_fixture {
+
+class UnrankedMutexMember {
+ public:
+  void Touch() {
+    bcdb::MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  bcdb::Mutex mu_;
+  int count_ BCDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace bcdb_fixture
+
+#endif  // BCDB_TOOLS_LOCKLINT_FIXTURES_UNRANKED_MUTEX_MEMBER_H_

@@ -1,0 +1,21 @@
+// Locklint fixture: MUST fail with [untagged-atomic].
+// A std::atomic member with no BCDB_LOCK_FREE("...") rationale — lock-free
+// state is allowed, but only when it documents its publication protocol.
+#ifndef BCDB_TOOLS_LOCKLINT_FIXTURES_UNTAGGED_ATOMIC_MEMBER_H_
+#define BCDB_TOOLS_LOCKLINT_FIXTURES_UNTAGGED_ATOMIC_MEMBER_H_
+
+#include <atomic>
+
+namespace bcdb_fixture {
+
+class UntaggedAtomicMember {
+ public:
+  void Bump() { count_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int> count_{0};
+};
+
+}  // namespace bcdb_fixture
+
+#endif  // BCDB_TOOLS_LOCKLINT_FIXTURES_UNTAGGED_ATOMIC_MEMBER_H_
